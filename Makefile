@@ -1,0 +1,24 @@
+# Developer entry points. `make all` = what CI runs.
+
+PYTHON ?= python
+
+.PHONY: all test bench bench-full examples lint clean
+
+all: test bench
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Paper-scale datasets (slow; see EXPERIMENTS.md)
+bench-full:
+	REPRO_SCALE=full $(PYTHON) -m pytest benchmarks/ -s
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done
+
+clean:
+	rm -rf build dist *.egg-info .pytest_cache .hypothesis benchmarks/out
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,66 @@
+"""Ablation — depth-first vs best-first k-NN (Section 4.1).
+
+The paper notes the depth-first algorithm of Figure 4 is sub-optimal and
+that an optimal algorithm "in terms of node accesses follows a
+best-first search paradigm and employs a priority queue".  This bench
+measures the node-access gap.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from bench_common import cached_quest, cached_tree, n_queries, report
+from repro.bench import QueryBatchResult, format_series
+from repro.sgtree.search import SearchStats
+
+T_SIZE, I_SIZE, D = 30, 18, 200_000
+ALGORITHMS = ["depth-first", "best-first"]
+K_VALUES = [1, 10, 100]
+
+
+@pytest.fixture(scope="module")
+def series():
+    queries = n_queries()
+    workload = cached_quest(T_SIZE, I_SIZE, D, queries)
+    tree = cached_tree(T_SIZE, I_SIZE, D, queries).index
+    batches = {name: [] for name in ALGORITHMS}
+    for k in K_VALUES:
+        for name in ALGORITHMS:
+            batch = QueryBatchResult(label=name, database_size=len(workload.transactions))
+            for query in workload.queries:
+                tree.store.clear_cache()
+                stats = SearchStats()
+                start = time.perf_counter()
+                hits = tree.nearest(query, k=k, algorithm=name, stats=stats)
+                batch.record(stats, time.perf_counter() - start, hits[-1].distance)
+            batches[name].append(batch)
+    text = format_series(
+        "Ablation: depth-first vs best-first k-NN (T30.I18.D200K)",
+        "k",
+        K_VALUES,
+        batches,
+    )
+    report("ablation_best_first", text)
+    return batches
+
+
+class TestBestFirstAblation:
+    def test_identical_results(self, series):
+        for df, bf in zip(series["depth-first"], series["best-first"]):
+            assert df.per_query_distance == bf.per_query_distance
+
+    def test_best_first_no_more_node_accesses(self, series):
+        """Best-first is optimal in node accesses."""
+        for df, bf in zip(series["depth-first"], series["best-first"]):
+            assert bf.node_accesses <= df.node_accesses * 1.001
+
+
+def test_benchmark_best_first_knn(series, benchmark):
+    queries = n_queries()
+    workload = cached_quest(T_SIZE, I_SIZE, D, queries)
+    tree = cached_tree(T_SIZE, I_SIZE, D, queries).index
+    stream = iter(workload.queries * 1000)
+    benchmark(lambda: tree.nearest(next(stream), k=10, algorithm="best-first"))

@@ -1,0 +1,65 @@
+"""Extension bench — buffer budget and replacement policies (Section 6).
+
+The paper claims the SG-tree "can operate with limited memory resources
+and dynamically changing memory resources" because B+-tree/R-tree
+caching policies apply unchanged.  This bench sweeps the frame budget
+and compares LRU / CLOCK / FIFO replacement on a warm query stream.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_common import cached_quest, n_queries, report
+from repro.bench import build_tree
+from repro.sgtree import SearchStats
+
+T_SIZE, I_SIZE, D = 10, 6, 200_000
+FRAME_BUDGETS = [4, 16, 64, 256]
+POLICIES = ["lru", "clock", "fifo"]
+
+
+@pytest.fixture(scope="module")
+def results():
+    queries = n_queries()
+    workload = cached_quest(T_SIZE, I_SIZE, D, queries)
+    outcome: dict[tuple[str, int], float] = {}
+    for policy in POLICIES:
+        for frames in FRAME_BUDGETS:
+            tree = build_tree(
+                workload, frames=frames, buffer_policy=policy
+            ).index
+            # Warm stream: run the batch twice, measure the second pass.
+            for query in workload.queries:
+                tree.nearest(query, k=1)
+            stats = SearchStats()
+            for query in workload.queries:
+                tree.nearest(query, k=1, stats=stats)
+            outcome[(policy, frames)] = stats.random_ios / len(workload.queries)
+    lines = ["Extension: buffer policies — random I/Os per warm NN query"]
+    lines.append(f"{'frames':>8}" + "".join(f"{p:>10}" for p in POLICIES))
+    for frames in FRAME_BUDGETS:
+        lines.append(
+            f"{frames:>8}"
+            + "".join(f"{outcome[(p, frames)]:>10.1f}" for p in POLICIES)
+        )
+    report("ablation_buffer", "\n".join(lines))
+    return outcome
+
+
+class TestBufferAblation:
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_more_frames_fewer_misses(self, results, policy):
+        ios = [results[(policy, frames)] for frames in FRAME_BUDGETS]
+        assert ios[-1] <= ios[0]
+
+    def test_large_budget_nearly_no_misses(self, results):
+        assert results[("lru", FRAME_BUDGETS[-1])] < results[("lru", FRAME_BUDGETS[0])]
+
+
+def test_benchmark_warm_query_small_buffer(results, benchmark):
+    queries = n_queries()
+    workload = cached_quest(T_SIZE, I_SIZE, D, queries)
+    tree = build_tree(workload, frames=16).index
+    stream = iter(workload.queries * 1000)
+    benchmark(lambda: tree.nearest(next(stream), k=1))

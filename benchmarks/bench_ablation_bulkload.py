@@ -1,0 +1,80 @@
+"""Ablation — bulk loading vs one-by-one insertion (Section 6).
+
+The paper proposes gray-code sorting (space-filling-curve style) and
+hash-based grouping as bulk-loading routes that could build
+"globally-optimised" trees "much faster".  This bench compares build
+time, occupancy, tree quality and query cost of the three construction
+paths.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from bench_common import cached_quest, n_queries, report
+from repro.bench import TREE_DEFAULTS, build_tree, run_nn_batch
+from repro.sgtree import bulk_load, tree_report, validate_tree
+
+T_SIZE, I_SIZE, D = 20, 12, 200_000
+METHODS = ["insert", "gray", "minhash"]
+
+
+@pytest.fixture(scope="module")
+def results():
+    workload = cached_quest(T_SIZE, I_SIZE, D, n_queries())
+    outcome = {}
+    for method in METHODS:
+        start = time.perf_counter()
+        if method == "insert":
+            tree = build_tree(workload).index
+        else:
+            tree = bulk_load(
+                workload.transactions, workload.n_bits, method=method,
+                **TREE_DEFAULTS,
+            )
+        build_seconds = time.perf_counter() - start
+        validate_tree(tree)
+        batch = run_nn_batch(tree, workload, k=1, label=method)
+        outcome[method] = (build_seconds, tree_report(tree), batch)
+    lines = ["Ablation: bulk loading vs insertion (T20.I12.D200K)"]
+    lines.append(
+        f"{'method':<10}{'build s':>10}{'occupancy':>12}{'%data':>10}{'IOs':>10}"
+    )
+    for method, (seconds, tree_stats, batch) in outcome.items():
+        lines.append(
+            f"{method:<10}{seconds:>10.2f}{tree_stats.average_occupancy:>12.2f}"
+            f"{batch.pct_data:>10.2f}{batch.random_ios:>10.1f}"
+        )
+    report("ablation_bulkload", "\n".join(lines))
+    return outcome
+
+
+class TestBulkLoadAblation:
+    def test_bulk_much_faster_than_insertion(self, results):
+        insert_seconds = results["insert"][0]
+        for method in ("gray", "minhash"):
+            assert results[method][0] < insert_seconds / 2
+
+    def test_bulk_occupancy_higher(self, results):
+        insert_occupancy = results["insert"][1].average_occupancy
+        for method in ("gray", "minhash"):
+            assert results[method][1].average_occupancy >= insert_occupancy
+
+    def test_query_quality_same_league(self, results):
+        """Bulk-loaded trees prune within 3x of the insertion-built one."""
+        insert_pct = results["insert"][2].pct_data
+        for method in ("gray", "minhash"):
+            assert results[method][2].pct_data <= max(insert_pct * 3.0, 5.0)
+
+    def test_all_exact(self, results):
+        base = results["insert"][2].per_query_distance
+        for method in ("gray", "minhash"):
+            assert results[method][2].per_query_distance == base
+
+
+def test_benchmark_gray_bulk_load(benchmark):
+    workload = cached_quest(T_SIZE, I_SIZE, D, n_queries())
+    subset = workload.transactions[: min(5000, len(workload.transactions))]
+    benchmark(lambda: bulk_load(subset, workload.n_bits, method="gray"))

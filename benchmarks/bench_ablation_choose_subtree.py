@@ -1,0 +1,70 @@
+"""Ablation — ChooseSubtree: minimum enlargement vs minimum overlap.
+
+The paper implemented both and found that "the minimum area enlargement
+heuristic creates trees of the same quality at a much lower insertion
+cost"; this bench regenerates that comparison.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_common import cached_quest, n_queries, report
+from repro.bench import build_tree, run_nn_batch
+from repro.sgtree import average_area_by_level, validate_tree
+
+T_SIZE, I_SIZE, D = 20, 12, 200_000
+CHOOSERS = ["enlargement", "overlap"]
+
+
+@pytest.fixture(scope="module")
+def results():
+    workload = cached_quest(T_SIZE, I_SIZE, D, n_queries())
+    outcome = {}
+    for chooser in CHOOSERS:
+        built = build_tree(workload, choose_policy=chooser)
+        validate_tree(built.index)
+        batch = run_nn_batch(built.index, workload, k=1, label=chooser)
+        outcome[chooser] = (built, batch)
+    lines = ["Ablation: ChooseSubtree heuristics (T20.I12.D200K)"]
+    lines.append(
+        f"{'heuristic':<14}{'insert ms':>12}{'%data':>10}{'cpu ms':>10}"
+        f"{'IOs':>10}{'area@1':>10}"
+    )
+    for chooser, (built, batch) in outcome.items():
+        area1 = average_area_by_level(built.index).get(1, float("nan"))
+        lines.append(
+            f"{chooser:<14}{built.per_insert_ms:>12.3f}{batch.pct_data:>10.2f}"
+            f"{batch.cpu_ms:>10.2f}{batch.random_ios:>10.1f}{area1:>10.1f}"
+        )
+    report("ablation_choose_subtree", "\n".join(lines))
+    return outcome
+
+
+class TestChooseSubtreeAblation:
+    def test_same_quality(self, results):
+        """Query pruning within 1.5x of each other."""
+        enlargement = results["enlargement"][1].pct_data
+        overlap = results["overlap"][1].pct_data
+        assert enlargement <= overlap * 1.5
+        assert overlap <= enlargement * 1.5
+
+    def test_enlargement_much_cheaper_insertion(self, results):
+        """Paper: 'much lower insertion cost' for min enlargement."""
+        assert (
+            results["enlargement"][0].per_insert_ms
+            < results["overlap"][0].per_insert_ms
+        )
+
+
+def test_benchmark_enlargement_insert(benchmark):
+    from repro.data import QuestConfig, QuestGenerator
+    from repro.sgtree import SGTree
+
+    generator = QuestGenerator(
+        QuestConfig(n_transactions=0, avg_transaction_size=T_SIZE,
+                    avg_itemset_size=I_SIZE, n_items=1000, n_patterns=100)
+    )
+    tree = SGTree(1000, choose_policy="enlargement")
+    counter = iter(range(10**9))
+    benchmark(lambda: tree.insert(next(counter), generator.transaction().signature))

@@ -1,0 +1,104 @@
+"""Ablation — the Section-6 "domain properties / statistics" bounds.
+
+For categorical data where every signature has exactly ``d`` set bits,
+the paper proposes the stricter bound
+``dist(q, t) >= |q| + d − 2·min(|q ∩ sig|, d)`` instead of the generic
+``|q \\ sig|``.  This library implements it twice:
+
+* as a metric property (`HammingMetric(fixed_area=d)` — the paper's
+  exact proposal), and
+* as per-entry subtree area-range *statistics* maintained in directory
+  entries, which generalise the same bound to variable-size data and
+  specialise to it when min == max == d.
+
+The bench compares three configurations on CENSUS NN search: statistics
+stripped (the naked coverage bound), statistics on (the default), and
+the explicit fixed-area metric.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_common import cached_census, n_queries, report
+from repro.bench import build_tree, run_nn_batch
+
+D = 200_000
+
+
+def _strip_stats(tree) -> None:
+    for node in tree.nodes():
+        for entry in node.entries:
+            entry.min_area = None
+            entry.max_area = None
+        node.invalidate()
+
+
+@pytest.fixture(scope="module")
+def results():
+    workload = cached_census(D, n_queries())
+    outcome = {}
+
+    naked = build_tree(workload, use_fixed_area_bound=False)
+    _strip_stats(naked.index)
+    outcome["coverage only"] = run_nn_batch(
+        naked.index, workload, k=1, label="coverage only"
+    )
+
+    with_stats = build_tree(workload, use_fixed_area_bound=False)
+    outcome["entry area stats"] = run_nn_batch(
+        with_stats.index, workload, k=1, label="entry area stats"
+    )
+
+    fixed = build_tree(workload, use_fixed_area_bound=True)
+    outcome["fixed-dim metric"] = run_nn_batch(
+        fixed.index, workload, k=1, label="fixed-dim metric"
+    )
+
+    lines = ["Ablation: Section-6 statistics bounds (CENSUS NN)"]
+    lines.append(f"{'bound':<20}{'%data':>10}{'cpu ms':>10}{'IOs':>10}")
+    for label, batch in outcome.items():
+        lines.append(
+            f"{label:<20}{batch.pct_data:>10.2f}{batch.cpu_ms:>10.2f}"
+            f"{batch.random_ios:>10.1f}"
+        )
+    report("ablation_fixed_dim_bound", "\n".join(lines))
+    return outcome
+
+
+class TestFixedDimBoundAblation:
+    def test_same_answers(self, results):
+        base = results["coverage only"].per_query_distance
+        assert results["entry area stats"].per_query_distance == base
+        assert results["fixed-dim metric"].per_query_distance == base
+
+    def test_stricter_bounds_prune_more(self, results):
+        assert (
+            results["fixed-dim metric"].pct_data
+            < results["coverage only"].pct_data
+        )
+        assert (
+            results["entry area stats"].pct_data
+            < results["coverage only"].pct_data
+        )
+
+    def test_stats_generalise_fixed_dim(self, results):
+        """On fixed-width data the two mechanisms coincide: every entry's
+        area range is [36, 36], so the sharpened bound equals the
+        fixed-area bound."""
+        assert results["entry area stats"].pct_data == pytest.approx(
+            results["fixed-dim metric"].pct_data, rel=0.05
+        )
+
+    def test_fewer_ios(self, results):
+        assert (
+            results["fixed-dim metric"].random_ios
+            <= results["coverage only"].random_ios
+        )
+
+
+def test_benchmark_fixed_dim_nn(results, benchmark):
+    workload = cached_census(D, n_queries())
+    built = build_tree(workload, use_fixed_area_bound=True)
+    stream = iter(workload.queries * 1000)
+    benchmark(lambda: built.index.nearest(next(stream), k=1))

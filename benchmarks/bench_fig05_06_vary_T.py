@@ -1,0 +1,72 @@
+"""Figures 5 & 6 — NN search varying the transaction size T.
+
+``T ∈ {10, 15, 20, 25, 30}``, I=6, D=200K.  Figure 5 reports pruning
+(% of data) and CPU time; Figure 6 the random I/Os.
+
+Paper shape: with small T both indexes are comparable; as T grows the
+SG-tree starts to outperform the SG-table in pruning, and "especially
+the I/O cost difference is high for large values of T".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_common import cached_quest, cached_table, cached_tree, n_queries, report
+from repro.bench import format_series, run_nn_batch
+
+T_VALUES = [10, 15, 20, 25, 30]
+I_SIZE = 6
+D = 200_000
+
+
+@pytest.fixture(scope="module")
+def series():
+    queries = n_queries()
+    tree_batches, table_batches = [], []
+    for t in T_VALUES:
+        workload = cached_quest(t, I_SIZE, D, queries)
+        tree = cached_tree(t, I_SIZE, D, queries).index
+        table = cached_table(t, I_SIZE, D, queries).index
+        tree_batches.append(run_nn_batch(tree, workload, k=1, label="SG-tree"))
+        table_batches.append(run_nn_batch(table, workload, k=1, label="SG-table"))
+    text = format_series(
+        "Figures 5-6: NN search varying T (I=6, D=200K)",
+        "T",
+        T_VALUES,
+        {"SG-tree": tree_batches, "SG-table": table_batches},
+    )
+    report("fig05_06_vary_T", text)
+    return tree_batches, table_batches
+
+
+class TestFigure5Shape:
+    def test_cost_grows_with_T(self, series):
+        tree_batches, table_batches = series
+        assert tree_batches[-1].pct_data > tree_batches[0].pct_data
+        assert table_batches[-1].pct_data > table_batches[0].pct_data
+
+    def test_tree_prunes_at_least_as_well_at_large_T(self, series):
+        tree_batches, table_batches = series
+        assert tree_batches[-1].pct_data <= table_batches[-1].pct_data * 1.05
+
+    def test_exactness_agreement(self, series):
+        """Both methods are exact: identical NN distances per query."""
+        tree_batches, table_batches = series
+        for tree_batch, table_batch in zip(tree_batches, table_batches):
+            assert tree_batch.per_query_distance == table_batch.per_query_distance
+
+
+class TestFigure6Shape:
+    def test_tree_io_advantage_at_large_T(self, series):
+        """Figure 6: the I/O gap favours the tree at T=30."""
+        tree_batches, table_batches = series
+        assert tree_batches[-1].random_ios < table_batches[-1].random_ios * 1.6
+
+
+def test_benchmark_tree_nn_T30(series, benchmark):
+    queries = n_queries()
+    workload = cached_quest(30, I_SIZE, D, queries)
+    tree = cached_tree(30, I_SIZE, D, queries).index
+    stream = iter(workload.queries * 1000)
+    benchmark(lambda: tree.nearest(next(stream), k=1))

@@ -1,0 +1,74 @@
+"""Figures 7 & 8 — NN search varying the large-itemset size I.
+
+``I ∈ {6, 12, 18, 24}``, T=30, D=200K.  Growing I generates datasets
+whose transactions are better clustered (smaller average distance),
+which "favours both structures", and the relative performance of the
+SG-tree over the SG-table increases: "the SG-tree becomes significantly
+faster than the SG-table when both T and I are large".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_common import cached_quest, cached_table, cached_tree, n_queries, report
+from repro.bench import format_series, run_nn_batch
+
+I_VALUES = [6, 12, 18, 24]
+T_SIZE = 30
+D = 200_000
+
+
+@pytest.fixture(scope="module")
+def series():
+    queries = n_queries()
+    tree_batches, table_batches = [], []
+    for i in I_VALUES:
+        workload = cached_quest(T_SIZE, i, D, queries)
+        tree = cached_tree(T_SIZE, i, D, queries).index
+        table = cached_table(T_SIZE, i, D, queries).index
+        tree_batches.append(run_nn_batch(tree, workload, k=1, label="SG-tree"))
+        table_batches.append(run_nn_batch(table, workload, k=1, label="SG-table"))
+    text = format_series(
+        "Figures 7-8: NN search varying I (T=30, D=200K)",
+        "I",
+        I_VALUES,
+        {"SG-tree": tree_batches, "SG-table": table_batches},
+    )
+    report("fig07_08_vary_I", text)
+    return tree_batches, table_batches
+
+
+class TestFigure7Shape:
+    def test_clustering_helps_both(self, series):
+        """Larger I -> tighter clusters -> less data accessed (both)."""
+        tree_batches, table_batches = series
+        assert tree_batches[-1].pct_data < tree_batches[0].pct_data
+        assert table_batches[-1].pct_data < table_batches[0].pct_data
+
+    def test_tree_wins_when_T_and_I_large(self, series):
+        """Paper: the SG-tree is significantly faster at I >= 18."""
+        tree_batches, table_batches = series
+        for row in (2, 3):  # I = 18, 24
+            assert tree_batches[row].pct_data < table_batches[row].pct_data
+
+    def test_relative_gap_grows_with_I(self, series):
+        tree_batches, table_batches = series
+        def ratio(row):
+            return table_batches[row].pct_data / max(tree_batches[row].pct_data, 1e-9)
+        assert ratio(3) > ratio(0)
+
+
+class TestFigure8Shape:
+    def test_tree_fewer_ios_at_large_I(self, series):
+        tree_batches, table_batches = series
+        for row in (2, 3):
+            assert tree_batches[row].random_ios < table_batches[row].random_ios
+
+
+def test_benchmark_tree_nn_I24(series, benchmark):
+    queries = n_queries()
+    workload = cached_quest(T_SIZE, 24, D, queries)
+    tree = cached_tree(T_SIZE, 24, D, queries).index
+    stream = iter(workload.queries * 1000)
+    benchmark(lambda: tree.nearest(next(stream), k=1))

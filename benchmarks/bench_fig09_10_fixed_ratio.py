@@ -1,0 +1,73 @@
+"""Figures 9 & 10 — robustness to dimensionality at fixed skew I/T = 0.6.
+
+``(T, I) ∈ {(10,6), (20,12), (30,18), (40,24), (50,30)}``, D=200K.  The
+rationale: "test the robustness of the indexing methods to the
+dimensionality of the problem when the data skew remains constant".
+
+Paper shape: "the SG-tree is robust to the transaction size, whereas the
+SG-table fails to index well large transactions even if they contain
+well-clustered data".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_common import cached_quest, cached_table, cached_tree, n_queries, report
+from repro.bench import format_series, run_nn_batch
+
+PAIRS = [(10, 6), (20, 12), (30, 18), (40, 24), (50, 30)]
+D = 200_000
+
+
+@pytest.fixture(scope="module")
+def series():
+    queries = n_queries()
+    tree_batches, table_batches = [], []
+    for t, i in PAIRS:
+        workload = cached_quest(t, i, D, queries)
+        tree = cached_tree(t, i, D, queries).index
+        table = cached_table(t, i, D, queries).index
+        tree_batches.append(run_nn_batch(tree, workload, k=1, label="SG-tree"))
+        table_batches.append(run_nn_batch(table, workload, k=1, label="SG-table"))
+    text = format_series(
+        "Figures 9-10: NN search at fixed I/T = 0.6 (D=200K)",
+        "T,I",
+        [f"T{t}.I{i}" for t, i in PAIRS],
+        {"SG-tree": tree_batches, "SG-table": table_batches},
+    )
+    report("fig09_10_fixed_ratio", text)
+    return tree_batches, table_batches
+
+
+class TestFigure9Shape:
+    def test_tree_stays_bounded(self, series):
+        """The tree's pruning must not blow up as T grows at fixed skew."""
+        tree_batches, _ = series
+        assert max(b.pct_data for b in tree_batches) < 40.0
+
+    def test_table_degrades_relative_to_tree(self, series):
+        tree_batches, table_batches = series
+
+        def ratio(row):
+            return table_batches[row].pct_data / max(tree_batches[row].pct_data, 1e-9)
+
+        assert ratio(len(PAIRS) - 1) > ratio(0)
+
+    def test_tree_beats_table_at_t50(self, series):
+        tree_batches, table_batches = series
+        assert tree_batches[-1].pct_data < table_batches[-1].pct_data
+
+
+class TestFigure10Shape:
+    def test_tree_fewer_ios_at_t50(self, series):
+        tree_batches, table_batches = series
+        assert tree_batches[-1].random_ios < table_batches[-1].random_ios
+
+
+def test_benchmark_tree_nn_T50(series, benchmark):
+    queries = n_queries()
+    workload = cached_quest(50, 30, D, queries)
+    tree = cached_tree(50, 30, D, queries).index
+    stream = iter(workload.queries * 1000)
+    benchmark(lambda: tree.nearest(next(stream), k=1))

@@ -1,0 +1,68 @@
+"""Figure 11 — scalability to the database cardinality D.
+
+``D ∈ {100K, 200K, 300K, 400K, 500K}``, T=10, I=6 (parameter values for
+which the SG-table performs well).
+
+Paper shape: "the relative pruning efficiency of the SG-tree increases
+with the database size".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_common import cached_quest, cached_table, cached_tree, n_queries, report
+from repro.bench import format_series, run_nn_batch
+
+D_VALUES = [100_000, 200_000, 300_000, 400_000, 500_000]
+T_SIZE, I_SIZE = 10, 6
+
+
+@pytest.fixture(scope="module")
+def series():
+    queries = n_queries()
+    tree_batches, table_batches = [], []
+    for d in D_VALUES:
+        workload = cached_quest(T_SIZE, I_SIZE, d, queries)
+        tree = cached_tree(T_SIZE, I_SIZE, d, queries).index
+        table = cached_table(T_SIZE, I_SIZE, d, queries).index
+        tree_batches.append(run_nn_batch(tree, workload, k=1, label="SG-tree"))
+        table_batches.append(run_nn_batch(table, workload, k=1, label="SG-table"))
+    text = format_series(
+        "Figure 11: NN search varying D (T=10, I=6)",
+        "D",
+        D_VALUES,
+        {"SG-tree": tree_batches, "SG-table": table_batches},
+    )
+    report("fig11_vary_D", text)
+    return tree_batches, table_batches
+
+
+class TestFigure11Shape:
+    def test_relative_pruning_improves_with_D(self, series):
+        """table/tree %data ratio grows (or at least doesn't shrink much)
+        from the smallest to the largest cardinality."""
+        tree_batches, table_batches = series
+
+        def ratio(row):
+            return table_batches[row].pct_data / max(tree_batches[row].pct_data, 1e-9)
+
+        assert ratio(len(D_VALUES) - 1) >= ratio(0) * 0.9
+
+    def test_pct_data_decreases_with_D(self, series):
+        """Denser data -> closer neighbours -> relatively less data read."""
+        tree_batches, _ = series
+        assert tree_batches[-1].pct_data <= tree_batches[0].pct_data
+
+    def test_exactness_agreement(self, series):
+        tree_batches, table_batches = series
+        for tree_batch, table_batch in zip(tree_batches, table_batches):
+            assert tree_batch.per_query_distance == table_batch.per_query_distance
+
+
+def test_benchmark_tree_nn_largest_D(series, benchmark):
+    queries = n_queries()
+    workload = cached_quest(T_SIZE, I_SIZE, D_VALUES[-1], queries)
+    tree = cached_tree(T_SIZE, I_SIZE, D_VALUES[-1], queries).index
+    stream = iter(workload.queries * 1000)
+    benchmark(lambda: tree.nearest(next(stream), k=1))

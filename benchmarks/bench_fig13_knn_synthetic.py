@@ -1,0 +1,107 @@
+"""Figure 13 — k-NN queries varying k on T30.I18.D200K.
+
+``k ∈ {1, 10, 100, 1000, 10000}`` (scaled with the dataset).
+
+Paper shape: for small to medium k the SG-tree is significantly faster
+than the SG-table; at very large k (a sizable fraction of the database)
+"the fraction of the data that need to be visited becomes too large for
+the indexes to be useful" — both degrade towards a full scan, the tree
+at a smaller pace.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_common import cached_quest, cached_table, cached_tree, n_queries, report
+from repro.bench import format_series, run_nn_batch
+from repro.data import scaled
+
+T_SIZE, I_SIZE, D = 30, 18, 200_000
+K_PAPER = [1, 10, 100, 1000, 10_000]
+
+
+@pytest.fixture(scope="module")
+def series():
+    queries = n_queries()
+    workload = cached_quest(T_SIZE, I_SIZE, D, queries)
+    tree = cached_tree(T_SIZE, I_SIZE, D, queries).index
+    table = cached_table(T_SIZE, I_SIZE, D, queries).index
+    k_values = sorted({scaled(k) for k in K_PAPER})
+    tree_batches, table_batches = [], []
+    for k in k_values:
+        tree_batches.append(run_nn_batch(tree, workload, k=k, label="SG-tree"))
+        table_batches.append(run_nn_batch(table, workload, k=k, label="SG-table"))
+    # Dimensionality-curse note (paper: at the largest k "the average
+    # distance of the kth neighbour is very large [31.81] and very close
+    # to the average distance of all transactions").
+    import numpy as np
+
+    from repro import HAMMING
+
+    rng = np.random.default_rng(0)
+    sample_pairs = []
+    n = len(workload.transactions)
+    for _ in range(300):
+        a, b = rng.integers(n), rng.integers(n)
+        sample_pairs.append(
+            HAMMING.distance(
+                workload.transactions[int(a)].signature,
+                workload.transactions[int(b)].signature,
+            )
+        )
+    mean_pairwise = float(np.mean(sample_pairs))
+    kth_distance = tree_batches[-1].mean_distance
+    text = format_series(
+        "Figure 13: k-NN varying k (T30.I18.D200K)",
+        "k",
+        k_values,
+        {"SG-tree": tree_batches, "SG-table": table_batches},
+    )
+    text += (
+        f"\navg distance of the k={k_values[-1]} neighbour: "
+        f"{kth_distance:.2f} (avg random-pair distance: {mean_pairwise:.2f})"
+    )
+    report("fig13_knn_synthetic", text)
+    return k_values, tree_batches, table_batches, kth_distance, mean_pairwise
+
+
+class TestFigure13Shape:
+    def test_cost_monotone_in_k(self, series):
+        _, tree_batches, table_batches, _, _ = series
+        for batches in (tree_batches, table_batches):
+            pct = [b.pct_data for b in batches]
+            assert pct == sorted(pct)
+
+    def test_tree_wins_small_and_medium_k(self, series):
+        k_values, tree_batches, table_batches, _, _ = series
+        for row, k in enumerate(k_values):
+            if k <= scaled(100):
+                assert tree_batches[row].pct_data <= table_batches[row].pct_data
+
+    def test_both_degrade_at_huge_k(self, series):
+        """At k ~ 5% of D both visit a large share of the database."""
+        _, tree_batches, table_batches, _, _ = series
+        assert tree_batches[-1].pct_data > 3 * tree_batches[0].pct_data
+
+    def test_dimensionality_curse_observation(self, series):
+        """Paper: the distance of the kth neighbour at large k nears the
+        average distance between arbitrary transactions."""
+        _, _, _, kth_distance, mean_pairwise = series
+        assert kth_distance > 0.4 * mean_pairwise
+
+    def test_exactness_agreement(self, series):
+        _, tree_batches, table_batches, _, _ = series
+        for tree_batch, table_batch in zip(tree_batches, table_batches):
+            assert tree_batch.per_query_distance == pytest.approx(
+                table_batch.per_query_distance
+            )
+
+
+def test_benchmark_tree_knn100(series, benchmark):
+    queries = n_queries()
+    workload = cached_quest(T_SIZE, I_SIZE, D, queries)
+    tree = cached_tree(T_SIZE, I_SIZE, D, queries).index
+    k = scaled(100)
+    stream = iter(workload.queries * 1000)
+    benchmark(lambda: tree.nearest(next(stream), k=k))

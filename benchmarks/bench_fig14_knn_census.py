@@ -1,0 +1,70 @@
+"""Figure 14 — k-NN queries varying k on CENSUS.
+
+Paper shape: for small to medium k the SG-tree is significantly faster
+than the SG-table; on the real (categorical, high-dimensional) dataset
+the gap is even wider than on synthetic data, and the tree "is less
+sensitive to the dimensionality-curse effect since its performance
+degenerates at a smaller pace".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_common import cached_census, cached_census_table, cached_census_tree, n_queries, report
+from repro.bench import format_series, run_nn_batch
+from repro.data import scaled
+
+D = 200_000
+K_PAPER = [1, 10, 100, 1000, 10_000]
+
+
+@pytest.fixture(scope="module")
+def series():
+    queries = n_queries()
+    workload = cached_census(D, queries)
+    tree = cached_census_tree(D, queries).index
+    table = cached_census_table(D, queries).index
+    k_values = sorted({scaled(k) for k in K_PAPER})
+    tree_batches, table_batches = [], []
+    for k in k_values:
+        tree_batches.append(run_nn_batch(tree, workload, k=k, label="SG-tree"))
+        table_batches.append(run_nn_batch(table, workload, k=k, label="SG-table"))
+    text = format_series(
+        "Figure 14: k-NN varying k (CENSUS)",
+        "k",
+        k_values,
+        {"SG-tree": tree_batches, "SG-table": table_batches},
+    )
+    report("fig14_knn_census", text)
+    return k_values, tree_batches, table_batches
+
+
+class TestFigure14Shape:
+    def test_cost_monotone_in_k(self, series):
+        _, tree_batches, table_batches = series
+        pct = [b.pct_data for b in tree_batches]
+        assert pct == sorted(pct)
+
+    def test_tree_wins_across_k(self, series):
+        """Paper: on the real dataset the difference is large in favour
+        of the tree for small-to-medium k."""
+        k_values, tree_batches, table_batches = series
+        for row, k in enumerate(k_values):
+            if k <= scaled(1000):
+                assert tree_batches[row].pct_data < table_batches[row].pct_data
+
+    def test_exactness_agreement(self, series):
+        _, tree_batches, table_batches = series
+        for tree_batch, table_batch in zip(tree_batches, table_batches):
+            assert tree_batch.per_query_distance == pytest.approx(
+                table_batch.per_query_distance
+            )
+
+
+def test_benchmark_census_knn10(series, benchmark):
+    queries = n_queries()
+    workload = cached_census(D, queries)
+    tree = cached_census_tree(D, queries).index
+    stream = iter(workload.queries * 1000)
+    benchmark(lambda: tree.nearest(next(stream), k=10))

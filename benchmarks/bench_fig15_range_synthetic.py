@@ -1,0 +1,65 @@
+"""Figure 15 — similarity range queries varying ε on T30.I18.D200K.
+
+``ε ∈ {2, 4, 6, 8, 10}``.  Paper shape: for ε=10 the SG-table
+outperforms the SG-tree on the synthetic dataset; in all other cases the
+tree is much faster.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_common import cached_quest, cached_table, cached_tree, n_queries, report
+from repro.bench import format_series, run_range_batch
+
+T_SIZE, I_SIZE, D = 30, 18, 200_000
+EPSILONS = [2, 4, 6, 8, 10]
+
+
+@pytest.fixture(scope="module")
+def series():
+    queries = n_queries()
+    workload = cached_quest(T_SIZE, I_SIZE, D, queries)
+    tree = cached_tree(T_SIZE, I_SIZE, D, queries).index
+    table = cached_table(T_SIZE, I_SIZE, D, queries).index
+    tree_batches, table_batches = [], []
+    for epsilon in EPSILONS:
+        tree_batches.append(
+            run_range_batch(tree, workload, epsilon, label="SG-tree")
+        )
+        table_batches.append(
+            run_range_batch(table, workload, epsilon, label="SG-table")
+        )
+    text = format_series(
+        "Figure 15: range queries varying epsilon (T30.I18.D200K)",
+        "epsilon",
+        EPSILONS,
+        {"SG-tree": tree_batches, "SG-table": table_batches},
+    )
+    report("fig15_range_synthetic", text)
+    return tree_batches, table_batches
+
+
+class TestFigure15Shape:
+    def test_cost_monotone_in_epsilon(self, series):
+        tree_batches, table_batches = series
+        for batches in (tree_batches, table_batches):
+            pct = [b.pct_data for b in batches]
+            assert pct == sorted(pct)
+
+    def test_tree_faster_at_small_epsilon(self, series):
+        tree_batches, table_batches = series
+        for row in (0, 1, 2):  # epsilon = 2, 4, 6
+            assert tree_batches[row].pct_data <= table_batches[row].pct_data
+
+    def test_selective_queries_prune_hard(self, series):
+        tree_batches, _ = series
+        assert tree_batches[0].pct_data < 50.0
+
+
+def test_benchmark_tree_range4(series, benchmark):
+    queries = n_queries()
+    workload = cached_quest(T_SIZE, I_SIZE, D, queries)
+    tree = cached_tree(T_SIZE, I_SIZE, D, queries).index
+    stream = iter(workload.queries * 1000)
+    benchmark(lambda: tree.range_query(next(stream), 4))

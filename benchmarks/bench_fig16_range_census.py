@@ -1,0 +1,62 @@
+"""Figure 16 — similarity range queries varying ε on CENSUS.
+
+Paper shape: on the real dataset the performance difference is "quite
+large in favour of the tree" across the whole ε sweep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_common import cached_census, cached_census_table, cached_census_tree, n_queries, report
+from repro.bench import format_series, run_range_batch
+
+D = 200_000
+EPSILONS = [2, 4, 6, 8, 10]
+
+
+@pytest.fixture(scope="module")
+def series():
+    queries = n_queries()
+    workload = cached_census(D, queries)
+    tree = cached_census_tree(D, queries).index
+    table = cached_census_table(D, queries).index
+    tree_batches, table_batches = [], []
+    for epsilon in EPSILONS:
+        tree_batches.append(run_range_batch(tree, workload, epsilon, label="SG-tree"))
+        table_batches.append(run_range_batch(table, workload, epsilon, label="SG-table"))
+    text = format_series(
+        "Figure 16: range queries varying epsilon (CENSUS)",
+        "epsilon",
+        EPSILONS,
+        {"SG-tree": tree_batches, "SG-table": table_batches},
+    )
+    report("fig16_range_census", text)
+    return tree_batches, table_batches
+
+
+class TestFigure16Shape:
+    def test_cost_monotone_in_epsilon(self, series):
+        tree_batches, table_batches = series
+        for batches in (tree_batches, table_batches):
+            pct = [b.pct_data for b in batches]
+            assert pct == sorted(pct)
+
+    def test_tree_wins_across_sweep(self, series):
+        tree_batches, table_batches = series
+        for tree_batch, table_batch in zip(tree_batches, table_batches):
+            assert tree_batch.pct_data < table_batch.pct_data
+
+    def test_gap_is_large_on_real_data(self, series):
+        """Paper: "quite large in favour of the tree" — at least 1.5x on
+        the most selective point."""
+        tree_batches, table_batches = series
+        assert table_batches[0].pct_data > 1.5 * tree_batches[0].pct_data
+
+
+def test_benchmark_census_range4(series, benchmark):
+    queries = n_queries()
+    workload = cached_census(D, queries)
+    tree = cached_census_tree(D, queries).index
+    stream = iter(workload.queries * 1000)
+    benchmark(lambda: tree.range_query(next(stream), 4))

@@ -1,0 +1,76 @@
+"""Micro-benchmarks of the performance-critical kernels.
+
+Not a paper figure — a performance-regression suite for the numpy
+bit-kernel layer the whole reproduction stands on (the repro note:
+"bit-level ops slow without numpy tricks").  Each benchmark covers one
+hot path: packed popcounts, matrix Hamming, node-matrix bound
+evaluation, signature packing, tree insertion and a full k-NN query.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from bench_common import cached_quest, cached_tree, n_queries
+from repro import HAMMING, Signature
+from repro.core import bitops
+
+N_BITS = 1000
+N_ROWS = 4096
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    rng = np.random.default_rng(0)
+    rows = []
+    for _ in range(N_ROWS):
+        items = rng.choice(N_BITS, size=12, replace=False)
+        rows.append(bitops.pack(items.tolist(), N_BITS))
+    return np.stack(rows)
+
+
+@pytest.fixture(scope="module")
+def query():
+    rng = np.random.default_rng(1)
+    return Signature.from_items(rng.choice(N_BITS, size=12, replace=False).tolist(), N_BITS)
+
+
+def test_benchmark_popcount_matrix(benchmark, matrix):
+    result = benchmark(lambda: bitops.popcount(matrix))
+    assert result.shape == (N_ROWS,)
+
+
+def test_benchmark_hamming_matrix(benchmark, matrix, query):
+    result = benchmark(lambda: bitops.hamming(matrix, query.words))
+    assert result.shape == (N_ROWS,)
+
+
+def test_benchmark_lower_bound_many(benchmark, matrix, query):
+    result = benchmark(lambda: HAMMING.lower_bound_many(query, matrix))
+    assert result.shape == (N_ROWS,)
+
+
+def test_benchmark_union_all(benchmark, matrix):
+    result = benchmark(lambda: bitops.union_all(matrix))
+    assert bitops.popcount(result) > 0
+
+
+def test_benchmark_pack(benchmark):
+    items = list(range(0, N_BITS, 7))
+    result = benchmark(lambda: bitops.pack(items, N_BITS))
+    assert bitops.popcount(result) == len(items)
+
+
+def test_benchmark_pairwise_hamming_64(benchmark, matrix):
+    small = matrix[:64]
+    result = benchmark(lambda: bitops.pairwise_hamming(small))
+    assert result.shape == (64, 64)
+
+
+def test_benchmark_full_knn_query(benchmark):
+    queries = n_queries()
+    workload = cached_quest(10, 6, 200_000, queries)
+    tree = cached_tree(10, 6, 200_000, queries).index
+    stream = iter(workload.queries * 1000)
+    benchmark(lambda: tree.nearest(next(stream), k=1))

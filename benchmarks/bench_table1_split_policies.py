@@ -1,0 +1,78 @@
+"""Table 1 — comparison of the three split policies on CENSUS.
+
+Paper rows: average entry area at levels 1–3, insertion cost (msec),
+% of data accessed, CPU time (msec) and I/Os for 100 NN queries, for the
+``qsplit``, ``gasplit`` and ``minsplit`` trees.
+
+Paper shape to reproduce: the hierarchical-clustering policies build
+much better trees than ``qsplit`` (smaller areas, better pruning, fewer
+I/Os) while ``qsplit`` has the lowest insertion cost; ``gasplit`` is
+adopted as the default.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_common import cached_census, n_queries, report
+from repro.bench import build_tree, format_table1, run_nn_batch
+from repro.sgtree import average_area_by_level, validate_tree
+
+POLICIES = ["qsplit", "gasplit", "minsplit"]
+D = 200_000
+
+
+@pytest.fixture(scope="module")
+def results():
+    workload = cached_census(D, n_queries())
+    outcome = {}
+    for policy in POLICIES:
+        built = build_tree(workload, use_fixed_area_bound=True, split_policy=policy)
+        validate_tree(built.index)
+        batch = run_nn_batch(built.index, workload, k=1, label=policy)
+        outcome[policy] = (built, batch, average_area_by_level(built.index))
+    rows: dict[str, dict[str, float]] = {}
+    max_level = max(max(areas) for _, _, areas in outcome.values())
+    for level in range(1, max_level + 1):
+        rows[f"average area at level {level}"] = {
+            p: outcome[p][2].get(level, float("nan")) for p in POLICIES
+        }
+    rows["insertion cost (msec)"] = {p: outcome[p][0].per_insert_ms for p in POLICIES}
+    rows["% of data accessed"] = {p: outcome[p][1].pct_data for p in POLICIES}
+    rows["CPU time (msec)"] = {p: outcome[p][1].cpu_ms for p in POLICIES}
+    rows["random I/Os"] = {p: outcome[p][1].random_ios for p in POLICIES}
+    report("table1_split_policies", format_table1(rows, POLICIES))
+    return outcome
+
+
+class TestTable1Shape:
+    def test_hierarchical_policies_build_tighter_level1(self, results):
+        """Paper: level-1 areas 90 (qsplit) vs 73/74 (ga/min)."""
+        areas = {p: results[p][2][1] for p in POLICIES}
+        assert areas["gasplit"] < areas["qsplit"]
+        assert areas["minsplit"] < areas["qsplit"]
+
+    def test_hierarchical_policies_prune_better(self, results):
+        """Paper: 15.79% (qsplit) vs 4.78/5.72% data accessed."""
+        pct = {p: results[p][1].pct_data for p in POLICIES}
+        assert pct["gasplit"] < pct["qsplit"]
+        assert pct["minsplit"] < pct["qsplit"]
+
+    def test_hierarchical_policies_fewer_ios(self, results):
+        """Paper: 862 vs 266/323 I/Os."""
+        ios = {p: results[p][1].random_ios for p in POLICIES}
+        assert ios["gasplit"] < ios["qsplit"]
+        assert ios["minsplit"] < ios["qsplit"]
+
+    def test_qsplit_cheapest_insertion(self, results):
+        """Paper: 0.331 vs 0.655/0.645 msec per insertion."""
+        cost = {p: results[p][0].per_insert_ms for p in POLICIES}
+        assert cost["qsplit"] < cost["gasplit"]
+        assert cost["qsplit"] < cost["minsplit"]
+
+
+def test_benchmark_gasplit_census_nn(results, benchmark):
+    workload = cached_census(D, n_queries())
+    tree = results["gasplit"][0].index
+    queries = iter(workload.queries * 1000)
+    benchmark(lambda: tree.nearest(next(queries), k=1))

@@ -1,0 +1,12 @@
+"""Pytest hook point for the benchmark suite.
+
+Keeps the benchmarks directory importable (``import bench_common``) no
+matter where pytest is invoked from.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))

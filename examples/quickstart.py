@@ -1,0 +1,80 @@
+"""Quickstart: index a handful of market baskets and query them.
+
+Run with::
+
+    python examples/quickstart.py
+
+Covers the one-minute tour of the public API: encode labelled baskets
+through a vocabulary, build an SG-tree, and run every query type the
+paper discusses — nearest neighbour, k-NN, similarity range, containment
+and subset queries.
+"""
+
+from __future__ import annotations
+
+from repro import ItemVocabulary, SGTree, transactions_from_labels
+
+BASKETS = [
+    ["milk", "bread", "butter"],
+    ["milk", "bread", "eggs"],
+    ["beer", "chips", "salsa"],
+    ["beer", "chips", "dip", "salsa"],
+    ["milk", "cereal"],
+    ["bread", "butter", "jam"],
+    ["wine", "cheese", "bread"],
+    ["wine", "cheese", "grapes"],
+    ["coffee", "milk", "sugar"],
+    ["tea", "milk", "honey"],
+]
+
+N_BITS = 64  # item-universe capacity; vocabularies grow into it
+
+
+def main() -> None:
+    vocabulary = ItemVocabulary()
+    transactions = transactions_from_labels(BASKETS, vocabulary, n_bits=N_BITS)
+
+    tree = SGTree(n_bits=N_BITS, max_entries=4)
+    tree.insert_many(transactions)
+    print(f"indexed {len(tree)} baskets; tree height {tree.height}")
+
+    # --- nearest neighbour -------------------------------------------------
+    query = vocabulary.encode(["milk", "bread", "jam"], n_bits=N_BITS)
+    (nearest,) = tree.nearest(query, k=1)
+    print(
+        f"\nnearest to {{milk, bread, jam}}: basket #{nearest.tid} "
+        f"{BASKETS[nearest.tid]} at Hamming distance {nearest.distance:g}"
+    )
+
+    # --- k nearest neighbours ----------------------------------------------
+    print("\ntop-3 similar baskets:")
+    for hit in tree.nearest(query, k=3):
+        print(f"  #{hit.tid} {BASKETS[hit.tid]} (distance {hit.distance:g})")
+
+    # --- similarity range ---------------------------------------------------
+    print("\nbaskets within Hamming distance 3:")
+    for hit in tree.range_query(query, epsilon=3):
+        print(f"  #{hit.tid} {BASKETS[hit.tid]} (distance {hit.distance:g})")
+
+    # --- containment (superset) query ---------------------------------------
+    wanted = vocabulary.encode(["milk", "bread"], n_bits=N_BITS)
+    tids = tree.containment_query(wanted)
+    print(f"\nbaskets containing both milk and bread: {tids}")
+
+    # --- subset query ---------------------------------------------------------
+    pantry = vocabulary.encode(
+        ["milk", "bread", "butter", "eggs", "cereal"], n_bits=N_BITS
+    )
+    tids = tree.subset_query(pantry)
+    print(f"baskets fully coverable from the pantry: {tids}")
+
+    # --- Jaccard metric (Section 6 extension) ---------------------------------
+    (jaccard_hit,) = tree.nearest(query, k=1, metric="jaccard")
+    print(
+        f"\nnearest by Jaccard: basket #{jaccard_hit.tid} "
+        f"(distance {jaccard_hit.distance:.3f})"
+    )
+
+
+if __name__ == "__main__":
+    main()

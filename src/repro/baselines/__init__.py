@@ -1,0 +1,6 @@
+"""Reference baselines: sequential scan and inverted index."""
+
+from .inverted import InvertedIndex
+from .linear_scan import LinearScan
+
+__all__ = ["LinearScan", "InvertedIndex"]

@@ -1,0 +1,122 @@
+"""Sequential-scan baseline: exact answers with zero index structure.
+
+Ground truth for every search correctness test, and the "no index"
+reference point of the benchmarks.  The whole collection is stacked into
+one signature matrix, so each query is a single vectorised pass.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from ..core import bitops
+from ..core.distance import HAMMING, Metric, resolve_metric
+from ..core.signature import Signature
+from ..core.transaction import Transaction
+from ..sgtree.search import Neighbor
+
+__all__ = ["LinearScan"]
+
+
+class LinearScan:
+    """An exact, index-free searcher over a transaction collection."""
+
+    def __init__(
+        self,
+        transactions: Iterable[Transaction] = (),
+        n_bits: int | None = None,
+        metric: Metric | str = HAMMING,
+    ):
+        self.metric = resolve_metric(metric)
+        self._tids: list[int] = []
+        self._signatures: list[Signature] = []
+        self._matrix: np.ndarray | None = None
+        self.n_bits = n_bits
+        for transaction in transactions:
+            self.insert(transaction)
+
+    def insert(self, transaction: Transaction) -> None:
+        """Add one transaction."""
+        if self.n_bits is None:
+            self.n_bits = transaction.signature.n_bits
+        elif transaction.signature.n_bits != self.n_bits:
+            raise ValueError(
+                f"signature has {transaction.signature.n_bits} bits, "
+                f"scan indexes {self.n_bits}"
+            )
+        self._tids.append(transaction.tid)
+        self._signatures.append(transaction.signature)
+        self._matrix = None
+
+    def delete(self, tid: int) -> bool:
+        """Remove one transaction by tid; returns whether it was found."""
+        try:
+            index = self._tids.index(tid)
+        except ValueError:
+            return False
+        del self._tids[index]
+        del self._signatures[index]
+        self._matrix = None
+        return True
+
+    def __len__(self) -> int:
+        return len(self._tids)
+
+    def _stack(self) -> np.ndarray:
+        if self._matrix is None:
+            self._matrix = np.stack([sig.words for sig in self._signatures])
+        return self._matrix
+
+    def nearest(
+        self, query: Signature, k: int = 1, metric: Metric | str | None = None
+    ) -> list[Neighbor]:
+        """The exact k nearest transactions (ties broken by distance, tid)."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if not self._tids:
+            return []
+        metric = self.metric if metric is None else resolve_metric(metric)
+        distances = metric.distance_many(query, self._stack())
+        hits = sorted(
+            (float(distances[i]), tid) for i, tid in enumerate(self._tids)
+        )
+        return [Neighbor(d, tid) for d, tid in hits[:k]]
+
+    def range_query(
+        self, query: Signature, epsilon: float, metric: Metric | str | None = None
+    ) -> list[Neighbor]:
+        """All transactions within ``epsilon`` of the query."""
+        if epsilon < 0:
+            raise ValueError(f"epsilon must be non-negative, got {epsilon}")
+        if not self._tids:
+            return []
+        metric = self.metric if metric is None else resolve_metric(metric)
+        distances = metric.distance_many(query, self._stack())
+        return sorted(
+            Neighbor(float(distances[i]), tid)
+            for i, tid in enumerate(self._tids)
+            if distances[i] <= epsilon
+        )
+
+    def containment_query(self, query: Signature) -> list[int]:
+        """Tids of transactions containing every item of the query."""
+        if not self._tids:
+            return []
+        covered = bitops.contains(self._stack(), query.words)
+        return sorted(tid for i, tid in enumerate(self._tids) if covered[i])
+
+    def subset_query(self, query: Signature) -> list[int]:
+        """Tids of transactions that are subsets of the query."""
+        if not self._tids:
+            return []
+        is_subset = bitops.contains(query.words, self._stack())
+        return sorted(tid for i, tid in enumerate(self._tids) if is_subset[i])
+
+    def equality_query(self, query: Signature) -> list[int]:
+        """Tids of transactions with exactly the query signature."""
+        if not self._tids:
+            return []
+        matches = bitops.equal(self._stack(), query.words)
+        return sorted(tid for i, tid in enumerate(self._tids) if matches[i])

@@ -1,0 +1,27 @@
+"""Benchmark harness: builders, query runners, metrics, reporting."""
+
+from .harness import (
+    TABLE_DEFAULTS,
+    TREE_DEFAULTS,
+    BuildResult,
+    build_table,
+    build_tree,
+    run_nn_batch,
+    run_range_batch,
+)
+from .metrics import QueryBatchResult
+from .reporting import format_series, format_table1, print_series
+
+__all__ = [
+    "BuildResult",
+    "build_tree",
+    "build_table",
+    "run_nn_batch",
+    "run_range_batch",
+    "TREE_DEFAULTS",
+    "TABLE_DEFAULTS",
+    "QueryBatchResult",
+    "format_series",
+    "format_table1",
+    "print_series",
+]

@@ -1,0 +1,150 @@
+"""Experiment harness: build both indexes, run query batches, average.
+
+Each benchmark file composes two steps:
+
+1. :func:`build_tree` / :func:`build_table` construct the competing
+   indexes over a :class:`~repro.data.workload.Workload`, with the
+   tree's buffer sized the way the paper sizes the table's memory; and
+2. :func:`run_nn_batch` / :func:`run_range_batch` execute the query batch
+   against either index, clearing the buffer between queries (the
+   paper's random-I/O numbers are per cold query), and return a
+   :class:`~repro.bench.metrics.QueryBatchResult` per index.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..core.distance import HAMMING, HammingMetric, Metric
+from ..data.workload import Workload
+from ..sgtable.table import SGTable
+from ..sgtree.search import SearchStats
+from ..sgtree.tree import SGTree
+from .metrics import QueryBatchResult
+
+__all__ = [
+    "BuildResult",
+    "build_tree",
+    "build_table",
+    "run_nn_batch",
+    "run_range_batch",
+    "TREE_DEFAULTS",
+    "TABLE_DEFAULTS",
+]
+
+TREE_DEFAULTS = dict(
+    page_size=8192,
+    frames=64,
+    split_policy="gasplit",
+    choose_policy="enlargement",
+)
+
+TABLE_DEFAULTS = dict(
+    n_groups=10,
+    activation_threshold=2,
+    critical_mass=0.2,
+    page_size=8192,
+)
+
+
+@dataclass
+class BuildResult:
+    """A built index plus its construction cost."""
+
+    index: "SGTree | SGTable"
+    build_seconds: float
+
+    @property
+    def per_insert_ms(self) -> float:
+        size = len(self.index)
+        if not size:
+            return 0.0
+        return 1000.0 * self.build_seconds / size
+
+
+def build_tree(
+    workload: Workload,
+    metric: Metric | None = None,
+    use_fixed_area_bound: bool = False,
+    **overrides: object,
+) -> BuildResult:
+    """Insert the workload one-by-one into a fresh SG-tree."""
+    if metric is None:
+        metric = (
+            HammingMetric(fixed_area=workload.fixed_area)
+            if use_fixed_area_bound and workload.fixed_area
+            else HAMMING
+        )
+    params = {**TREE_DEFAULTS, **overrides}
+    tree = SGTree(workload.n_bits, metric=metric, **params)
+    start = time.perf_counter()
+    for transaction in workload.transactions:
+        tree.insert(transaction)
+    elapsed = time.perf_counter() - start
+    return BuildResult(index=tree, build_seconds=elapsed)
+
+
+def build_table(workload: Workload, **overrides: object) -> BuildResult:
+    """Build an SG-table over the workload."""
+    params = {**TABLE_DEFAULTS, **overrides}
+    start = time.perf_counter()
+    table = SGTable(workload.transactions, workload.n_bits, **params)
+    elapsed = time.perf_counter() - start
+    return BuildResult(index=table, build_seconds=elapsed)
+
+
+def _cold(index: "SGTree | SGTable") -> None:
+    if isinstance(index, SGTree):
+        index.store.clear_cache()
+
+
+def run_nn_batch(
+    index: "SGTree | SGTable",
+    workload: Workload,
+    k: int = 1,
+    label: str | None = None,
+    algorithm: str = "depth-first",
+    cold_buffer: bool = True,
+) -> QueryBatchResult:
+    """Run the workload's query batch as k-NN searches."""
+    result = QueryBatchResult(
+        label=label or type(index).__name__,
+        database_size=len(workload.transactions),
+    )
+    for query in workload.queries:
+        if cold_buffer:
+            _cold(index)
+        stats = SearchStats()
+        start = time.perf_counter()
+        if isinstance(index, SGTree):
+            hits = index.nearest(query, k=k, algorithm=algorithm, stats=stats)
+        else:
+            hits = index.nearest(query, k=k, stats=stats)
+        elapsed = time.perf_counter() - start
+        distance = hits[-1].distance if hits else float("nan")
+        result.record(stats, elapsed, distance)
+    return result
+
+
+def run_range_batch(
+    index: "SGTree | SGTable",
+    workload: Workload,
+    epsilon: float,
+    label: str | None = None,
+    cold_buffer: bool = True,
+) -> QueryBatchResult:
+    """Run the workload's query batch as similarity range searches."""
+    result = QueryBatchResult(
+        label=label or type(index).__name__,
+        database_size=len(workload.transactions),
+    )
+    for query in workload.queries:
+        if cold_buffer:
+            _cold(index)
+        stats = SearchStats()
+        start = time.perf_counter()
+        index.range_query(query, epsilon, stats=stats)
+        elapsed = time.perf_counter() - start
+        result.record(stats, elapsed)
+    return result

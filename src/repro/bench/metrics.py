@@ -1,0 +1,86 @@
+"""Aggregated evaluation metrics, in the units of the paper's figures.
+
+Every figure reports one or more of:
+
+* **% of data processed** — transactions compared with the query, as a
+  percentage of the database cardinality (the *pruning efficiency* bars);
+* **CPU time (msec)** — per-query computation time (the line series);
+* **random I/Os** — page fetches missing the buffer (tree) or bucket
+  pages read (table);
+* **node accesses / insertion cost** (Table 1).
+
+:class:`QueryBatchResult` accumulates per-query measurements and exposes
+those averages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..sgtree.search import SearchStats
+
+__all__ = ["QueryBatchResult"]
+
+
+@dataclass
+class QueryBatchResult:
+    """Averaged measurements over one batch of queries."""
+
+    label: str
+    database_size: int
+    n_queries: int = 0
+    total_leaf_entries: int = 0
+    total_node_accesses: int = 0
+    total_random_ios: int = 0
+    total_cpu_seconds: float = 0.0
+    per_query_distance: list[float] = field(default_factory=list)
+
+    def record(
+        self,
+        stats: SearchStats,
+        cpu_seconds: float,
+        result_distance: float | None = None,
+    ) -> None:
+        """Add one query's stats to the batch."""
+        self.n_queries += 1
+        self.total_leaf_entries += stats.leaf_entries
+        self.total_node_accesses += stats.node_accesses
+        self.total_random_ios += stats.random_ios
+        self.total_cpu_seconds += cpu_seconds
+        if result_distance is not None:
+            self.per_query_distance.append(result_distance)
+
+    @property
+    def pct_data(self) -> float:
+        """Average "% of data processed" per query."""
+        if not self.n_queries or not self.database_size:
+            return 0.0
+        return 100.0 * self.total_leaf_entries / (self.n_queries * self.database_size)
+
+    @property
+    def cpu_ms(self) -> float:
+        """Average CPU milliseconds per query."""
+        if not self.n_queries:
+            return 0.0
+        return 1000.0 * self.total_cpu_seconds / self.n_queries
+
+    @property
+    def random_ios(self) -> float:
+        """Average random I/Os per query."""
+        if not self.n_queries:
+            return 0.0
+        return self.total_random_ios / self.n_queries
+
+    @property
+    def node_accesses(self) -> float:
+        """Average node accesses per query."""
+        if not self.n_queries:
+            return 0.0
+        return self.total_node_accesses / self.n_queries
+
+    @property
+    def mean_distance(self) -> float:
+        """Average result distance (e.g. of the nearest neighbour)."""
+        if not self.per_query_distance:
+            return 0.0
+        return sum(self.per_query_distance) / len(self.per_query_distance)

@@ -1,0 +1,77 @@
+"""Paper-style result printing.
+
+Each experiment prints a small fixed-width table whose rows/series mirror
+the corresponding figure of the paper: one row per x-axis point, with
+"% data", "time (msec)" and — where the paper has a companion figure —
+"random I/Os" columns for both indexes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from .metrics import QueryBatchResult
+
+__all__ = ["format_series", "print_series", "format_table1"]
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    x_values: Sequence[object],
+    batches: dict[str, Sequence[QueryBatchResult]],
+    include_ios: bool = True,
+) -> str:
+    """A fixed-width comparison table, one row per x-axis point."""
+    methods = list(batches)
+    for method, series in batches.items():
+        if len(series) != len(x_values):
+            raise ValueError(
+                f"series {method!r} has {len(series)} points for "
+                f"{len(x_values)} x values"
+            )
+    header = [f"{x_label:>14}"]
+    for method in methods:
+        header.append(f"{method + ' %data':>18}")
+        header.append(f"{method + ' ms':>15}")
+        if include_ios:
+            header.append(f"{method + ' IOs':>15}")
+    lines = [title, "".join(header)]
+    for row, x in enumerate(x_values):
+        cells = [f"{x!s:>14}"]
+        for method in methods:
+            batch = batches[method][row]
+            cells.append(f"{batch.pct_data:>18.2f}")
+            cells.append(f"{batch.cpu_ms:>15.2f}")
+            if include_ios:
+                cells.append(f"{batch.random_ios:>15.1f}")
+        lines.append("".join(cells))
+    return "\n".join(lines)
+
+
+def print_series(
+    title: str,
+    x_label: str,
+    x_values: Sequence[object],
+    batches: dict[str, Sequence[QueryBatchResult]],
+    include_ios: bool = True,
+) -> None:
+    """Print :func:`format_series` (convenience for bench targets)."""
+    print()
+    print(format_series(title, x_label, x_values, batches, include_ios))
+
+
+def format_table1(rows: dict[str, dict[str, float]], policies: Sequence[str]) -> str:
+    """Table 1 layout: one column per split policy, one row per metric."""
+    metric_names = list(next(iter(rows.values())).keys()) if rows else []
+    width = max((len(name) for name in rows), default=20) + 2
+    lines = [
+        "Table 1: comparison of the three split policies",
+        f"{'comparison metric':<{width}}" + "".join(f"{p:>12}" for p in policies),
+    ]
+    for metric in rows:
+        cells = [f"{metric:<{width}}"]
+        for policy in policies:
+            cells.append(f"{rows[metric][policy]:>12.3f}")
+        lines.append("".join(cells))
+    return "\n".join(lines)

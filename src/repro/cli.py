@@ -1,0 +1,333 @@
+"""``repro-sgtree`` — the command-line front door.
+
+Subcommands::
+
+    generate   draw a synthetic dataset (Quest baskets or CENSUS tuples)
+    build      build a persistent SG-tree index over a dataset file
+    query      run k-NN / range / containment queries against an index
+    join       similarity-join two indexes (or rank their closest pairs)
+    cluster    tree-guided clustering of an index's transactions
+    recover    replay a write-ahead log and report the recovered state
+    info       print an index's structural report
+
+A typical session::
+
+    repro-sgtree generate quest --t 10 --i 6 --d 5000 -o baskets.jsonl
+    repro-sgtree build baskets.jsonl -o baskets.sgt --split-policy gasplit
+    repro-sgtree query baskets.sgt --items 3,17,512 --knn 5
+    repro-sgtree info baskets.sgt
+
+Every subcommand is also reachable programmatically through
+:func:`main`, which takes an argv list and returns an exit status — the
+test-suite drives it that way.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from collections.abc import Sequence
+
+from .core.signature import Signature
+from .data.census import CensusConfig, CensusGenerator
+from .data.io import load_transactions, save_transactions
+from .data.quest import QuestConfig, QuestGenerator
+from .sgtree.persistence import load_tree, save_tree
+from .sgtree.search import SearchStats
+from .sgtree.stats import tree_report
+from .sgtree.tree import SGTree
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sgtree",
+        description="SG-tree similarity search for sets and categorical data",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser("generate", help="draw a synthetic dataset")
+    kinds = generate.add_subparsers(dest="kind", required=True)
+
+    quest = kinds.add_parser("quest", help="Quest-style market baskets")
+    quest.add_argument("--t", type=float, default=10, help="mean transaction size")
+    quest.add_argument("--i", type=float, default=6, help="mean large-itemset size")
+    quest.add_argument("--d", type=int, default=1000, help="number of transactions")
+    quest.add_argument("--n-items", type=int, default=1000)
+    quest.add_argument("--n-patterns", type=int, default=200)
+    quest.add_argument("--seed", type=int, default=7)
+    quest.add_argument("-o", "--output", required=True)
+
+    census = kinds.add_parser("census", help="CENSUS-like categorical tuples")
+    census.add_argument("--count", type=int, default=1000)
+    census.add_argument("--seed", type=int, default=0)
+    census.add_argument("-o", "--output", required=True)
+
+    build = commands.add_parser("build", help="index a dataset file")
+    build.add_argument("dataset", help="transaction file (JSON lines)")
+    build.add_argument("-o", "--output", required=True, help="index path")
+    build.add_argument("--split-policy", default="gasplit",
+                       choices=["gasplit", "qsplit", "minsplit", "linear"])
+    build.add_argument("--choose-policy", default="enlargement",
+                       choices=["enlargement", "overlap"])
+    build.add_argument("--max-entries", type=int, default=None)
+    build.add_argument("--page-size", type=int, default=8192)
+    build.add_argument("--compress", action="store_true",
+                       help="Section-3.2 sparse-signature page encoding")
+    build.add_argument("--bulk", choices=["gray", "minhash"], default=None,
+                       help="bulk-load instead of one-by-one insertion")
+
+    query = commands.add_parser("query", help="search an index")
+    query.add_argument("index", help="index path from `build`")
+    query.add_argument("--items", required=True,
+                       help="comma-separated item ids of the query signature")
+    mode = query.add_mutually_exclusive_group()
+    mode.add_argument("--knn", type=int, metavar="K",
+                      help="k nearest neighbours (default: --knn 1)")
+    mode.add_argument("--range", dest="epsilon", type=float, metavar="EPS",
+                      help="all transactions within distance EPS")
+    mode.add_argument("--count", dest="count_epsilon", type=float, metavar="EPS",
+                      help="count (not retrieve) transactions within EPS")
+    mode.add_argument("--contains", action="store_true",
+                      help="transactions containing all query items")
+    query.add_argument("--metric", default="hamming",
+                       choices=["hamming", "jaccard", "dice", "overlap", "cosine"])
+    query.add_argument("--best-first", action="store_true",
+                       help="use the best-first k-NN algorithm")
+    query.add_argument("--stats", action="store_true",
+                       help="print node accesses / I/Os / data fraction")
+
+    join = commands.add_parser("join", help="similarity-join two indexes")
+    join.add_argument("index_a")
+    join.add_argument("index_b")
+    join_mode = join.add_mutually_exclusive_group(required=True)
+    join_mode.add_argument("--epsilon", type=float,
+                           help="report all cross pairs within this distance")
+    join_mode.add_argument("--closest", type=int, metavar="K",
+                           help="report the K closest cross pairs")
+    join.add_argument("--limit", type=int, default=50,
+                      help="max pairs to print (default 50)")
+
+    cluster = commands.add_parser(
+        "cluster", help="tree-guided clustering (leaf merging)"
+    )
+    cluster.add_argument("index")
+    cluster.add_argument("-k", "--n-clusters", type=int, default=8)
+    cluster.add_argument("--members", action="store_true",
+                         help="also print each cluster's transaction ids")
+
+    recover = commands.add_parser(
+        "recover", help="replay a write-ahead log onto a page file"
+    )
+    recover.add_argument("pages", help="page file path")
+    recover.add_argument("wal", help="write-ahead log path")
+    recover.add_argument("--save-meta", action="store_true",
+                         help="also write <pages>.meta.json so `query`/`info` work")
+
+    info = commands.add_parser("info", help="print an index report")
+    info.add_argument("index")
+
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.kind == "quest":
+        generator = QuestGenerator(
+            QuestConfig(
+                n_transactions=args.d,
+                avg_transaction_size=args.t,
+                avg_itemset_size=args.i,
+                n_items=args.n_items,
+                n_patterns=args.n_patterns,
+                pattern_seed=args.seed,
+            )
+        )
+        transactions = generator.generate()
+        n_bits = args.n_items
+        label = generator.config.name
+    else:
+        generator = CensusGenerator(CensusConfig(stream_seed=args.seed))
+        transactions = generator.generate(args.count)
+        n_bits = generator.n_bits
+        label = f"CENSUS.D{args.count}"
+    count = save_transactions(transactions, args.output, n_bits)
+    print(f"wrote {count} transactions ({label}, {n_bits}-bit) to {args.output}")
+    return 0
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    transactions, n_bits = load_transactions(args.dataset)
+    start = time.perf_counter()
+    if args.bulk:
+        from .sgtree.bulkload import bulk_load
+
+        tree = bulk_load(
+            transactions,
+            n_bits,
+            method=args.bulk,
+            max_entries=args.max_entries,
+            split_policy=args.split_policy,
+            choose_policy=args.choose_policy,
+            page_size=args.page_size,
+            compress=args.compress,
+        )
+    else:
+        tree = SGTree(
+            n_bits,
+            max_entries=args.max_entries,
+            split_policy=args.split_policy,
+            choose_policy=args.choose_policy,
+            page_size=args.page_size,
+            compress=args.compress,
+        )
+        for transaction in transactions:
+            tree.insert(transaction)
+    elapsed = time.perf_counter() - start
+    save_tree(tree, args.output)
+    print(
+        f"indexed {len(tree)} transactions in {elapsed:.2f}s "
+        f"(height {tree.height}, M={tree.max_entries}, "
+        f"split={tree.split_policy}) -> {args.output}"
+    )
+    return 0
+
+
+def _parse_items(text: str) -> list[int]:
+    try:
+        return [int(piece) for piece in text.split(",") if piece.strip()]
+    except ValueError:
+        raise SystemExit(f"--items must be comma-separated integers, got {text!r}")
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    tree = load_tree(args.index)
+    try:
+        items = _parse_items(args.items)
+        query = Signature.from_items(items, tree.n_bits)
+        stats = SearchStats()
+        if args.contains:
+            tids = tree.containment_query(query, stats=stats)
+            print(f"{len(tids)} transactions contain {{{args.items}}}: {tids[:50]}")
+        elif args.count_epsilon is not None:
+            count = tree.range_count(query, args.count_epsilon, metric=args.metric,
+                                     stats=stats)
+            print(f"{count} transactions within {args.count_epsilon:g}")
+        elif args.epsilon is not None:
+            hits = tree.range_query(query, args.epsilon, metric=args.metric, stats=stats)
+            print(f"{len(hits)} transactions within {args.epsilon:g}:")
+            for hit in hits[:50]:
+                print(f"  tid {hit.tid}  distance {hit.distance:g}")
+        else:
+            k = args.knn if args.knn is not None else 1
+            algorithm = "best-first" if args.best_first else "depth-first"
+            hits = tree.nearest(
+                query, k=k, metric=args.metric, algorithm=algorithm, stats=stats
+            )
+            for hit in hits:
+                print(f"  tid {hit.tid}  distance {hit.distance:g}")
+        if args.stats:
+            print(
+                f"stats: {stats.node_accesses} node accesses, "
+                f"{stats.random_ios} random I/Os, "
+                f"{stats.data_fraction(len(tree)):.2f}% of data compared"
+            )
+        return 0
+    finally:
+        tree.store.pager.close()
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    tree = load_tree(args.index)
+    try:
+        print(repr(tree))
+        print(tree_report(tree))
+        return 0
+    finally:
+        tree.store.pager.close()
+
+
+def _cmd_join(args: argparse.Namespace) -> int:
+    from .sgtree.join import closest_pairs, similarity_join
+
+    tree_a = load_tree(args.index_a)
+    tree_b = load_tree(args.index_b)
+    try:
+        if args.closest is not None:
+            pairs = closest_pairs(tree_a, tree_b, k=args.closest)
+            print(f"{len(pairs)} closest pairs:")
+        else:
+            pairs = similarity_join(tree_a, tree_b, args.epsilon)
+            print(f"{len(pairs)} pairs within distance {args.epsilon:g}:")
+        for pair in pairs[: args.limit]:
+            print(f"  A#{pair.tid_a}  B#{pair.tid_b}  distance {pair.distance:g}")
+        if len(pairs) > args.limit:
+            print(f"  ... and {len(pairs) - args.limit} more")
+        return 0
+    finally:
+        tree_a.store.pager.close()
+        tree_b.store.pager.close()
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from .sgtree.clustering import cluster_leaves
+
+    tree = load_tree(args.index)
+    try:
+        clusters = cluster_leaves(tree, args.n_clusters)
+        print(f"{len(clusters)} clusters over {len(tree)} transactions:")
+        for i, cluster in enumerate(clusters):
+            print(
+                f"  cluster {i}: {len(cluster)} transactions, "
+                f"coverage area {cluster.signature.area}"
+            )
+            if args.members:
+                print(f"    tids: {cluster.tids}")
+        return 0
+    finally:
+        tree.store.pager.close()
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    import json
+
+    from .sgtree.persistence import _meta_path, recover_tree
+
+    tree = recover_tree(args.pages, args.wal, keep_wal=False)
+    try:
+        print(
+            f"recovered {len(tree)} transactions "
+            f"(height {tree.height}, root page {tree.root_id})"
+        )
+        if args.save_meta:
+            meta = dict(tree.catalogue())
+            meta["format_version"] = 1
+            with open(_meta_path(args.pages), "w", encoding="utf-8") as handle:
+                json.dump(meta, handle, indent=2)
+            print(f"wrote {_meta_path(args.pages)}")
+        return 0
+    finally:
+        tree.store.pager.close()
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "build": _cmd_build,
+    "query": _cmd_query,
+    "join": _cmd_join,
+    "cluster": _cmd_cluster,
+    "recover": _cmd_recover,
+    "info": _cmd_info,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit status."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""Core data types: packed signatures, metrics, vocabularies, transactions."""
+
+from . import bitops
+from .distance import (
+    COSINE,
+    DICE,
+    HAMMING,
+    JACCARD,
+    OVERLAP,
+    CosineMetric,
+    DiceMetric,
+    HammingMetric,
+    JaccardMetric,
+    Metric,
+    OverlapMetric,
+    resolve_metric,
+)
+from .signature import Signature
+from .transaction import (
+    Transaction,
+    transactions_from_itemsets,
+    transactions_from_labels,
+    transactions_from_tuples,
+)
+from .vocabulary import CategoricalSchema, ItemVocabulary
+
+__all__ = [
+    "bitops",
+    "Signature",
+    "Metric",
+    "HammingMetric",
+    "JaccardMetric",
+    "DiceMetric",
+    "OverlapMetric",
+    "CosineMetric",
+    "HAMMING",
+    "JACCARD",
+    "DICE",
+    "OVERLAP",
+    "COSINE",
+    "resolve_metric",
+    "Transaction",
+    "transactions_from_itemsets",
+    "transactions_from_labels",
+    "transactions_from_tuples",
+    "ItemVocabulary",
+    "CategoricalSchema",
+]

@@ -1,0 +1,210 @@
+"""The :class:`Signature` value type.
+
+A signature is a fixed-length bitmap that represents either a single
+transaction (bit ``i`` set iff item ``i`` is present) or a *group* of
+transactions (the bitwise OR of their signatures — Definition 5 of the
+paper).  Signatures are immutable, hashable values; all set-algebra on them
+delegates to the vectorised kernels in :mod:`repro.core.bitops`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+from . import bitops
+
+
+class Signature:
+    """An immutable fixed-length bitmap.
+
+    Parameters
+    ----------
+    words:
+        Packed ``uint64`` word array (little-endian bit order).  The array
+        is copied defensively unless it is already immutable.
+    n_bits:
+        Logical bit length of the signature.  Bits at positions
+        ``>= n_bits`` must be zero.
+    """
+
+    __slots__ = ("_words", "_n_bits", "_area")
+
+    def __init__(self, words: np.ndarray, n_bits: int):
+        words = np.asarray(words, dtype=np.uint64)
+        if words.ndim != 1:
+            raise ValueError(f"words must be one-dimensional, got shape {words.shape}")
+        if words.size != bitops.n_words(n_bits):
+            raise ValueError(
+                f"{n_bits}-bit signature needs {bitops.n_words(n_bits)} words, "
+                f"got {words.size}"
+            )
+        tail_bits = n_bits % bitops.WORD_BITS
+        if tail_bits and words.size:
+            mask = np.uint64((1 << tail_bits) - 1)
+            if words[-1] & ~mask:
+                raise ValueError(f"bits set beyond position {n_bits}")
+        if not words.flags.writeable:
+            self._words = words
+        else:
+            self._words = words.copy()
+            self._words.setflags(write=False)
+        self._n_bits = n_bits
+        self._area: int | None = None
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_items(cls, items: Iterable[int], n_bits: int) -> "Signature":
+        """Signature of a transaction given as item ids in ``[0, n_bits)``."""
+        return cls(bitops.pack(items, n_bits), n_bits)
+
+    @classmethod
+    def empty(cls, n_bits: int) -> "Signature":
+        """The all-zero signature."""
+        return cls(bitops.zeros(n_bits), n_bits)
+
+    @classmethod
+    def union_of(cls, signatures: Iterable["Signature"]) -> "Signature":
+        """The coverage signature of a group of signatures (Definition 5)."""
+        signatures = list(signatures)
+        if not signatures:
+            raise ValueError("union_of requires at least one signature")
+        n_bits = signatures[0].n_bits
+        for sig in signatures:
+            if sig.n_bits != n_bits:
+                raise ValueError(
+                    f"mixed signature lengths: {sig.n_bits} vs {n_bits}"
+                )
+        matrix = np.stack([sig.words for sig in signatures])
+        return cls(bitops.union_all(matrix), n_bits)
+
+    # -- basic accessors ---------------------------------------------------
+
+    @property
+    def words(self) -> np.ndarray:
+        """The packed word array (read-only view)."""
+        return self._words
+
+    @property
+    def n_bits(self) -> int:
+        """Logical bit length."""
+        return self._n_bits
+
+    @property
+    def area(self) -> int:
+        """Number of set bits (the paper's *area* of a signature)."""
+        if self._area is None:
+            self._area = bitops.popcount(self._words)
+        return self._area
+
+    def items(self) -> list[int]:
+        """Sorted list of set-bit positions (item ids)."""
+        positions = bitops.unpack(self._words)
+        return [p for p in positions if p < self._n_bits]
+
+    def is_empty(self) -> bool:
+        """Whether no bit is set."""
+        return bitops.is_empty(self._words)
+
+    # -- set algebra -------------------------------------------------------
+
+    def union(self, other: "Signature") -> "Signature":
+        """Bitwise OR."""
+        self._check_compatible(other)
+        return Signature(bitops.union(self._words, other._words), self._n_bits)
+
+    def intersect(self, other: "Signature") -> "Signature":
+        """Bitwise AND."""
+        self._check_compatible(other)
+        return Signature(bitops.intersect(self._words, other._words), self._n_bits)
+
+    def difference(self, other: "Signature") -> "Signature":
+        """Bitwise AND-NOT (``self \\ other``)."""
+        self._check_compatible(other)
+        return Signature(bitops.difference(self._words, other._words), self._n_bits)
+
+    def contains(self, other: "Signature") -> bool:
+        """Whether every set bit of ``other`` is set in ``self``."""
+        self._check_compatible(other)
+        return bitops.contains(self._words, other._words)
+
+    def intersect_count(self, other: "Signature") -> int:
+        """|self ∩ other|."""
+        self._check_compatible(other)
+        return bitops.intersect_count(self._words, other._words)
+
+    def union_count(self, other: "Signature") -> int:
+        """|self ∪ other|."""
+        self._check_compatible(other)
+        return bitops.union_count(self._words, other._words)
+
+    def hamming(self, other: "Signature") -> int:
+        """Hamming distance |self Δ other|."""
+        self._check_compatible(other)
+        return bitops.hamming(self._words, other._words)
+
+    def enlargement(self, other: "Signature") -> int:
+        """Area increase if ``other`` is merged into ``self``.
+
+        This is the paper's split/insertion quality measure:
+        ``area(self ∪ other) − area(self)``, i.e. the number of new bits
+        ``other`` would contribute.
+        """
+        self._check_compatible(other)
+        return bitops.difference_count(other._words, self._words)
+
+    # -- operator sugar ----------------------------------------------------
+
+    def __or__(self, other: "Signature") -> "Signature":
+        return self.union(other)
+
+    def __and__(self, other: "Signature") -> "Signature":
+        return self.intersect(other)
+
+    def __sub__(self, other: "Signature") -> "Signature":
+        return self.difference(other)
+
+    def __ge__(self, other: "Signature") -> bool:
+        return self.contains(other)
+
+    def __le__(self, other: "Signature") -> bool:
+        return other.contains(self)
+
+    def __len__(self) -> int:
+        return self._n_bits
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.items())
+
+    def __contains__(self, item: int) -> bool:
+        if not 0 <= item < self._n_bits:
+            return False
+        word = int(self._words[item // bitops.WORD_BITS])
+        return bool((word >> (item % bitops.WORD_BITS)) & 1)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Signature):
+            return NotImplemented
+        return self._n_bits == other._n_bits and bitops.equal(
+            self._words, other._words
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._n_bits, self._words.tobytes()))
+
+    def __repr__(self) -> str:
+        items = self.items()
+        shown = ",".join(map(str, items[:8]))
+        if len(items) > 8:
+            shown += ",..."
+        return f"Signature({{{shown}}}, n_bits={self._n_bits}, area={self.area})"
+
+    # -- helpers -----------------------------------------------------------
+
+    def _check_compatible(self, other: "Signature") -> None:
+        if self._n_bits != other._n_bits:
+            raise ValueError(
+                f"signature length mismatch: {self._n_bits} vs {other._n_bits}"
+            )

@@ -1,0 +1,83 @@
+"""Transaction records — the indexed unit of the paper.
+
+A :class:`Transaction` couples a transaction id (``tid``) with its
+signature.  The tree and the table only ever see signatures plus tids; the
+record type exists so datasets, workloads and results share one shape, and
+so categorical tuples (encoded through a
+:class:`~repro.core.vocabulary.CategoricalSchema`) flow through the same
+pipeline as market-basket itemsets.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Sequence
+from dataclasses import dataclass, field
+
+from .signature import Signature
+from .vocabulary import CategoricalSchema, ItemVocabulary
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """An indexed record: a signature plus its transaction id.
+
+    ``payload`` carries optional application data (the paper notes the tid
+    can link to "additional features related to a transaction like
+    customer class"); it never participates in equality or hashing.
+    """
+
+    tid: int
+    signature: Signature
+    payload: object = field(default=None, compare=False, hash=False)
+
+    @property
+    def area(self) -> int:
+        """Number of items in the transaction."""
+        return self.signature.area
+
+    def items(self) -> list[int]:
+        """The transaction's item positions."""
+        return self.signature.items()
+
+    def __repr__(self) -> str:
+        return f"Transaction(tid={self.tid}, area={self.area})"
+
+
+def transactions_from_itemsets(
+    itemsets: Iterable[Iterable[int]],
+    n_bits: int,
+    start_tid: int = 0,
+) -> list[Transaction]:
+    """Build transactions from raw item-position itemsets.
+
+    Tids are assigned sequentially from ``start_tid``.
+    """
+    return [
+        Transaction(tid, Signature.from_items(items, n_bits))
+        for tid, items in enumerate(itemsets, start=start_tid)
+    ]
+
+
+def transactions_from_labels(
+    baskets: Iterable[Iterable[Hashable]],
+    vocabulary: ItemVocabulary,
+    n_bits: int,
+    start_tid: int = 0,
+) -> list[Transaction]:
+    """Build transactions from labelled baskets through a vocabulary."""
+    return [
+        Transaction(tid, vocabulary.encode(basket, n_bits))
+        for tid, basket in enumerate(baskets, start=start_tid)
+    ]
+
+
+def transactions_from_tuples(
+    tuples: Iterable[Sequence[Hashable]],
+    schema: CategoricalSchema,
+    start_tid: int = 0,
+) -> list[Transaction]:
+    """Build transactions from categorical tuples through a schema."""
+    return [
+        Transaction(tid, schema.encode(values))
+        for tid, values in enumerate(tuples, start=start_tid)
+    ]

@@ -1,0 +1,207 @@
+"""Item dictionaries and categorical schemas.
+
+Two data domains appear in the paper:
+
+* **set data** — market-basket transactions over a universe of items; the
+  :class:`ItemVocabulary` maps arbitrary item labels to dense bit
+  positions;
+* **categorical data** — fixed-width tuples ``(v_1, …, v_m)`` where
+  attribute ``j`` takes one value from its own domain ``G_j``.  The
+  :class:`CategoricalSchema` lays the attribute domains out in disjoint
+  bit ranges, so a tuple becomes a signature with exactly ``m`` set bits
+  (one per attribute) — the paper's reduction of categorical search to set
+  search (Section 1).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Sequence
+
+from .signature import Signature
+
+
+class ItemVocabulary:
+    """A bidirectional mapping from item labels to dense bit positions.
+
+    New labels are assigned the next free position; lookups of known labels
+    are O(1).  The vocabulary can be frozen to reject unseen labels, which
+    matches the fixed-length-signature requirement of a built index.
+    """
+
+    def __init__(self, items: Iterable[Hashable] = ()):
+        self._position: dict[Hashable, int] = {}
+        self._label: list[Hashable] = []
+        self._frozen = False
+        for item in items:
+            self.add(item)
+
+    def __len__(self) -> int:
+        return len(self._label)
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._position
+
+    def add(self, item: Hashable) -> int:
+        """Return the position of ``item``, assigning one if new."""
+        pos = self._position.get(item)
+        if pos is not None:
+            return pos
+        if self._frozen:
+            raise KeyError(f"vocabulary is frozen; unknown item {item!r}")
+        pos = len(self._label)
+        self._position[item] = pos
+        self._label.append(item)
+        return pos
+
+    def position(self, item: Hashable) -> int:
+        """Position of a known item; raises ``KeyError`` for unseen ones."""
+        return self._position[item]
+
+    def label(self, position: int) -> Hashable:
+        """Inverse of :meth:`position`."""
+        return self._label[position]
+
+    def freeze(self) -> "ItemVocabulary":
+        """Reject future unseen labels; returns ``self`` for chaining."""
+        self._frozen = True
+        return self
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    def encode(self, items: Iterable[Hashable], n_bits: int | None = None) -> Signature:
+        """Signature of a transaction given as item labels.
+
+        ``n_bits`` defaults to the current vocabulary size; pass the final
+        universe size explicitly when encoding while the vocabulary is
+        still growing.
+        """
+        positions = [self.add(item) for item in items]
+        if n_bits is None:
+            n_bits = len(self)
+        return Signature.from_items(positions, n_bits)
+
+    def decode(self, signature: Signature) -> list[Hashable]:
+        """Item labels of a signature's set bits."""
+        return [self._label[p] for p in signature.items()]
+
+
+class CategoricalSchema:
+    """Bit layout for fixed-width categorical tuples.
+
+    Parameters
+    ----------
+    domains:
+        One sequence of admissible values per attribute.  Values are
+        hashable labels; each attribute's values occupy a contiguous bit
+        range, attribute ranges are disjoint, and the total signature
+        length is the total number of values across all attributes (the
+        paper's CENSUS layout: 36 attributes, 525 total values).
+    names:
+        Optional attribute names (defaults to ``attr0 .. attrN``).
+    """
+
+    def __init__(
+        self,
+        domains: Sequence[Sequence[Hashable]],
+        names: Sequence[str] | None = None,
+    ):
+        if not domains:
+            raise ValueError("schema needs at least one attribute")
+        if names is None:
+            names = [f"attr{j}" for j in range(len(domains))]
+        if len(names) != len(domains):
+            raise ValueError(
+                f"{len(names)} names given for {len(domains)} attribute domains"
+            )
+        self._names = list(names)
+        self._offsets: list[int] = []
+        self._value_pos: list[dict[Hashable, int]] = []
+        self._values: list[list[Hashable]] = []
+        offset = 0
+        for j, domain in enumerate(domains):
+            values = list(domain)
+            if not values:
+                raise ValueError(f"attribute {names[j]!r} has an empty domain")
+            positions = {value: offset + i for i, value in enumerate(values)}
+            if len(positions) != len(values):
+                raise ValueError(f"attribute {names[j]!r} has duplicate values")
+            self._offsets.append(offset)
+            self._value_pos.append(positions)
+            self._values.append(values)
+            offset += len(values)
+        self._n_bits = offset
+
+    @property
+    def n_attributes(self) -> int:
+        """Number of attributes (the tuple width, and every tuple's area)."""
+        return len(self._names)
+
+    @property
+    def n_bits(self) -> int:
+        """Total number of values = signature length."""
+        return self._n_bits
+
+    @property
+    def names(self) -> list[str]:
+        return list(self._names)
+
+    def domain(self, attribute: int) -> list[Hashable]:
+        """Admissible values of one attribute."""
+        return list(self._values[attribute])
+
+    def domain_sizes(self) -> list[int]:
+        """Cardinality of each attribute's domain."""
+        return [len(values) for values in self._values]
+
+    def encode(self, values: Sequence[Hashable]) -> Signature:
+        """Signature of a tuple; exactly one bit per attribute is set."""
+        if len(values) != self.n_attributes:
+            raise ValueError(
+                f"tuple has {len(values)} values, schema has "
+                f"{self.n_attributes} attributes"
+            )
+        positions = []
+        for j, value in enumerate(values):
+            try:
+                positions.append(self._value_pos[j][value])
+            except KeyError:
+                raise ValueError(
+                    f"value {value!r} not in domain of attribute {self._names[j]!r}"
+                ) from None
+        return Signature.from_items(positions, self._n_bits)
+
+    def decode(self, signature: Signature) -> list[Hashable]:
+        """Inverse of :meth:`encode`; requires exactly one bit per range."""
+        values: list[Hashable] = []
+        set_bits = signature.items()
+        cursor = 0
+        for j, domain_values in enumerate(self._values):
+            lo = self._offsets[j]
+            hi = lo + len(domain_values)
+            in_range = []
+            while cursor < len(set_bits) and set_bits[cursor] < hi:
+                if set_bits[cursor] >= lo:
+                    in_range.append(set_bits[cursor])
+                cursor += 1
+            if len(in_range) != 1:
+                raise ValueError(
+                    f"signature sets {len(in_range)} bits in attribute "
+                    f"{self._names[j]!r}; a tuple signature must set exactly one"
+                )
+            values.append(domain_values[in_range[0] - lo])
+        return values
+
+    def attribute_of_bit(self, position: int) -> int:
+        """Index of the attribute whose range contains ``position``."""
+        if not 0 <= position < self._n_bits:
+            raise ValueError(f"bit {position} out of range [0, {self._n_bits})")
+        lo, hi = 0, len(self._offsets)
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if self._offsets[mid] <= position:
+                lo = mid
+            else:
+                hi = mid
+        return lo

@@ -1,0 +1,23 @@
+"""Dataset generators: Quest synthetic baskets, CENSUS-like categorical."""
+
+from .census import CensusConfig, CensusGenerator, census_schema
+from .io import load_transactions, save_transactions
+from .quest import QuestConfig, QuestGenerator, format_dataset_name, parse_dataset_name
+from .workload import Workload, census_workload, quest_workload, scale_factor, scaled
+
+__all__ = [
+    "QuestConfig",
+    "QuestGenerator",
+    "format_dataset_name",
+    "parse_dataset_name",
+    "CensusConfig",
+    "CensusGenerator",
+    "census_schema",
+    "save_transactions",
+    "load_transactions",
+    "Workload",
+    "quest_workload",
+    "census_workload",
+    "scale_factor",
+    "scaled",
+]

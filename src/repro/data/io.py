@@ -1,0 +1,79 @@
+"""Dataset files: a line-oriented JSON interchange format.
+
+A transaction file is UTF-8 JSON lines: a header object followed by one
+object per transaction::
+
+    {"n_bits": 1000, "kind": "transactions"}
+    {"tid": 0, "items": [3, 17, 512]}
+    {"tid": 1, "items": [3, 18]}
+
+The format is deliberately boring — greppable, appendable, diff-able —
+and is what the command-line tools read and write.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections.abc import Iterable
+
+from ..core.signature import Signature
+from ..core.transaction import Transaction
+
+__all__ = ["save_transactions", "load_transactions"]
+
+_KIND = "transactions"
+
+
+def save_transactions(
+    transactions: Iterable[Transaction],
+    path: str | os.PathLike,
+    n_bits: int,
+) -> int:
+    """Write transactions to ``path``; returns the count written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps({"n_bits": n_bits, "kind": _KIND}) + "\n")
+        for transaction in transactions:
+            if transaction.signature.n_bits != n_bits:
+                raise ValueError(
+                    f"transaction {transaction.tid} has "
+                    f"{transaction.signature.n_bits}-bit signature, file is "
+                    f"{n_bits}-bit"
+                )
+            record = {"tid": transaction.tid, "items": transaction.items()}
+            handle.write(json.dumps(record) + "\n")
+            count += 1
+    return count
+
+
+def load_transactions(path: str | os.PathLike) -> tuple[list[Transaction], int]:
+    """Read a transaction file; returns ``(transactions, n_bits)``."""
+    with open(path, encoding="utf-8") as handle:
+        header_line = handle.readline()
+        if not header_line:
+            raise ValueError(f"{os.fspath(path)}: empty transaction file")
+        header = json.loads(header_line)
+        if header.get("kind") != _KIND or "n_bits" not in header:
+            raise ValueError(
+                f"{os.fspath(path)}: not a transaction file "
+                f"(bad header {header_line.strip()!r})"
+            )
+        n_bits = int(header["n_bits"])
+        transactions = []
+        for line_number, line in enumerate(handle, start=2):
+            if not line.strip():
+                continue
+            record = json.loads(line)
+            try:
+                transactions.append(
+                    Transaction(
+                        int(record["tid"]),
+                        Signature.from_items(record["items"], n_bits),
+                    )
+                )
+            except (KeyError, ValueError) as exc:
+                raise ValueError(
+                    f"{os.fspath(path)}:{line_number}: bad record ({exc})"
+                ) from exc
+    return transactions, n_bits

@@ -1,0 +1,245 @@
+"""IBM-Quest-style synthetic market-basket generator (Section 5.1).
+
+The paper generates data "using the well-known synthetic data generator
+of [2]" (Agrawal & Srikant, VLDB 1994), characterised by the average
+transaction size T, the average size of the maximal potentially large
+itemsets I, and the cardinality D — e.g. ``T10.I6.D200K``.
+
+The procedure reimplemented here follows the original description:
+
+* ``n_patterns`` potentially large itemsets are drawn; each one's size is
+  Poisson-distributed with mean ``I`` (at least 1); the first pattern's
+  items are uniform, and each subsequent pattern reuses an
+  exponentially-distributed fraction (mean ``correlation``) of the
+  previous pattern's items so that consecutive patterns are correlated;
+* each pattern carries an exponentially-distributed weight (normalised to
+  a probability) and a corruption level drawn from
+  ``N(corruption_mean, corruption_sd)``;
+* a transaction's size is Poisson with mean ``T``; patterns are sampled
+  by weight and *corrupted* — "items are dropped from an itemset as long
+  as a uniformly distributed random number is less than c", i.e. a
+  geometric number of random items (mean ``c / (1 − c)``) is removed —
+  then added; an overflowing pattern is added anyway in half of the
+  cases and discarded otherwise.
+
+Queries for an experiment are drawn from the *same* generator ("using the
+same itemsets and parameters to also generate a number of queries"), via
+a second :class:`QuestGenerator` sharing the pattern seed but a different
+stream seed — or simply by continuing to draw from this one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.signature import Signature
+from ..core.transaction import Transaction
+
+__all__ = ["QuestConfig", "QuestGenerator", "parse_dataset_name", "format_dataset_name"]
+
+
+@dataclass(frozen=True)
+class QuestConfig:
+    """Parameters of a ``T<t>.I<i>.D<d>`` synthetic dataset."""
+
+    n_transactions: int
+    avg_transaction_size: float
+    avg_itemset_size: float
+    n_items: int = 1000
+    n_patterns: int = 500
+    correlation: float = 0.5
+    corruption_mean: float = 0.5
+    corruption_sd: float = 0.1
+    pattern_seed: int = 7
+    stream_seed: int = 1
+
+    @property
+    def name(self) -> str:
+        return format_dataset_name(
+            self.avg_transaction_size, self.avg_itemset_size, self.n_transactions
+        )
+
+    def validate(self) -> None:
+        if self.n_transactions < 0:
+            raise ValueError(f"n_transactions must be >= 0, got {self.n_transactions}")
+        if self.avg_transaction_size < 1:
+            raise ValueError(
+                f"avg_transaction_size must be >= 1, got {self.avg_transaction_size}"
+            )
+        if self.avg_itemset_size < 1:
+            raise ValueError(
+                f"avg_itemset_size must be >= 1, got {self.avg_itemset_size}"
+            )
+        if self.n_items < 2:
+            raise ValueError(f"n_items must be >= 2, got {self.n_items}")
+        if self.n_patterns < 1:
+            raise ValueError(f"n_patterns must be >= 1, got {self.n_patterns}")
+
+
+def format_dataset_name(t: float, i: float, d: int) -> str:
+    """The paper's dataset naming, e.g. ``T10.I6.D200K``."""
+    d_part = f"{d // 1000}K" if d % 1000 == 0 and d >= 1000 else str(d)
+    return f"T{t:g}.I{i:g}.D{d_part}"
+
+
+def parse_dataset_name(name: str) -> tuple[float, float, int]:
+    """Inverse of :func:`format_dataset_name`; returns ``(T, I, D)``."""
+    parts = name.split(".")
+    if len(parts) != 3 or not (
+        parts[0].startswith("T") and parts[1].startswith("I") and parts[2].startswith("D")
+    ):
+        raise ValueError(f"malformed dataset name {name!r}; expected T<t>.I<i>.D<d>")
+    t = float(parts[0][1:])
+    i = float(parts[1][1:])
+    d_text = parts[2][1:]
+    if d_text.endswith(("K", "k")):
+        d = int(float(d_text[:-1]) * 1000)
+    elif d_text.endswith(("M", "m")):
+        d = int(float(d_text[:-1]) * 1_000_000)
+    else:
+        d = int(d_text)
+    return t, i, d
+
+
+@dataclass
+class _Pattern:
+    items: np.ndarray
+    corruption: float
+
+
+class QuestGenerator:
+    """A reproducible stream of synthetic transactions.
+
+    The potentially-large itemsets are fixed by ``pattern_seed``; the
+    transaction stream by ``stream_seed``.  Keeping the pattern seed and
+    varying the stream seed yields disjoint data/query workloads over the
+    same clustering structure — exactly the paper's query protocol.
+    Changing the pattern seed changes the data characteristics wholesale,
+    which is how the Figure-17 dynamic-update batches are produced.
+    """
+
+    def __init__(self, config: QuestConfig):
+        config.validate()
+        self.config = config
+        self._patterns = self._build_patterns()
+        weights = np.random.default_rng(config.pattern_seed + 1).exponential(
+            1.0, size=len(self._patterns)
+        )
+        self._weights = weights / weights.sum()
+        self._stream = np.random.default_rng(config.stream_seed)
+        self._next_tid = 0
+
+    # -- pattern pool --------------------------------------------------------
+
+    def _build_patterns(self) -> list[_Pattern]:
+        config = self.config
+        rng = np.random.default_rng(config.pattern_seed)
+        patterns: list[_Pattern] = []
+        previous: np.ndarray | None = None
+        for _ in range(config.n_patterns):
+            size = max(1, int(rng.poisson(config.avg_itemset_size)))
+            size = min(size, config.n_items)
+            if previous is None or previous.size == 0:
+                items = rng.choice(config.n_items, size=size, replace=False)
+            else:
+                fraction = min(1.0, rng.exponential(config.correlation))
+                n_shared = min(int(round(fraction * size)), previous.size, size)
+                shared = (
+                    rng.choice(previous, size=n_shared, replace=False)
+                    if n_shared
+                    else np.empty(0, dtype=np.int64)
+                )
+                pool = np.setdiff1d(np.arange(config.n_items), shared, assume_unique=False)
+                fresh = rng.choice(pool, size=size - n_shared, replace=False)
+                items = np.concatenate([shared, fresh])
+            corruption = float(
+                np.clip(rng.normal(config.corruption_mean, config.corruption_sd), 0.0, 1.0)
+            )
+            patterns.append(_Pattern(items=np.unique(items), corruption=corruption))
+            previous = patterns[-1].items
+        return patterns
+
+    @property
+    def patterns(self) -> list[np.ndarray]:
+        """The potentially large itemsets (copies)."""
+        return [p.items.copy() for p in self._patterns]
+
+    # -- stream ---------------------------------------------------------------
+
+    def itemset(self) -> list[int]:
+        """Draw one raw transaction as a sorted item list."""
+        config = self.config
+        rng = self._stream
+        target = max(1, int(rng.poisson(config.avg_transaction_size)))
+        target = min(target, config.n_items)
+        chosen: set[int] = set()
+        # Cap the attempts so pathological parameters cannot loop forever.
+        for _ in range(50):
+            if len(chosen) >= target:
+                break
+            index = int(rng.choice(len(self._patterns), p=self._weights))
+            pattern = self._patterns[index]
+            # Corruption: drop a geometric number of random items — "items
+            # are dropped as long as a uniform random number is < c".
+            c = pattern.corruption
+            drops = int(rng.geometric(1.0 - c) - 1) if c < 1.0 else pattern.items.size
+            drops = min(drops, pattern.items.size)
+            if drops:
+                picked = rng.choice(
+                    pattern.items, size=pattern.items.size - drops, replace=False
+                )
+            else:
+                picked = pattern.items
+            if len(chosen) + picked.size > target and len(chosen) > 0:
+                # Overflowing pattern: added anyway half of the time,
+                # otherwise discarded (the original generator "saves it
+                # for the next transaction"; discarding is the stateless
+                # equivalent with the same marginal distribution).
+                if rng.random() < 0.5:
+                    chosen.update(int(i) for i in picked)
+                break
+            chosen.update(int(i) for i in picked)
+        if not chosen:
+            chosen.add(int(rng.integers(config.n_items)))
+        return sorted(chosen)
+
+    def transaction(self) -> Transaction:
+        """Draw one transaction with the next sequential tid."""
+        tid = self._next_tid
+        self._next_tid += 1
+        return Transaction(tid, Signature.from_items(self.itemset(), self.config.n_items))
+
+    def generate(self, count: int | None = None, start_tid: int | None = None) -> list[Transaction]:
+        """Draw a batch of transactions (default: the configured D)."""
+        if count is None:
+            count = self.config.n_transactions
+        if start_tid is not None:
+            self._next_tid = start_tid
+        return [self.transaction() for _ in range(count)]
+
+    def queries(self, count: int, seed: int | None = None) -> list[Signature]:
+        """Draw query signatures from the same pattern pool.
+
+        Uses an independent stream (``seed`` defaults to an offset of the
+        configured stream seed) so queries do not perturb the data stream.
+        """
+        fork = QuestGenerator(
+            QuestConfig(
+                n_transactions=0,
+                avg_transaction_size=self.config.avg_transaction_size,
+                avg_itemset_size=self.config.avg_itemset_size,
+                n_items=self.config.n_items,
+                n_patterns=self.config.n_patterns,
+                correlation=self.config.correlation,
+                corruption_mean=self.config.corruption_mean,
+                corruption_sd=self.config.corruption_sd,
+                pattern_seed=self.config.pattern_seed,
+                stream_seed=self.config.stream_seed + 10_000 if seed is None else seed,
+            )
+        )
+        return [
+            Signature.from_items(fork.itemset(), self.config.n_items)
+            for _ in range(count)
+        ]

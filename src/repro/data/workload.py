@@ -1,0 +1,118 @@
+"""Shared workload builders for the experiment suite.
+
+Every benchmark in ``benchmarks/`` draws its data and queries through
+these helpers so scale handling is uniform: the paper's dataset sizes
+(e.g. D=200K, 100 queries per instance) are divided by a *scale factor*
+controlled by the ``REPRO_SCALE`` environment variable —
+
+* ``REPRO_SCALE=full``  — paper-size datasets (slow; hours for the suite);
+* ``REPRO_SCALE=<int>`` — divide cardinalities by that factor;
+* unset                 — the default factor of 10.
+
+Trends in T, I, D, k and ε are preserved at reduced D (the D-sweep of
+Figure 11 is itself the evidence), which is what EXPERIMENTS.md compares.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from ..core.signature import Signature
+from ..core.transaction import Transaction
+from .census import CensusConfig, CensusGenerator
+from .quest import QuestConfig, QuestGenerator
+
+__all__ = ["scale_factor", "scaled", "Workload", "quest_workload", "census_workload"]
+
+_DEFAULT_FACTOR = 10
+
+
+def scale_factor() -> int:
+    """The active dataset-reduction factor (1 = paper scale)."""
+    raw = os.environ.get("REPRO_SCALE", "").strip().lower()
+    if raw in ("", "default"):
+        return _DEFAULT_FACTOR
+    if raw in ("full", "paper", "1"):
+        return 1
+    factor = int(raw)
+    if factor < 1:
+        raise ValueError(f"REPRO_SCALE must be >= 1, got {factor}")
+    return factor
+
+
+def scaled(count: int, minimum: int = 1) -> int:
+    """A paper-scale cardinality reduced by the active factor."""
+    return max(minimum, count // scale_factor())
+
+
+@dataclass
+class Workload:
+    """A benchmark workload: data to index plus query signatures."""
+
+    name: str
+    n_bits: int
+    transactions: list[Transaction]
+    queries: list[Signature]
+    fixed_area: int | None = None  # set for categorical data (525-bit CENSUS)
+
+
+def quest_workload(
+    t: float,
+    i: float,
+    d: int,
+    n_queries: int = 100,
+    n_items: int = 1000,
+    n_patterns: int | None = None,
+    pattern_seed: int = 7,
+    stream_seed: int = 1,
+    apply_scale: bool = True,
+) -> Workload:
+    """A ``T<t>.I<i>.D<d>`` dataset with same-generator queries.
+
+    The pattern-pool size defaults to the Agrawal–Srikant 2000, reduced
+    by the active scale factor so the transactions-per-pattern density —
+    what both indexes are sensitive to — matches the paper's setting.
+    """
+    count = scaled(d) if apply_scale else d
+    if n_patterns is None:
+        n_patterns = max(50, 2000 // (scale_factor() if apply_scale else 1))
+    generator = QuestGenerator(
+        QuestConfig(
+            n_transactions=count,
+            avg_transaction_size=t,
+            avg_itemset_size=i,
+            n_items=n_items,
+            n_patterns=n_patterns,
+            pattern_seed=pattern_seed,
+            stream_seed=stream_seed,
+        )
+    )
+    transactions = generator.generate()
+    queries = generator.queries(n_queries)
+    return Workload(
+        name=generator.config.name,
+        n_bits=n_items,
+        transactions=transactions,
+        queries=queries,
+    )
+
+
+def census_workload(
+    d: int = 200_000,
+    n_queries: int = 100,
+    seed: int = 0,
+    apply_scale: bool = True,
+) -> Workload:
+    """The CENSUS-like categorical dataset with held-out queries."""
+    count = scaled(d) if apply_scale else d
+    generator = CensusGenerator(CensusConfig(stream_seed=seed))
+    transactions = generator.generate(count)
+    queries = generator.queries(n_queries)
+    return Workload(
+        name=f"CENSUS.D{count}",
+        n_bits=generator.n_bits,
+        transactions=transactions,
+        queries=queries,
+        fixed_area=generator.schema.n_attributes,
+    )

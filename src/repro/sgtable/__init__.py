@@ -1,0 +1,6 @@
+"""The SG-table baseline (Aggarwal, Wolf & Yu, SIGMOD 1999)."""
+
+from .itemclust import cluster_items, cooccurrence_counts
+from .table import SGTable
+
+__all__ = ["SGTable", "cluster_items", "cooccurrence_counts"]

@@ -1,0 +1,163 @@
+"""Item clustering for the SG-table (Section 2.2.1).
+
+The SG-table's *vertical signatures* are produced by "a minimum spanning
+tree algorithm … to cluster the set of items into K groups, each
+containing frequently correlated items.  The grouping process starts by
+considering each item a separate cluster and progressively refines the
+clusters by merging item pairs with the maximum co-occurrence frequency.
+In order to achieve clusters whose contents appear with approximately the
+same frequency, groups for which the total support in the database of
+their contents exceeds a certain threshold, called critical mass, are
+removed before they grow larger."
+
+This module reimplements that procedure:
+
+* co-occurrence and support counts come from a (sampled) pass over the
+  transactions, computed as one dense ``Xᵀ X`` product over the unpacked
+  bit matrix;
+* single-linkage merging by maximum co-occurrence (the similarity-space
+  twin of MST clustering);
+* a cluster whose support exceeds ``critical_mass`` × total item support
+  is frozen and takes no further merges;
+* merging stops when ``n_groups`` clusters remain (or no co-occurring
+  pair is left, in which case the largest-support singletons stay
+  separate groups).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..core.signature import Signature
+from ..core.transaction import Transaction
+
+__all__ = ["cluster_items", "cooccurrence_counts"]
+
+
+def cooccurrence_counts(
+    transactions: Sequence[Transaction],
+    n_bits: int,
+    sample_size: int | None = 5000,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Item co-occurrence matrix and per-item supports.
+
+    Returns ``(cooc, support)`` where ``cooc[i, j]`` counts transactions
+    containing both items and ``support[i] = cooc[i, i]``.  A uniform
+    sample bounds the cost on large collections (the statistics only
+    steer the grouping, so sampling noise is benign).
+    """
+    if sample_size is not None and len(transactions) > sample_size:
+        rng = np.random.default_rng(seed)
+        index = rng.choice(len(transactions), size=sample_size, replace=False)
+        chosen = [transactions[i] for i in index]
+    else:
+        chosen = list(transactions)
+    dense = np.zeros((len(chosen), n_bits), dtype=np.float32)
+    for row, transaction in enumerate(chosen):
+        dense[row, transaction.items()] = 1.0
+    cooc = dense.T @ dense
+    support = np.diagonal(cooc).copy()
+    return cooc, support
+
+
+def cluster_items(
+    transactions: Sequence[Transaction],
+    n_bits: int,
+    n_groups: int,
+    critical_mass: float = 0.2,
+    sample_size: int | None = 5000,
+    seed: int = 0,
+) -> list[Signature]:
+    """Cluster items into ``n_groups`` vertical signatures.
+
+    Parameters
+    ----------
+    transactions:
+        The collection to derive statistics from.
+    n_bits:
+        Item-universe size.
+    n_groups:
+        Number of vertical signatures K (the table will have ``2**K``
+        entries, so K is typically 8–16).
+    critical_mass:
+        A cluster is frozen once its items' total support exceeds this
+        fraction of the summed support of all items.
+    sample_size, seed:
+        Statistics sampling (see :func:`cooccurrence_counts`).
+
+    Returns
+    -------
+    Exactly ``n_groups`` signatures that partition the item universe.
+    """
+    if n_groups < 1:
+        raise ValueError(f"n_groups must be >= 1, got {n_groups}")
+    if not transactions:
+        raise ValueError("cannot cluster items of an empty collection")
+    cooc, support = cooccurrence_counts(transactions, n_bits, sample_size, seed)
+    total_support = float(support.sum())
+    mass_limit = critical_mass * total_support
+
+    # Single-linkage similarity clustering: similarity between clusters is
+    # the maximum item-pair co-occurrence across them, which is exactly
+    # what growing a maximum spanning tree edge-by-edge produces.
+    # Frozen and dead clusters have their similarity rows forced to -1, so
+    # one flat argmax per merge finds the best active pair directly.
+    similarity = cooc.copy()
+    np.fill_diagonal(similarity, -1.0)
+    alive = np.ones(n_bits, dtype=bool)
+    members: dict[int, list[int]] = {i: [i] for i in range(n_bits)}
+    cluster_support = support.astype(np.float64).copy()
+    n_clusters = n_bits
+
+    while n_clusters > n_groups:
+        a, b = divmod(int(np.argmax(similarity)), n_bits)
+        if similarity[a, b] <= 0:
+            break  # no co-occurring pair remains among active clusters
+        merged = np.maximum(similarity[a], similarity[b])
+        similarity[a] = merged
+        similarity[:, a] = merged
+        similarity[a, a] = -1.0
+        similarity[b] = -1.0
+        similarity[:, b] = -1.0
+        members[a] = members[a] + members[b]
+        del members[b]
+        cluster_support[a] += cluster_support[b]
+        alive[b] = False
+        n_clusters -= 1
+        if cluster_support[a] > mass_limit:
+            # Critical mass reached: the group is removed from further
+            # growth (its similarity rows are silenced).
+            similarity[a] = -1.0
+            similarity[:, a] = -1.0
+
+    # If merging stalled above the target (critical mass froze too much,
+    # or no co-occurrence left), force-merge the smallest-support clusters
+    # so the table gets exactly K groups.
+    while n_clusters > n_groups:
+        ids = sorted(members, key=lambda c: cluster_support[c])
+        a, b = ids[0], ids[1]
+        members[a] = members[a] + members[b]
+        cluster_support[a] += cluster_support[b]
+        del members[b]
+        alive[b] = False
+        n_clusters -= 1
+
+    groups = sorted(members.values(), key=len, reverse=True)
+    signatures = [Signature.from_items(group, n_bits) for group in groups]
+
+    # Fewer clusters than requested (tiny universes): pad by splitting the
+    # largest groups so the caller always gets K signatures.
+    while len(signatures) < n_groups:
+        signatures.sort(key=lambda s: s.area, reverse=True)
+        largest = signatures.pop(0)
+        items = largest.items()
+        if len(items) < 2:
+            signatures.insert(0, largest)
+            break
+        half = len(items) // 2
+        signatures.append(Signature.from_items(items[:half], n_bits))
+        signatures.append(Signature.from_items(items[half:], n_bits))
+    return signatures

@@ -1,0 +1,154 @@
+"""Bulk loading (Section 6, future work — implemented as an extension).
+
+The paper proposes building "globally-optimised" SG-trees faster than by
+one-by-one insertion, suggesting two routes:
+
+* **gray-code sorting** — "sort the transactions using gray codes as key,
+  in analogy to using space-filling curves for bulk-loading
+  multidimensional data to an R-tree" (Kamel & Faloutsos style);
+* **hashing** — "hashing techniques can be used to group similar
+  signatures together".  Implemented here as min-wise hashing: each
+  transaction is keyed by the minimum of ``h`` random permutations of its
+  item set, so transactions sharing items tend to share keys (the standard
+  similarity-preserving hash for sets).
+
+Both orderings feed the same bottom-up packer: consecutive runs of
+``fill`` entries become leaves, then runs of leaf entries become
+directory nodes, up to a single root.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from ..core import bitops
+from ..core.signature import Signature
+from ..core.transaction import Transaction
+from .node import Entry
+from .tree import SGTree
+
+__all__ = ["bulk_load", "gray_sort_order", "minhash_order"]
+
+
+def gray_sort_order(signatures: Sequence[Signature]) -> list[int]:
+    """Indices of ``signatures`` sorted by Gray-code rank."""
+    keys = [bitops.gray_rank(sig.words) for sig in signatures]
+    return sorted(range(len(signatures)), key=keys.__getitem__)
+
+
+def minhash_order(
+    signatures: Sequence[Signature],
+    n_hashes: int = 4,
+    seed: int = 0,
+) -> list[int]:
+    """Indices sorted by a min-wise hash sketch of each item set.
+
+    Each of the ``n_hashes`` hash functions is a random permutation of the
+    item universe; a signature's key component is the minimum permuted
+    item id.  Sorting by the sketch tuple groups transactions with high
+    Jaccard similarity.
+    """
+    if not signatures:
+        return []
+    n_bits = signatures[0].n_bits
+    rng = np.random.default_rng(seed)
+    permutations = [rng.permutation(n_bits) for _ in range(n_hashes)]
+    keys: list[tuple[int, ...]] = []
+    for sig in signatures:
+        items = np.asarray(sig.items(), dtype=np.int64)
+        if items.size == 0:
+            keys.append((n_bits,) * n_hashes)
+        else:
+            keys.append(tuple(int(perm[items].min()) for perm in permutations))
+    return sorted(range(len(signatures)), key=keys.__getitem__)
+
+
+def _pack_level(tree: SGTree, entries: list[Entry], level: int, fill: int) -> list[Entry]:
+    """Pack an ordered entry run into nodes of ``fill`` entries each.
+
+    A final run shorter than the tree's minimum fill borrows entries from
+    its left neighbour so no node underflows.
+    """
+    groups: list[list[Entry]] = [entries[i : i + fill] for i in range(0, len(entries), fill)]
+    if len(groups) > 1 and len(groups[-1]) < tree.min_fill:
+        needed = tree.min_fill - len(groups[-1])
+        groups[-1] = groups[-2][-needed:] + groups[-1]
+        groups[-2] = groups[-2][:-needed]
+    parent_entries: list[Entry] = []
+    for group in groups:
+        node = tree.store.create_node(level=level)
+        node.replace_entries(group)
+        tree.store.mark_dirty(node)
+        lo, hi = node.subtree_area_range()
+        parent_entries.append(
+            Entry(
+                node.union_signature(),
+                node.page_id,
+                min_area=lo,
+                max_area=hi,
+                count=node.subtree_count(),
+            )
+        )
+    return parent_entries
+
+
+def bulk_load(
+    transactions: Iterable[Transaction],
+    n_bits: int,
+    method: str = "gray",
+    fill_ratio: float = 0.85,
+    n_hashes: int = 4,
+    seed: int = 0,
+    **tree_kwargs: object,
+) -> SGTree:
+    """Build an SG-tree bottom-up from a transaction collection.
+
+    Parameters
+    ----------
+    transactions:
+        The data to index.
+    n_bits:
+        Signature length.
+    method:
+        ``"gray"`` (gray-code sort) or ``"minhash"`` (hash grouping).
+    fill_ratio:
+        Target node occupancy of the packed nodes, in ``(0, 1]``.
+    n_hashes, seed:
+        Min-hash sketch parameters (``method="minhash"`` only).
+    tree_kwargs:
+        Forwarded to the :class:`~repro.sgtree.tree.SGTree` constructor.
+    """
+    transactions = list(transactions)
+    tree = SGTree(n_bits, **tree_kwargs)
+    if not transactions:
+        return tree
+    if not 0.0 < fill_ratio <= 1.0:
+        raise ValueError(f"fill_ratio must be in (0, 1], got {fill_ratio}")
+    signatures = [t.signature for t in transactions]
+    if method == "gray":
+        order = gray_sort_order(signatures)
+    elif method == "minhash":
+        order = minhash_order(signatures, n_hashes=n_hashes, seed=seed)
+    else:
+        raise ValueError(f"unknown bulk-load method {method!r}; use 'gray' or 'minhash'")
+
+    fill = max(tree.min_fill, min(tree.max_entries, round(tree.max_entries * fill_ratio)))
+    entries = [
+        Entry(transactions[i].signature, transactions[i].tid) for i in order
+    ]
+    # Replace the fresh empty root: pack leaves, then parent levels, until
+    # a single node remains.
+    old_root = tree.root_id
+    level = 0
+    while True:
+        entries = _pack_level(tree, entries, level, fill)
+        level += 1
+        if len(entries) == 1:
+            break
+    tree.store.free(old_root)
+    tree._root_id = entries[0].ref
+    tree._height = level
+    tree._size = len(transactions)
+    return tree

@@ -1,0 +1,195 @@
+"""A thread-safe facade over the SG-tree.
+
+The core :class:`~repro.sgtree.tree.SGTree` is single-threaded, like the
+paper's implementation.  :class:`ConcurrentSGTree` adds a classical
+readers-writer protocol at the index level: any number of concurrent
+queries, exclusive updates.  Coarse-grained tree-level latching is the
+textbook baseline (per-node latch-crabbing would be the next step); it
+is correct for any interleaving and keeps the underlying buffer
+accounting consistent, which is what the library's users need first.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Iterable
+
+from ..core.distance import Metric
+from ..core.signature import Signature
+from ..core.transaction import Transaction
+from .search import Neighbor, SearchStats
+from .tree import SGTree
+
+__all__ = ["ReadWriteLock", "ConcurrentSGTree"]
+
+
+class ReadWriteLock:
+    """A writer-preferring readers-writer lock.
+
+    Readers proceed concurrently; a waiting writer blocks new readers so
+    a steady query stream cannot starve updates.
+    """
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        self._readers_done = threading.Condition(self._mutex)
+        self._writers_done = threading.Condition(self._mutex)
+        self._active_readers = 0
+        self._active_writer = False
+        self._waiting_writers = 0
+
+    def acquire_read(self) -> None:
+        with self._mutex:
+            while self._active_writer or self._waiting_writers:
+                self._writers_done.wait()
+            self._active_readers += 1
+
+    def release_read(self) -> None:
+        with self._mutex:
+            self._active_readers -= 1
+            if self._active_readers == 0:
+                self._readers_done.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._mutex:
+            self._waiting_writers += 1
+            try:
+                while self._active_writer or self._active_readers:
+                    self._readers_done.wait()
+            finally:
+                self._waiting_writers -= 1
+            self._active_writer = True
+
+    def release_write(self) -> None:
+        with self._mutex:
+            self._active_writer = False
+            self._writers_done.notify_all()
+            self._readers_done.notify_all()
+
+    class _ReadGuard:
+        def __init__(self, lock: "ReadWriteLock"):
+            self._lock = lock
+
+        def __enter__(self) -> None:
+            self._lock.acquire_read()
+
+        def __exit__(self, *exc_info: object) -> None:
+            self._lock.release_read()
+
+    class _WriteGuard:
+        def __init__(self, lock: "ReadWriteLock"):
+            self._lock = lock
+
+        def __enter__(self) -> None:
+            self._lock.acquire_write()
+
+        def __exit__(self, *exc_info: object) -> None:
+            self._lock.release_write()
+
+    def reading(self) -> "_ReadGuard":
+        return self._ReadGuard(self)
+
+    def writing(self) -> "_WriteGuard":
+        return self._WriteGuard(self)
+
+
+class ConcurrentSGTree:
+    """Tree-level-latched SG-tree: shared queries, exclusive updates.
+
+    Wraps an existing :class:`SGTree` (or builds one from the given
+    constructor arguments) and exposes the same query/update surface.
+
+    Note: queries mutate buffer state (residency, counters), which is
+    protected by the same lock — readers share it safely because the
+    store's caches are only *appended to* during reads in ``sim`` mode;
+    for ``disk`` mode with eviction, pass ``serial_reads=True`` to run
+    queries exclusively as well.
+    """
+
+    def __init__(
+        self,
+        tree: SGTree | None = None,
+        serial_reads: bool = False,
+        **tree_kwargs: object,
+    ):
+        if tree is None:
+            tree = SGTree(**tree_kwargs)
+        self._tree = tree
+        self._lock = ReadWriteLock()
+        self._serial_reads = serial_reads or tree.store.mode == "disk"
+
+    @property
+    def tree(self) -> SGTree:
+        """The wrapped tree (not thread-safe to touch directly)."""
+        return self._tree
+
+    def _read_guard(self):
+        if self._serial_reads:
+            return self._lock.writing()
+        return self._lock.reading()
+
+    # -- updates (exclusive) -------------------------------------------------
+
+    def insert(self, tid_or_transaction, signature: Signature | None = None) -> None:
+        with self._lock.writing():
+            self._tree.insert(tid_or_transaction, signature)
+
+    def insert_many(self, transactions: Iterable[Transaction]) -> None:
+        with self._lock.writing():
+            self._tree.insert_many(transactions)
+
+    def delete(self, tid_or_transaction, signature: Signature | None = None) -> bool:
+        with self._lock.writing():
+            return self._tree.delete(tid_or_transaction, signature)
+
+    def update(self, tid: int, old: Signature, new: Signature) -> bool:
+        with self._lock.writing():
+            return self._tree.update(tid, old, new)
+
+    def commit(self) -> None:
+        with self._lock.writing():
+            self._tree.commit()
+
+    # -- queries (shared) -------------------------------------------------------
+
+    def nearest(
+        self,
+        query: Signature,
+        k: int = 1,
+        metric: Metric | str | None = None,
+        algorithm: str = "depth-first",
+        stats: SearchStats | None = None,
+    ) -> list[Neighbor]:
+        with self._read_guard():
+            return self._tree.nearest(
+                query, k=k, metric=metric, algorithm=algorithm, stats=stats
+            )
+
+    def range_query(
+        self,
+        query: Signature,
+        epsilon: float,
+        metric: Metric | str | None = None,
+        stats: SearchStats | None = None,
+    ) -> list[Neighbor]:
+        with self._read_guard():
+            return self._tree.range_query(query, epsilon, metric=metric, stats=stats)
+
+    def containment_query(self, query: Signature) -> list[int]:
+        with self._read_guard():
+            return self._tree.containment_query(query)
+
+    def subset_query(self, query: Signature) -> list[int]:
+        with self._read_guard():
+            return self._tree.subset_query(query)
+
+    def equality_query(self, query: Signature) -> list[int]:
+        with self._read_guard():
+            return self._tree.equality_query(query)
+
+    def __len__(self) -> int:
+        with self._read_guard():
+            return len(self._tree)
+
+    def __repr__(self) -> str:
+        return f"ConcurrentSGTree({self._tree!r})"

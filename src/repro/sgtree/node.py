@@ -1,0 +1,588 @@
+"""SG-tree nodes, entries, and the paginated node store.
+
+A node corresponds to one disk page and contains entries
+``<sig, ptr>`` (Section 3): in a leaf, ``sig`` is a transaction's
+signature and ``ptr`` its transaction id; in a directory node, ``sig`` is
+the OR of all signatures in the child node and ``ptr`` the child's page
+id.
+
+:class:`NodeStore` is the bridge to the storage substrate.  It hands out
+nodes by page id, counts every *node access* and every *random I/O*
+(an access to a node not resident in the configured buffer budget), and —
+in ``disk`` mode — actually serialises evicted nodes through a pager and
+deserialises them on fault, so the whole index runs out-of-core.  ``sim``
+mode keeps all nodes in memory and only accounts the traffic; the paper's
+comparative I/O metrics depend only on the counts, so the benchmarks use
+``sim`` for speed while the test-suite exercises ``disk`` end-to-end.
+
+Multipage nodes: Section 3 notes that "using multipage nodes is a
+potential implementation" of the node = disk page mapping.  With
+``multipage=True`` the disk-mode store chains a node that outgrows its
+page across continuation pages — the primary page carries a small header
+(total length, continuation count, continuation page ids) followed by
+the first chunk — so the fan-out ``M`` may exceed what a single page
+holds.  Reading a chained node costs ``1 + n_continuations`` random
+I/Os, which the counters charge accordingly.
+"""
+
+from __future__ import annotations
+
+import struct
+import weakref
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core import bitops
+from ..core.signature import Signature
+from ..storage.buffer import FIFOPolicy, ClockPolicy, LRUPolicy, ReplacementPolicy
+from ..storage.page import DEFAULT_PAGE_SIZE, Page, PageId
+from ..storage.page import PageNotFoundError
+from ..storage.pager import MemoryPager, Pager
+from ..storage.serialization import NodeImage, capacity_for_page, decode_node, encode_node
+from ..storage.wal import WriteAheadLog
+
+
+@dataclass
+class Entry:
+    """One ``<sig, ptr>`` node entry.
+
+    ``ref`` is a transaction id in leaf nodes and a child page id in
+    directory nodes; the owning node's level disambiguates.
+
+    Directory entries additionally carry the subtree's *area range*
+    ``[min_area, max_area]`` — the smallest/largest transaction size
+    below them — and its transaction ``count``.  These are the Section-6
+    "statistics from the indexed data": the range strengthens Hamming
+    lower bounds for variable-size data (see
+    :func:`repro.sgtree.search.strengthen_hamming_bounds`), and the
+    count turns the index into an aggregate tree that can answer range
+    *counting* queries without visiting whole qualifying subtrees.  Leaf
+    entries leave them ``None`` (the signature's own area is the
+    statistic and the count is one).
+    """
+
+    signature: Signature
+    ref: int
+    min_area: int | None = None
+    max_area: int | None = None
+    count: int | None = None
+
+    @property
+    def area(self) -> int:
+        return self.signature.area
+
+
+class Node:
+    """A tree node: a level, a page id and a list of entries.
+
+    The node lazily maintains a stacked ``(n_entries, n_words)`` matrix of
+    its entry signatures so search can evaluate bounds for the whole node
+    in one vectorised expression; any mutation invalidates the cache.
+    """
+
+    __slots__ = ("page_id", "level", "entries", "_matrix", "_area_ranges", "__weakref__")
+
+    def __init__(self, page_id: PageId, level: int, entries: list[Entry] | None = None):
+        self.page_id = page_id
+        self.level = level
+        self.entries: list[Entry] = entries if entries is not None else []
+        self._matrix: np.ndarray | None = None
+        self._area_ranges: tuple[np.ndarray, np.ndarray] | None = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.level == 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def signature_matrix(self) -> np.ndarray:
+        """Stacked entry signatures, cached until the node mutates."""
+        if self._matrix is None or self._matrix.shape[0] != len(self.entries):
+            if self.entries:
+                self._matrix = np.stack([e.signature.words for e in self.entries])
+            else:
+                raise ValueError(f"node {self.page_id} has no entries")
+        return self._matrix
+
+    def area_ranges(self) -> "tuple[np.ndarray, np.ndarray] | None":
+        """Per-entry (min_area, max_area) vectors, or ``None`` when any
+        entry lacks statistics.  Cached until the node mutates."""
+        if self._area_ranges is None:
+            mins, maxs = [], []
+            for entry in self.entries:
+                if entry.min_area is None or entry.max_area is None:
+                    return None
+                mins.append(entry.min_area)
+                maxs.append(entry.max_area)
+            self._area_ranges = (
+                np.asarray(mins, dtype=np.int64),
+                np.asarray(maxs, dtype=np.int64),
+            )
+        return self._area_ranges
+
+    def subtree_count(self) -> int | None:
+        """Transactions under this node, from entry statistics.
+
+        ``None`` when a directory child lacks a count (hand-built trees).
+        """
+        if self.is_leaf:
+            return len(self.entries)
+        total = 0
+        for entry in self.entries:
+            if entry.count is None:
+                return None
+            total += entry.count
+        return total
+
+    def subtree_area_range(self) -> tuple[int, int]:
+        """The [min, max] transaction area under this whole node.
+
+        For a leaf: over its transactions' areas; for a directory: over
+        its entries' stored statistics (falling back to a degenerate
+        range when a child lacks them).
+        """
+        if not self.entries:
+            return (0, 0)
+        if self.is_leaf:
+            areas = [entry.area for entry in self.entries]
+            return (min(areas), max(areas))
+        mins = [e.min_area for e in self.entries if e.min_area is not None]
+        maxs = [e.max_area for e in self.entries if e.max_area is not None]
+        if len(mins) != len(self.entries):
+            return (0, self.entries[0].signature.n_bits)
+        return (min(mins), max(maxs))
+
+    def union_signature(self) -> Signature:
+        """The coverage signature of the whole node (Definition 5)."""
+        matrix = self.signature_matrix()
+        n_bits = self.entries[0].signature.n_bits
+        return Signature(bitops.union_all(matrix), n_bits)
+
+    def add(self, entry: Entry) -> None:
+        self.entries.append(entry)
+        self.invalidate()
+
+    def remove_at(self, index: int) -> Entry:
+        entry = self.entries.pop(index)
+        self.invalidate()
+        return entry
+
+    def replace_entries(self, entries: list[Entry]) -> None:
+        self.entries = entries
+        self.invalidate()
+
+    def invalidate(self) -> None:
+        """Drop the cached matrix/stats after entry mutation."""
+        self._matrix = None
+        self._area_ranges = None
+
+    def find_ref(self, ref: int) -> int | None:
+        """Index of the entry pointing at ``ref``, or ``None``."""
+        for i, entry in enumerate(self.entries):
+            if entry.ref == ref:
+                return i
+        return None
+
+    def __repr__(self) -> str:
+        kind = "leaf" if self.is_leaf else f"dir(level={self.level})"
+        return f"Node(page={self.page_id}, {kind}, entries={len(self.entries)})"
+
+
+@dataclass
+class StoreCounters:
+    """Aggregate traffic counters of a node store."""
+
+    node_accesses: int = 0
+    random_ios: int = 0
+    node_writes: int = 0
+
+    def reset(self) -> None:
+        self.node_accesses = 0
+        self.random_ios = 0
+        self.node_writes = 0
+
+    def snapshot(self) -> "StoreCounters":
+        return StoreCounters(self.node_accesses, self.random_ios, self.node_writes)
+
+
+_POLICIES = {"lru": LRUPolicy, "fifo": FIFOPolicy, "clock": ClockPolicy}
+
+
+class NodeStore:
+    """Paginated node storage with buffer accounting.
+
+    Parameters
+    ----------
+    n_bits:
+        Signature length; needed to decode pages.
+    page_size:
+        Disk page size; also derives the default node capacity.
+    frames:
+        Buffer budget in pages (``None`` = everything resident; accesses
+        are still counted, misses only occur on first touch).
+    policy:
+        Replacement policy name (``"lru"``, ``"fifo"``, ``"clock"``).
+    mode:
+        ``"sim"`` (default) keeps all nodes in memory and counts traffic;
+        ``"disk"`` serialises evicted nodes through ``pager`` and decodes
+        them back on fault.
+    compress:
+        Use the Section-3.2 sparse-signature encoding on pages.
+    multipage:
+        Allow disk-mode nodes to span a chain of pages (see the module
+        docstring).  Off by default: a node that outgrows its page then
+        raises :class:`~repro.storage.page.PageOverflowError`.
+    pager:
+        Backing page store for ``disk`` mode (default: fresh
+        :class:`MemoryPager`; pass a ``FilePager`` to hit a real file).
+    wal:
+        Optional :class:`~repro.storage.wal.WriteAheadLog`.  When set (disk
+        mode only), :meth:`commit` makes the state crash-recoverable: it
+        forces dirty nodes to the pager and appends the touched page
+        images plus a metadata blob to the log.
+    """
+
+    def __init__(
+        self,
+        n_bits: int,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        frames: int | None = 256,
+        policy: str = "lru",
+        mode: str = "sim",
+        compress: bool = False,
+        multipage: bool = False,
+        pager: Pager | None = None,
+        wal: WriteAheadLog | None = None,
+    ):
+        if wal is not None and mode != "disk":
+            raise ValueError("a write-ahead log requires mode='disk'")
+        if mode not in ("sim", "disk"):
+            raise ValueError(f"mode must be 'sim' or 'disk', got {mode!r}")
+        if policy not in _POLICIES:
+            raise ValueError(f"unknown policy {policy!r}; choose from {sorted(_POLICIES)}")
+        self.n_bits = n_bits
+        self.page_size = page_size
+        self.mode = mode
+        self.compress = compress
+        self.multipage = multipage
+        self.counters = StoreCounters()
+        self._pager = pager if pager is not None else MemoryPager(page_size=page_size)
+        self._frames = frames
+        self._policy: ReplacementPolicy = _POLICIES[policy]()
+        self._resident: dict[PageId, Node] = {}
+        # sim mode: authoritative node table (resident-set is an overlay)
+        self._all: dict[PageId, Node] = {}
+        self._dirty: set[PageId] = set()
+        # disk mode: identity map of every decoded node still referenced
+        # somewhere — an evicted node that an ancestor still holds (and
+        # may still mutate) must be resurrected as the *same* object, not
+        # re-decoded from stale page bytes.
+        self._live: "weakref.WeakValueDictionary[PageId, Node]" = (
+            weakref.WeakValueDictionary()
+        )
+        # multipage mode: continuation pages of each chained primary page
+        self._chains: dict[PageId, list[PageId]] = {}
+        self.wal = wal
+        # pages touched / freed since the last commit (WAL bookkeeping)
+        self._uncommitted: set[PageId] = set()
+        self._freed_log: list[PageId] = []
+
+    @property
+    def pager(self) -> Pager:
+        return self._pager
+
+    @property
+    def frames(self) -> int | None:
+        return self._frames
+
+    def resize(self, frames: int | None) -> None:
+        """Change the buffer budget at runtime."""
+        self._frames = frames
+        if frames is not None:
+            while len(self._resident) > frames:
+                self._evict_one()
+
+    def create_node(self, level: int) -> Node:
+        """Allocate a page and return its fresh, resident node."""
+        page_id = self._pager.allocate()
+        node = Node(page_id=page_id, level=level)
+        if self.mode == "sim":
+            self._all[page_id] = node
+        else:
+            self._live[page_id] = node
+        self._admit(node)
+        self._dirty.add(page_id)
+        if self.wal is not None:
+            self._uncommitted.add(page_id)
+        return node
+
+    def get(self, page_id: PageId) -> Node:
+        """Fetch a node, counting the access and any buffer miss."""
+        self.counters.node_accesses += 1
+        node = self._resident.get(page_id)
+        if node is not None:
+            self._policy.record_access(page_id)
+            return node
+        self.counters.random_ios += 1
+        node = self._fault(page_id)
+        self._admit(node)
+        return node
+
+    def mark_dirty(self, node: Node) -> None:
+        """Note that a node mutated and must be flushed before eviction.
+
+        In disk mode a dirty node is re-admitted to the resident set if it
+        was evicted meanwhile, so the eviction/flush machinery always sees
+        (and writes back) the mutated object.
+        """
+        self._dirty.add(node.page_id)
+        if self.wal is not None:
+            self._uncommitted.add(node.page_id)
+        if self.mode == "sim":
+            if node.page_id not in self._all:
+                self._all[node.page_id] = node
+        else:
+            self._live[node.page_id] = node
+            if node.page_id not in self._resident:
+                self._admit(node)
+
+    def free(self, page_id: PageId) -> None:
+        """Release a node's page (and any continuation pages)."""
+        self._resident.pop(page_id, None)
+        self._policy.remove(page_id)
+        self._dirty.discard(page_id)
+        self._all.pop(page_id, None)
+        self._live.pop(page_id, None)
+        if self.multipage and self.mode == "disk":
+            for continuation in self._chain_of(page_id):
+                self._pager.free(continuation)
+                if self.wal is not None:
+                    self._freed_log.append(continuation)
+                    self._uncommitted.discard(continuation)
+        self._chains.pop(page_id, None)
+        self._pager.free(page_id)
+        if self.wal is not None:
+            self._freed_log.append(page_id)
+            self._uncommitted.discard(page_id)
+
+    def flush(self) -> None:
+        """Write back every dirty resident node (disk mode)."""
+        if self.mode != "disk":
+            self._dirty.clear()
+            return
+        for page_id in sorted(self._dirty):
+            node = self._resident.get(page_id)
+            if node is None:
+                node = self._live.get(page_id)
+            if node is not None:
+                self._write_node(node)
+        self._dirty.clear()
+
+    def clear_cache(self) -> None:
+        """Flush and evict everything — a cold buffer pool."""
+        if self.mode == "disk":
+            self.flush()
+            for page_id in list(self._resident):
+                self._policy.remove(page_id)
+            self._resident.clear()
+        else:
+            for page_id in list(self._resident):
+                self._policy.remove(page_id)
+            self._resident.clear()
+
+    def commit(self, meta: dict | None = None) -> None:
+        """Force dirty nodes to the pager and seal a WAL commit batch.
+
+        After a crash, :func:`repro.storage.wal.recover` restores the page
+        store to exactly this state (force-at-commit redo logging).
+        No-op without an attached log.
+        """
+        if self.wal is None:
+            self.flush()
+            return
+        self.flush()
+        for page_id in sorted(self._uncommitted):
+            try:
+                page = self._pager.read(page_id)
+            except PageNotFoundError:
+                continue  # touched, then freed before the commit
+            self.wal.append_write(page_id, page.data)
+        for page_id in self._freed_log:
+            self.wal.append_free(page_id)
+        if meta is not None:
+            self.wal.append_meta(meta)
+        self.wal.append_commit()
+        self._uncommitted.clear()
+        self._freed_log.clear()
+
+    def checkpoint(self, meta: dict | None = None) -> None:
+        """Commit, then truncate the log (the page file is the state)."""
+        self.commit(meta)
+        if self.wal is not None:
+            self.wal.checkpoint()
+
+    def default_capacity(self) -> int:
+        """Node fan-out derived from the page size (Section 3: node = page)."""
+        return capacity_for_page(self.page_size, self.n_bits, self.compress)
+
+    def __len__(self) -> int:
+        if self.mode == "sim":
+            return len(self._all)
+        return len(self._pager)
+
+    # -- internals ---------------------------------------------------------
+
+    def _admit(self, node: Node) -> None:
+        if self._frames is not None:
+            while len(self._resident) >= self._frames:
+                self._evict_one()
+        self._resident[node.page_id] = node
+        self._policy.admit(node.page_id)
+
+    def _evict_one(self) -> None:
+        victim_id = self._policy.evict()
+        victim = self._resident.pop(victim_id)
+        if victim_id in self._dirty:
+            if self.mode == "disk":
+                self._write_node(victim)
+            self._dirty.discard(victim_id)
+
+    def _fault(self, page_id: PageId) -> Node:
+        if self.mode == "sim":
+            try:
+                return self._all[page_id]
+            except KeyError:
+                raise KeyError(f"unknown page id {page_id}") from None
+        alive = self._live.get(page_id)
+        if alive is not None:
+            # The object is still referenced (and possibly mutated) by a
+            # caller — reuse it rather than decoding stale page bytes.
+            return alive
+        data = self._read_chained(page_id)
+        image = decode_node(data, self.n_bits)
+        if image.stats is not None:
+            entries = [
+                Entry(signature, ref, min_area=stat[0], max_area=stat[1], count=stat[2])
+                for (signature, ref), stat in zip(image.entries, image.stats)
+            ]
+        else:
+            entries = [Entry(signature, ref) for signature, ref in image.entries]
+        node = Node(page_id=page_id, level=image.level, entries=entries)
+        self._live[page_id] = node
+        return node
+
+    def _write_node(self, node: Node) -> None:
+        stats = None
+        if not node.is_leaf and all(
+            e.min_area is not None and e.max_area is not None and e.count is not None
+            for e in node.entries
+        ):
+            stats = [(e.min_area, e.max_area, e.count) for e in node.entries]
+        image = NodeImage(
+            is_leaf=node.is_leaf,
+            level=node.level,
+            entries=[(e.signature, e.ref) for e in node.entries],
+            stats=stats,
+        )
+        self._write_chained(node.page_id, encode_node(image, compress=self.compress))
+        self.counters.node_writes += 1
+
+    # -- multipage chaining -------------------------------------------------
+    #
+    # Primary-page layout: <u32 total_len> <u16 n_cont> <u64 cont_id>*n
+    # followed by the first chunk of the node bytes; each continuation
+    # page holds the next page_size bytes verbatim.
+
+    _CHAIN_HEADER = struct.Struct("<IH")
+    _CHAIN_ID = struct.Struct("<q")
+
+    def _chain_of(self, page_id: PageId) -> list[PageId]:
+        """Continuation pages of a primary page (reads it if unknown)."""
+        cached = self._chains.get(page_id)
+        if cached is not None:
+            return cached
+        try:
+            page = self._pager.read(page_id)
+        except KeyError:
+            return []
+        if len(page.data) < self._CHAIN_HEADER.size:
+            return []
+        _, n_cont = self._CHAIN_HEADER.unpack_from(page.data)
+        offset = self._CHAIN_HEADER.size
+        chain = [
+            self._CHAIN_ID.unpack_from(page.data, offset + i * self._CHAIN_ID.size)[0]
+            for i in range(n_cont)
+        ]
+        self._chains[page_id] = chain
+        return chain
+
+    def _write_chained(self, page_id: PageId, data: bytes) -> None:
+        if not self.multipage:
+            page = Page(page_id=page_id, capacity=self.page_size)
+            page.write(data)
+            self._pager.write(page)
+            return
+        header = self._CHAIN_HEADER
+        # Minimal number of continuation pages such that the primary
+        # chunk plus full continuation pages cover the payload.
+        n_cont = 0
+        while True:
+            primary_room = self.page_size - header.size - n_cont * self._CHAIN_ID.size
+            if primary_room < 0:
+                raise ValueError(
+                    f"page size {self.page_size} too small for a "
+                    f"{len(data)}-byte node chain"
+                )
+            if primary_room + n_cont * self.page_size >= len(data):
+                break
+            n_cont += 1
+        chain = self._chains.get(page_id, self._chain_of(page_id))
+        while len(chain) < n_cont:
+            chain.append(self._pager.allocate())
+        while len(chain) > n_cont:
+            dropped = chain.pop()
+            self._pager.free(dropped)
+            if self.wal is not None:
+                self._freed_log.append(dropped)
+                self._uncommitted.discard(dropped)
+        self._chains[page_id] = chain
+        if self.wal is not None:
+            self._uncommitted.update(chain)
+        primary_room = self.page_size - header.size - n_cont * self._CHAIN_ID.size
+        blob = bytearray(header.pack(len(data), n_cont))
+        for continuation in chain:
+            blob += self._CHAIN_ID.pack(continuation)
+        blob += data[:primary_room]
+        page = Page(page_id=page_id, capacity=self.page_size)
+        page.write(bytes(blob))
+        self._pager.write(page)
+        cursor = primary_room
+        for continuation in chain:
+            chunk = data[cursor : cursor + self.page_size]
+            cursor += self.page_size
+            cont_page = Page(page_id=continuation, capacity=self.page_size)
+            cont_page.write(chunk)
+            self._pager.write(cont_page)
+
+    def _read_chained(self, page_id: PageId) -> bytes:
+        page = self._pager.read(page_id)
+        if not self.multipage:
+            return page.data
+        total_len, n_cont = self._CHAIN_HEADER.unpack_from(page.data)
+        offset = self._CHAIN_HEADER.size
+        chain = [
+            self._CHAIN_ID.unpack_from(page.data, offset + i * self._CHAIN_ID.size)[0]
+            for i in range(n_cont)
+        ]
+        self._chains[page_id] = chain
+        data = bytearray(page.data[offset + n_cont * self._CHAIN_ID.size :])
+        for continuation in chain:
+            # Each continuation page is one extra random I/O.
+            self.counters.random_ios += 1
+            data += self._pager.read(continuation).data
+        return bytes(data[:total_len])
+
+
+__all__ = ["Entry", "Node", "NodeStore", "StoreCounters"]

@@ -1,0 +1,698 @@
+"""Query processing on the SG-tree (Section 4).
+
+Implements every query type the paper discusses:
+
+* **containment** (itemset superset) queries — Section 3's traversal
+  following entries whose signature contains the query signature;
+* **subset** and **equality** queries — included for completeness; the
+  paper (citing Helmer & Moerkotte) notes signature trees are *not* the
+  right tool for these, which the inverted-index baseline ablation
+  regenerates;
+* **similarity range** queries — branch-and-bound pruning entries whose
+  optimistic bound exceeds ``epsilon``;
+* **nearest-neighbour / k-NN** — the depth-first branch-and-bound
+  algorithm of the paper's Figure 4 (entries visited in ascending
+  lower-bound order with a minimum-area tie-break), plus the best-first,
+  I/O-optimal variant with a global priority queue that the paper
+  attributes to Hjaltason & Samet;
+* **all nearest neighbours** — the Figure-4 variant that keeps every
+  transaction tied at the minimum distance.
+
+Searches optionally fill a :class:`SearchStats`, whose fields feed the
+paper's evaluation metrics: node accesses, random I/Os (buffer misses)
+and the number of leaf transactions compared (the "% of data accessed").
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import NamedTuple
+
+import numpy as np
+
+from ..core import bitops
+from ..core.distance import Metric
+from ..core.signature import Signature
+from ..storage.page import PageId
+from .node import NodeStore
+
+__all__ = [
+    "Neighbor",
+    "strengthen_hamming_bounds",
+    "SearchStats",
+    "knn",
+    "knn_depth_first",
+    "knn_best_first",
+    "browse",
+    "nearest_all",
+    "range_search",
+    "range_count",
+    "range_count_bounds",
+    "constrained_nearest",
+    "containment_search",
+    "subset_search",
+    "equality_search",
+]
+
+
+class Neighbor(NamedTuple):
+    """One search hit: distance from the query and the transaction id."""
+
+    distance: float
+    tid: int
+
+
+@dataclass
+class SearchStats:
+    """Per-query traffic, in the paper's evaluation units."""
+
+    node_accesses: int = 0
+    random_ios: int = 0
+    leaf_entries: int = 0
+
+    def data_fraction(self, database_size: int) -> float:
+        """The paper's "% of data processed" for a database of given size."""
+        if database_size <= 0:
+            return 0.0
+        return 100.0 * self.leaf_entries / database_size
+
+
+class _StatsScope:
+    """Capture store-counter deltas into a :class:`SearchStats`."""
+
+    def __init__(self, store: NodeStore, stats: SearchStats | None):
+        self._store = store
+        self._stats = stats
+        self._before = None
+
+    def __enter__(self) -> SearchStats:
+        self._active = self._stats if self._stats is not None else SearchStats()
+        self._before = self._store.counters.snapshot()
+        return self._active
+
+    def __exit__(self, *exc_info: object) -> None:
+        after = self._store.counters
+        self._active.node_accesses += after.node_accesses - self._before.node_accesses
+        self._active.random_ios += after.random_ios - self._before.random_ios
+
+
+def strengthen_hamming_bounds(
+    metric: Metric, query: Signature, node, bounds: np.ndarray
+) -> np.ndarray:
+    """Sharpen plain-Hamming directory bounds with subtree area stats.
+
+    The Section-6 "statistics from the indexed data" optimisation: with
+    the entry's subtree area range ``[lo, hi]`` and
+    ``c = min(|q ∩ sig|, hi)``,
+
+        ham(q, t) = (|q| − |q∩t|) + (|t| − |q∩t|)
+                  ≥ (|q| − c) + max(0, lo − c)
+
+    which dominates the generic ``|q minus sig|`` and reduces to the
+    fixed-dimensionality bound when ``lo == hi``.  Applied only for the
+    plain Hamming metric (the fixed-area variant already encodes it) and
+    only when every entry carries statistics.
+    """
+    if metric.name != "hamming" or getattr(metric, "fixed_area", None) is not None:
+        return bounds
+    ranges = node.area_ranges()
+    if ranges is None:
+        return bounds
+    mins, maxs = ranges
+    common = query.area - bounds  # |q ∩ sig| per entry
+    c = np.minimum(common, maxs)
+    return (query.area - c) + np.maximum(0, mins - c)
+
+
+def _directory_bounds(metric: Metric, query: Signature, node) -> np.ndarray:
+    """Per-entry lower bounds for a directory node, stats-sharpened."""
+    bounds = metric.lower_bound_many(query, node.signature_matrix())
+    return strengthen_hamming_bounds(metric, query, node, bounds)
+
+
+def _entry_order(metric: Metric, query: Signature, node) -> tuple[np.ndarray, np.ndarray]:
+    """Lower bounds and the Figure-4 visit order for a directory node.
+
+    Entries are sorted by ascending optimistic bound; ties are broken by
+    placing the smallest-area entries first (the paper's probabilistic
+    argument: among subtrees sharing the same number of common items with
+    the query, the densest one is most likely to contain the optimistic
+    neighbour).
+    """
+    bounds = _directory_bounds(metric, query, node)
+    areas = np.asarray(bitops.popcount(node.signature_matrix()), dtype=np.int64)
+    order = np.lexsort((areas, bounds))
+    return bounds, order
+
+
+class _KnnHeap:
+    """A bounded max-heap of the k best neighbours found so far."""
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self._heap: list[tuple[float, int]] = []  # (-distance, tid)
+
+    @property
+    def threshold(self) -> float:
+        """Distance of the current k-th neighbour (inf while not full)."""
+        if len(self._heap) < self.k:
+            return float("inf")
+        return -self._heap[0][0]
+
+    def offer(self, distance: float, tid: int) -> None:
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, (-distance, tid))
+        elif distance < self.threshold:
+            heapq.heapreplace(self._heap, (-distance, tid))
+
+    def offer_many(self, distances: np.ndarray, refs: list[int]) -> None:
+        """Offer a whole leaf at once, touching Python only for the few
+        entries that can actually enter the heap."""
+        if len(self._heap) < self.k:
+            for i in np.argsort(distances, kind="stable"):
+                self.offer(float(distances[i]), refs[i])
+            return
+        candidates = np.flatnonzero(distances < self.threshold)
+        if candidates.size:
+            for i in candidates[np.argsort(distances[candidates], kind="stable")]:
+                self.offer(float(distances[i]), refs[i])
+
+    def results(self) -> list[Neighbor]:
+        ordered = sorted((-d, tid) for d, tid in self._heap)
+        return [Neighbor(distance, tid) for distance, tid in ordered]
+
+
+def knn_depth_first(
+    store: NodeStore,
+    root_id: PageId,
+    query: Signature,
+    k: int,
+    metric: Metric,
+    stats: SearchStats | None = None,
+) -> list[Neighbor]:
+    """Figure 4: depth-first branch-and-bound k-NN."""
+    with _StatsScope(store, stats) as active:
+        best = _KnnHeap(k)
+
+        def visit(page_id: PageId) -> None:
+            node = store.get(page_id)
+            matrix = node.signature_matrix() if node.entries else None
+            if matrix is None:
+                return
+            if node.is_leaf:
+                active.leaf_entries += len(node.entries)
+                distances = metric.distance_many(query, matrix)
+                best.offer_many(distances, [e.ref for e in node.entries])
+            else:
+                bounds, order = _entry_order(metric, query, node)
+                for i in order:
+                    if bounds[i] > best.threshold:
+                        break  # no later entry in the order can do better
+                    visit(node.entries[i].ref)
+
+        visit(root_id)
+        return best.results()
+
+
+def knn_best_first(
+    store: NodeStore,
+    root_id: PageId,
+    query: Signature,
+    k: int,
+    metric: Metric,
+    stats: SearchStats | None = None,
+) -> list[Neighbor]:
+    """Best-first k-NN with a global priority queue (I/O-optimal).
+
+    The queue holds ``(bound, ·, ref)`` items for both subtrees and
+    individual transactions; a transaction popped from the queue is final
+    because its exact distance is its priority.
+    """
+    with _StatsScope(store, stats) as active:
+        counter = itertools.count()  # tie-break to keep tuples comparable
+        queue: list[tuple[float, int, int, bool, int]] = []
+        heapq.heappush(queue, (0.0, 0, next(counter), True, root_id))
+        results: list[Neighbor] = []
+        while queue and len(results) < k:
+            bound, _area, _seq, is_node, ref = heapq.heappop(queue)
+            if not is_node:
+                results.append(Neighbor(bound, ref))
+                continue
+            node = store.get(ref)
+            if not node.entries:
+                continue
+            matrix = node.signature_matrix()
+            if node.is_leaf:
+                active.leaf_entries += len(node.entries)
+                distances = metric.distance_many(query, matrix)
+                for i, entry in enumerate(node.entries):
+                    heapq.heappush(
+                        queue,
+                        (float(distances[i]), 0, next(counter), False, entry.ref),
+                    )
+            else:
+                bounds = _directory_bounds(metric, query, node)
+                areas = np.asarray(bitops.popcount(matrix), dtype=np.int64)
+                for i, entry in enumerate(node.entries):
+                    heapq.heappush(
+                        queue,
+                        (float(bounds[i]), int(areas[i]), next(counter), True, entry.ref),
+                    )
+        return results
+
+
+def browse(
+    store: NodeStore,
+    root_id: PageId,
+    query: Signature,
+    metric: Metric,
+    stats: SearchStats | None = None,
+):
+    """Distance browsing: yield neighbours in increasing distance, lazily.
+
+    The incremental ranking of Hjaltason & Samet (cited by the paper for
+    the optimal NN algorithm): a generator over the best-first priority
+    queue, expanding only as many nodes as the consumed prefix requires.
+    Taking ``k`` items is equivalent to a k-NN query, but ``k`` need not
+    be known in advance — the caller can keep pulling until a
+    application-level condition holds.
+    """
+    active = stats if stats is not None else SearchStats()
+    before = store.counters.snapshot()
+
+    def flush_stats() -> None:
+        after = store.counters
+        active.node_accesses += after.node_accesses - before.node_accesses
+        active.random_ios += after.random_ios - before.random_ios
+        before.node_accesses = after.node_accesses
+        before.random_ios = after.random_ios
+
+    counter = itertools.count()
+    queue: list[tuple[float, int, int, bool, int]] = [
+        (0.0, 0, next(counter), True, root_id)
+    ]
+    while queue:
+        bound, _area, _seq, is_node, ref = heapq.heappop(queue)
+        if not is_node:
+            flush_stats()
+            yield Neighbor(bound, ref)
+            continue
+        node = store.get(ref)
+        if not node.entries:
+            continue
+        matrix = node.signature_matrix()
+        if node.is_leaf:
+            active.leaf_entries += len(node.entries)
+            distances = metric.distance_many(query, matrix)
+            for i, entry in enumerate(node.entries):
+                heapq.heappush(
+                    queue, (float(distances[i]), 0, next(counter), False, entry.ref)
+                )
+        else:
+            bounds = _directory_bounds(metric, query, node)
+            areas = np.asarray(bitops.popcount(matrix), dtype=np.int64)
+            for i, entry in enumerate(node.entries):
+                heapq.heappush(
+                    queue,
+                    (float(bounds[i]), int(areas[i]), next(counter), True, entry.ref),
+                )
+    flush_stats()
+
+
+def _hamming_upper_bounds(query: Signature, node) -> np.ndarray | None:
+    """Per-entry *upper* Hamming bounds from coverage + area statistics.
+
+    For any transaction ``t`` under an entry with signature ``s`` and
+    area range ``[lo, hi]``: at most ``|s \\ q|`` of its items can fall
+    outside the query, so ``|q ∩ t| ≥ max(0, lo − |s \\ q|)`` and
+
+        ham(q, t) = |q| + |t| − 2|q ∩ t|
+                  ≤ |q| + hi − 2·max(0, lo − |s \\ q|).
+
+    Returns ``None`` when any entry lacks statistics.
+    """
+    ranges = node.area_ranges()
+    if ranges is None:
+        return None
+    mins, maxs = ranges
+    matrix = node.signature_matrix()
+    outside = np.bitwise_count(
+        np.bitwise_and(matrix, np.bitwise_not(query.words))
+    ).sum(axis=-1, dtype=np.int64)
+    floor_common = np.maximum(0, mins - outside)
+    return (query.area + maxs - 2 * floor_common).astype(np.float64)
+
+
+def range_count(
+    store: NodeStore,
+    root_id: PageId,
+    query: Signature,
+    epsilon: float,
+    metric: Metric,
+    stats: SearchStats | None = None,
+) -> int:
+    """Exact count of transactions within ``epsilon`` — aggregate search.
+
+    Uses the per-entry subtree counts as an aggregate index: a directory
+    entry whose *upper* distance bound is within ``epsilon`` contributes
+    its whole subtree count without being visited, so counting can be far
+    cheaper than retrieval (upper bounds are available for the Hamming
+    metric; other metrics fall back to full qualifying-subtree visits).
+    """
+    if epsilon < 0:
+        raise ValueError(f"epsilon must be non-negative, got {epsilon}")
+    with _StatsScope(store, stats) as active:
+        total = 0
+        stack = [root_id]
+        use_shortcut = metric.name == "hamming" and getattr(metric, "fixed_area", None) is None
+        while stack:
+            node = store.get(stack.pop())
+            if not node.entries:
+                continue
+            if node.is_leaf:
+                active.leaf_entries += len(node.entries)
+                distances = metric.distance_many(query, node.signature_matrix())
+                total += int((distances <= epsilon).sum())
+                continue
+            lows = _directory_bounds(metric, query, node)
+            ups = _hamming_upper_bounds(query, node) if use_shortcut else None
+            for i, entry in enumerate(node.entries):
+                if lows[i] > epsilon:
+                    continue
+                if ups is not None and entry.count is not None and ups[i] <= epsilon:
+                    total += entry.count  # whole subtree qualifies, unvisited
+                else:
+                    stack.append(entry.ref)
+        return total
+
+
+def range_count_bounds(
+    store: NodeStore,
+    root_id: PageId,
+    query: Signature,
+    epsilon: float,
+    metric: Metric,
+    node_budget: int,
+    database_size: int,
+    stats: SearchStats | None = None,
+) -> tuple[int, int]:
+    """A ``[low, high]`` interval on the range-count under a node budget.
+
+    Traverses at most ``node_budget`` nodes; entries left unresolved when
+    the budget runs out contribute 0 to the lower bound and their subtree
+    count (or ``database_size`` if unknown) to the upper bound.  With a
+    large enough budget the interval collapses to the exact count.
+    """
+    if epsilon < 0:
+        raise ValueError(f"epsilon must be non-negative, got {epsilon}")
+    if node_budget < 1:
+        raise ValueError(f"node_budget must be >= 1, got {node_budget}")
+    with _StatsScope(store, stats) as active:
+        low = 0
+        high = 0
+        use_shortcut = metric.name == "hamming" and getattr(metric, "fixed_area", None) is None
+        stack: list[tuple[int, int | None]] = [(root_id, None)]
+        visited = 0
+        while stack:
+            page_id, pending_count = stack.pop()
+            if visited >= node_budget:
+                # Budget exhausted: the whole unresolved subtree may or
+                # may not qualify.
+                high += pending_count if pending_count is not None else database_size
+                continue
+            visited += 1
+            node = store.get(page_id)
+            if not node.entries:
+                continue
+            if node.is_leaf:
+                active.leaf_entries += len(node.entries)
+                distances = metric.distance_many(query, node.signature_matrix())
+                qualifying = int((distances <= epsilon).sum())
+                low += qualifying
+                high += qualifying
+                continue
+            lows = _directory_bounds(metric, query, node)
+            ups = _hamming_upper_bounds(query, node) if use_shortcut else None
+            for i, entry in enumerate(node.entries):
+                if lows[i] > epsilon:
+                    continue  # provably zero
+                if ups is not None and entry.count is not None and ups[i] <= epsilon:
+                    low += entry.count
+                    high += entry.count
+                else:
+                    stack.append((entry.ref, entry.count))
+        return low, high
+
+
+def constrained_nearest(
+    store: NodeStore,
+    root_id: PageId,
+    query: Signature,
+    required: Signature,
+    k: int,
+    metric: Metric,
+    stats: SearchStats | None = None,
+) -> list[Neighbor]:
+    """k-NN restricted to transactions containing every ``required`` item.
+
+    Combines the containment traversal with Figure-4 branch-and-bound:
+    only entries whose signature covers ``required`` can hold qualifying
+    transactions, so both filters prune simultaneously.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    with _StatsScope(store, stats) as active:
+        best = _KnnHeap(k)
+        required_words = required.words
+
+        def visit(page_id: PageId) -> None:
+            node = store.get(page_id)
+            if not node.entries:
+                return
+            matrix = node.signature_matrix()
+            covered = np.atleast_1d(bitops.contains(matrix, required_words))
+            if node.is_leaf:
+                active.leaf_entries += len(node.entries)
+                hits = np.flatnonzero(covered)
+                if hits.size:
+                    distances = metric.distance_many(query, matrix[hits])
+                    best.offer_many(distances, [node.entries[i].ref for i in hits])
+            else:
+                bounds, order = _entry_order(metric, query, node)
+                for i in order:
+                    if bounds[i] > best.threshold:
+                        break
+                    if covered[i]:
+                        visit(node.entries[i].ref)
+
+        visit(root_id)
+        return best.results()
+
+
+_KNN_ALGORITHMS = {
+    "depth-first": knn_depth_first,
+    "best-first": knn_best_first,
+}
+
+
+def knn(
+    store: NodeStore,
+    root_id: PageId,
+    query: Signature,
+    k: int,
+    metric: Metric,
+    algorithm: str = "depth-first",
+    stats: SearchStats | None = None,
+) -> list[Neighbor]:
+    """Dispatch to a k-NN algorithm by name."""
+    try:
+        impl = _KNN_ALGORITHMS[algorithm]
+    except KeyError:
+        raise ValueError(
+            f"unknown k-NN algorithm {algorithm!r}; "
+            f"choose from {sorted(_KNN_ALGORITHMS)}"
+        ) from None
+    return impl(store, root_id, query, k, metric, stats=stats)
+
+
+def nearest_all(
+    store: NodeStore,
+    root_id: PageId,
+    query: Signature,
+    metric: Metric,
+    stats: SearchStats | None = None,
+) -> list[Neighbor]:
+    """All transactions tied at the minimum distance from the query.
+
+    The Figure-4 variant: predicates in lines 1 and 2 become ``<=`` and a
+    set of current nearest neighbours replaces the single variable.
+    """
+    with _StatsScope(store, stats) as active:
+        best_distance = float("inf")
+        best: list[Neighbor] = []
+
+        def visit(page_id: PageId) -> None:
+            nonlocal best_distance, best
+            node = store.get(page_id)
+            if not node.entries:
+                return
+            matrix = node.signature_matrix()
+            if node.is_leaf:
+                active.leaf_entries += len(node.entries)
+                distances = metric.distance_many(query, matrix)
+                candidates = np.flatnonzero(distances <= best_distance)
+                order = candidates[np.argsort(distances[candidates], kind="stable")]
+                for i in order:
+                    distance = float(distances[i])
+                    if distance < best_distance:
+                        best_distance = distance
+                        best = [Neighbor(distance, node.entries[i].ref)]
+                    elif distance == best_distance:
+                        best.append(Neighbor(distance, node.entries[i].ref))
+            else:
+                bounds, order = _entry_order(metric, query, node)
+                for i in order:
+                    if bounds[i] > best_distance:
+                        break
+                    visit(node.entries[i].ref)
+
+        visit(root_id)
+        return sorted(best)
+
+
+def range_search(
+    store: NodeStore,
+    root_id: PageId,
+    query: Signature,
+    epsilon: float,
+    metric: Metric,
+    stats: SearchStats | None = None,
+) -> list[Neighbor]:
+    """All transactions within distance ``epsilon`` of the query.
+
+    Directory entries with ``lower_bound > epsilon`` are pruned, "filtering
+    out large parts of the data early".
+    """
+    if epsilon < 0:
+        raise ValueError(f"epsilon must be non-negative, got {epsilon}")
+    with _StatsScope(store, stats) as active:
+        results: list[Neighbor] = []
+        stack = [root_id]
+        while stack:
+            node = store.get(stack.pop())
+            if not node.entries:
+                continue
+            matrix = node.signature_matrix()
+            if node.is_leaf:
+                active.leaf_entries += len(node.entries)
+                distances = metric.distance_many(query, matrix)
+                for i in np.flatnonzero(distances <= epsilon):
+                    results.append(Neighbor(float(distances[i]), node.entries[i].ref))
+            else:
+                bounds = _directory_bounds(metric, query, node)
+                for i in np.flatnonzero(bounds <= epsilon):
+                    stack.append(node.entries[i].ref)
+        return sorted(results)
+
+
+def containment_search(
+    store: NodeStore,
+    root_id: PageId,
+    query: Signature,
+    stats: SearchStats | None = None,
+) -> list[int]:
+    """Transactions containing every item of ``query`` (Section 3).
+
+    Follows exactly the entries whose signature contains the query
+    signature: "if the signature of an entry does not contain sig(q), no
+    transaction indexed in the subtree below it can participate in the
+    result".
+    """
+    with _StatsScope(store, stats) as active:
+        results: list[int] = []
+        stack = [root_id]
+        query_words = query.words
+        while stack:
+            node = store.get(stack.pop())
+            if not node.entries:
+                continue
+            matrix = node.signature_matrix()
+            covered = np.atleast_1d(bitops.contains(matrix, query_words))
+            if node.is_leaf:
+                active.leaf_entries += len(node.entries)
+                results.extend(node.entries[i].ref for i in np.flatnonzero(covered))
+            else:
+                stack.extend(node.entries[i].ref for i in np.flatnonzero(covered))
+        return sorted(results)
+
+
+def subset_search(
+    store: NodeStore,
+    root_id: PageId,
+    query: Signature,
+    stats: SearchStats | None = None,
+) -> list[int]:
+    """Transactions that are subsets of ``query``.
+
+    Signature trees cannot prune subset queries through the coverage
+    property (any subtree may hide a small subset of the query), which is
+    the paper's Section-2 point that inverted/hash indexes are preferable
+    for them; the traversal therefore visits every node and filters at the
+    leaves.
+    """
+    with _StatsScope(store, stats) as active:
+        results: list[int] = []
+        stack = [root_id]
+        query_words = query.words
+        while stack:
+            node = store.get(stack.pop())
+            if not node.entries:
+                continue
+            if node.is_leaf:
+                active.leaf_entries += len(node.entries)
+                matrix = node.signature_matrix()
+                is_subset = bitops.contains(query_words, matrix)
+                for i, entry in enumerate(node.entries):
+                    if is_subset[i]:
+                        results.append(entry.ref)
+            else:
+                stack.extend(entry.ref for entry in node.entries)
+        return sorted(results)
+
+
+def equality_search(
+    store: NodeStore,
+    root_id: PageId,
+    query: Signature,
+    stats: SearchStats | None = None,
+) -> list[int]:
+    """Transactions whose signature equals ``query`` exactly.
+
+    Descends containment-wise (an equal signature is in particular
+    covered) and compares bit-exactly at the leaves.
+    """
+    with _StatsScope(store, stats) as active:
+        results: list[int] = []
+        stack = [root_id]
+        query_words = query.words
+        while stack:
+            node = store.get(stack.pop())
+            if not node.entries:
+                continue
+            matrix = node.signature_matrix()
+            if node.is_leaf:
+                active.leaf_entries += len(node.entries)
+                matches = bitops.equal(matrix, query_words)
+                for i, entry in enumerate(node.entries):
+                    if matches[i]:
+                        results.append(entry.ref)
+            else:
+                covered = bitops.contains(matrix, query_words)
+                for i, entry in enumerate(node.entries):
+                    if covered[i]:
+                        stack.append(entry.ref)
+        return sorted(results)

@@ -1,0 +1,233 @@
+"""Tree quality metrics and structural validation.
+
+Table 1 of the paper grades split policies by the **average area of the
+entries at each level**: "the smaller the average area of the entries at
+the intermediate levels, the better the quality of the clustering".  This
+module computes that metric plus occupancy statistics, and provides
+:func:`validate_tree`, the invariant checker used throughout the
+test-suite:
+
+* every directory entry's signature equals the OR of its child's entries
+  (coverage, Definition 5);
+* all leaves sit at level 0 and the same depth (balance);
+* every non-root node holds between ``m`` and ``M`` entries;
+* node levels decrease by exactly one along every parent-child edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.signature import Signature
+from .node import NodeStore
+from .tree import SGTree
+
+__all__ = [
+    "TreeReport",
+    "LevelProfile",
+    "tree_report",
+    "validate_tree",
+    "average_area_by_level",
+    "occupancy_histogram",
+    "level_profile",
+]
+
+
+@dataclass
+class TreeReport:
+    """Structural summary of an SG-tree."""
+
+    height: int
+    n_nodes: int
+    n_transactions: int
+    entries_by_level: dict[int, int] = field(default_factory=dict)
+    nodes_by_level: dict[int, int] = field(default_factory=dict)
+    average_area_by_level: dict[int, float] = field(default_factory=dict)
+    average_occupancy: float = 0.0
+
+    def __str__(self) -> str:
+        lines = [
+            f"height={self.height} nodes={self.n_nodes} "
+            f"transactions={self.n_transactions} "
+            f"occupancy={self.average_occupancy:.2f}"
+        ]
+        for level in sorted(self.average_area_by_level, reverse=True):
+            lines.append(
+                f"  level {level}: {self.nodes_by_level.get(level, 0)} nodes, "
+                f"{self.entries_by_level[level]} entries, "
+                f"avg area {self.average_area_by_level[level]:.1f}"
+            )
+        return "\n".join(lines)
+
+
+def tree_report(tree: SGTree) -> TreeReport:
+    """Compute the Table-1 quality metrics for a tree."""
+    entries_by_level: dict[int, int] = {}
+    nodes_by_level: dict[int, int] = {}
+    area_by_level: dict[int, int] = {}
+    total_entries = 0
+    n_nodes = 0
+    for node in tree.nodes():
+        n_nodes += 1
+        level = node.level
+        nodes_by_level[level] = nodes_by_level.get(level, 0) + 1
+        entries_by_level[level] = entries_by_level.get(level, 0) + len(node.entries)
+        area_by_level[level] = area_by_level.get(level, 0) + sum(
+            entry.area for entry in node.entries
+        )
+        if node.page_id != tree.root_id:
+            total_entries += len(node.entries)
+    averages = {
+        level: area_by_level[level] / entries_by_level[level]
+        for level in entries_by_level
+        if entries_by_level[level]
+    }
+    non_root_nodes = n_nodes - 1
+    occupancy = (
+        total_entries / (non_root_nodes * tree.max_entries) if non_root_nodes else 0.0
+    )
+    return TreeReport(
+        height=tree.height,
+        n_nodes=n_nodes,
+        n_transactions=len(tree),
+        entries_by_level=entries_by_level,
+        nodes_by_level=nodes_by_level,
+        average_area_by_level=averages,
+        average_occupancy=occupancy,
+    )
+
+
+def average_area_by_level(tree: SGTree) -> dict[int, float]:
+    """Average signature area of the entries at each level (Table 1 rows)."""
+    return tree_report(tree).average_area_by_level
+
+
+def occupancy_histogram(tree: SGTree) -> dict[int, int]:
+    """Histogram of node occupancy: entry count → number of nodes.
+
+    The root is excluded (it legitimately underflows); useful for judging
+    split quality and bulk-loading fill factors.
+    """
+    histogram: dict[int, int] = {}
+    for node in tree.nodes():
+        if node.page_id == tree.root_id:
+            continue
+        count = len(node.entries)
+        histogram[count] = histogram.get(count, 0) + 1
+    return dict(sorted(histogram.items()))
+
+
+@dataclass
+class LevelProfile:
+    """Per-level structural profile."""
+
+    level: int
+    n_nodes: int
+    n_entries: int
+    min_area: int
+    avg_area: float
+    max_area: int
+    occupancy: float
+
+
+def level_profile(tree: SGTree) -> list["LevelProfile"]:
+    """One :class:`LevelProfile` per level, leaf level first.
+
+    Extends the Table-1 averages with min/max entry areas and occupancy,
+    for monitoring index health in long-running deployments.
+    """
+    per_level: dict[int, list[int]] = {}
+    nodes_per_level: dict[int, int] = {}
+    for node in tree.nodes():
+        areas = per_level.setdefault(node.level, [])
+        areas.extend(entry.area for entry in node.entries)
+        nodes_per_level[node.level] = nodes_per_level.get(node.level, 0) + 1
+    profiles = []
+    for level in sorted(per_level):
+        areas = per_level[level]
+        n_nodes = nodes_per_level[level]
+        profiles.append(
+            LevelProfile(
+                level=level,
+                n_nodes=n_nodes,
+                n_entries=len(areas),
+                min_area=min(areas) if areas else 0,
+                avg_area=sum(areas) / len(areas) if areas else 0.0,
+                max_area=max(areas) if areas else 0,
+                occupancy=len(areas) / (n_nodes * tree.max_entries),
+            )
+        )
+    return profiles
+
+
+def validate_tree(tree: SGTree) -> None:
+    """Raise ``AssertionError`` on any violated structural invariant."""
+    store: NodeStore = tree.store
+    seen_tids: list[int] = []
+
+    def check(page_id: int, expected_level: int | None, cover: Signature | None) -> None:
+        node = store.get(page_id)
+        if expected_level is not None and node.level != expected_level:
+            raise AssertionError(
+                f"node {page_id} at level {node.level}, expected {expected_level}"
+            )
+        is_root = page_id == tree.root_id
+        if not is_root and len(node.entries) < tree.min_fill:
+            raise AssertionError(
+                f"non-root node {page_id} underflows: "
+                f"{len(node.entries)} < m={tree.min_fill}"
+            )
+        if len(node.entries) > tree.max_entries:
+            raise AssertionError(
+                f"node {page_id} overflows: {len(node.entries)} > M={tree.max_entries}"
+            )
+        if is_root and not node.is_leaf and len(node.entries) < 2:
+            raise AssertionError(
+                f"directory root {page_id} has {len(node.entries)} entries"
+            )
+        if cover is not None:
+            if not node.entries:
+                raise AssertionError(f"covered node {page_id} is empty")
+            union = node.union_signature()
+            if union != cover:
+                raise AssertionError(
+                    f"coverage violated at node {page_id}: parent entry area "
+                    f"{cover.area}, actual union area {union.area}"
+                )
+        if not node.is_leaf:
+            # Area statistics, when present, must equal the recomputed
+            # subtree ranges (Section-6 "statistics from the indexed data").
+            for entry in node.entries:
+                if entry.min_area is None and entry.max_area is None:
+                    continue
+                child = store.get(entry.ref)
+                lo, hi = child.subtree_area_range()
+                if (entry.min_area, entry.max_area) != (lo, hi):
+                    raise AssertionError(
+                        f"stale area statistics on node {page_id} -> "
+                        f"{entry.ref}: stored [{entry.min_area}, "
+                        f"{entry.max_area}], actual [{lo}, {hi}]"
+                    )
+                if entry.count is not None:
+                    actual = child.subtree_count()
+                    if entry.count != actual:
+                        raise AssertionError(
+                            f"stale count statistic on node {page_id} -> "
+                            f"{entry.ref}: stored {entry.count}, actual {actual}"
+                        )
+        if node.is_leaf:
+            seen_tids.extend(entry.ref for entry in node.entries)
+        else:
+            for entry in node.entries:
+                check(entry.ref, node.level - 1, entry.signature)
+
+    root = store.get(tree.root_id)
+    if root.level != tree.height - 1:
+        raise AssertionError(
+            f"root level {root.level} inconsistent with height {tree.height}"
+        )
+    check(tree.root_id, root.level, None)
+    if len(seen_tids) != len(tree):
+        raise AssertionError(
+            f"tree reports {len(tree)} transactions but leaves hold {len(seen_tids)}"
+        )

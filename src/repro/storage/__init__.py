@@ -1,0 +1,32 @@
+"""Disk-page substrate: pages, pagers, buffer pool, codecs, compression."""
+
+from . import compression, serialization, wal
+from .buffer import BufferPool, BufferStats, ClockPolicy, FIFOPolicy, LRUPolicy
+from .page import DEFAULT_PAGE_SIZE, INVALID_PAGE, Page, PageId, PageNotFoundError, PageOverflowError
+from .pager import FilePager, IOStats, MemoryPager, Pager
+from .wal import LogRecord, WriteAheadLog, read_records, recover
+
+__all__ = [
+    "compression",
+    "serialization",
+    "BufferPool",
+    "BufferStats",
+    "LRUPolicy",
+    "FIFOPolicy",
+    "ClockPolicy",
+    "Page",
+    "PageId",
+    "PageNotFoundError",
+    "PageOverflowError",
+    "DEFAULT_PAGE_SIZE",
+    "INVALID_PAGE",
+    "Pager",
+    "MemoryPager",
+    "FilePager",
+    "IOStats",
+    "wal",
+    "WriteAheadLog",
+    "LogRecord",
+    "read_records",
+    "recover",
+]

@@ -1,0 +1,274 @@
+"""Buffer pool with pluggable replacement policies.
+
+The paper argues the SG-tree "can operate with limited memory resources
+and dynamically changing memory resources — caching policies previously
+used for the B+-tree and the R-tree can be seamlessly applied" (Section 6).
+The buffer pool realises that: a bounded cache of deserialised page
+payloads in front of a :class:`~repro.storage.pager.Pager`, with LRU,
+CLOCK and FIFO replacement.  A pool *miss* is one random I/O; the pool's
+counters feed the per-figure I/O numbers of the benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from .page import Page, PageId
+from .pager import Pager
+
+
+@dataclass
+class BufferStats:
+    """Hit/miss/eviction counters of a buffer pool."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        if not self.accesses:
+            return 0.0
+        return self.hits / self.accesses
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+
+
+class ReplacementPolicy:
+    """Interface of a page-replacement policy over a fixed frame budget."""
+
+    def record_access(self, page_id: PageId) -> None:
+        """Note that ``page_id`` was touched (hit or newly admitted)."""
+        raise NotImplementedError
+
+    def admit(self, page_id: PageId) -> None:
+        """Start tracking a newly cached page."""
+        raise NotImplementedError
+
+    def evict(self) -> PageId:
+        """Choose and forget a victim page."""
+        raise NotImplementedError
+
+    def remove(self, page_id: PageId) -> None:
+        """Forget a page evicted externally (e.g. freed)."""
+        raise NotImplementedError
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Least-recently-used replacement."""
+
+    def __init__(self) -> None:
+        self._order: OrderedDict[PageId, None] = OrderedDict()
+
+    def record_access(self, page_id: PageId) -> None:
+        self._order.move_to_end(page_id)
+
+    def admit(self, page_id: PageId) -> None:
+        self._order[page_id] = None
+
+    def evict(self) -> PageId:
+        page_id, _ = self._order.popitem(last=False)
+        return page_id
+
+    def remove(self, page_id: PageId) -> None:
+        self._order.pop(page_id, None)
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """First-in-first-out replacement (access order is ignored)."""
+
+    def __init__(self) -> None:
+        self._order: OrderedDict[PageId, None] = OrderedDict()
+
+    def record_access(self, page_id: PageId) -> None:
+        pass
+
+    def admit(self, page_id: PageId) -> None:
+        self._order[page_id] = None
+
+    def evict(self) -> PageId:
+        page_id, _ = self._order.popitem(last=False)
+        return page_id
+
+    def remove(self, page_id: PageId) -> None:
+        self._order.pop(page_id, None)
+
+
+class ClockPolicy(ReplacementPolicy):
+    """Second-chance (CLOCK) replacement."""
+
+    def __init__(self) -> None:
+        self._referenced: OrderedDict[PageId, bool] = OrderedDict()
+
+    def record_access(self, page_id: PageId) -> None:
+        self._referenced[page_id] = True
+
+    def admit(self, page_id: PageId) -> None:
+        self._referenced[page_id] = True
+
+    def evict(self) -> PageId:
+        while True:
+            page_id, referenced = next(iter(self._referenced.items()))
+            del self._referenced[page_id]
+            if referenced:
+                # Second chance: clear the bit and move to the back.
+                self._referenced[page_id] = False
+            else:
+                return page_id
+
+    def remove(self, page_id: PageId) -> None:
+        self._referenced.pop(page_id, None)
+
+
+_POLICIES = {"lru": LRUPolicy, "fifo": FIFOPolicy, "clock": ClockPolicy}
+
+
+class BufferPool:
+    """A bounded write-back cache of page payloads.
+
+    Parameters
+    ----------
+    pager:
+        Backing page store.
+    capacity:
+        Maximum number of cached pages; ``None`` means unbounded (useful
+        for CPU-only experiments where I/O is counted but never paid).
+    policy:
+        Replacement policy instance or name (``"lru"``, ``"fifo"``,
+        ``"clock"``).
+    """
+
+    def __init__(
+        self,
+        pager: Pager,
+        capacity: int | None = 256,
+        policy: ReplacementPolicy | str = "lru",
+    ):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        if isinstance(policy, str):
+            try:
+                policy = _POLICIES[policy]()
+            except KeyError:
+                raise ValueError(
+                    f"unknown policy {policy!r}; choose from {sorted(_POLICIES)}"
+                ) from None
+        self._pager = pager
+        self._capacity = capacity
+        self._policy = policy
+        self._frames: dict[PageId, Page] = {}
+        self.stats = BufferStats()
+
+    @property
+    def pager(self) -> Pager:
+        return self._pager
+
+    @property
+    def capacity(self) -> int | None:
+        return self._capacity
+
+    def resize(self, capacity: int | None) -> None:
+        """Change the frame budget at runtime ("dynamically changing
+        memory resources"), evicting immediately if shrinking."""
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        self._capacity = capacity
+        if capacity is not None:
+            while len(self._frames) > capacity:
+                self._evict_one()
+
+    def allocate(self) -> PageId:
+        """Allocate a fresh page and admit an empty frame for it."""
+        page_id = self._pager.allocate()
+        page = Page(page_id=page_id, capacity=self._pager.page_size)
+        self._admit(page)
+        return page_id
+
+    def get(self, page_id: PageId) -> Page:
+        """Fetch a page, through the cache."""
+        page = self._frames.get(page_id)
+        if page is not None:
+            self.stats.hits += 1
+            self._policy.record_access(page_id)
+            return page
+        self.stats.misses += 1
+        page = self._pager.read(page_id)
+        self._admit(page)
+        return page
+
+    def put(self, page_id: PageId, data: bytes) -> None:
+        """Update a page's payload in the cache (written back on eviction
+        or flush)."""
+        page = self._frames.get(page_id)
+        if page is None:
+            self.stats.misses += 1
+            page = self._pager.read(page_id)
+            self._admit(page)
+        else:
+            self.stats.hits += 1
+            self._policy.record_access(page_id)
+        page.write(data)
+
+    def free(self, page_id: PageId) -> None:
+        """Drop a page from the cache and the backing store."""
+        self._frames.pop(page_id, None)
+        self._policy.remove(page_id)
+        self._pager.free(page_id)
+
+    def flush(self) -> None:
+        """Write back every dirty frame (cache contents are kept)."""
+        for page in self._frames.values():
+            if page.dirty:
+                self._pager.write(page)
+                page.dirty = False
+                self.stats.writebacks += 1
+
+    def clear(self) -> None:
+        """Flush and drop all frames (cold cache)."""
+        self.flush()
+        for page_id in list(self._frames):
+            self._policy.remove(page_id)
+        self._frames.clear()
+
+    def __contains__(self, page_id: PageId) -> bool:
+        return page_id in self._frames
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    # -- internals ---------------------------------------------------------
+
+    def _admit(self, page: Page) -> None:
+        if self._capacity is not None:
+            while len(self._frames) >= self._capacity:
+                self._evict_one()
+        self._frames[page.page_id] = page
+        self._policy.admit(page.page_id)
+
+    def _evict_one(self) -> None:
+        victim_id = self._policy.evict()
+        victim = self._frames.pop(victim_id)
+        self.stats.evictions += 1
+        if victim.dirty:
+            self._pager.write(victim)
+            self.stats.writebacks += 1
+
+
+__all__ = [
+    "BufferPool",
+    "BufferStats",
+    "ReplacementPolicy",
+    "LRUPolicy",
+    "FIFOPolicy",
+    "ClockPolicy",
+]

@@ -1,0 +1,109 @@
+"""Sparse-signature compression (Section 3.2 of the paper).
+
+Transactions often contain a small fraction of the possible items, so
+their bitmaps are sparse.  The paper's scheme: if a bitmap is too sparse,
+encode the signature as a list of set-bit positions preceded by a flag
+byte that "stores the number of 1's and also indicates that the next bytes
+contain the positions of 1's"; otherwise store the bitmap verbatim.
+
+This module generalises the scheme to arbitrary signature lengths:
+
+* position width is the smallest of 1, 2 or 4 bytes that can address
+  ``n_bits`` positions;
+* flag byte ``0xFF`` marks a verbatim bitmap; any other flag value ``k``
+  (0–254) means ``k`` positions follow.  Signatures with 255 or more set
+  bits therefore always use the bitmap form, which for them is smaller
+  anyway at realistic lengths.
+
+The encoder picks whichever form is smaller, so the encoded size is
+``1 + min(bitmap_bytes, k * position_width)`` bytes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import bitops
+from ..core.signature import Signature
+
+_BITMAP_FLAG = 0xFF
+_MAX_LIST_COUNT = 0xFE
+
+
+def position_width(n_bits: int) -> int:
+    """Bytes needed to address one position in an ``n_bits``-long bitmap."""
+    if n_bits <= 0:
+        raise ValueError(f"n_bits must be positive, got {n_bits}")
+    if n_bits <= 1 << 8:
+        return 1
+    if n_bits <= 1 << 16:
+        return 2
+    return 4
+
+
+def bitmap_bytes(n_bits: int) -> int:
+    """Size of the verbatim bitmap form, without the flag byte."""
+    return bitops.n_words(n_bits) * 8
+
+
+def encoded_size(signature: Signature) -> int:
+    """Exact byte size :func:`encode` will produce for ``signature``."""
+    area = signature.area
+    list_size = area * position_width(signature.n_bits)
+    if area <= _MAX_LIST_COUNT and list_size < bitmap_bytes(signature.n_bits):
+        return 1 + list_size
+    return 1 + bitmap_bytes(signature.n_bits)
+
+
+def encode(signature: Signature) -> bytes:
+    """Encode a signature, choosing the smaller of the two forms."""
+    area = signature.area
+    n_bits = signature.n_bits
+    width = position_width(n_bits)
+    if area <= _MAX_LIST_COUNT and area * width < bitmap_bytes(n_bits):
+        positions = np.asarray(signature.items(), dtype=f"<u{width}")
+        return bytes([area]) + positions.tobytes()
+    return bytes([_BITMAP_FLAG]) + bitops.to_bytes(signature.words)
+
+
+def decode(data: bytes, n_bits: int) -> Signature:
+    """Inverse of :func:`encode` for a signature of ``n_bits`` bits."""
+    if not data:
+        raise ValueError("empty signature encoding")
+    flag = data[0]
+    body = data[1:]
+    if flag == _BITMAP_FLAG:
+        return Signature(bitops.from_bytes(body, n_bits), n_bits)
+    width = position_width(n_bits)
+    expected = flag * width
+    if len(body) != expected:
+        raise ValueError(
+            f"position list of {flag} entries needs {expected} bytes, "
+            f"got {len(body)}"
+        )
+    positions = np.frombuffer(body, dtype=f"<u{width}")
+    return Signature.from_items(positions.tolist(), n_bits)
+
+
+def decode_prefix(data: bytes, offset: int, n_bits: int) -> tuple[Signature, int]:
+    """Decode one signature starting at ``offset``; return it and the next
+    offset.  Used by the node codec to walk packed entry lists."""
+    if offset >= len(data):
+        raise ValueError(f"offset {offset} beyond buffer of {len(data)} bytes")
+    flag = data[offset]
+    if flag == _BITMAP_FLAG:
+        size = bitmap_bytes(n_bits)
+    else:
+        size = flag * position_width(n_bits)
+    end = offset + 1 + size
+    return decode(data[offset:end], n_bits), end
+
+
+__all__ = [
+    "position_width",
+    "bitmap_bytes",
+    "encoded_size",
+    "encode",
+    "decode",
+    "decode_prefix",
+]

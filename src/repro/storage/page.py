@@ -1,0 +1,53 @@
+"""Page abstractions for the disk-based, paginated index.
+
+The SG-tree is "a disk-based paginated data structure" (Section 6): each
+tree node corresponds to one disk page.  A :class:`Page` is a fixed-size
+byte container identified by a :class:`PageId`.  Pagers (see
+:mod:`repro.storage.pager`) move pages between the store and the buffer
+pool and account every fetch, which is how the benchmarks measure the
+paper's "random I/Os" without depending on physical disk behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+DEFAULT_PAGE_SIZE = 8192
+
+PageId = int
+INVALID_PAGE: PageId = -1
+
+
+@dataclass
+class Page:
+    """A fixed-capacity byte page.
+
+    ``data`` holds the serialised payload (at most ``capacity`` bytes);
+    ``dirty`` marks pages that must be written back before eviction.
+    """
+
+    page_id: PageId
+    capacity: int = DEFAULT_PAGE_SIZE
+    data: bytes = b""
+    dirty: bool = False
+
+    def write(self, data: bytes) -> None:
+        """Replace the page payload, enforcing the capacity limit."""
+        if len(data) > self.capacity:
+            raise PageOverflowError(
+                f"payload of {len(data)} bytes exceeds page capacity "
+                f"{self.capacity} (page {self.page_id})"
+            )
+        self.data = data
+        self.dirty = True
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+
+class PageOverflowError(Exception):
+    """Raised when a payload does not fit in a page."""
+
+
+class PageNotFoundError(KeyError):
+    """Raised when a page id is not present in the store."""

@@ -1,0 +1,242 @@
+"""Pagers: backing stores for pages, with logical-I/O accounting.
+
+Two interchangeable implementations are provided:
+
+* :class:`MemoryPager` keeps pages in a dictionary and *counts* every read
+  and write.  The benchmarks run on this pager: a "random I/O" in the
+  paper's sense is one fetch of a page that was not already pinned in the
+  buffer pool, and logical counting reproduces the paper's I/O comparisons
+  exactly (both indexes are charged by the same rule).
+* :class:`FilePager` stores pages in a real file with fixed-size slots, so
+  the whole stack can also run genuinely out-of-core.
+
+Both share the :class:`Pager` interface consumed by the buffer pool.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from dataclasses import dataclass, field
+
+from .page import (
+    DEFAULT_PAGE_SIZE,
+    INVALID_PAGE,
+    Page,
+    PageId,
+    PageNotFoundError,
+    PageOverflowError,
+)
+
+_LENGTH_PREFIX = struct.Struct("<I")
+
+
+@dataclass
+class IOStats:
+    """Counters of logical page traffic."""
+
+    reads: int = 0
+    writes: int = 0
+    allocations: int = 0
+    frees: int = 0
+
+    def reset(self) -> None:
+        self.reads = 0
+        self.writes = 0
+        self.allocations = 0
+        self.frees = 0
+
+    def snapshot(self) -> "IOStats":
+        return IOStats(self.reads, self.writes, self.allocations, self.frees)
+
+
+class Pager:
+    """Interface of a page store."""
+
+    page_size: int
+    stats: IOStats
+
+    def allocate(self) -> PageId:
+        """Reserve a fresh page id."""
+        raise NotImplementedError
+
+    def read(self, page_id: PageId) -> Page:
+        """Fetch a page; counts one logical read."""
+        raise NotImplementedError
+
+    def write(self, page: Page) -> None:
+        """Persist a page; counts one logical write."""
+        raise NotImplementedError
+
+    def free(self, page_id: PageId) -> None:
+        """Release a page id."""
+        raise NotImplementedError
+
+    def ensure(self, page_id: PageId) -> None:
+        """Make ``page_id`` addressable (allocating it and any lower ids
+        as needed) — used by write-ahead-log replay."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        """Number of live pages."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release resources (no-op by default)."""
+
+
+@dataclass
+class MemoryPager(Pager):
+    """Dictionary-backed page store with logical I/O counting."""
+
+    page_size: int = DEFAULT_PAGE_SIZE
+    stats: IOStats = field(default_factory=IOStats)
+
+    def __post_init__(self) -> None:
+        self._pages: dict[PageId, bytes] = {}
+        self._next_id: PageId = 0
+        self._free_list: list[PageId] = []
+
+    def allocate(self) -> PageId:
+        self.stats.allocations += 1
+        if self._free_list:
+            page_id = self._free_list.pop()
+        else:
+            page_id = self._next_id
+            self._next_id += 1
+        self._pages[page_id] = b""
+        return page_id
+
+    def read(self, page_id: PageId) -> Page:
+        try:
+            data = self._pages[page_id]
+        except KeyError:
+            raise PageNotFoundError(page_id) from None
+        self.stats.reads += 1
+        return Page(page_id=page_id, capacity=self.page_size, data=data)
+
+    def write(self, page: Page) -> None:
+        if page.page_id not in self._pages:
+            raise PageNotFoundError(page.page_id)
+        if len(page.data) > self.page_size:
+            raise PageOverflowError(
+                f"{len(page.data)} bytes exceed page size {self.page_size}"
+            )
+        self.stats.writes += 1
+        self._pages[page.page_id] = page.data
+
+    def free(self, page_id: PageId) -> None:
+        if page_id not in self._pages:
+            raise PageNotFoundError(page_id)
+        self.stats.frees += 1
+        del self._pages[page_id]
+        self._free_list.append(page_id)
+
+    def ensure(self, page_id: PageId) -> None:
+        if page_id in self._pages:
+            return
+        if page_id in self._free_list:
+            self._free_list.remove(page_id)
+        self._pages[page_id] = b""
+        self._next_id = max(self._next_id, page_id + 1)
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+
+class FilePager(Pager):
+    """File-backed page store with fixed-size page slots.
+
+    Each slot stores a 4-byte payload length followed by the payload.
+    Freed slots are recycled through an in-memory free list (a production
+    system would persist it; recycling within a run is all the index
+    needs).
+    """
+
+    def __init__(self, path: str | os.PathLike, page_size: int = DEFAULT_PAGE_SIZE):
+        self.page_size = page_size
+        self.stats = IOStats()
+        self._slot_size = _LENGTH_PREFIX.size + page_size
+        self._path = os.fspath(path)
+        # "r+b" honours seeks for writing ("a+b" would force every write
+        # to append at EOF); "w+b" creates the file on first use.
+        file_mode = "r+b" if os.path.exists(self._path) else "w+b"
+        self._file = open(self._path, file_mode)
+        self._file.seek(0, os.SEEK_END)
+        self._next_id: PageId = self._file.tell() // self._slot_size
+        self._free_list: list[PageId] = []
+        self._live: set[PageId] = set(range(self._next_id))
+
+    def allocate(self) -> PageId:
+        self.stats.allocations += 1
+        if self._free_list:
+            page_id = self._free_list.pop()
+        else:
+            page_id = self._next_id
+            self._next_id += 1
+            self._file.seek(page_id * self._slot_size)
+            self._file.write(b"\x00" * self._slot_size)
+        self._live.add(page_id)
+        return page_id
+
+    def read(self, page_id: PageId) -> Page:
+        if page_id not in self._live:
+            raise PageNotFoundError(page_id)
+        self.stats.reads += 1
+        self._file.seek(page_id * self._slot_size)
+        raw = self._file.read(self._slot_size)
+        (length,) = _LENGTH_PREFIX.unpack_from(raw)
+        data = raw[_LENGTH_PREFIX.size : _LENGTH_PREFIX.size + length]
+        return Page(page_id=page_id, capacity=self.page_size, data=data)
+
+    def write(self, page: Page) -> None:
+        if page.page_id not in self._live:
+            raise PageNotFoundError(page.page_id)
+        if len(page.data) > self.page_size:
+            raise PageOverflowError(
+                f"{len(page.data)} bytes exceed page size {self.page_size}"
+            )
+        self.stats.writes += 1
+        self._file.seek(page.page_id * self._slot_size)
+        self._file.write(_LENGTH_PREFIX.pack(len(page.data)))
+        self._file.write(page.data)
+
+    def free(self, page_id: PageId) -> None:
+        if page_id not in self._live:
+            raise PageNotFoundError(page_id)
+        self.stats.frees += 1
+        self._live.discard(page_id)
+        self._free_list.append(page_id)
+
+    def ensure(self, page_id: PageId) -> None:
+        if page_id in self._live:
+            return
+        if page_id in self._free_list:
+            self._free_list.remove(page_id)
+        while self._next_id <= page_id:
+            self._file.seek(self._next_id * self._slot_size)
+            self._file.write(b"\x00" * self._slot_size)
+            self._next_id += 1
+        self._live.add(page_id)
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def close(self) -> None:
+        self._file.close()
+
+    def __enter__(self) -> "FilePager":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+__all__ = [
+    "IOStats",
+    "Pager",
+    "MemoryPager",
+    "FilePager",
+    "PageId",
+    "INVALID_PAGE",
+]

@@ -1,0 +1,205 @@
+"""Write-ahead logging and crash recovery for the disk-backed index.
+
+The SG-tree is "a disk-based paginated data structure"; a production
+deployment needs its updates to survive a crash.  This module provides a
+simple, classical **redo log with a force-at-commit policy**:
+
+* :meth:`NodeStore.commit` (see :mod:`repro.sgtree.node`) first forces
+  all dirty nodes to the page file, then appends one *commit batch* to
+  the log: the page images touched since the previous commit, the pages
+  freed, an optional metadata blob (the tree's root/height/size
+  catalogue entry), and a commit marker;
+* :func:`recover` replays every **complete** batch in order onto a page
+  store and returns the metadata of the last committed batch.  A crash
+  mid-batch leaves a truncated or checksum-failing tail, which replay
+  ignores — so the store is restored to exactly the last commit.
+
+Record format (little-endian)::
+
+    [u8 op] [u32 len] [payload ...] [u32 crc32(op | len | payload)]
+
+    op 1 WRITE  payload = u64 page_id + page bytes
+    op 2 FREE   payload = u64 page_id
+    op 3 META   payload = UTF-8 JSON
+    op 4 COMMIT payload = empty
+
+:meth:`WriteAheadLog.checkpoint` truncates the log once the page file is
+known durable, bounding recovery time.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+
+from .page import Page, PageId
+from .pager import Pager
+
+__all__ = ["WriteAheadLog", "LogRecord", "recover", "read_records"]
+
+OP_WRITE = 1
+OP_FREE = 2
+OP_META = 3
+OP_COMMIT = 4
+
+_HEADER = struct.Struct("<BI")
+_CRC = struct.Struct("<I")
+_PAGE_ID = struct.Struct("<q")
+
+
+@dataclass
+class LogRecord:
+    """One decoded log record."""
+
+    op: int
+    page_id: PageId | None = None
+    data: bytes = b""
+    meta: dict | None = None
+
+
+@dataclass
+class WalStats:
+    """Log traffic counters."""
+
+    records: int = 0
+    bytes_written: int = 0
+    commits: int = 0
+    checkpoints: int = 0
+
+
+class WriteAheadLog:
+    """An append-only redo log backed by one file."""
+
+    def __init__(self, path: str | os.PathLike):
+        self._path = os.fspath(path)
+        self._file = open(self._path, "ab")
+        self.stats = WalStats()
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    # -- appending -----------------------------------------------------------
+
+    def _append(self, op: int, payload: bytes) -> None:
+        body = _HEADER.pack(op, len(payload)) + payload
+        record = body + _CRC.pack(zlib.crc32(body))
+        self._file.write(record)
+        self.stats.records += 1
+        self.stats.bytes_written += len(record)
+
+    def append_write(self, page_id: PageId, data: bytes) -> None:
+        """Log a page image."""
+        self._append(OP_WRITE, _PAGE_ID.pack(page_id) + data)
+
+    def append_free(self, page_id: PageId) -> None:
+        """Log a page deallocation."""
+        self._append(OP_FREE, _PAGE_ID.pack(page_id))
+
+    def append_meta(self, meta: dict) -> None:
+        """Log a metadata blob (catalogue state at commit)."""
+        self._append(OP_META, json.dumps(meta).encode("utf-8"))
+
+    def append_commit(self) -> None:
+        """Seal the current batch; makes everything before it durable."""
+        self._append(OP_COMMIT, b"")
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self.stats.commits += 1
+
+    def checkpoint(self) -> None:
+        """Discard the log (call only after the page file is durable)."""
+        self._file.truncate(0)
+        self._file.seek(0)
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self.stats.checkpoints += 1
+
+    def close(self) -> None:
+        self._file.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def read_records(path: str | os.PathLike) -> list[LogRecord]:
+    """Decode a log file, stopping at the first torn/corrupt record."""
+    records: list[LogRecord] = []
+    try:
+        with open(path, "rb") as handle:
+            blob = handle.read()
+    except FileNotFoundError:
+        return records
+    offset = 0
+    while offset + _HEADER.size + _CRC.size <= len(blob):
+        op, length = _HEADER.unpack_from(blob, offset)
+        end = offset + _HEADER.size + length
+        if end + _CRC.size > len(blob):
+            break  # torn tail
+        body = blob[offset:end]
+        (crc,) = _CRC.unpack_from(blob, end)
+        if crc != zlib.crc32(body):
+            break  # corrupt tail
+        payload = blob[offset + _HEADER.size : end]
+        if op == OP_WRITE:
+            (page_id,) = _PAGE_ID.unpack_from(payload)
+            records.append(
+                LogRecord(op=op, page_id=page_id, data=payload[_PAGE_ID.size :])
+            )
+        elif op == OP_FREE:
+            (page_id,) = _PAGE_ID.unpack_from(payload)
+            records.append(LogRecord(op=op, page_id=page_id))
+        elif op == OP_META:
+            records.append(LogRecord(op=op, meta=json.loads(payload.decode("utf-8"))))
+        elif op == OP_COMMIT:
+            records.append(LogRecord(op=op))
+        else:
+            break  # unknown op: treat as corruption
+        offset = end + _CRC.size
+    return records
+
+
+def recover(pager: Pager, wal_path: str | os.PathLike) -> dict | None:
+    """Replay every complete commit batch onto ``pager``.
+
+    Returns the metadata of the last committed batch (or ``None`` if the
+    log holds no committed META record).  Incomplete trailing batches —
+    the signature of a crash — are discarded.
+    """
+    records = read_records(wal_path)
+    last_meta: dict | None = None
+    batch: list[LogRecord] = []
+    for record in records:
+        if record.op == OP_COMMIT:
+            batch_meta = _apply_batch(pager, batch)
+            if batch_meta is not None:
+                last_meta = batch_meta
+            batch = []
+        else:
+            batch.append(record)
+    # anything left in `batch` was never committed: ignore it
+    return last_meta
+
+
+def _apply_batch(pager: Pager, batch: list[LogRecord]) -> dict | None:
+    meta: dict | None = None
+    for record in batch:
+        if record.op == OP_WRITE:
+            pager.ensure(record.page_id)
+            page = Page(page_id=record.page_id, capacity=pager.page_size)
+            page.write(record.data)
+            pager.write(page)
+        elif record.op == OP_FREE:
+            try:
+                pager.free(record.page_id)
+            except KeyError:
+                pass  # already freed (e.g. the page file is ahead of the log)
+        elif record.op == OP_META:
+            meta = record.meta
+    return meta

@@ -1,0 +1,67 @@
+"""Inverted index: exact set queries, cross-checked with LinearScan."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import InvertedIndex, LinearScan, Signature, Transaction
+from support import random_signature, random_transactions
+
+N_BITS = 80
+
+
+def tx(tid, items):
+    return Transaction(tid, Signature.from_items(items, N_BITS))
+
+
+class TestBasics:
+    def test_postings(self):
+        index = InvertedIndex([tx(0, [1, 2]), tx(1, [2, 3])])
+        assert index.postings(2) == [0, 1]
+        assert index.postings(1) == [0]
+        assert index.postings(99) == []
+
+    def test_duplicate_tid_rejected(self):
+        index = InvertedIndex([tx(0, [1])])
+        with pytest.raises(ValueError):
+            index.insert(tx(0, [2]))
+
+    def test_delete(self):
+        index = InvertedIndex([tx(0, [1, 2]), tx(1, [2])])
+        assert index.delete(0, Signature.from_items([1, 2], N_BITS))
+        assert not index.delete(0, Signature.from_items([1, 2], N_BITS))
+        assert index.postings(1) == []
+        assert index.postings(2) == [1]
+        assert len(index) == 1
+
+
+class TestQueries:
+    def test_containment(self):
+        index = InvertedIndex([tx(0, [1, 2, 3]), tx(1, [1, 2]), tx(2, [3])])
+        assert index.containment_query(Signature.from_items([1, 2], N_BITS)) == [0, 1]
+        assert index.containment_query(Signature.from_items([1, 3], N_BITS)) == [0]
+        assert index.containment_query(Signature.from_items([9], N_BITS)) == []
+
+    def test_containment_empty_query(self):
+        index = InvertedIndex([tx(0, [1]), tx(1, [2])])
+        assert index.containment_query(Signature.empty(N_BITS)) == [0, 1]
+
+    def test_subset_includes_empty_transactions(self):
+        index = InvertedIndex([tx(0, []), tx(1, [1, 2]), tx(2, [1, 5])])
+        assert index.subset_query(Signature.from_items([1, 2, 3], N_BITS)) == [0, 1]
+
+    def test_equality(self):
+        index = InvertedIndex([tx(0, [1, 2]), tx(1, [1, 2, 3])])
+        assert index.equality_query(Signature.from_items([1, 2], N_BITS)) == [0]
+
+    def test_matches_linear_scan_on_random_data(self):
+        transactions = random_transactions(seed=5, count=200, n_bits=N_BITS)
+        index = InvertedIndex(transactions)
+        scan = LinearScan(transactions)
+        rng = np.random.default_rng(9)
+        for _ in range(25):
+            query = random_signature(rng, N_BITS, max_items=10)
+            assert index.containment_query(query) == scan.containment_query(query)
+            assert index.subset_query(query) == scan.subset_query(query)
+            assert index.equality_query(query) == scan.equality_query(query)

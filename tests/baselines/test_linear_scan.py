@@ -1,0 +1,82 @@
+"""LinearScan: the exactness oracle needs its own brute-force checks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import HAMMING, JACCARD, LinearScan, Signature, Transaction
+
+N_BITS = 40
+
+
+def tx(tid, items):
+    return Transaction(tid, Signature.from_items(items, N_BITS))
+
+
+@pytest.fixture
+def scan():
+    return LinearScan([tx(0, [1, 2, 3]), tx(1, [1, 2]), tx(2, [10, 11]), tx(3, [])])
+
+
+class TestNearest:
+    def test_orders_by_distance_then_tid(self, scan):
+        query = Signature.from_items([1, 2, 3], N_BITS)
+        hits = scan.nearest(query, k=4)
+        assert [h.tid for h in hits] == [0, 1, 3, 2]
+        assert [h.distance for h in hits] == [0.0, 1.0, 3.0, 5.0]
+
+    def test_k_caps_at_size(self, scan):
+        assert len(scan.nearest(Signature.empty(N_BITS), k=100)) == 4
+
+    def test_empty_scan(self):
+        assert LinearScan().nearest(Signature.empty(N_BITS), k=1) == []
+
+    def test_invalid_k(self, scan):
+        with pytest.raises(ValueError):
+            scan.nearest(Signature.empty(N_BITS), k=0)
+
+    def test_metric_override(self, scan):
+        query = Signature.from_items([1, 2], N_BITS)
+        (top,) = scan.nearest(query, k=1, metric=JACCARD)
+        assert top.tid == 1
+        assert top.distance == 0.0
+
+
+class TestRangeAndSetQueries:
+    def test_range(self, scan):
+        query = Signature.from_items([1, 2], N_BITS)
+        hits = scan.range_query(query, 1.0)
+        assert [h.tid for h in hits] == [1, 0]
+
+    def test_range_invalid(self, scan):
+        with pytest.raises(ValueError):
+            scan.range_query(Signature.empty(N_BITS), -0.5)
+
+    def test_containment(self, scan):
+        assert scan.containment_query(Signature.from_items([1, 2], N_BITS)) == [0, 1]
+        assert scan.containment_query(Signature.empty(N_BITS)) == [0, 1, 2, 3]
+
+    def test_subset(self, scan):
+        assert scan.subset_query(Signature.from_items([1, 2, 10, 11], N_BITS)) == [1, 2, 3]
+
+    def test_equality(self, scan):
+        assert scan.equality_query(Signature.from_items([10, 11], N_BITS)) == [2]
+        assert scan.equality_query(Signature.from_items([5], N_BITS)) == []
+
+
+class TestMutation:
+    def test_insert_then_search(self, scan):
+        scan.insert(tx(4, [1, 2, 3]))
+        query = Signature.from_items([1, 2, 3], N_BITS)
+        assert [h.tid for h in scan.nearest(query, k=2)] == [0, 4]
+
+    def test_delete(self, scan):
+        assert scan.delete(0)
+        assert not scan.delete(0)
+        assert len(scan) == 3
+        query = Signature.from_items([1, 2, 3], N_BITS)
+        assert scan.nearest(query, k=1)[0].tid == 1
+
+    def test_mixed_bit_lengths_rejected(self, scan):
+        with pytest.raises(ValueError):
+            scan.insert(Transaction(9, Signature.empty(8)))

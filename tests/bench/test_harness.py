@@ -1,0 +1,120 @@
+"""The benchmark harness itself: builders, runners, metrics, reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SGTable, SGTree
+from repro.bench import (
+    QueryBatchResult,
+    build_table,
+    build_tree,
+    format_series,
+    format_table1,
+    run_nn_batch,
+    run_range_batch,
+)
+from repro.data import quest_workload
+from repro.sgtree.search import SearchStats
+
+
+@pytest.fixture(scope="module")
+def workload(request):
+    return quest_workload(8, 4, 600, n_queries=10, n_items=200, apply_scale=False)
+
+
+class TestBuilders:
+    def test_build_tree(self, workload):
+        result = build_tree(workload, max_entries=16)
+        assert isinstance(result.index, SGTree)
+        assert len(result.index) == 600
+        assert result.build_seconds > 0
+        assert result.per_insert_ms > 0
+
+    def test_build_tree_fixed_area_metric(self, workload):
+        result = build_tree(workload, use_fixed_area_bound=True, max_entries=16)
+        # quest workloads have no fixed area -> falls back to plain Hamming
+        assert result.index.metric.fixed_area is None
+
+    def test_build_table(self, workload):
+        result = build_table(workload, n_groups=6)
+        assert isinstance(result.index, SGTable)
+        assert len(result.index) == 600
+
+
+class TestRunners:
+    def test_nn_batch_both_indexes(self, workload):
+        tree = build_tree(workload, max_entries=16).index
+        table = build_table(workload, n_groups=6).index
+        tree_result = run_nn_batch(tree, workload, k=1)
+        table_result = run_nn_batch(table, workload, k=1)
+        assert tree_result.n_queries == table_result.n_queries == 10
+        # Both are exact: the nearest-neighbour distances must agree.
+        assert tree_result.per_query_distance == table_result.per_query_distance
+        assert 0 < tree_result.pct_data <= 100
+        assert tree_result.cpu_ms > 0
+        assert tree_result.random_ios > 0
+
+    def test_range_batch(self, workload):
+        tree = build_tree(workload, max_entries=16).index
+        result = run_range_batch(tree, workload, epsilon=4)
+        assert result.n_queries == 10
+        assert result.label == "SGTree"
+
+    def test_cold_buffer_costs_more_ios(self, workload):
+        tree = build_tree(workload, max_entries=16, frames=4).index
+        cold = run_nn_batch(tree, workload, k=1, cold_buffer=True)
+        warm = run_nn_batch(tree, workload, k=1, cold_buffer=False)
+        assert cold.random_ios >= warm.random_ios
+
+
+class TestMetrics:
+    def test_empty_batch_defaults(self):
+        batch = QueryBatchResult(label="x", database_size=100)
+        assert batch.pct_data == 0.0
+        assert batch.cpu_ms == 0.0
+        assert batch.random_ios == 0.0
+        assert batch.node_accesses == 0.0
+        assert batch.mean_distance == 0.0
+
+    def test_record_accumulates(self):
+        batch = QueryBatchResult(label="x", database_size=200)
+        batch.record(SearchStats(node_accesses=5, random_ios=2, leaf_entries=50), 0.01, 3.0)
+        batch.record(SearchStats(node_accesses=7, random_ios=4, leaf_entries=30), 0.03, 5.0)
+        assert batch.pct_data == pytest.approx(100.0 * 80 / (2 * 200))
+        assert batch.cpu_ms == pytest.approx(20.0)
+        assert batch.random_ios == 3.0
+        assert batch.node_accesses == 6.0
+        assert batch.mean_distance == 4.0
+
+
+class TestReporting:
+    def make_batch(self, leaf=10):
+        batch = QueryBatchResult(label="x", database_size=100)
+        batch.record(SearchStats(node_accesses=2, random_ios=1, leaf_entries=leaf), 0.001)
+        return batch
+
+    def test_format_series(self):
+        text = format_series(
+            "Figure X",
+            "T",
+            [10, 20],
+            {"SG-tree": [self.make_batch(), self.make_batch(20)],
+             "SG-table": [self.make_batch(30), self.make_batch(40)]},
+        )
+        assert "Figure X" in text
+        assert "SG-tree %data" in text
+        assert len(text.splitlines()) == 4
+
+    def test_format_series_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("t", "x", [1, 2], {"a": [self.make_batch()]})
+
+    def test_format_table1(self):
+        rows = {
+            "avg area level 1": {"qsplit": 90.0, "gasplit": 73.0},
+            "CPU time (msec)": {"qsplit": 119.0, "gasplit": 34.6},
+        }
+        text = format_table1(rows, ["qsplit", "gasplit"])
+        assert "qsplit" in text and "gasplit" in text
+        assert "avg area level 1" in text

@@ -1,0 +1,48 @@
+"""Reporting edge cases beyond the happy path covered in test_harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import QueryBatchResult, format_series, format_table1
+from repro.sgtree.search import SearchStats
+
+
+def batch(leaf=10, ios=2):
+    result = QueryBatchResult(label="x", database_size=50)
+    result.record(SearchStats(node_accesses=1, random_ios=ios, leaf_entries=leaf), 0.002)
+    return result
+
+
+class TestFormatSeries:
+    def test_without_ios_columns(self):
+        text = format_series(
+            "t", "x", [1], {"A": [batch()]}, include_ios=False
+        )
+        assert "IOs" not in text
+        assert "A %data" in text
+
+    def test_multiple_methods_aligned(self):
+        text = format_series(
+            "t", "x", ["p1", "p2"],
+            {"A": [batch(), batch(20)], "B": [batch(5), batch(6)]},
+        )
+        lines = text.splitlines()
+        # header + 2 rows after the title
+        assert len(lines) == 4
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # fixed-width rows align
+
+    def test_empty_x_values(self):
+        text = format_series("t", "x", [], {"A": []})
+        assert text.splitlines()[0] == "t"
+
+
+class TestFormatTable1:
+    def test_empty_rows(self):
+        text = format_table1({}, ["a", "b"])
+        assert "comparison metric" in text
+
+    def test_values_formatted(self):
+        text = format_table1({"m": {"a": 1.23456}}, ["a"])
+        assert "1.235" in text

@@ -1,0 +1,33 @@
+"""Shared fixtures: small reproducible datasets and query workloads."""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+import numpy as np
+import pytest
+
+# Make tests/support.py importable from every test directory.
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+from support import random_signature, random_transactions  # noqa: E402
+
+from repro import Signature, Transaction  # noqa: E402
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_transactions() -> list[Transaction]:
+    """300 random transactions over a 160-bit universe."""
+    return random_transactions(seed=7, count=300, n_bits=160)
+
+
+@pytest.fixture
+def small_queries() -> list[Signature]:
+    rng = np.random.default_rng(99)
+    return [random_signature(rng, 160, max_items=12) for _ in range(25)]

@@ -1,0 +1,83 @@
+"""Edge geometry of the bit kernels: zero-length, word-boundary, huge."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Signature
+from repro.core import bitops
+
+
+class TestZeroLength:
+    def test_zero_bit_signature(self):
+        sig = Signature.empty(0)
+        assert sig.n_bits == 0
+        assert sig.area == 0
+        assert sig.items() == []
+        assert sig == Signature.empty(0)
+
+    def test_zero_bit_pack(self):
+        words = bitops.pack([], 0)
+        assert words.size == 0
+        assert bitops.popcount(words) == 0
+
+    def test_zero_bit_rejects_any_item(self):
+        with pytest.raises(ValueError):
+            Signature.from_items([0], 0)
+
+
+class TestWordBoundaries:
+    @pytest.mark.parametrize("n_bits", [1, 63, 64, 65, 127, 128, 129, 512])
+    def test_last_bit_round_trips(self, n_bits):
+        sig = Signature.from_items([n_bits - 1], n_bits)
+        assert sig.items() == [n_bits - 1]
+        assert (n_bits - 1) in sig
+        assert sig.area == 1
+
+    @pytest.mark.parametrize("n_bits", [63, 64, 65])
+    def test_tail_word_masking_enforced(self, n_bits):
+        words = np.zeros(bitops.n_words(n_bits), dtype=np.uint64)
+        words[-1] = np.uint64(1) << np.uint64(63)
+        if n_bits % 64 == 0:
+            # bit 63 of the last word is legal
+            assert Signature(words, n_bits).area == 1
+        else:
+            with pytest.raises(ValueError):
+                Signature(words, n_bits)
+
+    def test_full_signature(self):
+        n_bits = 130
+        sig = Signature.from_items(range(n_bits), n_bits)
+        assert sig.area == n_bits
+        assert sig.contains(Signature.from_items([0, 64, 129], n_bits))
+
+
+class TestLargeUniverse:
+    def test_hundred_thousand_bits(self):
+        n_bits = 100_000
+        sig = Signature.from_items([0, 50_000, 99_999], n_bits)
+        other = Signature.from_items([50_000], n_bits)
+        assert sig.hamming(other) == 2
+        assert sig.contains(other)
+        assert bitops.gray_rank(other.words) > 0
+
+    def test_wide_matrix_ops(self):
+        n_bits = 10_000
+        rows = np.stack([
+            Signature.from_items([i], n_bits).words for i in range(0, 100, 10)
+        ])
+        query = Signature.from_items([0], n_bits)
+        distances = bitops.hamming(rows, query.words)
+        assert distances[0] == 0
+        assert all(d == 2 for d in distances[1:])
+
+
+class TestGrayRankEdges:
+    def test_empty_is_rank_zero(self):
+        assert bitops.gray_rank(bitops.zeros(64)) == 0
+
+    def test_strictly_positive_for_nonempty(self):
+        for position in (0, 1, 63, 64, 127):
+            words = bitops.pack([position], 128)
+            assert bitops.gray_rank(words) > 0

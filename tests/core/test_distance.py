@@ -1,0 +1,139 @@
+"""Metric correctness and bound admissibility (the search's soundness)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    COSINE,
+    DICE,
+    HAMMING,
+    JACCARD,
+    OVERLAP,
+    HammingMetric,
+    Signature,
+    resolve_metric,
+)
+
+N_BITS = 150
+positions = st.sets(st.integers(min_value=0, max_value=N_BITS - 1), max_size=30)
+ALL_METRICS = [HAMMING, JACCARD, DICE, OVERLAP, COSINE]
+
+
+def sig(items) -> Signature:
+    return Signature.from_items(items, N_BITS)
+
+
+class TestScalarDistances:
+    def test_hamming_values(self):
+        assert HAMMING.distance(sig({1, 2}), sig({2, 3})) == 2.0
+        assert HAMMING.distance(sig({1}), sig({1})) == 0.0
+
+    def test_jaccard_values(self):
+        assert JACCARD.distance(sig({1, 2}), sig({2, 3})) == pytest.approx(1 - 1 / 3)
+        assert JACCARD.distance(sig(set()), sig(set())) == 0.0
+        assert JACCARD.distance(sig({1}), sig({2})) == 1.0
+
+    def test_dice_values(self):
+        assert DICE.distance(sig({1, 2}), sig({2, 3})) == pytest.approx(1 - 2 / 4)
+        assert DICE.distance(sig(set()), sig(set())) == 0.0
+
+    def test_cosine_values(self):
+        assert COSINE.distance(sig({1, 2}), sig({2, 3})) == pytest.approx(1 - 1 / 2)
+        assert COSINE.distance(sig({1, 2}), sig({1, 2})) == pytest.approx(0.0)
+        assert COSINE.distance(sig(set()), sig(set())) == 0.0
+        assert COSINE.distance(sig(set()), sig({2})) == 1.0
+        assert COSINE.distance(sig({1}), sig({2})) == 1.0
+
+    def test_overlap_values(self):
+        assert OVERLAP.distance(sig({1, 2, 3}), sig({2, 3})) == 0.0
+        assert OVERLAP.distance(sig({1}), sig({2})) == 1.0
+        assert OVERLAP.distance(sig(set()), sig({2})) == 1.0
+        assert OVERLAP.distance(sig(set()), sig(set())) == 0.0
+
+    @given(positions, positions)
+    @settings(max_examples=40)
+    def test_identity_and_symmetry(self, a, b):
+        sa, sb = sig(a), sig(b)
+        for metric in ALL_METRICS:
+            assert metric.distance(sa, sa) == 0.0
+            assert metric.distance(sa, sb) == pytest.approx(metric.distance(sb, sa))
+            assert metric.distance(sa, sb) >= 0.0
+
+
+class TestVectorisedForms:
+    @given(st.lists(positions, min_size=1, max_size=8), positions)
+    @settings(max_examples=30)
+    def test_distance_many_matches_scalar(self, rows, q):
+        sigs = [sig(r) for r in rows]
+        matrix = np.stack([s.words for s in sigs])
+        query = sig(q)
+        for metric in ALL_METRICS:
+            many = metric.distance_many(query, matrix)
+            for i, s in enumerate(sigs):
+                assert many[i] == pytest.approx(metric.distance(query, s))
+
+    @given(st.lists(positions, min_size=1, max_size=8), positions)
+    @settings(max_examples=30)
+    def test_lower_bound_many_matches_scalar(self, rows, q):
+        sigs = [sig(r) for r in rows]
+        matrix = np.stack([s.words for s in sigs])
+        query = sig(q)
+        metrics = ALL_METRICS + [HammingMetric(fixed_area=5)]
+        for metric in metrics:
+            many = metric.lower_bound_many(query, matrix)
+            for i, s in enumerate(sigs):
+                assert many[i] == pytest.approx(metric.lower_bound(query, s))
+
+
+class TestBoundAdmissibility:
+    """lower_bound(q, union(group)) must never exceed the true distance to
+    any member of the group — the correctness core of branch-and-bound."""
+
+    @given(st.lists(positions, min_size=1, max_size=10), positions)
+    @settings(max_examples=60)
+    def test_bounds_admissible(self, group, q):
+        members = [sig(g) for g in group]
+        entry_sig = Signature.union_of(members)
+        query = sig(q)
+        for metric in ALL_METRICS:
+            bound = metric.lower_bound(query, entry_sig)
+            for member in members:
+                assert bound <= metric.distance(query, member) + 1e-9
+
+    @given(st.lists(positions, min_size=1, max_size=10), positions, st.integers(1, 20))
+    @settings(max_examples=60)
+    def test_fixed_area_bound_admissible(self, group, q, area):
+        # Pad every member to exactly `area` items, as categorical data has.
+        members = []
+        for g in group:
+            items = sorted(g)[:area]
+            filler = [i for i in range(N_BITS) if i not in items]
+            items = items + filler[: area - len(items)]
+            members.append(sig(items))
+        entry_sig = Signature.union_of(members)
+        query = sig(q)
+        metric = HammingMetric(fixed_area=area)
+        bound = metric.lower_bound(query, entry_sig)
+        plain = HAMMING.lower_bound(query, entry_sig)
+        assert bound >= plain  # the Section-6 bound is stricter
+        for member in members:
+            assert bound <= HAMMING.distance(query, member) + 1e-9
+
+
+class TestResolveMetric:
+    def test_by_name(self):
+        assert resolve_metric("hamming") is HAMMING
+        assert resolve_metric("jaccard") is JACCARD
+        assert resolve_metric("cosine") is COSINE
+
+    def test_passthrough(self):
+        metric = HammingMetric(fixed_area=36)
+        assert resolve_metric(metric) is metric
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown metric"):
+            resolve_metric("euclidean")

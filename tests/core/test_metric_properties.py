@@ -1,0 +1,88 @@
+"""Mathematical properties of the metrics.
+
+Hamming distance and Jaccard distance are true metrics (the triangle
+inequality holds); Dice and overlap distances are semi-metrics that
+violate it — the tests pin down both facts, since branch-and-bound only
+requires bound admissibility (tested elsewhere), not metricity.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import COSINE, DICE, HAMMING, JACCARD, Signature
+
+N_BITS = 60
+positions = st.sets(st.integers(min_value=0, max_value=N_BITS - 1), max_size=20)
+
+
+def sig(items) -> Signature:
+    return Signature.from_items(items, N_BITS)
+
+
+class TestTriangleInequality:
+    @given(positions, positions, positions)
+    @settings(max_examples=150)
+    def test_hamming_triangle(self, a, b, c):
+        sa, sb, sc = sig(a), sig(b), sig(c)
+        assert HAMMING.distance(sa, sc) <= (
+            HAMMING.distance(sa, sb) + HAMMING.distance(sb, sc) + 1e-9
+        )
+
+    @given(positions, positions, positions)
+    @settings(max_examples=150)
+    def test_jaccard_triangle(self, a, b, c):
+        sa, sb, sc = sig(a), sig(b), sig(c)
+        assert JACCARD.distance(sa, sc) <= (
+            JACCARD.distance(sa, sb) + JACCARD.distance(sb, sc) + 1e-9
+        )
+
+    def test_dice_violates_triangle(self):
+        """The canonical counterexample: Dice is not a metric."""
+        a = sig({1})
+        b = sig({1, 2})
+        c = sig({2})
+        direct = DICE.distance(a, c)          # 1.0
+        detour = DICE.distance(a, b) + DICE.distance(b, c)  # 1/3 + 1/3
+        assert direct > detour
+
+    def test_cosine_violates_triangle(self):
+        a = sig({1})
+        b = sig({1, 2})
+        c = sig({2})
+        direct = COSINE.distance(a, c)
+        detour = COSINE.distance(a, b) + COSINE.distance(b, c)
+        assert direct > detour
+
+
+class TestRanges:
+    @given(positions, positions)
+    @settings(max_examples=80)
+    def test_normalised_metrics_in_unit_interval(self, a, b):
+        sa, sb = sig(a), sig(b)
+        for metric in (JACCARD, DICE, COSINE):
+            distance = metric.distance(sa, sb)
+            assert -1e-9 <= distance <= 1.0 + 1e-9
+
+    @given(positions, positions)
+    @settings(max_examples=80)
+    def test_hamming_bounded_by_union(self, a, b):
+        sa, sb = sig(a), sig(b)
+        assert HAMMING.distance(sa, sb) <= sa.union_count(sb)
+
+    @given(positions)
+    @settings(max_examples=40)
+    def test_identity_of_indiscernibles(self, a):
+        sa = sig(a)
+        for metric in (HAMMING, JACCARD, DICE, COSINE):
+            assert metric.distance(sa, sa) == pytest.approx(0.0)
+
+    @given(positions, positions)
+    @settings(max_examples=80)
+    def test_jaccard_dice_ordering(self, a, b):
+        """For any pair, dice distance <= jaccard distance (Dice weighs
+        the intersection twice)."""
+        sa, sb = sig(a), sig(b)
+        assert DICE.distance(sa, sb) <= JACCARD.distance(sa, sb) + 1e-9

@@ -1,0 +1,127 @@
+"""Signature value-type behaviour: construction, algebra, immutability."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Signature
+from repro.core import bitops
+
+positions = st.sets(st.integers(min_value=0, max_value=199), max_size=40)
+
+
+class TestConstruction:
+    def test_from_items_and_back(self):
+        sig = Signature.from_items([3, 1, 100], 200)
+        assert sig.items() == [1, 3, 100]
+        assert sig.area == 3
+        assert sig.n_bits == 200
+
+    def test_empty(self):
+        sig = Signature.empty(50)
+        assert sig.is_empty()
+        assert sig.area == 0
+        assert sig.items() == []
+
+    def test_rejects_out_of_range_item(self):
+        with pytest.raises(ValueError):
+            Signature.from_items([200], 200)
+
+    def test_rejects_wrong_word_count(self):
+        with pytest.raises(ValueError):
+            Signature(np.zeros(1, dtype=np.uint64), 128)
+
+    def test_rejects_bits_beyond_length(self):
+        words = np.array([1 << 40], dtype=np.uint64)
+        with pytest.raises(ValueError):
+            Signature(words, 40)
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValueError):
+            Signature(np.zeros((2, 1), dtype=np.uint64), 64)
+
+    def test_defensive_copy(self):
+        words = bitops.pack([1], 64)
+        sig = Signature(words, 64)
+        words[0] = 0
+        assert sig.items() == [1]
+
+    def test_words_read_only(self):
+        sig = Signature.from_items([1], 64)
+        with pytest.raises(ValueError):
+            sig.words[0] = 0
+
+    def test_union_of(self):
+        sigs = [Signature.from_items([i], 64) for i in range(5)]
+        assert Signature.union_of(sigs).items() == [0, 1, 2, 3, 4]
+
+    def test_union_of_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Signature.union_of([])
+
+    def test_union_of_mixed_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            Signature.union_of([Signature.empty(64), Signature.empty(65)])
+
+
+class TestAlgebra:
+    @given(positions, positions)
+    @settings(max_examples=50)
+    def test_operators_match_sets(self, a, b):
+        sa, sb = Signature.from_items(a, 200), Signature.from_items(b, 200)
+        assert set((sa | sb).items()) == a | b
+        assert set((sa & sb).items()) == a & b
+        assert set((sa - sb).items()) == a - b
+        assert sa.contains(sb) == b.issubset(a)
+        assert (sa >= sb) == b.issubset(a)
+        assert (sa <= sb) == a.issubset(b)
+        assert sa.hamming(sb) == len(a ^ b)
+        assert sa.intersect_count(sb) == len(a & b)
+        assert sa.union_count(sb) == len(a | b)
+
+    @given(positions, positions)
+    @settings(max_examples=50)
+    def test_enlargement(self, a, b):
+        sa, sb = Signature.from_items(a, 200), Signature.from_items(b, 200)
+        assert sa.enlargement(sb) == len(b - a)
+        assert sa.enlargement(sb) == (sa | sb).area - sa.area
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Signature.empty(64).union(Signature.empty(128))
+
+
+class TestValueSemantics:
+    def test_equality_and_hash(self):
+        a = Signature.from_items([1, 2], 100)
+        b = Signature.from_items([2, 1], 100)
+        c = Signature.from_items([1, 3], 100)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+        assert a != Signature.from_items([1, 2], 101)
+
+    def test_not_equal_to_other_types(self):
+        assert Signature.empty(8) != "not a signature"
+
+    def test_membership_and_iteration(self):
+        sig = Signature.from_items([4, 9], 64)
+        assert 4 in sig
+        assert 5 not in sig
+        assert 200 not in sig
+        assert list(sig) == [4, 9]
+        assert len(sig) == 64
+
+    def test_repr_truncates(self):
+        sig = Signature.from_items(range(20), 64)
+        text = repr(sig)
+        assert "..." in text
+        assert "area=20" in text
+
+    def test_area_cached(self):
+        sig = Signature.from_items([1, 2, 3], 64)
+        assert sig.area == 3
+        assert sig.area == 3  # second read hits the cache

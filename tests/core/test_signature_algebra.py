@@ -1,0 +1,112 @@
+"""Algebraic laws of signature set-algebra (hypothesis).
+
+The tree's correctness leans on union/intersection behaving exactly like
+Boolean set algebra; these laws pin that down independently of the
+set-reference cross-checks in test_bitops.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Signature
+
+N_BITS = 180
+signatures = st.builds(
+    lambda items: Signature.from_items(items, N_BITS),
+    st.sets(st.integers(min_value=0, max_value=N_BITS - 1), max_size=40),
+)
+
+
+class TestLattice:
+    @given(signatures, signatures)
+    @settings(max_examples=60)
+    def test_commutativity(self, a, b):
+        assert a | b == b | a
+        assert a & b == b & a
+
+    @given(signatures, signatures, signatures)
+    @settings(max_examples=60)
+    def test_associativity(self, a, b, c):
+        assert (a | b) | c == a | (b | c)
+        assert (a & b) & c == a & (b & c)
+
+    @given(signatures, signatures, signatures)
+    @settings(max_examples=60)
+    def test_distributivity(self, a, b, c):
+        assert a & (b | c) == (a & b) | (a & c)
+        assert a | (b & c) == (a | b) & (a | c)
+
+    @given(signatures)
+    @settings(max_examples=40)
+    def test_idempotence_and_identity(self, a):
+        empty = Signature.empty(N_BITS)
+        assert a | a == a
+        assert a & a == a
+        assert a | empty == a
+        assert a & empty == empty
+        assert a - empty == a
+        assert a - a == empty
+
+    @given(signatures, signatures)
+    @settings(max_examples=60)
+    def test_absorption(self, a, b):
+        assert a | (a & b) == a
+        assert a & (a | b) == a
+
+    @given(signatures, signatures)
+    @settings(max_examples=60)
+    def test_difference_laws(self, a, b):
+        assert (a - b) & b == Signature.empty(N_BITS)
+        assert (a - b) | (a & b) == a
+
+    @given(signatures, signatures)
+    @settings(max_examples=60)
+    def test_inclusion_exclusion(self, a, b):
+        assert a.union_count(b) == a.area + b.area - a.intersect_count(b)
+        assert a.hamming(b) == a.union_count(b) - a.intersect_count(b)
+
+
+class TestOrderRelation:
+    @given(signatures, signatures, signatures)
+    @settings(max_examples=60)
+    def test_containment_is_a_partial_order(self, a, b, c):
+        assert a >= a
+        if a >= b and b >= a:
+            assert a == b
+        if a >= b and b >= c:
+            assert a >= c
+
+    @given(signatures, signatures)
+    @settings(max_examples=60)
+    def test_union_is_least_upper_bound(self, a, b):
+        join = a | b
+        assert join >= a and join >= b
+        assert join.area <= a.area + b.area
+
+    @given(signatures, signatures)
+    @settings(max_examples=60)
+    def test_coverage_monotonicity(self, a, b):
+        """The invariant the whole index rests on: growing a group never
+        shrinks its coverage."""
+        grown = Signature.union_of([a, b])
+        assert grown >= a
+        assert grown.area >= max(a.area, b.area)
+
+
+class TestHashEquality:
+    @given(signatures, signatures)
+    @settings(max_examples=60)
+    def test_hash_respects_equality(self, a, b):
+        rebuilt = Signature.from_items(a.items(), N_BITS)
+        assert rebuilt == a
+        assert hash(rebuilt) == hash(a)
+        if a == b:
+            assert hash(a) == hash(b)
+
+    @given(st.lists(signatures, min_size=1, max_size=10))
+    @settings(max_examples=30)
+    def test_usable_in_sets_and_dicts(self, sigs):
+        unique = set(sigs)
+        assert len(unique) == len({s.words.tobytes() for s in sigs})

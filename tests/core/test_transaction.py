@@ -1,0 +1,61 @@
+"""Transaction records and the batch construction helpers."""
+
+from __future__ import annotations
+
+from repro import (
+    CategoricalSchema,
+    ItemVocabulary,
+    Signature,
+    Transaction,
+    transactions_from_itemsets,
+    transactions_from_labels,
+    transactions_from_tuples,
+)
+
+
+class TestTransaction:
+    def test_basic_fields(self):
+        t = Transaction(5, Signature.from_items([1, 2], 64))
+        assert t.tid == 5
+        assert t.area == 2
+        assert t.items() == [1, 2]
+        assert "tid=5" in repr(t)
+
+    def test_payload_excluded_from_equality(self):
+        sig = Signature.from_items([1], 64)
+        assert Transaction(1, sig, payload="a") == Transaction(1, sig, payload="b")
+
+    def test_frozen(self):
+        t = Transaction(1, Signature.empty(8))
+        try:
+            t.tid = 2
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised
+
+
+class TestBuilders:
+    def test_from_itemsets(self):
+        txs = transactions_from_itemsets([[1, 2], [3]], n_bits=10)
+        assert [t.tid for t in txs] == [0, 1]
+        assert txs[0].items() == [1, 2]
+        assert txs[1].items() == [3]
+
+    def test_from_itemsets_start_tid(self):
+        txs = transactions_from_itemsets([[0]], n_bits=4, start_tid=100)
+        assert txs[0].tid == 100
+
+    def test_from_labels(self):
+        vocab = ItemVocabulary()
+        txs = transactions_from_labels(
+            [["milk", "bread"], ["milk", "eggs"]], vocab, n_bits=16
+        )
+        assert len(txs) == 2
+        assert vocab.decode(txs[1].signature) == ["milk", "eggs"]
+
+    def test_from_tuples(self):
+        schema = CategoricalSchema([["a", "b"], ["x", "y"]])
+        txs = transactions_from_tuples([["a", "y"], ["b", "x"]], schema)
+        assert all(t.area == 2 for t in txs)
+        assert schema.decode(txs[0].signature) == ["a", "y"]

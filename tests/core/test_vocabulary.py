@@ -1,0 +1,111 @@
+"""Item vocabularies and categorical schemas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CategoricalSchema, ItemVocabulary
+
+
+class TestItemVocabulary:
+    def test_assigns_dense_positions(self):
+        vocab = ItemVocabulary()
+        assert vocab.add("milk") == 0
+        assert vocab.add("bread") == 1
+        assert vocab.add("milk") == 0
+        assert len(vocab) == 2
+
+    def test_seed_items(self):
+        vocab = ItemVocabulary(["a", "b", "c"])
+        assert vocab.position("c") == 2
+        assert vocab.label(0) == "a"
+        assert "b" in vocab
+        assert "z" not in vocab
+
+    def test_freeze_rejects_new(self):
+        vocab = ItemVocabulary(["a"]).freeze()
+        assert vocab.frozen
+        assert vocab.add("a") == 0
+        with pytest.raises(KeyError):
+            vocab.add("b")
+
+    def test_encode_decode(self):
+        vocab = ItemVocabulary(["a", "b", "c", "d"])
+        sig = vocab.encode(["b", "d"], n_bits=4)
+        assert sig.items() == [1, 3]
+        assert vocab.decode(sig) == ["b", "d"]
+
+    def test_encode_growing_with_explicit_n_bits(self):
+        vocab = ItemVocabulary()
+        sig = vocab.encode(["x", "y"], n_bits=100)
+        assert sig.n_bits == 100
+        assert sig.area == 2
+
+    def test_position_of_unknown_raises(self):
+        with pytest.raises(KeyError):
+            ItemVocabulary().position("nope")
+
+
+class TestCategoricalSchema:
+    def make(self) -> CategoricalSchema:
+        return CategoricalSchema(
+            [["red", "green"], ["s", "m", "l"], ["yes", "no"]],
+            names=["colour", "size", "flag"],
+        )
+
+    def test_layout(self):
+        schema = self.make()
+        assert schema.n_attributes == 3
+        assert schema.n_bits == 7
+        assert schema.domain_sizes() == [2, 3, 2]
+        assert schema.names == ["colour", "size", "flag"]
+        assert schema.domain(1) == ["s", "m", "l"]
+
+    def test_encode_one_bit_per_attribute(self):
+        schema = self.make()
+        sig = schema.encode(["green", "l", "yes"])
+        assert sig.items() == [1, 4, 5]
+        assert sig.area == schema.n_attributes
+
+    def test_decode_round_trip(self):
+        schema = self.make()
+        for values in (["red", "s", "no"], ["green", "m", "yes"]):
+            assert schema.decode(schema.encode(values)) == values
+
+    def test_encode_wrong_width(self):
+        with pytest.raises(ValueError, match="attributes"):
+            self.make().encode(["red", "s"])
+
+    def test_encode_unknown_value(self):
+        with pytest.raises(ValueError, match="not in domain"):
+            self.make().encode(["red", "xl", "yes"])
+
+    def test_decode_rejects_wrong_area(self):
+        schema = self.make()
+        from repro import Signature
+
+        bad = Signature.from_items([0, 1, 2, 5], schema.n_bits)  # two colours
+        with pytest.raises(ValueError, match="exactly one"):
+            schema.decode(bad)
+
+    def test_attribute_of_bit(self):
+        schema = self.make()
+        assert [schema.attribute_of_bit(i) for i in range(7)] == [0, 0, 1, 1, 1, 2, 2]
+        with pytest.raises(ValueError):
+            schema.attribute_of_bit(7)
+
+    def test_duplicate_values_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            CategoricalSchema([["a", "a"]])
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ValueError, match="empty domain"):
+            CategoricalSchema([["a"], []])
+
+    def test_no_attributes_rejected(self):
+        with pytest.raises(ValueError):
+            CategoricalSchema([])
+
+    def test_name_count_mismatch(self):
+        with pytest.raises(ValueError):
+            CategoricalSchema([["a"]], names=["x", "y"])

@@ -1,0 +1,109 @@
+"""Census-like generator: paper statistics, fixed area, correlation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import CensusConfig, CensusGenerator, census_schema
+
+
+class TestSchema:
+    def test_paper_statistics(self):
+        schema = census_schema()
+        assert schema.n_attributes == 36
+        assert schema.n_bits == 525
+        sizes = schema.domain_sizes()
+        assert min(sizes) >= 2
+        assert max(sizes) <= 53
+        assert sum(sizes) == 525
+
+    def test_schema_deterministic(self):
+        assert census_schema(1).domain_sizes() == census_schema(1).domain_sizes()
+
+    def test_different_seeds_differ(self):
+        assert census_schema(1).domain_sizes() != census_schema(2).domain_sizes()
+
+
+class TestGeneration:
+    def test_fixed_area_36(self):
+        generator = CensusGenerator()
+        for t in generator.generate(200):
+            assert t.area == 36
+
+    def test_valid_tuples(self):
+        generator = CensusGenerator()
+        for t in generator.generate(50):
+            values = generator.schema.decode(t.signature)
+            assert len(values) == 36
+
+    def test_sequential_tids(self):
+        generator = CensusGenerator()
+        transactions = generator.generate(10)
+        assert [t.tid for t in transactions] == list(range(10))
+        more = generator.generate(5)
+        assert [t.tid for t in more] == [10, 11, 12, 13, 14]
+
+    def test_reproducible(self):
+        a = CensusGenerator(CensusConfig(stream_seed=5)).generate(50)
+        b = CensusGenerator(CensusConfig(stream_seed=5)).generate(50)
+        assert [t.signature for t in a] == [t.signature for t in b]
+
+    def test_skewed_marginals(self):
+        """Zipf marginals: the most frequent value of a wide attribute
+        must dominate a uniform share."""
+        generator = CensusGenerator()
+        indices, _ = generator.value_index_batch(2000)
+        sizes = generator.schema.domain_sizes()
+        wide = int(np.argmax(sizes))
+        counts = np.bincount(indices[:, wide], minlength=sizes[wide])
+        assert counts.max() / 2000 > 3.0 / sizes[wide]
+
+    def test_profiles_create_correlation(self):
+        """Tuples sharing a latent profile must overlap on far more
+        attribute values than tuples from different profiles."""
+        generator = CensusGenerator()
+        transactions = generator.generate(400)
+        rng = np.random.default_rng(1)
+        same, cross = [], []
+        for _ in range(2000):
+            a, b = rng.choice(400, size=2, replace=False)
+            overlap = transactions[a].signature.intersect_count(
+                transactions[b].signature
+            )
+            if transactions[a].payload == transactions[b].payload:
+                same.append(overlap)
+            else:
+                cross.append(overlap)
+        assert same and cross
+        assert np.mean(same) > np.mean(cross) + 3.0
+
+    def test_single_transaction_helper(self):
+        generator = CensusGenerator()
+        t = generator.transaction()
+        assert t.area == 36
+
+    def test_tuple_values_helper(self):
+        generator = CensusGenerator()
+        values = generator.tuple_values()
+        assert len(values) == 36
+
+
+class TestQueries:
+    def test_queries_from_held_out_stream(self):
+        generator = CensusGenerator()
+        data = generator.generate(100)
+        queries = generator.queries(20)
+        assert len(queries) == 20
+        assert all(q.area == 36 for q in queries)
+        assert [t.signature for t in data[:20]] != queries
+
+
+class TestValidation:
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            CensusGenerator(CensusConfig(n_profiles=0))
+        with pytest.raises(ValueError):
+            CensusGenerator(CensusConfig(profile_attribute_fraction=1.5))
+        with pytest.raises(ValueError):
+            CensusGenerator(CensusConfig(profile_concentration=1.0))

@@ -1,0 +1,73 @@
+"""Transaction-file I/O: round trips and malformed-input handling."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import Signature, Transaction
+from repro.data import load_transactions, save_transactions
+from support import random_transactions
+
+N_BITS = 90
+
+
+class TestRoundTrip:
+    def test_save_load_identity(self, tmp_path):
+        transactions = random_transactions(seed=3, count=50, n_bits=N_BITS)
+        path = tmp_path / "data.jsonl"
+        written = save_transactions(transactions, path, N_BITS)
+        assert written == 50
+        loaded, n_bits = load_transactions(path)
+        assert n_bits == N_BITS
+        assert loaded == transactions
+
+    def test_empty_collection(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        assert save_transactions([], path, N_BITS) == 0
+        loaded, n_bits = load_transactions(path)
+        assert loaded == [] and n_bits == N_BITS
+
+    def test_empty_transaction_preserved(self, tmp_path):
+        transactions = [Transaction(7, Signature.empty(N_BITS))]
+        path = tmp_path / "one.jsonl"
+        save_transactions(transactions, path, N_BITS)
+        loaded, _ = load_transactions(path)
+        assert loaded[0].tid == 7
+        assert loaded[0].signature.is_empty()
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "gaps.jsonl"
+        save_transactions(random_transactions(seed=1, count=3, n_bits=N_BITS), path, N_BITS)
+        path.write_text(path.read_text() + "\n\n")
+        loaded, _ = load_transactions(path)
+        assert len(loaded) == 3
+
+
+class TestErrors:
+    def test_wrong_bit_length_rejected_on_save(self, tmp_path):
+        transaction = Transaction(0, Signature.empty(8))
+        with pytest.raises(ValueError, match="bit"):
+            save_transactions([transaction], tmp_path / "x.jsonl", N_BITS)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "nothing.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            load_transactions(path)
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"rows": 3}) + "\n")
+        with pytest.raises(ValueError, match="header"):
+            load_transactions(path)
+
+    def test_bad_record(self, tmp_path):
+        path = tmp_path / "record.jsonl"
+        path.write_text(
+            json.dumps({"n_bits": N_BITS, "kind": "transactions"}) + "\n"
+            + json.dumps({"tid": 0, "items": [N_BITS + 5]}) + "\n"
+        )
+        with pytest.raises(ValueError, match=":2:"):
+            load_transactions(path)

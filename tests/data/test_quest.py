@@ -1,0 +1,145 @@
+"""Quest generator: parameter fidelity, reproducibility, naming."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import QuestConfig, QuestGenerator, format_dataset_name, parse_dataset_name
+
+
+def make(t=10, i=6, d=2000, **kwargs) -> QuestGenerator:
+    return QuestGenerator(
+        QuestConfig(
+            n_transactions=d,
+            avg_transaction_size=t,
+            avg_itemset_size=i,
+            n_items=300,
+            n_patterns=100,
+            **kwargs,
+        )
+    )
+
+
+class TestNaming:
+    def test_format(self):
+        assert format_dataset_name(10, 6, 200_000) == "T10.I6.D200K"
+        assert format_dataset_name(30, 18, 500) == "T30.I18.D500"
+
+    def test_parse(self):
+        assert parse_dataset_name("T10.I6.D200K") == (10.0, 6.0, 200_000)
+        assert parse_dataset_name("T30.I18.D1M") == (30.0, 18.0, 1_000_000)
+        assert parse_dataset_name("T5.I2.D77") == (5.0, 2.0, 77)
+
+    def test_round_trip(self):
+        for name in ("T10.I6.D200K", "T50.I30.D100K"):
+            assert format_dataset_name(*parse_dataset_name(name)) == name
+
+    def test_parse_malformed(self):
+        for bad in ("X10.I6.D2K", "T10.D2K", "T10I6D2K"):
+            with pytest.raises(ValueError):
+                parse_dataset_name(bad)
+
+    def test_config_name(self):
+        assert make(d=200_000).config.name == "T10.I6.D200K"
+
+
+class TestGeneration:
+    def test_count_and_tids(self):
+        transactions = make(d=500).generate()
+        assert len(transactions) == 500
+        assert [t.tid for t in transactions] == list(range(500))
+
+    def test_mean_transaction_size_close_to_T(self):
+        for t_param in (5, 10, 20):
+            transactions = make(t=t_param, d=2000).generate()
+            mean = np.mean([t.area for t in transactions])
+            assert abs(mean - t_param) < t_param * 0.35
+
+    def test_items_within_universe(self):
+        transactions = make(d=300).generate()
+        for t in transactions:
+            assert all(0 <= i < 300 for i in t.items())
+            assert t.area >= 1
+
+    def test_reproducible_given_seeds(self):
+        a = make().generate(100)
+        b = make().generate(100)
+        assert [t.signature for t in a] == [t.signature for t in b]
+
+    def test_different_stream_seed_differs(self):
+        a = make(stream_seed=1).generate(100)
+        b = make(stream_seed=2).generate(100)
+        assert [t.signature for t in a] != [t.signature for t in b]
+
+    def test_different_pattern_seed_changes_structure(self):
+        a = make(pattern_seed=7).generate(50)
+        b = make(pattern_seed=8).generate(50)
+        assert [t.signature for t in a] != [t.signature for t in b]
+
+    def test_start_tid(self):
+        transactions = make().generate(5, start_tid=100)
+        assert [t.tid for t in transactions] == [100, 101, 102, 103, 104]
+
+    def test_patterns_exposed_as_copies(self):
+        generator = make()
+        patterns = generator.patterns
+        patterns[0][:] = -1
+        assert (generator.patterns[0] >= 0).all()
+
+    def test_data_is_clustered(self):
+        """Transactions share items far more than uniform noise would."""
+        transactions = make(t=10, i=6, d=500).generate()
+        rng = np.random.default_rng(0)
+        pair_overlap = []
+        for _ in range(300):
+            a, b = rng.choice(500, size=2, replace=False)
+            pair_overlap.append(
+                transactions[a].signature.intersect_count(transactions[b].signature)
+            )
+        # Uniform 10-of-300 pairs would overlap ~0.33 items on average.
+        assert np.mean(pair_overlap) > 0.5
+
+
+class TestQueries:
+    def test_queries_independent_of_stream(self):
+        generator = make()
+        before = generator.generate(10)
+        queries = generator.queries(10)
+        after = generator.generate(10)
+        fresh = make()
+        assert [t.signature for t in fresh.generate(20)] == [
+            t.signature for t in before + after
+        ]
+        assert len(queries) == 10
+
+    def test_queries_share_pattern_pool(self):
+        """Queries must be drawn from the same clustered distribution as
+        the data: their items should co-occur with data items."""
+        generator = make(d=500)
+        data_union = set()
+        for t in generator.generate():
+            data_union.update(t.items())
+        hits = 0
+        queries = generator.queries(20)
+        for q in queries:
+            hits += sum(1 for i in q.items() if i in data_union)
+        total = sum(q.area for q in queries)
+        assert hits / total > 0.9
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field,value", [
+        ("n_transactions", -1),
+        ("avg_transaction_size", 0),
+        ("avg_itemset_size", 0),
+        ("n_items", 1),
+        ("n_patterns", 0),
+    ])
+    def test_invalid_config(self, field, value):
+        kwargs = dict(
+            n_transactions=10, avg_transaction_size=5, avg_itemset_size=3
+        )
+        kwargs[field] = value
+        with pytest.raises(ValueError):
+            QuestGenerator(QuestConfig(**kwargs))

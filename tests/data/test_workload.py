@@ -1,0 +1,56 @@
+"""Workload builders and the REPRO_SCALE environment handling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import census_workload, quest_workload, scale_factor, scaled
+
+
+class TestScaleFactor:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert scale_factor() == 10
+
+    def test_full(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "full")
+        assert scale_factor() == 1
+
+    def test_numeric(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "25")
+        assert scale_factor() == 25
+        assert scaled(200_000) == 8_000
+
+    def test_invalid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0")
+        with pytest.raises(ValueError):
+            scale_factor()
+
+    def test_scaled_minimum(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "100")
+        assert scaled(50, minimum=5) == 5
+
+
+class TestQuestWorkload:
+    def test_shapes(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "100")
+        workload = quest_workload(10, 6, 100_000, n_queries=7)
+        assert workload.name == "T10.I6.D1K"
+        assert len(workload.transactions) == 1000
+        assert len(workload.queries) == 7
+        assert workload.n_bits == 1000
+        assert workload.fixed_area is None
+
+    def test_no_scale(self):
+        workload = quest_workload(5, 3, 200, n_queries=2, apply_scale=False)
+        assert len(workload.transactions) == 200
+
+
+class TestCensusWorkload:
+    def test_shapes(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "200")
+        workload = census_workload(200_000, n_queries=4)
+        assert len(workload.transactions) == 1000
+        assert len(workload.queries) == 4
+        assert workload.n_bits == 525
+        assert workload.fixed_area == 36

@@ -1,0 +1,105 @@
+"""Item clustering for the SG-table: partitions, correlation, critical mass."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Signature, Transaction
+from repro.sgtable.itemclust import cluster_items, cooccurrence_counts
+
+N_BITS = 60
+
+
+def correlated_transactions(seed: int = 0, count: int = 400) -> list[Transaction]:
+    """Items {0..9}, {20..29}, {40..49} co-occur; others are noise."""
+    rng = np.random.default_rng(seed)
+    transactions = []
+    for tid in range(count):
+        base = int(rng.choice([0, 20, 40]))
+        items = base + rng.choice(10, size=5, replace=False)
+        extra = rng.choice(N_BITS, size=1)
+        all_items = np.unique(np.concatenate([items, extra]))
+        transactions.append(
+            Transaction(tid, Signature.from_items(all_items.tolist(), N_BITS))
+        )
+    return transactions
+
+
+class TestCooccurrence:
+    def test_counts_match_brute_force(self):
+        transactions = correlated_transactions(count=50)
+        cooc, support = cooccurrence_counts(transactions, N_BITS, sample_size=None)
+        # brute force for a few pairs
+        for i, j in [(0, 1), (0, 21), (20, 25)]:
+            expected = sum(
+                1
+                for t in transactions
+                if i in t.signature and j in t.signature
+            )
+            assert cooc[i, j] == expected
+        for i in (0, 20, 40):
+            assert support[i] == sum(1 for t in transactions if i in t.signature)
+
+    def test_sampling_caps_cost(self):
+        transactions = correlated_transactions(count=300)
+        cooc, _ = cooccurrence_counts(transactions, N_BITS, sample_size=50, seed=1)
+        assert cooc.max() <= 50
+
+    def test_symmetric(self):
+        transactions = correlated_transactions(count=80)
+        cooc, _ = cooccurrence_counts(transactions, N_BITS, sample_size=None)
+        assert np.allclose(cooc, cooc.T)
+
+
+class TestClusterItems:
+    def test_partition_of_universe(self):
+        transactions = correlated_transactions()
+        groups = cluster_items(transactions, N_BITS, n_groups=8)
+        assert len(groups) == 8
+        union = Signature.union_of(groups)
+        assert union.area == N_BITS
+        total = sum(g.area for g in groups)
+        assert total == N_BITS  # disjoint
+
+    def test_correlated_items_grouped(self):
+        transactions = correlated_transactions()
+        groups = cluster_items(transactions, N_BITS, n_groups=6, critical_mass=1.0)
+        # Each planted block of co-occurring items {0..9} must live in a
+        # single vertical signature.
+        for base in (0, 20, 40):
+            owners = set()
+            for item in range(base, base + 10):
+                for gi, group in enumerate(groups):
+                    if item in group:
+                        owners.add(gi)
+            assert len(owners) == 1, f"block {base} split across {owners}"
+
+    def test_critical_mass_limits_group_growth(self):
+        transactions = correlated_transactions()
+        tight = cluster_items(transactions, N_BITS, n_groups=6, critical_mass=0.05)
+        loose = cluster_items(transactions, N_BITS, n_groups=6, critical_mass=1.0)
+        assert max(g.area for g in tight) <= max(g.area for g in loose)
+
+    def test_exact_group_count_even_without_cooccurrence(self):
+        # Singleton transactions: nothing ever co-occurs.
+        transactions = [
+            Transaction(i, Signature.from_items([i % N_BITS], N_BITS))
+            for i in range(100)
+        ]
+        groups = cluster_items(transactions, N_BITS, n_groups=4)
+        assert len(groups) == 4
+        assert sum(g.area for g in groups) == N_BITS
+
+    def test_invalid_inputs(self):
+        transactions = correlated_transactions(count=10)
+        with pytest.raises(ValueError):
+            cluster_items(transactions, N_BITS, n_groups=0)
+        with pytest.raises(ValueError):
+            cluster_items([], N_BITS, n_groups=2)
+
+    def test_deterministic_given_seed(self):
+        transactions = correlated_transactions()
+        a = cluster_items(transactions, N_BITS, n_groups=5, seed=3)
+        b = cluster_items(transactions, N_BITS, n_groups=5, seed=3)
+        assert a == b

@@ -1,0 +1,155 @@
+"""Aggregate (counting) queries and constrained nearest-neighbour search."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import HAMMING, JACCARD, LinearScan, SGTree, Signature
+from repro.sgtree import SearchStats
+from support import random_signature, random_transactions
+
+N_BITS = 120
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    transactions = random_transactions(
+        seed=101, count=600, n_bits=N_BITS, min_items=2, max_items=20
+    )
+    tree = SGTree(N_BITS, max_entries=10)
+    tree.insert_many(transactions)
+    return transactions, tree, LinearScan(transactions)
+
+
+@pytest.fixture(scope="module")
+def queries():
+    rng = np.random.default_rng(33)
+    return [random_signature(rng, N_BITS, max_items=15) for _ in range(15)]
+
+
+class TestRangeCount:
+    @pytest.mark.parametrize("epsilon", [0, 3, 8, 15, 40, 200])
+    def test_exact(self, dataset, queries, epsilon):
+        _, tree, scan = dataset
+        for query in queries:
+            assert tree.range_count(query, epsilon) == len(
+                scan.range_query(query, epsilon)
+            )
+
+    def test_counting_cheaper_than_retrieval_at_wide_epsilon(self, dataset, queries):
+        """At a radius covering most of the data, whole subtrees qualify
+        by their upper bound and are counted without being read."""
+        _, tree, _ = dataset
+        count_stats, retrieve_stats = SearchStats(), SearchStats()
+        for query in queries:
+            tree.range_count(query, 60, stats=count_stats)
+            tree.range_query(query, 60, stats=retrieve_stats)
+        assert count_stats.leaf_entries < retrieve_stats.leaf_entries
+        assert count_stats.node_accesses < retrieve_stats.node_accesses
+
+    def test_other_metric_falls_back_correctly(self, dataset, queries):
+        _, tree, scan = dataset
+        for query in queries[:5]:
+            got = tree.range_count(query, 0.5, metric=JACCARD)
+            assert got == len(scan.range_query(query, 0.5, metric=JACCARD))
+
+    def test_negative_epsilon(self, dataset):
+        _, tree, _ = dataset
+        with pytest.raises(ValueError):
+            tree.range_count(Signature.empty(N_BITS), -1)
+
+    def test_empty_tree(self):
+        tree = SGTree(N_BITS, max_entries=4)
+        assert tree.range_count(Signature.empty(N_BITS), 5) == 0
+
+
+class TestRangeCountBounds:
+    def test_interval_contains_truth_at_any_budget(self, dataset, queries):
+        _, tree, scan = dataset
+        for query in queries[:8]:
+            truth = len(scan.range_query(query, 10))
+            for budget in (1, 3, 10, 50, 10**6):
+                lo, hi = tree.range_count_bounds(query, 10, node_budget=budget)
+                assert lo <= truth <= hi
+
+    def test_interval_tightens_with_budget(self, dataset, queries):
+        _, tree, _ = dataset
+        query = queries[0]
+        widths = []
+        for budget in (1, 5, 25, 10**6):
+            lo, hi = tree.range_count_bounds(query, 10, node_budget=budget)
+            widths.append(hi - lo)
+        assert widths[-1] == 0  # unlimited budget -> exact
+        assert widths == sorted(widths, reverse=True)
+
+    def test_invalid_budget(self, dataset):
+        _, tree, _ = dataset
+        with pytest.raises(ValueError):
+            tree.range_count_bounds(Signature.empty(N_BITS), 1, node_budget=0)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_random_budgets_property(self, seed):
+        rng = np.random.default_rng(seed)
+        transactions = random_transactions(seed=seed, count=120, n_bits=N_BITS)
+        tree = SGTree(N_BITS, max_entries=6)
+        tree.insert_many(transactions)
+        scan = LinearScan(transactions)
+        query = random_signature(rng, N_BITS)
+        epsilon = float(rng.integers(0, 25))
+        truth = len(scan.range_query(query, epsilon))
+        budget = int(rng.integers(1, 40))
+        lo, hi = tree.range_count_bounds(query, epsilon, node_budget=budget)
+        assert lo <= truth <= hi
+
+
+class TestConstrainedNearest:
+    def test_matches_filtered_brute_force(self, dataset, queries):
+        transactions, tree, _ = dataset
+        rng = np.random.default_rng(7)
+        for query in queries:
+            anchor = transactions[int(rng.integers(len(transactions)))]
+            required = Signature.from_items(anchor.items()[:2], N_BITS)
+            got = tree.constrained_nearest(query, required, k=4)
+            qualifying = [
+                t for t in transactions if t.signature.contains(required)
+            ]
+            expected = sorted(
+                (HAMMING.distance(query, t.signature), t.tid) for t in qualifying
+            )[:4]
+            assert [n.distance for n in got] == [d for d, _ in expected]
+            # every hit really satisfies the constraint
+            by_tid = {t.tid: t for t in transactions}
+            for hit in got:
+                assert by_tid[hit.tid].signature.contains(required)
+
+    def test_unsatisfiable_constraint(self, dataset):
+        _, tree, _ = dataset
+        impossible = Signature.from_items(list(range(40)), N_BITS)
+        assert tree.constrained_nearest(Signature.empty(N_BITS), impossible, k=3) == []
+
+    def test_empty_constraint_equals_plain_knn(self, dataset, queries):
+        _, tree, _ = dataset
+        for query in queries[:5]:
+            constrained = tree.constrained_nearest(query, Signature.empty(N_BITS), k=5)
+            plain = tree.nearest(query, k=5)
+            assert [n.distance for n in constrained] == [n.distance for n in plain]
+
+    def test_constraint_prunes(self, dataset, queries):
+        transactions, tree, _ = dataset
+        rare = Signature.from_items(transactions[0].items()[:3], N_BITS)
+        s_constrained, s_plain = SearchStats(), SearchStats()
+        tree.constrained_nearest(queries[0], rare, k=1, stats=s_constrained)
+        tree.nearest(queries[0], k=1, stats=s_plain)
+        # the containment filter must not *increase* the leaf work
+        assert s_constrained.leaf_entries <= s_plain.leaf_entries * 1.5
+
+    def test_invalid_k(self, dataset):
+        _, tree, _ = dataset
+        with pytest.raises(ValueError):
+            tree.constrained_nearest(
+                Signature.empty(N_BITS), Signature.empty(N_BITS), k=0
+            )

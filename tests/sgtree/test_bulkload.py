@@ -1,0 +1,110 @@
+"""Bulk loading: tree validity, search equivalence, quality vs insertion."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import LinearScan, SGTree, Signature, bulk_load
+from repro.sgtree import tree_report, validate_tree
+from repro.sgtree.bulkload import gray_sort_order, minhash_order
+from support import random_signature, random_transactions
+
+N_BITS = 160
+
+
+@pytest.fixture(scope="module")
+def transactions():
+    return random_transactions(seed=13, count=500, n_bits=N_BITS)
+
+
+class TestOrderings:
+    def test_gray_order_is_permutation(self, transactions):
+        order = gray_sort_order([t.signature for t in transactions])
+        assert sorted(order) == list(range(len(transactions)))
+
+    def test_minhash_order_is_permutation(self, transactions):
+        order = minhash_order([t.signature for t in transactions])
+        assert sorted(order) == list(range(len(transactions)))
+
+    def test_minhash_groups_similar(self):
+        # Two disjoint clusters must end up in two contiguous runs.
+        cluster_a = [Signature.from_items([1, 2, 3], N_BITS)] * 5
+        cluster_b = [Signature.from_items([100, 101], N_BITS)] * 5
+        order = minhash_order(cluster_a + cluster_b, seed=3)
+        labels = [0 if i < 5 else 1 for i in order]
+        changes = sum(1 for a, b in zip(labels, labels[1:]) if a != b)
+        assert changes == 1
+
+    def test_empty_input(self):
+        assert gray_sort_order([]) == []
+        assert minhash_order([]) == []
+
+    def test_gray_sort_deterministic(self, transactions):
+        sigs = [t.signature for t in transactions]
+        assert gray_sort_order(sigs) == gray_sort_order(sigs)
+
+
+class TestBulkLoad:
+    @pytest.mark.parametrize("method", ["gray", "minhash"])
+    def test_valid_and_complete(self, transactions, method):
+        tree = bulk_load(transactions, N_BITS, method=method, max_entries=12)
+        validate_tree(tree)
+        assert len(tree) == len(transactions)
+        assert dict(tree.items()) == {t.tid: t.signature for t in transactions}
+
+    @pytest.mark.parametrize("method", ["gray", "minhash"])
+    def test_search_equivalent_to_scan(self, transactions, method):
+        tree = bulk_load(transactions, N_BITS, method=method, max_entries=12)
+        scan = LinearScan(transactions)
+        rng = np.random.default_rng(4)
+        for _ in range(10):
+            query = random_signature(rng, N_BITS)
+            got = tree.nearest(query, k=4)
+            expected = scan.nearest(query, k=4)
+            assert [n.distance for n in got] == [n.distance for n in expected]
+
+    def test_empty_collection(self):
+        tree = bulk_load([], N_BITS, max_entries=8)
+        assert len(tree) == 0
+        validate_tree(tree)
+
+    def test_single_transaction(self, transactions):
+        tree = bulk_load(transactions[:1], N_BITS, max_entries=8)
+        validate_tree(tree)
+        assert len(tree) == 1
+        assert tree.height == 1
+
+    def test_occupancy_near_fill_ratio(self, transactions):
+        tree = bulk_load(transactions, N_BITS, fill_ratio=0.9, max_entries=10)
+        report = tree_report(tree)
+        assert report.average_occupancy > 0.8
+
+    def test_supports_further_inserts_and_deletes(self, transactions):
+        tree = bulk_load(transactions[:400], N_BITS, max_entries=12)
+        for t in transactions[400:]:
+            tree.insert(t)
+        validate_tree(tree)
+        for t in transactions[:100]:
+            assert tree.delete(t)
+        validate_tree(tree)
+        assert len(tree) == 400
+
+    def test_invalid_fill_ratio(self, transactions):
+        with pytest.raises(ValueError):
+            bulk_load(transactions, N_BITS, fill_ratio=0.0)
+
+    def test_unknown_method(self, transactions):
+        with pytest.raises(ValueError, match="unknown bulk-load method"):
+            bulk_load(transactions, N_BITS, method="zorder")
+
+    def test_build_faster_than_one_by_one_quality_comparable(self, transactions):
+        """The future-work claim: the globally-ordered tree is at least in
+        the same quality league as the insertion-built one."""
+        bulk = bulk_load(transactions, N_BITS, method="gray", max_entries=12)
+        incremental = SGTree(N_BITS, max_entries=12)
+        for t in transactions:
+            incremental.insert(t)
+        area_bulk = tree_report(bulk).average_area_by_level.get(1, 0.0)
+        area_incr = tree_report(incremental).average_area_by_level.get(1, 0.0)
+        assert area_bulk <= area_incr * 2.0

@@ -1,0 +1,86 @@
+"""Tree-guided clustering (the Section-6 extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import SGTree, Signature, Transaction, cluster_leaves
+from repro.sgtree.clustering import Cluster
+
+
+def clustered_transactions() -> list[Transaction]:
+    """Three well-separated item clusters, 30 transactions each."""
+    rng = np.random.default_rng(8)
+    transactions = []
+    tid = 0
+    for base in (0, 50, 100):
+        for _ in range(30):
+            items = base + rng.choice(20, size=6, replace=False)
+            transactions.append(
+                Transaction(tid, Signature.from_items(items.tolist(), 150))
+            )
+            tid += 1
+    return transactions
+
+
+class TestClusterLeaves:
+    def test_partition_of_all_tids(self):
+        transactions = clustered_transactions()
+        tree = SGTree(150, max_entries=8)
+        for t in transactions:
+            tree.insert(t)
+        clusters = cluster_leaves(tree, 3)
+        tids = sorted(tid for c in clusters for tid in c.tids)
+        assert tids == list(range(len(transactions)))
+
+    def test_recovers_planted_clusters(self):
+        transactions = clustered_transactions()
+        tree = SGTree(150, max_entries=8)
+        for t in transactions:
+            tree.insert(t)
+        clusters = cluster_leaves(tree, 3)
+        assert len(clusters) == 3
+        # Every cluster must be pure: all members from one planted group.
+        for cluster in clusters:
+            groups = {tid // 30 for tid in cluster.tids}
+            assert len(groups) == 1
+
+    def test_cluster_signature_covers_members(self):
+        transactions = clustered_transactions()
+        tree = SGTree(150, max_entries=8)
+        for t in transactions:
+            tree.insert(t)
+        by_tid = {t.tid: t.signature for t in transactions}
+        for cluster in cluster_leaves(tree, 5):
+            for tid in cluster.tids:
+                assert cluster.signature.contains(by_tid[tid])
+
+    def test_sorted_by_size(self):
+        transactions = clustered_transactions()
+        tree = SGTree(150, max_entries=8)
+        for t in transactions:
+            tree.insert(t)
+        clusters = cluster_leaves(tree, 4)
+        sizes = [len(c) for c in clusters]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_more_clusters_than_leaves_clips(self):
+        tree = SGTree(150, max_entries=8)
+        for t in clustered_transactions()[:5]:
+            tree.insert(t)
+        clusters = cluster_leaves(tree, 50)
+        assert 1 <= len(clusters) <= 5
+
+    def test_empty_tree(self):
+        tree = SGTree(150, max_entries=8)
+        assert cluster_leaves(tree, 3) == []
+
+    def test_invalid_n_clusters(self):
+        tree = SGTree(150, max_entries=8)
+        with pytest.raises(ValueError):
+            cluster_leaves(tree, 0)
+
+    def test_cluster_len(self):
+        cluster = Cluster(tids=[1, 2, 3], signature=Signature.empty(8))
+        assert len(cluster) == 3

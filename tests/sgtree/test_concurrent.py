@@ -1,0 +1,171 @@
+"""Thread-safety of the ConcurrentSGTree facade and its RW lock."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import LinearScan, Signature
+from repro.sgtree import validate_tree
+from repro.sgtree.concurrent import ConcurrentSGTree, ReadWriteLock
+from support import random_signature, random_transactions
+
+N_BITS = 120
+
+
+class TestReadWriteLock:
+    def test_readers_share(self):
+        lock = ReadWriteLock()
+        inside = []
+        barrier = threading.Barrier(3)
+
+        def reader():
+            with lock.reading():
+                barrier.wait(timeout=5)  # all three readers inside at once
+                inside.append(1)
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5)
+        assert len(inside) == 3
+
+    def test_writer_exclusive(self):
+        lock = ReadWriteLock()
+        log = []
+
+        def writer(tag):
+            with lock.writing():
+                log.append(f"{tag}-in")
+                time.sleep(0.02)
+                log.append(f"{tag}-out")
+
+        threads = [threading.Thread(target=writer, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5)
+        # entries and exits must be properly nested (no interleaving)
+        for i in range(0, len(log), 2):
+            assert log[i].endswith("-in")
+            assert log[i + 1] == log[i].replace("-in", "-out")
+
+    def test_writer_blocks_new_readers(self):
+        lock = ReadWriteLock()
+        order = []
+        lock.acquire_read()
+
+        def writer():
+            lock.acquire_write()
+            order.append("writer")
+            lock.release_write()
+
+        def late_reader():
+            time.sleep(0.05)  # let the writer start waiting first
+            lock.acquire_read()
+            order.append("late-reader")
+            lock.release_read()
+
+        w = threading.Thread(target=writer)
+        r = threading.Thread(target=late_reader)
+        w.start()
+        r.start()
+        time.sleep(0.1)
+        lock.release_read()  # unblock the writer
+        w.join(timeout=5)
+        r.join(timeout=5)
+        assert order == ["writer", "late-reader"]
+
+
+class TestConcurrentSGTree:
+    def test_parallel_queries_are_exact(self):
+        transactions = random_transactions(seed=81, count=500, n_bits=N_BITS)
+        index = ConcurrentSGTree(n_bits=N_BITS, max_entries=12)
+        index.insert_many(transactions)
+        scan = LinearScan(transactions)
+        rng = np.random.default_rng(3)
+        queries = [random_signature(rng, N_BITS) for _ in range(40)]
+        expected = [
+            [n.distance for n in scan.nearest(q, k=3)] for q in queries
+        ]
+        failures = []
+
+        def worker(ids):
+            for i in ids:
+                got = [n.distance for n in index.nearest(queries[i], k=3)]
+                if got != expected[i]:
+                    failures.append(i)
+
+        threads = [
+            threading.Thread(target=worker, args=(range(i, 40, 4),)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert failures == []
+
+    def test_interleaved_writers_and_readers(self):
+        transactions = random_transactions(seed=82, count=600, n_bits=N_BITS)
+        index = ConcurrentSGTree(n_bits=N_BITS, max_entries=10)
+        index.insert_many(transactions[:200])
+        errors = []
+
+        def writer():
+            try:
+                for t in transactions[200:]:
+                    index.insert(t)
+                for t in transactions[:100]:
+                    assert index.delete(t)
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        def reader():
+            rng = np.random.default_rng(9)
+            try:
+                for _ in range(150):
+                    query = random_signature(rng, N_BITS)
+                    hits = index.nearest(query, k=2)
+                    assert all(h.distance >= 0 for h in hits)
+                    index.range_query(query, 5)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer)] + [
+            threading.Thread(target=reader) for _ in range(3)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert errors == []
+        validate_tree(index.tree)
+        assert len(index) == 500
+        # final state must be exactly the survivors
+        survivors = {t.tid: t.signature for t in transactions[100:]}
+        assert dict(index.tree.items()) == survivors
+
+    def test_wraps_existing_tree(self):
+        from repro import SGTree
+
+        tree = SGTree(N_BITS, max_entries=8)
+        index = ConcurrentSGTree(tree=tree)
+        index.insert(1, Signature.from_items([1, 2], N_BITS))
+        assert len(index) == 1
+        assert index.containment_query(Signature.from_items([1], N_BITS)) == [1]
+        assert index.equality_query(Signature.from_items([1, 2], N_BITS)) == [1]
+        assert index.subset_query(Signature.from_items([1, 2, 3], N_BITS)) == [1]
+        assert "ConcurrentSGTree" in repr(index)
+
+    def test_disk_mode_forces_serial_reads(self):
+        from repro import SGTree
+
+        tree = SGTree(N_BITS, max_entries=8, mode="disk", frames=4)
+        index = ConcurrentSGTree(tree=tree)
+        assert index._serial_reads
+        index.insert(1, Signature.from_items([3], N_BITS))
+        assert index.nearest(Signature.from_items([3], N_BITS))[0].tid == 1

@@ -1,0 +1,80 @@
+"""ChooseSubtree heuristics: the paper's three cases and the overlap variant."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Signature
+from repro.sgtree.insert import choose_min_enlargement, choose_min_overlap, choose_subtree
+from repro.sgtree.node import Entry, Node
+
+N_BITS = 64
+
+
+def node_with(*item_sets) -> Node:
+    node = Node(page_id=0, level=1)
+    for ref, items in enumerate(item_sets):
+        node.add(Entry(Signature.from_items(items, N_BITS), ref))
+    return node
+
+
+def sig(items) -> Signature:
+    return Signature.from_items(items, N_BITS)
+
+
+class TestCase1SingleContainer:
+    def test_unique_containing_entry_chosen(self):
+        node = node_with([1, 2, 3], [4, 5, 6], [7, 8, 9])
+        assert choose_subtree(node, sig([4, 5])) == 1
+
+    def test_containing_entry_beats_smaller_enlargement(self):
+        # Entry 0 contains the signature; entry 1 would need enlargement 1
+        # but containment always wins.
+        node = node_with([1, 2, 3, 4, 5, 6], [1, 2])
+        assert choose_subtree(node, sig([1, 2, 3])) == 0
+
+
+class TestCase2MultipleContainers:
+    def test_minimum_area_container_chosen(self):
+        node = node_with([1, 2, 3, 4, 5], [1, 2, 3], [1, 2, 3, 4])
+        assert choose_subtree(node, sig([1, 2])) == 1
+
+
+class TestCase3NoContainer:
+    def test_minimum_enlargement_chosen(self):
+        # sig {10, 11}: entry 0 misses both (enl 2), entry 1 misses one (enl 1)
+        node = node_with([1, 2], [10, 3])
+        assert choose_subtree(node, sig([10, 11])) == 1
+
+    def test_enlargement_tie_broken_by_area(self):
+        # Both entries need enlargement 1; entry 1 is smaller.
+        node = node_with([1, 2, 3], [4, 5])
+        assert choose_subtree(node, sig([9])) == 1
+
+
+class TestOverlapChooser:
+    def test_containment_short_circuit(self):
+        node = node_with([1, 2, 3], [7, 8])
+        assert choose_min_overlap(node, sig([1, 2])) == 0
+
+    def test_prefers_low_overlap_increase(self):
+        # Query {3, 7}: extending entry 0 or entry 2 would newly overlap
+        # entry 1 on item 3; extending entry 1 overlaps nothing new.
+        node = node_with([1, 2], [3, 4], [5, 6])
+        assert choose_min_overlap(node, sig([3, 7])) == 1
+
+    def test_agrees_with_enlargement_on_containment_cases(self):
+        node = node_with([1, 2, 3, 4], [1, 2], [5, 6])
+        query = sig([1, 2])
+        assert choose_min_overlap(node, query) == choose_min_enlargement(node, query)
+
+
+class TestDispatch:
+    def test_unknown_heuristic(self):
+        node = node_with([1])
+        with pytest.raises(ValueError, match="unknown chooser"):
+            choose_subtree(node, sig([1]), heuristic="greedy")
+
+    def test_single_entry_node(self):
+        node = node_with([1, 2])
+        assert choose_subtree(node, sig([5])) == 0

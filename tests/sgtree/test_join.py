@@ -1,0 +1,232 @@
+"""Tree-to-tree joins: correctness against brute force, bound soundness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import HAMMING, SGTree, Signature
+from repro.sgtree.join import (
+    PairResult,
+    all_nearest_neighbors,
+    closest_pairs,
+    pair_lower_bound,
+    similarity_join,
+    similarity_self_join,
+)
+from support import random_transactions
+
+N_BITS = 120
+
+
+def build_tree(transactions) -> SGTree:
+    tree = SGTree(N_BITS, max_entries=8)
+    for t in transactions:
+        tree.insert(t)
+    return tree
+
+
+@pytest.fixture(scope="module")
+def trees():
+    outer = random_transactions(seed=41, count=120, n_bits=N_BITS)
+    inner = random_transactions(seed=42, count=150, n_bits=N_BITS)
+    return outer, inner, build_tree(outer), build_tree(inner)
+
+
+def brute_pairs(outer, inner, epsilon):
+    hits = []
+    for a in outer:
+        for b in inner:
+            distance = HAMMING.distance(a.signature, b.signature)
+            if distance <= epsilon:
+                hits.append(PairResult(distance, a.tid, b.tid))
+    return sorted(hits)
+
+
+class TestSimilarityJoin:
+    @pytest.mark.parametrize("epsilon", [0, 2, 5, 10])
+    def test_matches_brute_force(self, trees, epsilon):
+        outer, inner, tree_a, tree_b = trees
+        assert similarity_join(tree_a, tree_b, epsilon) == brute_pairs(
+            outer, inner, epsilon
+        )
+
+    def test_join_prunes(self, trees):
+        from repro.sgtree import SearchStats
+
+        outer, inner, tree_a, tree_b = trees
+        stats = SearchStats()
+        similarity_join(tree_a, tree_b, 2, stats=stats)
+        assert stats.leaf_entries < len(outer) * len(inner)
+
+    def test_empty_tree(self, trees):
+        _, _, tree_a, _ = trees
+        empty = SGTree(N_BITS, max_entries=8)
+        assert similarity_join(tree_a, empty, 5) == []
+        assert similarity_join(empty, tree_a, 5) == []
+
+    def test_mismatched_bits(self, trees):
+        _, _, tree_a, _ = trees
+        with pytest.raises(ValueError, match="bit"):
+            similarity_join(tree_a, SGTree(8, max_entries=4), 1)
+
+    def test_negative_epsilon(self, trees):
+        _, _, tree_a, tree_b = trees
+        with pytest.raises(ValueError):
+            similarity_join(tree_a, tree_b, -1)
+
+    def test_different_heights(self):
+        small = build_tree(random_transactions(seed=1, count=10, n_bits=N_BITS))
+        large = build_tree(random_transactions(seed=2, count=300, n_bits=N_BITS))
+        outer = list(small.items())
+        inner = list(large.items())
+        expected = sorted(
+            PairResult(HAMMING.distance(sa, sb), ta, tb)
+            for ta, sa in outer
+            for tb, sb in inner
+            if HAMMING.distance(sa, sb) <= 6
+        )
+        assert similarity_join(small, large, 6) == expected
+        assert similarity_join(large, small, 6) == sorted(
+            PairResult(p.distance, p.tid_b, p.tid_a) for p in expected
+        )
+
+
+class TestSelfJoin:
+    def test_matches_brute_force(self, trees):
+        outer, _, tree_a, _ = trees
+        expected = sorted(
+            PairResult(HAMMING.distance(a.signature, b.signature), a.tid, b.tid)
+            for i, a in enumerate(outer)
+            for b in outer[i + 1 :]
+            if HAMMING.distance(a.signature, b.signature) <= 4
+        )
+        assert similarity_self_join(tree_a, 4) == expected
+
+    def test_excludes_identity_pairs(self, trees):
+        _, _, tree_a, _ = trees
+        for pair in similarity_self_join(tree_a, 3):
+            assert pair.tid_a < pair.tid_b
+
+
+class TestClosestPairs:
+    @pytest.mark.parametrize("k", [1, 5, 20])
+    def test_matches_brute_force(self, trees, k):
+        outer, inner, tree_a, tree_b = trees
+        got = closest_pairs(tree_a, tree_b, k=k)
+        all_pairs = sorted(
+            HAMMING.distance(a.signature, b.signature)
+            for a in outer
+            for b in inner
+        )
+        assert [p.distance for p in got] == all_pairs[:k]
+
+    def test_sorted_output(self, trees):
+        _, _, tree_a, tree_b = trees
+        got = closest_pairs(tree_a, tree_b, k=10)
+        assert [p.distance for p in got] == sorted(p.distance for p in got)
+
+    def test_invalid_k(self, trees):
+        _, _, tree_a, tree_b = trees
+        with pytest.raises(ValueError):
+            closest_pairs(tree_a, tree_b, k=0)
+
+    def test_empty(self, trees):
+        _, _, tree_a, _ = trees
+        assert closest_pairs(tree_a, SGTree(N_BITS, max_entries=4), k=3) == []
+
+
+class TestAllNearestNeighbors:
+    def test_matches_brute_force(self, trees):
+        outer, inner, tree_a, tree_b = trees
+        got = all_nearest_neighbors(tree_a, tree_b)
+        assert len(got) == len(outer)
+        by_tid = {p.tid_a: p for p in got}
+        for a in outer:
+            expected = min(
+                HAMMING.distance(a.signature, b.signature) for b in inner
+            )
+            assert by_tid[a.tid].distance == expected
+
+    def test_empty_inner(self, trees):
+        _, _, tree_a, _ = trees
+        assert all_nearest_neighbors(tree_a, SGTree(N_BITS, max_entries=4)) == []
+
+
+class TestPairBound:
+    @given(
+        st.lists(st.sets(st.integers(0, N_BITS - 1), min_size=1, max_size=15),
+                 min_size=1, max_size=6),
+        st.lists(st.sets(st.integers(0, N_BITS - 1), min_size=1, max_size=15),
+                 min_size=1, max_size=6),
+    )
+    @settings(max_examples=60)
+    def test_admissible(self, group_a, group_b):
+        """pair_lower_bound never exceeds the true minimum pair distance."""
+        sigs_a = [Signature.from_items(s, N_BITS) for s in group_a]
+        sigs_b = [Signature.from_items(s, N_BITS) for s in group_b]
+        union_a = Signature.union_of(sigs_a)
+        union_b = Signature.union_of(sigs_b)
+        range_a = (min(s.area for s in sigs_a), max(s.area for s in sigs_a))
+        range_b = (min(s.area for s in sigs_b), max(s.area for s in sigs_b))
+        bound = pair_lower_bound(union_a.words, union_b.words, range_a, range_b)
+        true_min = min(
+            HAMMING.distance(a, b) for a in sigs_a for b in sigs_b
+        )
+        assert bound <= true_min + 1e-9
+
+    def test_disjoint_unions_give_positive_bound(self):
+        sig_a = Signature.from_items([1, 2, 3], N_BITS)
+        sig_b = Signature.from_items([50, 51], N_BITS)
+        bound = pair_lower_bound(sig_a.words, sig_b.words, (3, 3), (2, 2))
+        assert bound == 5.0
+
+
+class TestBrowsePairs:
+    def test_full_stream_sorted_and_complete(self, trees):
+        from repro.sgtree.join import browse_pairs
+
+        outer, inner, tree_a, tree_b = trees
+        small_a = build_tree(outer[:25])
+        small_b = build_tree(inner[:30])
+        stream = list(browse_pairs(small_a, small_b))
+        assert len(stream) == 25 * 30
+        distances = [p.distance for p in stream]
+        assert distances == sorted(distances)
+        brute = sorted(
+            HAMMING.distance(a.signature, b.signature)
+            for a in outer[:25]
+            for b in inner[:30]
+        )
+        assert distances == brute
+
+    def test_prefix_equals_closest_pairs(self, trees):
+        import itertools
+
+        from repro.sgtree.join import browse_pairs
+
+        _, _, tree_a, tree_b = trees
+        prefix = list(itertools.islice(browse_pairs(tree_a, tree_b), 12))
+        assert [p.distance for p in prefix] == [
+            p.distance for p in closest_pairs(tree_a, tree_b, k=12)
+        ]
+
+    def test_lazy_consumption(self, trees):
+        from repro.sgtree import SearchStats
+        from repro.sgtree.join import browse_pairs
+
+        _, _, tree_a, tree_b = trees
+        one = SearchStats()
+        next(iter(browse_pairs(tree_a, tree_b, stats=one)))
+        full = SearchStats()
+        list(browse_pairs(tree_a, tree_b, stats=full))
+        assert one.leaf_entries < full.leaf_entries
+
+    def test_empty_tree_yields_nothing(self, trees):
+        from repro.sgtree.join import browse_pairs
+
+        _, _, tree_a, _ = trees
+        empty = SGTree(N_BITS, max_entries=4)
+        assert list(browse_pairs(tree_a, empty)) == []

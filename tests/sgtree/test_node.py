@@ -1,0 +1,163 @@
+"""Node mechanics and the NodeStore in both sim and disk modes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Signature
+from repro.sgtree.node import Entry, Node, NodeStore
+from repro.storage import FilePager
+
+N_BITS = 100
+
+
+def entry(items, ref=0) -> Entry:
+    return Entry(Signature.from_items(items, N_BITS), ref)
+
+
+class TestNode:
+    def test_leaf_flag(self):
+        assert Node(page_id=0, level=0).is_leaf
+        assert not Node(page_id=0, level=1).is_leaf
+
+    def test_add_remove(self):
+        node = Node(page_id=0, level=0)
+        node.add(entry([1], ref=10))
+        node.add(entry([2], ref=11))
+        assert len(node) == 2
+        removed = node.remove_at(0)
+        assert removed.ref == 10
+        assert node.entries[0].ref == 11
+
+    def test_signature_matrix_cached_and_invalidated(self):
+        node = Node(page_id=0, level=0)
+        node.add(entry([1]))
+        first = node.signature_matrix()
+        assert first is node.signature_matrix()
+        node.add(entry([2]))
+        assert node.signature_matrix().shape == (2, first.shape[1])
+
+    def test_matrix_of_empty_node_raises(self):
+        with pytest.raises(ValueError):
+            Node(page_id=0, level=0).signature_matrix()
+
+    def test_union_signature(self):
+        node = Node(page_id=0, level=0)
+        node.add(entry([1, 2]))
+        node.add(entry([2, 3]))
+        assert node.union_signature().items() == [1, 2, 3]
+
+    def test_find_ref(self):
+        node = Node(page_id=0, level=0)
+        node.add(entry([1], ref=42))
+        assert node.find_ref(42) == 0
+        assert node.find_ref(43) is None
+
+    def test_entry_area(self):
+        assert entry([1, 2, 3]).area == 3
+
+
+@pytest.fixture(params=["sim", "disk"])
+def store(request, tmp_path):
+    if request.param == "sim":
+        yield NodeStore(N_BITS, page_size=2048, frames=4, mode="sim")
+    else:
+        pager = FilePager(tmp_path / "nodes.bin", page_size=2048)
+        yield NodeStore(
+            N_BITS, page_size=2048, frames=4, mode="disk", pager=pager, compress=True
+        )
+        pager.close()
+
+
+class TestNodeStore:
+    def test_create_and_get(self, store):
+        node = store.create_node(level=0)
+        node.add(entry([5], ref=1))
+        store.mark_dirty(node)
+        fetched = store.get(node.page_id)
+        assert fetched.entries[0].signature.items() == [5]
+
+    def test_access_counting(self, store):
+        node = store.create_node(level=0)
+        store.counters.reset()
+        store.get(node.page_id)
+        store.get(node.page_id)
+        assert store.counters.node_accesses == 2
+        assert store.counters.random_ios == 0  # resident
+
+    def test_miss_counted_after_eviction(self, store):
+        first = store.create_node(level=0)
+        first.add(entry([1]))
+        store.mark_dirty(first)
+        # Overflow the 4-frame budget so `first` is evicted.
+        keep = [store.create_node(level=0) for _ in range(6)]
+        for node in keep:
+            node.add(entry([2]))
+            store.mark_dirty(node)
+        del keep, node
+        store.counters.reset()
+        fetched = store.get(first.page_id)
+        assert store.counters.random_ios == 1
+        assert fetched.entries[0].signature.items() == [1]
+
+    def test_mutation_survives_eviction_of_held_reference(self, store):
+        """The regression behind the weak identity map: mutating a node
+        object after its page was evicted must not be lost."""
+        node = store.create_node(level=0)
+        page_id = node.page_id
+        node.add(entry([1], ref=1))
+        store.mark_dirty(node)
+        others = [store.create_node(level=0) for _ in range(8)]
+        for other in others:
+            other.add(entry([9]))
+            store.mark_dirty(other)
+        # `node`'s page may have been evicted; mutate the held object.
+        node.add(entry([2], ref=2))
+        store.mark_dirty(node)
+        store.clear_cache()
+        import gc
+
+        del node, other, others
+        gc.collect()
+        fetched = store.get(page_id)
+        assert [e.ref for e in fetched.entries] == [1, 2]
+
+    def test_free_releases_page(self, store):
+        node = store.create_node(level=0)
+        store.free(node.page_id)
+        with pytest.raises(KeyError):
+            store.get(node.page_id)
+
+    def test_resize_budget(self, store):
+        nodes = [store.create_node(level=0) for _ in range(4)]
+        for node in nodes:
+            node.add(entry([1]))
+            store.mark_dirty(node)
+        store.resize(1)
+        assert store.frames == 1
+        # all nodes remain reachable
+        for node in nodes:
+            assert store.get(node.page_id).entries
+
+    def test_default_capacity_positive(self, store):
+        assert store.default_capacity() >= 2
+
+    def test_len(self, store):
+        store.create_node(level=0)
+        store.create_node(level=1)
+        assert len(store) >= 2
+
+
+class TestStoreValidation:
+    def test_bad_mode(self):
+        with pytest.raises(ValueError, match="sim"):
+            NodeStore(N_BITS, mode="turbo")
+
+    def test_bad_policy(self):
+        with pytest.raises(ValueError, match="policy"):
+            NodeStore(N_BITS, policy="mru")
+
+    def test_unknown_page_sim(self):
+        store = NodeStore(N_BITS, mode="sim")
+        with pytest.raises(KeyError):
+            store.get(12345)

@@ -1,0 +1,133 @@
+"""Index persistence: save, reopen, keep querying and updating."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import HammingMetric, LinearScan, SGTree
+from repro.sgtree import NodeStore, validate_tree
+from repro.sgtree.persistence import load_tree, save_tree
+from repro.storage import FilePager
+from support import random_signature, random_transactions
+
+import numpy as np
+
+N_BITS = 150
+
+
+@pytest.fixture
+def transactions():
+    return random_transactions(seed=61, count=250, n_bits=N_BITS)
+
+
+def assert_equivalent(tree, transactions):
+    scan = LinearScan(transactions)
+    rng = np.random.default_rng(3)
+    for _ in range(8):
+        query = random_signature(rng, N_BITS)
+        got = tree.nearest(query, k=3)
+        expected = scan.nearest(query, k=3)
+        assert [n.distance for n in got] == [n.distance for n in expected]
+
+
+class TestExportAndReload:
+    def test_sim_tree_round_trip(self, transactions, tmp_path):
+        tree = SGTree(N_BITS, max_entries=8, split_policy="minsplit")
+        for t in transactions:
+            tree.insert(t)
+        path = tmp_path / "index.sgt"
+        save_tree(tree, path)
+        assert path.exists()
+        assert (tmp_path / "index.sgt.meta.json").exists()
+
+        reopened = load_tree(path)
+        assert len(reopened) == len(transactions)
+        assert reopened.height == tree.height
+        assert reopened.max_entries == tree.max_entries
+        assert reopened.split_policy == "minsplit"
+        validate_tree(reopened)
+        assert dict(reopened.items()) == dict(tree.items())
+        assert_equivalent(reopened, transactions)
+        reopened.store.pager.close()
+
+    def test_disk_tree_in_place_flush(self, transactions, tmp_path):
+        path = tmp_path / "live.sgt"
+        pager = FilePager(path, page_size=4096)
+        store = NodeStore(N_BITS, page_size=4096, frames=8, mode="disk", pager=pager)
+        tree = SGTree(N_BITS, max_entries=8, store=store)
+        for t in transactions:
+            tree.insert(t)
+        save_tree(tree, path)
+        pager.close()
+
+        reopened = load_tree(path, frames=16)
+        validate_tree(reopened)
+        assert_equivalent(reopened, transactions)
+        reopened.store.pager.close()
+
+    def test_reopened_tree_supports_updates(self, transactions, tmp_path):
+        tree = SGTree(N_BITS, max_entries=8)
+        for t in transactions[:200]:
+            tree.insert(t)
+        path = tmp_path / "upd.sgt"
+        save_tree(tree, path)
+
+        reopened = load_tree(path)
+        for t in transactions[200:]:
+            reopened.insert(t)
+        for t in transactions[:50]:
+            assert reopened.delete(t)
+        validate_tree(reopened)
+        assert_equivalent(reopened, transactions[50:])
+        # persist the updates in place and reload once more
+        save_tree(reopened, path)
+        reopened.store.pager.close()
+        final = load_tree(path)
+        validate_tree(final)
+        assert_equivalent(final, transactions[50:])
+        final.store.pager.close()
+
+    def test_metric_round_trips(self, transactions, tmp_path):
+        tree = SGTree(N_BITS, max_entries=8, metric=HammingMetric(fixed_area=9))
+        for t in transactions[:40]:
+            tree.insert(t)
+        path = tmp_path / "metric.sgt"
+        save_tree(tree, path)
+        reopened = load_tree(path)
+        assert reopened.metric.fixed_area == 9
+        reopened.store.pager.close()
+
+    def test_overwrites_previous_index(self, transactions, tmp_path):
+        path = tmp_path / "twice.sgt"
+        for subset in (transactions[:50], transactions[:120]):
+            tree = SGTree(N_BITS, max_entries=8)
+            for t in subset:
+                tree.insert(t)
+            save_tree(tree, path)
+        reopened = load_tree(path)
+        assert len(reopened) == 120
+        validate_tree(reopened)
+        reopened.store.pager.close()
+
+    def test_unsupported_version_rejected(self, transactions, tmp_path):
+        tree = SGTree(N_BITS, max_entries=8)
+        tree.insert(transactions[0])
+        path = tmp_path / "ver.sgt"
+        save_tree(tree, path)
+        meta_path = tmp_path / "ver.sgt.meta.json"
+        meta = json.loads(meta_path.read_text())
+        meta["format_version"] = 99
+        meta_path.write_text(json.dumps(meta))
+        with pytest.raises(ValueError, match="format"):
+            load_tree(path)
+
+    def test_empty_tree_round_trip(self, tmp_path):
+        tree = SGTree(N_BITS, max_entries=8)
+        path = tmp_path / "empty.sgt"
+        save_tree(tree, path)
+        reopened = load_tree(path)
+        assert len(reopened) == 0
+        assert reopened.nearest(random_signature(np.random.default_rng(0), N_BITS), k=1) == []
+        reopened.store.pager.close()

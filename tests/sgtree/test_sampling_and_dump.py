@@ -1,0 +1,83 @@
+"""Count-weighted sampling and the debug pretty-printer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro import SGTree
+from support import random_transactions
+
+N_BITS = 100
+
+
+@pytest.fixture(scope="module")
+def tree():
+    transactions = random_transactions(seed=55, count=400, n_bits=N_BITS)
+    tree = SGTree(N_BITS, max_entries=8)
+    tree.insert_many(transactions)
+    return tree
+
+
+class TestSampling:
+    def test_samples_are_indexed_transactions(self, tree):
+        indexed = dict(tree.items())
+        for tid, signature in tree.sample(50, seed=0):
+            assert indexed[tid] == signature
+
+    def test_deterministic_given_seed(self, tree):
+        assert tree.sample(20, seed=7) == tree.sample(20, seed=7)
+
+    def test_approximately_uniform(self, tree):
+        """Chi-square goodness of fit against the uniform distribution —
+        count-weighted descent must not bias towards small subtrees."""
+        draws = 12_000
+        sample = tree.sample(draws, seed=3)
+        counts = np.bincount([tid for tid, _ in sample], minlength=len(tree))
+        _, p_value = scipy_stats.chisquare(counts)
+        assert p_value > 0.001  # uniformity not rejected
+
+    def test_fanout_fallback_without_counts(self):
+        # strip counts on a private tree: sampling must still work
+        own = SGTree(N_BITS, max_entries=8)
+        own.insert_many(random_transactions(seed=56, count=150, n_bits=N_BITS))
+        for node in own.nodes():
+            for entry in node.entries:
+                entry.count = None
+        sample = own.sample(30, seed=1)
+        indexed = dict(own.items())
+        assert all(indexed[tid] == sig for tid, sig in sample)
+
+    def test_empty_tree(self):
+        assert SGTree(N_BITS, max_entries=4).sample(5) == []
+
+    def test_zero_draws(self, tree):
+        assert tree.sample(0) == []
+
+    def test_negative_rejected(self, tree):
+        with pytest.raises(ValueError):
+            tree.sample(-1)
+
+
+class TestDump:
+    def test_shows_structure(self, tree):
+        text = tree.dump()
+        assert "SGTree" in text.splitlines()[0]
+        assert "[leaf]" in text
+        assert f"dir L{tree.height - 1}" in text
+        assert "count=" in text
+
+    def test_max_depth_limits_output(self, tree):
+        shallow = tree.dump(max_depth=1)
+        deep = tree.dump()
+        assert len(shallow) < len(deep)
+        assert "[leaf]" not in shallow  # height >= 3 here
+
+    def test_entry_truncation(self, tree):
+        text = tree.dump(max_entries=1)
+        assert "more" in text
+
+    def test_empty_tree_dump(self):
+        text = SGTree(N_BITS, max_entries=4).dump()
+        assert "entries=0" in text

@@ -1,0 +1,122 @@
+"""Split policies: partitioning invariants, fill factor, quality ordering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Signature
+from repro.sgtree.node import Entry
+from repro.sgtree.split import SPLITTERS, split_entries
+
+N_BITS = 120
+POLICIES = sorted(SPLITTERS)
+
+
+def entries_from(item_sets) -> list[Entry]:
+    return [
+        Entry(Signature.from_items(items, N_BITS), ref)
+        for ref, items in enumerate(item_sets)
+    ]
+
+
+def random_entries(seed: int, count: int) -> list[Entry]:
+    rng = np.random.default_rng(seed)
+    sets = [
+        rng.choice(N_BITS, size=rng.integers(1, 12), replace=False).tolist()
+        for _ in range(count)
+    ]
+    return entries_from(sets)
+
+
+class TestPartitionInvariants:
+    @pytest.mark.parametrize("policy", POLICIES)
+    @pytest.mark.parametrize("count", [2, 3, 9, 33])
+    def test_partition_complete_and_disjoint(self, policy, count):
+        entries = random_entries(seed=count, count=count)
+        min_fill = max(1, count // 3)
+        group_a, group_b = split_entries(entries, min_fill, policy)
+        refs = sorted(e.ref for e in group_a + group_b)
+        assert refs == list(range(count))
+        assert group_a and group_b
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_fill_factor_respected(self, policy):
+        entries = random_entries(seed=3, count=21)
+        min_fill = 8
+        group_a, group_b = split_entries(entries, min_fill, policy)
+        assert len(group_a) >= min_fill
+        assert len(group_b) >= min_fill
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_identical_signatures_still_split(self, policy):
+        entries = entries_from([[1, 2, 3]] * 10)
+        group_a, group_b = split_entries(entries, 4, policy)
+        assert len(group_a) >= 4 and len(group_b) >= 4
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_random_inputs_property(self, policy, seed):
+        rng = np.random.default_rng(seed)
+        count = int(rng.integers(2, 40))
+        entries = random_entries(seed=seed, count=count)
+        min_fill = int(rng.integers(1, max(2, count // 2)))
+        group_a, group_b = split_entries(entries, min_fill, policy)
+        refs = sorted(e.ref for e in group_a + group_b)
+        assert refs == list(range(count))
+        if count >= 2 * min_fill:
+            assert len(group_a) >= min_fill
+            assert len(group_b) >= min_fill
+
+    def test_too_few_entries(self):
+        with pytest.raises(ValueError):
+            split_entries(entries_from([[1]]), 1, "qsplit")
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError, match="unknown split policy"):
+            split_entries(entries_from([[1], [2]]), 1, "random")
+
+
+class TestSeparationQuality:
+    def test_two_obvious_clusters_separated(self):
+        """Two disjoint item clusters must not be mixed by any policy."""
+        cluster_a = [[1, 2, 3], [1, 2, 4], [2, 3, 4], [1, 3, 4]]
+        cluster_b = [[60, 61, 62], [60, 61, 63], [61, 62, 63], [60, 62, 63]]
+        entries = entries_from(cluster_a + cluster_b)
+        for policy in POLICIES:
+            group_a, group_b = split_entries(entries, 2, policy)
+            sides = {tuple(sorted(e.ref for e in g)) for g in (group_a, group_b)}
+            assert sides == {(0, 1, 2, 3), (4, 5, 6, 7)}, policy
+
+    def test_hierarchical_beats_quadratic_on_chained_data(self):
+        """gasplit should produce signature unions no worse than qsplit on
+        data with a smooth chain structure (the paper's Table-1 ordering
+        holds in aggregate; here we check the areas are sane)."""
+        rng = np.random.default_rng(0)
+        sets = []
+        for start in range(0, 40, 2):
+            sets.append(list(range(start, start + 6)))
+        entries = entries_from(sets)
+
+        def total_area(policy):
+            group_a, group_b = split_entries(entries, 4, policy)
+            area_a = Signature.union_of([e.signature for e in group_a]).area
+            area_b = Signature.union_of([e.signature for e in group_b]).area
+            return area_a + area_b
+
+        assert total_area("gasplit") <= total_area("qsplit") + 8
+
+
+class TestUnderflowGuard:
+    def test_guard_assigns_remainder(self):
+        """With a dominating cluster, the guard must still leave min_fill
+        entries in the second group."""
+        big = [[1, 2, 3]] * 18
+        outlier = [[100, 101]]
+        entries = entries_from(big + outlier)
+        for policy in POLICIES:
+            group_a, group_b = split_entries(entries, 7, policy)
+            assert min(len(group_a), len(group_b)) >= 7, policy

@@ -1,0 +1,121 @@
+"""Tree quality metrics and the invariant checker itself."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SGTree, Signature, tree_report, validate_tree
+from repro.sgtree.node import Entry
+from repro.sgtree.stats import average_area_by_level
+from support import random_transactions
+
+N_BITS = 160
+
+
+@pytest.fixture
+def tree(small_transactions):
+    tree = SGTree(N_BITS, max_entries=8)
+    for t in small_transactions:
+        tree.insert(t)
+    return tree
+
+
+class TestTreeReport:
+    def test_counts_consistent(self, tree, small_transactions):
+        report = tree_report(tree)
+        assert report.n_transactions == len(small_transactions)
+        assert report.height == tree.height
+        assert report.entries_by_level[0] == len(small_transactions)
+        assert sum(report.nodes_by_level.values()) == report.n_nodes
+
+    def test_leaf_entry_area_is_transaction_area(self, tree, small_transactions):
+        report = tree_report(tree)
+        expected = sum(t.area for t in small_transactions) / len(small_transactions)
+        assert report.average_area_by_level[0] == pytest.approx(expected)
+
+    def test_areas_grow_up_the_tree(self, tree):
+        """Directory entries cover more items the higher the level."""
+        areas = average_area_by_level(tree)
+        levels = sorted(areas)
+        for lo, hi in zip(levels, levels[1:]):
+            assert areas[lo] <= areas[hi]
+
+    def test_occupancy_in_bounds(self, tree):
+        report = tree_report(tree)
+        assert 0.0 < report.average_occupancy <= 1.0
+        # non-root nodes hold at least min_fill entries
+        assert report.average_occupancy >= tree.min_fill / tree.max_entries
+
+    def test_str_mentions_every_level(self, tree):
+        text = str(tree_report(tree))
+        for level in range(tree.height):
+            assert f"level {level}" in text
+
+    def test_empty_tree_report(self):
+        report = tree_report(SGTree(N_BITS, max_entries=8))
+        assert report.n_transactions == 0
+        assert report.average_occupancy == 0.0
+
+
+class TestValidateTree:
+    def test_accepts_fresh_tree(self):
+        validate_tree(SGTree(N_BITS, max_entries=8))
+
+    def test_detects_coverage_violation(self, tree):
+        # Corrupt one directory entry's signature.
+        root = tree.store.get(tree.root_id)
+        assert not root.is_leaf
+        root.entries[0] = Entry(Signature.empty(N_BITS), root.entries[0].ref)
+        root.invalidate()
+        with pytest.raises(AssertionError, match="coverage"):
+            validate_tree(tree)
+
+    def test_detects_overflow(self, tree):
+        leaf = next(node for node in tree.nodes() if node.is_leaf)
+        for i in range(tree.max_entries + 1):
+            leaf.add(Entry(Signature.empty(N_BITS), 10_000 + i))
+        # Depending on traversal order the violation surfaces as an
+        # overflow, a broken coverage signature, or stale area stats.
+        with pytest.raises(AssertionError, match="overflow|coverage|stale"):
+            validate_tree(tree)
+
+    def test_detects_size_mismatch(self, tree):
+        tree._size += 1
+        with pytest.raises(AssertionError, match="transactions"):
+            validate_tree(tree)
+
+    def test_detects_level_corruption(self, tree):
+        leaf = next(node for node in tree.nodes() if node.is_leaf)
+        leaf.level = 1
+        with pytest.raises(AssertionError):
+            validate_tree(tree)
+
+
+class TestOccupancyAndProfiles:
+    def test_histogram_bounds(self, tree):
+        from repro.sgtree import occupancy_histogram
+
+        histogram = occupancy_histogram(tree)
+        assert histogram  # non-empty for a multi-node tree
+        assert min(histogram) >= tree.min_fill
+        assert max(histogram) <= tree.max_entries
+        non_root_nodes = sum(1 for n in tree.nodes()) - 1
+        assert sum(histogram.values()) == non_root_nodes
+
+    def test_level_profile_consistent(self, tree, small_transactions):
+        from repro.sgtree import level_profile
+
+        profiles = level_profile(tree)
+        assert [p.level for p in profiles] == list(range(tree.height))
+        leaf = profiles[0]
+        assert leaf.n_entries == len(small_transactions)
+        for profile in profiles:
+            assert profile.min_area <= profile.avg_area <= profile.max_area
+            assert 0 < profile.occupancy <= 1.0
+
+    def test_profile_of_empty_tree(self):
+        from repro.sgtree import level_profile
+
+        profiles = level_profile(SGTree(N_BITS, max_entries=8))
+        assert len(profiles) == 1
+        assert profiles[0].n_entries == 0

@@ -1,0 +1,195 @@
+"""SGTree structure: insertion, deletion, invariants, configuration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Signature, Transaction, SGTree
+from repro.sgtree import validate_tree
+from support import random_transactions
+
+N_BITS = 160
+
+
+def build(transactions, **kwargs) -> SGTree:
+    kwargs.setdefault("max_entries", 8)
+    tree = SGTree(N_BITS, **kwargs)
+    for t in transactions:
+        tree.insert(t)
+    return tree
+
+
+class TestConstruction:
+    def test_empty_tree(self):
+        tree = SGTree(N_BITS, max_entries=8)
+        assert len(tree) == 0
+        assert tree.height == 1
+        validate_tree(tree)
+
+    def test_insert_transaction_object_or_pair(self):
+        tree = SGTree(N_BITS, max_entries=8)
+        tree.insert(Transaction(1, Signature.from_items([1], N_BITS)))
+        tree.insert(2, Signature.from_items([2], N_BITS))
+        assert len(tree) == 2
+        assert sorted(tid for tid, _ in tree.items()) == [1, 2]
+
+    def test_insert_both_forms_rejected(self):
+        tree = SGTree(N_BITS, max_entries=8)
+        t = Transaction(1, Signature.from_items([1], N_BITS))
+        with pytest.raises(TypeError):
+            tree.insert(t, Signature.empty(N_BITS))
+        with pytest.raises(TypeError):
+            tree.insert(5)
+
+    def test_wrong_signature_length_rejected(self):
+        tree = SGTree(N_BITS, max_entries=8)
+        with pytest.raises(ValueError, match="bits"):
+            tree.insert(1, Signature.from_items([1], 10))
+
+    def test_insert_many(self, small_transactions):
+        tree = SGTree(N_BITS, max_entries=8)
+        tree.insert_many(small_transactions[:10])
+        tree.insert_many(
+            (t.tid, t.signature) for t in small_transactions[10:20]
+        )
+        assert len(tree) == 20
+
+    @pytest.mark.parametrize("bad_kwargs", [
+        dict(max_entries=1),
+        dict(min_fill_ratio=0.0),
+        dict(min_fill_ratio=0.6),
+        dict(split_policy="nope"),
+        dict(choose_policy="nope"),
+    ])
+    def test_bad_configuration(self, bad_kwargs):
+        with pytest.raises(ValueError):
+            SGTree(N_BITS, **bad_kwargs)
+
+    def test_bad_n_bits(self):
+        with pytest.raises(ValueError):
+            SGTree(0)
+
+    def test_default_capacity_from_page_size(self):
+        tree = SGTree(N_BITS, page_size=2048)
+        assert tree.max_entries >= 2
+        assert tree.min_fill <= tree.max_entries // 2
+
+    def test_repr(self):
+        tree = SGTree(N_BITS, max_entries=8)
+        assert "SGTree" in repr(tree)
+
+
+class TestInvariantsUnderInsertion:
+    @pytest.mark.parametrize("split_policy", ["qsplit", "gasplit", "minsplit", "linear"])
+    def test_invariants_all_policies(self, split_policy, small_transactions):
+        tree = build(small_transactions[:150], split_policy=split_policy)
+        validate_tree(tree)
+        assert len(tree) == 150
+
+    @pytest.mark.parametrize("choose_policy", ["enlargement", "overlap"])
+    def test_invariants_all_choosers(self, choose_policy, small_transactions):
+        tree = build(small_transactions[:100], choose_policy=choose_policy)
+        validate_tree(tree)
+
+    def test_height_grows(self, small_transactions):
+        tree = build(small_transactions, max_entries=4)
+        assert tree.height >= 3
+
+    def test_all_transactions_reachable(self, small_transactions):
+        tree = build(small_transactions)
+        indexed = dict(tree.items())
+        assert len(indexed) == len(small_transactions)
+        for t in small_transactions:
+            assert indexed[t.tid] == t.signature
+
+    def test_duplicate_signatures_supported(self):
+        sig = Signature.from_items([1, 2, 3], N_BITS)
+        tree = SGTree(N_BITS, max_entries=4)
+        for tid in range(50):
+            tree.insert(tid, sig)
+        validate_tree(tree)
+        assert len(tree) == 50
+
+
+class TestDeletion:
+    def test_delete_missing_returns_false(self):
+        tree = SGTree(N_BITS, max_entries=8)
+        assert not tree.delete(1, Signature.from_items([1], N_BITS))
+
+    def test_delete_wrong_signature_returns_false(self, small_transactions):
+        tree = build(small_transactions[:20])
+        target = small_transactions[0]
+        assert not tree.delete(target.tid, Signature.from_items([159], N_BITS))
+        assert len(tree) == 20
+
+    def test_delete_all(self, small_transactions):
+        transactions = small_transactions[:80]
+        tree = build(transactions)
+        for t in transactions:
+            assert tree.delete(t)
+            validate_tree(tree)
+        assert len(tree) == 0
+        assert tree.height == 1
+
+    def test_delete_shrinks_height(self, small_transactions):
+        transactions = small_transactions[:120]
+        tree = build(transactions, max_entries=4)
+        tall = tree.height
+        for t in transactions[:110]:
+            tree.delete(t)
+        validate_tree(tree)
+        assert tree.height < tall
+
+    def test_interleaved_insert_delete(self, small_transactions):
+        tree = SGTree(N_BITS, max_entries=6)
+        alive: dict[int, Signature] = {}
+        rng = np.random.default_rng(5)
+        for t in small_transactions:
+            tree.insert(t)
+            alive[t.tid] = t.signature
+            if rng.random() < 0.4 and alive:
+                victim = int(rng.choice(list(alive)))
+                assert tree.delete(victim, alive.pop(victim))
+        validate_tree(tree)
+        assert len(tree) == len(alive)
+        assert dict(tree.items()) == alive
+
+    def test_update(self, small_transactions):
+        tree = build(small_transactions[:30])
+        old = small_transactions[0].signature
+        new = Signature.from_items([0, 1, 2], N_BITS)
+        assert tree.update(0, old, new)
+        validate_tree(tree)
+        assert dict(tree.items())[0] == new
+
+    def test_update_missing(self):
+        tree = SGTree(N_BITS, max_entries=8)
+        assert not tree.update(9, Signature.empty(N_BITS), Signature.empty(N_BITS))
+
+
+class TestPropertyBased:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_random_workload_invariants(self, seed):
+        rng = np.random.default_rng(seed)
+        transactions = random_transactions(seed=seed, count=int(rng.integers(10, 120)), n_bits=N_BITS)
+        tree = build(transactions, max_entries=int(rng.integers(4, 12)))
+        validate_tree(tree)
+        n_delete = int(rng.integers(0, len(transactions)))
+        for t in transactions[:n_delete]:
+            assert tree.delete(t)
+        validate_tree(tree)
+        assert len(tree) == len(transactions) - n_delete
+
+
+class TestNodesTraversal:
+    def test_nodes_pre_order_root_first(self, small_transactions):
+        tree = build(small_transactions[:60])
+        nodes = list(tree.nodes())
+        assert nodes[0].page_id == tree.root_id
+        leaf_count = sum(1 for n in nodes if n.is_leaf)
+        assert sum(len(n.entries) for n in nodes if n.is_leaf) == 60
+        assert leaf_count >= 2

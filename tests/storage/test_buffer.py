@@ -1,0 +1,155 @@
+"""Buffer pool semantics: hit/miss accounting, eviction, write-back,
+replacement policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage import BufferPool, ClockPolicy, FIFOPolicy, LRUPolicy, MemoryPager
+
+
+def make_pool(capacity=3, policy="lru"):
+    pager = MemoryPager(page_size=128)
+    return pager, BufferPool(pager, capacity=capacity, policy=policy)
+
+
+class TestBasicCaching:
+    def test_hit_after_first_get(self):
+        pager, pool = make_pool()
+        pid = pool.allocate()
+        pool.get(pid)
+        pool.get(pid)
+        assert pool.stats.hits == 2
+        assert pool.stats.misses == 0  # allocate admits the frame
+
+    def test_miss_reads_from_pager(self):
+        pager, pool = make_pool(capacity=1)
+        a = pool.allocate()
+        pool.put(a, b"A")
+        b = pool.allocate()  # evicts a (dirty -> write back)
+        pool.put(b, b"B")
+        page = pool.get(a)  # miss
+        assert page.data == b"A"
+        assert pool.stats.misses == 1
+        assert pool.stats.writebacks >= 1
+
+    def test_put_updates_payload(self):
+        pager, pool = make_pool()
+        pid = pool.allocate()
+        pool.put(pid, b"v1")
+        pool.put(pid, b"v2")
+        assert pool.get(pid).data == b"v2"
+
+    def test_flush_writes_dirty(self):
+        pager, pool = make_pool()
+        pid = pool.allocate()
+        pool.put(pid, b"data")
+        assert pager.read(pid).data == b""  # not yet written back
+        pool.flush()
+        assert pager.read(pid).data == b"data"
+
+    def test_clear_empties_cache(self):
+        pager, pool = make_pool()
+        pid = pool.allocate()
+        pool.put(pid, b"data")
+        pool.clear()
+        assert len(pool) == 0
+        assert pid not in pool
+        assert pool.get(pid).data == b"data"  # re-faulted from pager
+
+    def test_free_removes_everywhere(self):
+        pager, pool = make_pool()
+        pid = pool.allocate()
+        pool.free(pid)
+        assert pid not in pool
+        assert len(pager) == 0
+
+    def test_capacity_enforced(self):
+        pager, pool = make_pool(capacity=2)
+        for _ in range(5):
+            pool.allocate()
+        assert len(pool) <= 2
+        assert pool.stats.evictions == 3
+
+    def test_resize_shrinks_immediately(self):
+        pager, pool = make_pool(capacity=4)
+        pids = [pool.allocate() for _ in range(4)]
+        pool.resize(1)
+        assert len(pool) == 1
+        for pid in pids:
+            assert pool.get(pid).data == b""  # still readable after evictions
+
+    def test_unbounded_pool(self):
+        pager, pool = make_pool(capacity=None)
+        for _ in range(100):
+            pool.allocate()
+        assert len(pool) == 100
+        assert pool.stats.evictions == 0
+
+    def test_invalid_capacity(self):
+        pager = MemoryPager()
+        with pytest.raises(ValueError):
+            BufferPool(pager, capacity=0)
+
+    def test_unknown_policy(self):
+        pager = MemoryPager()
+        with pytest.raises(ValueError, match="unknown policy"):
+            BufferPool(pager, policy="mru")
+
+    def test_hit_ratio(self):
+        pager, pool = make_pool()
+        pid = pool.allocate()
+        pool.get(pid)
+        assert pool.stats.hit_ratio == 1.0
+        assert pool.stats.accesses == 1
+
+
+class TestReplacementPolicies:
+    def test_lru_evicts_least_recent(self):
+        policy = LRUPolicy()
+        for pid in (1, 2, 3):
+            policy.admit(pid)
+        policy.record_access(1)  # 2 becomes the LRU
+        assert policy.evict() == 2
+
+    def test_fifo_ignores_access_order(self):
+        policy = FIFOPolicy()
+        for pid in (1, 2, 3):
+            policy.admit(pid)
+        policy.record_access(1)
+        assert policy.evict() == 1
+
+    def test_clock_second_chance(self):
+        policy = ClockPolicy()
+        for pid in (1, 2, 3):
+            policy.admit(pid)
+        # All referenced: the first eviction sweeps, clearing bits, and
+        # evicts the first page it revisits unreferenced (page 1).
+        assert policy.evict() == 1
+
+    def test_clock_respects_reference_bit(self):
+        policy = ClockPolicy()
+        for pid in (1, 2):
+            policy.admit(pid)
+        policy.evict()  # evicts 1 after sweep
+        policy.admit(3)
+        policy.record_access(2)
+        # 2 referenced, 3 referenced -> sweep clears both, evicts 2 (front)
+        assert policy.evict() == 2
+
+    def test_remove_forgotten(self):
+        for policy in (LRUPolicy(), FIFOPolicy(), ClockPolicy()):
+            policy.admit(1)
+            policy.admit(2)
+            policy.remove(1)
+            assert policy.evict() == 2
+
+    @pytest.mark.parametrize("name", ["lru", "fifo", "clock"])
+    def test_pool_correct_under_any_policy(self, name):
+        """Whatever the eviction order, reads return the latest write."""
+        pager, pool = make_pool(capacity=2, policy=name)
+        pids = [pool.allocate() for _ in range(6)]
+        for i, pid in enumerate(pids):
+            pool.put(pid, f"value-{i}".encode())
+        for i, pid in enumerate(pids):
+            assert pool.get(pid).data == f"value-{i}".encode()

@@ -1,0 +1,84 @@
+"""Model-based stateful test: the buffer pool against a plain dict.
+
+Hypothesis drives random interleavings of allocate / get / put / free /
+flush / clear / resize under every replacement policy; the pool must
+always return the latest written payload, never exceed its frame budget,
+and keep its counters coherent.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.storage import BufferPool, MemoryPager
+
+
+class BufferPoolMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.pager = MemoryPager(page_size=64)
+        self.pool = BufferPool(self.pager, capacity=3, policy="lru")
+        self.model: dict[int, bytes] = {}
+        self.counter = 0
+
+    @rule()
+    def allocate(self):
+        pid = self.pool.allocate()
+        assert pid not in self.model
+        self.model[pid] = b""
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def put(self, data):
+        pid = data.draw(st.sampled_from(sorted(self.model)))
+        self.counter += 1
+        payload = f"v{self.counter}".encode()
+        self.pool.put(pid, payload)
+        self.model[pid] = payload
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def get_matches_model(self, data):
+        pid = data.draw(st.sampled_from(sorted(self.model)))
+        assert self.pool.get(pid).data == self.model[pid]
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def free(self, data):
+        pid = data.draw(st.sampled_from(sorted(self.model)))
+        self.pool.free(pid)
+        del self.model[pid]
+
+    @rule()
+    def flush(self):
+        self.pool.flush()
+        for pid, payload in self.model.items():
+            assert self.pager.read(pid).data == payload
+
+    @rule()
+    def clear(self):
+        self.pool.clear()
+        assert len(self.pool) == 0
+
+    @rule(capacity=st.sampled_from([1, 2, 3, 5, None]))
+    def resize(self, capacity):
+        self.pool.resize(capacity)
+
+    @invariant()
+    def capacity_respected(self):
+        if self.pool.capacity is not None:
+            assert len(self.pool) <= self.pool.capacity
+
+    @invariant()
+    def counters_coherent(self):
+        stats = self.pool.stats
+        assert stats.hits >= 0 and stats.misses >= 0
+        assert stats.accesses == stats.hits + stats.misses
+
+
+TestBufferPoolStateful = BufferPoolMachine.TestCase
+TestBufferPoolStateful.settings = settings(
+    max_examples=40, stateful_step_count=40, deadline=None
+)

@@ -1,0 +1,102 @@
+"""Section-3.2 sparse-signature compression: round trips and size claims."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Signature
+from repro.storage import compression
+
+
+class TestPositionWidth:
+    def test_widths(self):
+        assert compression.position_width(8) == 1
+        assert compression.position_width(256) == 1
+        assert compression.position_width(257) == 2
+        assert compression.position_width(65536) == 2
+        assert compression.position_width(65537) == 4
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            compression.position_width(0)
+
+
+class TestPaperExample:
+    def test_256_bit_signature_with_10_ones(self):
+        """The paper's example: 10 set bits in 256 bits encode as 10
+        position bytes (plus the flag byte) instead of 32 bitmap bytes."""
+        sig = Signature.from_items(range(0, 100, 10), 256)
+        data = compression.encode(sig)
+        assert len(data) == 1 + 10
+        assert compression.decode(data, 256) == sig
+
+    def test_dense_signature_stays_bitmap(self):
+        sig = Signature.from_items(range(200), 256)
+        data = compression.encode(sig)
+        assert len(data) == 1 + 32
+        assert compression.decode(data, 256) == sig
+
+
+class TestRoundTrip:
+    @given(st.sets(st.integers(min_value=0, max_value=524), max_size=80))
+    @settings(max_examples=80)
+    def test_encode_decode_identity(self, items):
+        sig = Signature.from_items(items, 525)
+        assert compression.decode(compression.encode(sig), 525) == sig
+
+    @given(st.sets(st.integers(min_value=0, max_value=524), max_size=80))
+    @settings(max_examples=40)
+    def test_encoded_size_exact(self, items):
+        sig = Signature.from_items(items, 525)
+        assert len(compression.encode(sig)) == compression.encoded_size(sig)
+
+    @given(st.sets(st.integers(min_value=0, max_value=524), max_size=80))
+    @settings(max_examples=40)
+    def test_never_larger_than_bitmap_plus_flag(self, items):
+        sig = Signature.from_items(items, 525)
+        assert compression.encoded_size(sig) <= 1 + compression.bitmap_bytes(525)
+
+    def test_empty_signature(self):
+        sig = Signature.empty(128)
+        data = compression.encode(sig)
+        assert len(data) == 1
+        assert compression.decode(data, 128) == sig
+
+    def test_wide_universe_two_byte_positions(self):
+        sig = Signature.from_items([0, 300, 999], 1000)
+        data = compression.encode(sig)
+        assert len(data) == 1 + 3 * 2
+        assert compression.decode(data, 1000) == sig
+
+
+class TestPrefixDecoding:
+    def test_walks_packed_sequence(self):
+        sigs = [
+            Signature.from_items([1, 2], 300),
+            Signature.from_items(range(260), 300),  # forced bitmap form
+            Signature.empty(300),
+        ]
+        blob = b"".join(compression.encode(s) for s in sigs)
+        offset = 0
+        for expected in sigs:
+            decoded, offset = compression.decode_prefix(blob, offset, 300)
+            assert decoded == expected
+        assert offset == len(blob)
+
+    def test_offset_beyond_buffer(self):
+        with pytest.raises(ValueError):
+            compression.decode_prefix(b"", 0, 64)
+
+
+class TestErrors:
+    def test_decode_empty(self):
+        with pytest.raises(ValueError):
+            compression.decode(b"", 64)
+
+    def test_decode_truncated_list(self):
+        sig = Signature.from_items([1, 2, 3], 64)
+        data = compression.encode(sig)
+        with pytest.raises(ValueError):
+            compression.decode(data[:-1], 64)

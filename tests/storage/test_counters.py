@@ -1,0 +1,48 @@
+"""Counter bookkeeping objects: snapshots, resets, derived ratios."""
+
+from __future__ import annotations
+
+from repro.sgtree.node import StoreCounters
+from repro.storage import BufferStats, IOStats
+
+
+class TestIOStats:
+    def test_snapshot_is_independent(self):
+        stats = IOStats(reads=1, writes=2, allocations=3, frees=4)
+        snap = stats.snapshot()
+        stats.reads = 100
+        assert snap.reads == 1
+        assert snap.writes == 2
+        assert snap.allocations == 3
+        assert snap.frees == 4
+
+    def test_reset(self):
+        stats = IOStats(reads=5, writes=5, allocations=5, frees=5)
+        stats.reset()
+        assert (stats.reads, stats.writes, stats.allocations, stats.frees) == (0, 0, 0, 0)
+
+
+class TestBufferStats:
+    def test_hit_ratio_no_accesses(self):
+        assert BufferStats().hit_ratio == 0.0
+
+    def test_hit_ratio(self):
+        stats = BufferStats(hits=3, misses=1)
+        assert stats.accesses == 4
+        assert stats.hit_ratio == 0.75
+
+    def test_reset(self):
+        stats = BufferStats(hits=1, misses=2, evictions=3, writebacks=4)
+        stats.reset()
+        assert stats.accesses == 0
+        assert stats.evictions == 0
+        assert stats.writebacks == 0
+
+
+class TestStoreCounters:
+    def test_snapshot_and_reset(self):
+        counters = StoreCounters(node_accesses=7, random_ios=3, node_writes=2)
+        snap = counters.snapshot()
+        counters.reset()
+        assert (counters.node_accesses, counters.random_ios, counters.node_writes) == (0, 0, 0)
+        assert (snap.node_accesses, snap.random_ios, snap.node_writes) == (7, 3, 2)

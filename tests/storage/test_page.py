@@ -1,0 +1,34 @@
+"""Page container semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.page import DEFAULT_PAGE_SIZE, Page, PageOverflowError
+
+
+class TestPage:
+    def test_defaults(self):
+        page = Page(page_id=1)
+        assert page.capacity == DEFAULT_PAGE_SIZE
+        assert page.data == b""
+        assert not page.dirty
+        assert len(page) == 0
+
+    def test_write_marks_dirty(self):
+        page = Page(page_id=1, capacity=16)
+        page.write(b"abc")
+        assert page.data == b"abc"
+        assert page.dirty
+        assert len(page) == 3
+
+    def test_write_at_capacity(self):
+        page = Page(page_id=1, capacity=4)
+        page.write(b"xxxx")
+        assert len(page) == 4
+
+    def test_overflow_rejected(self):
+        page = Page(page_id=1, capacity=4)
+        with pytest.raises(PageOverflowError):
+            page.write(b"xxxxx")
+        assert page.data == b""  # unchanged on failure

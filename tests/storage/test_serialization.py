@@ -1,0 +1,119 @@
+"""Node codec: round trips, varints, page-capacity derivation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Signature
+from repro.storage.serialization import (
+    NodeImage,
+    capacity_for_page,
+    decode_node,
+    encode_node,
+    max_entry_size,
+    read_varint,
+    write_varint,
+)
+
+N_BITS = 200
+
+
+class TestVarint:
+    @given(st.integers(min_value=0, max_value=2**63 - 1))
+    @settings(max_examples=60)
+    def test_round_trip(self, value):
+        out = bytearray()
+        write_varint(value, out)
+        decoded, offset = read_varint(bytes(out), 0)
+        assert decoded == value
+        assert offset == len(out)
+
+    def test_known_encodings(self):
+        out = bytearray()
+        write_varint(0, out)
+        assert bytes(out) == b"\x00"
+        out = bytearray()
+        write_varint(300, out)
+        assert bytes(out) == b"\xac\x02"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            write_varint(-1, bytearray())
+
+    def test_truncated(self):
+        with pytest.raises(ValueError, match="truncated"):
+            read_varint(b"\x80", 0)
+
+
+entry_sets = st.lists(
+    st.tuples(
+        st.sets(st.integers(min_value=0, max_value=N_BITS - 1), max_size=20),
+        st.integers(min_value=0, max_value=10**9),
+    ),
+    min_size=0,
+    max_size=12,
+)
+
+
+class TestNodeCodec:
+    @given(entry_sets, st.booleans(), st.booleans(), st.integers(0, 5))
+    @settings(max_examples=60)
+    def test_round_trip(self, raw_entries, is_leaf, compress, level):
+        entries = [
+            (Signature.from_items(items, N_BITS), ref) for items, ref in raw_entries
+        ]
+        image = NodeImage(is_leaf=is_leaf, level=level, entries=entries)
+        data = encode_node(image, compress=compress)
+        decoded = decode_node(data, N_BITS)
+        assert decoded.is_leaf == is_leaf
+        assert decoded.level == level
+        assert decoded.entries == entries
+
+    def test_compressed_smaller_for_sparse_nodes(self):
+        entries = [(Signature.from_items([i], N_BITS), i) for i in range(10)]
+        image = NodeImage(is_leaf=True, level=0, entries=entries)
+        assert len(encode_node(image, compress=True)) < len(
+            encode_node(image, compress=False)
+        )
+
+    def test_trailing_garbage_rejected(self):
+        image = NodeImage(is_leaf=True, level=0, entries=[])
+        data = encode_node(image) + b"\x00"
+        with pytest.raises(ValueError, match="trailing"):
+            decode_node(data, N_BITS)
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            decode_node(b"\x01", N_BITS)
+
+    def test_level_out_of_range(self):
+        image = NodeImage(is_leaf=False, level=256, entries=[])
+        with pytest.raises(ValueError):
+            encode_node(image)
+
+
+class TestCapacity:
+    def test_capacity_fits_page(self):
+        for n_bits in (64, 525, 1000):
+            for page_size in (2048, 8192):
+                capacity = capacity_for_page(page_size, n_bits)
+                entries = [
+                    (Signature.from_items(range(min(40, n_bits)), n_bits), 2**62)
+                    for _ in range(capacity)
+                ]
+                image = NodeImage(is_leaf=True, level=0, entries=entries)
+                assert len(encode_node(image)) <= page_size
+
+    def test_capacity_in_paper_range(self):
+        # "M is in the order of several tens" for several-hundred-bit
+        # signatures on usual pages.
+        assert 20 <= capacity_for_page(8192, 525) <= 200
+
+    def test_tiny_page_rejected(self):
+        with pytest.raises(ValueError):
+            capacity_for_page(64, 10_000)
+
+    def test_max_entry_size_compress_flag(self):
+        assert max_entry_size(128, compress=True) == max_entry_size(128) + 1

@@ -1,0 +1,27 @@
+"""Helpers shared across test modules (imported via the conftest path hook)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Signature, Transaction
+
+
+def random_signature(rng: np.random.Generator, n_bits: int, max_items: int = 16) -> Signature:
+    """A random signature with 0..max_items set bits."""
+    size = int(rng.integers(0, min(max_items, n_bits) + 1))
+    items = rng.choice(n_bits, size=size, replace=False)
+    return Signature.from_items(items.tolist(), n_bits)
+
+
+def random_transactions(
+    seed: int, count: int, n_bits: int, min_items: int = 1, max_items: int = 12
+) -> list[Transaction]:
+    """Reproducible random transactions with at least one item each."""
+    rng = np.random.default_rng(seed)
+    transactions = []
+    for tid in range(count):
+        size = int(rng.integers(min_items, max_items + 1))
+        items = rng.choice(n_bits, size=min(size, n_bits), replace=False)
+        transactions.append(Transaction(tid, Signature.from_items(items.tolist(), n_bits)))
+    return transactions

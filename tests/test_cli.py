@@ -1,0 +1,199 @@
+"""The command-line interface, driven through ``repro.cli.main``."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.data import load_transactions
+
+
+@pytest.fixture
+def dataset(tmp_path):
+    path = tmp_path / "baskets.jsonl"
+    status = main([
+        "generate", "quest", "--t", "8", "--i", "4", "--d", "300",
+        "--n-items", "200", "--n-patterns", "50", "-o", str(path),
+    ])
+    assert status == 0
+    return path
+
+
+@pytest.fixture
+def index(dataset, tmp_path):
+    path = tmp_path / "baskets.sgt"
+    status = main(["build", str(dataset), "-o", str(path), "--max-entries", "16"])
+    assert status == 0
+    return path
+
+
+class TestGenerate:
+    def test_quest_file_valid(self, dataset):
+        transactions, n_bits = load_transactions(dataset)
+        assert len(transactions) == 300
+        assert n_bits == 200
+
+    def test_census(self, tmp_path, capsys):
+        path = tmp_path / "census.jsonl"
+        assert main(["generate", "census", "--count", "50", "-o", str(path)]) == 0
+        transactions, n_bits = load_transactions(path)
+        assert len(transactions) == 50
+        assert n_bits == 525
+        assert all(t.area == 36 for t in transactions)
+        assert "CENSUS" in capsys.readouterr().out
+
+
+class TestBuild:
+    def test_build_reports_configuration(self, dataset, tmp_path, capsys):
+        path = tmp_path / "out.sgt"
+        assert main([
+            "build", str(dataset), "-o", str(path),
+            "--split-policy", "minsplit", "--compress",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "indexed 300 transactions" in out
+        assert "split=minsplit" in out
+        assert path.exists()
+        assert path.with_name(path.name + ".meta.json").exists()
+
+    def test_bulk_build(self, dataset, tmp_path, capsys):
+        path = tmp_path / "bulk.sgt"
+        assert main([
+            "build", str(dataset), "-o", str(path), "--bulk", "gray",
+        ]) == 0
+        assert "indexed 300 transactions" in capsys.readouterr().out
+
+
+class TestQuery:
+    def test_knn_default(self, index, dataset, capsys):
+        transactions, _ = load_transactions(dataset)
+        items = ",".join(map(str, transactions[0].items()))
+        assert main(["query", str(index), "--items", items]) == 0
+        out = capsys.readouterr().out
+        assert "distance 0" in out  # the transaction itself is indexed
+
+    def test_knn_k_and_stats(self, index, capsys):
+        assert main([
+            "query", str(index), "--items", "1,2,3", "--knn", "5", "--stats",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert out.count("tid ") == 5
+        assert "node accesses" in out
+
+    def test_best_first(self, index, capsys):
+        assert main([
+            "query", str(index), "--items", "1,2,3", "--knn", "2", "--best-first",
+        ]) == 0
+        assert capsys.readouterr().out.count("tid ") == 2
+
+    def test_range(self, index, capsys):
+        assert main([
+            "query", str(index), "--items", "1,2,3", "--range", "20",
+        ]) == 0
+        assert "within 20" in capsys.readouterr().out
+
+    def test_contains(self, index, dataset, capsys):
+        transactions, _ = load_transactions(dataset)
+        item = transactions[0].items()[0]
+        assert main([
+            "query", str(index), "--items", str(item), "--contains",
+        ]) == 0
+        assert "contain" in capsys.readouterr().out
+
+    def test_jaccard_metric(self, index, capsys):
+        assert main([
+            "query", str(index), "--items", "1,2,3", "--metric", "jaccard",
+        ]) == 0
+        assert "tid" in capsys.readouterr().out
+
+    def test_bad_items(self, index):
+        with pytest.raises(SystemExit):
+            main(["query", str(index), "--items", "a,b"])
+
+
+class TestInfo:
+    def test_report(self, index, capsys):
+        assert main(["info", str(index)]) == 0
+        out = capsys.readouterr().out
+        assert "SGTree" in out
+        assert "level 0" in out
+
+
+class TestParser:
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestJoin:
+    def test_epsilon_join(self, index, tmp_path, capsys):
+        assert main([
+            "join", str(index), str(index), "--epsilon", "0", "--limit", "5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "pairs within distance 0" in out
+        assert "A#" in out
+
+    def test_closest_pairs(self, index, capsys):
+        assert main(["join", str(index), str(index), "--closest", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "3 closest pairs" in out
+
+
+class TestCluster:
+    def test_clusters_printed(self, index, capsys):
+        assert main(["cluster", str(index), "-k", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "clusters over 300 transactions" in out
+        assert out.count("cluster ") >= 4
+
+    def test_members_flag(self, index, capsys):
+        assert main(["cluster", str(index), "-k", "2", "--members"]) == 0
+        assert "tids:" in capsys.readouterr().out
+
+
+class TestRecover:
+    def test_recover_and_requery(self, tmp_path, capsys):
+        from repro import SGTree
+        from repro.sgtree import NodeStore
+        from repro.storage import FilePager, WriteAheadLog
+        from repro.data.quest import QuestConfig, QuestGenerator
+
+        pages = tmp_path / "r.pages"
+        wal = tmp_path / "r.wal"
+        pager = FilePager(pages, page_size=4096)
+        store = NodeStore(200, page_size=4096, frames=8, mode="disk",
+                          pager=pager, wal=WriteAheadLog(wal))
+        tree = SGTree(200, max_entries=12, store=store)
+        generator = QuestGenerator(QuestConfig(
+            n_transactions=150, avg_transaction_size=8,
+            avg_itemset_size=4, n_items=200, n_patterns=40))
+        for t in generator.generate():
+            tree.insert(t)
+        tree.commit()
+        pager.close()
+        store.wal.close()
+
+        assert main(["recover", str(pages), str(wal), "--save-meta"]) == 0
+        out = capsys.readouterr().out
+        assert "recovered 150 transactions" in out
+
+        # meta.json was written: info and query now work on the page file
+        assert main(["info", str(pages)]) == 0
+        assert "SGTree" in capsys.readouterr().out
+        assert main(["query", str(pages), "--items", "1,2,3", "--knn", "2"]) == 0
+        assert capsys.readouterr().out.count("tid ") == 2
+
+
+class TestRangeCountCommand:
+    def test_count(self, index, capsys):
+        assert main([
+            "query", str(index), "--items", "1,2,3", "--count", "200", "--stats",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "300 transactions within 200" in out
+        assert "node accesses" in out

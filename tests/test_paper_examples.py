@@ -1,0 +1,180 @@
+"""The paper's worked examples, reproduced exactly.
+
+* Figure 1 — the signature table over the 7-item dictionary
+  ``S = {a..g}`` with groups ``A={a,e}, B={c,d}, C={b,f,g}`` and
+  activation threshold 2: the six example transactions must hash to the
+  partitions shown in the figure.
+* Figure 2 — the 9-transaction, 6-bit, M=3 signature tree: the
+  directory-entry signatures must equal the figure's values, and the
+  containment traversal must follow exactly the highlighted path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SGTable, SGTree, Signature, Transaction
+from repro.sgtree import SearchStats, validate_tree
+from repro.sgtree.node import Entry, NodeStore
+
+# -- Figure 1 ----------------------------------------------------------------
+
+ITEMS = {label: position for position, label in enumerate("abcdefg")}
+
+
+def basket(labels: str) -> Signature:
+    return Signature.from_items([ITEMS[c] for c in labels], 7)
+
+
+FIG1_GROUPS = {"A": basket("ae"), "B": basket("cd"), "C": basket("bfg")}
+FIG1_TRANSACTIONS = {
+    1: basket("cd"),
+    2: basket("abc"),
+    3: basket("abe"),
+    4: basket("bdfg"),
+    5: basket("abcde"),
+    6: basket("bef"),
+}
+
+
+class TestFigure1SignatureTable:
+    @pytest.fixture
+    def table(self):
+        transactions = [
+            Transaction(tid, sig) for tid, sig in FIG1_TRANSACTIONS.items()
+        ]
+        return SGTable(
+            transactions,
+            n_bits=7,
+            activation_threshold=2,
+            vertical_signatures=[FIG1_GROUPS["A"], FIG1_GROUPS["B"], FIG1_GROUPS["C"]],
+        )
+
+    def test_activation_codes_match_figure(self, table):
+        """Figure 1(b): T2->000, T1->010, T5->110, T3->100, T4,T6->001
+        (bit i set iff group i is activated; A is bit 0)."""
+        expected = {1: 0b010, 2: 0b000, 3: 0b001, 4: 0b100, 5: 0b011, 6: 0b100}
+        for tid, signature in FIG1_TRANSACTIONS.items():
+            assert table.activation_code(signature) == expected[tid], tid
+
+    def test_partitions_match_figure(self, table):
+        """T4 and T6 share a partition; everyone else is alone."""
+        by_code: dict[int, list[int]] = {}
+        for tid, signature in FIG1_TRANSACTIONS.items():
+            by_code.setdefault(table.activation_code(signature), []).append(tid)
+        partitions = sorted(sorted(tids) for tids in by_code.values())
+        assert partitions == [[1], [2], [3], [4, 6], [5]]
+
+    def test_t2_activates_nothing(self, table):
+        """The paper's walk-through: T2={a,b,c} shares at most one item
+        with each group, so it activates none of them."""
+        assert table.activation_code(FIG1_TRANSACTIONS[2]) == 0
+
+    def test_explicit_groups_must_partition(self):
+        transactions = [Transaction(0, basket("ab"))]
+        with pytest.raises(ValueError, match="partition"):
+            SGTable(
+                transactions,
+                n_bits=7,
+                vertical_signatures=[basket("ae"), basket("cd")],  # misses b,f,g
+            )
+
+
+# -- Figure 2 -------------------------------------------------------------------
+
+
+def bits(text: str) -> Signature:
+    """A 6-bit signature from the figure's bitmap notation, where the
+    leftmost character is item 1 (bit position 0)."""
+    return Signature.from_items([i for i, c in enumerate(text) if c == "1"], 6)
+
+
+FIG2_LEAVES = [
+    [(1, bits("100000")), (2, bits("100010"))],
+    [(3, bits("001010")), (4, bits("001100")), (5, bits("001100"))],
+    [(6, bits("100001")), (7, bits("010001"))],
+    [(8, bits("110000")), (9, bits("011000"))],
+]
+FIG2_LEVEL1 = ["100010", "001110", "110001", "111000"]
+FIG2_ROOT = ["101110", "111001"]
+
+
+def build_figure2_tree() -> SGTree:
+    """Construct the figure's exact tree by direct node assembly."""
+    store = NodeStore(n_bits=6)
+    tree = SGTree(n_bits=6, max_entries=3, store=store)
+    leaf_entries = []
+    for leaf_data in FIG2_LEAVES:
+        node = store.create_node(level=0)
+        for tid, signature in leaf_data:
+            node.add(Entry(signature, tid))
+        store.mark_dirty(node)
+        leaf_entries.append(Entry(node.union_signature(), node.page_id))
+    level1_a = store.create_node(level=1)
+    level1_a.add(leaf_entries[0])
+    level1_a.add(leaf_entries[1])
+    level1_b = store.create_node(level=1)
+    level1_b.add(leaf_entries[2])
+    level1_b.add(leaf_entries[3])
+    root = store.create_node(level=2)
+    root.add(Entry(level1_a.union_signature(), level1_a.page_id))
+    root.add(Entry(level1_b.union_signature(), level1_b.page_id))
+    for node in (level1_a, level1_b, root):
+        store.mark_dirty(node)
+    store.free(tree.root_id)
+    tree._root_id = root.page_id
+    tree._height = 3
+    tree._size = 9
+    return tree
+
+
+class TestFigure2SignatureTree:
+    @pytest.fixture
+    def tree(self):
+        tree = build_figure2_tree()
+        validate_tree(tree)
+        return tree
+
+    def test_level1_signatures_match_figure(self, tree):
+        level1_sigs = set()
+        for node in tree.nodes():
+            if node.level == 1:
+                level1_sigs.update(
+                    "".join("1" if i in e.signature else "0" for i in range(6))
+                    for e in node.entries
+                )
+        assert level1_sigs == set(FIG2_LEVEL1)
+
+    def test_root_signatures_match_figure(self, tree):
+        root = tree.store.get(tree.root_id)
+        root_sigs = [
+            "".join("1" if i in e.signature else "0" for i in range(6))
+            for e in root.entries
+        ]
+        assert root_sigs == FIG2_ROOT
+
+    def test_containment_traversal_is_page_optimal(self, tree):
+        """The paper's walk-through: a containment query whose items are
+        covered by only one root entry visits one path — "the number of
+        visited pages in this case is optimal"."""
+        # Items {3, 4} (positions 2 and 3) only occur under root entry 1:
+        query = bits("001100")
+        stats = SearchStats()
+        result = tree.containment_query(query, stats=stats)
+        assert result == [4, 5]
+        # Optimal path: root + one level-1 node + one leaf = 3 nodes.
+        assert stats.node_accesses == 3
+
+    def test_single_item_query_fans_out(self, tree):
+        """"Assuming we are looking for transactions containing item 1,
+        multiple paths are traversed"."""
+        query = bits("100000")
+        stats = SearchStats()
+        result = tree.containment_query(query, stats=stats)
+        assert result == [1, 2, 6, 8]
+        assert stats.node_accesses > 3
+
+    def test_knn_on_figure_tree(self, tree):
+        (hit,) = tree.nearest(bits("100010"), k=1)
+        assert hit.tid == 2
+        assert hit.distance == 0.0

@@ -1,0 +1,75 @@
+"""API-surface stability guard.
+
+Every name in ``repro.__all__`` must resolve, and the names downstream
+code is most likely to pin are asserted explicitly — an accidental
+rename breaks this file before it breaks users.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import repro
+
+
+class TestPublicSurface:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_no_private_leaks(self):
+        private = [
+            name for name in repro.__all__
+            if name.startswith("_") and name != "__version__"
+        ]
+        assert not private
+
+    def test_version(self):
+        major, minor, patch = repro.__version__.split(".")
+        assert major.isdigit() and minor.isdigit() and patch.isdigit()
+
+    def test_core_names_present(self):
+        expected = {
+            # types
+            "Signature", "Transaction", "ItemVocabulary", "CategoricalSchema",
+            # indexes
+            "SGTree", "SGTable", "ConcurrentSGTree",
+            # metrics
+            "HAMMING", "JACCARD", "DICE", "COSINE", "OVERLAP",
+            "HammingMetric", "resolve_metric",
+            # search artefacts
+            "Neighbor", "SearchStats", "PairResult",
+            # joins
+            "similarity_join", "similarity_self_join", "closest_pairs",
+            "browse_pairs", "all_nearest_neighbors",
+            # construction / lifecycle
+            "bulk_load", "cluster_leaves", "save_tree", "load_tree",
+            "recover_tree", "tree_report", "validate_tree",
+            # baselines / data
+            "LinearScan", "InvertedIndex", "QuestGenerator", "CensusGenerator",
+            "quest_workload", "census_workload",
+        }
+        missing = expected - set(repro.__all__)
+        assert not missing, f"missing from __all__: {sorted(missing)}"
+
+    def test_tree_query_signatures_stable(self):
+        """The query methods keep their keyword names (downstream code
+        calls them by keyword)."""
+        tree_params = {
+            "nearest": {"query", "k", "metric", "algorithm", "stats"},
+            "range_query": {"query", "epsilon", "metric", "stats"},
+            "range_count": {"query", "epsilon", "metric", "stats"},
+            "range_count_bounds": {"query", "epsilon", "node_budget", "metric", "stats"},
+            "constrained_nearest": {"query", "required", "k", "metric", "stats"},
+            "containment_query": {"query", "stats"},
+        }
+        for method, expected in tree_params.items():
+            signature = inspect.signature(getattr(repro.SGTree, method))
+            actual = set(signature.parameters) - {"self"}
+            assert expected <= actual, (method, expected - actual)
+
+    def test_every_public_callable_documented(self):
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if callable(obj) or inspect.isclass(obj):
+                assert inspect.getdoc(obj), f"{name} lacks a docstring"

@@ -1,0 +1,132 @@
+"""Stateful property test: an SG-tree against a dictionary model.
+
+Hypothesis drives a random interleaving of inserts, deletes, updates and
+every query type; after each step the tree must agree with a plain
+in-memory model and keep all structural invariants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro import HAMMING, SGTree, Signature
+from repro.sgtree import validate_tree
+
+N_BITS = 64
+
+signatures = st.builds(
+    lambda items: Signature.from_items(items, N_BITS),
+    st.sets(st.integers(min_value=0, max_value=N_BITS - 1), min_size=1, max_size=10),
+)
+
+
+class SGTreeMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.tree = SGTree(N_BITS, max_entries=5, split_policy="gasplit")
+        self.model: dict[int, Signature] = {}
+        self.next_tid = 0
+
+    # -- mutations -----------------------------------------------------------
+
+    @rule(signature=signatures)
+    def insert(self, signature):
+        self.tree.insert(self.next_tid, signature)
+        self.model[self.next_tid] = signature
+        self.next_tid += 1
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def delete_existing(self, data):
+        tid = data.draw(st.sampled_from(sorted(self.model)))
+        assert self.tree.delete(tid, self.model.pop(tid))
+
+    @rule(signature=signatures)
+    def delete_missing(self, signature):
+        assert not self.tree.delete(self.next_tid + 1000, signature)
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data(), signature=signatures)
+    def update_existing(self, data, signature):
+        tid = data.draw(st.sampled_from(sorted(self.model)))
+        assert self.tree.update(tid, self.model[tid], signature)
+        self.model[tid] = signature
+
+    # -- queries --------------------------------------------------------------
+
+    @rule(query=signatures, k=st.integers(min_value=1, max_value=8))
+    def knn_agrees(self, query, k):
+        got = self.tree.nearest(query, k=k)
+        expected = sorted(
+            (HAMMING.distance(query, sig), tid) for tid, sig in self.model.items()
+        )[:k]
+        assert [n.distance for n in got] == [d for d, _ in expected]
+
+    @rule(query=signatures, epsilon=st.integers(min_value=0, max_value=12))
+    def range_agrees(self, query, epsilon):
+        got = {(n.distance, n.tid) for n in self.tree.range_query(query, epsilon)}
+        expected = {
+            (HAMMING.distance(query, sig), tid)
+            for tid, sig in self.model.items()
+            if HAMMING.distance(query, sig) <= epsilon
+        }
+        assert got == expected
+
+    @rule(query=signatures)
+    def containment_agrees(self, query):
+        got = self.tree.containment_query(query)
+        expected = sorted(
+            tid for tid, sig in self.model.items() if sig.contains(query)
+        )
+        assert got == expected
+
+    @rule(query=signatures)
+    def subset_agrees(self, query):
+        got = self.tree.subset_query(query)
+        expected = sorted(
+            tid for tid, sig in self.model.items() if query.contains(sig)
+        )
+        assert got == expected
+
+    # -- invariants --------------------------------------------------------------
+
+    @invariant()
+    def structure_valid(self):
+        validate_tree(self.tree)
+
+    @invariant()
+    def size_matches_model(self):
+        assert len(self.tree) == len(self.model)
+
+    @invariant()
+    def contents_match_model(self):
+        assert dict(self.tree.items()) == self.model
+
+
+TestSGTreeStateful = SGTreeMachine.TestCase
+TestSGTreeStateful.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+
+
+class DiskSGTreeMachine(SGTreeMachine):
+    """The same model checked against a disk-mode tree with a tiny
+    buffer and compression — every eviction round-trips the codec."""
+
+    def __init__(self):
+        RuleBasedStateMachine.__init__(self)
+        from repro.sgtree.node import NodeStore
+
+        store = NodeStore(N_BITS, page_size=2048, frames=3, mode="disk", compress=True)
+        self.tree = SGTree(N_BITS, max_entries=5, store=store)
+        self.model = {}
+        self.next_tid = 0
+
+
+TestDiskSGTreeStateful = DiskSGTreeMachine.TestCase
+TestDiskSGTreeStateful.settings = settings(
+    max_examples=15, stateful_step_count=25, deadline=None
+)

@@ -1,0 +1,33 @@
+"""Literate testing: execute every python block of docs/tutorial.md.
+
+The tutorial's code blocks share one namespace and run top to bottom,
+exactly as a reader would paste them — assertions inside the blocks are
+the expectations.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+import pytest
+
+TUTORIAL = pathlib.Path(__file__).parent.parent / "docs" / "tutorial.md"
+
+
+def python_blocks() -> list[str]:
+    text = TUTORIAL.read_text(encoding="utf-8")
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+class TestTutorial:
+    def test_has_blocks(self):
+        assert len(python_blocks()) >= 5
+
+    def test_blocks_execute_in_order(self):
+        namespace: dict = {}
+        for index, block in enumerate(python_blocks()):
+            try:
+                exec(compile(block, f"tutorial-block-{index}", "exec"), namespace)
+            except Exception as exc:  # pragma: no cover - failure reporting
+                pytest.fail(f"tutorial block {index} failed: {exc}\n---\n{block}")

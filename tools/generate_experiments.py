@@ -1,0 +1,379 @@
+"""Regenerate EXPERIMENTS.md from the saved benchmark outputs.
+
+Run the benchmark suite first (it writes ``benchmarks/out/<name>.txt``),
+then::
+
+    python tools/generate_experiments.py
+
+The script splices the measured blocks into the experiment narrative —
+the paper numbers and shape verdicts live here, the measurements in the
+bench outputs — so the document never drifts from what was actually run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).parent.parent
+OUT = ROOT / "benchmarks" / "out"
+
+
+def block(name: str) -> str:
+    path = OUT / f"{name}.txt"
+    if not path.exists():
+        sys.exit(f"missing {path}; run `pytest benchmarks/` first")
+    return path.read_text().rstrip()
+
+
+DOCUMENT = """# EXPERIMENTS — paper vs measured
+
+All measurements below were taken at the default benchmark scale
+(`REPRO_SCALE` unset → paper cardinalities divided by 10, 40 queries per
+instance) on this container's CPU. Re-run any experiment with
+`pytest benchmarks/bench_<name>.py -s`; `REPRO_SCALE=full` restores
+paper-size datasets. Saved outputs live in `benchmarks/out/`; regenerate
+this file with `python tools/generate_experiments.py`.
+
+**How to read the comparisons.** The substrate differs from the authors'
+2002 C/C++ testbed in every absolute unit, so the reproduction targets the
+*shape* of each result: which index wins, how the gap moves with each
+parameter, and where crossovers fall. Absolute "% of data" values also
+shift because the 10x-smaller datasets are sparser around each query
+(nearest neighbours sit farther away, so every method scans relatively
+more); the D-sweep (Figure 11) shows exactly this density effect, and the
+relative orderings are stable under it.
+
+**A deliberate strengthening to disclose**: directory entries maintain
+subtree area-range statistics (the paper's §6 "statistics from the
+indexed data" direction), which sharpen the tree's Hamming bounds on all
+datasets — most dramatically on CENSUS, where they reproduce the paper's
+fixed-dimensionality bound automatically. The SG-table baseline is
+unchanged, so tree-vs-table gaps here are at least as wide as with the
+naked §4 bound; the `ablation_fixed_dim_bound` bench isolates the effect
+(91% → 33% of CENSUS scanned).
+
+**Known substrate divergences** (documented, not hidden):
+
+1. *CPU-time lines*: Python's per-node interpreter overhead taxes tree
+   traversal more than the SG-table's few large vectorised bucket scans.
+   After vectorising the leaf paths the CPU ordering tracks the pruning
+   ordering (tree faster wherever it prunes better), but in regions where
+   both indexes scan nearly everything (e.g. T>=25 with I=6) the table's
+   flat scans are cheaper per candidate than in the paper.
+2. *Random I/Os at the unclustered extreme*: with I=6 and large T both
+   structures approach a full scan, and the I/O totals reflect storage
+   density (packed buckets vs half-full 8 KiB tree pages) rather than
+   pruning; the paper's growing I/O gap in Figure 6 reappears here as
+   soon as the data has any usable clustering (Figures 8, 10, and both
+   CENSUS experiments).
+
+---
+
+## Table 1 — split policies (CENSUS, NN queries)
+
+Paper (D=200K, 100 queries):
+
+| metric | qsplit | gasplit | minsplit |
+|---|---|---|---|
+| avg area, level 1 | 90 | 73 | 74 |
+| avg area, level 2 | 210 | 158 | 154 |
+| avg area, level 3 | 458 | 325 | 348 |
+| insertion cost (ms) | 0.331 | 0.655 | 0.645 |
+| % of data accessed | 15.79 | 4.78 | 5.72 |
+| CPU time (ms) | 119 | 34.6 | 41.8 |
+| I/Os | 862 | 266 | 323 |
+
+Measured:
+
+```
+{table1}
+```
+
+Shape verdict: **reproduced.** Hierarchical-clustering splits build
+tighter level-1 entries than qsplit, prune more data, need fewer I/Os,
+and cost more per insertion, with gasplit ≈ minsplit — the paper's
+ordering on every row. (Our 2-level scaled tree vs the paper's 4-level
+one compresses the area gaps; the insertion-cost gap is smaller because
+numpy narrows the distance-matrix cost of clustering splits.)
+
+## Figures 5–6 — varying T (I=6, D=200K)
+
+Paper shape: both indexes degrade as T grows; tree pulls ahead of the
+table in pruning as T increases; I/O difference high at large T.
+
+```
+{fig05}
+```
+
+Verdict: **pruning shape reproduced** (both grow with T; the tree's
+%data stays at or below the table's across the sweep). CPU/I-O caveats
+1-2 above apply in the T>=25, I=6 corner where both methods approach a
+full scan.
+
+## Figures 7–8 — varying I (T=30, D=200K)
+
+Paper shape: larger I → tighter clusters → both improve; "the SG-tree
+becomes significantly faster than the SG-table when both T and I are
+large".
+
+```
+{fig07}
+```
+
+Verdict: **reproduced.** Both improve with I; the tree/table gap widens
+monotonically to ~4-5x %data and ~2.5x I/Os at I=24.
+
+Scale-robustness spot check — the same experiment at `REPRO_SCALE=2`
+(D=100K, half the paper's cardinality, 5x the default benchmark scale):
+
+```
+{fig07_scale2}
+```
+
+The shape sharpens exactly as the density argument predicts (the paper's
+own Figure 11 trend): at I=18/24 the tree reads ~10x less data and ~4x
+fewer I/Os than the table, approaching the paper's reported magnitudes.
+
+## Figures 9–10 — fixed I/T = 0.6, growing dimensionality
+
+Paper shape: "the SG-tree is robust to the transaction size, whereas the
+SG-table fails to index well large transactions even if they contain
+well-clustered data."
+
+```
+{fig09}
+```
+
+Verdict: **reproduced.** Tree %data stays flat across T=10..50 while the
+table climbs to ~57%; I/Os cross in the tree's favour from T=40.
+
+## Figure 11 — varying D (T=10, I=6)
+
+Paper shape: the tree's relative pruning efficiency increases with the
+database size.
+
+```
+{fig11}
+```
+
+Verdict: **reproduced.** Tree %data falls monotonically with D and the
+table/tree ratio grows across the sweep.
+
+## Figure 12 — cost by NN distance (T30.I18.D200K)
+
+Paper shape: close queries fast for both (table even wins the closest
+bucket); distant "outlier" queries much faster on the tree.
+
+```
+{fig12}
+```
+
+Verdict: **reproduced**, including the crossover: the table wins the
+distance-0 bucket, the tree wins every other bucket until both saturate
+past distance 20.
+
+## Figure 13 — k-NN varying k (T30.I18.D200K)
+
+Paper shape: tree significantly faster for small/medium k; both
+degenerate at k in the thousands (dimensionality curse).
+
+```
+{fig13}
+```
+
+Verdict: **reproduced.** Tree leads ~2x at small k; parity at k=1000
+(5% of the database) where both exceed 98% of the data.
+
+## Figure 14 — k-NN varying k (CENSUS)
+
+Paper shape: on the real categorical dataset the gap is larger, and the
+tree degenerates at a smaller pace.
+
+```
+{fig14}
+```
+
+Verdict: **reproduced.** The table reads ~100% of CENSUS at every k (its
+activation hashing collapses on 36-of-525 fixed-area tuples) while the
+tree grows gradually as k approaches 5% of the database.
+
+## Figure 15 — range queries (T30.I18.D200K)
+
+Paper shape: tree much faster for selective ranges; table competitive
+only at the largest epsilon.
+
+```
+{fig15}
+```
+
+Verdict: **reproduced** (tree 2-4x less data across the sweep; the
+paper's epsilon=10 crossover shows up here as the table's flat-scan CPU
+advantage rather than a %data crossover).
+
+## Figure 16 — range queries (CENSUS)
+
+Paper shape: "on the real dataset in particular ... the performance
+difference is quite large in favour of the tree."
+
+```
+{fig16}
+```
+
+Verdict: **reproduced emphatically** — an order of magnitude less data
+and several-fold fewer I/Os across the sweep.
+
+## Figure 17 — dynamic updates
+
+Paper shape: similar at first; the table, optimised for the first batch,
+degenerates as batches with different itemsets arrive; the tree stays
+robust.
+
+```
+{fig17}
+```
+
+Verdict: **reproduced.** The table/tree %data ratio grows severalfold
+across the five phases while the tree's own pruning *improves* (denser
+data) — exactly the paper's Figure-17 story.
+
+---
+
+## Ablations (design choices the paper discusses in prose)
+
+### ChooseSubtree: min-enlargement vs min-overlap (§3.1)
+
+Paper: "the minimum area enlargement heuristic creates trees of the same
+quality at a much lower insertion cost."
+
+```
+{ablation_choose}
+```
+
+Reproduced: same-league quality, ~2x cheaper insertions.
+
+### Depth-first vs best-first k-NN (§4.1)
+
+Paper: the Figure-4 algorithm is sub-optimal; best-first is optimal in
+node accesses.
+
+```
+{ablation_bf}
+```
+
+Reproduced: identical answers, consistently fewer node accesses/leaf
+entries for best-first at every k (its Python-heap overhead costs
+wall-clock, which is why the paper, too, presents depth-first as the
+practical default).
+
+### Signature compression (§3.2)
+
+```
+{ablation_compress}
+```
+
+The paper's example (10-of-256 bits → 10 bytes vs 32) generalises: ~6x
+on sparse T10 baskets; on CENSUS the two encodings tie exactly (36
+two-byte positions = 72 bytes = the 9-word bitmap) and the encoder never
+does worse than the bitmap.
+
+### Section-6 statistics bounds
+
+```
+{ablation_fixed}
+```
+
+The §6 proposal is the difference between a useless and a useful index
+on CENSUS; the per-entry area-range statistics reproduce it exactly
+without the metric being told the dimensionality.
+
+### Bulk loading (§6)
+
+```
+{ablation_bulk}
+```
+
+As conjectured: gray-code loading builds ~2x faster (min-hash ~7x) with
+higher occupancy and query quality in the same league as one-by-one
+insertion.
+
+### Exact set queries vs inverted index (§2, citing Helmer & Moerkotte)
+
+```
+{ablation_containment}
+```
+
+Reproduced: the inverted index wins containment/subset/equality queries
+comfortably — the paper's stated reason for positioning the SG-tree at
+similarity search rather than subset retrieval.
+
+### Metric sweep (extension; §6 "other set-theoretic metrics")
+
+```
+{ablation_metrics}
+```
+
+The Hamming bound (with area statistics) is the tightest; Jaccard and
+cosine bounds prune nearly as well; the Dice bound is looser by
+construction; the overlap coefficient admits no useful coverage bound
+and approaches a full scan — a limit worth knowing before choosing it.
+
+### Joins (extension; §4.2 family)
+
+```
+{ablation_joins}
+```
+
+### SG-table parameter sensitivity (§2.2.1 criticism)
+
+```
+{ablation_tuning}
+```
+
+The paper's case against the baseline, measured: the sampled K/θ grid
+spans a ~2x pruning spread with no a-priori way to pick the winner, and
+even the best sampled configuration reads ~3x the data of the single,
+untuned SG-tree.
+
+### Buffer policies (§6 claim)
+
+```
+{ablation_buffer}
+```
+
+LRU/CLOCK/FIFO all apply unchanged; misses fall monotonically with the
+frame budget — the "limited and dynamically changing memory" claim.
+"""
+
+
+def main() -> None:
+    text = DOCUMENT.format(
+        table1=block("table1_split_policies"),
+        fig05=block("fig05_06_vary_T"),
+        fig07=block("fig07_08_vary_I"),
+        fig07_scale2=block("fig07_08_vary_I_scale2"),
+        fig09=block("fig09_10_fixed_ratio"),
+        fig11=block("fig11_vary_D"),
+        fig12=block("fig12_nn_distance"),
+        fig13=block("fig13_knn_synthetic"),
+        fig14=block("fig14_knn_census"),
+        fig15=block("fig15_range_synthetic"),
+        fig16=block("fig16_range_census"),
+        fig17=block("fig17_dynamic_updates"),
+        ablation_choose=block("ablation_choose_subtree"),
+        ablation_bf=block("ablation_best_first"),
+        ablation_compress=block("ablation_compression"),
+        ablation_fixed=block("ablation_fixed_dim_bound"),
+        ablation_bulk=block("ablation_bulkload"),
+        ablation_containment=block("ablation_containment"),
+        ablation_metrics=block("ablation_metrics"),
+        ablation_joins=block("ablation_joins"),
+        ablation_buffer=block("ablation_buffer"),
+        ablation_tuning=block("ablation_table_tuning"),
+    )
+    (ROOT / "EXPERIMENTS.md").write_text(text)
+    print(f"wrote {ROOT / 'EXPERIMENTS.md'} ({len(text)} chars)")
+
+
+if __name__ == "__main__":
+    main()
