@@ -48,12 +48,21 @@ from .data import (
     census_workload,
     quest_workload,
 )
+from .errors import (
+    PageCorruptError,
+    RecoveryError,
+    ReproError,
+    ScrubError,
+    StorageError,
+)
 from .sgtable import SGTable
 from .sgtree import (
     Cluster,
     ConcurrentSGTree,
     Neighbor,
     PairResult,
+    ScrubIssue,
+    ScrubReport,
     SearchStats,
     SGTree,
     all_nearest_neighbors,
@@ -64,6 +73,8 @@ from .sgtree import (
     load_tree,
     recover_tree,
     save_tree,
+    scrub_index,
+    scrub_tree,
     similarity_join,
     similarity_self_join,
     tree_report,
@@ -114,6 +125,16 @@ __all__ = [
     "load_tree",
     "recover_tree",
     "ConcurrentSGTree",
+    # integrity / errors
+    "ScrubIssue",
+    "ScrubReport",
+    "scrub_tree",
+    "scrub_index",
+    "ReproError",
+    "StorageError",
+    "PageCorruptError",
+    "RecoveryError",
+    "ScrubError",
     # baselines
     "LinearScan",
     "InvertedIndex",

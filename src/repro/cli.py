@@ -8,7 +8,12 @@ Subcommands::
     join       similarity-join two indexes (or rank their closest pairs)
     cluster    tree-guided clustering of an index's transactions
     recover    replay a write-ahead log and report the recovered state
+    scrub      verify every page checksum and tree invariant
     info       print an index's structural report
+
+Exit codes: ``recover`` and ``scrub`` return 0 on success/clean, 1 when
+``scrub`` finds integrity issues, and 2 when the index or log cannot be
+opened or holds nothing to recover.
 
 A typical session::
 
@@ -125,6 +130,17 @@ def build_parser() -> argparse.ArgumentParser:
     recover.add_argument("wal", help="write-ahead log path")
     recover.add_argument("--save-meta", action="store_true",
                          help="also write <pages>.meta.json so `query`/`info` work")
+    recover.add_argument("--json", action="store_true",
+                         help="print the recovery report as JSON")
+
+    scrub = commands.add_parser(
+        "scrub", help="verify page checksums and tree invariants"
+    )
+    scrub.add_argument("index", help="index path from `build`")
+    scrub.add_argument("--wal", default=None,
+                       help="write-ahead log path (enables page rescue)")
+    scrub.add_argument("--json", action="store_true",
+                       help="print the scrub report as JSON")
 
     info = commands.add_parser("info", help="print an index report")
     info.add_argument("index")
@@ -292,14 +308,25 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
 def _cmd_recover(args: argparse.Namespace) -> int:
     import json
 
+    from .errors import RecoveryError
     from .sgtree.persistence import _meta_path, recover_tree
 
-    tree = recover_tree(args.pages, args.wal, keep_wal=False)
     try:
-        print(
-            f"recovered {len(tree)} transactions "
-            f"(height {tree.height}, root page {tree.root_id})"
-        )
+        tree = recover_tree(args.pages, args.wal, keep_wal=False)
+    except (RecoveryError, OSError) as exc:
+        print(f"recover failed: {exc}", file=sys.stderr)
+        return 2
+    try:
+        report = tree.store.last_recovery
+        if args.json and report is not None:
+            print(json.dumps(report.to_dict(), indent=2))
+        else:
+            print(
+                f"recovered {len(tree)} transactions "
+                f"(height {tree.height}, root page {tree.root_id})"
+            )
+            if report is not None:
+                print(f"replay: {report.summary()}")
         if args.save_meta:
             meta = dict(tree.catalogue())
             meta["format_version"] = 1
@@ -311,6 +338,26 @@ def _cmd_recover(args: argparse.Namespace) -> int:
         tree.store.pager.close()
 
 
+def _cmd_scrub(args: argparse.Namespace) -> int:
+    import json
+
+    from .errors import ScrubError
+    from .sgtree.scrub import scrub_index
+
+    try:
+        report = scrub_index(args.index, wal_path=args.wal)
+    except ScrubError as exc:
+        print(f"scrub failed: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.summary())
+        for issue in report.issues:
+            print(f"  {issue}")
+    return 0 if report.ok else 1
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "build": _cmd_build,
@@ -318,6 +365,7 @@ _COMMANDS = {
     "join": _cmd_join,
     "cluster": _cmd_cluster,
     "recover": _cmd_recover,
+    "scrub": _cmd_scrub,
     "info": _cmd_info,
 }
 

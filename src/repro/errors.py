@@ -1,0 +1,112 @@
+"""The library's exception taxonomy.
+
+Everything the storage stack and the index can raise derives from
+:class:`ReproError`, so callers can catch one base class at the system
+boundary.  Storage failures split into three families:
+
+* **structural** — a page id is unknown (:class:`PageNotFoundError`) or a
+  payload does not fit its page (:class:`PageOverflowError`);
+* **integrity** — on-disk bytes fail verification: a page slot whose
+  checksum or framing is wrong (:class:`PageCorruptError`) or a node
+  payload that passed the checksum but does not decode
+  (:class:`NodeDecodeError`);
+* **recovery/scrub** — a write-ahead log holds nothing to restore
+  (:class:`RecoveryError`) or an index cannot even be opened for
+  scrubbing (:class:`ScrubError`).
+
+:class:`CrashError` and :class:`InjectedIOError` belong to the
+fault-injection harness (:mod:`repro.storage.faults`): the first models a
+process kill at a scheduled storage operation, the second a transient
+device error.  Production code never raises them.
+
+Several classes keep a legacy builtin base (``KeyError``, ``ValueError``,
+``OSError``) so code written against the original, untyped errors keeps
+working.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "StorageError",
+    "PageOverflowError",
+    "PageNotFoundError",
+    "PageCorruptError",
+    "NodeDecodeError",
+    "RecoveryError",
+    "ScrubError",
+    "CrashError",
+    "InjectedIOError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every library-defined error."""
+
+
+class StorageError(ReproError):
+    """Base class of storage-stack errors (pages, pagers, WAL)."""
+
+
+class PageOverflowError(StorageError):
+    """A payload does not fit in a page."""
+
+
+class PageNotFoundError(StorageError, KeyError):
+    """A page id is not present in the store.
+
+    Also a ``KeyError`` for backward compatibility with callers that
+    treated page lookups as dictionary access.
+    """
+
+
+class PageCorruptError(StorageError):
+    """A page slot failed its integrity check (checksum, framing).
+
+    Carries the offending ``page_id`` (when known) and a human-readable
+    ``reason`` so recovery and scrubbing can report precisely what broke.
+    """
+
+    def __init__(self, page_id: int | None = None, reason: str = "corrupt page"):
+        self.page_id = page_id
+        self.reason = reason
+        if page_id is not None:
+            super().__init__(f"page {page_id}: {reason}")
+        else:
+            super().__init__(reason)
+
+
+class NodeDecodeError(StorageError, ValueError):
+    """A node payload is undecodable (bad framing inside the page).
+
+    Distinct from :class:`PageCorruptError`: the page-level checksum may
+    be valid (or absent, e.g. :class:`~repro.storage.pager.MemoryPager`)
+    while the serialised node inside is still garbage.  Also a
+    ``ValueError`` because the codec historically raised that.
+    """
+
+
+class RecoveryError(StorageError, ValueError):
+    """Crash recovery cannot restore a committed state.
+
+    Also a ``ValueError`` because :func:`repro.sgtree.persistence.recover_tree`
+    historically raised that.
+    """
+
+
+class ScrubError(StorageError):
+    """A scrub cannot run at all (missing page file or catalogue)."""
+
+
+class CrashError(StorageError):
+    """A simulated process kill from the fault-injection harness.
+
+    Once raised, the faulty store refuses all further operations — a
+    crashed process performs no more I/O — so tests cannot accidentally
+    leak post-crash writes into the files they then recover.
+    """
+
+
+class InjectedIOError(StorageError, OSError):
+    """A simulated transient device error from the fault-injection
+    harness.  Also an ``OSError`` so generic I/O handling applies."""

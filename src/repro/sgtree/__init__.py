@@ -15,6 +15,7 @@ from .join import (
 )
 from .persistence import load_tree, recover_tree, save_tree
 from .node import Entry, Node, NodeStore, StoreCounters
+from .scrub import ScrubIssue, ScrubReport, scrub_index, scrub_store, scrub_tree
 from .search import (
     Neighbor,
     browse,
@@ -89,6 +90,11 @@ __all__ = [
     "save_tree",
     "load_tree",
     "recover_tree",
+    "ScrubIssue",
+    "ScrubReport",
+    "scrub_tree",
+    "scrub_store",
+    "scrub_index",
     "ConcurrentSGTree",
     "ReadWriteLock",
 ]

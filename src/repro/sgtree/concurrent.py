@@ -150,6 +150,21 @@ class ConcurrentSGTree:
         with self._lock.writing():
             self._tree.commit()
 
+    def swap(self, tree: SGTree) -> SGTree:
+        """Atomically replace the wrapped tree; returns the old one.
+
+        Queries in flight finish against the old tree; every query that
+        starts after the swap sees the new one.  This is the recovery
+        idiom: after a writer crash, build a recovered tree off to the
+        side (:func:`~repro.sgtree.persistence.recover_tree`) and swap it
+        in under the write latch, so readers never observe a
+        half-recovered index.
+        """
+        with self._lock.writing():
+            old, self._tree = self._tree, tree
+            self._serial_reads = self._serial_reads or tree.store.mode == "disk"
+            return old
+
     # -- queries (shared) -------------------------------------------------------
 
     def nearest(

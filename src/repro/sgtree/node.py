@@ -27,6 +27,7 @@ I/Os, which the counters charge accordingly.
 
 from __future__ import annotations
 
+import logging
 import struct
 import weakref
 from dataclasses import dataclass, field
@@ -35,12 +36,15 @@ import numpy as np
 
 from ..core import bitops
 from ..core.signature import Signature
+from ..errors import NodeDecodeError, PageCorruptError
 from ..storage.buffer import FIFOPolicy, ClockPolicy, LRUPolicy, ReplacementPolicy
 from ..storage.page import DEFAULT_PAGE_SIZE, Page, PageId
 from ..storage.page import PageNotFoundError
 from ..storage.pager import MemoryPager, Pager
 from ..storage.serialization import NodeImage, capacity_for_page, decode_node, encode_node
-from ..storage.wal import WriteAheadLog
+from ..storage.wal import OP_COMMIT, OP_WRITE, LogScanner, RecoveryReport, WriteAheadLog
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -288,6 +292,12 @@ class NodeStore:
         # pages touched / freed since the last commit (WAL bookkeeping)
         self._uncommitted: set[PageId] = set()
         self._freed_log: list[PageId] = []
+        # corruption accounting: pages restored from their committed WAL
+        # image, and pages that could not be restored at all
+        self.rescued: set[PageId] = set()
+        self.quarantined: set[PageId] = set()
+        # populated by repro.sgtree.persistence.recover_tree
+        self.last_recovery: RecoveryReport | None = None
 
     @property
     def pager(self) -> Pager:
@@ -418,10 +428,15 @@ class NodeStore:
         self._freed_log.clear()
 
     def checkpoint(self, meta: dict | None = None) -> None:
-        """Commit, then truncate the log (the page file is the state)."""
+        """Commit, then truncate the log (the page file is the state).
+
+        The pager is handed to the log so the page file is fsynced
+        *before* the truncation — the POSIX ordering that keeps a
+        durable copy of every committed page at all times.
+        """
         self.commit(meta)
         if self.wal is not None:
-            self.wal.checkpoint()
+            self.wal.checkpoint(self._pager)
 
     def default_capacity(self) -> int:
         """Node fan-out derived from the page size (Section 3: node = page)."""
@@ -460,8 +475,7 @@ class NodeStore:
             # The object is still referenced (and possibly mutated) by a
             # caller — reuse it rather than decoding stale page bytes.
             return alive
-        data = self._read_chained(page_id)
-        image = decode_node(data, self.n_bits)
+        image = self._load_image(page_id)
         if image.stats is not None:
             entries = [
                 Entry(signature, ref, min_area=stat[0], max_area=stat[1], count=stat[2])
@@ -472,6 +486,67 @@ class NodeStore:
         node = Node(page_id=page_id, level=image.level, entries=entries)
         self._live[page_id] = node
         return node
+
+    def _load_image(self, page_id: PageId) -> NodeImage:
+        """Read and decode a node's bytes, degrading gracefully.
+
+        A page that fails its checksum or does not decode is first
+        **rescued**: if a write-ahead log is attached, the page's last
+        *committed* image is replayed from the log and the read retried.
+        A page with no committed image is **quarantined** and the typed
+        :class:`~repro.errors.PageCorruptError` propagates — callers (and
+        the scrubber) can then report which subtree, and roughly how many
+        transactions, are lost, instead of decoding garbage.
+        """
+        tried: set[PageId] = set()
+        while True:
+            try:
+                data = self._read_chained(page_id)
+                return decode_node(data, self.n_bits)
+            except PageCorruptError as exc:
+                bad = exc.page_id if exc.page_id is not None else page_id
+                failure = exc
+            except NodeDecodeError as exc:
+                bad = page_id
+                failure = PageCorruptError(
+                    page_id, f"undecodable node payload: {exc}"
+                )
+            if bad in tried or not self._rescue_page(bad):
+                self.quarantined.add(bad)
+                raise failure
+            tried.add(bad)
+
+    def _rescue_page(self, page_id: PageId) -> bool:
+        """Restore a page from its last committed WAL image, if any."""
+        if self.wal is None:
+            return False
+        self.wal.flush()
+        image: bytes | None = None
+        batch_image: bytes | None = None
+        for record in LogScanner(self.wal.path):
+            if record.op == OP_WRITE and record.page_id == page_id:
+                batch_image = record.data
+            elif record.op == OP_COMMIT and batch_image is not None:
+                image = batch_image
+                batch_image = None
+        if image is None:
+            return False
+        if page_id in self._uncommitted:
+            logger.warning(
+                "page %d had uncommitted changes; its committed WAL image "
+                "loses everything since the last commit", page_id,
+            )
+        self._pager.ensure(page_id)
+        page = Page(page_id=page_id, capacity=self.page_size)
+        page.write(image)
+        self._pager.write(page)
+        self.rescued.add(page_id)
+        self.quarantined.discard(page_id)
+        logger.warning(
+            "page %d failed verification; restored from its committed "
+            "WAL image", page_id,
+        )
+        return True
 
     def _write_node(self, node: Node) -> None:
         stats = None
@@ -505,7 +580,7 @@ class NodeStore:
             return cached
         try:
             page = self._pager.read(page_id)
-        except KeyError:
+        except (KeyError, PageCorruptError):
             return []
         if len(page.data) < self._CHAIN_HEADER.size:
             return []
@@ -570,12 +645,15 @@ class NodeStore:
         page = self._pager.read(page_id)
         if not self.multipage:
             return page.data
-        total_len, n_cont = self._CHAIN_HEADER.unpack_from(page.data)
-        offset = self._CHAIN_HEADER.size
-        chain = [
-            self._CHAIN_ID.unpack_from(page.data, offset + i * self._CHAIN_ID.size)[0]
-            for i in range(n_cont)
-        ]
+        try:
+            total_len, n_cont = self._CHAIN_HEADER.unpack_from(page.data)
+            offset = self._CHAIN_HEADER.size
+            chain = [
+                self._CHAIN_ID.unpack_from(page.data, offset + i * self._CHAIN_ID.size)[0]
+                for i in range(n_cont)
+            ]
+        except struct.error as exc:
+            raise PageCorruptError(page_id, f"bad multipage header: {exc}") from exc
         self._chains[page_id] = chain
         data = bytearray(page.data[offset + n_cont * self._CHAIN_ID.size :])
         for continuation in chain:

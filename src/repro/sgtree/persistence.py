@@ -24,6 +24,7 @@ from __future__ import annotations
 import json
 import os
 
+from ..errors import RecoveryError
 from ..storage.page import PageId
 from ..storage.pager import FilePager
 from ..storage.wal import WriteAheadLog, read_records, recover
@@ -109,12 +110,15 @@ def load_tree(
     path: str | os.PathLike,
     frames: int | None = 256,
     buffer_policy: str = "lru",
+    wal_path: str | os.PathLike | None = None,
 ) -> SGTree:
     """Reopen a tree persisted by :func:`save_tree`.
 
     The returned tree owns a :class:`FilePager` over ``path``; call
     ``tree.store.flush()`` (and ``tree.store.pager.close()`` when done)
-    after further updates.
+    after further updates.  Pass ``wal_path`` to attach a write-ahead
+    log: commits become crash-recoverable, and a page that fails its
+    checksum can be rescued from its last committed WAL image.
     """
     path = os.fspath(path)
     with open(_meta_path(path), encoding="utf-8") as handle:
@@ -133,6 +137,7 @@ def load_tree(
         compress=meta["compress"],
         multipage=meta.get("multipage", False),
         pager=pager,
+        wal=WriteAheadLog(wal_path) if wal_path is not None else None,
     )
     metric: object = meta["metric"]
     if metric == "hamming" and meta.get("metric_fixed_area") is not None:
@@ -165,7 +170,11 @@ def recover_tree(
     replays every complete commit batch onto the page file, and
     re-attaches the tree.  With ``keep_wal=True`` (default) the returned
     tree keeps logging to the same file, so committing can resume
-    immediately.
+    immediately.  The replay's :class:`~repro.storage.wal.RecoveryReport`
+    is left on ``tree.store.last_recovery`` for inspection.
+
+    Raises :class:`~repro.errors.RecoveryError` (a ``ValueError``) when
+    the log holds no complete commit batch to recover from.
     """
     pages_path = os.fspath(pages_path)
     committed = None
@@ -173,14 +182,15 @@ def recover_tree(
         if record.meta is not None:
             committed = record.meta  # refined below by recover()
     if committed is None:
-        raise ValueError(
+        raise RecoveryError(
             f"{os.fspath(wal_path)}: no committed catalogue entry to recover from"
         )
     pager = FilePager(pages_path, page_size=committed["page_size"])
-    meta = recover(pager, wal_path)
+    report = recover(pager, wal_path)
+    meta = report.meta
     if meta is None:
         pager.close()
-        raise ValueError(
+        raise RecoveryError(
             f"{os.fspath(wal_path)}: no complete commit batch to recover from"
         )
     wal = WriteAheadLog(wal_path) if keep_wal else None
@@ -195,6 +205,7 @@ def recover_tree(
         pager=pager,
         wal=wal,
     )
+    store.last_recovery = report
     metric: object = meta["metric"]
     if metric == "hamming" and meta.get("metric_fixed_area") is not None:
         from ..core.distance import HammingMetric

@@ -1,0 +1,320 @@
+"""The storage scrubber: offline integrity verification of an index.
+
+A persisted SG-tree makes two kinds of promises that silent corruption
+can break: every page slot carries a CRC32 that must match its payload
+(:class:`~repro.storage.pager.FilePager`), and every directory entry's
+signature must equal the OR of its child node's signatures — the
+Definition-5 coverage invariant the whole search algebra rests on.  The
+scrubber checks both, plus the Section-6 statistics (subtree counts and
+area ranges) and the structural shape (child levels descend by one), and
+returns a machine-readable :class:`ScrubReport`.
+
+Two entry points:
+
+* :func:`scrub_tree` / :func:`scrub_store` — verify a live tree/store;
+* :func:`scrub_index` — open a saved index by path (optionally with its
+  write-ahead log, enabling page rescue during the walk) and verify it.
+  Raises :class:`~repro.errors.ScrubError` when the index cannot even be
+  opened — the CLI maps that to exit status 2, distinct from
+  "scanned fine, found issues" (exit 1) and "clean" (exit 0).
+
+The scrub is read-only except for one deliberate side effect: when the
+store has a write-ahead log attached, a corrupt page encountered during
+the walk is restored from its last committed WAL image (the store's
+normal rescue path); the report lists such pages as ``pages_rescued``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import PageCorruptError, ScrubError
+from ..storage.page import PageId
+from .node import NodeStore
+from .tree import SGTree
+
+__all__ = ["ScrubIssue", "ScrubReport", "scrub_tree", "scrub_store", "scrub_index"]
+
+
+@dataclass
+class ScrubIssue:
+    """One integrity violation found by a scrub.
+
+    ``kind`` is one of::
+
+        corrupt-slot     a page slot fails its checksum / framing
+        lost-subtree     a reachable node could not be read or decoded
+        level-mismatch   a child's level is not its parent's minus one
+        or-invariant     a directory signature != OR of its child's
+        stats-mismatch   stored count/area statistics disagree with the
+                         subtree they summarise
+        size-mismatch    leaves hold a different number of transactions
+                         than the catalogue claims
+
+    ``lost_count`` estimates how many transactions an issue costs (from
+    the parent entry's stored count; 0 when unknown or nothing is lost).
+    """
+
+    kind: str
+    page_id: PageId | None
+    detail: str
+    lost_count: int = 0
+
+    def __str__(self) -> str:
+        where = f"page {self.page_id}" if self.page_id is not None else "tree"
+        text = f"[{self.kind}] {where}: {self.detail}"
+        if self.lost_count:
+            text += f" (~{self.lost_count} transactions affected)"
+        return text
+
+
+@dataclass
+class ScrubReport:
+    """Machine-readable outcome of a scrub pass."""
+
+    slots_checked: int = 0
+    nodes_walked: int = 0
+    transactions_seen: int = 0
+    expected_size: int | None = None
+    pages_rescued: int = 0
+    pages_quarantined: int = 0
+    issues: list[ScrubIssue] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+    def add(
+        self,
+        kind: str,
+        page_id: PageId | None,
+        detail: str,
+        lost_count: int = 0,
+    ) -> None:
+        self.issues.append(ScrubIssue(kind, page_id, detail, lost_count))
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "slots_checked": self.slots_checked,
+            "nodes_walked": self.nodes_walked,
+            "transactions_seen": self.transactions_seen,
+            "expected_size": self.expected_size,
+            "pages_rescued": self.pages_rescued,
+            "pages_quarantined": self.pages_quarantined,
+            "issues": [
+                {
+                    "kind": issue.kind,
+                    "page_id": issue.page_id,
+                    "detail": issue.detail,
+                    "lost_count": issue.lost_count,
+                }
+                for issue in self.issues
+            ],
+        }
+
+    def summary(self) -> str:
+        verdict = "clean" if self.ok else f"{len(self.issues)} issues"
+        parts = [
+            f"scrub: {verdict}",
+            f"{self.slots_checked} slots checked",
+            f"{self.nodes_walked} nodes walked",
+            f"{self.transactions_seen} transactions",
+        ]
+        if self.pages_rescued:
+            parts.append(f"{self.pages_rescued} pages rescued from WAL")
+        if self.pages_quarantined:
+            parts.append(f"{self.pages_quarantined} pages quarantined")
+        return ", ".join(parts)
+
+
+def scrub_tree(tree: SGTree) -> ScrubReport:
+    """Verify a live tree: every slot checksum + every tree invariant."""
+    return scrub_store(tree.store, tree.root_id, expected_size=len(tree))
+
+
+def scrub_store(
+    store: NodeStore,
+    root_id: PageId,
+    expected_size: int | None = None,
+) -> ScrubReport:
+    """Verify the index rooted at ``root_id`` inside ``store``.
+
+    Two passes:
+
+    1. **slot sweep** — when the pager is self-verifying (it exposes
+       ``verify``/``slot_count``, i.e. a :class:`FilePager`), every slot
+       in the file is checksum-verified, reachable from the root or not;
+    2. **tree walk** — the node graph is traversed from the root,
+       checking levels, the OR-coverage invariant, and the stored
+       statistics against recomputed subtree truths.
+
+    The walk uses the store's normal read path, so a corrupt page with a
+    committed WAL image is transparently rescued (and reported); a page
+    with no rescue image is reported as a lost subtree, with the parent
+    entry's count as the damage estimate.
+    """
+    report = ScrubReport(expected_size=expected_size)
+    _sweep_slots(store, report)
+    seen: set[PageId] = set()
+    count = _walk(store, root_id, expected_level=None, report=report, seen=seen)
+    if (
+        expected_size is not None
+        and count is not None
+        and count != expected_size
+    ):
+        report.add(
+            "size-mismatch",
+            root_id,
+            f"leaves hold {count} transactions, catalogue says {expected_size}",
+        )
+    report.pages_rescued = len(store.rescued)
+    report.pages_quarantined = len(store.quarantined)
+    return report
+
+
+def _sweep_slots(store: NodeStore, report: ScrubReport) -> None:
+    pager = store.pager
+    verify = getattr(pager, "verify", None)
+    slot_count = getattr(pager, "slot_count", None)
+    if not callable(verify) or slot_count is None:
+        return  # memory pager: no on-disk slots to checksum
+    for slot in range(slot_count):
+        report.slots_checked += 1
+        reason = verify(slot)
+        if reason is not None:
+            report.add("corrupt-slot", slot, reason)
+
+
+def _walk(
+    store: NodeStore,
+    page_id: PageId,
+    expected_level: int | None,
+    report: ScrubReport,
+    seen: set[PageId],
+    parent_count: int | None = None,
+) -> int | None:
+    """Scrub the subtree at ``page_id``; return its transaction count
+    (``None`` when the subtree is unreadable or a cycle was detected)."""
+    if page_id in seen:
+        report.add("or-invariant", page_id, "page reachable twice (cycle or shared child)")
+        return None
+    seen.add(page_id)
+    try:
+        node = store.get(page_id)
+    except PageCorruptError as exc:
+        report.add(
+            "lost-subtree",
+            exc.page_id if exc.page_id is not None else page_id,
+            exc.reason,
+            lost_count=parent_count or 0,
+        )
+        return None
+    except KeyError:
+        report.add(
+            "lost-subtree",
+            page_id,
+            "referenced page does not exist",
+            lost_count=parent_count or 0,
+        )
+        return None
+    report.nodes_walked += 1
+    if expected_level is not None and node.level != expected_level:
+        report.add(
+            "level-mismatch",
+            page_id,
+            f"node level {node.level}, parent expects {expected_level}",
+        )
+    if node.is_leaf:
+        # counted here (not from the walk's return) so the tally stays
+        # truthful even when a sibling subtree is lost and the total is
+        # unknowable
+        report.transactions_seen += len(node.entries)
+        return len(node.entries)
+    total: int | None = 0
+    for entry in node.entries:
+        child_count = _walk(
+            store,
+            entry.ref,
+            expected_level=node.level - 1,
+            report=report,
+            seen=seen,
+            parent_count=entry.count,
+        )
+        _check_entry(store, entry, node.page_id, child_count, report)
+        if child_count is None or total is None:
+            total = None
+        else:
+            total += child_count
+    return total
+
+
+def _check_entry(
+    store: NodeStore,
+    entry,
+    parent_id: PageId,
+    child_count: int | None,
+    report: ScrubReport,
+) -> None:
+    """Verify one directory entry against its (readable) child node."""
+    try:
+        child = store.get(entry.ref)
+    except (PageCorruptError, KeyError):
+        return  # already reported as lost-subtree by the walk
+    if child.entries:
+        union = child.union_signature()
+        if not np.array_equal(union.words, entry.signature.words):
+            report.add(
+                "or-invariant",
+                parent_id,
+                f"entry for child {entry.ref} is not the OR of the "
+                f"child's signatures (area {entry.signature.area} vs "
+                f"{union.area})",
+            )
+    if entry.count is not None and child_count is not None and entry.count != child_count:
+        report.add(
+            "stats-mismatch",
+            parent_id,
+            f"entry for child {entry.ref} stores count {entry.count}, "
+            f"subtree holds {child_count}",
+        )
+    if entry.min_area is not None and entry.max_area is not None and child.entries:
+        lo, hi = child.subtree_area_range()
+        if (lo, hi) != (entry.min_area, entry.max_area):
+            report.add(
+                "stats-mismatch",
+                parent_id,
+                f"entry for child {entry.ref} stores area range "
+                f"[{entry.min_area}, {entry.max_area}], subtree spans [{lo}, {hi}]",
+            )
+
+
+def scrub_index(
+    path: str | os.PathLike,
+    wal_path: str | os.PathLike | None = None,
+) -> ScrubReport:
+    """Open a saved index and scrub it.
+
+    Pass ``wal_path`` to attach the index's write-ahead log, which lets
+    the walk rescue corrupt pages from their committed WAL images.
+    Raises :class:`~repro.errors.ScrubError` when the index cannot be
+    opened at all (missing page file or catalogue).
+    """
+    from .persistence import load_tree
+
+    path = os.fspath(path)
+    if not os.path.exists(path):
+        raise ScrubError(f"no page file at {path}")
+    try:
+        tree = load_tree(path, wal_path=wal_path)
+    except (OSError, ValueError) as exc:
+        raise ScrubError(f"cannot open index at {path}: {exc}") from exc
+    try:
+        return scrub_tree(tree)
+    finally:
+        if tree.store.wal is not None:
+            tree.store.wal.close()
+        tree.store.pager.close()

@@ -195,6 +195,13 @@ class SGTree:
         store has no write-ahead log."""
         self._store.commit(meta=self.catalogue())
 
+    def scrub(self):
+        """Verify every page checksum and tree invariant; returns a
+        :class:`~repro.sgtree.scrub.ScrubReport`."""
+        from .scrub import scrub_tree
+
+        return scrub_tree(self)
+
     # -- construction / updates --------------------------------------------
 
     def insert(self, tid_or_transaction: "int | Transaction", signature: Signature | None = None) -> None:

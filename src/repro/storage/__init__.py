@@ -1,14 +1,34 @@
-"""Disk-page substrate: pages, pagers, buffer pool, codecs, compression."""
+"""Disk-page substrate: pages, pagers, buffer pool, codecs, compression,
+write-ahead logging, and fault injection for crash testing."""
 
-from . import compression, serialization, wal
+from ..errors import (
+    CrashError,
+    InjectedIOError,
+    NodeDecodeError,
+    PageCorruptError,
+    PageNotFoundError,
+    PageOverflowError,
+    StorageError,
+)
+from . import compression, faults, serialization, wal
 from .buffer import BufferPool, BufferStats, ClockPolicy, FIFOPolicy, LRUPolicy
-from .page import DEFAULT_PAGE_SIZE, INVALID_PAGE, Page, PageId, PageNotFoundError, PageOverflowError
+from .faults import FaultInjectingLog, FaultInjectingPager, FaultPlan
+from .page import DEFAULT_PAGE_SIZE, INVALID_PAGE, Page, PageId
 from .pager import FilePager, IOStats, MemoryPager, Pager
-from .wal import LogRecord, WriteAheadLog, read_records, recover
+from .wal import (
+    LogRecord,
+    LogScanner,
+    LogTruncation,
+    RecoveryReport,
+    WriteAheadLog,
+    read_records,
+    recover,
+)
 
 __all__ = [
     "compression",
     "serialization",
+    "faults",
     "BufferPool",
     "BufferStats",
     "LRUPolicy",
@@ -16,17 +36,28 @@ __all__ = [
     "ClockPolicy",
     "Page",
     "PageId",
+    "StorageError",
     "PageNotFoundError",
     "PageOverflowError",
+    "PageCorruptError",
+    "NodeDecodeError",
+    "CrashError",
+    "InjectedIOError",
     "DEFAULT_PAGE_SIZE",
     "INVALID_PAGE",
     "Pager",
     "MemoryPager",
     "FilePager",
     "IOStats",
+    "FaultPlan",
+    "FaultInjectingPager",
+    "FaultInjectingLog",
     "wal",
     "WriteAheadLog",
     "LogRecord",
+    "LogScanner",
+    "LogTruncation",
+    "RecoveryReport",
     "read_records",
     "recover",
 ]

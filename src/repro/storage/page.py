@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..errors import PageCorruptError, PageNotFoundError, PageOverflowError
+
 DEFAULT_PAGE_SIZE = 8192
 
 PageId = int
@@ -45,9 +47,13 @@ class Page:
         return len(self.data)
 
 
-class PageOverflowError(Exception):
-    """Raised when a payload does not fit in a page."""
-
-
-class PageNotFoundError(KeyError):
-    """Raised when a page id is not present in the store."""
+__all__ = [
+    "DEFAULT_PAGE_SIZE",
+    "INVALID_PAGE",
+    "Page",
+    "PageId",
+    # re-exported from repro.errors for backward compatibility
+    "PageCorruptError",
+    "PageNotFoundError",
+    "PageOverflowError",
+]

@@ -7,8 +7,11 @@ Two interchangeable implementations are provided:
   paper's sense is one fetch of a page that was not already pinned in the
   buffer pool, and logical counting reproduces the paper's I/O comparisons
   exactly (both indexes are charged by the same rule).
-* :class:`FilePager` stores pages in a real file with fixed-size slots, so
-  the whole stack can also run genuinely out-of-core.
+* :class:`FilePager` stores pages in a real file with fixed-size,
+  **self-verifying** slots: every slot carries a CRC32 + length header,
+  verified on read, so a torn write or a flipped bit raises a typed
+  :class:`~repro.errors.PageCorruptError` instead of being decoded as a
+  (garbage) tree node.
 
 Both share the :class:`Pager` interface consumed by the buffer pool.
 """
@@ -17,18 +20,27 @@ from __future__ import annotations
 
 import os
 import struct
+import zlib
 from dataclasses import dataclass, field
 
+from ..errors import PageCorruptError, PageNotFoundError, PageOverflowError
 from .page import (
     DEFAULT_PAGE_SIZE,
     INVALID_PAGE,
     Page,
     PageId,
-    PageNotFoundError,
-    PageOverflowError,
 )
 
-_LENGTH_PREFIX = struct.Struct("<I")
+# Self-verifying slot header: <u32 crc32> <u32 payload length>.  The CRC
+# covers the length field plus the payload, so a torn header is caught as
+# reliably as a torn payload.  An all-zero header denotes an empty slot
+# (freshly allocated slots are zero-filled).
+_SLOT_HEADER = struct.Struct("<II")
+_LENGTH = struct.Struct("<I")
+
+
+def _slot_crc(data: bytes) -> int:
+    return zlib.crc32(data, zlib.crc32(_LENGTH.pack(len(data))))
 
 
 @dataclass
@@ -80,6 +92,9 @@ class Pager:
     def __len__(self) -> int:
         """Number of live pages."""
         raise NotImplementedError
+
+    def sync(self) -> None:
+        """Force written pages to stable storage (no-op by default)."""
 
     def close(self) -> None:
         """Release resources (no-op by default)."""
@@ -145,9 +160,17 @@ class MemoryPager(Pager):
 
 
 class FilePager(Pager):
-    """File-backed page store with fixed-size page slots.
+    """File-backed page store with fixed-size, self-verifying page slots.
 
-    Each slot stores a 4-byte payload length followed by the payload.
+    Each slot stores an 8-byte header (CRC32 over length + payload, then
+    the payload length) followed by the payload.  Every read re-verifies
+    the checksum and the framing; any mismatch — a torn write, a flipped
+    bit, a truncated final slot — raises
+    :class:`~repro.errors.PageCorruptError` with the page id and reason,
+    so corruption is surfaced at the storage boundary instead of being
+    decoded into a garbage tree node.  An all-zero slot (the state of a
+    freshly allocated or ``ensure``-extended slot) reads as an empty page.
+
     Freed slots are recycled through an in-memory free list (a production
     system would persist it; recycling within a run is all the index
     needs).
@@ -156,21 +179,39 @@ class FilePager(Pager):
     def __init__(self, path: str | os.PathLike, page_size: int = DEFAULT_PAGE_SIZE):
         self.page_size = page_size
         self.stats = IOStats()
-        self._slot_size = _LENGTH_PREFIX.size + page_size
+        self._slot_size = _SLOT_HEADER.size + page_size
         self._path = os.fspath(path)
         # "r+b" honours seeks for writing ("a+b" would force every write
         # to append at EOF); "w+b" creates the file on first use.
         file_mode = "r+b" if os.path.exists(self._path) else "w+b"
         self._file = open(self._path, file_mode)
         self._file.seek(0, os.SEEK_END)
-        self._next_id: PageId = self._file.tell() // self._slot_size
+        # Round partial trailing bytes *up* into a slot: a file whose
+        # final slot was torn mid-write must keep that page addressable
+        # (and fail its read with PageCorruptError) rather than silently
+        # shrink the store.
+        size = self._file.tell()
+        self._next_id: PageId = (size + self._slot_size - 1) // self._slot_size
         self._free_list: list[PageId] = []
         self._live: set[PageId] = set(range(self._next_id))
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    @property
+    def slot_count(self) -> int:
+        """Number of slots the file holds (live or freed)."""
+        return self._next_id
 
     def allocate(self) -> PageId:
         self.stats.allocations += 1
         if self._free_list:
             page_id = self._free_list.pop()
+            # Zero the recycled slot so stale bytes from its previous
+            # owner can never be served back as a valid page.
+            self._file.seek(page_id * self._slot_size)
+            self._file.write(b"\x00" * self._slot_size)
         else:
             page_id = self._next_id
             self._next_id += 1
@@ -183,10 +224,7 @@ class FilePager(Pager):
         if page_id not in self._live:
             raise PageNotFoundError(page_id)
         self.stats.reads += 1
-        self._file.seek(page_id * self._slot_size)
-        raw = self._file.read(self._slot_size)
-        (length,) = _LENGTH_PREFIX.unpack_from(raw)
-        data = raw[_LENGTH_PREFIX.size : _LENGTH_PREFIX.size + length]
+        data = self._read_slot(page_id)
         return Page(page_id=page_id, capacity=self.page_size, data=data)
 
     def write(self, page: Page) -> None:
@@ -198,8 +236,7 @@ class FilePager(Pager):
             )
         self.stats.writes += 1
         self._file.seek(page.page_id * self._slot_size)
-        self._file.write(_LENGTH_PREFIX.pack(len(page.data)))
-        self._file.write(page.data)
+        self._file.write(self._slot_image(page.data))
 
     def free(self, page_id: PageId) -> None:
         if page_id not in self._live:
@@ -222,6 +259,11 @@ class FilePager(Pager):
     def __len__(self) -> int:
         return len(self._live)
 
+    def sync(self) -> None:
+        """Flush and fsync the page file to stable storage."""
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
     def close(self) -> None:
         self._file.close()
 
@@ -230,6 +272,75 @@ class FilePager(Pager):
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
+
+    # -- integrity -----------------------------------------------------------
+
+    def verify(self, page_id: PageId) -> str | None:
+        """Check one slot's integrity; return the failure reason or
+        ``None`` when the slot verifies.  Works on freed slots too, so a
+        scrub can sweep the whole file."""
+        if not 0 <= page_id < self._next_id:
+            return "no such slot"
+        try:
+            self._read_slot(page_id)
+        except PageCorruptError as exc:
+            return exc.reason
+        return None
+
+    def _slot_image(self, data: bytes) -> bytes:
+        return _SLOT_HEADER.pack(_slot_crc(data), len(data)) + data
+
+    def _read_slot(self, page_id: PageId) -> bytes:
+        self._file.seek(page_id * self._slot_size)
+        raw = self._file.read(self._slot_size)
+        if len(raw) < _SLOT_HEADER.size:
+            raise PageCorruptError(page_id, "truncated slot header")
+        crc, length = _SLOT_HEADER.unpack_from(raw)
+        if crc == 0 and length == 0:
+            return b""  # zero-filled (fresh) slot
+        if length > self.page_size:
+            raise PageCorruptError(
+                page_id, f"slot length {length} exceeds page size {self.page_size}"
+            )
+        payload = raw[_SLOT_HEADER.size : _SLOT_HEADER.size + length]
+        if len(payload) < length:
+            raise PageCorruptError(
+                page_id, f"truncated slot payload ({len(payload)} of {length} bytes)"
+            )
+        if _slot_crc(payload) != crc:
+            raise PageCorruptError(page_id, "checksum mismatch")
+        return payload
+
+    # -- fault-injection / test hooks ---------------------------------------
+
+    def write_torn(self, page: Page, keep_bytes: int) -> None:
+        """Persist only the first ``keep_bytes`` of the slot image —
+        simulates a torn write at the device level (the checksum layer
+        must catch it on the next read)."""
+        image = self._slot_image(page.data)
+        self._file.seek(page.page_id * self._slot_size)
+        self._file.write(image[: max(0, min(keep_bytes, len(image)))])
+        self._file.flush()
+
+    def corrupt(self, page_id: PageId, bit: int = 0) -> None:
+        """Flip one bit of a stored slot payload — simulates bit rot.
+        ``bit`` indexes into the slot's *live* payload (rot in the unused
+        slack beyond the stored length is invisible to the checksum and
+        harmless by construction); it is wrapped to stay in range, so any
+        integer is a valid fault location."""
+        self._file.seek(page_id * self._slot_size)
+        raw = bytearray(self._file.read(self._slot_size))
+        region = len(raw) - _SLOT_HEADER.size
+        if region <= 0:
+            return
+        _, length = _SLOT_HEADER.unpack_from(raw)
+        if 0 < length <= region:
+            region = length
+        bit %= region * 8
+        raw[_SLOT_HEADER.size + bit // 8] ^= 1 << (bit % 8)
+        self._file.seek(page_id * self._slot_size)
+        self._file.write(raw)
+        self._file.flush()
 
 
 __all__ = [

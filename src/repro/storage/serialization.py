@@ -19,10 +19,12 @@ round-trip property tests.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
 
 from ..core import bitops
 from ..core.signature import Signature
+from ..errors import NodeDecodeError
 from . import compression
 
 _FLAG_LEAF = 0x01
@@ -107,7 +109,21 @@ def encode_node(image: NodeImage, compress: bool = False) -> bytes:
 
 
 def decode_node(data: bytes, n_bits: int) -> NodeImage:
-    """Inverse of :func:`encode_node`."""
+    """Inverse of :func:`encode_node`.
+
+    Raises :class:`~repro.errors.NodeDecodeError` (a ``ValueError``) on
+    any framing violation, so callers can distinguish a garbage payload
+    from ordinary value errors.
+    """
+    try:
+        return _decode_node(data, n_bits)
+    except NodeDecodeError:
+        raise
+    except (ValueError, struct.error, IndexError) as exc:
+        raise NodeDecodeError(str(exc)) from exc
+
+
+def _decode_node(data: bytes, n_bits: int) -> NodeImage:
     if len(data) < 2:
         raise ValueError(f"node page too short: {len(data)} bytes")
     flags = data[0]
@@ -170,6 +186,7 @@ def capacity_for_page(page_size: int, n_bits: int, compress: bool = False) -> in
 
 __all__ = [
     "NodeImage",
+    "NodeDecodeError",
     "encode_node",
     "decode_node",
     "write_varint",

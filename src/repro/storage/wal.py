@@ -10,9 +10,11 @@ simple, classical **redo log with a force-at-commit policy**:
   freed, an optional metadata blob (the tree's root/height/size
   catalogue entry), and a commit marker;
 * :func:`recover` replays every **complete** batch in order onto a page
-  store and returns the metadata of the last committed batch.  A crash
-  mid-batch leaves a truncated or checksum-failing tail, which replay
-  ignores — so the store is restored to exactly the last commit.
+  store and returns a :class:`RecoveryReport` — the metadata of the last
+  committed batch plus structured accounting of what was replayed, what
+  was discarded, and why the scan stopped.  A crash mid-batch leaves a
+  truncated or checksum-failing tail, which replay ignores — so the
+  store is restored to exactly the last commit.
 
 Record format (little-endian)::
 
@@ -23,27 +25,50 @@ Record format (little-endian)::
     op 3 META   payload = UTF-8 JSON
     op 4 COMMIT payload = empty
 
-:meth:`WriteAheadLog.checkpoint` truncates the log once the page file is
-known durable, bounding recovery time.
+Durability ordering (POSIX): the log file's **directory** is fsynced when
+the log is created, so the file name itself survives a crash;
+:meth:`WriteAheadLog.append_commit` fsyncs the log; and
+:meth:`WriteAheadLog.checkpoint` fsyncs the *page file first* and only
+then truncates the log — truncating before the page data is stable would
+leave a crash window with no durable copy at all.
+
+:class:`LogScanner` decodes a log **streaming** from the file handle
+(bounded memory regardless of log size) and records where and why the
+scan stopped, so operators can tell a torn crash tail from version skew
+(a CRC-valid record with an unknown op).
 """
 
 from __future__ import annotations
 
 import json
+import logging
 import os
 import struct
 import zlib
+from collections.abc import Iterator
 from dataclasses import dataclass, field
 
 from .page import Page, PageId
 from .pager import Pager
 
-__all__ = ["WriteAheadLog", "LogRecord", "recover", "read_records"]
+__all__ = [
+    "WriteAheadLog",
+    "LogRecord",
+    "LogScanner",
+    "LogTruncation",
+    "RecoveryReport",
+    "recover",
+    "read_records",
+]
+
+logger = logging.getLogger(__name__)
 
 OP_WRITE = 1
 OP_FREE = 2
 OP_META = 3
 OP_COMMIT = 4
+
+_KNOWN_OPS = frozenset((OP_WRITE, OP_FREE, OP_META, OP_COMMIT))
 
 _HEADER = struct.Struct("<BI")
 _CRC = struct.Struct("<I")
@@ -70,12 +95,33 @@ class WalStats:
     checkpoints: int = 0
 
 
+def _fsync_dir(path: str) -> None:
+    """Fsync a directory so entry creation/truncation survives a crash.
+
+    Best-effort: some platforms/filesystems refuse directory fds."""
+    try:
+        fd = os.open(path or ".", os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 class WriteAheadLog:
     """An append-only redo log backed by one file."""
 
     def __init__(self, path: str | os.PathLike):
         self._path = os.fspath(path)
+        existed = os.path.exists(self._path)
         self._file = open(self._path, "ab")
+        if not existed:
+            # Make the log's *name* durable: without the directory fsync
+            # a crash can lose the file entirely even after record fsyncs.
+            _fsync_dir(os.path.dirname(self._path))
         self.stats = WalStats()
 
     @property
@@ -84,12 +130,22 @@ class WriteAheadLog:
 
     # -- appending -----------------------------------------------------------
 
-    def _append(self, op: int, payload: bytes) -> None:
+    @staticmethod
+    def _encode(op: int, payload: bytes) -> bytes:
         body = _HEADER.pack(op, len(payload)) + payload
-        record = body + _CRC.pack(zlib.crc32(body))
+        return body + _CRC.pack(zlib.crc32(body))
+
+    def _append(self, op: int, payload: bytes) -> None:
+        record = self._encode(op, payload)
         self._file.write(record)
         self.stats.records += 1
         self.stats.bytes_written += len(record)
+
+    def _sync(self) -> None:
+        """Force appended records to stable storage (overridden by the
+        fault-injection log to model lost fsyncs)."""
+        self._file.flush()
+        os.fsync(self._file.fileno())
 
     def append_write(self, page_id: PageId, data: bytes) -> None:
         """Log a page image."""
@@ -106,16 +162,27 @@ class WriteAheadLog:
     def append_commit(self) -> None:
         """Seal the current batch; makes everything before it durable."""
         self._append(OP_COMMIT, b"")
-        self._file.flush()
-        os.fsync(self._file.fileno())
+        self._sync()
         self.stats.commits += 1
 
-    def checkpoint(self) -> None:
-        """Discard the log (call only after the page file is durable)."""
+    def flush(self) -> None:
+        """Push buffered appends to the OS (no fsync)."""
+        self._file.flush()
+
+    def checkpoint(self, pager: Pager | None = None) -> None:
+        """Discard the log once the page file is durable.
+
+        Pass the page store as ``pager`` so it is fsynced *before* the
+        truncation: the commit protocol's guarantee — some durable copy
+        of every committed page always exists — would otherwise break in
+        the window between truncate and the page file reaching disk.
+        """
+        if pager is not None:
+            pager.sync()
         self._file.truncate(0)
         self._file.seek(0)
-        self._file.flush()
-        os.fsync(self._file.fileno())
+        self._sync()
+        _fsync_dir(os.path.dirname(self._path))
         self.stats.checkpoints += 1
 
     def close(self) -> None:
@@ -128,66 +195,180 @@ class WriteAheadLog:
         self.close()
 
 
-def read_records(path: str | os.PathLike) -> list[LogRecord]:
-    """Decode a log file, stopping at the first torn/corrupt record."""
-    records: list[LogRecord] = []
-    try:
-        with open(path, "rb") as handle:
-            blob = handle.read()
-    except FileNotFoundError:
-        return records
-    offset = 0
-    while offset + _HEADER.size + _CRC.size <= len(blob):
-        op, length = _HEADER.unpack_from(blob, offset)
-        end = offset + _HEADER.size + length
-        if end + _CRC.size > len(blob):
-            break  # torn tail
-        body = blob[offset:end]
-        (crc,) = _CRC.unpack_from(blob, end)
-        if crc != zlib.crc32(body):
-            break  # corrupt tail
-        payload = blob[offset + _HEADER.size : end]
+@dataclass
+class LogTruncation:
+    """Where and why a log scan stopped before end-of-file."""
+
+    offset: int
+    reason: str  # "torn-header" | "torn-record" | "bad-crc" | "unknown-op"
+
+    def __str__(self) -> str:
+        return f"{self.reason} at byte {self.offset}"
+
+
+class LogScanner:
+    """Streaming decoder of a write-ahead log file.
+
+    Iterating yields :class:`LogRecord` objects one at a time, reading
+    the file incrementally — memory stays bounded by the largest single
+    record, not the log size.  The scan stops at the first torn, corrupt
+    or unrecognised record; ``truncation`` then records the offset and
+    reason (``None`` when the whole file decodes).  A CRC-valid record
+    with an unknown op is reported as ``"unknown-op"`` — version skew,
+    not crash damage — and logged as a warning.
+    """
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = os.fspath(path)
+        self.truncation: LogTruncation | None = None
+        self.bytes_consumed = 0
+        self.records_read = 0
+
+    def __iter__(self) -> Iterator[LogRecord]:
+        try:
+            handle = open(self.path, "rb")
+        except FileNotFoundError:
+            return
+        with handle:
+            file_size = os.fstat(handle.fileno()).st_size
+            offset = 0
+            while offset < file_size:
+                if offset + _HEADER.size > file_size:
+                    self._stop(offset, "torn-header")
+                    return
+                header = handle.read(_HEADER.size)
+                op, length = _HEADER.unpack(header)
+                end = offset + _HEADER.size + length + _CRC.size
+                if end > file_size:
+                    self._stop(offset, "torn-record")
+                    return
+                payload = handle.read(length)
+                (crc,) = _CRC.unpack(handle.read(_CRC.size))
+                if crc != zlib.crc32(header + payload):
+                    self._stop(offset, "bad-crc")
+                    return
+                if op not in _KNOWN_OPS:
+                    self._stop(offset, "unknown-op")
+                    logger.warning(
+                        "%s: CRC-valid record with unknown op %d at byte %d — "
+                        "version skew, not crash damage; replay stops here",
+                        self.path, op, offset,
+                    )
+                    return
+                yield self._decode(op, payload)
+                offset = end
+                self.bytes_consumed = offset
+                self.records_read += 1
+
+    def _stop(self, offset: int, reason: str) -> None:
+        self.truncation = LogTruncation(offset=offset, reason=reason)
+
+    @staticmethod
+    def _decode(op: int, payload: bytes) -> LogRecord:
         if op == OP_WRITE:
             (page_id,) = _PAGE_ID.unpack_from(payload)
-            records.append(
-                LogRecord(op=op, page_id=page_id, data=payload[_PAGE_ID.size :])
-            )
-        elif op == OP_FREE:
+            return LogRecord(op=op, page_id=page_id, data=payload[_PAGE_ID.size :])
+        if op == OP_FREE:
             (page_id,) = _PAGE_ID.unpack_from(payload)
-            records.append(LogRecord(op=op, page_id=page_id))
-        elif op == OP_META:
-            records.append(LogRecord(op=op, meta=json.loads(payload.decode("utf-8"))))
-        elif op == OP_COMMIT:
-            records.append(LogRecord(op=op))
-        else:
-            break  # unknown op: treat as corruption
-        offset = end + _CRC.size
-    return records
+            return LogRecord(op=op, page_id=page_id)
+        if op == OP_META:
+            return LogRecord(op=op, meta=json.loads(payload.decode("utf-8")))
+        return LogRecord(op=op)  # OP_COMMIT
 
 
-def recover(pager: Pager, wal_path: str | os.PathLike) -> dict | None:
+def read_records(path: str | os.PathLike) -> Iterator[LogRecord]:
+    """Stream a log file's records, stopping at the first torn/corrupt
+    record.  A generator: memory is bounded by one record, not the log."""
+    yield from LogScanner(path)
+
+
+@dataclass
+class RecoveryReport:
+    """Structured outcome of a :func:`recover` replay."""
+
+    meta: dict | None = None
+    batches_applied: int = 0
+    records_applied: int = 0
+    pages_restored: int = 0
+    pages_freed: int = 0
+    bytes_replayed: int = 0
+    bytes_discarded: int = 0
+    truncation: LogTruncation | None = None
+    restored_page_ids: set[PageId] = field(default_factory=set)
+
+    @property
+    def committed(self) -> bool:
+        """Whether any complete commit batch was replayed."""
+        return self.batches_applied > 0
+
+    def to_dict(self) -> dict:
+        """JSON-ready view (for machine-readable CLI output)."""
+        return {
+            "batches_applied": self.batches_applied,
+            "records_applied": self.records_applied,
+            "pages_restored": self.pages_restored,
+            "pages_freed": self.pages_freed,
+            "bytes_replayed": self.bytes_replayed,
+            "bytes_discarded": self.bytes_discarded,
+            "truncation": (
+                {"offset": self.truncation.offset, "reason": self.truncation.reason}
+                if self.truncation is not None
+                else None
+            ),
+            "meta": self.meta,
+        }
+
+    def summary(self) -> str:
+        parts = [
+            f"{self.batches_applied} batches",
+            f"{self.pages_restored} pages restored",
+            f"{self.pages_freed} freed",
+            f"{self.bytes_replayed} bytes replayed",
+            f"{self.bytes_discarded} discarded",
+        ]
+        if self.truncation is not None:
+            parts.append(f"log truncated ({self.truncation})")
+        return ", ".join(parts)
+
+
+def recover(pager: Pager, wal_path: str | os.PathLike) -> RecoveryReport:
     """Replay every complete commit batch onto ``pager``.
 
-    Returns the metadata of the last committed batch (or ``None`` if the
-    log holds no committed META record).  Incomplete trailing batches —
-    the signature of a crash — are discarded.
+    Returns a :class:`RecoveryReport`; its ``meta`` is the metadata of
+    the last committed batch (``None`` if the log holds no committed META
+    record).  Incomplete trailing batches — the signature of a crash —
+    are discarded and accounted as ``bytes_discarded``.
     """
-    records = read_records(wal_path)
-    last_meta: dict | None = None
+    scanner = LogScanner(wal_path)
+    report = RecoveryReport()
     batch: list[LogRecord] = []
-    for record in records:
+    committed_offset = 0
+    for record in scanner:
         if record.op == OP_COMMIT:
-            batch_meta = _apply_batch(pager, batch)
+            batch_meta = _apply_batch(pager, batch, report)
             if batch_meta is not None:
-                last_meta = batch_meta
+                report.meta = batch_meta
+            report.batches_applied += 1
+            report.records_applied += len(batch) + 1
+            committed_offset = scanner.bytes_consumed
             batch = []
         else:
             batch.append(record)
     # anything left in `batch` was never committed: ignore it
-    return last_meta
+    report.truncation = scanner.truncation
+    try:
+        total = os.path.getsize(os.fspath(wal_path))
+    except OSError:
+        total = scanner.bytes_consumed
+    report.bytes_replayed = committed_offset
+    report.bytes_discarded = total - committed_offset
+    report.pages_restored = len(report.restored_page_ids)
+    return report
 
 
-def _apply_batch(pager: Pager, batch: list[LogRecord]) -> dict | None:
+def _apply_batch(
+    pager: Pager, batch: list[LogRecord], report: RecoveryReport
+) -> dict | None:
     meta: dict | None = None
     for record in batch:
         if record.op == OP_WRITE:
@@ -195,11 +376,15 @@ def _apply_batch(pager: Pager, batch: list[LogRecord]) -> dict | None:
             page = Page(page_id=record.page_id, capacity=pager.page_size)
             page.write(record.data)
             pager.write(page)
+            report.restored_page_ids.add(record.page_id)
         elif record.op == OP_FREE:
             try:
                 pager.free(record.page_id)
             except KeyError:
                 pass  # already freed (e.g. the page file is ahead of the log)
+            else:
+                report.pages_freed += 1
+                report.restored_page_ids.discard(record.page_id)
         elif record.op == OP_META:
             meta = record.meta
     return meta

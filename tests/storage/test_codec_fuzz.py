@@ -52,5 +52,5 @@ class TestWalFuzz:
         records — it must never raise."""
         path = tmp_path_factory.mktemp("wal") / "fuzz.wal"
         path.write_bytes(blob)
-        records = read_records(path)
+        records = list(read_records(path))
         assert isinstance(records, list)

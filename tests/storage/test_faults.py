@@ -1,0 +1,197 @@
+"""Deterministic fault injection: plans, torn writes, lost fsyncs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CrashError, InjectedIOError, PageCorruptError
+from repro.storage import (
+    FaultInjectingLog,
+    FaultInjectingPager,
+    FaultPlan,
+    FilePager,
+    LogScanner,
+    MemoryPager,
+    WriteAheadLog,
+    read_records,
+)
+from repro.storage.page import Page
+from repro.storage.wal import OP_COMMIT, OP_WRITE
+
+
+def file_pager(tmp_path, plan, name="faulty.pages", page_size=256):
+    return FaultInjectingPager(FilePager(tmp_path / name, page_size=page_size), plan)
+
+
+class TestFaultPlan:
+    def test_counts_operations(self):
+        plan = FaultPlan(seed=1)
+        pager = FaultInjectingPager(MemoryPager(page_size=64), plan)
+        pid = pager.allocate()
+        pager.write(Page(page_id=pid, capacity=64, data=b"x"))
+        pager.read(pid)
+        assert plan.ops == 3
+
+    def test_crash_at_exact_operation(self):
+        plan = FaultPlan(seed=0, crash_after=2)
+        pager = FaultInjectingPager(MemoryPager(page_size=64), plan)
+        pid = pager.allocate()
+        pager.write(Page(page_id=pid, capacity=64, data=b"x"))
+        with pytest.raises(CrashError):
+            pager.read(pid)
+        assert plan.crashed
+        assert plan.injected["crash"] == 1
+
+    def test_dead_process_does_no_io(self):
+        """After the crash fires, every further operation raises too."""
+        plan = FaultPlan(seed=0, crash_after=0)
+        pager = FaultInjectingPager(MemoryPager(page_size=64), plan)
+        with pytest.raises(CrashError):
+            pager.allocate()
+        with pytest.raises(CrashError):
+            pager.allocate()
+
+    def test_determinism_same_seed_same_schedule(self):
+        def run(plan):
+            pager = FaultInjectingPager(MemoryPager(page_size=64), plan)
+            outcomes = []
+            pid = pager.allocate()
+            for i in range(50):
+                try:
+                    pager.write(Page(page_id=pid, capacity=64, data=bytes([i])))
+                    outcomes.append("ok")
+                except InjectedIOError:
+                    outcomes.append("io-error")
+            return outcomes
+
+        a = run(FaultPlan(seed=9, io_error_rate=0.3))
+        b = run(FaultPlan(seed=9, io_error_rate=0.3))
+        c = run(FaultPlan(seed=10, io_error_rate=0.3))
+        assert a == b
+        assert "io-error" in a
+        assert a != c  # different seed, different schedule
+
+    def test_io_error_is_oserror(self):
+        plan = FaultPlan(seed=3, io_error_rate=1.0)
+        pager = FaultInjectingPager(MemoryPager(page_size=64), plan)
+        pid = pager.allocate()  # allocate is never io-errored
+        with pytest.raises(OSError):
+            pager.write(Page(page_id=pid, capacity=64, data=b"x"))
+
+
+class TestTornPageWrites:
+    def test_torn_write_detected_on_read(self, tmp_path):
+        """A write torn by a crash leaves a slot whose checksum fails."""
+        plan = FaultPlan(seed=12, crash_after=2)
+        pager = file_pager(tmp_path, plan)
+        pid = pager.allocate()
+        pager.write(Page(page_id=pid, capacity=256, data=b"first version ok"))
+        pager.inner.sync()
+        with pytest.raises(CrashError):
+            pager.write(Page(page_id=pid, capacity=256, data=b"second version torn"))
+        # reopen the file as after a restart
+        pager.inner.close()
+        reopened = FilePager(tmp_path / "faulty.pages", page_size=256)
+        with pytest.raises(PageCorruptError):
+            reopened.read(pid)
+        assert reopened.verify(pid) is not None
+        reopened.close()
+
+    def test_bit_flip_detected_on_read(self, tmp_path):
+        plan = FaultPlan(seed=5, bit_flip_rate=1.0)
+        pager = file_pager(tmp_path, plan)
+        pid = pager.allocate()
+        pager.write(Page(page_id=pid, capacity=256, data=b"soon to rot"))
+        assert plan.injected["bit-flip"] == 1
+        with pytest.raises(PageCorruptError, match="checksum"):
+            pager.read(pid)
+
+    def test_memory_pager_cannot_detect_torn_write(self):
+        """Without checksums the torn payload is served back silently —
+        the behaviour the self-verifying file pager exists to prevent."""
+        plan = FaultPlan(seed=12, crash_after=1)
+        pager = FaultInjectingPager(MemoryPager(page_size=64), plan)
+        pid = pager.allocate()
+        with pytest.raises(CrashError):
+            pager.write(Page(page_id=pid, capacity=64, data=b"full payload"))
+        inner = pager.inner
+        assert len(inner.read(pid).data) < len(b"full payload")
+
+
+class TestFaultInjectingLog:
+    def test_partial_append_leaves_torn_tail(self, tmp_path):
+        plan = FaultPlan(seed=21, crash_after=2)
+        log = FaultInjectingLog(tmp_path / "t.wal", plan)
+        log.append_write(0, b"committed page image")
+        log.append_commit()
+        with pytest.raises(CrashError):
+            log.append_write(1, b"this append is cut short")
+        log.close()
+        scanner = LogScanner(tmp_path / "t.wal")
+        records = list(scanner)
+        assert [r.op for r in records] == [OP_WRITE, OP_COMMIT]
+        assert scanner.truncation is not None
+        assert scanner.truncation.reason in ("torn-header", "torn-record", "bad-crc")
+
+    def test_commits_durable_counter(self, tmp_path):
+        plan = FaultPlan(seed=2)
+        log = FaultInjectingLog(tmp_path / "c.wal", plan)
+        log.append_write(0, b"a")
+        log.append_commit()
+        log.append_write(0, b"b")
+        log.append_commit()
+        assert plan.commits_durable == 2
+        log.close()
+
+    def test_dropped_fsync_loses_cached_tail_on_crash(self, tmp_path):
+        """With drop_fsync, commits only reach the OS cache; the crash
+        truncates back to the last truly synced byte."""
+        plan = FaultPlan(seed=8, crash_after=2, drop_fsync=True)
+        log = FaultInjectingLog(tmp_path / "d.wal", plan)
+        log.append_write(0, b"never durable")
+        log.append_commit()  # fsync dropped: commit not durable
+        assert plan.commits_durable == 0
+        with pytest.raises(CrashError):
+            log.append_write(1, b"boom")
+        log.close()
+        assert list(read_records(tmp_path / "d.wal")) == []
+        assert plan.injected["dropped-fsync"] >= 1
+
+    def test_real_log_unaffected_without_faults(self, tmp_path):
+        """A plan with no faults scheduled behaves exactly like the base
+        log — the proxy itself must not perturb the format."""
+        plan = FaultPlan(seed=0)
+        log = FaultInjectingLog(tmp_path / "n.wal", plan)
+        log.append_write(3, b"payload")
+        log.append_meta({"size": 1})
+        log.append_commit()
+        log.close()
+        reference = WriteAheadLog(tmp_path / "ref.wal")
+        reference.append_write(3, b"payload")
+        reference.append_meta({"size": 1})
+        reference.append_commit()
+        reference.close()
+        assert (
+            (tmp_path / "n.wal").read_bytes() == (tmp_path / "ref.wal").read_bytes()
+        )
+
+
+class TestProxySurface:
+    def test_forwards_inner_surface(self, tmp_path):
+        plan = FaultPlan(seed=0)
+        pager = file_pager(tmp_path, plan)
+        pid = pager.allocate()
+        assert pager.slot_count == 1
+        assert pager.verify(pid) is None
+        assert pager.path.endswith("faulty.pages")
+        assert len(pager) == 1
+        pager.close()
+
+    def test_shares_stats_with_inner(self, tmp_path):
+        plan = FaultPlan(seed=0)
+        pager = file_pager(tmp_path, plan)
+        pid = pager.allocate()
+        pager.write(Page(page_id=pid, capacity=256, data=b"x"))
+        assert pager.stats is pager.inner.stats
+        assert pager.stats.writes == 1
+        pager.close()

@@ -2,8 +2,11 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
+from repro.errors import PageCorruptError
 from repro.storage import FilePager, MemoryPager
 from repro.storage.page import Page, PageNotFoundError, PageOverflowError
 
@@ -138,3 +141,83 @@ class TestEnsure:
         assert pager.read(pid).data == b""
         # the revived id must no longer be on the free list
         assert pager.allocate() != pid
+
+
+class TestSelfVerifyingSlots:
+    """The FilePager's CRC32 slot armour: torn writes and bit rot are
+    surfaced as PageCorruptError instead of garbage payloads."""
+
+    def test_checksums_survive_reopen(self, tmp_path):
+        path = tmp_path / "sv.bin"
+        pager = FilePager(path, page_size=128)
+        pid = pager.allocate()
+        pager.write(Page(page_id=pid, capacity=128, data=b"armoured"))
+        pager.close()
+        reopened = FilePager(path, page_size=128)
+        assert reopened.verify(pid) is None
+        assert reopened.read(pid).data == b"armoured"
+        reopened.close()
+
+    def test_truncated_final_slot_still_addressable_and_detected(self, tmp_path):
+        """A file whose last slot was torn mid-write must reopen with
+        that page still addressable — and reading it must raise, not
+        silently shrink the store or serve a short payload."""
+        path = tmp_path / "torn.bin"
+        pager = FilePager(path, page_size=128)
+        first = pager.allocate()
+        second = pager.allocate()
+        pager.write(Page(page_id=first, capacity=128, data=b"intact"))
+        pager.write(Page(page_id=second, capacity=128, data=b"torn away"))
+        pager.close()
+        slot_size = 8 + 128
+        os.truncate(path, slot_size + 12)  # header + 4 of 9 payload bytes
+
+        reopened = FilePager(path, page_size=128)
+        assert reopened.slot_count == 2  # partial bytes round UP to a slot
+        assert reopened.read(first).data == b"intact"
+        with pytest.raises(PageCorruptError):
+            reopened.read(second)
+        assert reopened.verify(second) is not None
+        reopened.close()
+
+    def test_bit_flip_raises_checksum_mismatch(self, tmp_path):
+        path = tmp_path / "rot.bin"
+        pager = FilePager(path, page_size=128)
+        pid = pager.allocate()
+        pager.write(Page(page_id=pid, capacity=128, data=b"pristine bytes"))
+        pager.corrupt(pid, bit=21)
+        with pytest.raises(PageCorruptError, match="checksum mismatch"):
+            pager.read(pid)
+        assert pager.verify(pid) == "checksum mismatch"
+        pager.close()
+
+    def test_torn_write_hook_detected(self, tmp_path):
+        path = tmp_path / "hook.bin"
+        pager = FilePager(path, page_size=128)
+        pid = pager.allocate()
+        page = Page(page_id=pid, capacity=128, data=b"only half of this lands")
+        pager.write_torn(page, keep_bytes=11)
+        with pytest.raises(PageCorruptError):
+            pager.read(pid)
+        pager.close()
+
+    def test_overlong_length_field_rejected(self, tmp_path):
+        """A corrupted length that exceeds the page size is caught by the
+        framing check before any payload is trusted."""
+        path = tmp_path / "len.bin"
+        pager = FilePager(path, page_size=64)
+        pid = pager.allocate()
+        pager.write(Page(page_id=pid, capacity=64, data=b"x" * 10))
+        pager._file.seek(pid * pager._slot_size + 4)
+        pager._file.write((10_000).to_bytes(4, "little"))
+        pager._file.flush()
+        with pytest.raises(PageCorruptError, match="exceeds page size"):
+            pager.read(pid)
+        pager.close()
+
+    def test_zero_filled_slot_reads_empty(self, tmp_path):
+        pager = FilePager(tmp_path / "zero.bin", page_size=64)
+        pager.ensure(3)
+        assert pager.read(3).data == b""
+        assert pager.verify(3) is None
+        pager.close()

@@ -2,9 +2,18 @@
 
 from __future__ import annotations
 
+import logging
+
 import pytest
 
-from repro.storage import MemoryPager, WriteAheadLog, read_records, recover
+from repro.storage import (
+    FilePager,
+    LogScanner,
+    MemoryPager,
+    WriteAheadLog,
+    read_records,
+    recover,
+)
 from repro.storage.wal import OP_COMMIT, OP_FREE, OP_META, OP_WRITE
 
 
@@ -21,7 +30,7 @@ class TestFraming:
         wal.append_free(7)
         wal.append_meta({"root_id": 3, "size": 10})
         wal.append_commit()
-        records = read_records(wal.path)
+        records = list(read_records(wal.path))
         assert [r.op for r in records] == [OP_WRITE, OP_FREE, OP_META, OP_COMMIT]
         assert records[0].page_id == 3
         assert records[0].data == b"page-bytes"
@@ -29,15 +38,35 @@ class TestFraming:
         assert records[2].meta == {"root_id": 3, "size": 10}
 
     def test_missing_file_is_empty(self, tmp_path):
-        assert read_records(tmp_path / "nothing.wal") == []
+        assert list(read_records(tmp_path / "nothing.wal")) == []
+
+    def test_read_records_is_streaming(self, wal):
+        """read_records yields lazily from the file, not a prebuilt list."""
+        wal.append_write(1, b"x")
+        wal.append_commit()
+        stream = read_records(wal.path)
+        assert iter(stream) is stream  # a generator, not a list
+        assert next(stream).op == OP_WRITE
 
     def test_torn_tail_ignored(self, wal):
         wal.append_write(1, b"full record")
         wal.append_commit()
         wal._file.write(b"\x01\x40\x00\x00\x00partial")  # truncated WRITE
         wal._file.flush()
-        records = read_records(wal.path)
+        records = list(read_records(wal.path))
         assert [r.op for r in records] == [OP_WRITE, OP_COMMIT]
+
+    def test_torn_tail_reason_reported(self, wal):
+        wal.append_write(1, b"full record")
+        wal.append_commit()
+        wal._file.write(b"\x01\x40\x00\x00\x00partial")  # truncated WRITE
+        wal._file.flush()
+        scanner = LogScanner(wal.path)
+        records = list(scanner)
+        assert len(records) == 2
+        assert scanner.truncation is not None
+        assert scanner.truncation.reason == "torn-record"
+        assert scanner.truncation.offset == scanner.bytes_consumed
 
     def test_corrupt_crc_stops_scan(self, wal, tmp_path):
         wal.append_write(1, b"aaaa")
@@ -49,17 +78,57 @@ class TestFraming:
         blob = bytearray(path.read_bytes())
         blob[-3] ^= 0xFF  # flip a bit inside the last record's CRC
         path.write_bytes(bytes(blob))
-        records = read_records(path)
+        scanner = LogScanner(path)
+        records = list(scanner)
         # first batch survives; the corrupt tail is dropped
         assert [r.op for r in records][:2] == [OP_WRITE, OP_COMMIT]
         assert len(records) < 4
+        assert scanner.truncation.reason == "bad-crc"
+
+    def test_unknown_op_reported_as_version_skew(self, wal, caplog):
+        """A CRC-valid record with an unrecognised op stops the scan with
+        reason "unknown-op" and a warning — version skew, not a crash."""
+        wal.append_write(1, b"old world")
+        wal.append_commit()
+        wal._file.write(WriteAheadLog._encode(42, b"from the future"))
+        wal._file.flush()
+        scanner = LogScanner(wal.path)
+        with caplog.at_level(logging.WARNING, logger="repro.storage.wal"):
+            records = list(scanner)
+        assert [r.op for r in records] == [OP_WRITE, OP_COMMIT]
+        assert scanner.truncation.reason == "unknown-op"
+        assert any("version skew" in message for message in caplog.messages)
 
     def test_checkpoint_truncates(self, wal):
         wal.append_write(1, b"x")
         wal.append_commit()
         wal.checkpoint()
-        assert read_records(wal.path) == []
+        assert list(read_records(wal.path)) == []
         assert wal.stats.checkpoints == 1
+
+    def test_checkpoint_syncs_page_file_first(self, wal, tmp_path):
+        """The pager handed to checkpoint() is fsynced before the log is
+        truncated — otherwise there is a window with no durable copy."""
+        events = []
+
+        class SpyPager(FilePager):
+            def sync(self):
+                events.append("pager-sync")
+                super().sync()
+
+        pager = SpyPager(tmp_path / "pages.db", page_size=64)
+        original = wal._sync
+
+        def spying_sync():
+            events.append("log-sync")
+            original()
+
+        wal._sync = spying_sync
+        wal.append_write(1, b"x")
+        wal.append_commit()
+        wal.checkpoint(pager)
+        pager.close()
+        assert events.index("pager-sync") < events.index("log-sync", 1)
 
     def test_stats(self, wal):
         wal.append_write(1, b"x")
@@ -79,8 +148,9 @@ class TestReplay:
         wal.append_meta({"generation": 2})
         wal.append_commit()
         pager = MemoryPager(page_size=64)
-        meta = recover(pager, wal.path)
-        assert meta == {"generation": 2}
+        report = recover(pager, wal.path)
+        assert report.meta == {"generation": 2}
+        assert report.batches_applied == 2
         assert pager.read(0).data == b"v2"
         assert pager.read(5).data == b"other"
 
@@ -91,8 +161,10 @@ class TestReplay:
         wal.append_write(0, b"never committed")
         wal._file.flush()
         pager = MemoryPager(page_size=64)
-        meta = recover(pager, wal.path)
-        assert meta == {"generation": 1}
+        report = recover(pager, wal.path)
+        assert report.meta == {"generation": 1}
+        assert report.batches_applied == 1
+        assert report.bytes_discarded > 0
         assert pager.read(0).data == b"committed"
 
     def test_free_replayed(self, wal):
@@ -102,8 +174,10 @@ class TestReplay:
         wal.append_free(0)
         wal.append_commit()
         pager = MemoryPager(page_size=64)
-        recover(pager, wal.path)
+        report = recover(pager, wal.path)
         assert len(pager) == 1
+        assert report.pages_freed == 1
+        assert report.pages_restored == 1  # page 0 was written then freed
         assert pager.read(1).data == b"b"
 
     def test_replay_idempotent(self, wal):
@@ -115,9 +189,25 @@ class TestReplay:
         recover(pager, wal.path)
         assert pager.read(2).data == b"twice"
 
-    def test_no_commits_returns_none(self, wal):
+    def test_no_commits_reports_nothing_applied(self, wal):
         wal.append_write(0, b"dangling")
         wal._file.flush()
         pager = MemoryPager(page_size=64)
-        assert recover(pager, wal.path) is None
+        report = recover(pager, wal.path)
+        assert report.meta is None
+        assert not report.committed
+        assert report.batches_applied == 0
+        assert report.bytes_discarded > 0
         assert len(pager) == 0
+
+    def test_report_round_trips_to_dict(self, wal):
+        wal.append_write(0, b"x")
+        wal.append_meta({"generation": 1})
+        wal.append_commit()
+        pager = MemoryPager(page_size=64)
+        report = recover(pager, wal.path)
+        payload = report.to_dict()
+        assert payload["batches_applied"] == 1
+        assert payload["meta"] == {"generation": 1}
+        assert payload["truncation"] is None
+        assert "1 batches" in report.summary()

@@ -188,6 +188,68 @@ class TestRecover:
         assert main(["query", str(pages), "--items", "1,2,3", "--knn", "2"]) == 0
         assert capsys.readouterr().out.count("tid ") == 2
 
+    def test_recover_reports_replay(self, tmp_path, capsys):
+        from repro import SGTree
+        from repro.sgtree import NodeStore
+        from repro.storage import FilePager, WriteAheadLog
+
+        pages = tmp_path / "rr.pages"
+        wal = tmp_path / "rr.wal"
+        pager = FilePager(pages, page_size=4096)
+        store = NodeStore(64, page_size=4096, frames=8, mode="disk",
+                          pager=pager, wal=WriteAheadLog(wal))
+        tree = SGTree(64, max_entries=8, store=store)
+        from repro import Signature
+        for tid in range(20):
+            tree.insert(tid, Signature.from_items([tid % 64, (tid * 7) % 64], 64))
+        tree.commit()
+        pager.close()
+        store.wal.close()
+
+        assert main(["recover", str(pages), str(wal)]) == 0
+        out = capsys.readouterr().out
+        assert "replay:" in out
+        assert "batches" in out
+
+        assert main(["recover", str(pages), str(wal), "--json"]) == 0
+        import json as json_mod
+        payload = json_mod.loads(capsys.readouterr().out)
+        assert payload["batches_applied"] >= 1
+
+    def test_recover_empty_log_exits_2(self, tmp_path, capsys):
+        pages = tmp_path / "none.pages"
+        wal = tmp_path / "none.wal"
+        pages.write_bytes(b"")
+        wal.write_bytes(b"")
+        assert main(["recover", str(pages), str(wal)]) == 2
+        assert "recover failed" in capsys.readouterr().err
+
+
+class TestScrub:
+    def test_clean_index_exits_0(self, index, capsys):
+        assert main(["scrub", str(index)]) == 0
+        out = capsys.readouterr().out
+        assert "scrub: clean" in out
+
+    def test_flipped_bit_exits_1(self, index, capsys):
+        import json as json_mod
+
+        from repro.storage import FilePager
+
+        pager = FilePager(index, page_size=8192)
+        pager.corrupt(0, bit=77)
+        pager.close()
+        assert main(["scrub", str(index)]) == 1
+        assert "corrupt-slot" in capsys.readouterr().out
+        assert main(["scrub", str(index), "--json"]) == 1
+        payload = json_mod.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert any(i["kind"] == "corrupt-slot" for i in payload["issues"])
+
+    def test_missing_index_exits_2(self, tmp_path, capsys):
+        assert main(["scrub", str(tmp_path / "ghost.sgt")]) == 2
+        assert "scrub failed" in capsys.readouterr().err
+
 
 class TestRangeCountCommand:
     def test_count(self, index, capsys):
