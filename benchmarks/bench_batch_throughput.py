@@ -1,0 +1,222 @@
+"""Batched-query throughput: shared-frontier traversal vs one-at-a-time.
+
+Runs the same warm-buffer k-NN workload three ways — a sequential loop of
+single-query searches, one ``batch_knn`` shared-frontier traversal per
+64-query batch, and the thread-pooled :class:`~repro.sgtree.executor.
+QueryExecutor` — verifies the three produce identical results, and
+writes ``BENCH_batch_throughput.json`` at the repo root with queries/sec
+and node-accesses-per-query for each engine.
+
+Acceptance gate: batched k-NN at batch size 64 must reach >= 3x the
+sequential QPS on the synthetic workload, with identical per-query
+results.  The CI smoke job re-runs this tiny benchmark and fails on
+malformed JSON or on batched node accesses per query exceeding
+sequential.
+
+Runnable standalone (``python benchmarks/bench_batch_throughput.py``)
+or through pytest, like every other bench module.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import time
+
+import pytest
+
+from bench_common import cached_quest, n_queries, report
+from repro.bench import build_tree
+from repro.sgtree import SearchStats
+from repro.sgtree.executor import QueryExecutor
+
+T_SIZE, I_SIZE, D = 10, 6, 50_000
+BATCH_SIZE = 64
+K = 10
+WORKERS = 4
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_batch_throughput.json"
+
+
+def _time_best_of(fn, repeat: int) -> tuple[float, object]:
+    """Best (minimum) wall time over ``repeat`` runs; first run's value."""
+    best, value = float("inf"), None
+    for attempt in range(repeat):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        if attempt == 0:
+            value = result
+        best = min(best, elapsed)
+    return best, value
+
+
+def _engine_row(label: str, elapsed: float, stats: SearchStats,
+                count: int, **extra: object) -> dict:
+    row = {
+        "label": label,
+        "elapsed_seconds": elapsed,
+        "qps": count / elapsed if elapsed > 0 else 0.0,
+        "node_accesses_per_query": stats.node_accesses / count,
+        "random_ios_per_query": stats.random_ios / count,
+        "leaf_entries_per_query": stats.leaf_entries / count,
+        "buffer_hit_ratio": stats.hit_ratio,
+    }
+    row.update(extra)
+    return row
+
+
+def run_benchmark(repeat: int = 3, k: int = K) -> dict:
+    """Measure all three engines; returns the result document."""
+    queries = max(BATCH_SIZE, n_queries(BATCH_SIZE))
+    workload = cached_quest(T_SIZE, I_SIZE, D, queries)
+    tree = build_tree(workload).index
+    batch = workload.queries[:queries]
+
+    # Warm the buffer once so every engine runs against the same state.
+    for query in batch:
+        tree.nearest(query, k=k)
+
+    seq_stats = SearchStats()
+
+    def sequential():
+        return [tree.nearest(query, k=k, stats=seq_stats) for query in batch]
+
+    seq_elapsed, seq_results = _time_best_of(sequential, repeat)
+    seq_stats_once = SearchStats()
+    [tree.nearest(query, k=k, stats=seq_stats_once) for query in batch]
+
+    bat_stats = SearchStats()
+    bat_elapsed, bat_results = _time_best_of(
+        lambda: tree.batch_nearest(batch, k=k, stats=bat_stats), repeat
+    )
+    bat_stats_once = SearchStats()
+    tree.batch_nearest(batch, k=k, stats=bat_stats_once)
+
+    with QueryExecutor(tree, workers=WORKERS, batch_size=BATCH_SIZE) as executor:
+        exe_elapsed, exe_results = _time_best_of(
+            lambda: executor.knn(batch, k=k), repeat
+        )
+        exe_stats_once = SearchStats()
+        executor.knn(batch, k=k, stats=exe_stats_once)
+
+    identical = seq_results == bat_results == exe_results
+    sequential_row = _engine_row("sequential", seq_elapsed, seq_stats_once,
+                                 len(batch))
+    batched_row = _engine_row("batched", bat_elapsed, bat_stats_once,
+                              len(batch), batch_size=BATCH_SIZE)
+    executor_row = _engine_row("executor", exe_elapsed, exe_stats_once,
+                               len(batch), batch_size=BATCH_SIZE,
+                               workers=WORKERS)
+    return {
+        "benchmark": "batch_throughput",
+        "workload": workload.name,
+        "database_size": len(workload.transactions),
+        "n_queries": len(batch),
+        "k": k,
+        "metric": "hamming",
+        "identical_results": identical,
+        "sequential": sequential_row,
+        "batched": batched_row,
+        "executor": executor_row,
+        "speedup_batched_vs_sequential":
+            batched_row["qps"] / sequential_row["qps"]
+            if sequential_row["qps"] else 0.0,
+        "speedup_executor_vs_sequential":
+            executor_row["qps"] / sequential_row["qps"]
+            if sequential_row["qps"] else 0.0,
+    }
+
+
+def _summarise(doc: dict) -> str:
+    lines = [
+        f"Batched k-NN throughput ({doc['workload']}, "
+        f"{doc['n_queries']} queries, k={doc['k']})",
+        f"  identical results: {doc['identical_results']}",
+    ]
+    for key in ("sequential", "batched", "executor"):
+        row = doc[key]
+        lines.append(
+            f"  {row['label']:<10} {row['qps']:>10.0f} q/s   "
+            f"{row['node_accesses_per_query']:>7.2f} node accesses/query   "
+            f"hit ratio {row['buffer_hit_ratio']:.2f}"
+        )
+    lines.append(
+        f"  speedup: batched {doc['speedup_batched_vs_sequential']:.1f}x, "
+        f"executor {doc['speedup_executor_vs_sequential']:.1f}x"
+    )
+    return "\n".join(lines)
+
+
+def write_results(doc: dict, out_path: pathlib.Path = DEFAULT_OUT) -> None:
+    out_path.write_text(json.dumps(doc, indent=2) + "\n")
+
+
+@pytest.fixture(scope="module")
+def results():
+    doc = run_benchmark()
+    write_results(doc)
+    report("batch_throughput", _summarise(doc))
+    return doc
+
+
+class TestBatchThroughput:
+    def test_results_identical_to_sequential(self, results):
+        assert results["identical_results"]
+
+    def test_batched_saves_node_accesses(self, results):
+        assert (
+            results["batched"]["node_accesses_per_query"]
+            <= results["sequential"]["node_accesses_per_query"]
+        )
+        assert (
+            results["executor"]["node_accesses_per_query"]
+            <= results["sequential"]["node_accesses_per_query"]
+        )
+
+    def test_batched_speedup(self, results):
+        assert results["speedup_batched_vs_sequential"] >= 3.0
+
+    def test_json_well_formed(self, results):
+        doc = json.loads(DEFAULT_OUT.read_text())
+        assert doc["benchmark"] == "batch_throughput"
+        for key in ("sequential", "batched", "executor"):
+            assert doc[key]["qps"] > 0
+
+
+def test_benchmark_batched_knn(results, benchmark):
+    queries = max(BATCH_SIZE, n_queries(BATCH_SIZE))
+    workload = cached_quest(T_SIZE, I_SIZE, D, queries)
+    tree = build_tree(workload).index
+    batch = workload.queries[:BATCH_SIZE]
+    benchmark(lambda: tree.batch_nearest(batch, k=K))
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("-o", "--output", type=pathlib.Path, default=DEFAULT_OUT)
+    parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument("-k", type=int, default=K)
+    parser.add_argument("--min-speedup", type=float, default=3.0,
+                        help="fail below this batched-vs-sequential QPS ratio "
+                             "(0 disables; CI smoke runs use 0 — wall-clock "
+                             "ratios are unreliable on tiny scaled workloads)")
+    args = parser.parse_args(argv)
+    doc = run_benchmark(repeat=args.repeat, k=args.k)
+    write_results(doc, args.output)
+    print(_summarise(doc))
+    print(f"wrote {args.output}")
+    if not doc["identical_results"]:
+        print("FAIL: batched results differ from sequential")
+        return 1
+    if doc["speedup_batched_vs_sequential"] < args.min_speedup:
+        print(f"FAIL: batched speedup below the {args.min_speedup:g}x gate")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -60,6 +60,9 @@ from .sgtree import (
     Cluster,
     ConcurrentSGTree,
     Neighbor,
+    QueryExecutor,
+    batch_knn,
+    batch_range,
     PairResult,
     ScrubIssue,
     ScrubReport,
@@ -125,6 +128,9 @@ __all__ = [
     "load_tree",
     "recover_tree",
     "ConcurrentSGTree",
+    "QueryExecutor",
+    "batch_knn",
+    "batch_range",
     # integrity / errors
     "ScrubIssue",
     "ScrubReport",

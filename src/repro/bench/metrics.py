@@ -79,6 +79,25 @@ class QueryBatchResult:
         return self.total_node_accesses / self.n_queries
 
     @property
+    def buffer_hits(self) -> int:
+        """Node accesses served by the buffer pool (no random I/O)."""
+        return self.total_node_accesses - self.total_random_ios
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of node accesses served from the buffer pool."""
+        if not self.total_node_accesses:
+            return 0.0
+        return self.buffer_hits / self.total_node_accesses
+
+    @property
+    def qps(self) -> float:
+        """Queries per second of CPU time."""
+        if self.total_cpu_seconds <= 0.0:
+            return 0.0
+        return self.n_queries / self.total_cpu_seconds
+
+    @property
     def mean_distance(self) -> float:
         """Average result distance (e.g. of the nearest neighbour)."""
         if not self.per_query_distance:

@@ -86,8 +86,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     query = commands.add_parser("query", help="search an index")
     query.add_argument("index", help="index path from `build`")
-    query.add_argument("--items", required=True,
+    query.add_argument("--items",
                        help="comma-separated item ids of the query signature")
+    query.add_argument("--batch", metavar="FILE",
+                       help="transaction file (JSON lines) of query signatures; "
+                            "answers every query via batched traversals")
+    query.add_argument("--workers", type=int, default=1,
+                       help="threads for --batch (default 1)")
+    query.add_argument("--batch-size", type=int, default=64,
+                       help="queries per shared-frontier shard (default 64)")
     mode = query.add_mutually_exclusive_group()
     mode.add_argument("--knn", type=int, metavar="K",
                       help="k nearest neighbours (default: --knn 1)")
@@ -217,9 +224,59 @@ def _parse_items(text: str) -> list[int]:
         raise SystemExit(f"--items must be comma-separated integers, got {text!r}")
 
 
+def _run_batch_query(tree: SGTree, args: argparse.Namespace) -> int:
+    from .sgtree.executor import QueryExecutor
+
+    if args.contains or args.count_epsilon is not None:
+        raise SystemExit("--batch supports --knn and --range only")
+    transactions, n_bits = load_transactions(args.batch)
+    if n_bits != tree.n_bits:
+        raise SystemExit(
+            f"batch file is {n_bits}-bit but the index is {tree.n_bits}-bit"
+        )
+    if not transactions:
+        raise SystemExit(f"batch file {args.batch} holds no queries")
+    queries = [transaction.signature for transaction in transactions]
+    stats = SearchStats()
+    start = time.perf_counter()
+    with QueryExecutor(
+        tree, workers=args.workers, batch_size=args.batch_size
+    ) as executor:
+        if args.epsilon is not None:
+            results = executor.range_query(
+                queries, args.epsilon, metric=args.metric, stats=stats
+            )
+        else:
+            k = args.knn if args.knn is not None else 1
+            results = executor.knn(queries, k=k, metric=args.metric, stats=stats)
+    elapsed = time.perf_counter() - start
+    for transaction, hits in zip(transactions[:10], results):
+        head = ", ".join(f"{hit.tid}:{hit.distance:g}" for hit in hits[:5])
+        print(f"  query {transaction.tid}: {len(hits)} hits  [{head}]")
+    if len(results) > 10:
+        print(f"  ... and {len(results) - 10} more queries")
+    qps = len(queries) / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"{len(queries)} queries in {elapsed:.3f}s ({qps:.0f} queries/s, "
+        f"workers={args.workers}, batch-size={args.batch_size})"
+    )
+    if args.stats:
+        print(
+            f"stats: {stats.node_accesses} node accesses "
+            f"({stats.node_accesses / len(queries):.1f}/query), "
+            f"{stats.random_ios} random I/Os, "
+            f"buffer hit ratio {stats.hit_ratio:.2f}"
+        )
+    return 0
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
+    if (args.items is None) == (args.batch is None):
+        raise SystemExit("query: exactly one of --items or --batch is required")
     tree = load_tree(args.index)
     try:
+        if args.batch is not None:
+            return _run_batch_query(tree, args)
         items = _parse_items(args.items)
         query = Signature.from_items(items, tree.n_bits)
         stats = SearchStats()

@@ -165,6 +165,35 @@ def pairwise_hamming(matrix: np.ndarray) -> np.ndarray:
     return np.bitwise_count(xored).sum(axis=-1, dtype=np.int64)
 
 
+def cross_hamming(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``(A, B)`` Hamming-distance matrix between the rows of two matrices.
+
+    The matrix×matrix popcount expression behind batched search: one
+    broadcast XOR + ``bitwise_count`` answers every (query, entry) pair
+    of a whole query batch against a whole node at once.
+    """
+    xored = np.bitwise_xor(a[:, None, :], b[None, :, :])
+    return np.bitwise_count(xored).sum(axis=-1, dtype=np.int64)
+
+
+def cross_intersect_count(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``(A, B)`` matrix of ``|a_i ∩ b_j|`` between rows."""
+    anded = np.bitwise_and(a[:, None, :], b[None, :, :])
+    return np.bitwise_count(anded).sum(axis=-1, dtype=np.int64)
+
+
+def cross_difference_count(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``(A, B)`` matrix of ``|a_i \\ b_j|`` between rows (AND-NOT)."""
+    diffed = np.bitwise_and(a[:, None, :], np.bitwise_not(b[None, :, :]))
+    return np.bitwise_count(diffed).sum(axis=-1, dtype=np.int64)
+
+
+def cross_union_count(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``(A, B)`` matrix of ``|a_i ∪ b_j|`` between rows."""
+    ored = np.bitwise_or(a[:, None, :], b[None, :, :])
+    return np.bitwise_count(ored).sum(axis=-1, dtype=np.int64)
+
+
 def to_bytes(words: np.ndarray) -> bytes:
     """Serialise a signature's words to little-endian bytes."""
     return words.astype("<u8").tobytes()

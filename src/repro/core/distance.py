@@ -67,6 +67,32 @@ class Metric:
         """Vectorised :meth:`lower_bound` over a directory-entry matrix."""
         raise NotImplementedError
 
+    def distance_matrix(
+        self, queries: np.ndarray, query_areas: np.ndarray, matrix: np.ndarray
+    ) -> np.ndarray:
+        """``(Q, E)`` distances between a query matrix and a node matrix.
+
+        ``queries`` is a ``(Q, n_words)`` stack of query signatures,
+        ``query_areas`` the matching ``(Q,)`` popcounts, and ``matrix`` a
+        ``(E, n_words)`` node matrix.  Row ``q`` equals
+        ``distance_many(queries[q], matrix)`` bit-for-bit: the matrix form
+        performs the same integer popcounts and the same float64
+        operations elementwise, so batched search returns distances
+        identical to the single-query engine.
+        """
+        raise NotImplementedError
+
+    def lower_bound_matrix(
+        self, queries: np.ndarray, query_areas: np.ndarray, matrix: np.ndarray
+    ) -> np.ndarray:
+        """``(Q, E)`` directory lower bounds, one row per query.
+
+        Row ``q`` equals ``lower_bound_many(queries[q], matrix)`` exactly
+        (same admissibility, same float values) — see
+        :meth:`distance_matrix`.
+        """
+        raise NotImplementedError
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
 
@@ -109,6 +135,22 @@ class HammingMetric(Metric):
         common = query.area - missing
         capped = np.minimum(common, min(self.fixed_area, query.area))
         return query.area + self.fixed_area - 2.0 * capped
+
+    def distance_matrix(
+        self, queries: np.ndarray, query_areas: np.ndarray, matrix: np.ndarray
+    ) -> np.ndarray:
+        return bitops.cross_hamming(queries, matrix).astype(np.float64)
+
+    def lower_bound_matrix(
+        self, queries: np.ndarray, query_areas: np.ndarray, matrix: np.ndarray
+    ) -> np.ndarray:
+        missing = bitops.cross_difference_count(queries, matrix).astype(np.float64)
+        if self.fixed_area is None:
+            return missing
+        areas = query_areas.astype(np.float64)[:, None]
+        common = areas - missing
+        capped = np.minimum(common, np.minimum(float(self.fixed_area), areas))
+        return areas + self.fixed_area - 2.0 * capped
 
 
 def _jaccard_distance(inter: np.ndarray, union: np.ndarray) -> np.ndarray:
@@ -153,6 +195,20 @@ class JaccardMetric(Metric):
         covered = np.asarray(bitops.intersect_count(matrix, query.words), dtype=np.float64)
         return 1.0 - covered / query.area
 
+    def distance_matrix(
+        self, queries: np.ndarray, query_areas: np.ndarray, matrix: np.ndarray
+    ) -> np.ndarray:
+        inter = bitops.cross_intersect_count(queries, matrix).astype(np.float64)
+        union = bitops.cross_union_count(queries, matrix).astype(np.float64)
+        return _jaccard_distance(inter, union)
+
+    def lower_bound_matrix(
+        self, queries: np.ndarray, query_areas: np.ndarray, matrix: np.ndarray
+    ) -> np.ndarray:
+        areas = query_areas.astype(np.float64)[:, None]
+        covered = bitops.cross_intersect_count(queries, matrix).astype(np.float64)
+        return np.where(areas > 0, 1.0 - covered / np.maximum(areas, 1.0), 0.0)
+
 
 @dataclass(frozen=True, repr=False)
 class DiceMetric(Metric):
@@ -189,6 +245,26 @@ class DiceMetric(Metric):
             return np.zeros(matrix.shape[0], dtype=np.float64)
         covered = np.asarray(bitops.intersect_count(matrix, query.words), dtype=np.float64)
         return np.maximum(0.0, 1.0 - np.minimum(1.0, 2.0 * covered / query.area))
+
+    def distance_matrix(
+        self, queries: np.ndarray, query_areas: np.ndarray, matrix: np.ndarray
+    ) -> np.ndarray:
+        inter = bitops.cross_intersect_count(queries, matrix).astype(np.float64)
+        areas = np.asarray(bitops.popcount(matrix), dtype=np.float64)
+        total = areas[None, :] + query_areas.astype(np.float64)[:, None]
+        with np.errstate(invalid="ignore", divide="ignore"):
+            sim = np.where(total > 0, 2.0 * inter / np.maximum(total, 1), 1.0)
+        return 1.0 - sim
+
+    def lower_bound_matrix(
+        self, queries: np.ndarray, query_areas: np.ndarray, matrix: np.ndarray
+    ) -> np.ndarray:
+        q_areas = query_areas.astype(np.float64)[:, None]
+        covered = bitops.cross_intersect_count(queries, matrix).astype(np.float64)
+        bound = np.maximum(
+            0.0, 1.0 - np.minimum(1.0, 2.0 * covered / np.maximum(q_areas, 1.0))
+        )
+        return np.where(q_areas > 0, bound, 0.0)
 
 
 @dataclass(frozen=True, repr=False)
@@ -236,6 +312,28 @@ class OverlapMetric(Metric):
         covered = np.asarray(bitops.intersect_count(matrix, query.words), dtype=np.float64)
         return np.where(covered == 0, 1.0, 0.0)
 
+    def distance_matrix(
+        self, queries: np.ndarray, query_areas: np.ndarray, matrix: np.ndarray
+    ) -> np.ndarray:
+        inter = bitops.cross_intersect_count(queries, matrix).astype(np.float64)
+        areas = np.asarray(bitops.popcount(matrix), dtype=np.float64)[None, :]
+        q_areas = query_areas.astype(np.float64)[:, None]
+        denom = np.minimum(areas, q_areas)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            sim = np.where(
+                denom > 0,
+                inter / np.maximum(denom, 1),
+                np.where(areas == q_areas, 1.0, 0.0),
+            )
+        return 1.0 - sim
+
+    def lower_bound_matrix(
+        self, queries: np.ndarray, query_areas: np.ndarray, matrix: np.ndarray
+    ) -> np.ndarray:
+        q_areas = query_areas.astype(np.float64)[:, None]
+        covered = bitops.cross_intersect_count(queries, matrix).astype(np.float64)
+        return np.where(q_areas > 0, np.where(covered == 0, 1.0, 0.0), 0.0)
+
 
 @dataclass(frozen=True, repr=False)
 class CosineMetric(Metric):
@@ -277,6 +375,30 @@ class CosineMetric(Metric):
             return np.zeros(matrix.shape[0], dtype=np.float64)
         covered = np.asarray(bitops.intersect_count(matrix, query.words), dtype=np.float64)
         return 1.0 - np.sqrt(covered / query.area)
+
+    def distance_matrix(
+        self, queries: np.ndarray, query_areas: np.ndarray, matrix: np.ndarray
+    ) -> np.ndarray:
+        inter = bitops.cross_intersect_count(queries, matrix).astype(np.float64)
+        areas = np.asarray(bitops.popcount(matrix), dtype=np.float64)[None, :]
+        q_areas = query_areas.astype(np.float64)[:, None]
+        denom = np.sqrt(areas * q_areas)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            sim = np.where(
+                denom > 0,
+                inter / np.maximum(denom, 1e-12),
+                np.where(areas == q_areas, 1.0, 0.0),
+            )
+        return 1.0 - sim
+
+    def lower_bound_matrix(
+        self, queries: np.ndarray, query_areas: np.ndarray, matrix: np.ndarray
+    ) -> np.ndarray:
+        q_areas = query_areas.astype(np.float64)[:, None]
+        covered = bitops.cross_intersect_count(queries, matrix).astype(np.float64)
+        return np.where(
+            q_areas > 0, 1.0 - np.sqrt(covered / np.maximum(q_areas, 1.0)), 0.0
+        )
 
 
 HAMMING = HammingMetric()

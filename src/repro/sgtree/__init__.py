@@ -3,6 +3,7 @@
 from .bulkload import bulk_load, gray_sort_order, minhash_order
 from .clustering import Cluster, cluster_leaves
 from .concurrent import ConcurrentSGTree, ReadWriteLock
+from .executor import QueryExecutor
 from .insert import CHOOSERS, choose_subtree
 from .join import (
     PairResult,
@@ -17,7 +18,10 @@ from .persistence import load_tree, recover_tree, save_tree
 from .node import Entry, Node, NodeStore, StoreCounters
 from .scrub import ScrubIssue, ScrubReport, scrub_index, scrub_store, scrub_tree
 from .search import (
+    KnnHeap,
     Neighbor,
+    batch_knn,
+    batch_range,
     browse,
     constrained_nearest,
     range_count,
@@ -55,6 +59,10 @@ __all__ = [
     "knn",
     "knn_depth_first",
     "knn_best_first",
+    "KnnHeap",
+    "batch_knn",
+    "batch_range",
+    "QueryExecutor",
     "browse",
     "nearest_all",
     "range_search",

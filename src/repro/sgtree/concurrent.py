@@ -180,6 +180,16 @@ class ConcurrentSGTree:
                 query, k=k, metric=metric, algorithm=algorithm, stats=stats
             )
 
+    def batch_nearest(
+        self,
+        queries: "list[Signature]",
+        k: int = 1,
+        metric: Metric | str | None = None,
+        stats: SearchStats | None = None,
+    ) -> list[list[Neighbor]]:
+        with self._read_guard():
+            return self._tree.batch_nearest(queries, k=k, metric=metric, stats=stats)
+
     def range_query(
         self,
         query: Signature,
@@ -189,6 +199,18 @@ class ConcurrentSGTree:
     ) -> list[Neighbor]:
         with self._read_guard():
             return self._tree.range_query(query, epsilon, metric=metric, stats=stats)
+
+    def batch_range_query(
+        self,
+        queries: "list[Signature]",
+        epsilon: "float | list[float]",
+        metric: Metric | str | None = None,
+        stats: SearchStats | None = None,
+    ) -> list[list[Neighbor]]:
+        with self._read_guard():
+            return self._tree.batch_range_query(
+                queries, epsilon, metric=metric, stats=stats
+            )
 
     def containment_query(self, query: Signature) -> list[int]:
         with self._read_guard():

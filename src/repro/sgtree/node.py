@@ -85,13 +85,18 @@ class Node:
     in one vectorised expression; any mutation invalidates the cache.
     """
 
-    __slots__ = ("page_id", "level", "entries", "_matrix", "_area_ranges", "__weakref__")
+    __slots__ = (
+        "page_id", "level", "entries",
+        "_matrix", "_areas", "_refs", "_area_ranges", "__weakref__",
+    )
 
     def __init__(self, page_id: PageId, level: int, entries: list[Entry] | None = None):
         self.page_id = page_id
         self.level = level
         self.entries: list[Entry] = entries if entries is not None else []
         self._matrix: np.ndarray | None = None
+        self._areas: np.ndarray | None = None
+        self._refs: np.ndarray | None = None
         self._area_ranges: tuple[np.ndarray, np.ndarray] | None = None
 
     @property
@@ -109,6 +114,30 @@ class Node:
             else:
                 raise ValueError(f"node {self.page_id} has no entries")
         return self._matrix
+
+    def entry_areas(self) -> np.ndarray:
+        """Per-entry signature popcounts, cached until the node mutates.
+
+        Search visits a node's areas on every traversal (visit-order
+        tie-breaks, best-first priorities, Dice/overlap/cosine
+        denominators); caching them beside the matrix stops every visit
+        from re-popcounting the whole node.
+        """
+        if self._areas is None or self._areas.shape[0] != len(self.entries):
+            self._areas = np.asarray(
+                bitops.popcount(self.signature_matrix()), dtype=np.int64
+            )
+        return self._areas
+
+    def entry_refs(self) -> np.ndarray:
+        """Per-entry refs (tids or child page ids), cached until mutation."""
+        if self._refs is None or self._refs.shape[0] != len(self.entries):
+            self._refs = np.fromiter(
+                (entry.ref for entry in self.entries),
+                dtype=np.int64,
+                count=len(self.entries),
+            )
+        return self._refs
 
     def area_ranges(self) -> "tuple[np.ndarray, np.ndarray] | None":
         """Per-entry (min_area, max_area) vectors, or ``None`` when any
@@ -180,6 +209,8 @@ class Node:
     def invalidate(self) -> None:
         """Drop the cached matrix/stats after entry mutation."""
         self._matrix = None
+        self._areas = None
+        self._refs = None
         self._area_ranges = None
 
     def find_ref(self, ref: int) -> int | None:

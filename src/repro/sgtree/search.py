@@ -40,11 +40,15 @@ from .node import NodeStore
 
 __all__ = [
     "Neighbor",
+    "KnnHeap",
     "strengthen_hamming_bounds",
+    "strengthen_hamming_bounds_matrix",
     "SearchStats",
     "knn",
     "knn_depth_first",
     "knn_best_first",
+    "batch_knn",
+    "batch_range",
     "browse",
     "nearest_all",
     "range_search",
@@ -66,11 +70,29 @@ class Neighbor(NamedTuple):
 
 @dataclass
 class SearchStats:
-    """Per-query traffic, in the paper's evaluation units."""
+    """Per-query (or per-batch) traffic, in the paper's evaluation units."""
 
     node_accesses: int = 0
     random_ios: int = 0
     leaf_entries: int = 0
+
+    @property
+    def buffer_hits(self) -> int:
+        """Node accesses served by the buffer (no random I/O paid)."""
+        return self.node_accesses - self.random_ios
+
+    @property
+    def hit_ratio(self) -> float:
+        """Buffer hit ratio over the node accesses (1.0 = fully cached)."""
+        if not self.node_accesses:
+            return 0.0
+        return self.buffer_hits / self.node_accesses
+
+    def merge(self, other: "SearchStats") -> None:
+        """Accumulate another query's (or batch shard's) traffic."""
+        self.node_accesses += other.node_accesses
+        self.random_ios += other.random_ios
+        self.leaf_entries += other.leaf_entries
 
     def data_fraction(self, database_size: int) -> float:
         """The paper's "% of data processed" for a database of given size."""
@@ -126,10 +148,65 @@ def strengthen_hamming_bounds(
     return (query.area - c) + np.maximum(0, mins - c)
 
 
+def strengthen_hamming_bounds_matrix(
+    metric: Metric, query_areas: np.ndarray, node, bounds: np.ndarray
+) -> np.ndarray:
+    """Batched :func:`strengthen_hamming_bounds` over a ``(Q, E)`` block.
+
+    Row ``q`` equals the single-query sharpening of ``bounds[q]`` exactly
+    (same integer statistics, same float64 operations), so batched and
+    sequential traversals prune identically.
+    """
+    if metric.name != "hamming" or getattr(metric, "fixed_area", None) is not None:
+        return bounds
+    ranges = node.area_ranges()
+    if ranges is None:
+        return bounds
+    mins, maxs = ranges
+    areas = query_areas.astype(np.float64)[:, None]
+    common = areas - bounds  # |q ∩ sig| per (query, entry)
+    c = np.minimum(common, maxs[None, :])
+    return (areas - c) + np.maximum(0, mins[None, :] - c)
+
+
+def _robust_bounds(metric: Metric, bounds: np.ndarray) -> np.ndarray:
+    """Nudge ratio-metric bounds one ulp down so pruning stays sound.
+
+    The ratio metrics compute a subtree's bound and a member's distance
+    through *different* float expressions; when the two are equal
+    mathematically, the bound can round one ulp above the distance and
+    strict pruning then drops an exact tie.  One ulp downward keeps the
+    bound admissible (it is a lower bound) and restores exact results —
+    for either traversal engine, which is what makes batched and
+    sequential answers identical on ties.  Hamming bounds are integers in
+    float64, hence already exact.
+    """
+    if metric.name == "hamming":
+        return bounds
+    return np.nextafter(bounds, -np.inf)
+
+
 def _directory_bounds(metric: Metric, query: Signature, node) -> np.ndarray:
     """Per-entry lower bounds for a directory node, stats-sharpened."""
     bounds = metric.lower_bound_many(query, node.signature_matrix())
-    return strengthen_hamming_bounds(metric, query, node, bounds)
+    return _robust_bounds(metric, strengthen_hamming_bounds(metric, query, node, bounds))
+
+
+def _batch_directory_bounds(
+    metric: Metric, queries: np.ndarray, query_areas: np.ndarray, node
+) -> np.ndarray:
+    """``(Q, E)`` stats-sharpened lower bounds for a directory node."""
+    bounds = metric.lower_bound_matrix(queries, query_areas, node.signature_matrix())
+    return _robust_bounds(
+        metric, strengthen_hamming_bounds_matrix(metric, query_areas, node, bounds)
+    )
+
+
+def _stack_queries(queries: "list[Signature]") -> tuple[np.ndarray, np.ndarray]:
+    """Stack a query batch into a ``(Q, n_words)`` matrix plus its areas."""
+    matrix = np.stack([query.words for query in queries])
+    areas = np.asarray(bitops.popcount(matrix), dtype=np.int64)
+    return matrix, areas
 
 
 def _entry_order(metric: Metric, query: Signature, node) -> tuple[np.ndarray, np.ndarray]:
@@ -142,48 +219,73 @@ def _entry_order(metric: Metric, query: Signature, node) -> tuple[np.ndarray, np
     neighbour).
     """
     bounds = _directory_bounds(metric, query, node)
-    areas = np.asarray(bitops.popcount(node.signature_matrix()), dtype=np.int64)
-    order = np.lexsort((areas, bounds))
+    order = np.lexsort((node.entry_areas(), bounds))
     return bounds, order
 
 
-class _KnnHeap:
-    """A bounded max-heap of the k best neighbours found so far."""
+class KnnHeap:
+    """A bounded max-heap of the k best neighbours found so far.
+
+    Candidates are ordered by the canonical ``(distance, tid)`` pair, so
+    the retained set is the total-order top-k of everything offered — it
+    does not depend on the order candidates arrive.  This is what lets
+    the batched engine, which visits nodes in a different order than the
+    single-query traversals, return bit-identical results (ids and
+    distances, ties included).
+    """
 
     def __init__(self, k: int):
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         self.k = k
-        self._heap: list[tuple[float, int]] = []  # (-distance, tid)
+        self._heap: list[tuple[float, int]] = []  # (-distance, -tid); root = worst
 
     @property
     def threshold(self) -> float:
-        """Distance of the current k-th neighbour (inf while not full)."""
+        """Distance of the current k-th neighbour (inf while not full).
+
+        A subtree whose lower bound *exceeds* this cannot contribute; one
+        whose bound equals it may still hold an equal-distance,
+        smaller-tid neighbour, so pruning must stay strict.
+        """
         if len(self._heap) < self.k:
             return float("inf")
         return -self._heap[0][0]
 
+    def _worst(self) -> tuple[float, int]:
+        """The current k-th ``(distance, tid)`` pair (heap must be full)."""
+        neg_distance, neg_tid = self._heap[0]
+        return (-neg_distance, -neg_tid)
+
     def offer(self, distance: float, tid: int) -> None:
         if len(self._heap) < self.k:
-            heapq.heappush(self._heap, (-distance, tid))
-        elif distance < self.threshold:
-            heapq.heapreplace(self._heap, (-distance, tid))
+            heapq.heappush(self._heap, (-distance, -tid))
+        elif (distance, tid) < self._worst():
+            heapq.heapreplace(self._heap, (-distance, -tid))
 
-    def offer_many(self, distances: np.ndarray, refs: list[int]) -> None:
-        """Offer a whole leaf at once, touching Python only for the few
-        entries that can actually enter the heap."""
-        if len(self._heap) < self.k:
-            for i in np.argsort(distances, kind="stable"):
-                self.offer(float(distances[i]), refs[i])
-            return
-        candidates = np.flatnonzero(distances < self.threshold)
-        if candidates.size:
-            for i in candidates[np.argsort(distances[candidates], kind="stable")]:
-                self.offer(float(distances[i]), refs[i])
+    def offer_many(self, distances: np.ndarray, refs: "list[int] | np.ndarray") -> None:
+        """Offer a whole leaf at once.
+
+        Candidates are inserted in ascending ``(distance, tid)`` order
+        and the heap threshold is re-read before every insertion, so an
+        entry that a just-inserted better candidate displaces from the
+        top-k is never admitted.  The scan stops at the first candidate
+        the current threshold rejects — every later candidate is worse
+        still.
+        """
+        refs = np.asarray(refs, dtype=np.int64)
+        for i in np.lexsort((refs, distances)):
+            distance = float(distances[i])
+            if distance > self.threshold:
+                break
+            self.offer(distance, int(refs[i]))
 
     def results(self) -> list[Neighbor]:
-        ordered = sorted((-d, tid) for d, tid in self._heap)
+        ordered = sorted((-d, -neg_tid) for d, neg_tid in self._heap)
         return [Neighbor(distance, tid) for distance, tid in ordered]
+
+
+_KnnHeap = KnnHeap  # historical internal name
 
 
 def knn_depth_first(
@@ -196,7 +298,7 @@ def knn_depth_first(
 ) -> list[Neighbor]:
     """Figure 4: depth-first branch-and-bound k-NN."""
     with _StatsScope(store, stats) as active:
-        best = _KnnHeap(k)
+        best = KnnHeap(k)
 
         def visit(page_id: PageId) -> None:
             node = store.get(page_id)
@@ -256,13 +358,183 @@ def knn_best_first(
                     )
             else:
                 bounds = _directory_bounds(metric, query, node)
-                areas = np.asarray(bitops.popcount(matrix), dtype=np.int64)
+                areas = node.entry_areas()
                 for i, entry in enumerate(node.entries):
                     heapq.heappush(
                         queue,
                         (float(bounds[i]), int(areas[i]), next(counter), True, entry.ref),
                     )
         return results
+
+
+def batch_knn(
+    store: NodeStore,
+    root_id: PageId,
+    queries: "list[Signature]",
+    k: int,
+    metric: Metric,
+    stats: SearchStats | None = None,
+) -> list[list[Neighbor]]:
+    """Shared-frontier k-NN for a whole query batch.
+
+    One traversal serves every query: each frontier item is a subtree
+    plus the subset of queries for which it is still admissible (and
+    their lower bounds at push time).  A popped node is fetched and
+    decoded **once**; distances or directory bounds for all still-active
+    queries are then a single matrix×matrix kernel call
+    (:meth:`~repro.core.distance.Metric.distance_matrix` /
+    :meth:`~repro.core.distance.Metric.lower_bound_matrix`).  A query is
+    masked out of a subtree as soon as its k-NN threshold beats its
+    bound — the exact per-query admissible pruning of the single-query
+    engine — so results are identical (ids, distances and ties) to
+    running :func:`knn_depth_first` once per query, while a node shared
+    by many queries' frontiers costs one node access instead of Q.
+
+    ``stats``, when given, accumulates the whole batch's traffic.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    n_queries = len(queries)
+    if n_queries == 0:
+        return []
+    qmatrix, qareas = _stack_queries(queries)
+    with _StatsScope(store, stats) as active:
+        heaps = [KnnHeap(k) for _ in range(n_queries)]
+        thresholds = np.full(n_queries, np.inf)
+        counter = itertools.count()  # tie-break to keep tuples comparable
+        # (min bound, entry area, seq, page id, query indexes, per-query bounds)
+        frontier: list[tuple[float, int, int, int, np.ndarray, np.ndarray]] = []
+        heapq.heappush(
+            frontier,
+            (0.0, 0, next(counter), root_id,
+             np.arange(n_queries), np.zeros(n_queries)),
+        )
+        while frontier:
+            _bound, _area, _seq, ref, qidx, qbounds = heapq.heappop(frontier)
+            # Re-check each query's threshold: it may have tightened past
+            # this subtree's bound since the push.
+            qidx = qidx[qbounds <= thresholds[qidx]]
+            if not qidx.size:
+                continue  # pruned for every query — not even fetched
+            node = store.get(ref)
+            if not node.entries:
+                continue
+            sub_queries = qmatrix[qidx]
+            sub_areas = qareas[qidx]
+            if node.is_leaf:
+                active.leaf_entries += len(node.entries) * qidx.size
+                distances = metric.distance_matrix(
+                    sub_queries, sub_areas, node.signature_matrix()
+                )
+                refs = node.entry_refs()
+                # One sweep over the whole leaf: drop candidates the
+                # current thresholds already reject, then offer the rest
+                # row-grouped in ascending (distance, tid) order with the
+                # same early-out as :meth:`KnnHeap.offer_many`.  The
+                # heap's canonical total order makes the retained set
+                # identical either way.  ``KnnHeap.offer`` is inlined —
+                # it is called once per surviving candidate, and the
+                # method/property dispatch would dominate the sweep.
+                rows, cols = np.nonzero(distances <= thresholds[qidx][:, None])
+                if rows.size:
+                    cand_d = distances[rows, cols]
+                    cand_r = refs[cols]
+                    order = np.lexsort((cand_r, cand_d, rows))
+                    rows_l = rows.tolist()
+                    cand_d_l = cand_d.tolist()
+                    cand_r_l = cand_r.tolist()
+                    qidx_l = qidx.tolist()
+                    exhausted_row = -1
+                    for i in order.tolist():
+                        row = rows_l[i]
+                        if row == exhausted_row:
+                            continue
+                        entries = heaps[qidx_l[row]]._heap
+                        distance = cand_d_l[i]
+                        if len(entries) < k:
+                            heapq.heappush(entries, (-distance, -cand_r_l[i]))
+                            continue
+                        worst = entries[0]
+                        if distance > -worst[0]:
+                            exhausted_row = row  # later candidates are worse
+                            continue
+                        candidate = (-distance, -cand_r_l[i])
+                        if candidate > worst:  # i.e. (distance, tid) < worst
+                            heapq.heapreplace(entries, candidate)
+                    for row in set(rows_l):
+                        q = qidx_l[row]
+                        thresholds[q] = heaps[q].threshold
+            else:
+                bounds = _batch_directory_bounds(metric, sub_queries, sub_areas, node)
+                admit = bounds <= thresholds[qidx][:, None]
+                areas = node.entry_areas()
+                for j in np.flatnonzero(admit.any(axis=0)):
+                    mask = admit[:, j]
+                    child_bounds = bounds[mask, j]
+                    heapq.heappush(
+                        frontier,
+                        (float(child_bounds.min()), int(areas[j]), next(counter),
+                         node.entries[j].ref, qidx[mask], child_bounds),
+                    )
+        return [heap.results() for heap in heaps]
+
+
+def batch_range(
+    store: NodeStore,
+    root_id: PageId,
+    queries: "list[Signature]",
+    epsilon: "float | np.ndarray | list[float]",
+    metric: Metric,
+    stats: SearchStats | None = None,
+) -> list[list[Neighbor]]:
+    """Shared-frontier range search for a whole query batch.
+
+    ``epsilon`` is a scalar (one radius for the batch) or a per-query
+    sequence.  Per-query pruning matches :func:`range_search` exactly —
+    an entry is followed for exactly the queries whose bound admits it —
+    so each query's result list is identical to the sequential one; a
+    node shared by several queries' frontiers is fetched once.
+    """
+    n_queries = len(queries)
+    eps = np.asarray(epsilon, dtype=np.float64)
+    if eps.ndim == 0:
+        eps = np.full(n_queries, float(eps))
+    elif eps.shape != (n_queries,):
+        raise ValueError(
+            f"epsilon must be a scalar or one value per query; "
+            f"got shape {eps.shape} for {n_queries} queries"
+        )
+    if np.any(eps < 0):
+        raise ValueError("epsilon must be non-negative")
+    if n_queries == 0:
+        return []
+    qmatrix, qareas = _stack_queries(queries)
+    with _StatsScope(store, stats) as active:
+        results: list[list[Neighbor]] = [[] for _ in range(n_queries)]
+        stack: list[tuple[int, np.ndarray]] = [(root_id, np.arange(n_queries))]
+        while stack:
+            ref, qidx = stack.pop()
+            node = store.get(ref)
+            if not node.entries:
+                continue
+            sub_queries = qmatrix[qidx]
+            sub_areas = qareas[qidx]
+            if node.is_leaf:
+                active.leaf_entries += len(node.entries) * qidx.size
+                distances = metric.distance_matrix(
+                    sub_queries, sub_areas, node.signature_matrix()
+                )
+                rows, cols = np.nonzero(distances <= eps[qidx][:, None])
+                for row, col in zip(rows.tolist(), cols.tolist()):
+                    results[int(qidx[row])].append(
+                        Neighbor(float(distances[row, col]), node.entries[col].ref)
+                    )
+            else:
+                bounds = _batch_directory_bounds(metric, sub_queries, sub_areas, node)
+                admit = bounds <= eps[qidx][:, None]
+                for j in np.flatnonzero(admit.any(axis=0)):
+                    stack.append((node.entries[j].ref, qidx[admit[:, j]]))
+        return [sorted(result) for result in results]
 
 
 def browse(
@@ -314,7 +586,7 @@ def browse(
                 )
         else:
             bounds = _directory_bounds(metric, query, node)
-            areas = np.asarray(bitops.popcount(matrix), dtype=np.int64)
+            areas = node.entry_areas()
             for i, entry in enumerate(node.entries):
                 heapq.heappush(
                     queue,
@@ -466,7 +738,7 @@ def constrained_nearest(
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
     with _StatsScope(store, stats) as active:
-        best = _KnnHeap(k)
+        best = KnnHeap(k)
         required_words = required.words
 
         def visit(page_id: PageId) -> None:

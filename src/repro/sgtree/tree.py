@@ -264,6 +264,42 @@ class SGTree:
             algorithm=algorithm, stats=stats,
         )
 
+    def batch_nearest(
+        self,
+        queries: "list[Signature]",
+        k: int = 1,
+        metric: Metric | str | None = None,
+        stats: "_search.SearchStats | None" = None,
+    ) -> list[list["_search.Neighbor"]]:
+        """k-NN for a whole query batch in one shared-frontier traversal.
+
+        Returns one result list per query, in input order, each identical
+        to ``nearest(query, k=k)``; a node needed by several queries is
+        fetched and scored once (see :func:`repro.sgtree.search.batch_knn`).
+        ``stats`` accumulates the batch's total traffic.
+        """
+        metric = self.metric if metric is None else resolve_metric(metric)
+        return _search.batch_knn(
+            self._store, self._root_id, queries, k, metric, stats=stats
+        )
+
+    def batch_range_query(
+        self,
+        queries: "list[Signature]",
+        epsilon: "float | list[float]",
+        metric: Metric | str | None = None,
+        stats: "_search.SearchStats | None" = None,
+    ) -> list[list["_search.Neighbor"]]:
+        """Range search for a whole query batch in one shared traversal.
+
+        ``epsilon`` is one radius for the batch or a per-query sequence;
+        each result list is identical to ``range_query(query, epsilon)``.
+        """
+        metric = self.metric if metric is None else resolve_metric(metric)
+        return _search.batch_range(
+            self._store, self._root_id, queries, epsilon, metric, stats=stats
+        )
+
     def browse(
         self,
         query: Signature,

@@ -172,3 +172,57 @@ class TestGrayRank:
     def test_to_int_positional(self):
         words = bitops.pack([0, 65], 128)
         assert bitops.to_int(words) == 1 | (1 << 65)
+
+
+class TestCrossKernels:
+    """Matrix x matrix popcount kernels against set arithmetic."""
+
+    A_SETS = [{0, 1, 70}, {1, 2}, set(), {5, 64, 127}]
+    B_SETS = [{0, 1}, {2, 64}, {70}]
+
+    def _matrices(self):
+        a = np.stack([bitops.pack(s, 128) for s in self.A_SETS])
+        b = np.stack([bitops.pack(s, 128) for s in self.B_SETS])
+        return a, b
+
+    def test_cross_hamming(self):
+        a, b = self._matrices()
+        out = bitops.cross_hamming(a, b)
+        assert out.shape == (len(self.A_SETS), len(self.B_SETS))
+        assert out.dtype == np.int64
+        for i, x in enumerate(self.A_SETS):
+            for j, y in enumerate(self.B_SETS):
+                assert out[i, j] == len(x ^ y)
+
+    def test_cross_intersect_count(self):
+        a, b = self._matrices()
+        out = bitops.cross_intersect_count(a, b)
+        for i, x in enumerate(self.A_SETS):
+            for j, y in enumerate(self.B_SETS):
+                assert out[i, j] == len(x & y)
+
+    def test_cross_difference_count(self):
+        a, b = self._matrices()
+        out = bitops.cross_difference_count(a, b)
+        for i, x in enumerate(self.A_SETS):
+            for j, y in enumerate(self.B_SETS):
+                assert out[i, j] == len(x - y)
+
+    def test_cross_union_count(self):
+        a, b = self._matrices()
+        out = bitops.cross_union_count(a, b)
+        for i, x in enumerate(self.A_SETS):
+            for j, y in enumerate(self.B_SETS):
+                assert out[i, j] == len(x | y)
+
+    @given(st.lists(positions_strategy, min_size=1, max_size=6),
+           st.lists(positions_strategy, min_size=1, max_size=6))
+    @settings(max_examples=25)
+    def test_cross_rows_match_vector_kernels(self, a_sets, b_sets):
+        """Row q of every cross kernel equals the 1-vs-many kernel."""
+        a = np.stack([bitops.pack(s, 300) for s in a_sets])
+        b = np.stack([bitops.pack(s, 300) for s in b_sets])
+        cross = bitops.cross_hamming(a, b)
+        for q in range(len(a_sets)):
+            row = bitops.hamming(a[q], b)
+            assert np.array_equal(cross[q], row)

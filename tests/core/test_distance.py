@@ -137,3 +137,65 @@ class TestResolveMetric:
     def test_unknown_name(self):
         with pytest.raises(ValueError, match="unknown metric"):
             resolve_metric("euclidean")
+
+
+class TestMatrixForms:
+    """distance_matrix / lower_bound_matrix vs the 1-vs-many forms.
+
+    The batched engine relies on row ``q`` of the matrix form being
+    bit-for-bit identical (same float ops, not approximately equal) to
+    the ``*_many`` call for query ``q`` — that is what makes batched
+    search results exactly equal to sequential ones.
+    """
+
+    MATRIX_METRICS = ALL_METRICS + [HammingMetric(fixed_area=5)]
+
+    @staticmethod
+    def _stack(signatures):
+        queries = np.stack([s.words for s in signatures])
+        areas = np.asarray([s.area for s in signatures], dtype=np.int64)
+        return queries, areas
+
+    @given(st.lists(positions, min_size=1, max_size=5),
+           st.lists(positions, min_size=1, max_size=8))
+    @settings(max_examples=30)
+    def test_distance_matrix_rows_bit_identical(self, query_sets, entry_sets):
+        entry_matrix = np.stack([sig(s).words for s in entry_sets])
+        query_sigs = [sig(s) for s in query_sets]
+        queries, areas = self._stack(query_sigs)
+        for metric in self.MATRIX_METRICS:
+            out = metric.distance_matrix(queries, areas, entry_matrix)
+            assert out.shape == (len(query_sets), len(entry_sets))
+            for q, signature in enumerate(query_sigs):
+                expected = metric.distance_many(signature, entry_matrix)
+                assert np.array_equal(out[q], expected), metric.name
+
+    @given(st.lists(positions, min_size=1, max_size=5),
+           st.lists(positions, min_size=1, max_size=8))
+    @settings(max_examples=30)
+    def test_lower_bound_matrix_rows_bit_identical(self, query_sets, entry_sets):
+        entry_matrix = np.stack([sig(s).words for s in entry_sets])
+        query_sigs = [sig(s) for s in query_sets]
+        queries, areas = self._stack(query_sigs)
+        for metric in self.MATRIX_METRICS:
+            out = metric.lower_bound_matrix(queries, areas, entry_matrix)
+            for q, signature in enumerate(query_sigs):
+                expected = metric.lower_bound_many(signature, entry_matrix)
+                assert np.array_equal(out[q], expected), metric.name
+
+    @given(st.lists(positions, min_size=1, max_size=4),
+           st.lists(positions, min_size=1, max_size=6))
+    @settings(max_examples=30)
+    def test_matrix_bound_admissible(self, query_sets, entry_sets):
+        """The matrix bound never exceeds the distance to any member."""
+        union = sig(set().union(*entry_sets))
+        coverage = np.stack([union.words])
+        query_sigs = [sig(s) for s in query_sets]
+        queries, areas = self._stack(query_sigs)
+        for metric in ALL_METRICS:
+            bounds = metric.lower_bound_matrix(queries, areas, coverage)
+            for q, signature in enumerate(query_sigs):
+                for entry_set in entry_sets:
+                    assert bounds[q, 0] <= metric.distance(
+                        signature, sig(entry_set)
+                    ) + 1e-12, metric.name

@@ -259,3 +259,73 @@ class TestRangeCountCommand:
         out = capsys.readouterr().out
         assert "300 transactions within 200" in out
         assert "node accesses" in out
+
+
+class TestQueryBatch:
+    @pytest.fixture
+    def query_file(self, tmp_path):
+        path = tmp_path / "queries.jsonl"
+        status = main([
+            "generate", "quest", "--t", "8", "--i", "4", "--d", "20",
+            "--n-items", "200", "--n-patterns", "50", "--seed", "11",
+            "-o", str(path),
+        ])
+        assert status == 0
+        return path
+
+    def test_batch_knn_with_stats(self, index, query_file, capsys):
+        assert main([
+            "query", str(index), "--batch", str(query_file),
+            "--knn", "3", "--workers", "2", "--batch-size", "8", "--stats",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "20 queries in" in out
+        assert "queries/s" in out
+        assert "workers=2" in out
+        assert "node accesses" in out
+        assert "hit ratio" in out
+
+    def test_batch_range(self, index, query_file, capsys):
+        assert main([
+            "query", str(index), "--batch", str(query_file), "--range", "12",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "20 queries in" in out
+
+    def test_batch_matches_single_queries(self, index, query_file, capsys):
+        assert main([
+            "query", str(index), "--batch", str(query_file), "--knn", "1",
+        ]) == 0
+        batch_out = capsys.readouterr().out
+        transactions, _ = load_transactions(query_file)
+        first = transactions[0]
+        items = ",".join(map(str, first.items()))
+        assert main(["query", str(index), "--items", items]) == 0
+        single_out = capsys.readouterr().out
+        # tid/distance of the single query appears as query 0's hit
+        tid, distance = single_out.split()[1], single_out.split()[3]
+        assert f"query {first.tid}: 1 hits  [{tid}:{distance}]" in batch_out
+
+    def test_items_and_batch_are_exclusive(self, index, query_file):
+        with pytest.raises(SystemExit, match="exactly one"):
+            main([
+                "query", str(index), "--items", "1,2",
+                "--batch", str(query_file),
+            ])
+        with pytest.raises(SystemExit, match="exactly one"):
+            main(["query", str(index), "--knn", "2"])
+
+    def test_batch_rejects_contains(self, index, query_file):
+        with pytest.raises(SystemExit, match="--knn and --range only"):
+            main([
+                "query", str(index), "--batch", str(query_file), "--contains",
+            ])
+
+    def test_batch_rejects_mismatched_bits(self, index, tmp_path):
+        wrong = tmp_path / "wrong.jsonl"
+        assert main([
+            "generate", "quest", "--t", "5", "--i", "3", "--d", "5",
+            "--n-items", "64", "-o", str(wrong),
+        ]) == 0
+        with pytest.raises(SystemExit, match="200-bit"):
+            main(["query", str(index), "--batch", str(wrong), "--knn", "1"])
