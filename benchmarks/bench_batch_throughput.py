@@ -26,10 +26,11 @@ import time
 
 import pytest
 
-from bench_common import cached_quest, n_queries, report
+from bench_common import cached_quest, n_queries, report, telemetry_summary
 from repro.bench import build_tree
 from repro.sgtree import SearchStats
 from repro.sgtree.executor import QueryExecutor
+from repro.telemetry import MetricsRegistry, Telemetry
 
 T_SIZE, I_SIZE, D = 10, 6, 50_000
 BATCH_SIZE = 64
@@ -83,21 +84,28 @@ def run_benchmark(repeat: int = 3, k: int = K) -> dict:
     def sequential():
         return [tree.nearest(query, k=k, stats=seq_stats) for query in batch]
 
-    seq_elapsed, seq_results = _time_best_of(sequential, repeat)
-    seq_stats_once = SearchStats()
-    [tree.nearest(query, k=k, stats=seq_stats_once) for query in batch]
-
-    bat_stats = SearchStats()
-    bat_elapsed, bat_results = _time_best_of(
-        lambda: tree.batch_nearest(batch, k=k, stats=bat_stats), repeat
-    )
-    bat_stats_once = SearchStats()
-    tree.batch_nearest(batch, k=k, stats=bat_stats_once)
-
     with QueryExecutor(tree, workers=WORKERS, batch_size=BATCH_SIZE) as executor:
+        # Timed passes first, with telemetry detached, so the numbers
+        # reflect the bare engines.
+        seq_elapsed, seq_results = _time_best_of(sequential, repeat)
+        bat_stats = SearchStats()
+        bat_elapsed, bat_results = _time_best_of(
+            lambda: tree.batch_nearest(batch, k=k, stats=bat_stats), repeat
+        )
         exe_elapsed, exe_results = _time_best_of(
             lambda: executor.knn(batch, k=k), repeat
         )
+
+        # Untimed stats passes re-run each engine once with telemetry
+        # attached, so the result document also carries real latency /
+        # traffic distributions (the executor picks the attachment up
+        # per call).
+        telemetry = Telemetry(registry=MetricsRegistry())
+        tree.attach_telemetry(telemetry)
+        seq_stats_once = SearchStats()
+        [tree.nearest(query, k=k, stats=seq_stats_once) for query in batch]
+        bat_stats_once = SearchStats()
+        tree.batch_nearest(batch, k=k, stats=bat_stats_once)
         exe_stats_once = SearchStats()
         executor.knn(batch, k=k, stats=exe_stats_once)
 
@@ -126,6 +134,7 @@ def run_benchmark(repeat: int = 3, k: int = K) -> dict:
         "speedup_executor_vs_sequential":
             executor_row["qps"] / sequential_row["qps"]
             if sequential_row["qps"] else 0.0,
+        "telemetry": telemetry_summary(telemetry),
     }
 
 
@@ -137,10 +146,17 @@ def _summarise(doc: dict) -> str:
     ]
     for key in ("sequential", "batched", "executor"):
         row = doc[key]
+        ratio = row["buffer_hit_ratio"]
         lines.append(
             f"  {row['label']:<10} {row['qps']:>10.0f} q/s   "
             f"{row['node_accesses_per_query']:>7.2f} node accesses/query   "
-            f"hit ratio {row['buffer_hit_ratio']:.2f}"
+            f"hit ratio {'n/a' if ratio is None else format(ratio, '.2f')}"
+        )
+    latency = doc["telemetry"]["metrics"].get("sgtree_query_seconds", {})
+    for kind, digest in sorted(latency.items()):
+        lines.append(
+            f"  {kind:<10} latency p50 {digest['p50'] * 1e3:.2f}ms  "
+            f"p95 {digest['p95'] * 1e3:.2f}ms  ({digest['count']} queries)"
         )
     lines.append(
         f"  speedup: batched {doc['speedup_batched_vs_sequential']:.1f}x, "

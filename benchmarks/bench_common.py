@@ -70,3 +70,41 @@ def report(name: str, text: str) -> None:
     print(text)
     OUT_DIR.mkdir(exist_ok=True)
     (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def telemetry_summary(telemetry) -> dict:
+    """A compact, JSON-able digest of a benchmark run's telemetry.
+
+    Collapses the full registry snapshot to the handful of series a
+    benchmark report cares about — query counts and latency quantiles
+    per kind, plus executor shard timings — so result documents stay
+    reviewable while still carrying real measured distributions.
+    """
+    snapshot = telemetry.snapshot()
+    out: dict = {"metrics": {}}
+    for name in (
+        "sgtree_queries_total",
+        "sgtree_query_seconds",
+        "sgtree_query_node_accesses",
+        "sgtree_executor_shards_total",
+        "sgtree_executor_queue_wait_seconds",
+        "sgtree_executor_shard_seconds",
+    ):
+        family = snapshot.get(name)
+        if not family or not family["series"]:
+            continue
+        series: dict = {}
+        for key, value in family["series"].items():
+            if isinstance(value, dict):  # histogram: keep the digest only
+                series[key] = {
+                    "count": value["count"],
+                    "sum": value["sum"],
+                    "p50": value["p50"],
+                    "p95": value["p95"],
+                    "p99": value["p99"],
+                }
+            else:
+                series[key] = value
+        out["metrics"][name] = series
+    out["events"] = dict(telemetry.events.counts)
+    return out

@@ -1,0 +1,161 @@
+"""Telemetry overhead gate: disabled instrumentation must be free.
+
+Measures batched k-NN three ways on the same warm tree:
+
+* **raw** — calling the traversal in :mod:`repro.sgtree.search`
+  directly, bypassing the tree's query wrapper entirely (the exact hot
+  path of the pre-telemetry code);
+* **disabled** — ``tree.batch_nearest`` with no telemetry attached,
+  which pays the wrapper's single ``telemetry is None`` check;
+* **enabled** — the same call with a live registry attached, which adds
+  one counter increment and two histogram observations per call
+  (informational: per-*batch* cost, amortised over the whole shard).
+
+Acceptance gate (CI ``observability-smoke``): the disabled path must be
+within ``--max-overhead`` percent (default 5) of raw.  Interleaved
+best-of-``--repeat`` timing keeps the comparison honest on noisy
+machines.
+
+Runnable standalone (``python benchmarks/bench_telemetry_overhead.py``)
+or through pytest, like every other bench module.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import time
+
+import pytest
+
+from bench_common import cached_quest, n_queries, report
+from repro.bench import build_tree
+from repro.sgtree import search as _search
+from repro.telemetry import MetricsRegistry, Telemetry
+
+T_SIZE, I_SIZE, D = 10, 6, 50_000
+BATCH_SIZE = 64
+K = 10
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_telemetry_overhead.json"
+
+
+def _interleaved_best(contenders: dict, rounds: int) -> dict:
+    """Best wall time per contender, alternating between them each round
+    so drift (thermal, buffer state) hits everyone equally."""
+    best = {name: float("inf") for name in contenders}
+    for _ in range(rounds):
+        for name, fn in contenders.items():
+            start = time.perf_counter()
+            fn()
+            best[name] = min(best[name], time.perf_counter() - start)
+    return best
+
+
+def run_benchmark(rounds: int = 5, k: int = K) -> dict:
+    queries = max(BATCH_SIZE, n_queries(BATCH_SIZE))
+    workload = cached_quest(T_SIZE, I_SIZE, D, queries)
+    tree = build_tree(workload).index
+    batch = workload.queries[:queries]
+    store, root_id, metric = tree.store, tree.root_id, tree.metric
+
+    # Warm the buffer so every contender sees the same cache state.
+    tree.batch_nearest(batch, k=k)
+
+    def raw():
+        return _search.batch_knn(store, root_id, batch, k=k, metric=metric)
+
+    def disabled():
+        return tree.batch_nearest(batch, k=k)
+
+    telemetry = Telemetry(registry=MetricsRegistry())
+
+    def enabled():
+        tree.attach_telemetry(telemetry)
+        try:
+            return tree.batch_nearest(batch, k=k)
+        finally:
+            tree.telemetry = None
+            store.telemetry = None
+
+    assert raw() == disabled() == enabled()
+    best = _interleaved_best(
+        {"raw": raw, "disabled": disabled, "enabled": enabled}, rounds
+    )
+    overhead = {
+        name: (best[name] / best["raw"] - 1.0) * 100.0
+        for name in ("disabled", "enabled")
+    }
+    return {
+        "benchmark": "telemetry_overhead",
+        "workload": workload.name,
+        "n_queries": len(batch),
+        "k": k,
+        "rounds": rounds,
+        "best_seconds": best,
+        "overhead_percent": overhead,
+    }
+
+
+def _summarise(doc: dict) -> str:
+    best = doc["best_seconds"]
+    overhead = doc["overhead_percent"]
+    lines = [
+        f"Telemetry overhead, batched k-NN ({doc['workload']}, "
+        f"{doc['n_queries']} queries, k={doc['k']})",
+        f"  raw       {best['raw'] * 1e3:8.2f} ms",
+        f"  disabled  {best['disabled'] * 1e3:8.2f} ms  "
+        f"({overhead['disabled']:+.1f}%)",
+        f"  enabled   {best['enabled'] * 1e3:8.2f} ms  "
+        f"({overhead['enabled']:+.1f}%)",
+    ]
+    return "\n".join(lines)
+
+
+@pytest.fixture(scope="module")
+def results():
+    doc = run_benchmark()
+    DEFAULT_OUT.write_text(json.dumps(doc, indent=2) + "\n")
+    report("telemetry_overhead", _summarise(doc))
+    return doc
+
+
+class TestTelemetryOverhead:
+    def test_disabled_overhead_small(self, results):
+        # generous in-suite bound; CI enforces the tight one on a quiet
+        # run with --max-overhead
+        assert results["overhead_percent"]["disabled"] < 25.0
+
+    def test_document_shape(self, results):
+        assert set(results["best_seconds"]) == {"raw", "disabled", "enabled"}
+        assert all(v > 0 for v in results["best_seconds"].values())
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("-o", "--output", type=pathlib.Path, default=DEFAULT_OUT)
+    parser.add_argument("--rounds", type=int, default=5)
+    parser.add_argument("-k", type=int, default=K)
+    parser.add_argument("--max-overhead", type=float, default=5.0,
+                        help="fail when the telemetry-disabled path is more "
+                             "than this percent slower than raw")
+    args = parser.parse_args(argv)
+    doc = run_benchmark(rounds=args.rounds, k=args.k)
+    args.output.write_text(json.dumps(doc, indent=2) + "\n")
+    print(_summarise(doc))
+    print(f"wrote {args.output}")
+    if doc["overhead_percent"]["disabled"] > args.max_overhead:
+        print(
+            f"FAIL: telemetry-disabled overhead "
+            f"{doc['overhead_percent']['disabled']:.1f}% exceeds the "
+            f"{args.max_overhead:g}% gate"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -56,6 +56,7 @@ from .errors import (
     StorageError,
 )
 from .sgtable import SGTable
+from .telemetry import EventLog, MetricsRegistry, Telemetry
 from .sgtree import (
     Cluster,
     ConcurrentSGTree,
@@ -131,6 +132,10 @@ __all__ = [
     "QueryExecutor",
     "batch_knn",
     "batch_range",
+    # telemetry
+    "Telemetry",
+    "MetricsRegistry",
+    "EventLog",
     # integrity / errors
     "ScrubIssue",
     "ScrubReport",

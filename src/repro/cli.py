@@ -10,6 +10,11 @@ Subcommands::
     recover    replay a write-ahead log and report the recovered state
     scrub      verify every page checksum and tree invariant
     info       print an index's structural report
+    stats      export telemetry metrics (Prometheus text or JSON)
+
+``query --explain`` prints a per-node EXPLAIN trace of a single query —
+which directory entries were pruned versus descended and at what bound —
+and ``--trace-out FILE`` saves the same trace as JSON lines.
 
 Exit codes: ``recover`` and ``scrub`` return 0 on success/clean, 1 when
 ``scrub`` finds integrity issues, and 2 when the index or log cannot be
@@ -110,6 +115,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="use the best-first k-NN algorithm")
     query.add_argument("--stats", action="store_true",
                        help="print node accesses / I/Os / data fraction")
+    query.add_argument("--explain", action="store_true",
+                       help="print the per-node EXPLAIN trace (single-query "
+                            "--knn/--range/--contains; depth-first engine)")
+    query.add_argument("--trace-out", metavar="FILE",
+                       help="also write the trace as JSON lines to FILE "
+                            "(implies --explain)")
 
     join = commands.add_parser("join", help="similarity-join two indexes")
     join.add_argument("index_a")
@@ -151,6 +162,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     info = commands.add_parser("info", help="print an index report")
     info.add_argument("index")
+
+    stats = commands.add_parser(
+        "stats", help="export an index's telemetry metrics"
+    )
+    stats.add_argument("index", help="index path from `build`")
+    stats.add_argument("--format", dest="fmt", default="prom",
+                       choices=["prom", "json"],
+                       help="Prometheus text exposition or a JSON snapshot")
+    stats.add_argument("--probe", type=int, default=0, metavar="N",
+                       help="run N sampled self-queries first so latency "
+                            "and access histograms are populated")
+    stats.add_argument("--watch", type=float, default=None, metavar="SECS",
+                       help="re-render every SECS seconds until interrupted")
+    stats.add_argument("--seed", type=int, default=0,
+                       help="sampling seed for --probe")
 
     return parser
 
@@ -265,8 +291,54 @@ def _run_batch_query(tree: SGTree, args: argparse.Namespace) -> int:
             f"stats: {stats.node_accesses} node accesses "
             f"({stats.node_accesses / len(queries):.1f}/query), "
             f"{stats.random_ios} random I/Os, "
-            f"buffer hit ratio {stats.hit_ratio:.2f}"
+            f"buffer hit ratio {_format_ratio(stats.hit_ratio)}"
         )
+    return 0
+
+
+def _format_ratio(ratio: "float | None") -> str:
+    """Render a hit ratio, honest about the idle case (no accesses yet)."""
+    return "n/a" if ratio is None else f"{ratio:.2f}"
+
+
+def _run_explain(tree: SGTree, query: Signature, args: argparse.Namespace) -> int:
+    if args.count_epsilon is not None:
+        raise SystemExit("--explain supports --knn, --range and --contains only")
+    if args.best_first:
+        raise SystemExit("--explain traces the depth-first k-NN engine only")
+    if args.contains:
+        kind = "containment"
+    elif args.epsilon is not None:
+        kind = "range"
+    else:
+        kind = "knn"
+    report = tree.explain(
+        query,
+        k=args.knn if args.knn is not None else 1,
+        epsilon=args.epsilon,
+        kind=kind,
+        metric=args.metric,
+    )
+    print(report.render())
+    if args.trace_out:
+        with open(args.trace_out, "w", encoding="utf-8") as handle:
+            handle.write(report.to_jsonl())
+        print(f"trace written to {args.trace_out} ({len(report.tracer.spans)} spans)")
+    if args.stats:
+        stats = report.stats
+        print(
+            f"stats: {stats.node_accesses} node accesses, "
+            f"{stats.random_ios} random I/Os, "
+            f"{stats.data_fraction(len(tree)):.2f}% of data compared"
+        )
+    if not report.tracer.reconciles(report.stats):
+        print(
+            "explain: trace does not reconcile with search stats "
+            f"({len(report.tracer.spans)} spans vs "
+            f"{report.stats.node_accesses} node accesses)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -279,6 +351,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
             return _run_batch_query(tree, args)
         items = _parse_items(args.items)
         query = Signature.from_items(items, tree.n_bits)
+        if args.explain or args.trace_out:
+            return _run_explain(tree, query, args)
         stats = SearchStats()
         if args.contains:
             tids = tree.containment_query(query, stats=stats)
@@ -415,6 +489,36 @@ def _cmd_scrub(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import json
+
+    from .telemetry import MetricsRegistry, Telemetry
+
+    tree = load_tree(args.index)
+    telemetry = Telemetry(registry=MetricsRegistry())
+    tree.attach_telemetry(telemetry)
+    try:
+        if args.probe:
+            for _tid, signature in tree.sample(args.probe, seed=args.seed):
+                tree.nearest(signature, k=1)
+        while True:
+            if args.fmt == "json":
+                text = json.dumps(telemetry.snapshot(), indent=2, sort_keys=True)
+            else:
+                text = telemetry.render_prometheus().rstrip("\n")
+            print(text)
+            if args.watch is None:
+                return 0
+            sys.stdout.flush()
+            try:
+                time.sleep(args.watch)
+            except KeyboardInterrupt:
+                return 0
+            print()  # blank line between successive renders
+    finally:
+        tree.store.pager.close()
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "build": _cmd_build,
@@ -424,6 +528,7 @@ _COMMANDS = {
     "recover": _cmd_recover,
     "scrub": _cmd_scrub,
     "info": _cmd_info,
+    "stats": _cmd_stats,
 }
 
 

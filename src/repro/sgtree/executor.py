@@ -18,6 +18,7 @@ what the throughput benchmark reports as *node accesses per query*.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Sequence
 
@@ -101,6 +102,7 @@ class QueryExecutor:
             lambda shard, _start, shard_stats: self._tree.batch_nearest(
                 shard, k=k, metric=metric, stats=shard_stats
             ),
+            engine="knn",
         )
 
     def range_query(
@@ -128,6 +130,7 @@ class QueryExecutor:
             lambda shard, start, shard_stats: self._tree.batch_range_query(
                 shard, per_shard(start, len(shard)), metric=metric, stats=shard_stats
             ),
+            engine="range",
         )
 
     def close(self) -> None:
@@ -148,6 +151,7 @@ class QueryExecutor:
         queries: list[Signature],
         stats: SearchStats | None,
         fn: Callable[[list[Signature], int, SearchStats], list[list[Neighbor]]],
+        engine: str = "knn",
     ) -> list[list[Neighbor]]:
         if not queries:
             return []
@@ -157,6 +161,27 @@ class QueryExecutor:
         ]
         shard_stats = [SearchStats() for _ in shards]
         store = self._tree.tree.store
+        telemetry = store.telemetry
+        if telemetry is not None:
+            # Per-shard queue wait (submit -> a worker picks it up) and
+            # shard service time, labelled by engine; the histograms
+            # surface scheduling pressure a whole-batch latency hides.
+            inner = fn
+            submitted = time.perf_counter()
+
+            def fn(shard, start, shard_stat):
+                begun = time.perf_counter()
+                output = inner(shard, start, shard_stat)
+                done = time.perf_counter()
+                telemetry.executor_shards_total.labels(engine=engine).inc()
+                telemetry.executor_queue_wait_seconds.labels(
+                    engine=engine
+                ).observe(begun - submitted)
+                telemetry.executor_shard_seconds.labels(
+                    engine=engine
+                ).observe(done - begun)
+                return output
+
         before = store.counters.snapshot()
         if self._pool is None or len(shards) == 1:
             outputs = [
@@ -173,7 +198,11 @@ class QueryExecutor:
             # Store counters are shared between shards, so per-shard
             # access deltas overlap under concurrency; the whole-run
             # delta is the exact batch total (leaf comparisons are
-            # counted locally per shard and summed instead).
+            # counted locally per shard and summed instead).  Deriving
+            # ratios from these summed counters — never averaging
+            # per-shard ratios — is what keeps the aggregate hit ratio
+            # NaN-safe when some shards are idle (see
+            # :meth:`SearchStats.aggregate`).
             after = store.counters
             stats.node_accesses += after.node_accesses - before.node_accesses
             stats.random_ios += after.random_ios - before.random_ios

@@ -28,6 +28,7 @@ I/Os, which the counters charge accordingly.
 from __future__ import annotations
 
 import logging
+import os
 import struct
 import weakref
 from dataclasses import dataclass, field
@@ -241,6 +242,28 @@ class StoreCounters:
     def snapshot(self) -> "StoreCounters":
         return StoreCounters(self.node_accesses, self.random_ios, self.node_writes)
 
+    def register_metrics(self, registry, **labels: str) -> None:
+        """Expose these counters through a metrics registry (pull model).
+
+        The hot path keeps bumping plain ints; the registry reads them
+        via callbacks only at scrape time, so instrumenting the store
+        costs nothing per node access.
+        """
+        labelnames = tuple(sorted(labels))
+        for name, help_text, attr in (
+            ("sgtree_node_accesses_total",
+             "Node fetches through the store (the paper's node accesses)",
+             "node_accesses"),
+            ("sgtree_random_ios_total",
+             "Node fetches that missed the buffer (random I/Os)",
+             "random_ios"),
+            ("sgtree_node_writes_total",
+             "Nodes serialised back to their page", "node_writes"),
+        ):
+            registry.counter(name, help_text, labelnames).labels(
+                **labels
+            ).set_function(lambda attr=attr: getattr(self, attr))
+
 
 _POLICIES = {"lru": LRUPolicy, "fifo": FIFOPolicy, "clock": ClockPolicy}
 
@@ -329,6 +352,45 @@ class NodeStore:
         self.quarantined: set[PageId] = set()
         # populated by repro.sgtree.persistence.recover_tree
         self.last_recovery: RecoveryReport | None = None
+        # optional repro.telemetry.Telemetry; None is the fast path —
+        # every hook below is a single `is not None` check when disabled
+        self.telemetry = None
+
+    def attach_telemetry(self, telemetry, name: str = "default") -> None:
+        """Wire this store into a telemetry bundle.
+
+        Registers pull-model collectors for the store counters, the
+        pager's I/O stats and (when present) the write-ahead log's
+        stats, all labelled ``store=name``; structural events
+        (page rescues/quarantines, WAL commits/checkpoints) are emitted
+        through ``telemetry.events`` from then on.
+        """
+        self.telemetry = telemetry
+        registry = telemetry.registry
+        self.counters.register_metrics(registry, store=name)
+        labelnames = ("store",)
+        labels = {"store": name}
+        registry.gauge(
+            "sgtree_pages_rescued",
+            "Pages restored from their committed WAL image", labelnames,
+        ).labels(**labels).set_function(lambda: len(self.rescued))
+        registry.gauge(
+            "sgtree_pages_quarantined",
+            "Pages that failed verification with no rescue image", labelnames,
+        ).labels(**labels).set_function(lambda: len(self.quarantined))
+        registry.gauge(
+            "sgtree_buffer_resident_pages",
+            "Nodes currently resident in the buffer", labelnames,
+        ).labels(**labels).set_function(lambda: len(self._resident))
+        stats = getattr(self._pager, "stats", None)
+        if stats is not None and hasattr(stats, "register_metrics"):
+            stats.register_metrics(registry, store=name)
+        if self.wal is not None:
+            self.wal.stats.register_metrics(registry, store=name)
+
+    def _emit(self, event_type: str, **fields: object) -> None:
+        if self.telemetry is not None:
+            self.telemetry.emit(event_type, **fields)
 
     @property
     def pager(self) -> Pager:
@@ -443,6 +505,8 @@ class NodeStore:
         if self.wal is None:
             self.flush()
             return
+        records_before = self.wal.stats.records
+        bytes_before = self.wal.stats.bytes_written
         self.flush()
         for page_id in sorted(self._uncommitted):
             try:
@@ -457,6 +521,11 @@ class NodeStore:
         self.wal.append_commit()
         self._uncommitted.clear()
         self._freed_log.clear()
+        self._emit(
+            "wal_commit",
+            records=self.wal.stats.records - records_before,
+            bytes_written=self.wal.stats.bytes_written - bytes_before,
+        )
 
     def checkpoint(self, meta: dict | None = None) -> None:
         """Commit, then truncate the log (the page file is the state).
@@ -466,8 +535,23 @@ class NodeStore:
         durable copy of every committed page at all times.
         """
         self.commit(meta)
-        if self.wal is not None:
+        if self.wal is None:
+            return
+        if self.telemetry is None:
             self.wal.checkpoint(self._pager)
+            return
+        size_before = self._wal_size()
+        self.wal.checkpoint(self._pager)
+        self._emit(
+            "wal_checkpoint",
+            bytes_dropped=max(0, size_before - self._wal_size()),
+        )
+
+    def _wal_size(self) -> int:
+        try:
+            return os.path.getsize(self.wal.path)
+        except (OSError, AttributeError, TypeError):
+            return 0
 
     def default_capacity(self) -> int:
         """Node fan-out derived from the page size (Section 3: node = page)."""
@@ -544,6 +628,7 @@ class NodeStore:
                 )
             if bad in tried or not self._rescue_page(bad):
                 self.quarantined.add(bad)
+                self._emit("page_quarantined", page_id=bad, reason=str(failure))
                 raise failure
             tried.add(bad)
 
@@ -577,6 +662,7 @@ class NodeStore:
             "page %d failed verification; restored from its committed "
             "WAL image", page_id,
         )
+        self._emit("page_rescued", page_id=page_id)
         return True
 
     def _write_node(self, node: Node) -> None:

@@ -173,6 +173,16 @@ def scrub_store(
         )
     report.pages_rescued = len(store.rescued)
     report.pages_quarantined = len(store.quarantined)
+    telemetry = getattr(store, "telemetry", None)
+    if telemetry is not None:
+        for issue in report.issues:
+            telemetry.emit(
+                "scrub_finding",
+                page_id=issue.page_id,
+                severity="data_loss" if issue.lost_count else "integrity",
+                kind=issue.kind,
+                detail=issue.detail,
+            )
     return report
 
 

@@ -82,10 +82,17 @@ class SearchStats:
         return self.node_accesses - self.random_ios
 
     @property
-    def hit_ratio(self) -> float:
-        """Buffer hit ratio over the node accesses (1.0 = fully cached)."""
+    def hit_ratio(self) -> "float | None":
+        """Buffer hit ratio over the node accesses (1.0 = fully cached).
+
+        ``None`` when no node was accessed — an idle shard has no hit
+        ratio, and reporting ``0.0`` would wrongly drag down any caller
+        averaging ratios across shards.  Aggregate with
+        :meth:`aggregate` (ratio of summed counters), never by averaging
+        per-shard ratios.
+        """
         if not self.node_accesses:
-            return 0.0
+            return None
         return self.buffer_hits / self.node_accesses
 
     def merge(self, other: "SearchStats") -> None:
@@ -93,6 +100,22 @@ class SearchStats:
         self.node_accesses += other.node_accesses
         self.random_ios += other.random_ios
         self.leaf_entries += other.leaf_entries
+
+    @classmethod
+    def aggregate(cls, shards: "list[SearchStats | None]") -> "SearchStats":
+        """NaN-safe ratio-of-sums aggregation over per-shard stats.
+
+        Counters are summed before any ratio is derived, so the
+        aggregate ``hit_ratio`` is the traffic-weighted ratio: a shard
+        that accessed nothing (``hit_ratio is None``) contributes
+        nothing, instead of pulling a naive mean of ratios toward zero.
+        ``None`` entries (shards that never ran) are skipped.
+        """
+        total = cls()
+        for shard in shards:
+            if shard is not None:
+                total.merge(shard)
+        return total
 
     def data_fraction(self, database_size: int) -> float:
         """The paper's "% of data processed" for a database of given size."""
@@ -102,22 +125,36 @@ class SearchStats:
 
 
 class _StatsScope:
-    """Capture store-counter deltas into a :class:`SearchStats`."""
+    """Capture one traversal's traffic into a :class:`SearchStats`.
+
+    The scope accumulates leaf-sweep counts on itself
+    (``scope.leaf_entries``) and flushes them together with the
+    store-counter deltas in ``__exit__`` — which runs whether the
+    traversal returns or raises, so a search aborted mid-traversal still
+    accounts exactly the node accesses and random I/Os it generated.
+    The exception, if any, is never swallowed.
+    """
+
+    __slots__ = ("_store", "_stats", "_before", "leaf_entries")
 
     def __init__(self, store: NodeStore, stats: SearchStats | None):
         self._store = store
         self._stats = stats
         self._before = None
+        self.leaf_entries = 0
 
-    def __enter__(self) -> SearchStats:
-        self._active = self._stats if self._stats is not None else SearchStats()
+    def __enter__(self) -> "_StatsScope":
         self._before = self._store.counters.snapshot()
-        return self._active
+        return self
 
-    def __exit__(self, *exc_info: object) -> None:
-        after = self._store.counters
-        self._active.node_accesses += after.node_accesses - self._before.node_accesses
-        self._active.random_ios += after.random_ios - self._before.random_ios
+    def __exit__(self, *exc_info: object) -> bool:
+        stats = self._stats
+        if stats is not None:
+            after = self._store.counters
+            stats.node_accesses += after.node_accesses - self._before.node_accesses
+            stats.random_ios += after.random_ios - self._before.random_ios
+            stats.leaf_entries += self.leaf_entries
+        return False
 
 
 def strengthen_hamming_bounds(
@@ -295,13 +332,23 @@ def knn_depth_first(
     k: int,
     metric: Metric,
     stats: SearchStats | None = None,
+    tracer=None,
 ) -> list[Neighbor]:
-    """Figure 4: depth-first branch-and-bound k-NN."""
+    """Figure 4: depth-first branch-and-bound k-NN.
+
+    With a :class:`~repro.telemetry.tracing.Tracer`, every node access
+    becomes a visit span recording each entry's lower bound and the
+    pruned/descended decision at the threshold in force at that moment;
+    results are identical either way (the tracer only observes).
+    """
     with _StatsScope(store, stats) as active:
         best = KnnHeap(k)
 
-        def visit(page_id: PageId) -> None:
-            node = store.get(page_id)
+        def visit(page_id: PageId, parent=None) -> None:
+            if tracer is None:
+                span, node = None, store.get(page_id)
+            else:
+                span, node = tracer.visit(store, page_id, parent, best.threshold)
             matrix = node.signature_matrix() if node.entries else None
             if matrix is None:
                 return
@@ -309,12 +356,34 @@ def knn_depth_first(
                 active.leaf_entries += len(node.entries)
                 distances = metric.distance_many(query, matrix)
                 best.offer_many(distances, [e.ref for e in node.entries])
+                if span is not None:
+                    threshold = best.threshold
+                    tracer.leaf(
+                        span, len(node.entries),
+                        int((distances <= threshold).sum()),
+                    )
+                    tracer.finish(span, threshold)
             else:
                 bounds, order = _entry_order(metric, query, node)
-                for i in order:
-                    if bounds[i] > best.threshold:
-                        break  # no later entry in the order can do better
-                    visit(node.entries[i].ref)
+                if span is None:
+                    for i in order:
+                        if bounds[i] > best.threshold:
+                            break  # no later entry in the order can do better
+                        visit(node.entries[i].ref)
+                else:
+                    pruning = False
+                    for i in order:
+                        threshold = best.threshold
+                        if not pruning and bounds[i] > threshold:
+                            pruning = True  # every later entry is worse
+                        if pruning:
+                            tracer.decide(span, node.entries[i].ref,
+                                          bounds[i], "pruned", threshold)
+                        else:
+                            tracer.decide(span, node.entries[i].ref,
+                                          bounds[i], "descended", threshold)
+                            visit(node.entries[i].ref, span)
+                    tracer.finish(span, best.threshold)
 
         visit(root_id)
         return best.results()
@@ -843,31 +912,52 @@ def range_search(
     epsilon: float,
     metric: Metric,
     stats: SearchStats | None = None,
+    tracer=None,
 ) -> list[Neighbor]:
     """All transactions within distance ``epsilon`` of the query.
 
     Directory entries with ``lower_bound > epsilon`` are pruned, "filtering
-    out large parts of the data early".
+    out large parts of the data early".  An optional tracer records a
+    visit span per node access (the radius is the fixed threshold).
     """
     if epsilon < 0:
         raise ValueError(f"epsilon must be non-negative, got {epsilon}")
     with _StatsScope(store, stats) as active:
         results: list[Neighbor] = []
-        stack = [root_id]
+        stack = [(root_id, None)]
         while stack:
-            node = store.get(stack.pop())
+            page_id, parent = stack.pop()
+            if tracer is None:
+                span, node = None, store.get(page_id)
+            else:
+                span, node = tracer.visit(store, page_id, parent, epsilon)
             if not node.entries:
                 continue
             matrix = node.signature_matrix()
             if node.is_leaf:
                 active.leaf_entries += len(node.entries)
                 distances = metric.distance_many(query, matrix)
-                for i in np.flatnonzero(distances <= epsilon):
+                hits = np.flatnonzero(distances <= epsilon)
+                for i in hits:
                     results.append(Neighbor(float(distances[i]), node.entries[i].ref))
+                if span is not None:
+                    tracer.leaf(span, len(node.entries), len(hits))
+                    tracer.finish(span, epsilon)
             else:
                 bounds = _directory_bounds(metric, query, node)
-                for i in np.flatnonzero(bounds <= epsilon):
-                    stack.append(node.entries[i].ref)
+                if span is None:
+                    for i in np.flatnonzero(bounds <= epsilon):
+                        stack.append((node.entries[i].ref, None))
+                else:
+                    for i, entry in enumerate(node.entries):
+                        if bounds[i] <= epsilon:
+                            tracer.decide(span, entry.ref, bounds[i],
+                                          "descended", epsilon)
+                            stack.append((entry.ref, span))
+                        else:
+                            tracer.decide(span, entry.ref, bounds[i],
+                                          "pruned", epsilon)
+                    tracer.finish(span, epsilon)
         return sorted(results)
 
 
@@ -876,29 +966,51 @@ def containment_search(
     root_id: PageId,
     query: Signature,
     stats: SearchStats | None = None,
+    tracer=None,
 ) -> list[int]:
     """Transactions containing every item of ``query`` (Section 3).
 
     Follows exactly the entries whose signature contains the query
     signature: "if the signature of an entry does not contain sig(q), no
     transaction indexed in the subtree below it can participate in the
-    result".
+    result".  Trace spans encode coverage as a 0/1 bound against a fixed
+    threshold of 0: covered entries (bound 0) are descended, uncovered
+    ones (bound 1) pruned.
     """
     with _StatsScope(store, stats) as active:
         results: list[int] = []
-        stack = [root_id]
+        stack = [(root_id, None)]
         query_words = query.words
         while stack:
-            node = store.get(stack.pop())
+            page_id, parent = stack.pop()
+            if tracer is None:
+                span, node = None, store.get(page_id)
+            else:
+                span, node = tracer.visit(store, page_id, parent, 0.0)
             if not node.entries:
                 continue
             matrix = node.signature_matrix()
             covered = np.atleast_1d(bitops.contains(matrix, query_words))
             if node.is_leaf:
                 active.leaf_entries += len(node.entries)
-                results.extend(node.entries[i].ref for i in np.flatnonzero(covered))
+                hits = np.flatnonzero(covered)
+                results.extend(node.entries[i].ref for i in hits)
+                if span is not None:
+                    tracer.leaf(span, len(node.entries), len(hits))
+                    tracer.finish(span, 0.0)
             else:
-                stack.extend(node.entries[i].ref for i in np.flatnonzero(covered))
+                if span is None:
+                    stack.extend(
+                        (node.entries[i].ref, None) for i in np.flatnonzero(covered)
+                    )
+                else:
+                    for i, entry in enumerate(node.entries):
+                        if covered[i]:
+                            tracer.decide(span, entry.ref, 0.0, "descended", 0.0)
+                            stack.append((entry.ref, span))
+                        else:
+                            tracer.decide(span, entry.ref, 1.0, "pruned", 0.0)
+                    tracer.finish(span, 0.0)
         return sorted(results)
 
 

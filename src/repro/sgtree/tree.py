@@ -21,7 +21,8 @@ Example
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Iterator
+import time
+from collections.abc import Callable, Iterable, Iterator
 
 from ..core.distance import HAMMING, Metric, resolve_metric
 from ..core.signature import Signature
@@ -76,6 +77,7 @@ class SGTree:
         buffer_policy: str = "lru",
         mode: str = "sim",
         compress: bool = False,
+        telemetry=None,
     ):
         if n_bits <= 0:
             raise ValueError(f"n_bits must be positive, got {n_bits}")
@@ -110,10 +112,13 @@ class SGTree:
         self.split_policy = split_policy
         self.choose_policy = choose_policy
         self.metric = resolve_metric(metric)
+        self.telemetry = None
         root = self._store.create_node(level=0)
         self._root_id: PageId = root.page_id
         self._height = 1
         self._size = 0
+        if telemetry is not None:
+            self.attach_telemetry(telemetry)
 
     @classmethod
     def _attach(
@@ -138,10 +143,61 @@ class SGTree:
         tree.split_policy = split_policy
         tree.choose_policy = choose_policy
         tree.metric = resolve_metric(metric)
+        tree.telemetry = getattr(store, "telemetry", None)
         tree._root_id = root_id
         tree._height = height
         tree._size = size
         return tree
+
+    def attach_telemetry(self, telemetry, name: str = "default") -> "SGTree":
+        """Wire the tree (and its store) into a telemetry bundle.
+
+        Pull collectors (height, size, node count, store/pager/WAL
+        counters) are registered labelled ``store=name``/``tree=name``;
+        push instruments (query latency histograms, split counters,
+        structural events) activate from then on.  With no telemetry
+        attached every hook is a single ``is not None`` check — the
+        null-sink fast path.
+        """
+        self.telemetry = telemetry
+        self._store.attach_telemetry(telemetry, name=name)
+        registry = telemetry.registry
+        labelnames = ("tree",)
+        labels = {"tree": name}
+        registry.gauge(
+            "sgtree_height", "Tree levels (1 = the root is a leaf)", labelnames
+        ).labels(**labels).set_function(lambda: self._height)
+        registry.gauge(
+            "sgtree_transactions", "Indexed transactions", labelnames
+        ).labels(**labels).set_function(lambda: self._size)
+        registry.gauge(
+            "sgtree_nodes", "Pages in the node store", labelnames
+        ).labels(**labels).set_function(lambda: len(self._store))
+        registry.gauge(
+            "sgtree_max_entries", "Node fan-out M", labelnames
+        ).labels(**labels).set_function(lambda: self.max_entries)
+        return self
+
+    def _timed(self, kind: str, stats, fn: "Callable"):
+        """Run one query, pushing latency + traffic when telemetry is on.
+
+        The disabled path adds a single ``None`` check per *query* (not
+        per node) on top of the closure call — unmeasurable next to the
+        traversal itself.
+        """
+        telemetry = self.telemetry
+        if telemetry is None:
+            return fn(stats)
+        active = stats if stats is not None else _search.SearchStats()
+        accesses_before = active.node_accesses
+        start = time.perf_counter()
+        result = fn(active)
+        telemetry.observe_query(
+            kind,
+            time.perf_counter() - start,
+            active.node_accesses - accesses_before,
+        )
+        return result
 
     # -- basic accessors ---------------------------------------------------
 
@@ -259,10 +315,10 @@ class SGTree:
     ) -> list["_search.Neighbor"]:
         """The ``k`` nearest transactions to ``query`` (Section 4.1)."""
         metric = self.metric if metric is None else resolve_metric(metric)
-        return _search.knn(
+        return self._timed("knn", stats, lambda s: _search.knn(
             self._store, self._root_id, query, k, metric,
-            algorithm=algorithm, stats=stats,
-        )
+            algorithm=algorithm, stats=s,
+        ))
 
     def batch_nearest(
         self,
@@ -279,9 +335,9 @@ class SGTree:
         ``stats`` accumulates the batch's total traffic.
         """
         metric = self.metric if metric is None else resolve_metric(metric)
-        return _search.batch_knn(
-            self._store, self._root_id, queries, k, metric, stats=stats
-        )
+        return self._timed("batch_knn", stats, lambda s: _search.batch_knn(
+            self._store, self._root_id, queries, k, metric, stats=s
+        ))
 
     def batch_range_query(
         self,
@@ -296,9 +352,9 @@ class SGTree:
         each result list is identical to ``range_query(query, epsilon)``.
         """
         metric = self.metric if metric is None else resolve_metric(metric)
-        return _search.batch_range(
-            self._store, self._root_id, queries, epsilon, metric, stats=stats
-        )
+        return self._timed("batch_range", stats, lambda s: _search.batch_range(
+            self._store, self._root_id, queries, epsilon, metric, stats=s
+        ))
 
     def browse(
         self,
@@ -320,7 +376,9 @@ class SGTree:
     ) -> list["_search.Neighbor"]:
         """All transactions tied at the minimum distance from ``query``."""
         metric = self.metric if metric is None else resolve_metric(metric)
-        return _search.nearest_all(self._store, self._root_id, query, metric, stats=stats)
+        return self._timed("nearest_all", stats, lambda s: _search.nearest_all(
+            self._store, self._root_id, query, metric, stats=s
+        ))
 
     def range_query(
         self,
@@ -331,9 +389,9 @@ class SGTree:
     ) -> list["_search.Neighbor"]:
         """All transactions within distance ``epsilon`` of ``query``."""
         metric = self.metric if metric is None else resolve_metric(metric)
-        return _search.range_search(
-            self._store, self._root_id, query, epsilon, metric, stats=stats
-        )
+        return self._timed("range", stats, lambda s: _search.range_search(
+            self._store, self._root_id, query, epsilon, metric, stats=s
+        ))
 
     def range_count(
         self,
@@ -345,9 +403,9 @@ class SGTree:
         """Exact count of transactions within ``epsilon`` of ``query``,
         using subtree counts to skip whole qualifying subtrees."""
         metric = self.metric if metric is None else resolve_metric(metric)
-        return _search.range_count(
-            self._store, self._root_id, query, epsilon, metric, stats=stats
-        )
+        return self._timed("range_count", stats, lambda s: _search.range_count(
+            self._store, self._root_id, query, epsilon, metric, stats=s
+        ))
 
     def range_count_bounds(
         self,
@@ -360,9 +418,12 @@ class SGTree:
         """A ``[low, high]`` interval on the range count, visiting at
         most ``node_budget`` nodes (approximate selectivity probing)."""
         metric = self.metric if metric is None else resolve_metric(metric)
-        return _search.range_count_bounds(
-            self._store, self._root_id, query, epsilon, metric,
-            node_budget=node_budget, database_size=self._size, stats=stats,
+        return self._timed(
+            "range_count_bounds", stats,
+            lambda s: _search.range_count_bounds(
+                self._store, self._root_id, query, epsilon, metric,
+                node_budget=node_budget, database_size=self._size, stats=s,
+            ),
         )
 
     def constrained_nearest(
@@ -376,27 +437,101 @@ class SGTree:
         """The ``k`` nearest transactions that contain every item of
         ``required`` (containment-constrained similarity search)."""
         metric = self.metric if metric is None else resolve_metric(metric)
-        return _search.constrained_nearest(
-            self._store, self._root_id, query, required, k, metric, stats=stats
+        return self._timed(
+            "constrained_knn", stats,
+            lambda s: _search.constrained_nearest(
+                self._store, self._root_id, query, required, k, metric, stats=s
+            ),
         )
 
     def containment_query(
         self, query: Signature, stats: "_search.SearchStats | None" = None
     ) -> list[int]:
         """Tids of transactions that contain every item of ``query``."""
-        return _search.containment_search(self._store, self._root_id, query, stats=stats)
+        return self._timed(
+            "containment", stats,
+            lambda s: _search.containment_search(
+                self._store, self._root_id, query, stats=s
+            ),
+        )
 
     def subset_query(
         self, query: Signature, stats: "_search.SearchStats | None" = None
     ) -> list[int]:
         """Tids of transactions that are subsets of ``query``."""
-        return _search.subset_search(self._store, self._root_id, query, stats=stats)
+        return self._timed(
+            "subset", stats,
+            lambda s: _search.subset_search(
+                self._store, self._root_id, query, stats=s
+            ),
+        )
 
     def equality_query(
         self, query: Signature, stats: "_search.SearchStats | None" = None
     ) -> list[int]:
         """Tids of transactions whose signature equals ``query``."""
-        return _search.equality_search(self._store, self._root_id, query, stats=stats)
+        return self._timed(
+            "equality", stats,
+            lambda s: _search.equality_search(
+                self._store, self._root_id, query, stats=s
+            ),
+        )
+
+    def explain(
+        self,
+        query: Signature,
+        k: int = 1,
+        epsilon: float | None = None,
+        kind: str | None = None,
+        metric: Metric | str | None = None,
+    ):
+        """Run one traced query and return its EXPLAIN report.
+
+        ``kind`` is ``"knn"`` (depth-first branch-and-bound; the
+        traced engine), ``"range"`` or ``"containment"``; when ``None``
+        it is inferred — ``"range"`` if ``epsilon`` is given, else
+        ``"knn"``.  The returned
+        :class:`~repro.telemetry.tracing.ExplainReport` carries the
+        query's results, its :class:`~repro.sgtree.search.SearchStats`
+        and a :class:`~repro.telemetry.tracing.Tracer` whose spans
+        reconcile exactly with the stats (one span per node access, one
+        ``descended`` decision per non-root span).
+        """
+        from ..telemetry.tracing import ExplainReport, Tracer
+
+        metric = self.metric if metric is None else resolve_metric(metric)
+        if kind is None:
+            kind = "range" if epsilon is not None else "knn"
+        tracer = Tracer()
+        stats = _search.SearchStats()
+        if kind == "knn":
+            results = _search.knn_depth_first(
+                self._store, self._root_id, query, k, metric,
+                stats=stats, tracer=tracer,
+            )
+            params = {"k": k, "metric": metric.name, "algorithm": "depth-first"}
+        elif kind == "range":
+            if epsilon is None:
+                raise ValueError("explain(kind='range') requires epsilon")
+            results = _search.range_search(
+                self._store, self._root_id, query, epsilon, metric,
+                stats=stats, tracer=tracer,
+            )
+            params = {"epsilon": epsilon, "metric": metric.name}
+        elif kind == "containment":
+            results = _search.containment_search(
+                self._store, self._root_id, query, stats=stats, tracer=tracer
+            )
+            params = {"items": query.area}
+        else:
+            raise ValueError(
+                f"unknown explain kind {kind!r}; "
+                f"choose from ['knn', 'range', 'containment']"
+            )
+        return ExplainReport(
+            kind=kind, params=params, results=results, stats=stats,
+            tracer=tracer,
+        )
 
     def sample(self, n: int, seed: int | None = None) -> list[tuple[int, Signature]]:
         """A uniform random sample of ``n`` indexed transactions
@@ -573,6 +708,17 @@ class SGTree:
         sibling = self._store.create_node(level=node.level)
         sibling.replace_entries(group_b)
         self._store.mark_dirty(sibling)
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.node_splits_total.labels(level=node.level).inc()
+            telemetry.emit(
+                "node_split",
+                page_id=node.page_id,
+                new_page_id=sibling.page_id,
+                level=node.level,
+                n_entries_left=len(group_a),
+                n_entries_right=len(group_b),
+            )
         return self._directory_entry(sibling)
 
     def _grow_root(self, sibling: Entry) -> None:
@@ -583,6 +729,14 @@ class SGTree:
         self._store.mark_dirty(new_root)
         self._root_id = new_root.page_id
         self._height += 1
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.root_grows_total.inc()
+            telemetry.emit(
+                "root_grow",
+                root_page_id=new_root.page_id,
+                new_level=new_root.level,
+            )
 
     # -- deletion internals ----------------------------------------------------
 

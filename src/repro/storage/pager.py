@@ -61,6 +61,23 @@ class IOStats:
     def snapshot(self) -> "IOStats":
         return IOStats(self.reads, self.writes, self.allocations, self.frees)
 
+    def register_metrics(self, registry, **labels: str) -> None:
+        """Expose these counters through a metrics registry (pull model).
+
+        The pager keeps incrementing plain ints on the hot path; the
+        registry reads them via callbacks only at scrape time.
+        """
+        labelnames = tuple(sorted(labels))
+        for name, help_text, attr in (
+            ("pager_reads_total", "Logical page reads", "reads"),
+            ("pager_writes_total", "Logical page writes", "writes"),
+            ("pager_allocations_total", "Page allocations", "allocations"),
+            ("pager_frees_total", "Page frees", "frees"),
+        ):
+            registry.counter(name, help_text, labelnames).labels(
+                **labels
+            ).set_function(lambda attr=attr: getattr(self, attr))
+
 
 class Pager:
     """Interface of a page store."""

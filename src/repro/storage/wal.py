@@ -94,6 +94,25 @@ class WalStats:
     commits: int = 0
     checkpoints: int = 0
 
+    def register_metrics(self, registry, **labels: str) -> None:
+        """Expose these counters through a metrics registry (pull model).
+
+        The log keeps incrementing plain ints on the append path; the
+        registry reads them via callbacks only at scrape time.
+        """
+        labelnames = tuple(sorted(labels))
+        for name, help_text, attr in (
+            ("wal_records_total", "Records appended to the log", "records"),
+            ("wal_bytes_written_total", "Bytes appended to the log",
+             "bytes_written"),
+            ("wal_commits_total", "Commit batches sealed", "commits"),
+            ("wal_checkpoints_total", "Log truncations after checkpoint",
+             "checkpoints"),
+        ):
+            registry.counter(name, help_text, labelnames).labels(
+                **labels
+            ).set_function(lambda attr=attr: getattr(self, attr))
+
 
 def _fsync_dir(path: str) -> None:
     """Fsync a directory so entry creation/truncation survives a crash.

@@ -1,0 +1,151 @@
+"""Structured event logging: JSON-lines sinks with stable schemas.
+
+Structural changes (splits, WAL commits/checkpoints, page rescues and
+quarantines, scrubber findings) were previously visible only as
+free-text ``logging`` lines.  An :class:`EventLog` emits them as one
+JSON object per line with a **stable schema** per event type, so a
+monitoring pipeline can alert on ``page_quarantined`` without parsing
+prose.  Sinks are pluggable (:class:`JsonlEventSink` for files,
+:class:`MemoryEventSink` for tests) and every event is optionally
+bridged to the standard :mod:`logging` tree as well.
+
+Stable event schemas (fields beyond the common ``event``/``ts`` pair):
+
+==================  =====================================================
+event               fields
+==================  =====================================================
+node_split          page_id, new_page_id, level, n_entries_left,
+                    n_entries_right
+root_grow           root_page_id, new_level
+wal_commit          records, bytes_written
+wal_checkpoint      records_dropped, bytes_dropped
+page_rescued        page_id
+page_quarantined    page_id, reason
+scrub_finding       page_id, severity, kind, detail
+==================  =====================================================
+
+New event types may be added; existing fields are never renamed.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+import time
+
+__all__ = [
+    "EventLog",
+    "EventSink",
+    "JsonlEventSink",
+    "MemoryEventSink",
+    "EVENT_SCHEMAS",
+]
+
+#: Event type -> tuple of schema fields (beyond ``event`` and ``ts``).
+EVENT_SCHEMAS: dict[str, tuple[str, ...]] = {
+    "node_split": (
+        "page_id", "new_page_id", "level",
+        "n_entries_left", "n_entries_right",
+    ),
+    "root_grow": ("root_page_id", "new_level"),
+    "wal_commit": ("records", "bytes_written"),
+    "wal_checkpoint": ("records_dropped", "bytes_dropped"),
+    "page_rescued": ("page_id",),
+    "page_quarantined": ("page_id", "reason"),
+    "scrub_finding": ("page_id", "severity", "kind", "detail"),
+}
+
+
+class EventSink:
+    """Receives event dicts; subclasses override :meth:`write`."""
+
+    def write(self, event: dict) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:
+        pass
+
+
+class MemoryEventSink(EventSink):
+    """Keeps events in a list — the test double."""
+
+    def __init__(self):
+        self.events: list[dict] = []
+
+    def write(self, event: dict) -> None:
+        self.events.append(event)
+
+    def of_type(self, event_type: str) -> list[dict]:
+        return [e for e in self.events if e["event"] == event_type]
+
+
+class JsonlEventSink(EventSink):
+    """Appends one JSON object per line to a file."""
+
+    def __init__(self, path):
+        self.path = path
+        self._fh = open(path, "a", encoding="utf-8")
+        self._lock = threading.Lock()
+
+    def write(self, event: dict) -> None:
+        line = json.dumps(event, sort_keys=True, default=str) + "\n"
+        with self._lock:
+            self._fh.write(line)
+            self._fh.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.close()
+
+
+class EventLog:
+    """Fan events out to sinks (and optionally the logging tree).
+
+    ``emit`` stamps each event with a wall-clock ``ts``; unknown event
+    types are allowed (forward compatibility) but schema-declared events
+    are checked in ``strict`` mode, which the tests enable to catch
+    drift between call sites and :data:`EVENT_SCHEMAS`.
+    """
+
+    def __init__(self, sinks: "list[EventSink] | None" = None,
+                 logger: "logging.Logger | None" = None,
+                 strict: bool = False):
+        self._sinks: list[EventSink] = list(sinks) if sinks else []
+        self._logger = logger
+        self._strict = strict
+        self._lock = threading.Lock()
+        self.counts: dict[str, int] = {}
+
+    def add_sink(self, sink: EventSink) -> EventSink:
+        with self._lock:
+            self._sinks.append(sink)
+        return sink
+
+    def emit(self, event_type: str, **fields: object) -> dict:
+        schema = EVENT_SCHEMAS.get(event_type)
+        if self._strict and schema is not None:
+            unknown = set(fields) - set(schema)
+            if unknown:
+                raise ValueError(
+                    f"event {event_type!r} has undeclared fields {sorted(unknown)}"
+                )
+        event = {"event": event_type, "ts": time.time(), **fields}
+        with self._lock:
+            self.counts[event_type] = self.counts.get(event_type, 0) + 1
+            sinks = list(self._sinks)
+        for sink in sinks:
+            sink.write(event)
+        if self._logger is not None:
+            self._logger.info(
+                "%s %s", event_type,
+                " ".join(f"{k}={v}" for k, v in fields.items()),
+            )
+        return event
+
+    def close(self) -> None:
+        with self._lock:
+            sinks, self._sinks = list(self._sinks), []
+        for sink in sinks:
+            sink.close()

@@ -1,0 +1,273 @@
+"""Exporters: Prometheus text exposition and JSON snapshots.
+
+``prometheus_client`` is deliberately not a dependency — the exposition
+format is a small, stable text grammar, and writing it (plus a strict
+validator used by the test suite and the CI smoke job) keeps the
+telemetry layer dependency-free.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+
+from .registry import MetricsRegistry
+
+__all__ = [
+    "render_prometheus",
+    "snapshot",
+    "snapshot_json",
+    "validate_prometheus_text",
+]
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels_text(names: tuple[str, ...], values: tuple[str, ...],
+                 extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = [
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in zip(names, values)
+    ]
+    pairs.extend(f'{name}="{_escape_label_value(value)}"' for name, value in extra)
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Render every family in Prometheus text exposition format 0.0.4."""
+    lines: list[str] = []
+    for family in registry.collect():
+        if family.help:
+            lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for labelvalues, child in family.series():
+            if family.kind == "histogram":
+                for bound, cumulative in child.cumulative():
+                    le = _format_value(bound)
+                    labels = _labels_text(
+                        family.labelnames, labelvalues, (("le", le),)
+                    )
+                    lines.append(f"{family.name}_bucket{labels} {cumulative}")
+                labels = _labels_text(family.labelnames, labelvalues)
+                lines.append(
+                    f"{family.name}_sum{labels} {_format_value(child.sum)}"
+                )
+                lines.append(f"{family.name}_count{labels} {child.count}")
+            else:
+                labels = _labels_text(family.labelnames, labelvalues)
+                lines.append(
+                    f"{family.name}{labels} {_format_value(child.value)}"
+                )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def snapshot(registry: MetricsRegistry) -> dict:
+    """A JSON-able dict of every family, keyed by metric name.
+
+    Counters and gauges map label tuples (joined with ``,``, or an empty
+    string when unlabelled) to values; histograms carry buckets, sum,
+    count and interpolated p50/p95/p99 for convenience.
+    """
+    out: dict[str, dict] = {}
+    for family in registry.collect():
+        entry: dict = {
+            "kind": family.kind,
+            "help": family.help,
+            "labels": list(family.labelnames),
+            "series": {},
+        }
+        for labelvalues, child in family.series():
+            key = ",".join(labelvalues)
+            if family.kind == "histogram":
+                quantiles = {
+                    q: child.quantile(p)
+                    for q, p in (("p50", 0.5), ("p95", 0.95), ("p99", 0.99))
+                }
+                entry["series"][key] = {
+                    "count": child.count,
+                    "sum": child.sum,
+                    "buckets": [
+                        [b if not math.isinf(b) else "+Inf", c]
+                        for b, c in child.cumulative()
+                    ],
+                    **{
+                        q: (None if math.isnan(v) else v)
+                        for q, v in quantiles.items()
+                    },
+                }
+            else:
+                entry["series"][key] = child.value
+        out[family.name] = entry
+    return out
+
+
+def snapshot_json(registry: MetricsRegistry, indent: int = 2) -> str:
+    return json.dumps(snapshot(registry), indent=indent, sort_keys=True) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Validator — a strict checker for the exposition text we emit, used by the
+# test suite and ``tools/check_prom.py`` instead of prometheus_client.
+
+_METRIC_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_HELP_RE = re.compile(rf"^# HELP ({_METRIC_NAME}) (.*)$")
+_TYPE_RE = re.compile(
+    rf"^# TYPE ({_METRIC_NAME}) (counter|gauge|histogram|summary|untyped)$"
+)
+_SAMPLE_RE = re.compile(
+    rf"^({_METRIC_NAME})"                      # name
+    r"(?:\{(.*)\})?"                           # optional label block
+    r" (-?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?|[+-]Inf|NaN)"  # value
+    r"(?: -?\d+)?$"                            # optional timestamp
+)
+_LABEL_PAIR_RE = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\\n]|\\["\\n])*)"'
+)
+
+
+def _parse_labels(block: str, errors: list[str], lineno: int) -> dict[str, str]:
+    labels: dict[str, str] = {}
+    pos = 0
+    while pos < len(block):
+        match = _LABEL_PAIR_RE.match(block, pos)
+        if not match:
+            errors.append(f"line {lineno}: malformed label block {block!r}")
+            return labels
+        labels[match.group(1)] = match.group(2)
+        pos = match.end()
+        if pos < len(block):
+            if block[pos] != ",":
+                errors.append(
+                    f"line {lineno}: expected ',' between labels in {block!r}"
+                )
+                return labels
+            pos += 1
+    return labels
+
+
+def validate_prometheus_text(text: str) -> list[str]:
+    """Validate exposition text; returns a list of problems (empty = valid).
+
+    Checks the line grammar (HELP/TYPE comments, sample lines, label
+    escaping), that samples follow their TYPE declaration, and histogram
+    invariants: bucket counts cumulative and non-decreasing, a ``+Inf``
+    bucket present per series, and ``+Inf`` count == ``_count``.
+    """
+    errors: list[str] = []
+    types: dict[str, str] = {}
+    helps: set[str] = set()
+    # per (hist name, non-le label key): list of (le, cumulative count)
+    hist_buckets: dict[tuple[str, tuple], list[tuple[float, float]]] = {}
+    hist_counts: dict[tuple[str, tuple], float] = {}
+    seen_samples: set[tuple[str, tuple]] = set()
+
+    if text and not text.endswith("\n"):
+        errors.append("exposition must end with a newline")
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP"):
+            match = _HELP_RE.match(line)
+            if not match:
+                errors.append(f"line {lineno}: malformed HELP line")
+                continue
+            if match.group(1) in helps:
+                errors.append(f"line {lineno}: duplicate HELP for {match.group(1)}")
+            helps.add(match.group(1))
+            continue
+        if line.startswith("# TYPE"):
+            match = _TYPE_RE.match(line)
+            if not match:
+                errors.append(f"line {lineno}: malformed TYPE line")
+                continue
+            name = match.group(1)
+            if name in types:
+                errors.append(f"line {lineno}: duplicate TYPE for {name}")
+            types[name] = match.group(2)
+            continue
+        if line.startswith("#"):
+            continue  # free-form comment
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            errors.append(f"line {lineno}: malformed sample line {line!r}")
+            continue
+        name, label_block, value_text = match.groups()
+        labels = (
+            _parse_labels(label_block, errors, lineno) if label_block else {}
+        )
+        value = float(value_text.replace("Inf", "inf"))
+
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            candidate = name[: -len(suffix)] if name.endswith(suffix) else None
+            if candidate and types.get(candidate) == "histogram":
+                base = candidate
+                break
+        declared = types.get(base)
+        if declared is None:
+            errors.append(f"line {lineno}: sample {name} has no TYPE declaration")
+            continue
+        if declared == "histogram" and base == name:
+            errors.append(
+                f"line {lineno}: histogram {name} must use _bucket/_sum/_count"
+            )
+            continue
+        if declared == "counter" and value < 0:
+            errors.append(f"line {lineno}: counter {name} is negative")
+
+        key_labels = tuple(
+            sorted((k, v) for k, v in labels.items() if k != "le")
+        )
+        sample_key = (name, tuple(sorted(labels.items())))
+        if sample_key in seen_samples:
+            errors.append(f"line {lineno}: duplicate sample {name}{labels}")
+        seen_samples.add(sample_key)
+
+        if declared == "histogram" and name.endswith("_bucket"):
+            if "le" not in labels:
+                errors.append(f"line {lineno}: bucket sample missing 'le' label")
+                continue
+            le = float(labels["le"].replace("Inf", "inf"))
+            hist_buckets.setdefault((base, key_labels), []).append((le, value))
+        elif declared == "histogram" and name.endswith("_count"):
+            hist_counts[(base, key_labels)] = value
+
+    for (name, key_labels), buckets in hist_buckets.items():
+        ordered = sorted(buckets)
+        bounds = [b for b, _ in ordered]
+        counts = [c for _, c in ordered]
+        if not bounds or not math.isinf(bounds[-1]):
+            errors.append(f"histogram {name}{dict(key_labels)}: no +Inf bucket")
+            continue
+        if counts != sorted(counts):
+            errors.append(
+                f"histogram {name}{dict(key_labels)}: bucket counts "
+                f"not cumulative/non-decreasing"
+            )
+        total = hist_counts.get((name, key_labels))
+        if total is None:
+            errors.append(f"histogram {name}{dict(key_labels)}: missing _count")
+        elif counts and counts[-1] != total:
+            errors.append(
+                f"histogram {name}{dict(key_labels)}: +Inf bucket "
+                f"{counts[-1]} != _count {total}"
+            )
+    return errors

@@ -1,0 +1,486 @@
+"""Metrics registry: labelled counters, gauges and log-bucketed histograms.
+
+The paper evaluates the SG-tree entirely through operational counters —
+node accesses, random I/Os, "% of data processed" — and the rest of the
+codebase grew several ad-hoc stat dataclasses around them.  This module
+gives those counters (and new timing signals) one home: a
+:class:`MetricsRegistry` of named metric families, each either unlabelled
+or carrying a small fixed label set, updated atomically under a per-family
+lock and exportable to Prometheus text format or a JSON snapshot (see
+:mod:`repro.telemetry.export`).
+
+Design points:
+
+* **Pull-friendly.**  Any counter or gauge can be backed by a callback
+  (:meth:`Counter.set_function` / :meth:`Gauge.set_function`), so the
+  existing hot-path stats objects keep being incremented as plain Python
+  ints — zero added cost per node access — and the registry reads them
+  only at scrape time.
+* **Log-bucketed histograms.**  :func:`log_buckets` builds geometric
+  bucket ladders; the default latency ladder spans ~10 µs to ~10 s in
+  powers of two, which resolves both a cached in-memory probe and a
+  cold multi-second scan.
+* **Bounded label cardinality.**  Every family caps its number of label
+  sets (``max_series``); past the cap new series either collapse into a
+  single ``__overflow__`` series (default — safe for production paths)
+  or raise :class:`LabelCardinalityError` (strict mode for tests).
+* **Process-global default plus injectable per-tree registries.**
+  :func:`default_registry` returns the process-wide registry;
+  every :class:`~repro.telemetry.Telemetry` can also be built around a
+  private registry so two trees' metrics never collide.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import re
+import threading
+from collections.abc import Callable, Iterable, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LabelCardinalityError",
+    "MetricFamily",
+    "MetricsRegistry",
+    "TelemetryError",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_COUNT_BUCKETS",
+    "default_registry",
+    "log_buckets",
+    "set_default_registry",
+]
+
+
+class TelemetryError(ValueError):
+    """Invalid telemetry usage (bad names, mismatched re-registration)."""
+
+
+class LabelCardinalityError(TelemetryError):
+    """A metric family exceeded its label-set budget in strict mode."""
+
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+OVERFLOW_LABEL = "__overflow__"
+
+
+def log_buckets(start: float, factor: float, count: int) -> tuple[float, ...]:
+    """A geometric (log-spaced) bucket ladder of ``count`` upper bounds.
+
+    ``start`` is the first upper bound; each subsequent bound multiplies
+    by ``factor``.  The implicit ``+Inf`` bucket is always appended by
+    the histogram itself and must not be included here.
+    """
+    if start <= 0:
+        raise TelemetryError(f"bucket start must be positive, got {start}")
+    if factor <= 1.0:
+        raise TelemetryError(f"bucket factor must be > 1, got {factor}")
+    if count < 1:
+        raise TelemetryError(f"bucket count must be >= 1, got {count}")
+    return tuple(start * factor**i for i in range(count))
+
+
+#: ~10 µs .. ~10.5 s in powers of two — the query-latency ladder.
+DEFAULT_LATENCY_BUCKETS = log_buckets(1e-5, 2.0, 21)
+
+#: 1 .. ~1M in powers of four — per-query node/entry count ladder.
+DEFAULT_COUNT_BUCKETS = log_buckets(1.0, 4.0, 11)
+
+
+class _Metric:
+    """One series (child) of a metric family: a label set plus a value."""
+
+    __slots__ = ("_lock", "_fn")
+
+    def __init__(self, lock: threading.Lock):
+        self._lock = lock
+        self._fn: Callable[[], float] | None = None
+
+    def set_function(self, fn: Callable[[], float]) -> "_Metric":
+        """Back this series with a callback read at export time.
+
+        This is the pull path used by the pre-existing stats dataclasses:
+        the hot loop keeps bumping a plain attribute, and the registry
+        calls ``fn`` only when somebody scrapes.
+        """
+        self._fn = fn
+        return self
+
+
+class Counter(_Metric):
+    """A monotonically increasing count."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, lock: threading.Lock):
+        super().__init__(lock)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise TelemetryError(f"counters only go up; inc({amount})")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        if self._fn is not None:
+            return float(self._fn())
+        with self._lock:
+            return self._value
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (or be computed on demand)."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, lock: threading.Lock):
+        super().__init__(lock)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        if self._fn is not None:
+            return float(self._fn())
+        with self._lock:
+            return self._value
+
+
+class Histogram(_Metric):
+    """A log-bucketed distribution: per-bucket counts, sum and count.
+
+    ``buckets`` holds the finite upper bounds in increasing order; an
+    observation lands in the first bucket whose bound is ``>= value``
+    (Prometheus ``le`` semantics), or the implicit ``+Inf`` bucket.
+    """
+
+    __slots__ = ("buckets", "_counts", "_sum", "_count")
+
+    def __init__(self, lock: threading.Lock, buckets: Sequence[float]):
+        super().__init__(lock)
+        self.buckets = tuple(float(b) for b in buckets)
+        self._counts = [0] * (len(self.buckets) + 1)  # last = +Inf
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        index = bisect.bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def bucket_counts(self) -> list[int]:
+        """Raw (non-cumulative) per-bucket counts; last entry is +Inf."""
+        with self._lock:
+            return list(self._counts)
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """``(le, cumulative_count)`` pairs, ending with ``(inf, count)``."""
+        with self._lock:
+            out: list[tuple[float, int]] = []
+            running = 0
+            for bound, n in zip(self.buckets, self._counts):
+                running += n
+                out.append((bound, running))
+            out.append((math.inf, running + self._counts[-1]))
+            return out
+
+    def quantile(self, q: float) -> float:
+        """Estimate the q-quantile by linear interpolation in its bucket.
+
+        Returns ``nan`` with no observations.  Values in the ``+Inf``
+        bucket are reported as the largest finite bound (the estimate is
+        a floor, exactly like Prometheus ``histogram_quantile``).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise TelemetryError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            total = self._count
+            if not total:
+                return math.nan
+            rank = q * total
+            running = 0
+            lower = 0.0
+            for bound, n in zip(self.buckets, self._counts):
+                if running + n >= rank and n:
+                    fraction = (rank - running) / n
+                    return lower + (bound - lower) * min(max(fraction, 0.0), 1.0)
+                running += n
+                lower = bound
+            return self.buckets[-1] if self.buckets else math.nan
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricFamily:
+    """A named metric plus its labelled children.
+
+    An unlabelled family proxies ``inc``/``set``/``observe`` straight to
+    its single child, so ``registry.counter("x").inc()`` works without a
+    ``labels()`` hop.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] | None = None,
+        max_series: int = 256,
+        on_overflow: str = "overflow",
+    ):
+        if not _NAME_RE.match(name):
+            raise TelemetryError(f"invalid metric name {name!r}")
+        for label in labelnames:
+            if not _LABEL_RE.match(label):
+                raise TelemetryError(f"invalid label name {label!r} on {name}")
+        if kind not in _KINDS:
+            raise TelemetryError(f"unknown metric kind {kind!r}")
+        if on_overflow not in ("overflow", "raise"):
+            raise TelemetryError(f"on_overflow must be 'overflow' or 'raise'")
+        if kind == "histogram":
+            buckets = tuple(buckets) if buckets is not None else DEFAULT_LATENCY_BUCKETS
+            if list(buckets) != sorted(set(buckets)):
+                raise TelemetryError(f"{name}: buckets must be strictly increasing")
+            if buckets and math.isinf(buckets[-1]):
+                raise TelemetryError(f"{name}: +Inf bucket is implicit")
+        else:
+            if buckets is not None:
+                raise TelemetryError(f"{name}: buckets only apply to histograms")
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self.buckets = tuple(buckets) if buckets is not None else None
+        self.max_series = max_series
+        self.on_overflow = on_overflow
+        self._lock = threading.Lock()
+        self._children: dict[tuple[str, ...], _Metric] = {}
+        self._overflow: _Metric | None = None
+
+    def _new_child(self) -> _Metric:
+        if self.kind == "histogram":
+            return Histogram(self._lock, self.buckets or ())
+        return _KINDS[self.kind](self._lock)
+
+    def labels(self, **labelvalues: object):
+        """The child for one label set (created on first use)."""
+        if set(labelvalues) != set(self.labelnames):
+            raise TelemetryError(
+                f"{self.name}: expected labels {self.labelnames}, "
+                f"got {tuple(sorted(labelvalues))}"
+            )
+        key = tuple(str(labelvalues[name]) for name in self.labelnames)
+        with self._lock:
+            child = self._children.get(key)
+            if child is not None:
+                return child
+            if len(self._children) >= self.max_series:
+                if self.on_overflow == "raise":
+                    raise LabelCardinalityError(
+                        f"{self.name}: more than {self.max_series} label sets"
+                    )
+                if self._overflow is None:
+                    self._overflow = self._new_child()
+                return self._overflow
+            child = self._new_child()
+            self._children[key] = child
+            return child
+
+    def _default_child(self) -> _Metric:
+        if self.labelnames:
+            raise TelemetryError(
+                f"{self.name} is labelled {self.labelnames}; use .labels()"
+            )
+        with self._lock:
+            child = self._children.get(())
+            if child is None:
+                child = self._new_child()
+                self._children[()] = child
+            return child
+
+    # unlabelled convenience proxies ----------------------------------------
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default_child().inc(amount)  # type: ignore[attr-defined]
+
+    def set(self, value: float) -> None:
+        self._default_child().set(value)  # type: ignore[attr-defined]
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._default_child().dec(amount)  # type: ignore[attr-defined]
+
+    def observe(self, value: float) -> None:
+        self._default_child().observe(value)  # type: ignore[attr-defined]
+
+    def set_function(self, fn: Callable[[], float]) -> "MetricFamily":
+        self._default_child().set_function(fn)
+        return self
+
+    @property
+    def value(self) -> float:
+        return self._default_child().value  # type: ignore[attr-defined]
+
+    def quantile(self, q: float) -> float:
+        child = self._default_child()
+        if not isinstance(child, Histogram):
+            raise TelemetryError(f"{self.name} is not a histogram")
+        return child.quantile(q)
+
+    def series(self) -> list[tuple[tuple[str, ...], _Metric]]:
+        """All ``(label values, child)`` pairs, overflow series last."""
+        with self._lock:
+            out = sorted(self._children.items())
+        if self._overflow is not None:
+            out.append(
+                (tuple(OVERFLOW_LABEL for _ in self.labelnames), self._overflow)
+            )
+        return out
+
+
+class MetricsRegistry:
+    """A namespace of metric families plus scrape-time collectors.
+
+    ``collectors`` are zero-argument callables invoked before every
+    export (:meth:`collect`), letting code refresh callback-free gauges
+    from live objects right before a scrape.
+    """
+
+    def __init__(self, max_series: int = 256, on_overflow: str = "overflow"):
+        self._families: dict[str, MetricFamily] = {}
+        self._collectors: list[Callable[[], None]] = []
+        self._lock = threading.Lock()
+        self._max_series = max_series
+        self._on_overflow = on_overflow
+
+    def _get_or_create(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        labelnames: Sequence[str],
+        buckets: Sequence[float] | None = None,
+    ) -> MetricFamily:
+        with self._lock:
+            family = self._families.get(name)
+            if family is not None:
+                if family.kind != kind:
+                    raise TelemetryError(
+                        f"{name} already registered as {family.kind}, not {kind}"
+                    )
+                if family.labelnames != tuple(labelnames):
+                    raise TelemetryError(
+                        f"{name} already registered with labels "
+                        f"{family.labelnames}, not {tuple(labelnames)}"
+                    )
+                return family
+            family = MetricFamily(
+                name,
+                kind,
+                help=help,
+                labelnames=labelnames,
+                buckets=buckets,
+                max_series=self._max_series,
+                on_overflow=self._on_overflow,
+            )
+            self._families[name] = family
+            return family
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> MetricFamily:
+        return self._get_or_create(name, "counter", help, labelnames)
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> MetricFamily:
+        return self._get_or_create(name, "gauge", help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] | None = None,
+    ) -> MetricFamily:
+        return self._get_or_create(name, "histogram", help, labelnames, buckets)
+
+    def register_collector(self, fn: Callable[[], None]) -> None:
+        with self._lock:
+            self._collectors.append(fn)
+
+    def collect(self) -> list[MetricFamily]:
+        """Run collectors, then return every family sorted by name."""
+        with self._lock:
+            collectors = list(self._collectors)
+        for fn in collectors:
+            fn()
+        with self._lock:
+            return [self._families[name] for name in sorted(self._families)]
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._families
+
+    def get(self, name: str) -> MetricFamily | None:
+        with self._lock:
+            return self._families.get(name)
+
+    def snapshot(self) -> dict:
+        """A JSON-able view of every family (see export.snapshot)."""
+        from .export import snapshot
+
+        return snapshot(self)
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition (see export.render_prometheus)."""
+        from .export import render_prometheus
+
+        return render_prometheus(self)
+
+
+_default_registry = MetricsRegistry()
+_default_lock = threading.Lock()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-global registry (shared by all default telemetry)."""
+    return _default_registry
+
+
+def set_default_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-global registry; returns the previous one."""
+    global _default_registry
+    with _default_lock:
+        previous, _default_registry = _default_registry, registry
+        return previous

@@ -1,0 +1,284 @@
+"""Span-based query tracing and the EXPLAIN tree renderer.
+
+A :class:`Tracer` rides along a traversal and records one
+:class:`VisitSpan` per node access: page id, level, fan-out, whether the
+buffer served the access, decode wall time, the k-NN threshold on entry
+and exit, and — for directory nodes — every entry's lower bound together
+with the pruned-vs-descended decision made at that moment.  The spans
+reconstruct *why* branch-and-bound visited what it visited, which turns
+pruning-quality regressions from guesswork into a diff of two traces.
+
+The invariant the CLI enforces (and the tests assert): the trace is
+**complete** — ``len(spans)`` equals the ``SearchStats.node_accesses``
+delta of the traced query, and every span beyond the root is the child
+of exactly one ``descended`` entry decision.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["EntryDecision", "VisitSpan", "Tracer", "ExplainReport"]
+
+
+@dataclass
+class EntryDecision:
+    """One directory entry's fate during a node visit."""
+
+    ref: int
+    bound: float
+    action: str  # "descended" | "pruned"
+    threshold: float  # pruning threshold at decision time
+
+    def to_dict(self) -> dict:
+        return {
+            "ref": self.ref,
+            "bound": _json_float(self.bound),
+            "action": self.action,
+            "threshold": _json_float(self.threshold),
+        }
+
+
+@dataclass
+class VisitSpan:
+    """One node access, with everything the visit decided."""
+
+    index: int
+    parent: int | None
+    page_id: int
+    level: int
+    is_leaf: bool
+    fanout: int
+    buffer_hit: bool
+    decode_seconds: float
+    threshold_in: float
+    threshold_out: float = math.inf
+    entries: list[EntryDecision] = field(default_factory=list)
+    n_compared: int = 0  # leaf transactions compared
+    n_admitted: int = 0  # leaf candidates that entered the result
+
+    @property
+    def n_descended(self) -> int:
+        return sum(1 for e in self.entries if e.action == "descended")
+
+    @property
+    def n_pruned(self) -> int:
+        return sum(1 for e in self.entries if e.action == "pruned")
+
+    def to_dict(self) -> dict:
+        return {
+            "span": self.index,
+            "parent": self.parent,
+            "page_id": self.page_id,
+            "level": self.level,
+            "is_leaf": self.is_leaf,
+            "fanout": self.fanout,
+            "buffer_hit": self.buffer_hit,
+            "decode_seconds": self.decode_seconds,
+            "threshold_in": _json_float(self.threshold_in),
+            "threshold_out": _json_float(self.threshold_out),
+            "entries": [e.to_dict() for e in self.entries],
+            "n_descended": self.n_descended,
+            "n_pruned": self.n_pruned,
+            "n_compared": self.n_compared,
+            "n_admitted": self.n_admitted,
+        }
+
+
+def _json_float(value: float) -> "float | str":
+    if math.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    if math.isnan(value):
+        return "nan"
+    return value
+
+
+def _fmt_bound(value: float) -> str:
+    if math.isinf(value):
+        return "inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return f"{value:.3f}"
+
+
+class Tracer:
+    """Record visit spans for one traced query.
+
+    The traversal calls :meth:`visit` instead of ``store.get`` — the
+    tracer performs (and times) the fetch itself so the span's buffer
+    hit/miss and decode time describe exactly that access — then reports
+    decisions through :meth:`decide`/:meth:`leaf` and closes the span
+    with :meth:`finish`.
+    """
+
+    def __init__(self):
+        self.spans: list[VisitSpan] = []
+
+    def visit(self, store, page_id: int, parent: "VisitSpan | None",
+              threshold: float = math.inf) -> tuple:
+        """Fetch ``page_id`` through the store, opening a span.
+
+        Returns ``(span, node)``.  Buffer hit/miss is read off the
+        store's own random-I/O counter delta, so the span agrees with
+        :class:`~repro.sgtree.search.SearchStats` by construction.
+        """
+        ios_before = store.counters.random_ios
+        start = time.perf_counter()
+        node = store.get(page_id)
+        elapsed = time.perf_counter() - start
+        span = VisitSpan(
+            index=len(self.spans),
+            parent=parent.index if parent is not None else None,
+            page_id=page_id,
+            level=node.level,
+            is_leaf=node.is_leaf,
+            fanout=len(node.entries),
+            buffer_hit=store.counters.random_ios == ios_before,
+            decode_seconds=elapsed,
+            threshold_in=threshold,
+        )
+        self.spans.append(span)
+        return span, node
+
+    def decide(self, span: VisitSpan, ref: int, bound: float, action: str,
+               threshold: float = math.inf) -> None:
+        """Record one directory entry's pruned/descended decision."""
+        span.entries.append(EntryDecision(ref, float(bound), action, threshold))
+
+    def leaf(self, span: VisitSpan, n_compared: int, n_admitted: int) -> None:
+        """Record a leaf sweep: candidates compared and admitted."""
+        span.n_compared += n_compared
+        span.n_admitted += n_admitted
+
+    def finish(self, span: VisitSpan, threshold: float = math.inf) -> None:
+        span.threshold_out = threshold
+
+    # -- derived views ------------------------------------------------------
+
+    @property
+    def node_accesses(self) -> int:
+        return len(self.spans)
+
+    @property
+    def n_descended(self) -> int:
+        return sum(span.n_descended for span in self.spans)
+
+    @property
+    def n_pruned(self) -> int:
+        return sum(span.n_pruned for span in self.spans)
+
+    @property
+    def buffer_hits(self) -> int:
+        return sum(1 for span in self.spans if span.buffer_hit)
+
+    def reconciles(self, stats) -> bool:
+        """Does the trace account for the stats exactly?
+
+        A complete trace satisfies both identities: spans == node
+        accesses, and every non-root span is the unique child of one
+        ``descended`` decision (so descended + 1 == spans).
+        """
+        return (
+            len(self.spans) == stats.node_accesses
+            and self.n_descended + 1 == len(self.spans)
+            and self.buffer_hits == stats.buffer_hits
+        )
+
+    def to_jsonl(self) -> str:
+        """One JSON object per span, in visit order."""
+        return "".join(
+            json.dumps(span.to_dict(), sort_keys=True) + "\n"
+            for span in self.spans
+        )
+
+    def render(self, max_entries: int = 8) -> str:
+        """The EXPLAIN tree: spans indented under their parent span.
+
+        Directory spans list up to ``max_entries`` per-entry decisions
+        (descended first, then the cheapest pruned ones); leaf spans
+        summarise the sweep.  Pass ``max_entries=0`` for every entry.
+        """
+        children: dict[int | None, list[VisitSpan]] = {}
+        for span in self.spans:
+            children.setdefault(span.parent, []).append(span)
+        lines: list[str] = []
+
+        def emit(span: VisitSpan, depth: int) -> None:
+            indent = "  " * depth
+            io = "hit" if span.buffer_hit else "MISS"
+            head = (
+                f"{indent}#{span.index} node page={span.page_id} "
+                f"level={span.level} fanout={span.fanout} buffer={io} "
+                f"decode={span.decode_seconds * 1e6:.0f}us"
+            )
+            if not math.isinf(span.threshold_in):
+                head += f" tau_in={_fmt_bound(span.threshold_in)}"
+            if not math.isinf(span.threshold_out):
+                head += f" tau_out={_fmt_bound(span.threshold_out)}"
+            lines.append(head)
+            if span.is_leaf:
+                lines.append(
+                    f"{indent}  leaf: compared={span.n_compared} "
+                    f"admitted={span.n_admitted}"
+                )
+                return
+            shown = span.entries
+            if max_entries and len(shown) > max_entries:
+                descended = [e for e in shown if e.action == "descended"]
+                pruned = sorted(
+                    (e for e in shown if e.action == "pruned"),
+                    key=lambda e: e.bound,
+                )
+                shown = (descended + pruned)[:max_entries]
+            for entry in shown:
+                mark = "->" if entry.action == "descended" else " x"
+                lines.append(
+                    f"{indent}  {mark} entry ref={entry.ref} "
+                    f"bound={_fmt_bound(entry.bound)} {entry.action} "
+                    f"(tau={_fmt_bound(entry.threshold)})"
+                )
+            hidden = len(span.entries) - len(shown)
+            if hidden > 0:
+                lines.append(f"{indent}  .. {hidden} more pruned entries")
+            for child in children.get(span.index, ()):
+                emit(child, depth + 1)
+
+        for root in children.get(None, ()):
+            emit(root, 0)
+        lines.append(
+            f"totals: {len(self.spans)} node accesses "
+            f"({self.buffer_hits} buffer hits), "
+            f"{self.n_descended} descended, {self.n_pruned} pruned, "
+            f"{sum(s.n_compared for s in self.spans)} leaf entries compared"
+        )
+        return "\n".join(lines)
+
+
+@dataclass
+class ExplainReport:
+    """What :meth:`SGTree.explain` returns: results plus the evidence."""
+
+    kind: str
+    params: dict
+    results: list
+    stats: object  # SearchStats (typed loosely; no import cycle)
+    tracer: Tracer
+
+    def render(self, max_entries: int = 8) -> str:
+        header = ", ".join(f"{k}={v}" for k, v in self.params.items())
+        reconciled = self.tracer.reconciles(self.stats)
+        lines = [
+            f"EXPLAIN {self.kind} ({header})",
+            self.tracer.render(max_entries=max_entries),
+            f"stats: node_accesses={self.stats.node_accesses} "
+            f"random_ios={self.stats.random_ios} "
+            f"leaf_entries={self.stats.leaf_entries}",
+            f"trace reconciles with stats: {'yes' if reconciled else 'NO'}",
+        ]
+        return "\n".join(lines)
+
+    def to_jsonl(self) -> str:
+        return self.tracer.to_jsonl()

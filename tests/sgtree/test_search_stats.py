@@ -1,0 +1,150 @@
+"""SearchStats contract: idle-shard hit ratio, aggregation, exception safety."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import SGTree, Signature
+from repro.sgtree import QueryExecutor, SearchStats
+from support import random_signature, random_transactions
+
+N_BITS = 130
+
+
+@pytest.fixture()
+def tree() -> SGTree:
+    tree = SGTree(N_BITS, max_entries=8)
+    for t in random_transactions(seed=31, count=250, n_bits=N_BITS):
+        tree.insert(t)
+    return tree
+
+
+class TestHitRatio:
+    """Regression: an idle shard's ratio is *unknown*, not a perfect miss."""
+
+    def test_zero_accesses_yields_none(self):
+        assert SearchStats().hit_ratio is None
+
+    def test_all_hits_is_one(self):
+        stats = SearchStats(node_accesses=4, random_ios=0)
+        assert stats.hit_ratio == 1.0
+
+    def test_all_misses_is_zero(self):
+        stats = SearchStats(node_accesses=4, random_ios=4)
+        assert stats.hit_ratio == 0.0
+
+    def test_real_query_still_produces_a_ratio(self, tree):
+        stats = SearchStats()
+        tree.nearest(Signature.from_items([1, 5, 9], N_BITS), k=3, stats=stats)
+        assert stats.node_accesses > 0
+        assert 0.0 <= stats.hit_ratio <= 1.0
+
+
+class TestAggregate:
+    def test_ratio_of_sums_not_average_of_ratios(self):
+        hot = SearchStats(node_accesses=100, random_ios=0)   # ratio 1.0
+        cold = SearchStats(node_accesses=100, random_ios=100)  # ratio 0.0
+        total = SearchStats.aggregate([hot, cold])
+        assert total.hit_ratio == 0.5
+
+    def test_idle_shards_do_not_poison_the_total(self):
+        busy = SearchStats(node_accesses=10, random_ios=5, leaf_entries=40)
+        idle = SearchStats()  # hit_ratio is None, must be skipped not averaged
+        total = SearchStats.aggregate([busy, idle, None])
+        assert total.node_accesses == 10
+        assert total.hit_ratio == 0.5
+        assert total.leaf_entries == 40
+
+    def test_all_idle_aggregates_to_idle(self):
+        total = SearchStats.aggregate([SearchStats(), SearchStats()])
+        assert total.node_accesses == 0
+        assert total.hit_ratio is None
+
+    def test_executor_batch_ratio_defined_even_with_idle_shards(self, tree):
+        # more shards than queries per shard: the last shard is tiny but
+        # every shard's work lands in one summed, NaN-safe total
+        rng = np.random.default_rng(8)
+        queries = [random_signature(rng, N_BITS, max_items=10) for _ in range(9)]
+        stats = SearchStats()
+        with QueryExecutor(tree, workers=2, batch_size=2) as ex:
+            ex.knn(queries, k=2, stats=stats)
+        assert stats.node_accesses > 0
+        assert 0.0 <= stats.hit_ratio <= 1.0
+
+
+class TestExceptionSafety:
+    """Satellite: `_StatsScope` must flush counter deltas even when the
+    traversal dies mid-flight, so stats never silently under-report."""
+
+    def test_stats_flushed_when_search_raises(self, tree):
+        store = tree.store
+        real_get = store.get
+        calls = {"n": 0}
+
+        def failing_get(page_id):
+            calls["n"] += 1
+            if calls["n"] > 3:
+                raise RuntimeError("injected mid-traversal failure")
+            return real_get(page_id)
+
+        store.get = failing_get
+        try:
+            stats = SearchStats()
+            before = store.counters.snapshot()
+            query = Signature.from_items([2, 7, 11], N_BITS)
+            with pytest.raises(RuntimeError, match="injected"):
+                tree.nearest(query, k=5, stats=stats)
+            after = store.counters
+            # exactly the accesses that happened before the crash
+            assert stats.node_accesses == 3
+            assert stats.node_accesses == (
+                after.node_accesses - before.node_accesses
+            )
+            assert stats.random_ios == after.random_ios - before.random_ios
+        finally:
+            store.get = real_get
+
+    def test_stats_flushed_on_every_engine(self, tree):
+        query = Signature.from_items([2, 7, 11], N_BITS)
+        engines = [
+            lambda s: tree.range_query(query, 5.0, stats=s),
+            lambda s: tree.containment_query(query, stats=s),
+            lambda s: tree.nearest(query, k=2, algorithm="best-first", stats=s),
+        ]
+        for run in engines:
+            store = tree.store
+            real_get = store.get
+            calls = {"n": 0}
+
+            def failing_get(page_id, _real=real_get, _calls=calls):
+                _calls["n"] += 1
+                if _calls["n"] > 1:
+                    raise RuntimeError("boom")
+                return _real(page_id)
+
+            store.get = failing_get
+            try:
+                stats = SearchStats()
+                with pytest.raises(RuntimeError):
+                    run(stats)
+                assert stats.node_accesses == 1
+            finally:
+                store.get = real_get
+
+    def test_scope_never_swallows_the_exception(self, tree):
+        # the scope must re-raise, not return True from __exit__
+        store = tree.store
+        real_get = store.get
+        store.get = lambda page_id: (_ for _ in ()).throw(KeyError(page_id))
+        try:
+            with pytest.raises(KeyError):
+                tree.nearest(Signature.from_items([1], N_BITS), stats=SearchStats())
+        finally:
+            store.get = real_get
+
+    def test_leaf_entries_accumulate_inside_the_scope(self, tree):
+        # leaf comparisons recorded before a crash must also survive
+        stats = SearchStats()
+        tree.nearest(Signature.from_items([3, 4], N_BITS), k=2, stats=stats)
+        assert stats.leaf_entries > 0

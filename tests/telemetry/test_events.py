@@ -1,0 +1,139 @@
+"""Structured events: schemas, sinks, and emission from real tree activity."""
+
+from __future__ import annotations
+
+import json
+import logging
+
+import pytest
+
+from repro import SGTree
+from repro.sgtree import NodeStore
+from repro.sgtree.scrub import scrub_tree
+from repro.storage import FilePager, WriteAheadLog
+from repro.telemetry import (
+    EVENT_SCHEMAS,
+    EventLog,
+    JsonlEventSink,
+    MemoryEventSink,
+    MetricsRegistry,
+    Telemetry,
+)
+from support import random_transactions
+
+N_BITS = 140
+
+
+def fresh_telemetry() -> tuple[Telemetry, MemoryEventSink]:
+    sink = MemoryEventSink()
+    telemetry = Telemetry(
+        registry=MetricsRegistry(), events=EventLog(sinks=[sink])
+    )
+    return telemetry, sink
+
+
+class TestEventLog:
+    def test_emit_stamps_type_and_timestamp(self):
+        log = EventLog(sinks=[sink := MemoryEventSink()])
+        event = log.emit("node_split", page_id=1, new_page_id=2, level=0,
+                         n_entries_left=4, n_entries_right=5)
+        assert event["event"] == "node_split"
+        assert event["ts"] > 0
+        assert sink.events == [event]
+
+    def test_strict_mode_rejects_undeclared_fields(self):
+        log = EventLog(strict=True)
+        with pytest.raises(ValueError):
+            log.emit("node_split", page_id=1, bogus=True)
+
+    def test_unknown_event_types_pass_through(self):
+        log = EventLog(sinks=[sink := MemoryEventSink()], strict=True)
+        log.emit("custom_thing", anything="goes")
+        assert sink.of_type("custom_thing")[0]["anything"] == "goes"
+
+    def test_counts_by_type(self):
+        log = EventLog()
+        log.emit("root_grow", root_page_id=1, new_level=2)
+        log.emit("root_grow", root_page_id=2, new_level=3)
+        assert log.counts["root_grow"] == 2
+
+    def test_logger_bridge(self, caplog):
+        logger = logging.getLogger("repro.test.events")
+        log = EventLog(logger=logger)
+        with caplog.at_level(logging.INFO, logger="repro.test.events"):
+            log.emit("wal_commit", records=3, bytes_written=100)
+        assert any("wal_commit" in r.message for r in caplog.records)
+
+    def test_jsonl_sink_round_trips(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(sinks=[JsonlEventSink(path)])
+        log.emit("page_rescued", page_id=9)
+        log.emit("wal_checkpoint", bytes_dropped=123)
+        log.close()
+        docs = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [d["event"] for d in docs] == ["page_rescued", "wal_checkpoint"]
+        assert docs[1]["bytes_dropped"] == 123
+
+
+class TestTreeEvents:
+    def test_inserts_emit_schema_valid_splits_and_root_grows(self):
+        telemetry, sink = fresh_telemetry()
+        tree = SGTree(N_BITS, max_entries=6, telemetry=telemetry)
+        for t in random_transactions(seed=23, count=250, n_bits=N_BITS):
+            tree.insert(t)
+        splits = sink.of_type("node_split")
+        grows = sink.of_type("root_grow")
+        assert splits and grows
+        split_fields = set(EVENT_SCHEMAS["node_split"])
+        for event in splits:
+            assert split_fields <= event.keys()
+            assert event["n_entries_left"] + event["n_entries_right"] >= 6
+        assert tree.height == 1 + len(grows)
+        # the events counter mirrors the sink
+        assert telemetry.events.counts["node_split"] == len(splits)
+
+    def test_wal_commit_and_checkpoint_events(self, tmp_path):
+        telemetry, sink = fresh_telemetry()
+        pager = FilePager(tmp_path / "t.pages", page_size=4096)
+        wal = WriteAheadLog(tmp_path / "t.wal")
+        store = NodeStore(
+            N_BITS, page_size=4096, frames=8, mode="disk", pager=pager, wal=wal
+        )
+        tree = SGTree(N_BITS, max_entries=8, store=store, telemetry=telemetry)
+        try:
+            for t in random_transactions(seed=5, count=60, n_bits=N_BITS):
+                tree.insert(t)
+            tree.commit()
+            commits = sink.of_type("wal_commit")
+            assert commits
+            assert all(e["records"] >= 0 for e in commits)
+            store.checkpoint(meta=tree.catalogue())
+            checkpoints = sink.of_type("wal_checkpoint")
+            assert checkpoints
+            assert checkpoints[-1]["bytes_dropped"] >= 0
+        finally:
+            wal.close()
+            pager.close()
+
+    def test_scrub_findings_emitted(self):
+        telemetry, sink = fresh_telemetry()
+        tree = SGTree(N_BITS, max_entries=6, telemetry=telemetry)
+        for t in random_transactions(seed=9, count=120, n_bits=N_BITS):
+            tree.insert(t)
+        # sabotage a directory entry's count so the scrubber objects
+        root = tree.store.get(tree.root_id)
+        root.entries[0].count = 999_999
+        tree.store.mark_dirty(root)
+        report = scrub_tree(tree)
+        assert not report.ok
+        findings = sink.of_type("scrub_finding")
+        assert len(findings) == len(report.issues)
+        assert all(f["severity"] in ("integrity", "data_loss") for f in findings)
+
+    def test_clean_scrub_emits_nothing(self):
+        telemetry, sink = fresh_telemetry()
+        tree = SGTree(N_BITS, max_entries=6, telemetry=telemetry)
+        for t in random_transactions(seed=9, count=80, n_bits=N_BITS):
+            tree.insert(t)
+        assert scrub_tree(tree).ok
+        assert sink.of_type("scrub_finding") == []

@@ -1,0 +1,148 @@
+"""Prometheus text exposition and JSON snapshots, checked by the validator."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    MetricsRegistry,
+    render_prometheus,
+    snapshot,
+    snapshot_json,
+    validate_prometheus_text,
+)
+
+
+@pytest.fixture
+def registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    ops = registry.counter("ops_total", "Operations", labelnames=("kind",))
+    ops.labels(kind="knn").inc(4)
+    ops.labels(kind="range").inc()
+    registry.gauge("tree_height", "Levels").set(3)
+    lat = registry.histogram("latency_seconds", "Latency", buckets=(0.1, 1.0))
+    for v in (0.05, 0.2, 5.0):
+        lat.observe(v)
+    return registry
+
+
+class TestRenderPrometheus:
+    def test_output_passes_the_validator(self, registry):
+        text = render_prometheus(registry)
+        assert validate_prometheus_text(text) == []
+
+    def test_help_type_and_samples_present(self, registry):
+        text = render_prometheus(registry)
+        assert "# HELP ops_total Operations" in text
+        assert "# TYPE ops_total counter" in text
+        assert 'ops_total{kind="knn"} 4' in text
+        assert "tree_height 3" in text
+
+    def test_histogram_series_shape(self, registry):
+        lines = render_prometheus(registry).splitlines()
+        buckets = [l for l in lines if l.startswith("latency_seconds_bucket")]
+        assert buckets == [
+            'latency_seconds_bucket{le="0.1"} 1',
+            'latency_seconds_bucket{le="1"} 2',
+            'latency_seconds_bucket{le="+Inf"} 3',
+        ]
+        assert "latency_seconds_count 3" in lines
+        assert any(l.startswith("latency_seconds_sum") for l in lines)
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        fam = registry.counter("esc_total", "x", labelnames=("path",))
+        fam.labels(path='a"b\\c\nd').inc()
+        text = render_prometheus(registry)
+        assert 'path="a\\"b\\\\c\\nd"' in text
+        assert validate_prometheus_text(text) == []
+
+    def test_ends_with_newline(self, registry):
+        assert render_prometheus(registry).endswith("\n")
+
+
+class TestValidator:
+    """The validator must reject malformed exposition, not just accept ours."""
+
+    def test_sample_without_type_declaration(self):
+        errs = validate_prometheus_text("mystery_metric 1\n")
+        assert any("TYPE" in e for e in errs)
+
+    def test_duplicate_type_line(self):
+        text = (
+            "# TYPE a counter\n"
+            "# TYPE a counter\n"
+            "a 1\n"
+        )
+        assert any("duplicate" in e.lower() for e in validate_prometheus_text(text))
+
+    def test_negative_counter(self):
+        text = "# TYPE bad_total counter\nbad_total -3\n"
+        assert validate_prometheus_text(text) != []
+
+    def test_histogram_missing_inf_bucket(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 2\n'
+            "h_sum 1.5\n"
+            "h_count 2\n"
+        )
+        assert any("+Inf" in e for e in validate_prometheus_text(text))
+
+    def test_histogram_non_cumulative_buckets(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 5\n'
+            'h_bucket{le="2"} 3\n'
+            'h_bucket{le="+Inf"} 5\n'
+            "h_sum 1\n"
+            "h_count 5\n"
+        )
+        assert validate_prometheus_text(text) != []
+
+    def test_inf_bucket_must_equal_count(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 5\n'
+            "h_sum 1\n"
+            "h_count 7\n"
+        )
+        assert validate_prometheus_text(text) != []
+
+    def test_duplicate_sample(self):
+        text = "# TYPE a counter\na 1\na 2\n"
+        assert any("duplicate" in e.lower() for e in validate_prometheus_text(text))
+
+    def test_missing_trailing_newline(self):
+        assert validate_prometheus_text("# TYPE a counter\na 1") != []
+
+    def test_clean_document_accepted(self):
+        text = (
+            "# HELP a Things\n"
+            "# TYPE a counter\n"
+            'a{kind="x"} 1\n'
+        )
+        assert validate_prometheus_text(text) == []
+
+
+class TestSnapshot:
+    def test_structure(self, registry):
+        doc = snapshot(registry)
+        ops = doc["ops_total"]
+        assert ops["kind"] == "counter"
+        assert ops["labels"] == ["kind"]
+        assert ops["series"] == {"knn": 4.0, "range": 1.0}
+        assert doc["tree_height"]["series"] == {"": 3.0}
+
+    def test_histogram_snapshot(self, registry):
+        hist = snapshot(registry)["latency_seconds"]["series"][""]
+        assert hist["count"] == 3
+        assert hist["sum"] == pytest.approx(5.25)
+        assert hist["buckets"][-1] == ["+Inf", 3]
+        assert hist["p50"] is None or isinstance(hist["p50"], float)
+
+    def test_snapshot_json_round_trips(self, registry):
+        doc = json.loads(snapshot_json(registry))
+        assert doc["ops_total"]["series"]["knn"] == 4.0

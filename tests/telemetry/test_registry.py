@@ -1,0 +1,224 @@
+"""The metrics registry: counters, gauges, histograms, labels, cardinality."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.telemetry import (
+    DEFAULT_COUNT_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS,
+    LabelCardinalityError,
+    MetricsRegistry,
+    TelemetryError,
+    log_buckets,
+)
+
+
+@pytest.fixture
+def registry() -> MetricsRegistry:
+    return MetricsRegistry()
+
+
+class TestLogBuckets:
+    def test_geometric_progression(self):
+        buckets = log_buckets(1.0, 2.0, 5)
+        assert buckets == (1.0, 2.0, 4.0, 8.0, 16.0)
+
+    def test_defaults_strictly_increasing(self):
+        for buckets in (DEFAULT_LATENCY_BUCKETS, DEFAULT_COUNT_BUCKETS):
+            assert all(a < b for a, b in zip(buckets, buckets[1:]))
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(TelemetryError):
+            log_buckets(0.0, 2.0, 4)
+        with pytest.raises(TelemetryError):
+            log_buckets(1.0, 1.0, 4)
+        with pytest.raises(TelemetryError):
+            log_buckets(1.0, 2.0, 0)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self, registry):
+        c = registry.counter("ops_total", "ops")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative_increment(self, registry):
+        c = registry.counter("neg_total", "x")
+        with pytest.raises(TelemetryError):
+            c.inc(-1)
+
+    def test_set_function_wins_over_stored_value(self, registry):
+        state = {"n": 7}
+        c = registry.counter("cb_total", "x")
+        c.set_function(lambda: state["n"])
+        assert c.value == 7
+        state["n"] = 11
+        assert c.value == 11
+
+    def test_get_or_create_is_idempotent(self, registry):
+        a = registry.counter("same_total", "x", labelnames=("k",))
+        b = registry.counter("same_total", "x", labelnames=("k",))
+        assert a is b
+
+    def test_kind_mismatch_raises(self, registry):
+        registry.counter("clash_total", "x")
+        with pytest.raises(TelemetryError):
+            registry.gauge("clash_total", "x")
+
+    def test_labelname_mismatch_raises(self, registry):
+        registry.counter("lbl_total", "x", labelnames=("a",))
+        with pytest.raises(TelemetryError):
+            registry.counter("lbl_total", "x", labelnames=("b",))
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        g = registry.gauge("depth", "x")
+        g.set(4)
+        g.inc()
+        g.dec(2)
+        assert g.value == 3
+
+    def test_set_function(self, registry):
+        items = [1, 2, 3]
+        g = registry.gauge("size", "x")
+        g.set_function(lambda: len(items))
+        assert g.value == 3
+        items.append(4)
+        assert g.value == 4
+
+
+class TestHistogramBuckets:
+    """Satellite: bucket boundary semantics are `value <= le` (Prometheus)."""
+
+    def test_boundary_value_lands_in_its_bucket(self, registry):
+        h = registry.histogram("b", "x", buckets=(1.0, 10.0))
+        h.observe(1.0)  # exactly on the first boundary: counts as <= 1.0
+        child = h.series()[0][1]
+        assert child.bucket_counts() == [1, 0, 0]
+
+    def test_above_last_bucket_goes_to_inf(self, registry):
+        h = registry.histogram("c", "x", buckets=(1.0, 10.0))
+        h.observe(10.0001)
+        child = h.series()[0][1]
+        assert child.bucket_counts() == [0, 0, 1]
+        assert child.cumulative()[-1] == (math.inf, 1)
+
+    def test_cumulative_monotone_and_ends_at_count(self, registry):
+        h = registry.histogram("d", "x", buckets=(0.5, 1.0, 2.0))
+        for v in (0.1, 0.5, 0.7, 1.5, 99.0):
+            h.observe(v)
+        child = h.series()[0][1]
+        cumulative = [count for _le, count in child.cumulative()]
+        assert cumulative == sorted(cumulative)
+        assert cumulative[-1] == child.count == 5
+        assert child.sum == pytest.approx(0.1 + 0.5 + 0.7 + 1.5 + 99.0)
+
+    def test_rejects_unsorted_or_explicit_inf(self, registry):
+        with pytest.raises(TelemetryError):
+            registry.histogram("e", "x", buckets=(2.0, 1.0))
+        with pytest.raises(TelemetryError):
+            registry.histogram("f", "x", buckets=(1.0, math.inf))
+
+    def test_quantiles(self, registry):
+        h = registry.histogram("g", "x", buckets=tuple(float(i) for i in range(1, 11)))
+        for v in range(1, 11):
+            h.observe(float(v) - 0.5)
+        assert h.quantile(0.0) <= h.quantile(0.5) <= h.quantile(1.0)
+        assert 4.0 <= h.quantile(0.5) <= 6.0
+        empty = registry.histogram("h", "x", buckets=(1.0,))
+        assert math.isnan(empty.quantile(0.5))
+
+    @given(
+        st.lists(
+            st.floats(
+                min_value=0.0, max_value=1e6,
+                allow_nan=False, allow_infinity=False,
+            ),
+            max_size=60,
+        )
+    )
+    def test_property_buckets_partition_observations(self, values):
+        registry = MetricsRegistry()
+        buckets = log_buckets(1e-3, 4.0, 8)
+        h = registry.histogram("p", "x", buckets=buckets)
+        for v in values:
+            h.observe(v)
+        if not values:
+            assert h.series() == []  # no child materialised until first use
+            return
+        child = h.series()[0][1]
+        counts = child.bucket_counts()
+        # every observation lands in exactly one bucket
+        assert sum(counts) == len(values)
+        # each bucket's count matches a direct recount over (prev, le]
+        edges = (-math.inf,) + buckets + (math.inf,)
+        for i, count in enumerate(counts):
+            expected = sum(1 for v in values if edges[i] < v <= edges[i + 1])
+            assert count == expected
+
+
+class TestLabels:
+    def test_series_are_independent(self, registry):
+        fam = registry.counter("q_total", "x", labelnames=("kind",))
+        fam.labels(kind="knn").inc(3)
+        fam.labels(kind="range").inc()
+        values = {labels: child.value for labels, child in fam.series()}
+        assert values == {("knn",): 3.0, ("range",): 1.0}
+
+    def test_unknown_labelname_raises(self, registry):
+        fam = registry.counter("r_total", "x", labelnames=("kind",))
+        with pytest.raises(TelemetryError):
+            fam.labels(wrong="oops")
+
+    def test_invalid_metric_name_raises(self, registry):
+        with pytest.raises(TelemetryError):
+            registry.counter("bad name", "x")
+
+    def test_cardinality_overflow_collapses(self):
+        registry = MetricsRegistry(max_series=3)
+        fam = registry.counter("s_total", "x", labelnames=("id",))
+        for i in range(10):
+            fam.labels(id=str(i)).inc()
+        labelsets = [labels for labels, _ in fam.series()]
+        assert len(labelsets) <= 4  # 3 real series + the overflow bucket
+        assert ("__overflow__",) in labelsets
+        overflow = dict(fam.series())[("__overflow__",)]
+        assert overflow.value == 7.0  # ids 3..9 collapsed
+
+    def test_cardinality_overflow_raises_when_asked(self):
+        registry = MetricsRegistry(max_series=2, on_overflow="raise")
+        fam = registry.counter("t_total", "x", labelnames=("id",))
+        fam.labels(id="a").inc()
+        fam.labels(id="b").inc()
+        with pytest.raises(LabelCardinalityError):
+            fam.labels(id="c")
+
+
+class TestRegistry:
+    def test_collect_sorted_by_name(self, registry):
+        registry.counter("zzz_total", "z")
+        registry.counter("aaa_total", "a")
+        names = [fam.name for fam in registry.collect()]
+        assert names == sorted(names)
+
+    def test_collectors_run_at_collect_time(self, registry):
+        calls = []
+        registry.register_collector(lambda: calls.append(1))
+        registry.collect()
+        registry.collect()
+        assert len(calls) == 2
+
+    def test_contains_and_get(self, registry):
+        registry.gauge("present", "x")
+        assert "present" in registry
+        assert "absent" not in registry
+        assert registry.get("present").name == "present"
+        assert registry.get("absent") is None

@@ -1,0 +1,79 @@
+"""Thread-safety of the registry: concurrent updates must not drop counts.
+
+Mirrors the threaded-stress style of ``tests/sgtree/test_executor.py``:
+many workers hammer the same families and the totals must come out
+exact — the registry's single lock is the invariant under test.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.telemetry import MetricsRegistry
+
+N_THREADS = 8
+N_OPS = 500
+
+
+def _run_threads(worker) -> None:
+    barrier = threading.Barrier(N_THREADS)
+
+    def wrapped(i: int) -> None:
+        barrier.wait()  # maximise interleaving
+        worker(i)
+
+    threads = [threading.Thread(target=wrapped, args=(i,)) for i in range(N_THREADS)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+
+def test_concurrent_counter_increments_are_exact():
+    registry = MetricsRegistry()
+    counter = registry.counter("hits_total", "x")
+    _run_threads(lambda i: [counter.inc() for _ in range(N_OPS)])
+    assert counter.value == N_THREADS * N_OPS
+
+
+def test_concurrent_labelled_series_creation_and_updates():
+    registry = MetricsRegistry()
+    fam = registry.counter("sharded_total", "x", labelnames=("worker",))
+
+    def worker(i: int) -> None:
+        # half the threads share a label, so get-or-create races with inc
+        label = str(i % 2)
+        for _ in range(N_OPS):
+            fam.labels(worker=label).inc()
+
+    _run_threads(worker)
+    total = sum(child.value for _labels, child in fam.series())
+    assert total == N_THREADS * N_OPS
+
+
+def test_concurrent_histogram_observations_are_exact():
+    registry = MetricsRegistry()
+    hist = registry.histogram("lat", "x", buckets=(0.25, 0.5, 0.75))
+
+    def worker(i: int) -> None:
+        for j in range(N_OPS):
+            hist.observe((j % 4) / 4.0)
+
+    _run_threads(worker)
+    child = hist.series()[0][1]
+    assert child.count == N_THREADS * N_OPS
+    assert sum(child.bucket_counts()) == child.count
+    # each of the 4 observed values recurs equally often
+    assert child.bucket_counts()[0] == N_THREADS * N_OPS // 2  # 0.0 and 0.25
+
+
+def test_concurrent_family_registration_yields_one_family():
+    registry = MetricsRegistry()
+    families = []
+
+    def worker(i: int) -> None:
+        families.append(registry.counter("same_total", "x"))
+
+    _run_threads(worker)
+    assert all(fam is families[0] for fam in families)
+    assert len([f for f in registry.collect() if f.name == "same_total"]) == 1

@@ -1,0 +1,128 @@
+"""Query tracing and EXPLAIN: reconciliation, parity, rendering, JSONL."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import SGTree, Signature
+from repro.sgtree.search import SearchStats
+from support import random_signature, random_transactions
+
+N_BITS = 160
+
+
+@pytest.fixture(scope="module")
+def tree() -> SGTree:
+    tree = SGTree(N_BITS, max_entries=8)
+    for t in random_transactions(seed=11, count=350, n_bits=N_BITS):
+        tree.insert(t)
+    return tree
+
+
+@pytest.fixture(scope="module")
+def queries() -> list[Signature]:
+    rng = np.random.default_rng(3)
+    return [random_signature(rng, N_BITS, max_items=10) for _ in range(12)]
+
+
+class TestExplainParity:
+    """Tracing must observe the search, never change it."""
+
+    def test_knn_results_match_untraced(self, tree, queries):
+        for q in queries:
+            report = tree.explain(q, k=5)
+            assert report.results == tree.nearest(q, k=5)
+
+    def test_range_results_match_untraced(self, tree, queries):
+        for q in queries:
+            report = tree.explain(q, epsilon=8.0)
+            assert report.results == tree.range_query(q, 8.0)
+
+    def test_containment_results_match_untraced(self, tree, queries):
+        for q in queries:
+            report = tree.explain(q, kind="containment")
+            assert report.results == tree.containment_query(q)
+
+
+class TestReconciliation:
+    """The ISSUE acceptance criterion: pruned/descended counts in the
+    trace reconcile exactly with ``SearchStats.node_accesses``."""
+
+    @pytest.mark.parametrize("kind", ["knn", "range", "containment"])
+    def test_trace_reconciles_with_stats(self, tree, queries, kind):
+        for q in queries:
+            report = tree.explain(
+                q,
+                k=3,
+                epsilon=8.0 if kind == "range" else None,
+                kind=kind,
+            )
+            tracer, stats = report.tracer, report.stats
+            assert tracer.reconciles(stats)
+            assert len(tracer.spans) == stats.node_accesses
+            # every non-root visit is exactly one descended decision
+            assert tracer.n_descended + 1 == len(tracer.spans)
+
+    def test_trace_agrees_with_independent_stats_run(self, tree, queries):
+        for q in queries:
+            report = tree.explain(q, k=4)
+            stats = SearchStats()
+            tree.nearest(q, k=4, stats=stats)
+            assert len(report.tracer.spans) == stats.node_accesses
+
+    def test_reconciles_detects_mismatch(self, tree, queries):
+        report = tree.explain(queries[0], k=2)
+        broken = SearchStats()
+        broken.node_accesses = len(report.tracer.spans) + 1
+        assert not report.tracer.reconciles(broken)
+
+
+class TestSpans:
+    def test_span_decisions_cover_directory_fanout(self, tree, queries):
+        report = tree.explain(queries[0], k=3)
+        for span in report.tracer.spans:
+            if span.is_leaf:
+                assert span.entries == []
+                assert span.n_compared == span.fanout
+            else:
+                assert len(span.entries) == span.fanout
+                assert all(
+                    d.action in ("descended", "pruned") for d in span.entries
+                )
+
+    def test_thresholds_tighten_monotonically(self, tree, queries):
+        # the kNN threshold never loosens as the traversal proceeds;
+        # leaves finish in visit order (directory spans close later,
+        # once their whole subtree is done), so check the leaf sequence
+        report = tree.explain(queries[0], k=3)
+        taus = [s.threshold_out for s in report.tracer.spans if s.is_leaf]
+        assert all(a >= b for a, b in zip(taus, taus[1:]))
+
+    def test_root_span_has_no_parent(self, tree, queries):
+        spans = tree.explain(queries[0], k=1).tracer.spans
+        assert spans[0].parent is None
+        assert all(s.parent is not None for s in spans[1:])
+
+
+class TestSerialisation:
+    def test_jsonl_is_valid_and_complete(self, tree, queries):
+        report = tree.explain(queries[0], k=3)
+        lines = report.to_jsonl().strip().splitlines()
+        docs = [json.loads(line) for line in lines]
+        spans = [d for d in docs if d.get("page_id") is not None]
+        assert len(spans) == len(report.tracer.spans)
+        for doc in spans:
+            assert {"page_id", "level", "fanout", "buffer_hit"} <= doc.keys()
+
+    def test_render_marks_pruned_and_descended(self, tree, queries):
+        text = tree.explain(queries[0], k=3).render()
+        assert "EXPLAIN knn" in text
+        assert "descended" in text
+        assert "trace reconciles with stats: yes" in text
+
+    def test_explain_rejects_unknown_kind(self, tree, queries):
+        with pytest.raises(ValueError):
+            tree.explain(queries[0], kind="mystery")

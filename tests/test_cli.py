@@ -329,3 +329,71 @@ class TestQueryBatch:
         ]) == 0
         with pytest.raises(SystemExit, match="200-bit"):
             main(["query", str(index), "--batch", str(wrong), "--knn", "1"])
+
+
+class TestQueryExplain:
+    def test_explain_knn_prints_trace(self, index, capsys):
+        assert main([
+            "query", str(index), "--items", "1,2,3", "--knn", "3", "--explain",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "EXPLAIN knn" in out
+        assert "descended" in out
+        assert "trace reconciles with stats: yes" in out
+
+    def test_explain_range_and_contains(self, index, capsys):
+        assert main([
+            "query", str(index), "--items", "1,2,3", "--range", "20", "--explain",
+        ]) == 0
+        assert "EXPLAIN range" in capsys.readouterr().out
+        assert main([
+            "query", str(index), "--items", "1,2", "--contains", "--explain",
+        ]) == 0
+        assert "EXPLAIN containment" in capsys.readouterr().out
+
+    def test_trace_out_writes_jsonl(self, index, tmp_path, capsys):
+        import json as json_mod
+
+        trace = tmp_path / "trace.jsonl"
+        assert main([
+            "query", str(index), "--items", "1,2,3", "--knn", "2",
+            "--trace-out", str(trace),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert f"trace written to {trace}" in out
+        docs = [json_mod.loads(line) for line in trace.read_text().splitlines()]
+        assert any("page_id" in d for d in docs)
+
+    def test_explain_rejects_count_and_best_first(self, index):
+        with pytest.raises(SystemExit, match="--explain"):
+            main([
+                "query", str(index), "--items", "1", "--count", "5", "--explain",
+            ])
+        with pytest.raises(SystemExit, match="depth-first"):
+            main([
+                "query", str(index), "--items", "1", "--best-first", "--explain",
+            ])
+
+
+class TestStatsCommand:
+    def test_prometheus_output_is_valid(self, index, capsys):
+        from repro.telemetry import validate_prometheus_text
+
+        assert main(["stats", str(index), "--probe", "5"]) == 0
+        out = capsys.readouterr().out
+        assert validate_prometheus_text(out + "\n") == []
+        assert "sgtree_node_accesses_total" in out
+        assert "sgtree_query_seconds_bucket" in out
+
+    def test_json_output_parses(self, index, capsys):
+        import json as json_mod
+
+        assert main(["stats", str(index), "--format", "json", "--probe", "3"]) == 0
+        doc = json_mod.loads(capsys.readouterr().out)
+        assert doc["sgtree_queries_total"]["series"]["knn"] == 3.0
+        assert doc["sgtree_height"]["series"]["default"] >= 1
+
+    def test_no_probe_reports_idle_metrics(self, index, capsys):
+        assert main(["stats", str(index)]) == 0
+        out = capsys.readouterr().out
+        assert "sgtree_node_accesses_total" in out

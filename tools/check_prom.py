@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Validate Prometheus text exposition read from stdin (or a file).
+
+CI pipes ``repro-sgtree stats --format prom`` through this script; it
+exits 0 when the document parses cleanly against the exposition-format
+grammar in :func:`repro.telemetry.validate_prometheus_text`, and 1 with
+one diagnostic per line otherwise.
+
+Usage::
+
+    repro-sgtree stats index.sgt | python tools/check_prom.py
+    python tools/check_prom.py metrics.prom
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "src"))
+
+from repro.telemetry import validate_prometheus_text  # noqa: E402
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv:
+        text = pathlib.Path(argv[0]).read_text(encoding="utf-8")
+    else:
+        text = sys.stdin.read()
+    if not text.strip():
+        print("check_prom: empty input", file=sys.stderr)
+        return 1
+    # shells strip the final newline from command substitution; the CLI
+    # itself prints one, so tolerate its absence at the very end
+    if not text.endswith("\n"):
+        text += "\n"
+    errors = validate_prometheus_text(text)
+    for error in errors:
+        print(f"check_prom: {error}", file=sys.stderr)
+    if errors:
+        return 1
+    samples = sum(
+        1 for line in text.splitlines() if line and not line.startswith("#")
+    )
+    print(f"check_prom: ok ({samples} samples)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
