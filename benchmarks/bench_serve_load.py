@@ -1,0 +1,350 @@
+"""Serving-layer load behaviour: shedding, deadlines, hot-swap.
+
+Exercises the three guarantees of :mod:`repro.server` end to end (real
+sockets, real threads) and writes ``BENCH_serve_load.json`` at the repo
+root:
+
+1. **Admission control** — a server with capacity 8 (4 in flight + 4
+   queued) is offered 16 concurrent requests, i.e. 2x saturation, while
+   the executing queries are gated shut.  Exactly the 8 requests beyond
+   capacity must be shed with 429; the 8 within capacity must all
+   complete once the gate opens.
+2. **Deadline early termination** — the same query batch runs with no
+   deadline and with an already-expired one.  Every expired query must
+   abort with :class:`~repro.errors.QueryTimeout` at its first
+   cancellation checkpoint, so the aborted runs' node accesses land
+   strictly below the full runs'; over HTTP the same requests come back
+   as 504.
+3. **Snapshot hot-swap under load** — four client threads hammer
+   ``/query/knn`` while ``/admin/reload`` swaps in a different index.
+   Zero non-shed requests may fail, and the swap must be visible in the
+   served generation.
+
+Runnable standalone (``python benchmarks/bench_serve_load.py``) or via
+pytest; the CI serve-smoke job runs the pytest form and gates on the
+three acceptance assertions above.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from bench_common import cached_quest, report
+from repro.bench import build_tree
+from repro.errors import QueryTimeout
+from repro.server import QueryService, make_server
+from repro.sgtree import Deadline, SearchStats
+from repro.sgtree.persistence import save_tree
+from repro.telemetry import MetricsRegistry, Telemetry
+
+T_SIZE, I_SIZE, D = 10, 6, 5_000
+N_QUERIES = 40
+K = 10
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_serve_load.json"
+
+
+def _post(base: str, path: str, body: dict, timeout: float = 30.0):
+    request = urllib.request.Request(
+        f"{base}{path}",
+        data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def _get_json(base: str, path: str) -> dict:
+    with urllib.request.urlopen(f"{base}{path}", timeout=30) as resp:
+        return json.loads(resp.read())
+
+
+def _served(tree, **service_kwargs):
+    """A running server over ``tree``; returns (server, service, base url)."""
+    telemetry = Telemetry(registry=MetricsRegistry())
+    service = QueryService(tree, telemetry=telemetry, **service_kwargs)
+    server = make_server(service, host="127.0.0.1", port=0)
+    server.serve_background()
+    return server, service, f"http://127.0.0.1:{server.server_address[1]}"
+
+
+def bench_admission(tree, queries) -> dict:
+    """Offer 2x the server's capacity at once; count the sheds."""
+    max_inflight, max_queue = 4, 4
+    capacity = max_inflight + max_queue
+    offered = 2 * capacity
+    server, service, base = _served(
+        tree, max_inflight=max_inflight, max_queue=max_queue
+    )
+    gate = threading.Event()
+    original = service._tree.nearest
+
+    def gated(query, **kwargs):
+        gate.wait(timeout=60)
+        return original(query, **kwargs)
+
+    service._tree.nearest = gated
+    statuses: list[int] = []
+    lock = threading.Lock()
+
+    def client(i: int):
+        status, _body = _post(
+            base, "/query/knn", {"items": queries[i % len(queries)], "k": K}
+        )
+        with lock:
+            statuses.append(status)
+
+    try:
+        # Wave A fills the server exactly to capacity (the gate holds the
+        # executing queries, so slots and queue stay occupied) ...
+        wave_a = [
+            threading.Thread(target=client, args=(i,)) for i in range(capacity)
+        ]
+        for t in wave_a:
+            t.start()
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            health = _get_json(base, "/healthz")
+            if (health["inflight"], health["queue_depth"]) == (
+                max_inflight, max_queue,
+            ):
+                break
+            time.sleep(0.01)
+        else:  # pragma: no cover - diagnostic
+            raise RuntimeError(f"server never saturated: {health}")
+        # ... so wave B — the second half of the 2x offered load — is
+        # past both limits and must be shed to the last request.
+        wave_b = [
+            threading.Thread(target=client, args=(capacity + i,))
+            for i in range(offered - capacity)
+        ]
+        for t in wave_b:
+            t.start()
+        for t in wave_b:
+            t.join(timeout=60)
+        gate.set()
+        for t in wave_a:
+            t.join(timeout=60)
+    finally:
+        gate.set()
+        server.close()
+    ok = sum(1 for s in statuses if s == 200)
+    shed = sum(1 for s in statuses if s == 429)
+    return {
+        "max_inflight": max_inflight,
+        "max_queue": max_queue,
+        "capacity": capacity,
+        "offered": offered,
+        "ok": ok,
+        "shed": shed,
+        "other": len(statuses) - ok - shed,
+        "shed_rate": shed / offered,
+    }
+
+
+def bench_deadline(tree, queries) -> dict:
+    """Expired deadlines must abort traversals at the first checkpoint."""
+    full = SearchStats()
+    for query in queries:
+        tree.nearest(query, k=K, stats=full)
+    aborted = SearchStats()
+    timeouts = 0
+    for query in queries:
+        try:
+            tree.nearest(query, k=K, stats=aborted,
+                         deadline=Deadline.after(0.0))
+        except QueryTimeout:
+            timeouts += 1
+    return {
+        "n_queries": len(queries),
+        "k": K,
+        "full_node_accesses": full.node_accesses,
+        "expired_node_accesses": aborted.node_accesses,
+        "timeouts_raised": timeouts,
+        "early_termination":
+            aborted.node_accesses < full.node_accesses,
+    }
+
+
+def bench_hot_swap(tree, replacement_path: str, queries,
+                   seconds: float = 0.6) -> dict:
+    """Swap snapshots under live traffic; no non-shed request may fail."""
+    server, service, base = _served(tree, max_inflight=8, max_queue=64)
+    stop = threading.Event()
+    counts = {"ok": 0, "shed": 0, "failed": 0}
+    lock = threading.Lock()
+    transactions_before = len(service.tree)
+
+    def client(offset: int):
+        i = 0
+        while not stop.is_set():
+            status, _body = _post(
+                base, "/query/knn",
+                {"items": queries[(offset + i) % len(queries)], "k": K},
+            )
+            with lock:
+                if status == 200:
+                    counts["ok"] += 1
+                elif status == 429:
+                    counts["shed"] += 1
+                else:
+                    counts["failed"] += 1
+            i += 1
+
+    threads = [threading.Thread(target=client, args=(j,)) for j in range(4)]
+    try:
+        for t in threads:
+            t.start()
+        time.sleep(seconds / 2)
+        status, info = _post(
+            base, "/admin/reload", {"index_path": replacement_path}
+        )
+        time.sleep(seconds / 2)
+        stop.set()
+        for t in threads:
+            t.join(timeout=60)
+        health = _get_json(base, "/healthz")
+    finally:
+        stop.set()
+        server.close()
+    assert status == 200, info
+    return {
+        "clients": len(threads),
+        "requests_ok": counts["ok"],
+        "requests_shed": counts["shed"],
+        "requests_failed": counts["failed"],
+        "transactions_before": transactions_before,
+        "transactions_after": health["transactions"],
+        "generation_after": health["generation"],
+        "swap_seconds": info["seconds"],
+    }
+
+
+def run_benchmark(tmp_dir: "pathlib.Path | None" = None) -> dict:
+    workload = cached_quest(T_SIZE, I_SIZE, D, N_QUERIES)
+    tree = build_tree(workload).index
+    query_items = [
+        sorted(query.items()) for query in workload.queries[:N_QUERIES]
+    ]
+
+    admission = bench_admission(tree, query_items)
+
+    deadline_doc = bench_deadline(tree, workload.queries[:N_QUERIES])
+    # The same expired budget over HTTP must come back as 504.
+    server, _service, base = _served(tree, max_inflight=8, max_queue=32)
+    try:
+        deadline_doc["http_504"] = sum(
+            1
+            for items in query_items[:5]
+            if _post(base, "/query/knn",
+                     {"items": items, "k": K, "deadline_ms": 0})[0] == 504
+        )
+    finally:
+        server.close()
+
+    # A second, smaller index to swap in while clients hammer the first.
+    out_dir = tmp_dir if tmp_dir is not None else REPO_ROOT / "benchmarks" / "out"
+    out_dir.mkdir(parents=True, exist_ok=True)
+    replacement_workload = cached_quest(T_SIZE, I_SIZE, D // 2, N_QUERIES,
+                                        stream_seed=2)
+    replacement = build_tree(replacement_workload).index
+    replacement_path = out_dir / "serve_swap_replacement.sgt"
+    save_tree(replacement, replacement_path)
+
+    hot_swap = bench_hot_swap(tree, str(replacement_path), query_items)
+
+    return {
+        "benchmark": "serve_load",
+        "workload": workload.name,
+        "database_size": len(workload.transactions),
+        "admission": admission,
+        "deadline": deadline_doc,
+        "hot_swap": hot_swap,
+    }
+
+
+def _summarise(doc: dict) -> str:
+    admission, deadline, swap = (
+        doc["admission"], doc["deadline"], doc["hot_swap"],
+    )
+    return "\n".join([
+        f"Serving under load ({doc['workload']}, "
+        f"{doc['database_size']} transactions)",
+        f"  admission: offered {admission['offered']} at capacity "
+        f"{admission['capacity']} -> {admission['ok']} ok, "
+        f"{admission['shed']} shed (rate {admission['shed_rate']:.2f})",
+        f"  deadline: {deadline['full_node_accesses']} node accesses "
+        f"unbounded vs {deadline['expired_node_accesses']} expired "
+        f"({deadline['timeouts_raised']}/{deadline['n_queries']} timeouts, "
+        f"{deadline['http_504']}/5 HTTP 504)",
+        f"  hot-swap: {swap['requests_ok']} ok, {swap['requests_shed']} "
+        f"shed, {swap['requests_failed']} failed across the swap "
+        f"({swap['transactions_before']} -> {swap['transactions_after']} "
+        f"transactions, {swap['swap_seconds'] * 1e3:.1f}ms)",
+    ])
+
+
+def write_results(doc: dict, out_path: pathlib.Path = DEFAULT_OUT) -> None:
+    out_path.write_text(json.dumps(doc, indent=2) + "\n")
+
+
+@pytest.fixture(scope="module")
+def results(tmp_path_factory):
+    doc = run_benchmark(tmp_dir=tmp_path_factory.mktemp("serve_load"))
+    write_results(doc)
+    report("serve_load", _summarise(doc))
+    return doc
+
+
+class TestServeLoad:
+    def test_shedding_at_double_saturation(self, results):
+        admission = results["admission"]
+        assert admission["ok"] == admission["capacity"]
+        assert admission["shed"] == admission["offered"] - admission["capacity"]
+        assert admission["other"] == 0
+
+    def test_expired_deadline_terminates_early(self, results):
+        deadline = results["deadline"]
+        assert deadline["timeouts_raised"] == deadline["n_queries"]
+        assert deadline["expired_node_accesses"] < deadline["full_node_accesses"]
+        assert deadline["http_504"] == 5
+
+    def test_hot_swap_drops_nothing(self, results):
+        swap = results["hot_swap"]
+        assert swap["requests_failed"] == 0
+        assert swap["requests_ok"] > 0
+        assert swap["generation_after"] == 1
+        assert swap["transactions_after"] != swap["transactions_before"]
+
+    def test_json_well_formed(self, results):
+        doc = json.loads(DEFAULT_OUT.read_text())
+        assert doc["benchmark"] == "serve_load"
+        for key in ("admission", "deadline", "hot_swap"):
+            assert key in doc
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("-o", "--output", type=pathlib.Path, default=DEFAULT_OUT)
+    args = parser.parse_args()
+    doc = run_benchmark()
+    write_results(doc, args.output)
+    print(_summarise(doc))
+    print(f"results -> {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -50,16 +50,25 @@ from .data import (
 )
 from .errors import (
     PageCorruptError,
+    QueryTimeout,
     RecoveryError,
     ReproError,
     ScrubError,
     StorageError,
+)
+from .server import (
+    QueryService,
+    ReloadInProgress,
+    RequestShed,
+    ServedQuery,
+    make_server,
 )
 from .sgtable import SGTable
 from .telemetry import EventLog, MetricsRegistry, Telemetry
 from .sgtree import (
     Cluster,
     ConcurrentSGTree,
+    Deadline,
     Neighbor,
     QueryExecutor,
     batch_knn,
@@ -132,6 +141,14 @@ __all__ = [
     "QueryExecutor",
     "batch_knn",
     "batch_range",
+    # serving
+    "QueryService",
+    "ServedQuery",
+    "RequestShed",
+    "ReloadInProgress",
+    "make_server",
+    "Deadline",
+    "QueryTimeout",
     # telemetry
     "Telemetry",
     "MetricsRegistry",

@@ -11,6 +11,7 @@ Subcommands::
     scrub      verify every page checksum and tree invariant
     info       print an index's structural report
     stats      export telemetry metrics (Prometheus text or JSON)
+    serve      run the HTTP query server over an index
 
 ``query --explain`` prints a per-node EXPLAIN trace of a single query —
 which directory entries were pruned versus descended and at what bound —
@@ -177,6 +178,29 @@ def build_parser() -> argparse.ArgumentParser:
                        help="re-render every SECS seconds until interrupted")
     stats.add_argument("--seed", type=int, default=0,
                        help="sampling seed for --probe")
+
+    serve = commands.add_parser(
+        "serve", help="serve an index over HTTP (knn/range/containment/batch)"
+    )
+    serve.add_argument("index", help="index path from `build`")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="TCP port (0 picks a free one)")
+    serve.add_argument("--max-inflight", type=int, default=8,
+                       help="requests executing concurrently (default 8)")
+    serve.add_argument("--max-queue", type=int, default=32,
+                       help="requests allowed to wait for a slot before "
+                            "admission control sheds with 429 (default 32)")
+    serve.add_argument("--deadline-ms", type=float, default=None,
+                       help="default per-request deadline in milliseconds; "
+                            "requests may override with their own deadline_ms")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="threads per /query/batch request (default 1)")
+    serve.add_argument("--batch-size", type=int, default=64,
+                       help="queries per shared-frontier shard (default 64)")
+    serve.add_argument("--events-out", metavar="FILE", default=None,
+                       help="also append structured events (snapshot swaps, "
+                            "startup) to FILE as JSON lines")
 
     return parser
 
@@ -519,6 +543,44 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         tree.store.pager.close()
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .server import QueryService, make_server, serve_forever
+    from .telemetry import EventLog, JsonlEventSink, MetricsRegistry, Telemetry
+
+    events = EventLog()
+    if args.events_out:
+        events.add_sink(JsonlEventSink(args.events_out))
+    telemetry = Telemetry(registry=MetricsRegistry(), events=events)
+    tree = load_tree(args.index)
+    tree.attach_telemetry(telemetry)
+    service = QueryService(
+        tree,
+        telemetry=telemetry,
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        default_deadline=(
+            args.deadline_ms / 1e3 if args.deadline_ms is not None else None
+        ),
+        workers=args.workers,
+        batch_size=args.batch_size,
+    )
+    try:
+        server = make_server(service, host=args.host, port=args.port)
+        host, port = server.server_address[:2]
+        print(
+            f"serving {args.index} ({len(tree)} transactions) on "
+            f"http://{host}:{port}  [max-inflight={args.max_inflight}, "
+            f"max-queue={args.max_queue}] — Ctrl-C to stop"
+        )
+        serve_forever(server)
+        return 0
+    finally:
+        # After a hot-swap the service closed the old pager itself, so
+        # close whatever tree is current at shutdown, not `tree`.
+        service.tree.tree.store.pager.close()
+        events.close()
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "build": _cmd_build,
@@ -529,6 +591,7 @@ _COMMANDS = {
     "scrub": _cmd_scrub,
     "info": _cmd_info,
     "stats": _cmd_stats,
+    "serve": _cmd_serve,
 }
 
 

@@ -19,6 +19,11 @@ fault-injection harness (:mod:`repro.storage.faults`): the first models a
 process kill at a scheduled storage operation, the second a transient
 device error.  Production code never raises them.
 
+:class:`QueryTimeout` is the query-serving deadline signal: a traversal
+given a :class:`~repro.sgtree.search.Deadline` raises it at the next
+cancellation checkpoint after the deadline expires, carrying the partial
+traffic accounted so far.
+
 Several classes keep a legacy builtin base (``KeyError``, ``ValueError``,
 ``OSError``) so code written against the original, untyped errors keeps
 working.
@@ -37,6 +42,7 @@ __all__ = [
     "ScrubError",
     "CrashError",
     "InjectedIOError",
+    "QueryTimeout",
 ]
 
 
@@ -110,3 +116,26 @@ class CrashError(StorageError):
 class InjectedIOError(StorageError, OSError):
     """A simulated transient device error from the fault-injection
     harness.  Also an ``OSError`` so generic I/O handling applies."""
+
+
+class QueryTimeout(ReproError, TimeoutError):
+    """A query's deadline expired mid-traversal.
+
+    Raised at a cooperative cancellation checkpoint (one check per node
+    visit), so an expired query stops visiting nodes instead of running
+    to completion.  Any :class:`~repro.sgtree.search.SearchStats` passed
+    to the search still receives the traffic generated up to the abort
+    point (the stats scope flushes on the way out).  Also a
+    ``TimeoutError`` so generic timeout handling applies.
+
+    ``elapsed`` is how long the query had been running when the
+    checkpoint fired; ``budget`` is the deadline it was given.
+    """
+
+    def __init__(self, elapsed: float, budget: float):
+        self.elapsed = elapsed
+        self.budget = budget
+        super().__init__(
+            f"query deadline exceeded: {elapsed * 1e3:.3f} ms elapsed "
+            f"of a {budget * 1e3:.3f} ms budget"
+        )

@@ -1,0 +1,21 @@
+"""Query serving: admission control, deadlines, snapshot hot-swap.
+
+:class:`QueryService` is the protocol-independent core (use it directly
+to embed the serving behaviours in another process);
+:func:`make_server`/:class:`ServingHTTPServer` put a stdlib HTTP+JSON
+front end on top, which is what ``repro-sgtree serve`` runs.  See
+``docs/serving.md``.
+"""
+
+from .http import ServingHTTPServer, make_server, serve_forever
+from .service import QueryService, ReloadInProgress, RequestShed, ServedQuery
+
+__all__ = [
+    "QueryService",
+    "ServedQuery",
+    "RequestShed",
+    "ReloadInProgress",
+    "ServingHTTPServer",
+    "make_server",
+    "serve_forever",
+]

@@ -1,0 +1,256 @@
+"""HTTP+JSON front end for :class:`~repro.server.service.QueryService`.
+
+Pure stdlib (:mod:`http.server`), one OS thread per connection via
+:class:`~http.server.ThreadingHTTPServer` — the service underneath
+bounds actual concurrency with its admission control, so the thread-per-
+connection model stays cheap even when a load spike hits.
+
+Routes (see ``docs/serving.md`` for the full request/response contract):
+
+====== ===================== ===========================================
+method path                  behaviour
+====== ===================== ===========================================
+GET    ``/healthz``          liveness + saturation snapshot (always 200)
+GET    ``/metrics``          Prometheus text exposition
+POST   ``/query/knn``        ``{"items": [...], "k": 5, ...}``
+POST   ``/query/range``      ``{"items": [...], "epsilon": 0.4, ...}``
+POST   ``/query/containment`` ``{"items": [...]}``
+POST   ``/query/batch``      ``{"queries": [[...], ...], "kind": "knn"}``
+POST   ``/admin/reload``     ``{"index_path": ...}`` or
+                             ``{"dataset_path": ...}`` — snapshot swap
+====== ===================== ===========================================
+
+Error statuses: **400** malformed body, **404** unknown route, **409**
+reload already running, **429** shed by admission control (body carries
+``retry": true``), **504** deadline exceeded (in queue or mid-
+traversal).  Every query route accepts an optional ``deadline_ms``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..errors import QueryTimeout, ReproError
+from ..sgtree.search import Neighbor, SearchStats
+from .service import QueryService, ReloadInProgress, RequestShed, ServedQuery
+
+__all__ = ["ServingHTTPServer", "make_server", "serve_forever"]
+
+#: Request-body size cap; a query body past this is certainly malformed.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+def _stats_payload(stats: SearchStats) -> dict:
+    return {
+        "node_accesses": stats.node_accesses,
+        "random_ios": stats.random_ios,
+        "leaf_entries": stats.leaf_entries,
+        "hit_ratio": stats.hit_ratio,
+    }
+
+
+def _results_payload(results: object) -> object:
+    """Neighbors, ids, or nested lists thereof, JSON-shaped."""
+    if isinstance(results, Neighbor):
+        return {"tid": results.tid, "distance": results.distance}
+    if isinstance(results, list):
+        return [_results_payload(r) for r in results]
+    return results
+
+
+def _response_payload(served: ServedQuery) -> dict:
+    return {
+        "kind": served.kind,
+        "results": _results_payload(served.results),
+        "generation": served.generation,
+        "seconds": served.seconds,
+        "stats": _stats_payload(served.stats),
+    }
+
+
+def _deadline_seconds(body: dict) -> "float | None":
+    deadline_ms = body.get("deadline_ms")
+    if deadline_ms is None:
+        return None
+    deadline_ms = float(deadline_ms)
+    if deadline_ms < 0:
+        raise ValueError(f"deadline_ms must be >= 0, got {deadline_ms}")
+    return deadline_ms / 1e3
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests to the server's :class:`QueryService`."""
+
+    protocol_version = "HTTP/1.1"
+    server: "ServingHTTPServer"
+
+    # -- plumbing ----------------------------------------------------------
+
+    def log_message(self, format: str, *args: object) -> None:
+        # Per-request access logging is the metrics registry's job; the
+        # default stderr line per request would swamp benchmark output.
+        pass
+
+    def _send_json(self, code: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, code: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise ValueError(f"request body of {length} bytes exceeds cap")
+        if length == 0:
+            return {}
+        body = json.loads(self.rfile.read(length).decode("utf-8"))
+        if not isinstance(body, dict):
+            raise ValueError("request body must be a JSON object")
+        return body
+
+    # -- routes ------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        service = self.server.service
+        if self.path == "/healthz":
+            self._send_json(200, service.health())
+        elif self.path == "/metrics":
+            self._send_text(
+                200, service.metrics_text(), "text/plain; version=0.0.4"
+            )
+        else:
+            self._send_json(404, {"error": f"unknown route {self.path}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        service = self.server.service
+        try:
+            body = self._read_body()
+            if self.path == "/query/knn":
+                served = service.knn(
+                    body["items"],
+                    k=int(body.get("k", 1)),
+                    metric=body.get("metric"),
+                    algorithm=body.get("algorithm", "depth-first"),
+                    deadline_seconds=_deadline_seconds(body),
+                )
+            elif self.path == "/query/range":
+                served = service.range(
+                    body["items"],
+                    epsilon=float(body["epsilon"]),
+                    metric=body.get("metric"),
+                    deadline_seconds=_deadline_seconds(body),
+                )
+            elif self.path == "/query/containment":
+                served = service.containment(
+                    body["items"],
+                    deadline_seconds=_deadline_seconds(body),
+                )
+            elif self.path == "/query/batch":
+                served = service.batch(
+                    body["queries"],
+                    kind=body.get("kind", "knn"),
+                    k=int(body.get("k", 1)),
+                    epsilon=body.get("epsilon"),
+                    metric=body.get("metric"),
+                    deadline_seconds=_deadline_seconds(body),
+                )
+            elif self.path == "/admin/reload":
+                info = service.reload(
+                    index_path=body.get("index_path"),
+                    dataset_path=body.get("dataset_path"),
+                    bulk=body.get("bulk", "gray"),
+                )
+                self._send_json(200, info)
+                return
+            else:
+                self._send_json(404, {"error": f"unknown route {self.path}"})
+                return
+            self._send_json(200, _response_payload(served))
+        except RequestShed as exc:
+            self._send_json(
+                429,
+                {
+                    "error": str(exc),
+                    "retry": True,
+                    "inflight": exc.inflight,
+                    "queued": exc.waiting,
+                },
+            )
+        except QueryTimeout as exc:
+            self._send_json(
+                504,
+                {"error": str(exc), "budget_seconds": exc.budget},
+            )
+        except ReloadInProgress as exc:
+            self._send_json(409, {"error": str(exc)})
+        except (KeyError, ValueError, TypeError, json.JSONDecodeError) as exc:
+            self._send_json(400, {"error": f"bad request: {exc}"})
+        except ReproError as exc:
+            self._send_json(500, {"error": str(exc)})
+
+
+class ServingHTTPServer(ThreadingHTTPServer):
+    """A :class:`ThreadingHTTPServer` that owns a :class:`QueryService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: "tuple[str, int]", service: QueryService):
+        super().__init__(address, _Handler)
+        self.service = service
+
+    def serve_background(self) -> threading.Thread:
+        """Run the accept loop on a daemon thread; returns the thread."""
+        thread = threading.Thread(
+            target=self.serve_forever, name="sgtree-serve", daemon=True
+        )
+        thread.start()
+        return thread
+
+    def close(self) -> None:
+        """Stop the accept loop and release the socket (idempotent)."""
+        self.shutdown()
+        self.server_close()
+        self.service.close()
+
+
+def make_server(
+    service: QueryService, host: str = "127.0.0.1", port: int = 0
+) -> ServingHTTPServer:
+    """Bind a serving socket (``port=0`` picks a free one) around a service.
+
+    Emits the ``server_started`` event and returns the server without
+    starting its accept loop — call :meth:`ServingHTTPServer.
+    serve_background` (tests, embedding) or :func:`serve_forever` (CLI).
+    """
+    server = ServingHTTPServer((host, port), service)
+    if service.telemetry is not None:
+        service.telemetry.emit(
+            "server_started",
+            host=host,
+            port=server.server_address[1],
+            max_inflight=service.max_inflight,
+            max_queue=service.max_queue,
+        )
+    return server
+
+
+def serve_forever(server: ServingHTTPServer) -> None:
+    """Run the accept loop in the calling thread until interrupted."""
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()

@@ -1,0 +1,488 @@
+"""The serving core: admission control, deadlines, snapshot hot-swap.
+
+:class:`QueryService` is the protocol-independent heart of
+``repro-sgtree serve`` — it owns a :class:`~repro.sgtree.concurrent.
+ConcurrentSGTree`, a :class:`~repro.sgtree.executor.QueryExecutor` for
+batches, and the three behaviours a resident server needs that the
+in-process API does not provide:
+
+* **Admission control.**  At most ``max_inflight`` requests execute
+  concurrently; at most ``max_queue`` more wait for a slot.  A request
+  arriving past both limits is *shed* immediately with
+  :class:`RequestShed` (HTTP 429) instead of queuing unboundedly — under
+  overload the server's memory and tail latency stay bounded, and
+  clients get an honest backpressure signal they can retry against.
+* **Deadlines.**  Every request carries a
+  :class:`~repro.sgtree.search.Deadline` (its own, or the service
+  default).  The deadline bounds the queue wait *and* propagates into
+  the traversal, whose per-node cancellation checkpoints abort an
+  expired query with :class:`~repro.errors.QueryTimeout` (HTTP 504) —
+  a slow query stops burning node accesses the moment its caller has
+  given up.
+* **Snapshot hot-swap.**  :meth:`reload` builds or reopens an index in
+  the calling thread (no latch held), then atomically swaps it in via
+  :meth:`~repro.sgtree.concurrent.ConcurrentSGTree.swap`.  In-flight
+  queries finish against the old generation; every query admitted after
+  the swap sees the new one; no request is dropped.
+
+All of it is observable: request counters/latency histograms by route,
+queue-depth and in-flight gauges, shed/timeout counters and a
+``snapshot_swap`` structured event land on the attached
+:class:`~repro.telemetry.Telemetry` (see ``docs/serving.md``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..core.signature import Signature
+from ..errors import QueryTimeout, ReproError
+from ..sgtree.concurrent import ConcurrentSGTree
+from ..sgtree.executor import DEFAULT_BATCH_SIZE, QueryExecutor
+from ..sgtree.search import Deadline, Neighbor, SearchStats
+from ..sgtree.tree import SGTree
+
+__all__ = [
+    "QueryService",
+    "ServedQuery",
+    "RequestShed",
+    "ReloadInProgress",
+]
+
+
+class RequestShed(ReproError):
+    """Admission control rejected the request (server saturated).
+
+    The HTTP layer maps this to ``429 Too Many Requests``.  ``waiting``
+    and ``inflight`` snapshot the saturation the request observed.
+    """
+
+    def __init__(self, waiting: int, inflight: int):
+        self.waiting = waiting
+        self.inflight = inflight
+        super().__init__(
+            f"server saturated: {inflight} requests in flight, "
+            f"{waiting} queued"
+        )
+
+
+class ReloadInProgress(ReproError):
+    """A snapshot reload is already running (HTTP 409); retry later."""
+
+
+@dataclass
+class ServedQuery:
+    """One served query: results plus its accounting."""
+
+    kind: str
+    results: object
+    stats: SearchStats = field(default_factory=SearchStats)
+    generation: int = 0
+    seconds: float = 0.0
+
+
+class QueryService:
+    """Admission-controlled, deadline-aware front end over one index.
+
+    Parameters
+    ----------
+    tree:
+        A :class:`~repro.sgtree.tree.SGTree` (wrapped in a
+        :class:`~repro.sgtree.concurrent.ConcurrentSGTree`) or an
+        existing ``ConcurrentSGTree``.
+    telemetry:
+        An optional :class:`~repro.telemetry.Telemetry`; when given,
+        every request updates the server metric families and structural
+        events are emitted on reloads.
+    max_inflight:
+        Concurrent executing requests (each holds one slot for its whole
+        execution, including batch requests).
+    max_queue:
+        Requests allowed to wait for a slot; one more is shed.
+    default_deadline:
+        Per-request budget in seconds applied when a request does not
+        carry its own; ``None`` disables the default (requests without a
+        deadline then wait and run unboundedly).
+    workers / batch_size:
+        Thread pool and shard size of the internal
+        :class:`~repro.sgtree.executor.QueryExecutor` used by
+        :meth:`batch`.
+
+    The service is thread-safe; one instance serves every handler thread
+    of the HTTP layer.
+    """
+
+    def __init__(
+        self,
+        tree: "SGTree | ConcurrentSGTree",
+        telemetry=None,
+        max_inflight: int = 8,
+        max_queue: int = 32,
+        default_deadline: "float | None" = None,
+        workers: int = 1,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ):
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        if max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {max_queue}")
+        if default_deadline is not None and default_deadline <= 0:
+            raise ValueError(
+                f"default_deadline must be positive, got {default_deadline}"
+            )
+        if isinstance(tree, SGTree):
+            tree = ConcurrentSGTree(tree)
+        self._tree = tree
+        self._executor = QueryExecutor(tree, workers=workers, batch_size=batch_size)
+        self.telemetry = telemetry
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self.default_deadline = default_deadline
+        self._slots = threading.Semaphore(max_inflight)
+        self._admission_lock = threading.Lock()
+        self._waiting = 0
+        self._inflight = 0
+        self._generation = 0
+        self._reload_lock = threading.Lock()
+        self._closed = False
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def tree(self) -> ConcurrentSGTree:
+        return self._tree
+
+    @property
+    def generation(self) -> int:
+        """Monotonic snapshot generation; bumped by every :meth:`reload`."""
+        return self._generation
+
+    def health(self) -> dict:
+        """A liveness/readiness snapshot (the ``/healthz`` payload)."""
+        with self._admission_lock:
+            waiting, inflight = self._waiting, self._inflight
+        return {
+            "status": "closed" if self._closed else "ok",
+            "generation": self._generation,
+            "transactions": len(self._tree),
+            "n_bits": self._tree.n_bits,
+            "inflight": inflight,
+            "queue_depth": waiting,
+            "max_inflight": self.max_inflight,
+            "max_queue": self.max_queue,
+        }
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition of the attached registry."""
+        if self.telemetry is None:
+            return "# telemetry detached\n"
+        return self.telemetry.render_prometheus()
+
+    # -- deadline helpers --------------------------------------------------
+
+    def resolve_deadline(self, budget_seconds: "float | None") -> "Deadline | None":
+        """A request's deadline: its own budget, or the service default."""
+        if budget_seconds is not None:
+            return Deadline.after(budget_seconds)
+        if self.default_deadline is not None:
+            return Deadline.after(self.default_deadline)
+        return None
+
+    # -- the request path --------------------------------------------------
+
+    def _admit(self, route: str, deadline: "Deadline | None") -> None:
+        """Take an execution slot, queuing within limits.
+
+        Raises :class:`RequestShed` when the queue is full and
+        :class:`~repro.errors.QueryTimeout` when the deadline expires
+        before a slot frees up.
+        """
+        telemetry = self.telemetry
+        if self._slots.acquire(blocking=False):
+            return
+        with self._admission_lock:
+            if self._waiting >= self.max_queue:
+                waiting, inflight = self._waiting, self._inflight
+                if telemetry is not None:
+                    telemetry.server_shed_total.labels(route=route).inc()
+                raise RequestShed(waiting, inflight)
+            self._waiting += 1
+            if telemetry is not None:
+                telemetry.server_queue_depth.set(self._waiting)
+        try:
+            if deadline is None:
+                acquired = self._slots.acquire()
+            else:
+                acquired = self._slots.acquire(timeout=deadline.remaining())
+        finally:
+            with self._admission_lock:
+                self._waiting -= 1
+                if telemetry is not None:
+                    telemetry.server_queue_depth.set(self._waiting)
+        if not acquired:
+            if telemetry is not None:
+                telemetry.server_timeouts_total.labels(route=route).inc()
+            raise QueryTimeout(deadline.budget, deadline.budget)
+
+    def _serve(self, route: str, deadline: "Deadline | None",
+               fn: "Callable[[], ServedQuery]") -> ServedQuery:
+        """Admission + execution + telemetry for one request."""
+        if self._closed:
+            raise ReproError("service is closed")
+        telemetry = self.telemetry
+        start = time.perf_counter()
+        code = "200"
+        try:
+            self._admit(route, deadline)
+            try:
+                with self._admission_lock:
+                    self._inflight += 1
+                    if telemetry is not None:
+                        telemetry.server_inflight.set(self._inflight)
+                try:
+                    response = fn()
+                finally:
+                    with self._admission_lock:
+                        self._inflight -= 1
+                        if telemetry is not None:
+                            telemetry.server_inflight.set(self._inflight)
+            finally:
+                self._slots.release()
+            response.seconds = time.perf_counter() - start
+            response.generation = self._generation
+            return response
+        except RequestShed:
+            code = "429"
+            raise
+        except QueryTimeout:
+            code = "504"
+            if telemetry is not None:
+                telemetry.server_timeouts_total.labels(route=route).inc()
+            raise
+        except (ValueError, TypeError):
+            code = "400"
+            raise
+        except Exception:
+            code = "500"
+            raise
+        finally:
+            if telemetry is not None:
+                telemetry.server_requests_total.labels(
+                    route=route, code=code
+                ).inc()
+                telemetry.server_request_seconds.labels(route=route).observe(
+                    time.perf_counter() - start
+                )
+
+    def _signature(self, items: "Sequence[int] | Signature") -> Signature:
+        """Build a query signature against the *current* generation."""
+        if isinstance(items, Signature):
+            return items
+        return Signature.from_items(list(items), self._tree.n_bits)
+
+    def _retrying(self, fn: "Callable[[], ServedQuery]") -> ServedQuery:
+        """Absorb the signature/generation race around a hot-swap.
+
+        A query that built its signature just before a swap to an index
+        with a different ``n_bits`` fails with a shape ``ValueError``;
+        one rebuild against the new generation resolves it.
+        """
+        try:
+            return fn()
+        except ValueError:
+            return fn()
+
+    # -- query routes ------------------------------------------------------
+
+    def knn(
+        self,
+        items: "Sequence[int] | Signature",
+        k: int = 1,
+        metric: "str | None" = None,
+        algorithm: str = "depth-first",
+        deadline_seconds: "float | None" = None,
+    ) -> ServedQuery:
+        """k-NN over the current snapshot; results are
+        :class:`~repro.sgtree.search.Neighbor` tuples."""
+        deadline = self.resolve_deadline(deadline_seconds)
+
+        def run() -> ServedQuery:
+            stats = SearchStats()
+            results = self._tree.nearest(
+                self._signature(items), k=k, metric=metric,
+                algorithm=algorithm, stats=stats, deadline=deadline,
+            )
+            return ServedQuery("knn", results, stats)
+
+        return self._serve("knn", deadline, lambda: self._retrying(run))
+
+    def range(
+        self,
+        items: "Sequence[int] | Signature",
+        epsilon: float,
+        metric: "str | None" = None,
+        deadline_seconds: "float | None" = None,
+    ) -> ServedQuery:
+        """Similarity range query over the current snapshot."""
+        deadline = self.resolve_deadline(deadline_seconds)
+
+        def run() -> ServedQuery:
+            stats = SearchStats()
+            results = self._tree.range_query(
+                self._signature(items), epsilon, metric=metric,
+                stats=stats, deadline=deadline,
+            )
+            return ServedQuery("range", results, stats)
+
+        return self._serve("range", deadline, lambda: self._retrying(run))
+
+    def containment(
+        self,
+        items: "Sequence[int] | Signature",
+        deadline_seconds: "float | None" = None,
+    ) -> ServedQuery:
+        """Containment (superset) query over the current snapshot."""
+        deadline = self.resolve_deadline(deadline_seconds)
+
+        def run() -> ServedQuery:
+            stats = SearchStats()
+            results = self._tree.containment_query(
+                self._signature(items), stats=stats, deadline=deadline
+            )
+            return ServedQuery("containment", results, stats)
+
+        return self._serve("containment", deadline, lambda: self._retrying(run))
+
+    def batch(
+        self,
+        queries: "Sequence[Sequence[int] | Signature]",
+        kind: str = "knn",
+        k: int = 1,
+        epsilon: "float | None" = None,
+        metric: "str | None" = None,
+        deadline_seconds: "float | None" = None,
+    ) -> ServedQuery:
+        """A whole query batch through the thread-pooled executor.
+
+        The batch occupies **one** admission slot; intra-batch
+        parallelism is the executor's ``workers``/``batch_size``, so a
+        single huge batch cannot starve interactive requests of more
+        than one slot.  One deadline bounds the whole batch.
+        """
+        if kind not in ("knn", "range"):
+            raise ValueError(
+                f"batch kind must be 'knn' or 'range', got {kind!r}"
+            )
+        if kind == "range" and epsilon is None:
+            raise ValueError("batch kind 'range' requires epsilon")
+        deadline = self.resolve_deadline(deadline_seconds)
+
+        def run() -> ServedQuery:
+            stats = SearchStats()
+            signatures = [self._signature(q) for q in queries]
+            if kind == "knn":
+                results = self._executor.knn(
+                    signatures, k=k, metric=metric, stats=stats,
+                    deadline=deadline,
+                )
+            else:
+                results = self._executor.range_query(
+                    signatures, epsilon, metric=metric, stats=stats,
+                    deadline=deadline,
+                )
+            return ServedQuery(f"batch_{kind}", results, stats)
+
+        return self._serve("batch", deadline, lambda: self._retrying(run))
+
+    # -- snapshot hot-swap -------------------------------------------------
+
+    def reload(
+        self,
+        index_path: "str | None" = None,
+        dataset_path: "str | None" = None,
+        bulk: "str | None" = "gray",
+        **build_kwargs: object,
+    ) -> dict:
+        """Atomically replace the served index; returns swap info.
+
+        Exactly one of ``index_path`` (a persisted index from
+        ``repro-sgtree build`` / :func:`~repro.sgtree.persistence.
+        save_tree`) or ``dataset_path`` (a JSONL transaction file, bulk
+        loaded with ``bulk`` or inserted one-by-one when ``bulk`` is
+        ``None``) must be given.  The load/build runs in the calling
+        thread with **no latch held** — queries keep flowing against the
+        old generation — and only the pointer swap itself takes the
+        write latch.  In-flight queries finish on the old tree; the old
+        pager is closed after they drain; no request is dropped.
+
+        Raises :class:`ReloadInProgress` when another reload is running.
+        """
+        if (index_path is None) == (dataset_path is None):
+            raise ValueError(
+                "reload: exactly one of index_path or dataset_path is required"
+            )
+        if not self._reload_lock.acquire(blocking=False):
+            raise ReloadInProgress("a snapshot reload is already running")
+        telemetry = self.telemetry
+        outcome = "error"
+        try:
+            start = time.perf_counter()
+            if index_path is not None:
+                from ..sgtree.persistence import load_tree
+
+                new_tree = load_tree(index_path)
+                source = index_path
+            else:
+                from ..data.io import load_transactions
+
+                transactions, n_bits = load_transactions(dataset_path)
+                if bulk is not None:
+                    from ..sgtree.bulkload import bulk_load
+
+                    new_tree = bulk_load(
+                        transactions, n_bits, method=bulk, **build_kwargs
+                    )
+                else:
+                    new_tree = SGTree(n_bits, **build_kwargs)
+                    new_tree.insert_many(transactions)
+                source = dataset_path
+            old_tree = self._tree.swap(new_tree)
+            self._generation += 1
+            seconds = time.perf_counter() - start
+            # The swap returned with the write latch released and every
+            # reader of the old generation drained, so its pager can be
+            # closed without pulling pages out from under a traversal.
+            old_tree.store.pager.close()
+            outcome = "ok"
+            info = {
+                "generation": self._generation,
+                "transactions": len(new_tree),
+                "n_bits": new_tree.n_bits,
+                "source": source,
+                "seconds": seconds,
+            }
+            if telemetry is not None:
+                telemetry.emit("snapshot_swap", **info)
+            return info
+        finally:
+            if telemetry is not None:
+                telemetry.server_reloads_total.labels(outcome=outcome).inc()
+            self._reload_lock.release()
+
+    def close(self) -> None:
+        """Stop serving: shut the executor pool down (idempotent).
+
+        The underlying pager is left open — the caller that built the
+        tree owns it (the CLI closes it on exit).
+        """
+        self._closed = True
+        self._executor.close()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

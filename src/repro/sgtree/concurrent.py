@@ -17,7 +17,7 @@ from collections.abc import Iterable
 from ..core.distance import Metric
 from ..core.signature import Signature
 from ..core.transaction import Transaction
-from .search import Neighbor, SearchStats
+from .search import Deadline, Neighbor, SearchStats
 from .tree import SGTree
 
 __all__ = ["ReadWriteLock", "ConcurrentSGTree"]
@@ -123,6 +123,17 @@ class ConcurrentSGTree:
         """The wrapped tree (not thread-safe to touch directly)."""
         return self._tree
 
+    @property
+    def n_bits(self) -> int:
+        """Signature length of the current tree.
+
+        Read without the latch: the attribute read is atomic, and a
+        concurrent :meth:`swap` at worst yields the other generation's
+        value — callers building query signatures must handle the
+        resulting bit-width mismatch (a ``ValueError``) by retrying.
+        """
+        return self._tree.n_bits
+
     def _read_guard(self):
         if self._serial_reads:
             return self._lock.writing()
@@ -174,10 +185,12 @@ class ConcurrentSGTree:
         metric: Metric | str | None = None,
         algorithm: str = "depth-first",
         stats: SearchStats | None = None,
+        deadline: "Deadline | None" = None,
     ) -> list[Neighbor]:
         with self._read_guard():
             return self._tree.nearest(
-                query, k=k, metric=metric, algorithm=algorithm, stats=stats
+                query, k=k, metric=metric, algorithm=algorithm, stats=stats,
+                deadline=deadline,
             )
 
     def batch_nearest(
@@ -186,9 +199,12 @@ class ConcurrentSGTree:
         k: int = 1,
         metric: Metric | str | None = None,
         stats: SearchStats | None = None,
+        deadline: "Deadline | None" = None,
     ) -> list[list[Neighbor]]:
         with self._read_guard():
-            return self._tree.batch_nearest(queries, k=k, metric=metric, stats=stats)
+            return self._tree.batch_nearest(
+                queries, k=k, metric=metric, stats=stats, deadline=deadline
+            )
 
     def range_query(
         self,
@@ -196,9 +212,12 @@ class ConcurrentSGTree:
         epsilon: float,
         metric: Metric | str | None = None,
         stats: SearchStats | None = None,
+        deadline: "Deadline | None" = None,
     ) -> list[Neighbor]:
         with self._read_guard():
-            return self._tree.range_query(query, epsilon, metric=metric, stats=stats)
+            return self._tree.range_query(
+                query, epsilon, metric=metric, stats=stats, deadline=deadline
+            )
 
     def batch_range_query(
         self,
@@ -206,15 +225,21 @@ class ConcurrentSGTree:
         epsilon: "float | list[float]",
         metric: Metric | str | None = None,
         stats: SearchStats | None = None,
+        deadline: "Deadline | None" = None,
     ) -> list[list[Neighbor]]:
         with self._read_guard():
             return self._tree.batch_range_query(
-                queries, epsilon, metric=metric, stats=stats
+                queries, epsilon, metric=metric, stats=stats, deadline=deadline
             )
 
-    def containment_query(self, query: Signature) -> list[int]:
+    def containment_query(
+        self, query: Signature, stats: SearchStats | None = None,
+        deadline: "Deadline | None" = None,
+    ) -> list[int]:
         with self._read_guard():
-            return self._tree.containment_query(query)
+            return self._tree.containment_query(
+                query, stats=stats, deadline=deadline
+            )
 
     def subset_query(self, query: Signature) -> list[int]:
         with self._read_guard():

@@ -27,7 +27,7 @@ import numpy as np
 from ..core.distance import Metric
 from ..core.signature import Signature
 from .concurrent import ConcurrentSGTree
-from .search import Neighbor, SearchStats
+from .search import Deadline, Neighbor, SearchStats
 from .tree import SGTree
 
 __all__ = ["QueryExecutor", "DEFAULT_BATCH_SIZE"]
@@ -91,16 +91,21 @@ class QueryExecutor:
         k: int = 1,
         metric: "Metric | str | None" = None,
         stats: SearchStats | None = None,
+        deadline: "Deadline | None" = None,
     ) -> list[list[Neighbor]]:
         """k-NN for every query; one result list per query, input order.
 
         Each result is identical to ``tree.nearest(query, k=k)``.
+        ``deadline`` bounds the whole call: each shard checks it per
+        node visit, and an expired deadline aborts the call with
+        :class:`~repro.errors.QueryTimeout` (shards already finished are
+        discarded; ``stats`` still receives the traffic generated).
         """
         return self._run(
             list(queries),
             stats,
             lambda shard, _start, shard_stats: self._tree.batch_nearest(
-                shard, k=k, metric=metric, stats=shard_stats
+                shard, k=k, metric=metric, stats=shard_stats, deadline=deadline
             ),
             engine="knn",
         )
@@ -111,6 +116,7 @@ class QueryExecutor:
         epsilon: "float | Sequence[float]",
         metric: "Metric | str | None" = None,
         stats: SearchStats | None = None,
+        deadline: "Deadline | None" = None,
     ) -> list[list[Neighbor]]:
         """Range search for every query (scalar or per-query ``epsilon``)."""
         queries = list(queries)
@@ -128,7 +134,8 @@ class QueryExecutor:
             queries,
             stats,
             lambda shard, start, shard_stats: self._tree.batch_range_query(
-                shard, per_shard(start, len(shard)), metric=metric, stats=shard_stats
+                shard, per_shard(start, len(shard)), metric=metric,
+                stats=shard_stats, deadline=deadline,
             ),
             engine="range",
         )
@@ -183,30 +190,48 @@ class QueryExecutor:
                 return output
 
         before = store.counters.snapshot()
-        if self._pool is None or len(shards) == 1:
-            outputs = [
-                fn(shard, start, shard_stats[i])
-                for i, (start, shard) in enumerate(shards)
-            ]
-        else:
-            futures = [
-                self._pool.submit(fn, shard, start, shard_stats[i])
-                for i, (start, shard) in enumerate(shards)
-            ]
-            outputs = [future.result() for future in futures]
-        if stats is not None:
-            # Store counters are shared between shards, so per-shard
-            # access deltas overlap under concurrency; the whole-run
-            # delta is the exact batch total (leaf comparisons are
-            # counted locally per shard and summed instead).  Deriving
-            # ratios from these summed counters — never averaging
-            # per-shard ratios — is what keeps the aggregate hit ratio
-            # NaN-safe when some shards are idle (see
-            # :meth:`SearchStats.aggregate`).
-            after = store.counters
-            stats.node_accesses += after.node_accesses - before.node_accesses
-            stats.random_ios += after.random_ios - before.random_ios
-            stats.leaf_entries += sum(s.leaf_entries for s in shard_stats)
+        try:
+            if self._pool is None or len(shards) == 1:
+                outputs = [
+                    fn(shard, start, shard_stats[i])
+                    for i, (start, shard) in enumerate(shards)
+                ]
+            else:
+                futures = [
+                    self._pool.submit(fn, shard, start, shard_stats[i])
+                    for i, (start, shard) in enumerate(shards)
+                ]
+                try:
+                    outputs = [future.result() for future in futures]
+                except BaseException:
+                    # A shard failed (worker exception, deadline expiry):
+                    # drain the rest before re-raising so no shard is
+                    # still traversing when the caller sees the error —
+                    # otherwise the stats flush below would race live
+                    # counters and a subsequent swap could pull the tree
+                    # out from under a running traversal.
+                    for future in futures:
+                        future.cancel()
+                    for future in futures:
+                        if not future.cancelled():
+                            future.exception()  # wait; ignore result
+                    raise
+        finally:
+            if stats is not None:
+                # Store counters are shared between shards, so per-shard
+                # access deltas overlap under concurrency; the whole-run
+                # delta is the exact batch total (leaf comparisons are
+                # counted locally per shard and summed instead).  Deriving
+                # ratios from these summed counters — never averaging
+                # per-shard ratios — is what keeps the aggregate hit ratio
+                # NaN-safe when some shards are idle (see
+                # :meth:`SearchStats.aggregate`).  Flushed on failure too,
+                # so a partially failed run still accounts the traffic its
+                # completed and aborted shards generated.
+                after = store.counters
+                stats.node_accesses += after.node_accesses - before.node_accesses
+                stats.random_ios += after.random_ios - before.random_ios
+                stats.leaf_entries += sum(s.leaf_entries for s in shard_stats)
         results: list[list[Neighbor]] = []
         for output in outputs:
             results.extend(output)

@@ -21,12 +21,20 @@ Implements every query type the paper discusses:
 Searches optionally fill a :class:`SearchStats`, whose fields feed the
 paper's evaluation metrics: node accesses, random I/Os (buffer misses)
 and the number of leaf transactions compared (the "% of data accessed").
+
+Every traversal the query-serving layer exposes (k-NN, range,
+containment, and both batch engines) also accepts a :class:`Deadline`
+and checks it once per node visit — a cooperative cancellation
+checkpoint.  An expired query raises
+:class:`~repro.errors.QueryTimeout` instead of visiting further nodes;
+the stats scope still flushes the traffic generated up to that point.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from dataclasses import dataclass
 from typing import NamedTuple
 
@@ -35,10 +43,12 @@ import numpy as np
 from ..core import bitops
 from ..core.distance import Metric
 from ..core.signature import Signature
+from ..errors import QueryTimeout
 from ..storage.page import PageId
 from .node import NodeStore
 
 __all__ = [
+    "Deadline",
     "Neighbor",
     "KnnHeap",
     "strengthen_hamming_bounds",
@@ -59,6 +69,51 @@ __all__ = [
     "subset_search",
     "equality_search",
 ]
+
+
+class Deadline:
+    """A wall-clock budget a traversal checks cooperatively.
+
+    Built from a relative budget (:meth:`after`) or an absolute
+    :func:`time.monotonic` timestamp.  Traversals call :meth:`check`
+    once per node visit — before paying the node access — and an
+    expired deadline raises :class:`~repro.errors.QueryTimeout` there,
+    so cancellation latency is bounded by the cost of a single node.
+
+    A ``None`` deadline everywhere means "no budget"; the disabled path
+    costs one ``is None`` test per node visit.
+    """
+
+    __slots__ = ("at", "budget")
+
+    def __init__(self, at: float, budget: float | None = None):
+        self.at = float(at)
+        #: the original relative budget in seconds (for error messages);
+        #: reconstructed from ``at`` when constructed absolutely.
+        self.budget = float(budget) if budget is not None else 0.0
+
+    @classmethod
+    def after(cls, seconds: float) -> "Deadline":
+        """A deadline ``seconds`` from now (non-negative)."""
+        if seconds < 0:
+            raise ValueError(f"deadline budget must be >= 0, got {seconds}")
+        return cls(time.monotonic() + seconds, budget=seconds)
+
+    def expired(self) -> bool:
+        return time.monotonic() >= self.at
+
+    def remaining(self) -> float:
+        """Seconds left before expiry (never negative)."""
+        return max(0.0, self.at - time.monotonic())
+
+    def check(self) -> None:
+        """Raise :class:`~repro.errors.QueryTimeout` once expired."""
+        now = time.monotonic()
+        if now >= self.at:
+            raise QueryTimeout(now - self.at + self.budget, self.budget)
+
+    def __repr__(self) -> str:
+        return f"Deadline(remaining={self.remaining():.6f}s)"
 
 
 class Neighbor(NamedTuple):
@@ -333,6 +388,7 @@ def knn_depth_first(
     metric: Metric,
     stats: SearchStats | None = None,
     tracer=None,
+    deadline: "Deadline | None" = None,
 ) -> list[Neighbor]:
     """Figure 4: depth-first branch-and-bound k-NN.
 
@@ -345,6 +401,8 @@ def knn_depth_first(
         best = KnnHeap(k)
 
         def visit(page_id: PageId, parent=None) -> None:
+            if deadline is not None:
+                deadline.check()
             if tracer is None:
                 span, node = None, store.get(page_id)
             else:
@@ -396,6 +454,7 @@ def knn_best_first(
     k: int,
     metric: Metric,
     stats: SearchStats | None = None,
+    deadline: "Deadline | None" = None,
 ) -> list[Neighbor]:
     """Best-first k-NN with a global priority queue (I/O-optimal).
 
@@ -413,6 +472,8 @@ def knn_best_first(
             if not is_node:
                 results.append(Neighbor(bound, ref))
                 continue
+            if deadline is not None:
+                deadline.check()
             node = store.get(ref)
             if not node.entries:
                 continue
@@ -443,6 +504,7 @@ def batch_knn(
     k: int,
     metric: Metric,
     stats: SearchStats | None = None,
+    deadline: "Deadline | None" = None,
 ) -> list[list[Neighbor]]:
     """Shared-frontier k-NN for a whole query batch.
 
@@ -485,6 +547,8 @@ def batch_knn(
             qidx = qidx[qbounds <= thresholds[qidx]]
             if not qidx.size:
                 continue  # pruned for every query — not even fetched
+            if deadline is not None:
+                deadline.check()
             node = store.get(ref)
             if not node.entries:
                 continue
@@ -555,6 +619,7 @@ def batch_range(
     epsilon: "float | np.ndarray | list[float]",
     metric: Metric,
     stats: SearchStats | None = None,
+    deadline: "Deadline | None" = None,
 ) -> list[list[Neighbor]]:
     """Shared-frontier range search for a whole query batch.
 
@@ -583,6 +648,8 @@ def batch_range(
         stack: list[tuple[int, np.ndarray]] = [(root_id, np.arange(n_queries))]
         while stack:
             ref, qidx = stack.pop()
+            if deadline is not None:
+                deadline.check()
             node = store.get(ref)
             if not node.entries:
                 continue
@@ -848,6 +915,7 @@ def knn(
     metric: Metric,
     algorithm: str = "depth-first",
     stats: SearchStats | None = None,
+    deadline: "Deadline | None" = None,
 ) -> list[Neighbor]:
     """Dispatch to a k-NN algorithm by name."""
     try:
@@ -857,7 +925,7 @@ def knn(
             f"unknown k-NN algorithm {algorithm!r}; "
             f"choose from {sorted(_KNN_ALGORITHMS)}"
         ) from None
-    return impl(store, root_id, query, k, metric, stats=stats)
+    return impl(store, root_id, query, k, metric, stats=stats, deadline=deadline)
 
 
 def nearest_all(
@@ -913,6 +981,7 @@ def range_search(
     metric: Metric,
     stats: SearchStats | None = None,
     tracer=None,
+    deadline: "Deadline | None" = None,
 ) -> list[Neighbor]:
     """All transactions within distance ``epsilon`` of the query.
 
@@ -927,6 +996,8 @@ def range_search(
         stack = [(root_id, None)]
         while stack:
             page_id, parent = stack.pop()
+            if deadline is not None:
+                deadline.check()
             if tracer is None:
                 span, node = None, store.get(page_id)
             else:
@@ -967,6 +1038,7 @@ def containment_search(
     query: Signature,
     stats: SearchStats | None = None,
     tracer=None,
+    deadline: "Deadline | None" = None,
 ) -> list[int]:
     """Transactions containing every item of ``query`` (Section 3).
 
@@ -983,6 +1055,8 @@ def containment_search(
         query_words = query.words
         while stack:
             page_id, parent = stack.pop()
+            if deadline is not None:
+                deadline.check()
             if tracer is None:
                 span, node = None, store.get(page_id)
             else:

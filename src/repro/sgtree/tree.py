@@ -312,12 +312,19 @@ class SGTree:
         metric: Metric | str | None = None,
         algorithm: str = "depth-first",
         stats: "_search.SearchStats | None" = None,
+        deadline: "_search.Deadline | None" = None,
     ) -> list["_search.Neighbor"]:
-        """The ``k`` nearest transactions to ``query`` (Section 4.1)."""
+        """The ``k`` nearest transactions to ``query`` (Section 4.1).
+
+        ``deadline`` bounds the traversal: past it, the next per-node
+        cancellation checkpoint raises
+        :class:`~repro.errors.QueryTimeout` (see
+        :class:`~repro.sgtree.search.Deadline`).
+        """
         metric = self.metric if metric is None else resolve_metric(metric)
         return self._timed("knn", stats, lambda s: _search.knn(
             self._store, self._root_id, query, k, metric,
-            algorithm=algorithm, stats=s,
+            algorithm=algorithm, stats=s, deadline=deadline,
         ))
 
     def batch_nearest(
@@ -326,17 +333,20 @@ class SGTree:
         k: int = 1,
         metric: Metric | str | None = None,
         stats: "_search.SearchStats | None" = None,
+        deadline: "_search.Deadline | None" = None,
     ) -> list[list["_search.Neighbor"]]:
         """k-NN for a whole query batch in one shared-frontier traversal.
 
         Returns one result list per query, in input order, each identical
         to ``nearest(query, k=k)``; a node needed by several queries is
         fetched and scored once (see :func:`repro.sgtree.search.batch_knn`).
-        ``stats`` accumulates the batch's total traffic.
+        ``stats`` accumulates the batch's total traffic.  ``deadline``
+        bounds the whole batch (one budget, not one per query).
         """
         metric = self.metric if metric is None else resolve_metric(metric)
         return self._timed("batch_knn", stats, lambda s: _search.batch_knn(
-            self._store, self._root_id, queries, k, metric, stats=s
+            self._store, self._root_id, queries, k, metric, stats=s,
+            deadline=deadline,
         ))
 
     def batch_range_query(
@@ -345,6 +355,7 @@ class SGTree:
         epsilon: "float | list[float]",
         metric: Metric | str | None = None,
         stats: "_search.SearchStats | None" = None,
+        deadline: "_search.Deadline | None" = None,
     ) -> list[list["_search.Neighbor"]]:
         """Range search for a whole query batch in one shared traversal.
 
@@ -353,7 +364,8 @@ class SGTree:
         """
         metric = self.metric if metric is None else resolve_metric(metric)
         return self._timed("batch_range", stats, lambda s: _search.batch_range(
-            self._store, self._root_id, queries, epsilon, metric, stats=s
+            self._store, self._root_id, queries, epsilon, metric, stats=s,
+            deadline=deadline,
         ))
 
     def browse(
@@ -386,11 +398,13 @@ class SGTree:
         epsilon: float,
         metric: Metric | str | None = None,
         stats: "_search.SearchStats | None" = None,
+        deadline: "_search.Deadline | None" = None,
     ) -> list["_search.Neighbor"]:
         """All transactions within distance ``epsilon`` of ``query``."""
         metric = self.metric if metric is None else resolve_metric(metric)
         return self._timed("range", stats, lambda s: _search.range_search(
-            self._store, self._root_id, query, epsilon, metric, stats=s
+            self._store, self._root_id, query, epsilon, metric, stats=s,
+            deadline=deadline,
         ))
 
     def range_count(
@@ -445,13 +459,16 @@ class SGTree:
         )
 
     def containment_query(
-        self, query: Signature, stats: "_search.SearchStats | None" = None
+        self,
+        query: Signature,
+        stats: "_search.SearchStats | None" = None,
+        deadline: "_search.Deadline | None" = None,
     ) -> list[int]:
         """Tids of transactions that contain every item of ``query``."""
         return self._timed(
             "containment", stats,
             lambda s: _search.containment_search(
-                self._store, self._root_id, query, stats=s
+                self._store, self._root_id, query, stats=s, deadline=deadline
             ),
         )
 

@@ -135,6 +135,40 @@ class Telemetry:
             "sgtree_events_total", "Structured events emitted, by type",
             ("event",),
         )
+        # Serving-layer instruments (pushed per request by repro.server).
+        self.server_requests_total = reg.counter(
+            "sgtree_server_requests_total",
+            "HTTP requests served, by route and status code",
+            ("route", "code"),
+        )
+        self.server_request_seconds = reg.histogram(
+            "sgtree_server_request_seconds",
+            "End-to-end request wall time (admission wait included), "
+            "by route", ("route",),
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+        self.server_shed_total = reg.counter(
+            "sgtree_server_shed_total",
+            "Requests shed by admission control (429), by route",
+            ("route",),
+        )
+        self.server_timeouts_total = reg.counter(
+            "sgtree_server_timeouts_total",
+            "Requests whose deadline expired (in queue or mid-traversal), "
+            "by route", ("route",),
+        )
+        self.server_queue_depth = reg.gauge(
+            "sgtree_server_queue_depth",
+            "Requests waiting for an execution slot right now",
+        )
+        self.server_inflight = reg.gauge(
+            "sgtree_server_inflight",
+            "Requests executing right now",
+        )
+        self.server_reloads_total = reg.counter(
+            "sgtree_server_reloads_total",
+            "Snapshot hot-swaps completed, by outcome", ("outcome",),
+        )
 
     def emit(self, event_type: str, **fields: object) -> dict:
         """Emit a structured event, counting it in the registry too."""

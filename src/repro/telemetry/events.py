@@ -22,6 +22,8 @@ wal_checkpoint      records_dropped, bytes_dropped
 page_rescued        page_id
 page_quarantined    page_id, reason
 scrub_finding       page_id, severity, kind, detail
+snapshot_swap       generation, transactions, n_bits, source, seconds
+server_started      host, port, max_inflight, max_queue
 ==================  =====================================================
 
 New event types may be added; existing fields are never renamed.
@@ -54,6 +56,10 @@ EVENT_SCHEMAS: dict[str, tuple[str, ...]] = {
     "page_rescued": ("page_id",),
     "page_quarantined": ("page_id", "reason"),
     "scrub_finding": ("page_id", "severity", "kind", "detail"),
+    "snapshot_swap": (
+        "generation", "transactions", "n_bits", "source", "seconds",
+    ),
+    "server_started": ("host", "port", "max_inflight", "max_queue"),
 }
 
 

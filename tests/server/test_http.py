@@ -1,0 +1,232 @@
+"""The HTTP front end, driven through real sockets."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import SGTree
+from repro.data.io import save_transactions
+from repro.server import QueryService, make_server
+from repro.sgtree.persistence import save_tree
+from repro.telemetry import EventLog, MemoryEventSink, MetricsRegistry, Telemetry
+from support import random_transactions
+
+N_BITS = 120
+
+
+def build_tree(seed: int = 5, count: int = 200) -> SGTree:
+    tree = SGTree(N_BITS, max_entries=8)
+    for t in random_transactions(seed=seed, count=count, n_bits=N_BITS):
+        tree.insert(t)
+    return tree
+
+
+@pytest.fixture
+def served():
+    """A running server on a free port; yields (base_url, service, sink)."""
+    tree = build_tree()
+    sink = MemoryEventSink()
+    events = EventLog(strict=True)
+    events.add_sink(sink)
+    telemetry = Telemetry(registry=MetricsRegistry(), events=events)
+    tree.attach_telemetry(telemetry)
+    service = QueryService(tree, telemetry=telemetry, max_inflight=4, max_queue=8)
+    server = make_server(service, host="127.0.0.1", port=0)
+    server.serve_background()
+    base = f"http://127.0.0.1:{server.server_address[1]}"
+    try:
+        yield base, service, sink
+    finally:
+        server.close()
+
+
+def get(url: str):
+    try:
+        with urllib.request.urlopen(url, timeout=30) as resp:
+            return resp.status, resp.read().decode()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read().decode()
+
+
+def post(url: str, body: dict):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+class TestRoutes:
+    def test_healthz(self, served):
+        base, service, _ = served
+        status, body = get(f"{base}/healthz")
+        health = json.loads(body)
+        assert status == 200
+        assert health["status"] == "ok"
+        assert health["transactions"] == 200
+        assert health["generation"] == 0
+
+    def test_knn_roundtrip(self, served):
+        base, service, _ = served
+        status, body = post(f"{base}/query/knn", {"items": [1, 7, 42], "k": 3})
+        assert status == 200
+        assert body["kind"] == "knn"
+        assert len(body["results"]) == 3
+        hit = body["results"][0]
+        assert set(hit) == {"tid", "distance"}
+        assert body["stats"]["node_accesses"] > 0
+        # parity with the in-process API
+        from repro import Signature
+
+        expected = service.tree.nearest(
+            Signature.from_items([1, 7, 42], N_BITS), k=3
+        )
+        assert [(h["tid"], h["distance"]) for h in body["results"]] == [
+            (n.tid, n.distance) for n in expected
+        ]
+
+    def test_range_and_containment_roundtrip(self, served):
+        base, _, _ = served
+        status, body = post(
+            f"{base}/query/range", {"items": [1, 7], "epsilon": 4.0}
+        )
+        assert status == 200 and body["kind"] == "range"
+        status, body = post(f"{base}/query/containment", {"items": [7]})
+        assert status == 200 and body["kind"] == "containment"
+        assert all(isinstance(tid, int) for tid in body["results"])
+
+    def test_batch_roundtrip(self, served):
+        base, _, _ = served
+        status, body = post(
+            f"{base}/query/batch",
+            {"queries": [[1, 2], [3, 4], [5, 6]], "kind": "knn", "k": 2},
+        )
+        assert status == 200
+        assert body["kind"] == "batch_knn"
+        assert [len(r) for r in body["results"]] == [2, 2, 2]
+
+    def test_metrics_exposition(self, served):
+        base, _, _ = served
+        post(f"{base}/query/knn", {"items": [1], "k": 1})
+        status, text = get(f"{base}/metrics")
+        assert status == 200
+        assert "sgtree_server_requests_total" in text
+        assert 'route="knn"' in text
+
+    def test_server_started_event(self, served):
+        _, _, sink = served
+        events = sink.of_type("server_started")
+        assert len(events) == 1
+        assert events[0]["max_inflight"] == 4
+
+
+class TestErrorMapping:
+    def test_malformed_body_400(self, served):
+        base, _, _ = served
+        assert post(f"{base}/query/knn", {"wrong": True})[0] == 400
+        assert post(f"{base}/query/range", {"items": [1]})[0] == 400
+
+    def test_unknown_route_404(self, served):
+        base, _, _ = served
+        assert post(f"{base}/query/nothing", {})[0] == 404
+        assert get(f"{base}/nothing")[0] == 404
+
+    def test_deadline_exceeded_504(self, served):
+        base, _, _ = served
+        status, body = post(
+            f"{base}/query/knn", {"items": [1, 2, 3], "deadline_ms": 0}
+        )
+        assert status == 504
+        assert "deadline" in body["error"]
+        assert body["budget_seconds"] == 0.0
+
+    def test_negative_deadline_400(self, served):
+        base, _, _ = served
+        assert post(
+            f"{base}/query/knn", {"items": [1], "deadline_ms": -5}
+        )[0] == 400
+
+    def test_reload_validation_400(self, served):
+        base, _, _ = served
+        assert post(f"{base}/admin/reload", {})[0] == 400
+
+
+class TestReloadEndpoint:
+    def test_reload_from_index(self, served, tmp_path):
+        base, service, sink = served
+        replacement = build_tree(seed=9, count=90)
+        path = tmp_path / "next.sgt"
+        save_tree(replacement, path)
+        replacement.store.pager.close()
+        status, info = post(f"{base}/admin/reload", {"index_path": str(path)})
+        assert status == 200
+        assert info["generation"] == 1
+        assert info["transactions"] == 90
+        # subsequent queries answer from the new generation
+        status, body = post(f"{base}/query/knn", {"items": [1], "k": 1})
+        assert status == 200 and body["generation"] == 1
+        assert len(sink.of_type("snapshot_swap")) == 1
+
+    def test_reload_from_dataset(self, served, tmp_path):
+        base, _, _ = served
+        transactions = random_transactions(seed=3, count=40, n_bits=N_BITS)
+        path = tmp_path / "fresh.jsonl"
+        save_transactions(transactions, path, N_BITS)
+        status, info = post(
+            f"{base}/admin/reload", {"dataset_path": str(path)}
+        )
+        assert status == 200 and info["transactions"] == 40
+
+
+class TestConcurrentClients:
+    def test_parallel_clients_during_hot_swap(self, served, tmp_path):
+        """The acceptance scenario over real HTTP: zero non-shed failures."""
+        base, service, _ = served
+        replacement = build_tree(seed=13, count=160)
+        path = tmp_path / "swap.sgt"
+        save_tree(replacement, path)
+        replacement.store.pager.close()
+
+        stop = threading.Event()
+        counts = {"ok": 0, "shed": 0}
+        errors: list[object] = []
+        lock = threading.Lock()
+
+        def client(offset: int):
+            i = 0
+            while not stop.is_set():
+                status, body = post(
+                    f"{base}/query/knn",
+                    {"items": [(offset + i) % N_BITS, 5], "k": 2},
+                )
+                with lock:
+                    if status == 200:
+                        counts["ok"] += 1
+                    elif status == 429:
+                        counts["shed"] += 1  # legitimate backpressure
+                    else:
+                        errors.append((status, body))
+                i += 1
+
+        threads = [threading.Thread(target=client, args=(j,)) for j in range(4)]
+        for t in threads:
+            t.start()
+        status, info = post(f"{base}/admin/reload", {"index_path": str(path)})
+        stop.set()
+        for t in threads:
+            t.join(timeout=30)
+        assert status == 200 and info["generation"] == 1
+        assert errors == []
+        assert counts["ok"] > 0
+        assert json.loads(get(f"{base}/healthz")[1])["transactions"] == 160

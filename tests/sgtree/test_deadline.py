@@ -1,0 +1,122 @@
+"""Cooperative cancellation: Deadline checkpoints in every traversal."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import SGTree, SearchStats
+from repro.errors import QueryTimeout, ReproError
+from repro.sgtree import Deadline, QueryExecutor
+from repro.sgtree.concurrent import ConcurrentSGTree
+from support import random_signature, random_transactions
+
+N_BITS = 120
+
+
+@pytest.fixture(scope="module")
+def tree():
+    transactions = random_transactions(seed=5, count=400, n_bits=N_BITS)
+    tree = SGTree(N_BITS, max_entries=8)
+    for t in transactions:
+        tree.insert(t)
+    return tree
+
+
+@pytest.fixture(scope="module")
+def queries():
+    rng = np.random.default_rng(31)
+    return [random_signature(rng, N_BITS, max_items=12) for _ in range(12)]
+
+
+class TestDeadline:
+    def test_after_negative_budget_rejected(self):
+        with pytest.raises(ValueError, match="budget"):
+            Deadline.after(-0.1)
+
+    def test_expired_and_remaining(self):
+        generous = Deadline.after(60.0)
+        assert not generous.expired()
+        assert 0.0 < generous.remaining() <= 60.0
+        generous.check()  # no raise
+        expired = Deadline.after(0.0)
+        assert expired.expired()
+        assert expired.remaining() == 0.0
+
+    def test_check_raises_typed_timeout(self):
+        expired = Deadline(time.monotonic() - 1.0, budget=0.5)
+        with pytest.raises(QueryTimeout) as excinfo:
+            expired.check()
+        exc = excinfo.value
+        assert isinstance(exc, TimeoutError)
+        assert isinstance(exc, ReproError)
+        assert exc.budget == 0.5
+        assert exc.elapsed >= exc.budget
+        assert "deadline exceeded" in str(exc)
+
+
+class TestTraversalCancellation:
+    """An already-expired deadline stops every engine at the first node."""
+
+    def test_generous_deadline_changes_nothing(self, tree, queries):
+        deadline = Deadline.after(60.0)
+        for q in queries:
+            assert tree.nearest(q, k=3, deadline=deadline) == tree.nearest(q, k=3)
+        assert tree.range_query(queries[0], 4.0, deadline=deadline) == \
+            tree.range_query(queries[0], 4.0)
+
+    @pytest.mark.parametrize("algorithm", ["depth-first", "best-first"])
+    def test_knn_aborts(self, tree, queries, algorithm):
+        with pytest.raises(QueryTimeout):
+            tree.nearest(queries[0], k=3, algorithm=algorithm,
+                         deadline=Deadline.after(0.0))
+
+    def test_range_aborts(self, tree, queries):
+        with pytest.raises(QueryTimeout):
+            tree.range_query(queries[0], 4.0, deadline=Deadline.after(0.0))
+
+    def test_containment_aborts(self, tree, queries):
+        with pytest.raises(QueryTimeout):
+            tree.containment_query(queries[0], deadline=Deadline.after(0.0))
+
+    def test_batch_knn_aborts(self, tree, queries):
+        with pytest.raises(QueryTimeout):
+            tree.batch_nearest(queries, k=3, deadline=Deadline.after(0.0))
+
+    def test_batch_range_aborts(self, tree, queries):
+        with pytest.raises(QueryTimeout):
+            tree.batch_range_query(queries, 4.0, deadline=Deadline.after(0.0))
+
+    def test_expired_run_visits_strictly_fewer_nodes(self, tree, queries):
+        """The acceptance criterion: cancellation saves real traversal work."""
+        full = SearchStats()
+        for q in queries:
+            tree.nearest(q, k=5, stats=full)
+        aborted = SearchStats()
+        for q in queries:
+            with pytest.raises(QueryTimeout):
+                tree.nearest(q, k=5, stats=aborted,
+                             deadline=Deadline.after(0.0))
+        assert aborted.node_accesses < full.node_accesses
+        # Partial traffic is still flushed by the stats scope on the way out.
+        assert aborted.node_accesses >= 0
+
+    def test_concurrent_tree_forwards_deadline(self, tree, queries):
+        concurrent = ConcurrentSGTree(tree)
+        with pytest.raises(QueryTimeout):
+            concurrent.nearest(queries[0], k=2, deadline=Deadline.after(0.0))
+        with pytest.raises(QueryTimeout):
+            concurrent.containment_query(queries[0], deadline=Deadline.after(0.0))
+
+    def test_executor_forwards_deadline(self, tree, queries):
+        stats = SearchStats()
+        with QueryExecutor(tree, workers=2, batch_size=4) as ex:
+            with pytest.raises(QueryTimeout):
+                ex.knn(queries, k=3, stats=stats,
+                       deadline=Deadline.after(0.0))
+            with pytest.raises(QueryTimeout):
+                ex.range_query(queries, 4.0, deadline=Deadline.after(0.0))
+        # the whole-run store delta is flushed even though shards failed
+        assert stats.node_accesses >= 0

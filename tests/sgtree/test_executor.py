@@ -119,6 +119,74 @@ class TestExecutorValidation:
         ex.close()
 
 
+class TestExecutorPartialFailure:
+    """A shard blowing up mid-batch must not corrupt accounting."""
+
+    def test_worker_exception_propagates(self, tree, queries, monkeypatch):
+        concurrent = ConcurrentSGTree(tree)
+        calls = []
+        original = ConcurrentSGTree.batch_nearest
+
+        def flaky(self, shard, **kwargs):
+            calls.append(len(shard))
+            if len(calls) == 2:  # the second shard dies mid-batch
+                raise RuntimeError("shard exploded")
+            return original(self, shard, **kwargs)
+
+        monkeypatch.setattr(ConcurrentSGTree, "batch_nearest", flaky)
+        with QueryExecutor(concurrent, workers=2, batch_size=6) as ex:
+            with pytest.raises(RuntimeError, match="shard exploded"):
+                ex.knn(queries, k=3)
+
+    def test_stats_flushed_after_partial_failure(self, tree, queries, monkeypatch):
+        """Completed shards' traffic is accounted even when one fails."""
+        concurrent = ConcurrentSGTree(tree)
+        original = ConcurrentSGTree.batch_nearest
+        seen = []
+
+        def flaky(self, shard, **kwargs):
+            result = original(self, shard, **kwargs)
+            seen.append(len(shard))
+            if len(seen) == 1:  # fail after the first shard did real work
+                raise RuntimeError("late failure")
+            return result
+
+        monkeypatch.setattr(ConcurrentSGTree, "batch_nearest", flaky)
+        stats = SearchStats()
+        with QueryExecutor(concurrent, workers=1, batch_size=6) as ex:
+            with pytest.raises(RuntimeError, match="late failure"):
+                ex.knn(queries, k=3, stats=stats)
+        assert stats.node_accesses > 0  # first shard's traffic flushed
+
+    def test_no_shard_left_running_after_failure(self, tree, queries, monkeypatch):
+        """_run drains the pool before re-raising; nothing traverses after."""
+        concurrent = ConcurrentSGTree(tree)
+        original = ConcurrentSGTree.batch_nearest
+        lock = threading.Lock()
+        state = {"calls": 0, "live": 0}
+
+        def flaky(self, shard, **kwargs):
+            with lock:
+                state["calls"] += 1
+                state["live"] += 1
+                mine = state["calls"]
+            try:
+                if mine == 1:
+                    raise RuntimeError("first shard fails fast")
+                return original(self, shard, **kwargs)
+            finally:
+                with lock:
+                    state["live"] -= 1
+
+        monkeypatch.setattr(ConcurrentSGTree, "batch_nearest", flaky)
+        with QueryExecutor(concurrent, workers=3, batch_size=3) as ex:
+            with pytest.raises(RuntimeError, match="fails fast"):
+                ex.knn(queries, k=2)
+            # _run drained every submitted shard before re-raising, so the
+            # instant the caller sees the error no shard is still running.
+            assert state["live"] == 0
+
+
 class TestExecutorThreadSafety:
     def test_queries_concurrent_with_inserts(self):
         """Executor queries racing writer inserts through one latch."""

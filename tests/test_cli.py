@@ -397,3 +397,67 @@ class TestStatsCommand:
         assert main(["stats", str(index)]) == 0
         out = capsys.readouterr().out
         assert "sgtree_node_accesses_total" in out
+
+
+class TestServeCommand:
+    def test_serve_answers_http_and_shuts_down(self, index):
+        """`repro-sgtree serve` end to end, as a subprocess."""
+        import json as json_mod
+        import re
+        import signal
+        import subprocess
+        import sys as sys_mod
+        import time as time_mod
+        import urllib.request
+
+        process = subprocess.Popen(
+            [
+                sys_mod.executable, "-m", "repro.cli", "serve", str(index),
+                "--port", "0", "--max-inflight", "2", "--max-queue", "4",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            line = process.stdout.readline()
+            match = re.search(r"http://[\d.]+:(\d+)", line)
+            assert match, f"no address in startup line: {line!r}"
+            base = match.group(0)
+            deadline = time_mod.monotonic() + 30
+            health = None
+            while time_mod.monotonic() < deadline:
+                try:
+                    with urllib.request.urlopen(f"{base}/healthz", timeout=5) as r:
+                        health = json_mod.loads(r.read())
+                    break
+                except OSError:
+                    time_mod.sleep(0.05)
+            assert health is not None and health["status"] == "ok"
+            assert health["max_inflight"] == 2
+
+            body = json_mod.dumps({"items": [1, 2, 3], "k": 2}).encode()
+            request = urllib.request.Request(
+                f"{base}/query/knn", data=body, method="POST",
+                headers={"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(request, timeout=10) as r:
+                answer = json_mod.loads(r.read())
+            assert len(answer["results"]) == 2
+        finally:
+            process.send_signal(signal.SIGINT)
+            try:
+                process.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait(timeout=15)
+        assert process.returncode == 0
+
+    def test_serve_parser_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve", "idx.sgt"])
+        assert args.command == "serve"
+        assert args.max_inflight == 8
+        assert args.max_queue == 32
+        assert args.deadline_ms is None

@@ -82,3 +82,11 @@ class TestExamples:
         assert "selectivity interval" in out
         assert "exact" in out
         assert "most similar baskets that contain item" in out
+
+    def test_serving_client(self, capsys):
+        load_example("serving_client.py").main()
+        out = capsys.readouterr().out
+        assert "4 concurrent clients completed 100 k-NN requests" in out
+        assert "expired deadline -> HTTP 504" in out
+        assert "hot-swapped to generation 1" in out
+        assert "0 failures" in out

@@ -1,0 +1,69 @@
+"""Documentation stays healthy: links resolve, api.md covers every module.
+
+Thin tier-1 wrapper around ``tools/check_docs.py`` (the CI docs job runs
+the same script standalone). Snippet execution is intentionally *not*
+repeated here — ``tests/test_tutorial.py`` already executes the tutorial
+blocks with better failure reporting, and the CI docs job runs the full
+checker including snippets.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def check_docs():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO_ROOT / "tools" / "check_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestDocLinks:
+    def test_no_broken_references(self, check_docs):
+        assert check_docs.check_links() == []
+
+    def test_checker_sees_the_core_docs(self, check_docs):
+        names = {path.name for path in check_docs.iter_doc_files()}
+        assert {"README.md", "api.md", "architecture.md",
+                "tutorial.md", "serving.md"} <= names
+
+    def test_checker_detects_a_broken_reference(self, check_docs, tmp_path,
+                                                monkeypatch):
+        doc = tmp_path / "docs" / "bad.md"
+        doc.parent.mkdir()
+        doc.write_text("see [gone](no/such/file.py) and `missing_thing.py`\n")
+        monkeypatch.setattr(check_docs, "REPO_ROOT", tmp_path)
+        problems = check_docs.check_links()
+        assert len(problems) == 2
+        assert any("no/such/file.py" in p for p in problems)
+        assert any("missing_thing.py" in p for p in problems)
+
+
+class TestApiCoverage:
+    def test_every_public_module_is_documented(self, check_docs):
+        assert check_docs.check_api_coverage() == []
+
+    def test_module_walk_finds_the_new_subsystems(self, check_docs):
+        modules = set(check_docs.public_modules())
+        assert {"repro.server", "repro.server.service", "repro.server.http",
+                "repro.telemetry", "repro.storage.faults"} <= modules
+
+
+class TestSnippetExtraction:
+    def test_readme_and_tutorial_have_python_blocks(self, check_docs):
+        for name in check_docs.EXECUTABLE_DOCS:
+            blocks = check_docs.extract_python_blocks(REPO_ROOT / name)
+            assert blocks, f"{name} lost its executable snippets"
+            for _, source in blocks:
+                compile(source, name, "exec")  # parse without running

@@ -1,0 +1,173 @@
+#!/usr/bin/env python
+"""Documentation health checks: links resolve, snippets run, API map is full.
+
+Three checks, each importable on its own (``tests/test_docs_links.py``
+wraps them for the tier-1 suite; the CI ``docs`` job runs this script):
+
+1. **Links** — every relative markdown link and every backticked
+   repo-file reference in the root and ``docs/`` markdown files must
+   point at a file that exists.  Docs that point nowhere are worse than
+   no docs.
+2. **Snippets** — the fenced ```python blocks of ``README.md`` and
+   ``docs/tutorial.md`` execute top to bottom in one namespace per file
+   (the tutorial promises exactly this), so the prose cannot drift from
+   the API.
+3. **API coverage** — ``docs/api.md`` must mention every public module
+   under ``src/repro/`` (the full dotted path, or the module's name
+   alongside its parent package), so new subsystems cannot ship
+   undocumented.
+
+Exit status 0 when clean; prints every finding and exits 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Markdown files whose links and path references are checked.
+DOC_GLOBS = ("*.md", "docs/*.md")
+
+#: Process files, not documentation — shorthand paths are fine there.
+EXCLUDED_DOCS = {"ISSUE.md", "CHANGES.md"}
+
+#: Files whose fenced python blocks must execute.
+EXECUTABLE_DOCS = ("README.md", "docs/tutorial.md")
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)#\s]+)(?:#[^)]*)?\)")
+_BACKTICK_PATH = re.compile(
+    r"`([A-Za-z0-9_./-]+\.(?:py|md|json|jsonl|yml|yaml|toml|txt|cfg))`"
+)
+_FENCE = re.compile(r"^```(\w*)\s*$")
+
+
+def iter_doc_files() -> list[pathlib.Path]:
+    files: list[pathlib.Path] = []
+    for pattern in DOC_GLOBS:
+        files.extend(
+            path for path in sorted(REPO_ROOT.glob(pattern))
+            if path.name not in EXCLUDED_DOCS
+        )
+    return files
+
+
+def check_links() -> list[str]:
+    """Relative links and backticked file paths must exist on disk."""
+    problems: list[str] = []
+    for doc in iter_doc_files():
+        text = doc.read_text(encoding="utf-8")
+        targets: set[str] = set()
+        for match in _LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            targets.add(target)
+        for match in _BACKTICK_PATH.finditer(text):
+            target = match.group(1)
+            # Placeholders, glob-ish references and bare suffixes
+            # (".meta.json") are prose, not paths.
+            if any(ch in target for ch in "<>*") or target.startswith("."):
+                continue
+            targets.add(target)
+        for target in sorted(targets):
+            candidates = [doc.parent / target, REPO_ROOT / target]
+            if "/" not in target:
+                # Bare filenames may be cited from prose that already
+                # names the directory ("under docs/: tutorial.md ...").
+                candidates.append(REPO_ROOT / "docs" / target)
+            if not any(c.exists() for c in candidates):
+                problems.append(
+                    f"{doc.relative_to(REPO_ROOT)}: broken reference {target!r}"
+                )
+    return problems
+
+
+def extract_python_blocks(path: pathlib.Path) -> list[tuple[int, str]]:
+    """The file's fenced ```python blocks as (first line number, source)."""
+    blocks: list[tuple[int, str]] = []
+    lines = path.read_text(encoding="utf-8").splitlines()
+    in_python, start, chunk = False, 0, []
+    for number, line in enumerate(lines, start=1):
+        fence = _FENCE.match(line)
+        if fence and not in_python:
+            if fence.group(1) == "python":
+                in_python, start, chunk = True, number + 1, []
+        elif line.strip() == "```" and in_python:
+            blocks.append((start, "\n".join(chunk)))
+            in_python = False
+        elif in_python:
+            chunk.append(line)
+    return blocks
+
+
+def check_snippets() -> list[str]:
+    """README and tutorial python blocks run in one namespace per file."""
+    problems: list[str] = []
+    for name in EXECUTABLE_DOCS:
+        path = REPO_ROOT / name
+        namespace: dict = {"__name__": f"doc_snippets_{path.stem}"}
+        for line_number, source in extract_python_blocks(path):
+            try:
+                exec(compile(source, f"{name}:{line_number}", "exec"), namespace)
+            except Exception as exc:  # noqa: BLE001 - report, don't crash
+                problems.append(
+                    f"{name}: snippet at line {line_number} failed: "
+                    f"{type(exc).__name__}: {exc}"
+                )
+                break  # later blocks in this file depend on this one
+    return problems
+
+
+def public_modules() -> list[str]:
+    """Dotted names of every public module/package under src/repro."""
+    src = REPO_ROOT / "src" / "repro"
+    names: list[str] = []
+    for path in sorted(src.rglob("*.py")):
+        relative = path.relative_to(src)
+        if any(part.startswith("_") for part in relative.parts[:-1]):
+            continue
+        stem_parts = list(relative.parts[:-1])
+        stem = relative.stem
+        if stem == "__init__":
+            dotted = ".".join(["repro"] + stem_parts) if stem_parts else "repro"
+        elif stem.startswith("_"):
+            continue
+        else:
+            dotted = ".".join(["repro"] + stem_parts + [stem])
+        names.append(dotted)
+    return names
+
+
+def check_api_coverage() -> list[str]:
+    """docs/api.md must mention every public module."""
+    text = (REPO_ROOT / "docs" / "api.md").read_text(encoding="utf-8")
+    problems: list[str] = []
+    for dotted in public_modules():
+        if dotted in text:
+            continue
+        parent, _, leaf = dotted.rpartition(".")
+        if parent and parent in text and f"`{leaf}`" in text:
+            continue
+        problems.append(f"docs/api.md: public module {dotted} is not mentioned")
+    return problems
+
+
+def main() -> int:
+    problems = check_links() + check_snippets() + check_api_coverage()
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"\n{len(problems)} documentation problem(s)")
+        return 1
+    docs = len(iter_doc_files())
+    modules = len(public_modules())
+    print(f"docs ok: {docs} markdown files linked, snippets in "
+          f"{len(EXECUTABLE_DOCS)} docs executed, {modules} modules covered")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
