@@ -19,6 +19,11 @@ root:
    ``/query/knn`` while ``/admin/reload`` swaps in a different index.
    Zero non-shed requests may fail, and the swap must be visible in the
    served generation.
+4. **Kill-one-shard under load** — the same clients hammer a sharded
+   service while one shard worker is killed mid-run.  Zero requests may
+   hang past their deadline, affected responses degrade to ``partial``
+   with coverage detail instead of failing, and the supervisor must
+   restore full coverage before the run ends.
 
 Runnable standalone (``python benchmarks/bench_serve_load.py``) or via
 pytest; the CI serve-smoke job runs the pytest form and gates on the
@@ -38,9 +43,19 @@ import urllib.request
 import pytest
 
 from bench_common import cached_quest, report
+from repro import Transaction
 from repro.bench import build_tree
 from repro.errors import QueryTimeout
-from repro.server import QueryService, make_server
+from repro.server import (
+    Backoff,
+    QueryService,
+    ShardedQueryService,
+    ShardedTree,
+    ShardSupervisor,
+    make_server,
+    make_shard_handles,
+    partition_transactions,
+)
 from repro.sgtree import Deadline, SearchStats
 from repro.sgtree.persistence import save_tree
 from repro.telemetry import MetricsRegistry, Telemetry
@@ -232,6 +247,94 @@ def bench_hot_swap(tree, replacement_path: str, queries,
     }
 
 
+def bench_kill_shard(tree, queries, seconds: float = 1.2) -> dict:
+    """Kill one shard worker under live load; nothing may hang."""
+    n_shards = 4
+    deadline_ms = 500
+    grace = 2.0  # scheduling slack; a hang would blow far past this
+    transactions = [Transaction(tid, sig) for tid, sig in tree.items()]
+    partitions = partition_transactions(transactions, n_shards)
+    handles = make_shard_handles(partitions, tree.n_bits, mode="thread")
+    supervisor = ShardSupervisor(
+        handles, probe_interval=0.15,
+        backoff=Backoff(initial=0.01, factor=2.0, max_delay=0.1,
+                        jitter=False),
+    ).start()
+    service = ShardedQueryService(
+        ShardedTree(handles, tree.n_bits), supervisor=supervisor,
+        telemetry=Telemetry(registry=MetricsRegistry()),
+        max_inflight=8, max_queue=64,
+    )
+    server = make_server(service, host="127.0.0.1", port=0)
+    server.serve_background()
+    base = f"http://127.0.0.1:{server.server_address[1]}"
+    stop = threading.Event()
+    counts = {"ok": 0, "partial": 0, "shed": 0, "failed": 0, "hung": 0}
+    lock = threading.Lock()
+
+    def client(offset: int):
+        i = 0
+        while not stop.is_set():
+            started = time.monotonic()
+            status, body = _post(
+                base, "/query/knn",
+                {"items": queries[(offset + i) % len(queries)], "k": K,
+                 "deadline_ms": deadline_ms},
+            )
+            elapsed = time.monotonic() - started
+            with lock:
+                if elapsed > deadline_ms / 1e3 + grace:
+                    counts["hung"] += 1
+                elif status == 200 and body.get("partial"):
+                    counts["partial"] += 1
+                elif status == 200:
+                    counts["ok"] += 1
+                elif status == 429:
+                    counts["shed"] += 1
+                else:
+                    counts["failed"] += 1
+            i += 1
+
+    threads = [threading.Thread(target=client, args=(j,)) for j in range(4)]
+    try:
+        for t in threads:
+            t.start()
+        time.sleep(seconds / 2)
+        handles[1].worker.kill()  # mid-run: one shard dies without warning
+        time.sleep(seconds / 2)
+        stop.set()
+        for t in threads:
+            t.join(timeout=60)
+        # The supervisor must bring the shard back; then full coverage.
+        recovery_deadline = time.monotonic() + 10.0
+        while time.monotonic() < recovery_deadline:
+            if all(h.is_up() for h in handles):
+                break
+            time.sleep(0.05)
+        status, body = _post(
+            base, "/query/knn",
+            {"items": queries[0], "k": K, "deadline_ms": 5000},
+        )
+        recovered = status == 200 and not body.get("partial")
+        health = _get_json(base, "/healthz")
+    finally:
+        stop.set()
+        server.close()
+    return {
+        "shards": n_shards,
+        "clients": len(threads),
+        "deadline_ms": deadline_ms,
+        "requests_ok": counts["ok"],
+        "requests_partial": counts["partial"],
+        "requests_shed": counts["shed"],
+        "requests_failed": counts["failed"],
+        "requests_hung": counts["hung"],
+        "restarts": sum(h.restarts for h in handles),
+        "coverage_recovered": recovered,
+        "final_shards_up": health["shards"]["up"],
+    }
+
+
 def run_benchmark(tmp_dir: "pathlib.Path | None" = None) -> dict:
     workload = cached_quest(T_SIZE, I_SIZE, D, N_QUERIES)
     tree = build_tree(workload).index
@@ -265,6 +368,8 @@ def run_benchmark(tmp_dir: "pathlib.Path | None" = None) -> dict:
 
     hot_swap = bench_hot_swap(tree, str(replacement_path), query_items)
 
+    kill_shard = bench_kill_shard(tree, query_items)
+
     return {
         "benchmark": "serve_load",
         "workload": workload.name,
@@ -272,12 +377,14 @@ def run_benchmark(tmp_dir: "pathlib.Path | None" = None) -> dict:
         "admission": admission,
         "deadline": deadline_doc,
         "hot_swap": hot_swap,
+        "kill_shard": kill_shard,
     }
 
 
 def _summarise(doc: dict) -> str:
-    admission, deadline, swap = (
+    admission, deadline, swap, kill = (
         doc["admission"], doc["deadline"], doc["hot_swap"],
+        doc["kill_shard"],
     )
     return "\n".join([
         f"Serving under load ({doc['workload']}, "
@@ -293,6 +400,11 @@ def _summarise(doc: dict) -> str:
         f"shed, {swap['requests_failed']} failed across the swap "
         f"({swap['transactions_before']} -> {swap['transactions_after']} "
         f"transactions, {swap['swap_seconds'] * 1e3:.1f}ms)",
+        f"  kill-shard: {kill['requests_ok']} ok, "
+        f"{kill['requests_partial']} partial, {kill['requests_hung']} hung "
+        f"across {kill['restarts']} restart(s); coverage recovered: "
+        f"{kill['coverage_recovered']} "
+        f"({kill['final_shards_up']}/{kill['shards']} shards up)",
     ])
 
 
@@ -328,10 +440,19 @@ class TestServeLoad:
         assert swap["generation_after"] == 1
         assert swap["transactions_after"] != swap["transactions_before"]
 
+    def test_kill_shard_hangs_nothing_and_recovers(self, results):
+        kill = results["kill_shard"]
+        assert kill["requests_hung"] == 0
+        assert kill["requests_failed"] == 0
+        assert kill["requests_ok"] > 0
+        assert kill["restarts"] >= 1
+        assert kill["coverage_recovered"]
+        assert kill["final_shards_up"] == kill["shards"]
+
     def test_json_well_formed(self, results):
         doc = json.loads(DEFAULT_OUT.read_text())
         assert doc["benchmark"] == "serve_load"
-        for key in ("admission", "deadline", "hot_swap"):
+        for key in ("admission", "deadline", "hot_swap", "kill_shard"):
             assert key in doc
 
 

@@ -201,6 +201,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--events-out", metavar="FILE", default=None,
                        help="also append structured events (snapshot swaps, "
                             "startup) to FILE as JSON lines")
+    serve.add_argument("--shards", type=int, default=0,
+                       help="partition the index across N supervised shard "
+                            "workers with scatter-gather, circuit breakers, "
+                            "and partial results (default 0 = single tree)")
+    serve.add_argument("--shard-mode", choices=("process", "thread"),
+                       default="process",
+                       help="shard worker kind: OS processes (default) or "
+                            "in-process threads")
+    serve.add_argument("--quorum", type=int, default=None,
+                       help="shards that must be up for readiness "
+                            "(default: a majority)")
+    serve.add_argument("--drain-timeout", type=float, default=5.0,
+                       help="seconds to drain in-flight requests on "
+                            "SIGTERM/SIGINT before exiting (default 5)")
 
     return parser
 
@@ -552,32 +566,68 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         events.add_sink(JsonlEventSink(args.events_out))
     telemetry = Telemetry(registry=MetricsRegistry(), events=events)
     tree = load_tree(args.index)
-    tree.attach_telemetry(telemetry)
-    service = QueryService(
-        tree,
-        telemetry=telemetry,
-        max_inflight=args.max_inflight,
-        max_queue=args.max_queue,
-        default_deadline=(
-            args.deadline_ms / 1e3 if args.deadline_ms is not None else None
-        ),
-        workers=args.workers,
-        batch_size=args.batch_size,
+    default_deadline = (
+        args.deadline_ms / 1e3 if args.deadline_ms is not None else None
     )
+    pager = tree.store.pager
+    if args.shards > 0:
+        from .server import (
+            ShardedQueryService,
+            ShardedTree,
+            ShardSupervisor,
+            make_shard_handles,
+            partition_transactions,
+        )
+        from .core.transaction import Transaction
+
+        transactions = [Transaction(tid, sig) for tid, sig in tree.items()]
+        n_bits = tree.n_bits
+        pager.close()  # shards rebuild from the rows; the source is done
+        pager = None
+        partitions = partition_transactions(transactions, args.shards)
+        handles = make_shard_handles(
+            partitions, n_bits, mode=args.shard_mode, telemetry=telemetry
+        )
+        supervisor = ShardSupervisor(handles, telemetry=telemetry).start()
+        service = ShardedQueryService(
+            ShardedTree(handles, n_bits, telemetry=telemetry),
+            supervisor=supervisor,
+            telemetry=telemetry,
+            max_inflight=args.max_inflight,
+            max_queue=args.max_queue,
+            default_deadline=default_deadline,
+            quorum=args.quorum,
+        )
+    else:
+        tree.attach_telemetry(telemetry)
+        service = QueryService(
+            tree,
+            telemetry=telemetry,
+            max_inflight=args.max_inflight,
+            max_queue=args.max_queue,
+            default_deadline=default_deadline,
+            workers=args.workers,
+            batch_size=args.batch_size,
+        )
     try:
         server = make_server(service, host=args.host, port=args.port)
         host, port = server.server_address[:2]
+        sharding = (
+            f"shards={args.shards}({args.shard_mode})" if args.shards > 0
+            else "single-tree"
+        )
         print(
-            f"serving {args.index} ({len(tree)} transactions) on "
-            f"http://{host}:{port}  [max-inflight={args.max_inflight}, "
+            f"serving {args.index} on http://{host}:{port}  "
+            f"[{sharding}, max-inflight={args.max_inflight}, "
             f"max-queue={args.max_queue}] — Ctrl-C to stop"
         )
-        serve_forever(server)
+        serve_forever(server, drain_timeout=args.drain_timeout)
         return 0
     finally:
-        # After a hot-swap the service closed the old pager itself, so
-        # close whatever tree is current at shutdown, not `tree`.
-        service.tree.tree.store.pager.close()
+        if pager is not None:
+            # After a hot-swap the service closed the old pager itself,
+            # so close whatever tree is current at shutdown, not `tree`.
+            service.tree.tree.store.pager.close()
         events.close()
 
 

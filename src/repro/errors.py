@@ -24,6 +24,17 @@ given a :class:`~repro.sgtree.search.Deadline` raises it at the next
 cancellation checkpoint after the deadline expires, carrying the partial
 traffic accounted so far.
 
+The sharded serving layer (:mod:`repro.server.shard`) adds a family of
+per-shard failure signals: :class:`ShardUnavailable` (a shard worker is
+dead or unreachable), :class:`CircuitOpen` (a shard's circuit breaker is
+shedding load and carries a ``retry_after`` hint), and
+:class:`RetryExhausted` (the per-shard retry policy gave up on a
+transient failure).  All three map to HTTP **503** — with a
+``Retry-After`` header for :class:`CircuitOpen` — when they surface at
+the request level, which only happens when *no* shard could answer;
+single-shard failures degrade the response to a partial result instead
+(see ``docs/resilience.md``).
+
 Several classes keep a legacy builtin base (``KeyError``, ``ValueError``,
 ``OSError``) so code written against the original, untyped errors keeps
 working.
@@ -43,6 +54,10 @@ __all__ = [
     "CrashError",
     "InjectedIOError",
     "QueryTimeout",
+    "ShardError",
+    "ShardUnavailable",
+    "CircuitOpen",
+    "RetryExhausted",
 ]
 
 
@@ -139,3 +154,56 @@ class QueryTimeout(ReproError, TimeoutError):
             f"query deadline exceeded: {elapsed * 1e3:.3f} ms elapsed "
             f"of a {budget * 1e3:.3f} ms budget"
         )
+
+
+class ShardError(ReproError):
+    """Base class of sharded-serving failures (one shard, not the request).
+
+    Carries the ``shard_id`` when the failure is attributable to a
+    specific shard; request-level aggregates (every shard failed) leave
+    it ``None``.
+    """
+
+    def __init__(self, message: str, shard_id: int | None = None):
+        self.shard_id = shard_id
+        if shard_id is not None:
+            message = f"shard {shard_id}: {message}"
+        super().__init__(message)
+
+
+class ShardUnavailable(ShardError):
+    """A shard worker is dead, unreachable, or still restarting.
+
+    Transient by design: the supervisor restarts crashed workers, so the
+    retry policy treats this as retriable.  Maps to HTTP **503** when no
+    shard at all can answer a request.
+    """
+
+
+class CircuitOpen(ShardError):
+    """A shard's circuit breaker is open and shedding load.
+
+    ``retry_after`` is the breaker's remaining open interval in seconds
+    — the HTTP layer forwards it as a ``Retry-After`` header on the
+    **503** it returns when every shard is unavailable.
+    """
+
+    def __init__(self, message: str, shard_id: int | None = None,
+                 retry_after: float = 0.0):
+        self.retry_after = max(0.0, float(retry_after))
+        super().__init__(message, shard_id)
+
+
+class RetryExhausted(ShardError):
+    """The per-shard retry policy gave up on a transient failure.
+
+    ``attempts`` is how many calls were made; ``last_error`` the final
+    failure (an exception instance or a worker-reported message).  Maps
+    to HTTP **503** when it surfaces at the request level.
+    """
+
+    def __init__(self, message: str, shard_id: int | None = None,
+                 attempts: int = 0, last_error: object = None):
+        self.attempts = attempts
+        self.last_error = last_error
+        super().__init__(message, shard_id)

@@ -7,32 +7,44 @@ connection model stays cheap even when a load spike hits.
 
 Routes (see ``docs/serving.md`` for the full request/response contract):
 
-====== ===================== ===========================================
-method path                  behaviour
-====== ===================== ===========================================
-GET    ``/healthz``          liveness + saturation snapshot (always 200)
-GET    ``/metrics``          Prometheus text exposition
-POST   ``/query/knn``        ``{"items": [...], "k": 5, ...}``
-POST   ``/query/range``      ``{"items": [...], "epsilon": 0.4, ...}``
+====== ====================== ==========================================
+method path                   behaviour
+====== ====================== ==========================================
+GET    ``/healthz``           full health snapshot (always 200)
+GET    ``/healthz/live``      liveness probe: 200 until closed, else 503
+GET    ``/healthz/ready``     readiness probe: 200 when accepting
+                              traffic, 503 mid-reload or below shard
+                              quorum
+GET    ``/metrics``           Prometheus text exposition
+POST   ``/query/knn``         ``{"items": [...], "k": 5, ...}``
+POST   ``/query/range``       ``{"items": [...], "epsilon": 0.4, ...}``
 POST   ``/query/containment`` ``{"items": [...]}``
-POST   ``/query/batch``      ``{"queries": [[...], ...], "kind": "knn"}``
-POST   ``/admin/reload``     ``{"index_path": ...}`` or
-                             ``{"dataset_path": ...}`` — snapshot swap
-====== ===================== ===========================================
+POST   ``/query/batch``       ``{"queries": [[...], ...], "kind": "knn"}``
+POST   ``/admin/reload``      ``{"index_path": ...}`` or
+                              ``{"dataset_path": ...}`` — snapshot swap
+====== ====================== ==========================================
 
 Error statuses: **400** malformed body, **404** unknown route, **409**
 reload already running, **429** shed by admission control (body carries
-``retry": true``), **504** deadline exceeded (in queue or mid-
-traversal).  Every query route accepts an optional ``deadline_ms``.
+``retry": true``), **503** no shard could answer (breaker-open responses
+carry a ``Retry-After`` header), **504** deadline exceeded (in queue or
+mid-traversal).  Every query route accepts an optional ``deadline_ms``.
+Sharded responses carry ``partial`` and ``coverage`` fields describing
+which shards contributed (see ``docs/resilience.md``).
+
+On SIGTERM/SIGINT the CLI loop (:func:`serve_forever`) shuts down
+gracefully: the listener closes first, in-flight requests drain up to
+``--drain-timeout`` seconds, then the process exits 0.
 """
 
 from __future__ import annotations
 
 import json
+import signal
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-from ..errors import QueryTimeout, ReproError
+from ..errors import CircuitOpen, QueryTimeout, ReproError, ShardError
 from ..sgtree.search import Neighbor, SearchStats
 from .service import QueryService, ReloadInProgress, RequestShed, ServedQuery
 
@@ -61,13 +73,17 @@ def _results_payload(results: object) -> object:
 
 
 def _response_payload(served: ServedQuery) -> dict:
-    return {
+    payload = {
         "kind": served.kind,
         "results": _results_payload(served.results),
         "generation": served.generation,
         "seconds": served.seconds,
+        "partial": served.partial,
         "stats": _stats_payload(served.stats),
     }
+    if served.coverage is not None:
+        payload["coverage"] = served.coverage
+    return payload
 
 
 def _deadline_seconds(body: dict) -> "float | None":
@@ -93,11 +109,14 @@ class _Handler(BaseHTTPRequestHandler):
         # default stderr line per request would swamp benchmark output.
         pass
 
-    def _send_json(self, code: int, payload: dict) -> None:
+    def _send_json(self, code: int, payload: dict,
+                   headers: "dict[str, str] | None" = None) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(code)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -126,6 +145,12 @@ class _Handler(BaseHTTPRequestHandler):
         service = self.server.service
         if self.path == "/healthz":
             self._send_json(200, service.health())
+        elif self.path == "/healthz/live":
+            doc = service.health()
+            self._send_json(200 if doc["live"] else 503, doc)
+        elif self.path == "/healthz/ready":
+            doc = service.health()
+            self._send_json(200 if doc["ready"] else 503, doc)
         elif self.path == "/metrics":
             self._send_text(
                 200, service.metrics_text(), "text/plain; version=0.0.4"
@@ -195,6 +220,21 @@ class _Handler(BaseHTTPRequestHandler):
             )
         except ReloadInProgress as exc:
             self._send_json(409, {"error": str(exc)})
+        except CircuitOpen as exc:
+            # Every shard breaker open: shed with an honest retry hint.
+            self._send_json(
+                503,
+                {
+                    "error": str(exc),
+                    "retry": True,
+                    "retry_after_seconds": exc.retry_after,
+                },
+                headers={"Retry-After": str(max(1, round(exc.retry_after)))},
+            )
+        except ShardError as exc:
+            # ShardUnavailable / RetryExhausted at request level: no
+            # shard could answer at all.
+            self._send_json(503, {"error": str(exc), "retry": True})
         except (KeyError, ValueError, TypeError, json.JSONDecodeError) as exc:
             self._send_json(400, {"error": f"bad request: {exc}"})
         except ReproError as exc:
@@ -209,6 +249,9 @@ class ServingHTTPServer(ThreadingHTTPServer):
     def __init__(self, address: "tuple[str, int]", service: QueryService):
         super().__init__(address, _Handler)
         self.service = service
+        self._shutdown_lock = threading.Lock()
+        self._shutting_down = False
+        self._shutdown_done = threading.Event()
 
     def serve_background(self) -> threading.Thread:
         """Run the accept loop on a daemon thread; returns the thread."""
@@ -218,11 +261,40 @@ class ServingHTTPServer(ThreadingHTTPServer):
         thread.start()
         return thread
 
+    def shutdown_gracefully(self, drain_timeout: float = 5.0) -> None:
+        """Stop accepting, drain in-flight work, close the service.
+
+        The listener closes *first*, so no new request can arrive while
+        the in-flight tail drains (up to ``drain_timeout`` seconds).
+        Safe to call from any thread except the one running
+        ``serve_forever``; concurrent callers block until the first
+        caller finishes, so "shutdown returned" always means "drained
+        and closed".
+        """
+        with self._shutdown_lock:
+            first = not self._shutting_down
+            self._shutting_down = True
+        if not first:
+            self._shutdown_done.wait()
+            return
+        try:
+            self.shutdown()
+            self.server_close()
+            drained = self.service.drain(drain_timeout)
+            telemetry = self.service.telemetry
+            if telemetry is not None:
+                telemetry.emit(
+                    "server_drain",
+                    drained=drained,
+                    timeout_seconds=drain_timeout,
+                )
+            self.service.close()
+        finally:
+            self._shutdown_done.set()
+
     def close(self) -> None:
         """Stop the accept loop and release the socket (idempotent)."""
-        self.shutdown()
-        self.server_close()
-        self.service.close()
+        self.shutdown_gracefully(0.0)
 
 
 def make_server(
@@ -246,11 +318,37 @@ def make_server(
     return server
 
 
-def serve_forever(server: ServingHTTPServer) -> None:
-    """Run the accept loop in the calling thread until interrupted."""
+def serve_forever(server: ServingHTTPServer, drain_timeout: float = 5.0,
+                  install_signals: bool = True) -> None:
+    """Run the accept loop in the calling thread until interrupted.
+
+    With ``install_signals`` (the CLI path), SIGTERM and SIGINT trigger
+    a graceful shutdown: a helper thread closes the listener, drains
+    in-flight requests for up to ``drain_timeout`` seconds, and this
+    function returns normally — the process exits 0 instead of dying
+    mid-request.  ``shutdown()`` must never run on the accept-loop
+    thread (it deadlocks), hence the helper thread.
+    """
+
+    def _graceful(*_args: object) -> None:
+        threading.Thread(
+            target=server.shutdown_gracefully,
+            args=(drain_timeout,),
+            name="sgtree-shutdown",
+            daemon=True,
+        ).start()
+
+    previous: dict = {}
+    if install_signals and threading.current_thread() is threading.main_thread():
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            previous[signum] = signal.signal(signum, _graceful)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
-        server.close()
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        # Idempotent: if a signal already started the graceful path this
+        # waits for the drain to finish before returning to the CLI.
+        server.shutdown_gracefully(drain_timeout)

@@ -1,0 +1,308 @@
+"""Resilience primitives for the sharded serving path.
+
+Three small, composable mechanisms, each deterministic under a seeded
+RNG so the chaos campaign can replay failure schedules exactly:
+
+* :class:`Backoff` — bounded exponential backoff with full jitter, the
+  schedule both the supervisor (worker restarts) and the retry policy
+  (transient call failures) draw their delays from;
+* :class:`RetryPolicy` — per-shard retries for *transient* failures that
+  honour the request :class:`~repro.sgtree.search.Deadline`: a backoff
+  sleep never outlives the deadline, and an expired deadline aborts the
+  retry loop with :class:`~repro.errors.QueryTimeout` immediately — a
+  request waiting on a retry sleep cannot hang past its budget;
+* :class:`CircuitBreaker` — the classical closed → open → half-open
+  state machine, tripping on consecutive failures *or* on a p99 latency
+  threshold over a sliding window, so a wedged-but-answering shard sheds
+  load just like a dead one.
+
+None of this is specific to signature trees; it is the standard
+discipline for keeping a scatter-gather service answering when one of
+its N backends stops (see ``docs/resilience.md`` for tuning guidance).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from collections import deque
+
+from ..errors import QueryTimeout, RetryExhausted
+
+__all__ = ["Backoff", "RetryPolicy", "CircuitBreaker"]
+
+
+class Backoff:
+    """Bounded exponential backoff with full jitter.
+
+    Delay for attempt ``n`` (0-based) is drawn uniformly from
+    ``[0, min(max_delay, initial * factor**n)]`` — "full jitter", which
+    de-synchronises restart storms better than equal jitter.  A seeded
+    :class:`random.Random` makes the schedule reproducible in tests.
+    """
+
+    def __init__(
+        self,
+        initial: float = 0.05,
+        factor: float = 2.0,
+        max_delay: float = 5.0,
+        jitter: bool = True,
+        seed: "int | None" = None,
+    ):
+        if initial < 0:
+            raise ValueError(f"initial delay must be >= 0, got {initial}")
+        if factor < 1.0:
+            raise ValueError(f"factor must be >= 1, got {factor}")
+        if max_delay < initial:
+            raise ValueError(
+                f"max_delay {max_delay} must be >= initial {initial}"
+            )
+        self.initial = initial
+        self.factor = factor
+        self.max_delay = max_delay
+        self.jitter = jitter
+        self._rng = random.Random(seed)
+
+    def delay(self, attempt: int) -> float:
+        """The sleep before retry/restart number ``attempt`` (0-based)."""
+        ceiling = min(self.max_delay, self.initial * self.factor ** max(0, attempt))
+        if not self.jitter:
+            return ceiling
+        return self._rng.uniform(0.0, ceiling)
+
+
+class RetryPolicy:
+    """Deadline-aware retries for transient per-shard failures.
+
+    ``run(fn, ...)`` calls ``fn`` up to ``max_attempts`` times.  A
+    *retriable* exception (by default every
+    :class:`~repro.errors.ShardError` plus ``TimeoutError`` and
+    ``OSError`` — dead workers, wedged calls, injected device errors)
+    triggers a backoff sleep and another attempt; anything else
+    propagates immediately.  The request deadline caps everything:
+
+    * the backoff sleep is truncated to ``deadline.remaining()``, and
+    * the deadline is re-checked after every sleep, so expiry *during*
+      a backoff wait raises :class:`~repro.errors.QueryTimeout` right
+      then instead of burning the remaining attempts.
+
+    When the attempts run out, :class:`~repro.errors.RetryExhausted`
+    wraps the last failure.
+    """
+
+    #: Exception types retried by default (transient failures).
+    TRANSIENT: tuple = ()
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        backoff: "Backoff | None" = None,
+        retriable: "tuple[type[BaseException], ...] | None" = None,
+    ):
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if retriable is None:
+            from ..errors import InjectedIOError, ShardError
+
+            retriable = (ShardError, InjectedIOError, TimeoutError, OSError)
+        self.max_attempts = max_attempts
+        self.backoff = backoff if backoff is not None else Backoff()
+        self.retriable = retriable
+
+    def run(self, fn, deadline=None, shard_id: "int | None" = None,
+            on_retry=None):
+        """Call ``fn()`` with retries; see the class docstring.
+
+        ``on_retry(attempt, exc)`` is invoked before each backoff sleep
+        (telemetry hook).  :class:`~repro.errors.QueryTimeout` from
+        ``fn`` is never retried — the request is already over budget.
+        """
+        last: BaseException | None = None
+        for attempt in range(self.max_attempts):
+            if deadline is not None:
+                deadline.check()
+            try:
+                return fn()
+            except QueryTimeout:
+                raise
+            except self.retriable as exc:
+                last = exc
+                if attempt + 1 >= self.max_attempts:
+                    break
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                pause = self.backoff.delay(attempt)
+                if deadline is not None:
+                    remaining = deadline.remaining()
+                    if remaining <= 0.0:
+                        deadline.check()  # raises QueryTimeout
+                    pause = min(pause, remaining)
+                if pause > 0.0:
+                    time.sleep(pause)
+                if deadline is not None:
+                    # Expiry during the sleep aborts before attempting
+                    # again — the caller's budget, not ours.
+                    deadline.check()
+        raise RetryExhausted(
+            f"{self.max_attempts} attempts failed; last: "
+            f"{type(last).__name__}: {last}",
+            shard_id=shard_id,
+            attempts=self.max_attempts,
+            last_error=last,
+        )
+
+
+class CircuitBreaker:
+    """A per-shard circuit breaker: closed → open → half-open.
+
+    * **closed** — calls flow; ``failure_threshold`` *consecutive*
+      failures, or a p99 latency above ``latency_threshold`` across a
+      full ``latency_window`` of samples, trip the breaker;
+    * **open** — every call is refused for ``reset_timeout`` seconds
+      (callers see :class:`~repro.errors.CircuitOpen` with the remaining
+      interval as ``retry_after``);
+    * **half-open** — after the timeout one trial call is admitted: its
+      success closes the breaker, its failure re-opens it (with the
+      latency window cleared, so stale samples cannot re-trip it).
+
+    Thread-safe; the scatter-gather coordinator consults one breaker per
+    shard from many request threads concurrently.
+    """
+
+    CLOSED, OPEN, HALF_OPEN = "closed", "open", "half-open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout: float = 1.0,
+        latency_threshold: "float | None" = None,
+        latency_window: int = 32,
+        clock=time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_timeout <= 0:
+            raise ValueError(f"reset_timeout must be > 0, got {reset_timeout}")
+        if latency_window < 2:
+            raise ValueError(f"latency_window must be >= 2, got {latency_window}")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.latency_threshold = latency_threshold
+        self.latency_window = latency_window
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._trial_inflight = False
+        self._latencies: deque[float] = deque(maxlen=latency_window)
+        #: lifetime trip count (telemetry)
+        self.trips = 0
+        #: hook called with (old_state, new_state) on every transition
+        self.on_transition = None
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._probe_state()
+
+    def _probe_state(self) -> str:
+        """State with the open→half-open timeout applied (lock held)."""
+        if (
+            self._state == self.OPEN
+            and self._clock() - self._opened_at >= self.reset_timeout
+        ):
+            self._transition(self.HALF_OPEN)
+        return self._state
+
+    def _transition(self, new_state: str) -> None:
+        old, self._state = self._state, new_state
+        if new_state == self.OPEN:
+            self._opened_at = self._clock()
+            self.trips += 1
+            self._latencies.clear()
+        if new_state == self.HALF_OPEN:
+            self._trial_inflight = False
+        if old != new_state and self.on_transition is not None:
+            self.on_transition(old, new_state)
+
+    def retry_after(self) -> float:
+        """Seconds until the breaker will admit a trial call."""
+        with self._lock:
+            if self._probe_state() != self.OPEN:
+                return 0.0
+            return max(
+                0.0, self.reset_timeout - (self._clock() - self._opened_at)
+            )
+
+    def allow(self) -> bool:
+        """Whether a call may proceed right now.
+
+        In half-open state exactly one concurrent trial is admitted;
+        the rest are refused until it reports back.
+        """
+        with self._lock:
+            state = self._probe_state()
+            if state == self.CLOSED:
+                return True
+            if state == self.HALF_OPEN and not self._trial_inflight:
+                self._trial_inflight = True
+                return True
+            return False
+
+    def record_success(self, latency: "float | None" = None) -> None:
+        with self._lock:
+            if self._state == self.HALF_OPEN:
+                self._transition(self.CLOSED)
+            self._consecutive_failures = 0
+            self._trial_inflight = False
+            if latency is not None and self.latency_threshold is not None:
+                self._latencies.append(latency)
+                if (
+                    self._state == self.CLOSED
+                    and len(self._latencies) == self.latency_window
+                    and self._p99() > self.latency_threshold
+                ):
+                    self._transition(self.OPEN)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._trial_inflight = False
+            if self._state == self.HALF_OPEN:
+                self._transition(self.OPEN)
+                return
+            self._consecutive_failures += 1
+            if (
+                self._state == self.CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._transition(self.OPEN)
+
+    def force_open(self) -> None:
+        """Trip the breaker immediately (tests, manual shard drain)."""
+        with self._lock:
+            if self._state != self.OPEN:
+                self._transition(self.OPEN)
+
+    def reset(self) -> None:
+        """Snap back to closed (after a supervisor restart)."""
+        with self._lock:
+            self._consecutive_failures = 0
+            self._latencies.clear()
+            self._trial_inflight = False
+            if self._state != self.CLOSED:
+                self._transition(self.CLOSED)
+
+    def _p99(self) -> float:
+        ordered = sorted(self._latencies)
+        index = min(len(ordered) - 1, int(0.99 * len(ordered)))
+        return ordered[index]
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker(state={self.state!r}, "
+            f"failures={self._consecutive_failures}, trips={self.trips})"
+        )

@@ -75,13 +75,22 @@ class ReloadInProgress(ReproError):
 
 @dataclass
 class ServedQuery:
-    """One served query: results plus its accounting."""
+    """One served query: results plus its accounting.
+
+    ``coverage`` and ``partial`` are populated by the sharded service
+    (:class:`~repro.server.shard.ShardedQueryService`): a response that
+    could not reach every shard is flagged ``partial`` and carries the
+    per-shard detail in ``coverage``.  Single-tree serving always
+    answers completely and leaves them at their defaults.
+    """
 
     kind: str
     results: object
     stats: SearchStats = field(default_factory=SearchStats)
     generation: int = 0
     seconds: float = 0.0
+    coverage: "dict | None" = None
+    partial: bool = False
 
 
 class QueryService:
@@ -125,6 +134,28 @@ class QueryService:
         workers: int = 1,
         batch_size: int = DEFAULT_BATCH_SIZE,
     ):
+        self._init_admission(
+            telemetry=telemetry, max_inflight=max_inflight,
+            max_queue=max_queue, default_deadline=default_deadline,
+        )
+        if isinstance(tree, SGTree):
+            tree = ConcurrentSGTree(tree)
+        self._tree = tree
+        self._executor = QueryExecutor(tree, workers=workers, batch_size=batch_size)
+
+    def _init_admission(
+        self,
+        telemetry=None,
+        max_inflight: int = 8,
+        max_queue: int = 32,
+        default_deadline: "float | None" = None,
+    ) -> None:
+        """Admission-control state shared by every service flavour.
+
+        Subclasses with a different execution backend (the sharded
+        service) call this instead of ``QueryService.__init__`` and then
+        install their own backend.
+        """
         if max_inflight < 1:
             raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
         if max_queue < 0:
@@ -133,10 +164,6 @@ class QueryService:
             raise ValueError(
                 f"default_deadline must be positive, got {default_deadline}"
             )
-        if isinstance(tree, SGTree):
-            tree = ConcurrentSGTree(tree)
-        self._tree = tree
-        self._executor = QueryExecutor(tree, workers=workers, batch_size=batch_size)
         self.telemetry = telemetry
         self.max_inflight = max_inflight
         self.max_queue = max_queue
@@ -147,6 +174,7 @@ class QueryService:
         self._inflight = 0
         self._generation = 0
         self._reload_lock = threading.Lock()
+        self._reloading = False
         self._closed = False
 
     # -- introspection -----------------------------------------------------
@@ -160,20 +188,46 @@ class QueryService:
         """Monotonic snapshot generation; bumped by every :meth:`reload`."""
         return self._generation
 
-    def health(self) -> dict:
-        """A liveness/readiness snapshot (the ``/healthz`` payload)."""
-        with self._admission_lock:
-            waiting, inflight = self._waiting, self._inflight
+    def _ready(self) -> bool:
+        """Readiness: willing to accept traffic *right now*.
+
+        Single-tree serving is unready only while closed or mid-reload
+        (a swap is about to land); the sharded service additionally
+        requires a quorum of shards up.
+        """
+        return not self._closed and not self._reloading
+
+    def _health_extra(self) -> dict:
+        """Backend-specific ``/healthz`` fields (overridden when sharded)."""
         return {
-            "status": "closed" if self._closed else "ok",
-            "generation": self._generation,
             "transactions": len(self._tree),
             "n_bits": self._tree.n_bits,
+        }
+
+    def health(self) -> dict:
+        """A liveness/readiness snapshot (the ``/healthz`` payload).
+
+        ``live`` means the process serves requests at all (false only
+        once closed); ``ready`` means it should receive traffic now —
+        false during a snapshot swap, or (sharded) while fewer than
+        ``quorum`` shards are up.  Load balancers route on ``ready`` and
+        restart on ``live``.
+        """
+        with self._admission_lock:
+            waiting, inflight = self._waiting, self._inflight
+        doc = {
+            "status": "closed" if self._closed else "ok",
+            "live": not self._closed,
+            "ready": self._ready(),
+            "reloading": self._reloading,
+            "generation": self._generation,
             "inflight": inflight,
             "queue_depth": waiting,
             "max_inflight": self.max_inflight,
             "max_queue": self.max_queue,
         }
+        doc.update(self._health_extra())
+        return doc
 
     def metrics_text(self) -> str:
         """Prometheus text exposition of the attached registry."""
@@ -295,6 +349,50 @@ class QueryService:
         except ValueError:
             return fn()
 
+    # -- execution hooks ---------------------------------------------------
+    # The public routes below resolve deadlines and run admission; these
+    # hooks do the actual work and are what the sharded service overrides
+    # to scatter-gather instead of querying one tree.
+
+    def _run_knn(self, items, k, metric, algorithm, deadline) -> ServedQuery:
+        stats = SearchStats()
+        results = self._tree.nearest(
+            self._signature(items), k=k, metric=metric,
+            algorithm=algorithm, stats=stats, deadline=deadline,
+        )
+        return ServedQuery("knn", results, stats)
+
+    def _run_range(self, items, epsilon, metric, deadline) -> ServedQuery:
+        stats = SearchStats()
+        results = self._tree.range_query(
+            self._signature(items), epsilon, metric=metric,
+            stats=stats, deadline=deadline,
+        )
+        return ServedQuery("range", results, stats)
+
+    def _run_containment(self, items, deadline) -> ServedQuery:
+        stats = SearchStats()
+        results = self._tree.containment_query(
+            self._signature(items), stats=stats, deadline=deadline
+        )
+        return ServedQuery("containment", results, stats)
+
+    def _run_batch(self, queries, kind, k, epsilon, metric, deadline,
+                   ) -> ServedQuery:
+        stats = SearchStats()
+        signatures = [self._signature(q) for q in queries]
+        if kind == "knn":
+            results = self._executor.knn(
+                signatures, k=k, metric=metric, stats=stats,
+                deadline=deadline,
+            )
+        else:
+            results = self._executor.range_query(
+                signatures, epsilon, metric=metric, stats=stats,
+                deadline=deadline,
+            )
+        return ServedQuery(f"batch_{kind}", results, stats)
+
     # -- query routes ------------------------------------------------------
 
     def knn(
@@ -308,16 +406,12 @@ class QueryService:
         """k-NN over the current snapshot; results are
         :class:`~repro.sgtree.search.Neighbor` tuples."""
         deadline = self.resolve_deadline(deadline_seconds)
-
-        def run() -> ServedQuery:
-            stats = SearchStats()
-            results = self._tree.nearest(
-                self._signature(items), k=k, metric=metric,
-                algorithm=algorithm, stats=stats, deadline=deadline,
-            )
-            return ServedQuery("knn", results, stats)
-
-        return self._serve("knn", deadline, lambda: self._retrying(run))
+        return self._serve(
+            "knn", deadline,
+            lambda: self._retrying(
+                lambda: self._run_knn(items, k, metric, algorithm, deadline)
+            ),
+        )
 
     def range(
         self,
@@ -328,16 +422,12 @@ class QueryService:
     ) -> ServedQuery:
         """Similarity range query over the current snapshot."""
         deadline = self.resolve_deadline(deadline_seconds)
-
-        def run() -> ServedQuery:
-            stats = SearchStats()
-            results = self._tree.range_query(
-                self._signature(items), epsilon, metric=metric,
-                stats=stats, deadline=deadline,
-            )
-            return ServedQuery("range", results, stats)
-
-        return self._serve("range", deadline, lambda: self._retrying(run))
+        return self._serve(
+            "range", deadline,
+            lambda: self._retrying(
+                lambda: self._run_range(items, epsilon, metric, deadline)
+            ),
+        )
 
     def containment(
         self,
@@ -346,15 +436,12 @@ class QueryService:
     ) -> ServedQuery:
         """Containment (superset) query over the current snapshot."""
         deadline = self.resolve_deadline(deadline_seconds)
-
-        def run() -> ServedQuery:
-            stats = SearchStats()
-            results = self._tree.containment_query(
-                self._signature(items), stats=stats, deadline=deadline
-            )
-            return ServedQuery("containment", results, stats)
-
-        return self._serve("containment", deadline, lambda: self._retrying(run))
+        return self._serve(
+            "containment", deadline,
+            lambda: self._retrying(
+                lambda: self._run_containment(items, deadline)
+            ),
+        )
 
     def batch(
         self,
@@ -379,23 +466,14 @@ class QueryService:
         if kind == "range" and epsilon is None:
             raise ValueError("batch kind 'range' requires epsilon")
         deadline = self.resolve_deadline(deadline_seconds)
-
-        def run() -> ServedQuery:
-            stats = SearchStats()
-            signatures = [self._signature(q) for q in queries]
-            if kind == "knn":
-                results = self._executor.knn(
-                    signatures, k=k, metric=metric, stats=stats,
-                    deadline=deadline,
+        return self._serve(
+            "batch", deadline,
+            lambda: self._retrying(
+                lambda: self._run_batch(
+                    queries, kind, k, epsilon, metric, deadline
                 )
-            else:
-                results = self._executor.range_query(
-                    signatures, epsilon, metric=metric, stats=stats,
-                    deadline=deadline,
-                )
-            return ServedQuery(f"batch_{kind}", results, stats)
-
-        return self._serve("batch", deadline, lambda: self._retrying(run))
+            ),
+        )
 
     # -- snapshot hot-swap -------------------------------------------------
 
@@ -426,6 +504,7 @@ class QueryService:
             )
         if not self._reload_lock.acquire(blocking=False):
             raise ReloadInProgress("a snapshot reload is already running")
+        self._reloading = True
         telemetry = self.telemetry
         outcome = "error"
         try:
@@ -470,7 +549,26 @@ class QueryService:
         finally:
             if telemetry is not None:
                 telemetry.server_reloads_total.labels(outcome=outcome).inc()
+            self._reloading = False
             self._reload_lock.release()
+
+    def drain(self, timeout: float) -> bool:
+        """Wait until no request is executing or queued (graceful stop).
+
+        Polls the admission counters for up to ``timeout`` seconds and
+        returns whether the service fully drained — the graceful-
+        shutdown path closes the listener first, so no new work arrives
+        while this waits for the in-flight tail to finish.
+        """
+        limit = time.monotonic() + max(0.0, timeout)
+        while True:
+            with self._admission_lock:
+                idle = self._waiting == 0 and self._inflight == 0
+            if idle:
+                return True
+            if time.monotonic() >= limit:
+                return False
+            time.sleep(0.01)
 
     def close(self) -> None:
         """Stop serving: shut the executor pool down (idempotent).

@@ -1,0 +1,1176 @@
+"""Sharded, fault-tolerant serving: partition, workers, scatter-gather.
+
+This module turns the single-tree serving stack into an N-shard service
+that keeps answering when individual shards crash, wedge, or slow down:
+
+* :func:`partition_transactions` splits a transaction collection into
+  N similarity-preserving partitions, reusing the min-hash / gray-code
+  orderings of :mod:`repro.sgtree.bulkload` — similar transactions land
+  in the same shard, so per-shard pruning stays as tight as the paper's
+  single-tree bounds;
+* :class:`ThreadShardWorker` / :class:`ProcessShardWorker` run one shard
+  tree behind a request/response mailbox — in-process threads for tests
+  and embedding, ``multiprocessing`` processes for real CPU scale-out —
+  both speaking the same picklable wire protocol and both accepting a
+  seeded :class:`~repro.storage.faults.ShardChaos` stream for fault
+  campaigns;
+* :class:`ShardHandle` supervises one worker: a per-shard
+  :class:`~repro.server.resilience.CircuitBreaker`, a deadline-aware
+  :class:`~repro.server.resilience.RetryPolicy`, restart bookkeeping,
+  and bounded waits so a dead or wedged worker can never hold a request
+  past its :class:`~repro.sgtree.search.Deadline`;
+* :class:`ShardedTree` scatters a query to every admitted shard, gathers
+  within the deadline, merges (global top-k for kNN, union for
+  range/containment), and reports :class:`Coverage` — which shards
+  answered, which failed and why;
+* :class:`ShardedQueryService` plugs the coordinator into the admission
+  control / deadline / telemetry machinery of
+  :class:`~repro.server.service.QueryService`, downgrading shard
+  failures to **partial results** (``partial: true`` plus per-shard
+  error detail) instead of failing the whole request.
+
+Partial-result semantics (argued in ``docs/resilience.md`` and DESIGN.md
+§10): a degraded range/containment answer is always a *subset* of the
+full-index answer, and every degraded kNN hit carries its true distance
+— it is exactly the full answer over the union of the shards that
+responded, never a fabricated or mis-scored result.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..core.signature import Signature
+from ..core.transaction import Transaction
+from ..errors import (
+    CircuitOpen,
+    QueryTimeout,
+    ReproError,
+    RetryExhausted,
+    ShardUnavailable,
+)
+from ..sgtree.bulkload import bulk_load, gray_sort_order, minhash_order
+from ..sgtree.search import Deadline, Neighbor, SearchStats
+from ..sgtree.tree import SGTree
+from .resilience import Backoff, CircuitBreaker, RetryPolicy
+from .service import QueryService, ServedQuery
+
+__all__ = [
+    "partition_transactions",
+    "Coverage",
+    "ThreadShardWorker",
+    "ProcessShardWorker",
+    "ShardHandle",
+    "ShardedTree",
+    "ShardedQueryService",
+    "make_shard_handles",
+]
+
+#: Upper bound on one worker call when the request carries no deadline.
+DEFAULT_CALL_TIMEOUT = 30.0
+
+#: How often a bounded wait re-checks liveness and expiry.
+POLL_INTERVAL = 0.02
+
+
+# ---------------------------------------------------------------------------
+# partitioning
+
+
+def partition_transactions(
+    transactions: Sequence[Transaction],
+    n_shards: int,
+    method: str = "minhash",
+    n_hashes: int = 4,
+    seed: int = 0,
+) -> list[list[Transaction]]:
+    """Split transactions into ``n_shards`` similarity-preserving runs.
+
+    The collection is ordered by the bulk-load key (``"minhash"`` or
+    ``"gray"`` — the same similarity-preserving orders
+    :func:`~repro.sgtree.bulkload.bulk_load` packs nodes from) and cut
+    into contiguous runs of near-equal size, so each shard holds a
+    neighbourhood of similar transactions rather than a random sample —
+    per-shard signatures stay tight and per-shard pruning effective.
+    Every transaction lands in exactly one shard; shards may be empty
+    only when there are fewer transactions than shards.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    transactions = list(transactions)
+    signatures = [t.signature for t in transactions]
+    if method == "gray":
+        order = gray_sort_order(signatures)
+    elif method == "minhash":
+        order = minhash_order(signatures, n_hashes=n_hashes, seed=seed)
+    else:
+        raise ValueError(
+            f"unknown partition method {method!r}; use 'gray' or 'minhash'"
+        )
+    ordered = [transactions[i] for i in order]
+    partitions: list[list[Transaction]] = []
+    base, extra = divmod(len(ordered), n_shards)
+    start = 0
+    for shard in range(n_shards):
+        size = base + (1 if shard < extra else 0)
+        partitions.append(ordered[start : start + size])
+        start += size
+    return partitions
+
+
+# ---------------------------------------------------------------------------
+# wire protocol (shared by both worker kinds; everything picklable)
+
+
+def _build_shard_tree(n_bits: int, rows: "list[tuple[int, tuple[int, ...]]]",
+                      tree_kwargs: "dict | None" = None) -> SGTree:
+    """A shard tree from ``(tid, items)`` rows (the picklable form)."""
+    transactions = [
+        Transaction(tid, Signature.from_items(list(items), n_bits))
+        for tid, items in rows
+    ]
+    if not transactions:
+        return SGTree(n_bits, **(tree_kwargs or {}))
+    return bulk_load(transactions, n_bits, method="gray", **(tree_kwargs or {}))
+
+
+def _handle_request(tree: SGTree, request: dict) -> dict:
+    """Execute one wire request against a shard tree.
+
+    Returns a response dict: ``{"ok": True, "results": ..., "stats":
+    {...}}`` or ``{"ok": False, "error": <type name>, "message": ...}``.
+    The request ``budget`` (remaining seconds) becomes a local
+    :class:`Deadline`, so an over-budget traversal aborts *inside the
+    worker* too — a shard never burns CPU for a caller that has already
+    given up.
+    """
+    op = request["op"]
+    try:
+        if op == "ping":
+            return {"ok": True, "transactions": len(tree), "n_bits": tree.n_bits}
+        budget = request.get("budget")
+        deadline = Deadline.after(max(0.0, budget)) if budget is not None else None
+        stats = SearchStats()
+        n_bits = tree.n_bits
+        if op == "knn":
+            results = tree.nearest(
+                Signature.from_items(request["items"], n_bits),
+                k=request["k"], metric=request.get("metric"),
+                algorithm=request.get("algorithm", "depth-first"),
+                stats=stats, deadline=deadline,
+            )
+            payload = [(n.distance, n.tid) for n in results]
+        elif op == "range":
+            results = tree.range_query(
+                Signature.from_items(request["items"], n_bits),
+                request["epsilon"], metric=request.get("metric"),
+                stats=stats, deadline=deadline,
+            )
+            payload = [(n.distance, n.tid) for n in results]
+        elif op == "containment":
+            payload = tree.containment_query(
+                Signature.from_items(request["items"], n_bits),
+                stats=stats, deadline=deadline,
+            )
+        elif op == "batch_knn":
+            signatures = [
+                Signature.from_items(items, n_bits) for items in request["queries"]
+            ]
+            results = tree.batch_nearest(
+                signatures, k=request["k"], metric=request.get("metric"),
+                stats=stats, deadline=deadline,
+            )
+            payload = [[(n.distance, n.tid) for n in row] for row in results]
+        elif op == "batch_range":
+            signatures = [
+                Signature.from_items(items, n_bits) for items in request["queries"]
+            ]
+            results = tree.batch_range_query(
+                signatures, request["epsilon"], metric=request.get("metric"),
+                stats=stats, deadline=deadline,
+            )
+            payload = [[(n.distance, n.tid) for n in row] for row in results]
+        else:
+            raise ValueError(f"unknown shard op {op!r}")
+        return {
+            "ok": True,
+            "results": payload,
+            "stats": {
+                "node_accesses": stats.node_accesses,
+                "random_ios": stats.random_ios,
+                "leaf_entries": stats.leaf_entries,
+            },
+        }
+    except Exception as exc:  # noqa: BLE001 - every failure crosses the wire
+        return {"ok": False, "error": type(exc).__name__, "message": str(exc)}
+
+
+class _PendingCall:
+    """A one-shot mailbox the caller waits on with a bounded timeout."""
+
+    __slots__ = ("_event", "response")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self.response: "dict | None" = None
+
+    def resolve(self, response: dict) -> None:
+        self.response = response
+        self._event.set()
+
+    def wait(self, timeout: float) -> "dict | None":
+        if self._event.wait(timeout):
+            return self.response
+        return None
+
+
+# ---------------------------------------------------------------------------
+# workers
+
+
+class ThreadShardWorker:
+    """One shard tree behind a request queue on a daemon thread.
+
+    The in-process twin of :class:`ProcessShardWorker` — same wire
+    protocol, same chaos hooks, none of the spawn cost — used by the
+    test suite and by ``serve --shard-mode thread``.  ``build_tree`` is
+    called in the constructor; a supervisor restart therefore rebuilds
+    the shard from source, exactly like a fresh process would (which is
+    also what heals a shard whose pager went bad).
+
+    A chaos ``"kill"`` makes the worker die *without answering the
+    in-flight request* — the abandoned caller is bounded by its own
+    deadline, which is precisely the property the chaos campaign
+    verifies.  Requests still queued when the worker dies are failed
+    fast with a ``ShardUnavailable`` response.
+    """
+
+    mode = "thread"
+
+    def __init__(
+        self,
+        build_tree: "Callable[[], SGTree]",
+        shard_id: int = 0,
+        chaos=None,
+        name: "str | None" = None,
+    ):
+        self.shard_id = shard_id
+        self.chaos = chaos
+        self._tree = build_tree()
+        self._queue: "queue.SimpleQueue" = queue.SimpleQueue()
+        self._alive = True
+        self._thread = threading.Thread(
+            target=self._loop,
+            name=name or f"sgtree-shard-{shard_id}",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def is_alive(self) -> bool:
+        return self._alive and self._thread.is_alive()
+
+    def submit(self, request: dict) -> _PendingCall:
+        if not self.is_alive():
+            raise ShardUnavailable("worker is down", shard_id=self.shard_id)
+        pending = _PendingCall()
+        self._queue.put((request, pending))
+        return pending
+
+    def kill(self) -> None:
+        """Hard-stop the worker (supervision tests, bench kill-shard)."""
+        self._alive = False
+        self._queue.put(None)  # wake the loop so it notices
+
+    def close(self) -> None:
+        self.kill()
+
+    def _loop(self) -> None:
+        try:
+            while True:
+                item = self._queue.get()
+                if item is None or not self._alive:
+                    return
+                request, pending = item
+                if self.chaos is not None:
+                    action = self.chaos.draw()
+                    if action == "kill":
+                        # Die mid-query: the in-flight request is
+                        # abandoned, like a killed process.
+                        self._alive = False
+                        return
+                    if action == "latency":
+                        time.sleep(self.chaos.plan.latency_seconds)
+                response = _handle_request(self._tree, request)
+                response["id"] = request.get("id")
+                pending.resolve(response)
+        finally:
+            self._alive = False
+            self._fail_queued()
+
+    def _fail_queued(self) -> None:
+        """Fail fast whatever was queued behind the death."""
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if item is None:
+                continue
+            request, pending = item
+            pending.resolve({
+                "id": request.get("id"), "ok": False,
+                "error": "ShardUnavailable", "message": "worker died",
+            })
+
+
+def _process_worker_main(conn, shard_id: int, n_bits: int, rows,
+                         tree_kwargs, chaos_cfg) -> None:
+    """Entry point of a shard process: build the tree, serve the pipe."""
+    import os
+
+    chaos = None
+    if chaos_cfg is not None:
+        from ..storage.faults import ChaosPlan
+
+        seed, kill_rate, latency_rate, latency_seconds, incarnation = chaos_cfg
+        plan = ChaosPlan(
+            seed=seed, kill_rate=kill_rate, latency_rate=latency_rate,
+            latency_seconds=latency_seconds,
+        )
+        chaos = plan.for_shard(shard_id, incarnation=incarnation)
+    tree = _build_shard_tree(n_bits, rows, tree_kwargs)
+    while True:
+        try:
+            request = conn.recv()
+        except (EOFError, OSError):
+            return
+        if request.get("op") == "stop":
+            conn.send({"id": request.get("id"), "ok": True})
+            return
+        if chaos is not None:
+            action = chaos.draw()
+            if action == "kill":
+                os._exit(1)  # abrupt death, in-flight request abandoned
+            if action == "latency":
+                time.sleep(chaos.plan.latency_seconds)
+        response = _handle_request(tree, request)
+        response["id"] = request.get("id")
+        try:
+            conn.send(response)
+        except (BrokenPipeError, OSError):
+            return
+
+
+class ProcessShardWorker:
+    """One shard tree in its own OS process, behind a duplex pipe.
+
+    The parent keeps a receiver thread that matches responses to pending
+    calls by request id, so a response to an *abandoned* call (its
+    deadline expired first) is absorbed harmlessly instead of
+    desynchronising the pipe.  Process death surfaces as ``EOFError`` on
+    the receiver, which fails every pending call fast with
+    :class:`~repro.errors.ShardUnavailable`.
+    """
+
+    mode = "process"
+
+    def __init__(
+        self,
+        n_bits: int,
+        rows: "list[tuple[int, tuple[int, ...]]]",
+        shard_id: int = 0,
+        tree_kwargs: "dict | None" = None,
+        chaos_cfg=None,
+        start_method: "str | None" = None,
+    ):
+        import multiprocessing
+
+        self.shard_id = shard_id
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        ctx = multiprocessing.get_context(start_method)
+        self._conn, child_conn = ctx.Pipe(duplex=True)
+        self._process = ctx.Process(
+            target=_process_worker_main,
+            args=(child_conn, shard_id, n_bits, rows, tree_kwargs, chaos_cfg),
+            daemon=True,
+            name=f"sgtree-shard-{shard_id}",
+        )
+        self._process.start()
+        child_conn.close()
+        self._pending: "dict[int, _PendingCall]" = {}
+        self._lock = threading.Lock()
+        self._closed = False
+        self._receiver = threading.Thread(
+            target=self._receive_loop,
+            name=f"sgtree-shard-{shard_id}-rx",
+            daemon=True,
+        )
+        self._receiver.start()
+
+    def is_alive(self) -> bool:
+        return not self._closed and self._process.is_alive()
+
+    def submit(self, request: dict) -> _PendingCall:
+        pending = _PendingCall()
+        with self._lock:
+            if not self.is_alive():
+                raise ShardUnavailable(
+                    "worker process is down", shard_id=self.shard_id
+                )
+            self._pending[request["id"]] = pending
+            try:
+                self._conn.send(request)
+            except (BrokenPipeError, OSError):
+                self._pending.pop(request["id"], None)
+                raise ShardUnavailable(
+                    "worker pipe is broken", shard_id=self.shard_id
+                ) from None
+        return pending
+
+    def kill(self) -> None:
+        """SIGKILL the worker process (chaos, supervision tests)."""
+        self._process.kill()
+
+    def close(self) -> None:
+        self._closed = True
+        try:
+            with self._lock:
+                self._conn.send({"id": -1, "op": "stop"})
+        except (BrokenPipeError, OSError):
+            pass
+        self._process.join(timeout=2.0)
+        if self._process.is_alive():
+            self._process.terminate()
+            self._process.join(timeout=2.0)
+        try:
+            self._conn.close()
+        except OSError:
+            pass
+
+    def _receive_loop(self) -> None:
+        while True:
+            try:
+                response = self._conn.recv()
+            except (EOFError, OSError):
+                break
+            except Exception:
+                if self._closed:  # interpreter/service teardown race
+                    break
+                raise
+            with self._lock:
+                pending = self._pending.pop(response.get("id"), None)
+            if pending is not None:
+                pending.resolve(response)
+        with self._lock:
+            stranded = list(self._pending.values())
+            self._pending.clear()
+        for pending in stranded:
+            pending.resolve({
+                "ok": False, "error": "ShardUnavailable",
+                "message": "worker process died",
+            })
+
+
+# ---------------------------------------------------------------------------
+# supervision unit: one shard behind breaker + retry
+
+
+class _WorkerFault(ReproError):
+    """A worker-reported internal failure (retriable transient)."""
+
+
+class ShardHandle:
+    """One supervised shard: worker + circuit breaker + retry policy.
+
+    ``factory(incarnation)`` builds a fresh worker; the supervisor calls
+    :meth:`restart` with the next incarnation number after a crash, so
+    every life of the shard is distinguishable (surfaced as the shard's
+    ``generation`` on ``/healthz``).  :meth:`call` is the only request
+    path and enforces the resilience contract:
+
+    1. the breaker must admit the call (:class:`~repro.errors.CircuitOpen`
+       otherwise, carrying ``retry_after``);
+    2. each attempt is bounded — by the request deadline when there is
+       one, by :data:`DEFAULT_CALL_TIMEOUT` otherwise — and polls worker
+       liveness so a dead worker fails in ~:data:`POLL_INTERVAL`, not at
+       the timeout;
+    3. transient failures retry under the handle's
+       :class:`~repro.server.resilience.RetryPolicy`, whose backoff
+       sleeps never outlive the deadline;
+    4. every outcome lands on the breaker and, when telemetry is
+       attached, on the per-shard metric families.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        factory: "Callable[[int], object]",
+        breaker: "CircuitBreaker | None" = None,
+        retry: "RetryPolicy | None" = None,
+        telemetry=None,
+        call_timeout: float = DEFAULT_CALL_TIMEOUT,
+    ):
+        self.shard_id = shard_id
+        self.factory = factory
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self.retry = retry if retry is not None else RetryPolicy(
+            max_attempts=2, backoff=Backoff(initial=0.01, max_delay=0.1, seed=shard_id)
+        )
+        self.telemetry = telemetry
+        self.call_timeout = call_timeout
+        self.restarts = 0
+        self.incarnation = 0
+        self.state = "up"
+        self.transactions: "int | None" = None
+        self._ids = itertools.count(1)
+        self._lock = threading.RLock()
+        if telemetry is not None:
+            label = str(shard_id)
+            self.breaker.on_transition = lambda old, new: (
+                telemetry.shard_breaker_state.labels(shard=label).set(
+                    {"closed": 0.0, "half-open": 1.0, "open": 2.0}[new]
+                ),
+                telemetry.emit(
+                    "breaker_transition", shard=shard_id,
+                    from_state=old, to_state=new,
+                ),
+            )
+        self.worker = factory(0)
+
+    # -- the request path --------------------------------------------------
+
+    def call(self, request: dict, deadline: "Deadline | None" = None) -> dict:
+        """One resilient request; returns the worker's ``ok`` response.
+
+        Raises :class:`~repro.errors.CircuitOpen`,
+        :class:`~repro.errors.RetryExhausted`,
+        :class:`~repro.errors.QueryTimeout`, or ``ValueError`` (a
+        non-retriable bad request).
+        """
+        telemetry = self.telemetry
+        label = str(self.shard_id)
+        if not self.breaker.allow():
+            if telemetry is not None:
+                telemetry.shard_requests_total.labels(
+                    shard=label, outcome="open"
+                ).inc()
+            raise CircuitOpen(
+                "circuit breaker is open",
+                shard_id=self.shard_id,
+                retry_after=self.breaker.retry_after(),
+            )
+
+        def attempt() -> dict:
+            started = time.perf_counter()
+            try:
+                response = self._attempt_once(request, deadline)
+            except QueryTimeout:
+                if telemetry is not None:
+                    telemetry.shard_requests_total.labels(
+                        shard=label, outcome="timeout"
+                    ).inc()
+                raise
+            except ValueError:
+                raise
+            except Exception:
+                self.breaker.record_failure()
+                if telemetry is not None:
+                    telemetry.shard_requests_total.labels(
+                        shard=label, outcome="error"
+                    ).inc()
+                raise
+            latency = time.perf_counter() - started
+            self.breaker.record_success(latency)
+            if telemetry is not None:
+                telemetry.shard_requests_total.labels(
+                    shard=label, outcome="ok"
+                ).inc()
+                telemetry.shard_call_seconds.labels(shard=label).observe(latency)
+            return response
+
+        def on_retry(attempt_number: int, exc: BaseException) -> None:
+            if telemetry is not None:
+                telemetry.shard_retries_total.labels(shard=label).inc()
+
+        return self.retry.run(
+            attempt, deadline=deadline, shard_id=self.shard_id,
+            on_retry=on_retry,
+        )
+
+    def _attempt_once(self, request: dict, deadline: "Deadline | None") -> dict:
+        worker = self.worker
+        if worker is None or not worker.is_alive():
+            raise ShardUnavailable("worker is down", shard_id=self.shard_id)
+        wire = dict(request)
+        wire["id"] = next(self._ids)
+        if deadline is not None:
+            wire["budget"] = deadline.remaining()
+        pending = worker.submit(wire)
+        response = self._await(pending, worker, deadline)
+        if not response.get("ok"):
+            error = response.get("error", "unknown")
+            message = response.get("message", "")
+            if error in ("ValueError", "TypeError"):
+                raise ValueError(f"shard {self.shard_id}: {message}")
+            if error == "QueryTimeout":
+                # The worker ran out of the request budget; confirm
+                # against our own clock (raises QueryTimeout), else
+                # treat as transient and let the retry policy decide.
+                if deadline is not None:
+                    deadline.check()
+            raise _WorkerFault(
+                f"shard {self.shard_id} failed: {error}: {message}"
+            )
+        return response
+
+    def _await(self, pending: _PendingCall, worker,
+               deadline: "Deadline | None") -> dict:
+        """Bounded wait: resolves, or the worker dies, or time runs out."""
+        limit = time.monotonic() + self.call_timeout
+        while True:
+            if deadline is not None:
+                remaining = deadline.remaining()
+                if remaining <= 0.0:
+                    deadline.check()
+                slice_ = min(POLL_INTERVAL, remaining)
+            else:
+                slice_ = POLL_INTERVAL
+            response = pending.wait(slice_)
+            if response is not None:
+                return response
+            if not worker.is_alive():
+                raise ShardUnavailable(
+                    "worker died mid-call", shard_id=self.shard_id
+                )
+            if deadline is None and time.monotonic() >= limit:
+                raise ShardUnavailable(
+                    f"no response within {self.call_timeout:.1f}s",
+                    shard_id=self.shard_id,
+                )
+
+    # -- supervision hooks -------------------------------------------------
+
+    def probe(self, timeout: float = 1.0) -> "dict | None":
+        """A liveness ping outside the retry/breaker path.
+
+        Returns the ping response, or ``None`` when the worker is dead
+        or did not answer in time (both mean "restart me").
+        """
+        worker = self.worker
+        if worker is None or not worker.is_alive():
+            return None
+        try:
+            pending = worker.submit({"op": "ping", "id": next(self._ids)})
+        except ShardUnavailable:
+            return None
+        limit = time.monotonic() + timeout
+        while time.monotonic() < limit:
+            response = pending.wait(POLL_INTERVAL)
+            if response is not None:
+                if response.get("ok"):
+                    self.transactions = response.get("transactions")
+                    return response
+                return None
+            if not worker.is_alive():
+                return None
+        return None
+
+    def restart(self) -> None:
+        """Replace the worker with a fresh incarnation (breaker reset)."""
+        with self._lock:
+            old = self.worker
+            self.worker = None
+            if old is not None:
+                try:
+                    old.close()
+                except Exception:  # noqa: BLE001 - old worker may be dead
+                    pass
+            self.incarnation += 1
+            self.restarts += 1
+            self.worker = self.factory(self.incarnation)
+            self.breaker.reset()
+            self.state = "up"
+            if self.telemetry is not None:
+                self.telemetry.shard_restarts_total.labels(
+                    shard=str(self.shard_id)
+                ).inc()
+
+    def is_up(self) -> bool:
+        worker = self.worker
+        return (
+            self.state == "up"
+            and worker is not None
+            and worker.is_alive()
+            and self.breaker.state != CircuitBreaker.OPEN
+        )
+
+    def snapshot(self) -> dict:
+        """The shard's ``/healthz`` row."""
+        worker = self.worker
+        return {
+            "shard": self.shard_id,
+            "state": self.state if worker is not None and worker.is_alive()
+            else "down",
+            "breaker": self.breaker.state,
+            "restarts": self.restarts,
+            "generation": self.incarnation,
+            "transactions": self.transactions,
+        }
+
+    def close(self) -> None:
+        with self._lock:
+            worker, self.worker = self.worker, None
+            self.state = "closed"
+        if worker is not None:
+            worker.close()
+
+
+def make_shard_handles(
+    partitions: "Sequence[Sequence[Transaction]]",
+    n_bits: int,
+    mode: str = "thread",
+    chaos_plan=None,
+    telemetry=None,
+    tree_kwargs: "dict | None" = None,
+    breaker_factory: "Callable[[int], CircuitBreaker] | None" = None,
+    retry_factory: "Callable[[int], RetryPolicy] | None" = None,
+    call_timeout: float = DEFAULT_CALL_TIMEOUT,
+) -> "list[ShardHandle]":
+    """One supervised :class:`ShardHandle` per partition.
+
+    ``mode`` selects the worker kind (``"thread"`` or ``"process"``);
+    ``chaos_plan`` (a :class:`~repro.storage.faults.ChaosPlan`) arms the
+    workers with seeded fault streams.  The handle's factory rebuilds
+    the shard tree from its partition on every restart — which is what
+    heals a shard whose pager rotted.
+    """
+    if mode not in ("thread", "process"):
+        raise ValueError(f"shard mode must be 'thread' or 'process', got {mode!r}")
+    handles: list[ShardHandle] = []
+    for shard_id, partition in enumerate(partitions):
+        rows = [(t.tid, tuple(t.signature.items())) for t in partition]
+
+        def factory(incarnation: int, shard_id=shard_id, rows=rows):
+            if mode == "process":
+                chaos_cfg = None
+                if chaos_plan is not None:
+                    chaos_cfg = (
+                        chaos_plan.seed, chaos_plan.kill_rate,
+                        chaos_plan.latency_rate, chaos_plan.latency_seconds,
+                        incarnation,
+                    )
+                return ProcessShardWorker(
+                    n_bits, rows, shard_id=shard_id,
+                    tree_kwargs=tree_kwargs, chaos_cfg=chaos_cfg,
+                )
+            chaos = (
+                chaos_plan.for_shard(shard_id, incarnation=incarnation)
+                if chaos_plan is not None else None
+            )
+            return ThreadShardWorker(
+                lambda: _build_shard_tree(n_bits, rows, tree_kwargs),
+                shard_id=shard_id, chaos=chaos,
+            )
+
+        handles.append(
+            ShardHandle(
+                shard_id,
+                factory,
+                breaker=breaker_factory(shard_id) if breaker_factory else None,
+                retry=retry_factory(shard_id) if retry_factory else None,
+                telemetry=telemetry,
+                call_timeout=call_timeout,
+            )
+        )
+    return handles
+
+
+# ---------------------------------------------------------------------------
+# scatter-gather
+
+
+@dataclass
+class Coverage:
+    """Which shards contributed to a response.
+
+    ``errors`` maps a shard id to a one-line failure description
+    (exception type + message); a response with ``partial`` set served
+    only the shards in ``answered``.
+    """
+
+    total: int
+    answered: int
+    errors: "dict[int, str]" = field(default_factory=dict)
+
+    @property
+    def partial(self) -> bool:
+        return self.answered < self.total
+
+    def as_dict(self) -> dict:
+        return {
+            "shards_total": self.total,
+            "shards_answered": self.answered,
+            "partial": self.partial,
+            "errors": {str(k): v for k, v in sorted(self.errors.items())},
+        }
+
+
+class ShardedTree:
+    """Scatter-gather coordinator over N supervised shards.
+
+    Queries scatter to every shard whose breaker admits them, gather
+    within the request deadline, and merge: global top-k (by
+    ``(distance, tid)``) for kNN, sorted union for range, sorted tid
+    union for containment.  Shards that fail, trip their breaker, or
+    miss the deadline are recorded in the returned :class:`Coverage`
+    instead of failing the request — unless *no* shard answered, in
+    which case the most informative error is raised
+    (:class:`~repro.errors.QueryTimeout` when the budget ran out,
+    :class:`~repro.errors.CircuitOpen` when every breaker is open,
+    :class:`~repro.errors.ShardUnavailable` otherwise).
+    """
+
+    def __init__(self, handles: "Sequence[ShardHandle]", n_bits: int,
+                 telemetry=None):
+        if not handles:
+            raise ValueError("a sharded tree needs at least one shard")
+        self.handles = list(handles)
+        self.n_bits = n_bits
+        self.telemetry = telemetry
+        self._pool = ThreadPoolExecutor(
+            max_workers=len(self.handles), thread_name_prefix="sgtree-scatter"
+        )
+
+    def __len__(self) -> int:
+        return sum(h.transactions or 0 for h in self.handles)
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.handles)
+
+    def shards_up(self) -> int:
+        return sum(1 for h in self.handles if h.is_up())
+
+    def health(self) -> "list[dict]":
+        return [h.snapshot() for h in self.handles]
+
+    # -- scatter/gather ----------------------------------------------------
+
+    def scatter(self, request: dict, deadline: "Deadline | None" = None,
+                ) -> "tuple[dict[int, dict], Coverage]":
+        """Send ``request`` to every shard; gather within the deadline.
+
+        Returns ``(responses by shard id, coverage)``; raises only when
+        zero shards answered (see the class docstring).
+        """
+        futures = {
+            self._pool.submit(handle.call, request, deadline): handle
+            for handle in self.handles
+        }
+        answered: "dict[int, dict]" = {}
+        errors: "dict[int, str]" = {}
+        outstanding = set(futures)
+        while outstanding:
+            if deadline is not None:
+                remaining = deadline.remaining()
+                if remaining <= 0.0:
+                    break
+                done, outstanding = wait(
+                    outstanding, timeout=remaining,
+                    return_when=FIRST_COMPLETED,
+                )
+                if not done:
+                    break
+            else:
+                done, outstanding = wait(
+                    outstanding, return_when=FIRST_COMPLETED
+                )
+            for future in done:
+                handle = futures[future]
+                try:
+                    answered[handle.shard_id] = future.result()
+                except Exception as exc:  # noqa: BLE001 - per-shard detail
+                    errors[handle.shard_id] = f"{type(exc).__name__}: {exc}"
+        for future in outstanding:
+            # Deadline ran out first; the handle's own bounded wait
+            # unblocks these scatter threads moments later.
+            handle = futures[future]
+            errors[handle.shard_id] = "QueryTimeout: gather deadline expired"
+            future.cancel()
+        if not answered:
+            self._raise_total_failure(errors, deadline)
+        coverage = Coverage(len(self.handles), len(answered), errors)
+        return answered, coverage
+
+    def _raise_total_failure(self, errors: "dict[int, str]",
+                             deadline: "Deadline | None") -> None:
+        descriptions = "; ".join(
+            f"shard {sid}: {err}" for sid, err in sorted(errors.items())
+        )
+        if deadline is not None and deadline.expired():
+            raise QueryTimeout(deadline.budget, deadline.budget)
+        if errors and all(e.startswith("CircuitOpen") for e in errors.values()):
+            raise CircuitOpen(
+                f"every shard breaker is open ({descriptions})",
+                retry_after=max(h.breaker.retry_after() for h in self.handles),
+            )
+        raise ShardUnavailable(
+            f"all {len(self.handles)} shards failed ({descriptions})"
+        )
+
+    # -- merged query surface ----------------------------------------------
+
+    @staticmethod
+    def _merge_stats(responses: "dict[int, dict]", stats: "SearchStats | None",
+                     ) -> None:
+        if stats is None:
+            return
+        for response in responses.values():
+            row = response.get("stats") or {}
+            stats.node_accesses += row.get("node_accesses", 0)
+            stats.random_ios += row.get("random_ios", 0)
+            stats.leaf_entries += row.get("leaf_entries", 0)
+
+    def nearest(self, query: Signature, k: int = 1,
+                metric: "str | None" = None, algorithm: str = "depth-first",
+                stats: "SearchStats | None" = None,
+                deadline: "Deadline | None" = None,
+                ) -> "tuple[list[Neighbor], Coverage]":
+        responses, coverage = self.scatter(
+            {"op": "knn", "items": list(query.items()), "k": k,
+             "metric": metric, "algorithm": algorithm},
+            deadline,
+        )
+        self._merge_stats(responses, stats)
+        merged = sorted(
+            (Neighbor(distance, tid)
+             for response in responses.values()
+             for distance, tid in response["results"]),
+        )
+        return merged[:k], coverage
+
+    def range_query(self, query: Signature, epsilon: float,
+                    metric: "str | None" = None,
+                    stats: "SearchStats | None" = None,
+                    deadline: "Deadline | None" = None,
+                    ) -> "tuple[list[Neighbor], Coverage]":
+        responses, coverage = self.scatter(
+            {"op": "range", "items": list(query.items()),
+             "epsilon": epsilon, "metric": metric},
+            deadline,
+        )
+        self._merge_stats(responses, stats)
+        merged = sorted(
+            Neighbor(distance, tid)
+            for response in responses.values()
+            for distance, tid in response["results"]
+        )
+        return merged, coverage
+
+    def containment_query(self, query: Signature,
+                          stats: "SearchStats | None" = None,
+                          deadline: "Deadline | None" = None,
+                          ) -> "tuple[list[int], Coverage]":
+        responses, coverage = self.scatter(
+            {"op": "containment", "items": list(query.items())},
+            deadline,
+        )
+        self._merge_stats(responses, stats)
+        merged = sorted(
+            tid for response in responses.values()
+            for tid in response["results"]
+        )
+        return merged, coverage
+
+    def batch(self, queries: "Sequence[Signature]", kind: str = "knn",
+              k: int = 1, epsilon: "float | None" = None,
+              metric: "str | None" = None,
+              stats: "SearchStats | None" = None,
+              deadline: "Deadline | None" = None,
+              ) -> "tuple[list[list[Neighbor]], Coverage]":
+        """A whole batch scattered once; per-query merged results."""
+        items = [list(q.items()) for q in queries]
+        if kind == "knn":
+            request = {"op": "batch_knn", "queries": items, "k": k,
+                       "metric": metric}
+        else:
+            request = {"op": "batch_range", "queries": items,
+                       "epsilon": epsilon, "metric": metric}
+        responses, coverage = self.scatter(request, deadline)
+        self._merge_stats(responses, stats)
+        merged: "list[list[Neighbor]]" = []
+        for index in range(len(items)):
+            row = sorted(
+                Neighbor(distance, tid)
+                for response in responses.values()
+                for distance, tid in response["results"][index]
+            )
+            merged.append(row[:k] if kind == "knn" else row)
+        return merged, coverage
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=False)
+        for handle in self.handles:
+            handle.close()
+
+
+# ---------------------------------------------------------------------------
+# the sharded service
+
+
+class ShardedQueryService(QueryService):
+    """Admission-controlled front end over a :class:`ShardedTree`.
+
+    Inherits the whole request path of
+    :class:`~repro.server.service.QueryService` — admission slots,
+    bounded queue, deadlines, per-route telemetry — and swaps the
+    execution hooks for scatter-gather over the shards.  Shard failures
+    degrade responses to partial results with
+    :class:`Coverage` detail; the request itself only fails when *no*
+    shard answered.
+
+    Readiness (``/healthz``) requires at least ``quorum`` shards up
+    (default: a majority); liveness is the process itself.  Snapshot
+    reload is per-shard territory (the supervisor restarts shards
+    individually) and the single-tree ``/admin/reload`` is rejected.
+    """
+
+    def __init__(
+        self,
+        shards: ShardedTree,
+        supervisor=None,
+        telemetry=None,
+        max_inflight: int = 8,
+        max_queue: int = 32,
+        default_deadline: "float | None" = None,
+        quorum: "int | None" = None,
+    ):
+        self._init_admission(
+            telemetry=telemetry, max_inflight=max_inflight,
+            max_queue=max_queue, default_deadline=default_deadline,
+        )
+        if quorum is None:
+            quorum = shards.shard_count // 2 + 1
+        if not 1 <= quorum <= shards.shard_count:
+            raise ValueError(
+                f"quorum must be in [1, {shards.shard_count}], got {quorum}"
+            )
+        self._shards = shards
+        self._supervisor = supervisor
+        self.quorum = quorum
+        # Prime per-shard transaction counts so /healthz and __len__
+        # report real numbers before the first supervisor probe.
+        for handle in shards.handles:
+            handle.probe(timeout=5.0)
+
+    # -- surface adjustments -----------------------------------------------
+
+    @property
+    def shards(self) -> ShardedTree:
+        return self._shards
+
+    @property
+    def tree(self):  # pragma: no cover - defensive
+        raise AttributeError("a sharded service has no single tree")
+
+    def _signature(self, items) -> Signature:
+        if isinstance(items, Signature):
+            return items
+        return Signature.from_items(list(items), self._shards.n_bits)
+
+    def _observe_coverage(self, route: str, coverage: Coverage) -> None:
+        telemetry = self.telemetry
+        if telemetry is not None:
+            if coverage.partial:
+                telemetry.server_partial_total.labels(route=route).inc()
+            telemetry.shards_up.set(self._shards.shards_up())
+
+    # -- execution hooks ----------------------------------------------------
+
+    def _run_knn(self, items, k, metric, algorithm, deadline) -> ServedQuery:
+        stats = SearchStats()
+        results, coverage = self._shards.nearest(
+            self._signature(items), k=k, metric=metric, algorithm=algorithm,
+            stats=stats, deadline=deadline,
+        )
+        self._observe_coverage("knn", coverage)
+        return ServedQuery(
+            "knn", results, stats,
+            coverage=coverage.as_dict(), partial=coverage.partial,
+        )
+
+    def _run_range(self, items, epsilon, metric, deadline) -> ServedQuery:
+        stats = SearchStats()
+        results, coverage = self._shards.range_query(
+            self._signature(items), epsilon, metric=metric,
+            stats=stats, deadline=deadline,
+        )
+        self._observe_coverage("range", coverage)
+        return ServedQuery(
+            "range", results, stats,
+            coverage=coverage.as_dict(), partial=coverage.partial,
+        )
+
+    def _run_containment(self, items, deadline) -> ServedQuery:
+        stats = SearchStats()
+        results, coverage = self._shards.containment_query(
+            self._signature(items), stats=stats, deadline=deadline
+        )
+        self._observe_coverage("containment", coverage)
+        return ServedQuery(
+            "containment", results, stats,
+            coverage=coverage.as_dict(), partial=coverage.partial,
+        )
+
+    def _run_batch(self, queries, kind, k, epsilon, metric, deadline,
+                   ) -> ServedQuery:
+        stats = SearchStats()
+        signatures = [self._signature(q) for q in queries]
+        results, coverage = self._shards.batch(
+            signatures, kind=kind, k=k, epsilon=epsilon, metric=metric,
+            stats=stats, deadline=deadline,
+        )
+        self._observe_coverage("batch", coverage)
+        return ServedQuery(
+            f"batch_{kind}", results, stats,
+            coverage=coverage.as_dict(), partial=coverage.partial,
+        )
+
+    # -- health / lifecycle -------------------------------------------------
+
+    def _ready(self) -> bool:
+        return not self._closed and self._shards.shards_up() >= self.quorum
+
+    def _health_extra(self) -> dict:
+        detail = self._shards.health()
+        up = self._shards.shards_up()
+        return {
+            "transactions": len(self._shards),
+            "n_bits": self._shards.n_bits,
+            "shards": {
+                "total": self._shards.shard_count,
+                "up": up,
+                "quorum": self.quorum,
+                "detail": detail,
+            },
+        }
+
+    def reload(self, *args, **kwargs) -> dict:
+        raise ReproError(
+            "a sharded service reloads per shard through its supervisor; "
+            "/admin/reload applies to single-tree serving only"
+        )
+
+    def close(self) -> None:
+        self._closed = True
+        if self._supervisor is not None:
+            self._supervisor.stop()
+        self._shards.close()

@@ -108,6 +108,7 @@ class QueryExecutor:
                 shard, k=k, metric=metric, stats=shard_stats, deadline=deadline
             ),
             engine="knn",
+            deadline=deadline,
         )
 
     def range_query(
@@ -138,6 +139,7 @@ class QueryExecutor:
                 stats=shard_stats, deadline=deadline,
             ),
             engine="range",
+            deadline=deadline,
         )
 
     def close(self) -> None:
@@ -159,9 +161,15 @@ class QueryExecutor:
         stats: SearchStats | None,
         fn: Callable[[list[Signature], int, SearchStats], list[list[Neighbor]]],
         engine: str = "knn",
+        deadline: "Deadline | None" = None,
     ) -> list[list[Neighbor]]:
         if not queries:
             return []
+        if deadline is not None:
+            # Reject an already-expired (zero or negative) budget before
+            # dispatching a single shard — no node is ever visited for a
+            # request whose caller has already given up.
+            deadline.check()
         shards = [
             (start, queries[start : start + self._batch_size])
             for start in range(0, len(queries), self._batch_size)

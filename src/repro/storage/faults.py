@@ -34,6 +34,22 @@ Example
 >>> wal = FaultInjectingLog(wal_path, plan)
 >>> store = NodeStore(n_bits, mode="disk", pager=pager, wal=wal)
 ... # build until CrashError, then recover_tree(path, wal_path)
+
+Serving-layer chaos
+-------------------
+:class:`ChaosPlan` lifts the same seeded discipline into the sharded
+serving path (:mod:`repro.server.shard`): a shared schedule of **worker
+kills mid-query** and **latency spikes**, drawn per shard from a
+deterministic per-shard RNG stream, so a whole chaos campaign — which
+worker died, at which request, with which spikes — replays exactly from
+one seed.  Shard workers consult :meth:`ShardChaos.draw` before serving
+each request; a ``"kill"`` makes the worker die *without answering*
+(the in-flight request is abandoned, exactly what a crashed process
+leaves behind), a ``"latency"`` stalls it.  The third chaos ingredient
+— a corrupted shard pager — needs nothing new: build one shard's tree
+over a :class:`FaultInjectingPager` with a ``bit_flip_rate`` and the
+self-verifying page file turns silent rot into typed
+:class:`~repro.errors.PageCorruptError` failures at read time.
 """
 
 from __future__ import annotations
@@ -48,7 +64,13 @@ from .page import Page, PageId
 from .pager import Pager
 from .wal import WriteAheadLog
 
-__all__ = ["FaultPlan", "FaultInjectingPager", "FaultInjectingLog"]
+__all__ = [
+    "FaultPlan",
+    "FaultInjectingPager",
+    "FaultInjectingLog",
+    "ChaosPlan",
+    "ShardChaos",
+]
 
 
 @dataclass
@@ -266,3 +288,80 @@ class FaultInjectingLog(WriteAheadLog):
         """Drop everything after the last real fsync (OS cache loss)."""
         self._file.flush()
         self._file.truncate(self._synced_len)
+
+
+@dataclass
+class ChaosPlan:
+    """A seeded, shared schedule of serving-layer faults.
+
+    One plan is shared by every shard worker of a sharded service; each
+    worker draws from its own :class:`ShardChaos` stream (seeded from
+    ``seed`` and the shard id), so schedules are independent per shard
+    yet fully reproducible.  ``enabled`` is read live on every draw:
+    flipping it off (:meth:`quiesce`) ends the chaos phase for every
+    thread-mode worker sharing the object, which is how the campaign
+    tests "supervisor restores full coverage once the faults stop".
+
+    Rates are per-request probabilities; ``kill`` wins over ``latency``
+    when both could fire.
+    """
+
+    seed: int = 0
+    kill_rate: float = 0.0
+    latency_rate: float = 0.0
+    latency_seconds: float = 0.02
+    enabled: bool = True
+
+    injected: Counter = field(default_factory=Counter, init=False)
+
+    def for_shard(self, shard_id: int, incarnation: int = 0) -> "ShardChaos":
+        """The deterministic chaos stream for one shard worker.
+
+        ``incarnation`` salts the stream so a restarted worker does not
+        replay its predecessor's draws (which would re-kill it at the
+        same request index every life).
+        """
+        return ShardChaos(self, shard_id, incarnation=incarnation)
+
+    def quiesce(self) -> None:
+        """Stop injecting (thread-mode workers see this immediately)."""
+        self.enabled = False
+
+
+class ShardChaos:
+    """One shard worker's view of a :class:`ChaosPlan`.
+
+    The RNG stream is derived from ``(plan.seed, shard_id)`` and
+    advances one draw per request, so a restarted worker resumes a
+    *fresh* stream only if the caller builds a new instance — the shard
+    handle keeps one per worker incarnation, mirroring how a real crash
+    loses in-process RNG state.
+    """
+
+    def __init__(self, plan: ChaosPlan, shard_id: int, incarnation: int = 0):
+        self.plan = plan
+        self.shard_id = shard_id
+        self.incarnation = incarnation
+        self._rng = random.Random(
+            (plan.seed << 16) ^ 0x9E3779B1 ^ shard_id ^ (incarnation * 0x85EBCA6B)
+        )
+
+    def draw(self) -> "str | None":
+        """The fault to inject for the next request, if any.
+
+        Returns ``"kill"`` (die without answering), ``"latency"``
+        (stall for :attr:`ChaosPlan.latency_seconds` before serving) or
+        ``None``.  The RNG advances exactly once per call regardless of
+        the rates, so toggling rates mid-campaign does not shift the
+        rest of the schedule.
+        """
+        roll = self._rng.random()
+        if not self.plan.enabled:
+            return None
+        if roll < self.plan.kill_rate:
+            self.plan.injected["chaos-kill"] += 1
+            return "kill"
+        if roll < self.plan.kill_rate + self.plan.latency_rate:
+            self.plan.injected["chaos-latency"] += 1
+            return "latency"
+        return None

@@ -169,6 +169,39 @@ class Telemetry:
             "sgtree_server_reloads_total",
             "Snapshot hot-swaps completed, by outcome", ("outcome",),
         )
+        # Sharded-serving instruments (pushed by repro.server.shard and
+        # repro.server.supervisor).
+        self.server_partial_total = reg.counter(
+            "sgtree_server_partial_total",
+            "Responses degraded to partial coverage, by route", ("route",),
+        )
+        self.shard_requests_total = reg.counter(
+            "sgtree_shard_requests_total",
+            "Per-shard calls, by shard and outcome (ok/error/timeout/open)",
+            ("shard", "outcome"),
+        )
+        self.shard_call_seconds = reg.histogram(
+            "sgtree_shard_call_seconds",
+            "Per-shard call latency (successful calls)", ("shard",),
+            buckets=(0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0),
+        )
+        self.shard_retries_total = reg.counter(
+            "sgtree_shard_retries_total",
+            "Per-shard retry attempts after transient failures", ("shard",),
+        )
+        self.shard_restarts_total = reg.counter(
+            "sgtree_shard_restarts_total",
+            "Supervisor worker restarts, by shard", ("shard",),
+        )
+        self.shard_breaker_state = reg.gauge(
+            "sgtree_shard_breaker_state",
+            "Circuit breaker state (0=closed, 1=half-open, 2=open)",
+            ("shard",),
+        )
+        self.shards_up = reg.gauge(
+            "sgtree_shards_up",
+            "Shards currently up (alive worker, breaker not open)",
+        )
 
     def emit(self, event_type: str, **fields: object) -> dict:
         """Emit a structured event, counting it in the registry too."""

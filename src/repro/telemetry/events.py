@@ -24,6 +24,10 @@ page_quarantined    page_id, reason
 scrub_finding       page_id, severity, kind, detail
 snapshot_swap       generation, transactions, n_bits, source, seconds
 server_started      host, port, max_inflight, max_queue
+server_drain        drained, timeout_seconds
+shard_restarted     shard, restarts, generation
+shard_failed        shard, restarts
+breaker_transition  shard, from_state, to_state
 ==================  =====================================================
 
 New event types may be added; existing fields are never renamed.
@@ -60,6 +64,10 @@ EVENT_SCHEMAS: dict[str, tuple[str, ...]] = {
         "generation", "transactions", "n_bits", "source", "seconds",
     ),
     "server_started": ("host", "port", "max_inflight", "max_queue"),
+    "server_drain": ("drained", "timeout_seconds"),
+    "shard_restarted": ("shard", "restarts", "generation"),
+    "shard_failed": ("shard", "restarts"),
+    "breaker_transition": ("shard", "from_state", "to_state"),
 }
 
 

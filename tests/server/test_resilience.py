@@ -1,0 +1,235 @@
+"""Backoff, RetryPolicy, CircuitBreaker: the resilience primitives."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import (
+    CircuitOpen,
+    QueryTimeout,
+    RetryExhausted,
+    ShardError,
+    ShardUnavailable,
+)
+from repro.server import Backoff, CircuitBreaker, RetryPolicy
+from repro.sgtree import Deadline
+
+
+class TestBackoff:
+    def test_without_jitter_grows_exponentially_to_cap(self):
+        backoff = Backoff(initial=0.1, factor=2.0, max_delay=0.5, jitter=False)
+        assert backoff.delay(0) == pytest.approx(0.1)
+        assert backoff.delay(1) == pytest.approx(0.2)
+        assert backoff.delay(2) == pytest.approx(0.4)
+        assert backoff.delay(3) == pytest.approx(0.5)  # capped
+        assert backoff.delay(10) == pytest.approx(0.5)
+
+    def test_full_jitter_is_bounded_and_seeded(self):
+        a = Backoff(initial=0.1, factor=2.0, max_delay=1.0, seed=7)
+        b = Backoff(initial=0.1, factor=2.0, max_delay=1.0, seed=7)
+        draws_a = [a.delay(n) for n in range(8)]
+        draws_b = [b.delay(n) for n in range(8)]
+        assert draws_a == draws_b  # reproducible schedule
+        for n, d in enumerate(draws_a):
+            assert 0.0 <= d <= min(1.0, 0.1 * 2.0 ** n)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            Backoff(initial=-0.1)
+        with pytest.raises(ValueError):
+            Backoff(factor=0.5)
+        with pytest.raises(ValueError):
+            Backoff(initial=1.0, max_delay=0.5)
+
+
+class TestRetryPolicy:
+    def test_success_passes_through(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.run(lambda: 42) == 42
+
+    def test_transient_failure_retries_until_success(self):
+        calls = []
+        policy = RetryPolicy(
+            max_attempts=3, backoff=Backoff(initial=0.0, jitter=False,
+                                            max_delay=0.0)
+        )
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise ShardUnavailable("not yet", shard_id=2)
+            return "ok"
+
+        assert policy.run(flaky) == "ok"
+        assert len(calls) == 3
+
+    def test_exhaustion_wraps_last_error(self):
+        policy = RetryPolicy(
+            max_attempts=2, backoff=Backoff(initial=0.0, jitter=False,
+                                            max_delay=0.0)
+        )
+
+        def always():
+            raise ShardUnavailable("still down", shard_id=3)
+
+        with pytest.raises(RetryExhausted) as excinfo:
+            policy.run(always, shard_id=3)
+        exc = excinfo.value
+        assert exc.attempts == 2
+        assert isinstance(exc.last_error, ShardUnavailable)
+        assert exc.shard_id == 3
+        assert isinstance(exc, ShardError)
+
+    def test_non_retriable_propagates_immediately(self):
+        calls = []
+        policy = RetryPolicy(max_attempts=5)
+
+        def bad_request():
+            calls.append(1)
+            raise ValueError("k must be positive")
+
+        with pytest.raises(ValueError):
+            policy.run(bad_request)
+        assert len(calls) == 1
+
+    def test_query_timeout_is_never_retried(self):
+        calls = []
+        policy = RetryPolicy(max_attempts=5)
+
+        def over_budget():
+            calls.append(1)
+            raise QueryTimeout(0.2, 0.1)
+
+        with pytest.raises(QueryTimeout):
+            policy.run(over_budget)
+        assert len(calls) == 1
+
+    def test_expired_deadline_rejects_before_first_attempt(self):
+        calls = []
+        policy = RetryPolicy(max_attempts=3)
+        with pytest.raises(QueryTimeout):
+            policy.run(lambda: calls.append(1), deadline=Deadline.after(0.0))
+        assert calls == []
+
+    def test_on_retry_hook_fires_per_retry(self):
+        seen = []
+        policy = RetryPolicy(
+            max_attempts=3, backoff=Backoff(initial=0.0, jitter=False,
+                                            max_delay=0.0)
+        )
+
+        def always():
+            raise ShardUnavailable("down")
+
+        with pytest.raises(RetryExhausted):
+            policy.run(always, on_retry=lambda n, exc: seen.append(n))
+        assert seen == [0, 1]  # one hook call before each of the 2 retries
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestCircuitBreaker:
+    def test_trips_after_consecutive_failures(self):
+        breaker = CircuitBreaker(failure_threshold=3, reset_timeout=1.0)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.trips == 1
+        assert not breaker.allow()
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = CircuitBreaker(failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_admits_one_trial_then_closes_on_success(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout=5.0, clock=clock
+        )
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.retry_after() == pytest.approx(5.0)
+        clock.advance(5.1)
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert breaker.allow()       # the single trial
+        assert not breaker.allow()   # concurrent callers still refused
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+
+    def test_half_open_trial_failure_reopens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout=2.0, clock=clock
+        )
+        breaker.record_failure()
+        clock.advance(2.1)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.trips == 2
+
+    def test_p99_latency_trip(self):
+        breaker = CircuitBreaker(
+            failure_threshold=100, latency_threshold=0.1, latency_window=4
+        )
+        for _ in range(3):
+            breaker.record_success(latency=0.01)
+        assert breaker.state == CircuitBreaker.CLOSED  # window not full
+        breaker.record_success(latency=5.0)  # p99 of the full window blows up
+        assert breaker.state == CircuitBreaker.OPEN
+
+    def test_force_open_and_reset(self):
+        breaker = CircuitBreaker()
+        breaker.force_open()
+        assert breaker.state == CircuitBreaker.OPEN
+        breaker.reset()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+
+    def test_transition_hook_sees_every_edge(self):
+        clock = FakeClock()
+        edges = []
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout=1.0, clock=clock
+        )
+        breaker.on_transition = lambda old, new: edges.append((old, new))
+        breaker.record_failure()
+        clock.advance(1.1)
+        _ = breaker.state
+        breaker.record_success()
+        assert edges == [
+            ("closed", "open"), ("open", "half-open"), ("half-open", "closed"),
+        ]
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(reset_timeout=0.0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(latency_window=1)
+
+    def test_circuit_open_error_carries_retry_after(self):
+        exc = CircuitOpen("open", shard_id=4, retry_after=2.5)
+        assert exc.retry_after == 2.5
+        assert exc.shard_id == 4
+        assert "shard 4" in str(exc)

@@ -1,0 +1,139 @@
+"""ShardSupervisor: probes, budgeted restarts, storm handling, revive."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.server import (
+    Backoff,
+    CircuitBreaker,
+    ShardedTree,
+    ShardSupervisor,
+    make_shard_handles,
+    partition_transactions,
+)
+from repro.telemetry import EventLog, MemoryEventSink, MetricsRegistry, Telemetry
+from support import random_transactions
+
+N_BITS = 120
+
+FAST_BACKOFF = Backoff(initial=0.0, factor=1.0, max_delay=0.0, jitter=False)
+
+
+def build_handles(n_shards: int = 2, telemetry=None):
+    transactions = random_transactions(seed=9, count=60, n_bits=N_BITS)
+    partitions = partition_transactions(transactions, n_shards)
+    return make_shard_handles(partitions, N_BITS, mode="thread",
+                              telemetry=telemetry)
+
+
+class TestSupervision:
+    def test_healthy_shards_are_left_alone(self):
+        handles = build_handles()
+        supervisor = ShardSupervisor(handles, backoff=FAST_BACKOFF)
+        assert supervisor.check_once() == []
+        assert all(h.restarts == 0 for h in handles)
+
+    def test_dead_worker_is_restarted_and_answers_again(self):
+        telemetry = Telemetry(registry=MetricsRegistry(), events=EventLog())
+        sink = telemetry.events.add_sink(MemoryEventSink())
+        handles = build_handles(telemetry=telemetry)
+        supervisor = ShardSupervisor(handles, backoff=FAST_BACKOFF,
+                                     telemetry=telemetry)
+        handles[0].worker.kill()
+        restarted = supervisor.check_once()
+        assert restarted == [handles[0].shard_id]
+        assert handles[0].restarts == 1
+        assert handles[0].incarnation == 1
+        assert handles[0].probe() is not None
+        events = sink.of_type("shard_restarted")
+        assert events and events[0]["shard"] == handles[0].shard_id
+        label = str(handles[0].shard_id)
+        assert telemetry.shard_restarts_total.labels(shard=label).value == 1
+
+    def test_restart_resets_the_breaker(self):
+        handles = build_handles()
+        supervisor = ShardSupervisor(handles, backoff=FAST_BACKOFF)
+        handles[1].breaker.force_open()
+        handles[1].worker.kill()
+        supervisor.check_once()
+        assert handles[1].breaker.state == CircuitBreaker.CLOSED
+
+    def test_storm_budget_marks_shard_failed(self):
+        telemetry = Telemetry(registry=MetricsRegistry(), events=EventLog())
+        sink = telemetry.events.add_sink(MemoryEventSink())
+        handles = build_handles(telemetry=telemetry)
+        supervisor = ShardSupervisor(
+            handles, backoff=FAST_BACKOFF, storm_budget=2, storm_window=60.0,
+            telemetry=telemetry,
+        )
+        for _ in range(3):
+            handles[0].worker.kill()
+            supervisor.check_once()
+        assert handles[0].state == "failed"
+        assert handles[0].restarts == 2  # the budget, not the kill count
+        assert handles[0].breaker.state == CircuitBreaker.OPEN
+        assert sink.of_type("shard_failed")
+        # A failed shard is skipped by later sweeps, not restarted forever.
+        assert supervisor.check_once() == []
+        assert handles[0].restarts == 2
+
+    def test_revive_brings_a_failed_shard_back(self):
+        handles = build_handles()
+        supervisor = ShardSupervisor(
+            handles, backoff=FAST_BACKOFF, storm_budget=1, storm_window=60.0
+        )
+        handles[0].worker.kill()
+        supervisor.check_once()
+        handles[0].worker.kill()
+        supervisor.check_once()
+        assert handles[0].state == "failed"
+        supervisor.revive(handles[0].shard_id)
+        assert handles[0].state == "up"
+        assert handles[0].probe() is not None
+        with pytest.raises(KeyError):
+            supervisor.revive(999)
+
+    def test_monitor_thread_restarts_in_background(self):
+        handles = build_handles()
+        supervisor = ShardSupervisor(
+            handles, probe_interval=0.02, backoff=FAST_BACKOFF
+        ).start()
+        try:
+            handles[0].worker.kill()
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                if handles[0].restarts >= 1 and handles[0].is_up():
+                    break
+                time.sleep(0.02)
+            assert handles[0].restarts >= 1
+            assert handles[0].probe() is not None
+        finally:
+            supervisor.stop()
+
+    def test_restored_shard_rejoins_the_scatter(self):
+        handles = build_handles()
+        sharded = ShardedTree(handles, N_BITS)
+        supervisor = ShardSupervisor(handles, backoff=FAST_BACKOFF)
+        try:
+            for handle in handles:
+                handle.probe()
+            transactions = random_transactions(seed=9, count=60, n_bits=N_BITS)
+            q = transactions[7].signature
+            handles[0].worker.kill()
+            _, coverage = sharded.nearest(q, k=3)
+            assert coverage.partial
+            supervisor.check_once()
+            _, coverage = sharded.nearest(q, k=3)
+            assert not coverage.partial
+        finally:
+            sharded.close()
+
+    def test_rejects_bad_parameters(self):
+        handles = build_handles()
+        with pytest.raises(ValueError):
+            ShardSupervisor(handles, probe_interval=0.0)
+        with pytest.raises(ValueError):
+            ShardSupervisor(handles, storm_budget=0)

@@ -120,3 +120,60 @@ class TestTraversalCancellation:
                 ex.range_query(queries, 4.0, deadline=Deadline.after(0.0))
         # the whole-run store delta is flushed even though shards failed
         assert stats.node_accesses >= 0
+
+    def test_executor_zero_budget_rejects_before_dispatch(self, tree, queries):
+        """An already-expired budget never reaches the thread pool: the
+        upfront check fires before a single shard is submitted, so the
+        tree sees no traffic at all."""
+        before = tree.store.counters.node_accesses
+        with QueryExecutor(tree, workers=2, batch_size=4) as ex:
+            with pytest.raises(QueryTimeout):
+                ex.knn(queries, k=3, deadline=Deadline.after(0.0))
+            with pytest.raises(QueryTimeout):
+                ex.range_query(queries, 4.0, deadline=Deadline.after(0.0))
+        assert tree.store.counters.node_accesses == before
+
+
+class TestDeadlineDuringBackoff:
+    """Expiry while sleeping in a retry backoff aborts the retry loop."""
+
+    def test_expiry_during_backoff_sleep_raises_timeout(self):
+        from repro.errors import ShardUnavailable
+        from repro.server import Backoff, RetryPolicy
+
+        policy = RetryPolicy(
+            max_attempts=5,
+            backoff=Backoff(initial=10.0, jitter=False, max_delay=10.0),
+        )
+        attempts = []
+
+        def failing():
+            attempts.append(time.monotonic())
+            raise ShardUnavailable("down", shard_id=0)
+
+        deadline = Deadline.after(0.05)
+        started = time.monotonic()
+        with pytest.raises(QueryTimeout):
+            policy.run(failing, deadline=deadline)
+        elapsed = time.monotonic() - started
+        # The 10s backoff sleep was truncated to the deadline's budget;
+        # expiry during the sleep aborted before the second attempt.
+        assert elapsed < 1.0
+        assert len(attempts) == 1
+
+    def test_sleep_is_truncated_to_remaining_budget(self):
+        from repro.errors import ShardUnavailable
+        from repro.server import Backoff, RetryPolicy
+
+        policy = RetryPolicy(
+            max_attempts=2,
+            backoff=Backoff(initial=30.0, jitter=False, max_delay=30.0),
+        )
+
+        def failing():
+            raise ShardUnavailable("down", shard_id=1)
+
+        started = time.monotonic()
+        with pytest.raises(QueryTimeout):
+            policy.run(failing, deadline=Deadline.after(0.05))
+        assert time.monotonic() - started < 1.0
