@@ -52,6 +52,21 @@ from .sgtree.tree import SGTree
 __all__ = ["main", "build_parser"]
 
 
+def _decode_cache_entries(value: str) -> "int | None | str":
+    """argparse type for ``--decode-cache-entries``: int, 'auto' or 'none'."""
+    lowered = value.strip().lower()
+    if lowered == "auto":
+        return "auto"
+    if lowered in ("none", "unbounded"):
+        return None
+    try:
+        return int(lowered)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, 'auto' or 'none', got {value!r}"
+        ) from None
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-sgtree",
@@ -110,6 +125,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="count (not retrieve) transactions within EPS")
     mode.add_argument("--contains", action="store_true",
                       help="transactions containing all query items")
+    query.add_argument("--decode-cache-entries", type=_decode_cache_entries,
+                       default="auto", metavar="N|auto|none",
+                       help="decoded-node arena budget in entries: an "
+                            "integer, 'auto' (size to the buffer), or "
+                            "'none' (unbounded); 0 disables the cache")
     query.add_argument("--metric", default="hamming",
                        choices=["hamming", "jaccard", "dice", "overlap", "cosine"])
     query.add_argument("--best-first", action="store_true",
@@ -212,6 +232,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--quorum", type=int, default=None,
                        help="shards that must be up for readiness "
                             "(default: a majority)")
+    serve.add_argument("--decode-cache-entries", type=_decode_cache_entries,
+                       default="auto", metavar="N|auto|none",
+                       help="decoded-node arena budget in entries: an "
+                            "integer, 'auto' (size to the buffer), or "
+                            "'none' (unbounded); 0 disables the cache")
     serve.add_argument("--drain-timeout", type=float, default=5.0,
                        help="seconds to drain in-flight requests on "
                             "SIGTERM/SIGINT before exiting (default 5)")
@@ -383,7 +408,7 @@ def _run_explain(tree: SGTree, query: Signature, args: argparse.Namespace) -> in
 def _cmd_query(args: argparse.Namespace) -> int:
     if (args.items is None) == (args.batch is None):
         raise SystemExit("query: exactly one of --items or --batch is required")
-    tree = load_tree(args.index)
+    tree = load_tree(args.index, decode_cache_entries=args.decode_cache_entries)
     try:
         if args.batch is not None:
             return _run_batch_query(tree, args)
@@ -565,7 +590,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.events_out:
         events.add_sink(JsonlEventSink(args.events_out))
     telemetry = Telemetry(registry=MetricsRegistry(), events=events)
-    tree = load_tree(args.index)
+    tree = load_tree(args.index, decode_cache_entries=args.decode_cache_entries)
     default_deadline = (
         args.deadline_ms / 1e3 if args.deadline_ms is not None else None
     )

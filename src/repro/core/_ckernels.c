@@ -1,0 +1,128 @@
+/* Native popcount kernels behind core/bitops.py.
+ *
+ * Compiled on demand by core/ckernel.py (plain gcc, no build system) and
+ * loaded through ctypes; every function has a pure-numpy twin in bitops
+ * that remains the reference implementation and the fallback when no
+ * compiler is available.
+ *
+ * Layout contract: signature matrices are C-contiguous row-major
+ * uint64 arrays of shape (rows, width); `width` is the number of
+ * 64-bit words per signature.
+ */
+
+#include <stdint.h>
+
+static inline int64_t popcnt64(uint64_t x)
+{
+    return (int64_t)__builtin_popcountll(x);
+}
+
+/* Pairwise popcount-of-combination matrix: out[q][e] = popcount(a_q OP b_e).
+ * op: 0 = XOR (hamming), 1 = AND (intersection), 2 = OR (union),
+ *     3 = AND-NOT (difference a \ b).
+ */
+void repro_cross_count(int op,
+                       const uint64_t *a, long a_rows,
+                       const uint64_t *b, long b_rows,
+                       long width, int64_t *out)
+{
+#define CROSS_LOOP(EXPR)                                                \
+    for (long q = 0; q < a_rows; q++) {                                 \
+        const uint64_t *qa = a + q * width;                             \
+        int64_t *row = out + q * b_rows;                                \
+        for (long e = 0; e < b_rows; e++) {                             \
+            const uint64_t *eb = b + e * width;                         \
+            int64_t acc = 0;                                            \
+            for (long i = 0; i < width; i++)                            \
+                acc += popcnt64(EXPR);                                  \
+            row[e] = acc;                                               \
+        }                                                               \
+    }
+    switch (op) {
+    case 0: CROSS_LOOP(qa[i] ^ eb[i]); break;
+    case 1: CROSS_LOOP(qa[i] & eb[i]); break;
+    case 2: CROSS_LOOP(qa[i] | eb[i]); break;
+    default: CROSS_LOOP(qa[i] & ~eb[i]); break;
+    }
+#undef CROSS_LOOP
+}
+
+/* Fused leaf sweep for Hamming k-NN/range: compute every (query, entry)
+ * XOR popcount and emit only the pairs within the query's threshold.
+ *
+ * `a` is the full stacked query matrix and `tau` the full per-query
+ * threshold vector; `qsel` picks the still-active query rows of both
+ * (so the caller never materialises gathered copies and can bind the
+ * `a`/`tau` buffer pointers once per batch).  Emits parallel triplets
+ * (active-query index, entry index, distance) into caller-provided
+ * buffers of capacity qn * b_rows; returns how many were written.
+ * Distances are exact small integers, stored as doubles to match the
+ * float64 numpy distance kernels bit-for-bit.
+ */
+long repro_cross_hamming_filter(const uint64_t *a, const int64_t *qsel, long qn,
+                                const uint64_t *b, long b_rows, long width,
+                                const double *tau,
+                                int32_t *out_q, int32_t *out_e, double *out_d)
+{
+    long n = 0;
+    for (long q = 0; q < qn; q++) {
+        const uint64_t *qa = a + qsel[q] * width;
+        const double t = tau[qsel[q]];
+        for (long e = 0; e < b_rows; e++) {
+            const uint64_t *eb = b + e * width;
+            int64_t acc = 0;
+            for (long i = 0; i < width; i++)
+                acc += popcnt64(qa[i] ^ eb[i]);
+            if ((double)acc <= t) {
+                out_q[n] = (int32_t)q;
+                out_e[n] = (int32_t)e;
+                out_d[n] = (double)acc;
+                n++;
+            }
+        }
+    }
+    return n;
+}
+
+/* Sweep a whole run of leaves in one call.  Per-leaf metadata arrives as
+ * parallel arrays: `qns[l]` active queries (their global indexes are the
+ * next qns[l] values of the concatenated `qsel`), `mats[l]` / `reftabs[l]`
+ * the leaf's signature-matrix and entry-ref base addresses (uintptr_t
+ * smuggled through uint64), `brows[l]` its entry count.  Emits fully
+ * resolved (global query index, entry ref, distance) triplets, so the
+ * caller does no per-leaf post-processing at all.
+ */
+long repro_multi_hamming_filter(const uint64_t *a, long width,
+                                const double *tau,
+                                const int64_t *qsel, const int64_t *qns,
+                                const uint64_t *mats, const uint64_t *reftabs,
+                                const int64_t *brows, long n_leaves,
+                                int64_t *out_q, int64_t *out_t, double *out_d)
+{
+    long n = 0;
+    for (long l = 0; l < n_leaves; l++) {
+        const uint64_t *b = (const uint64_t *)(uintptr_t)mats[l];
+        const int64_t *tids = (const int64_t *)(uintptr_t)reftabs[l];
+        const long rows = brows[l];
+        const long qn = qns[l];
+        for (long q = 0; q < qn; q++) {
+            const long gq = qsel[q];
+            const uint64_t *qa = a + gq * width;
+            const double t = tau[gq];
+            for (long e = 0; e < rows; e++) {
+                const uint64_t *eb = b + e * width;
+                int64_t acc = 0;
+                for (long i = 0; i < width; i++)
+                    acc += popcnt64(qa[i] ^ eb[i]);
+                if ((double)acc <= t) {
+                    out_q[n] = gq;
+                    out_t[n] = tids[e];
+                    out_d[n] = (double)acc;
+                    n++;
+                }
+            }
+        }
+        qsel += qn;
+    }
+    return n;
+}

@@ -23,6 +23,8 @@ from collections.abc import Iterable
 
 import numpy as np
 
+from . import ckernel
+
 WORD_BITS = 64
 _WORD_DTYPE = np.uint64
 
@@ -165,33 +167,83 @@ def pairwise_hamming(matrix: np.ndarray) -> np.ndarray:
     return np.bitwise_count(xored).sum(axis=-1, dtype=np.int64)
 
 
+_FOLD_BYTE_MASK = np.uint64(0x00FF00FF00FF00FF)
+_FOLD_LANE_MUL = np.uint64(0x0001000100010001)
+_FOLD_SHIFT_8 = np.uint64(8)
+_FOLD_SHIFT_48 = np.uint64(48)
+
+
+def _cross_popcount_sum(terms: np.ndarray, n_rows: int, n_cols: int, width: int) -> np.ndarray:
+    """Row-group popcount sums of a flat ``(A, B*W)`` word block.
+
+    Signature widths are short (a 1000-bit signature is 16 words), so
+    broadcasting to ``(A, B, W)`` and reducing the last axis leaves numpy
+    looping over tiny inner vectors.  Operating on the flat contiguous
+    block instead, then folding the per-word counts eight-at-a-time via a
+    SWAR sum over the uint8 view, keeps every pass at full stride.  Word
+    counts are at most 64, so the byte→16-bit fold cannot carry.
+    """
+    counts = np.bitwise_count(terms).astype(np.uint8)
+    if width % 8 == 0:
+        lanes = counts.reshape(n_rows, n_cols, width).view(np.uint64)
+        folded = lanes.sum(axis=-1, dtype=np.uint64)
+        folded = (folded & _FOLD_BYTE_MASK) + (
+            (folded >> _FOLD_SHIFT_8) & _FOLD_BYTE_MASK
+        )
+        return ((folded * _FOLD_LANE_MUL) >> _FOLD_SHIFT_48).astype(np.int64)
+    return counts.reshape(n_rows, n_cols, width).sum(axis=-1, dtype=np.int64)
+
+
+_CROSS_UFUNCS = {
+    ckernel.OP_XOR: (np.bitwise_xor, False),
+    ckernel.OP_AND: (np.bitwise_and, False),
+    ckernel.OP_OR: (np.bitwise_or, False),
+    ckernel.OP_ANDNOT: (np.bitwise_and, True),
+}
+
+
+def _cross_count(a: np.ndarray, b: np.ndarray, op: int) -> np.ndarray:
+    a = np.ascontiguousarray(a)
+    b = np.ascontiguousarray(b)
+    n_rows, width = a.shape
+    n_cols = b.shape[0]
+    if n_rows == 0 or n_cols == 0 or width == 0:
+        return np.zeros((n_rows, n_cols), dtype=np.int64)
+    if ckernel.available():
+        return ckernel.cross_count(op, a, b)
+    ufunc, negate_b = _CROSS_UFUNCS[op]
+    flat_b = b.reshape(1, n_cols * width)
+    if negate_b:
+        flat_b = np.bitwise_not(flat_b)
+    terms = ufunc(np.tile(a, (1, n_cols)), flat_b)
+    return _cross_popcount_sum(terms, n_rows, n_cols, width)
+
+
 def cross_hamming(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """``(A, B)`` Hamming-distance matrix between the rows of two matrices.
 
     The matrix×matrix popcount expression behind batched search: one
-    broadcast XOR + ``bitwise_count`` answers every (query, entry) pair
-    of a whole query batch against a whole node at once.
+    kernel call answers every (query, entry) pair of a whole query
+    batch against a whole node at once — compiled when
+    :mod:`~repro.core.ckernel` is available, a flat XOR +
+    ``bitwise_count`` expression otherwise.
     """
-    xored = np.bitwise_xor(a[:, None, :], b[None, :, :])
-    return np.bitwise_count(xored).sum(axis=-1, dtype=np.int64)
+    return _cross_count(a, b, ckernel.OP_XOR)
 
 
 def cross_intersect_count(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """``(A, B)`` matrix of ``|a_i ∩ b_j|`` between rows."""
-    anded = np.bitwise_and(a[:, None, :], b[None, :, :])
-    return np.bitwise_count(anded).sum(axis=-1, dtype=np.int64)
+    return _cross_count(a, b, ckernel.OP_AND)
 
 
 def cross_difference_count(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """``(A, B)`` matrix of ``|a_i \\ b_j|`` between rows (AND-NOT)."""
-    diffed = np.bitwise_and(a[:, None, :], np.bitwise_not(b[None, :, :]))
-    return np.bitwise_count(diffed).sum(axis=-1, dtype=np.int64)
+    return _cross_count(a, b, ckernel.OP_ANDNOT)
 
 
 def cross_union_count(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """``(A, B)`` matrix of ``|a_i ∪ b_j|`` between rows."""
-    ored = np.bitwise_or(a[:, None, :], b[None, :, :])
-    return np.bitwise_count(ored).sum(axis=-1, dtype=np.int64)
+    return _cross_count(a, b, ckernel.OP_OR)
 
 
 def to_bytes(words: np.ndarray) -> bytes:

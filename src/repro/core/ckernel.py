@@ -1,0 +1,271 @@
+"""On-demand compiled popcount kernels (ctypes + gcc, optional).
+
+The numpy cross-popcount kernels in :mod:`repro.core.bitops` are
+overhead-bound on the node-sized blocks the search engines sweep (a
+leaf visit is a few thousand word pairs — the interpreter and ufunc
+dispatch cost more than the popcounts).  This module compiles the tiny
+C twin in ``_ckernels.c`` with whatever ``cc``/``gcc`` the host already
+has, caches the shared object keyed by the source hash, and exposes the
+entry points through ctypes.
+
+Everything degrades gracefully: no compiler, a failed compile, or
+``REPRO_CKERNEL=0`` simply leaves :func:`available` false and callers
+use the numpy implementations (which stay the reference the compiled
+kernels are tested against).  No third-party packages, no build step —
+the cache directory defaults to a per-user directory under the system
+temp dir and can be pinned with ``REPRO_CKERNEL_CACHE``.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+_SOURCE = Path(__file__).with_name("_ckernels.c")
+
+#: op codes shared with repro_cross_count in _ckernels.c
+OP_XOR, OP_AND, OP_OR, OP_ANDNOT = 0, 1, 2, 3
+
+_lib: "ctypes.CDLL | None" = None
+_tried = False
+
+
+def _cache_dir() -> Path:
+    configured = os.environ.get("REPRO_CKERNEL_CACHE")
+    if configured:
+        return Path(configured)
+    return Path(tempfile.gettempdir()) / f"repro-ckernels-{os.getuid()}"
+
+
+def _compile(source: Path, target: Path) -> bool:
+    """Compile the kernel source to ``target``; True on success."""
+    target.parent.mkdir(parents=True, exist_ok=True)
+    scratch = target.with_name(f".{target.name}.{os.getpid()}.tmp")
+    base = ["-O3", "-shared", "-fPIC", str(source), "-o", str(scratch)]
+    for cc in ("cc", "gcc"):
+        for extra in (["-march=native", "-funroll-loops"], []):
+            try:
+                result = subprocess.run(
+                    [cc] + extra + base,
+                    capture_output=True, timeout=120, check=False,
+                )
+            except (OSError, subprocess.TimeoutExpired):
+                continue
+            if result.returncode == 0 and scratch.exists():
+                os.replace(scratch, target)  # atomic vs concurrent builders
+                return True
+    scratch.unlink(missing_ok=True)
+    return False
+
+
+def _bind(lib: ctypes.CDLL) -> ctypes.CDLL:
+    # Pointers are passed as bare integers (ndarray.ctypes.data): the
+    # hot path calls these thousands of times per batch, and c_void_p
+    # coercion is several times cheaper than POINTER() casting.
+    void_p = ctypes.c_void_p
+    lib.repro_cross_count.argtypes = [
+        ctypes.c_int,
+        void_p, ctypes.c_long,
+        void_p, ctypes.c_long,
+        ctypes.c_long, void_p,
+    ]
+    lib.repro_cross_count.restype = None
+    lib.repro_cross_hamming_filter.argtypes = [
+        void_p, void_p, ctypes.c_long,
+        void_p, ctypes.c_long, ctypes.c_long,
+        void_p,
+        void_p, void_p, void_p,
+    ]
+    lib.repro_cross_hamming_filter.restype = ctypes.c_long
+    lib.repro_multi_hamming_filter.argtypes = [
+        void_p, ctypes.c_long, void_p,
+        void_p, void_p,
+        void_p, void_p,
+        void_p, ctypes.c_long,
+        void_p, void_p, void_p,
+    ]
+    lib.repro_multi_hamming_filter.restype = ctypes.c_long
+    return lib
+
+
+def _selftest(lib: ctypes.CDLL) -> bool:
+    """One tiny end-to-end call so a miscompiled object is never used."""
+    a = np.array([[0b1011], [0b0001]], dtype=np.uint64)
+    b = np.array([[0b0110]], dtype=np.uint64)
+    out = np.empty((2, 1), dtype=np.int64)
+    lib.repro_cross_count(
+        OP_XOR, a.ctypes.data, 2, b.ctypes.data, 1, 1, out.ctypes.data
+    )
+    return out[0, 0] == 3 and out[1, 0] == 3
+
+
+def _load() -> "ctypes.CDLL | None":
+    global _lib, _tried
+    if _tried:
+        return _lib
+    _tried = True
+    if os.environ.get("REPRO_CKERNEL", "1") in ("0", "false", "no", "off"):
+        return None
+    try:
+        source_text = _SOURCE.read_bytes()
+    except OSError:
+        return None
+    digest = hashlib.sha256(source_text).hexdigest()[:16]
+    target = _cache_dir() / f"_ckernels-{digest}.so"
+    try:
+        if not target.exists() and not _compile(_SOURCE, target):
+            return None
+        lib = _bind(ctypes.CDLL(str(target)))
+        if not _selftest(lib):
+            return None
+        _lib = lib
+    except OSError:
+        return None
+    return _lib
+
+
+def available() -> bool:
+    """Whether the compiled kernels are loaded (compiling on first ask)."""
+    return _load() is not None
+
+
+def cross_count(op: int, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``(A, B)`` popcount-of-combination matrix via the compiled kernel.
+
+    Callers must have checked :func:`available` and pass C-contiguous
+    uint64 matrices of equal width.
+    """
+    a_rows, width = a.shape
+    b_rows = b.shape[0]
+    out = np.empty((a_rows, b_rows), dtype=np.int64)
+    _lib.repro_cross_count(
+        op, a.ctypes.data, a_rows, b.ctypes.data, b_rows, width, out.ctypes.data
+    )
+    return out
+
+
+class HammingFilter:
+    """Reusable fused threshold-filtered Hamming sweep for one batch.
+
+    Binds the stacked query matrix and the (mutable, fixed-buffer)
+    per-query threshold vector once; each :meth:`__call__` then sweeps
+    one node with a single native call, reusing grown-on-demand output
+    buffers.  Returns ``(rows, cols, distances)`` — row indexes into
+    the ``qsel`` passed to the call, column indexes into the node's
+    entries, float64 distances — exactly the pairs and float values the
+    numpy path would emit from ``distances <= tau[qsel][:, None]``.
+
+    The thresholds array is read through its *buffer* at call time, so
+    in-place tightening between calls is observed; rebinding is only
+    needed if the caller reallocates it.
+    """
+
+    __slots__ = ("_fn", "_qptr", "_tauptr", "_width",
+                 "_capacity", "_out_q", "_out_e", "_out_d",
+                 "_optr", "_eptr", "_dptr")
+
+    def __init__(self, qmatrix: np.ndarray, thresholds: np.ndarray):
+        self._fn = _lib.repro_cross_hamming_filter
+        self._qptr = qmatrix.ctypes.data
+        self._tauptr = thresholds.ctypes.data
+        self._width = qmatrix.shape[1]
+        self._capacity = 0
+
+    def _grow(self, capacity: int) -> None:
+        self._out_q = np.empty(capacity, dtype=np.int32)
+        self._out_e = np.empty(capacity, dtype=np.int32)
+        self._out_d = np.empty(capacity, dtype=np.float64)
+        self._optr = self._out_q.ctypes.data
+        self._eptr = self._out_e.ctypes.data
+        self._dptr = self._out_d.ctypes.data
+        self._capacity = capacity
+
+    def __call__(
+        self, qsel: np.ndarray, matrix_ptr: int, b_rows: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Sweep one node given its raw matrix base address and row count.
+
+        Callers pass the address (``ndarray.ctypes.data``, usually cached
+        on the decoded view) instead of the array to keep the per-call
+        overhead at a single foreign call.
+        """
+        qn = qsel.shape[0]
+        need = qn * b_rows
+        if need > self._capacity:
+            self._grow(max(need, 4096))
+        n = self._fn(
+            self._qptr, qsel.ctypes.data, qn,
+            matrix_ptr, b_rows, self._width,
+            self._tauptr, self._optr, self._eptr, self._dptr,
+        )
+        return self._out_q[:n], self._out_e[:n], self._out_d[:n]
+
+
+class MultiHammingFilter:
+    """Fused threshold-filtered sweep over a whole *run* of leaves.
+
+    The shared-frontier engines pop long stretches of consecutive leaves
+    between directory expansions; sweeping the stretch in one native
+    call amortises the per-call overhead ~n_leaves times.  Per-leaf
+    metadata (active-query counts, matrix/ref base addresses, entry
+    counts) is passed as parallel arrays; the kernel emits fully
+    resolved ``(global query index, entry ref, distance)`` triplets, so
+    nothing per-leaf surfaces to Python.
+
+    Like :class:`HammingFilter`, the query matrix and thresholds buffer
+    are bound once; thresholds are read through the buffer at call time,
+    and the returned arrays are views into reusable scratch valid until
+    the next call.
+    """
+
+    __slots__ = ("_fn", "_qptr", "_tauptr", "_width",
+                 "_capacity", "_out_q", "_out_t", "_out_d",
+                 "_optr", "_tptr", "_dptr")
+
+    def __init__(self, qmatrix: np.ndarray, thresholds: np.ndarray):
+        self._fn = _lib.repro_multi_hamming_filter
+        self._qptr = qmatrix.ctypes.data
+        self._tauptr = thresholds.ctypes.data
+        self._width = qmatrix.shape[1]
+        self._capacity = 0
+
+    def _grow(self, capacity: int) -> None:
+        self._out_q = np.empty(capacity, dtype=np.int64)
+        self._out_t = np.empty(capacity, dtype=np.int64)
+        self._out_d = np.empty(capacity, dtype=np.float64)
+        self._optr = self._out_q.ctypes.data
+        self._tptr = self._out_t.ctypes.data
+        self._dptr = self._out_d.ctypes.data
+        self._capacity = capacity
+
+    def __call__(
+        self,
+        qsel: np.ndarray,
+        qns: np.ndarray,
+        mats: np.ndarray,
+        reftabs: np.ndarray,
+        brows: np.ndarray,
+        need: int,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        if need > self._capacity:
+            self._grow(max(need, 32768))
+        n = self._fn(
+            self._qptr, self._width, self._tauptr,
+            qsel.ctypes.data, qns.ctypes.data,
+            mats.ctypes.data, reftabs.ctypes.data,
+            brows.ctypes.data, qns.shape[0],
+            self._optr, self._tptr, self._dptr,
+        )
+        return self._out_q[:n], self._out_t[:n], self._out_d[:n]
+
+
+__all__ = [
+    "OP_XOR", "OP_AND", "OP_OR", "OP_ANDNOT",
+    "available", "cross_count", "HammingFilter", "MultiHammingFilter",
+]

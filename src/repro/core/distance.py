@@ -93,6 +93,28 @@ class Metric:
         """
         raise NotImplementedError
 
+    def distance_matrix_from_counts(
+        self, inter: np.ndarray, query_areas: np.ndarray, entry_areas: np.ndarray
+    ) -> np.ndarray:
+        """:meth:`distance_matrix` from precomputed integer counts.
+
+        ``inter`` is the ``(Q, E)`` intersection-count matrix,
+        ``query_areas``/``entry_areas`` the exact ``(Q,)``/``(E,)``
+        popcounts.  Every set-theoretic metric here is a function of
+        ``(|q ∩ t|, |q|, |t|)`` alone — ``|q ∪ t| = |q| + |t| - |q ∩ t|``
+        and ``|q Δ t| = |q| + |t| - 2|q ∩ t|`` are exact in int64 — so
+        this form returns floats bit-identical to :meth:`distance_matrix`
+        regardless of which kernel produced the counts.  The matrix forms
+        delegate here, keeping one definition per metric.
+        """
+        raise NotImplementedError
+
+    def lower_bound_matrix_from_counts(
+        self, inter: np.ndarray, query_areas: np.ndarray, entry_areas: np.ndarray
+    ) -> np.ndarray:
+        """:meth:`lower_bound_matrix` from precomputed integer counts."""
+        raise NotImplementedError
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
 
@@ -144,7 +166,24 @@ class HammingMetric(Metric):
     def lower_bound_matrix(
         self, queries: np.ndarray, query_areas: np.ndarray, matrix: np.ndarray
     ) -> np.ndarray:
-        missing = bitops.cross_difference_count(queries, matrix).astype(np.float64)
+        inter = bitops.cross_intersect_count(queries, matrix)
+        return self.lower_bound_matrix_from_counts(
+            inter, query_areas, np.empty(0, dtype=np.int64)
+        )
+
+    def distance_matrix_from_counts(
+        self, inter: np.ndarray, query_areas: np.ndarray, entry_areas: np.ndarray
+    ) -> np.ndarray:
+        # |q Δ t| = |q| + |t| − 2|q ∩ t|, exact in int64.
+        return (
+            query_areas[:, None] + entry_areas[None, :] - 2 * inter
+        ).astype(np.float64)
+
+    def lower_bound_matrix_from_counts(
+        self, inter: np.ndarray, query_areas: np.ndarray, entry_areas: np.ndarray
+    ) -> np.ndarray:
+        # |q \ s| = |q| − |q ∩ s|, exact in int64.
+        missing = (query_areas[:, None] - inter).astype(np.float64)
         if self.fixed_area is None:
             return missing
         areas = query_areas.astype(np.float64)[:, None]
@@ -198,15 +237,32 @@ class JaccardMetric(Metric):
     def distance_matrix(
         self, queries: np.ndarray, query_areas: np.ndarray, matrix: np.ndarray
     ) -> np.ndarray:
-        inter = bitops.cross_intersect_count(queries, matrix).astype(np.float64)
-        union = bitops.cross_union_count(queries, matrix).astype(np.float64)
-        return _jaccard_distance(inter, union)
+        inter = bitops.cross_intersect_count(queries, matrix)
+        entry_areas = np.asarray(bitops.popcount(matrix), dtype=np.int64)
+        return self.distance_matrix_from_counts(inter, query_areas, entry_areas)
 
     def lower_bound_matrix(
         self, queries: np.ndarray, query_areas: np.ndarray, matrix: np.ndarray
     ) -> np.ndarray:
+        covered = bitops.cross_intersect_count(queries, matrix)
+        return self.lower_bound_matrix_from_counts(
+            covered, query_areas, np.empty(0, dtype=np.int64)
+        )
+
+    def distance_matrix_from_counts(
+        self, inter: np.ndarray, query_areas: np.ndarray, entry_areas: np.ndarray
+    ) -> np.ndarray:
+        # |q ∪ t| = |q| + |t| − |q ∩ t|, exact in int64.
+        union = (
+            query_areas[:, None] + entry_areas[None, :] - inter
+        ).astype(np.float64)
+        return _jaccard_distance(inter.astype(np.float64), union)
+
+    def lower_bound_matrix_from_counts(
+        self, inter: np.ndarray, query_areas: np.ndarray, entry_areas: np.ndarray
+    ) -> np.ndarray:
         areas = query_areas.astype(np.float64)[:, None]
-        covered = bitops.cross_intersect_count(queries, matrix).astype(np.float64)
+        covered = inter.astype(np.float64)
         return np.where(areas > 0, 1.0 - covered / np.maximum(areas, 1.0), 0.0)
 
 
@@ -249,18 +305,33 @@ class DiceMetric(Metric):
     def distance_matrix(
         self, queries: np.ndarray, query_areas: np.ndarray, matrix: np.ndarray
     ) -> np.ndarray:
-        inter = bitops.cross_intersect_count(queries, matrix).astype(np.float64)
-        areas = np.asarray(bitops.popcount(matrix), dtype=np.float64)
+        inter = bitops.cross_intersect_count(queries, matrix)
+        entry_areas = np.asarray(bitops.popcount(matrix), dtype=np.int64)
+        return self.distance_matrix_from_counts(inter, query_areas, entry_areas)
+
+    def lower_bound_matrix(
+        self, queries: np.ndarray, query_areas: np.ndarray, matrix: np.ndarray
+    ) -> np.ndarray:
+        covered = bitops.cross_intersect_count(queries, matrix)
+        return self.lower_bound_matrix_from_counts(
+            covered, query_areas, np.empty(0, dtype=np.int64)
+        )
+
+    def distance_matrix_from_counts(
+        self, inter: np.ndarray, query_areas: np.ndarray, entry_areas: np.ndarray
+    ) -> np.ndarray:
+        inter = inter.astype(np.float64)
+        areas = entry_areas.astype(np.float64)
         total = areas[None, :] + query_areas.astype(np.float64)[:, None]
         with np.errstate(invalid="ignore", divide="ignore"):
             sim = np.where(total > 0, 2.0 * inter / np.maximum(total, 1), 1.0)
         return 1.0 - sim
 
-    def lower_bound_matrix(
-        self, queries: np.ndarray, query_areas: np.ndarray, matrix: np.ndarray
+    def lower_bound_matrix_from_counts(
+        self, inter: np.ndarray, query_areas: np.ndarray, entry_areas: np.ndarray
     ) -> np.ndarray:
         q_areas = query_areas.astype(np.float64)[:, None]
-        covered = bitops.cross_intersect_count(queries, matrix).astype(np.float64)
+        covered = inter.astype(np.float64)
         bound = np.maximum(
             0.0, 1.0 - np.minimum(1.0, 2.0 * covered / np.maximum(q_areas, 1.0))
         )
@@ -315,8 +386,23 @@ class OverlapMetric(Metric):
     def distance_matrix(
         self, queries: np.ndarray, query_areas: np.ndarray, matrix: np.ndarray
     ) -> np.ndarray:
-        inter = bitops.cross_intersect_count(queries, matrix).astype(np.float64)
-        areas = np.asarray(bitops.popcount(matrix), dtype=np.float64)[None, :]
+        inter = bitops.cross_intersect_count(queries, matrix)
+        entry_areas = np.asarray(bitops.popcount(matrix), dtype=np.int64)
+        return self.distance_matrix_from_counts(inter, query_areas, entry_areas)
+
+    def lower_bound_matrix(
+        self, queries: np.ndarray, query_areas: np.ndarray, matrix: np.ndarray
+    ) -> np.ndarray:
+        covered = bitops.cross_intersect_count(queries, matrix)
+        return self.lower_bound_matrix_from_counts(
+            covered, query_areas, np.empty(0, dtype=np.int64)
+        )
+
+    def distance_matrix_from_counts(
+        self, inter: np.ndarray, query_areas: np.ndarray, entry_areas: np.ndarray
+    ) -> np.ndarray:
+        inter = inter.astype(np.float64)
+        areas = entry_areas.astype(np.float64)[None, :]
         q_areas = query_areas.astype(np.float64)[:, None]
         denom = np.minimum(areas, q_areas)
         with np.errstate(invalid="ignore", divide="ignore"):
@@ -327,11 +413,11 @@ class OverlapMetric(Metric):
             )
         return 1.0 - sim
 
-    def lower_bound_matrix(
-        self, queries: np.ndarray, query_areas: np.ndarray, matrix: np.ndarray
+    def lower_bound_matrix_from_counts(
+        self, inter: np.ndarray, query_areas: np.ndarray, entry_areas: np.ndarray
     ) -> np.ndarray:
         q_areas = query_areas.astype(np.float64)[:, None]
-        covered = bitops.cross_intersect_count(queries, matrix).astype(np.float64)
+        covered = inter.astype(np.float64)
         return np.where(q_areas > 0, np.where(covered == 0, 1.0, 0.0), 0.0)
 
 
@@ -379,8 +465,23 @@ class CosineMetric(Metric):
     def distance_matrix(
         self, queries: np.ndarray, query_areas: np.ndarray, matrix: np.ndarray
     ) -> np.ndarray:
-        inter = bitops.cross_intersect_count(queries, matrix).astype(np.float64)
-        areas = np.asarray(bitops.popcount(matrix), dtype=np.float64)[None, :]
+        inter = bitops.cross_intersect_count(queries, matrix)
+        entry_areas = np.asarray(bitops.popcount(matrix), dtype=np.int64)
+        return self.distance_matrix_from_counts(inter, query_areas, entry_areas)
+
+    def lower_bound_matrix(
+        self, queries: np.ndarray, query_areas: np.ndarray, matrix: np.ndarray
+    ) -> np.ndarray:
+        covered = bitops.cross_intersect_count(queries, matrix)
+        return self.lower_bound_matrix_from_counts(
+            covered, query_areas, np.empty(0, dtype=np.int64)
+        )
+
+    def distance_matrix_from_counts(
+        self, inter: np.ndarray, query_areas: np.ndarray, entry_areas: np.ndarray
+    ) -> np.ndarray:
+        inter = inter.astype(np.float64)
+        areas = entry_areas.astype(np.float64)[None, :]
         q_areas = query_areas.astype(np.float64)[:, None]
         denom = np.sqrt(areas * q_areas)
         with np.errstate(invalid="ignore", divide="ignore"):
@@ -391,11 +492,11 @@ class CosineMetric(Metric):
             )
         return 1.0 - sim
 
-    def lower_bound_matrix(
-        self, queries: np.ndarray, query_areas: np.ndarray, matrix: np.ndarray
+    def lower_bound_matrix_from_counts(
+        self, inter: np.ndarray, query_areas: np.ndarray, entry_areas: np.ndarray
     ) -> np.ndarray:
         q_areas = query_areas.astype(np.float64)[:, None]
-        covered = bitops.cross_intersect_count(queries, matrix).astype(np.float64)
+        covered = inter.astype(np.float64)
         return np.where(
             q_areas > 0, 1.0 - np.sqrt(covered / np.maximum(q_areas, 1.0)), 0.0
         )

@@ -170,10 +170,16 @@ class ConcurrentSGTree:
         side (:func:`~repro.sgtree.persistence.recover_tree`) and swap it
         in under the write latch, so readers never observe a
         half-recovered index.
+
+        The old store's arena generation is retired under the latch:
+        its decoded-node views are dropped wholesale (releasing the
+        arena memory), and no later read can be served a view decoded
+        from before the swap.
         """
         with self._lock.writing():
             old, self._tree = self._tree, tree
             self._serial_reads = self._serial_reads or tree.store.mode == "disk"
+            old.store.bump_generation()
             return old
 
     # -- queries (shared) -------------------------------------------------------

@@ -38,11 +38,19 @@ import numpy as np
 from ..core import bitops
 from ..core.signature import Signature
 from ..errors import NodeDecodeError, PageCorruptError
+from ..storage.arena import DecodedNode, DecodedNodeCache, next_generation
 from ..storage.buffer import FIFOPolicy, ClockPolicy, LRUPolicy, ReplacementPolicy
 from ..storage.page import DEFAULT_PAGE_SIZE, Page, PageId
 from ..storage.page import PageNotFoundError
 from ..storage.pager import MemoryPager, Pager
-from ..storage.serialization import NodeImage, capacity_for_page, decode_node, encode_node
+from ..storage.serialization import (
+    NodeArrays,
+    NodeImage,
+    capacity_for_page,
+    decode_node,
+    decode_node_arrays,
+    encode_node,
+)
 from ..storage.wal import OP_COMMIT, OP_WRITE, LogScanner, RecoveryReport, WriteAheadLog
 
 logger = logging.getLogger(__name__)
@@ -88,7 +96,8 @@ class Node:
 
     __slots__ = (
         "page_id", "level", "entries",
-        "_matrix", "_areas", "_refs", "_area_ranges", "__weakref__",
+        "_matrix", "_areas", "_refs", "_area_ranges", "_arena_hook",
+        "__weakref__",
     )
 
     def __init__(self, page_id: PageId, level: int, entries: list[Entry] | None = None):
@@ -99,6 +108,9 @@ class Node:
         self._areas: np.ndarray | None = None
         self._refs: np.ndarray | None = None
         self._area_ranges: tuple[np.ndarray, np.ndarray] | None = None
+        # (cache, key) of the arena view sharing this node's arrays, so
+        # invalidation drops both together; None when never viewed.
+        self._arena_hook: tuple[DecodedNodeCache, tuple[int, PageId]] | None = None
 
     @property
     def is_leaf(self) -> bool:
@@ -139,6 +151,21 @@ class Node:
                 count=len(self.entries),
             )
         return self._refs
+
+    def entry_counts(self) -> np.ndarray | None:
+        """Per-entry subtree counts, or ``None`` when any entry lacks one.
+
+        Mirrors :meth:`DecodedNode.entry_counts
+        <repro.storage.arena.DecodedNode.entry_counts>` so engines read
+        counts off either representation.  Not cached: only aggregate
+        traversals use it.
+        """
+        if self.is_leaf:
+            return None
+        raw = [entry.count for entry in self.entries]
+        if any(count is None for count in raw):
+            return None
+        return np.asarray(raw, dtype=np.int64)
 
     def area_ranges(self) -> "tuple[np.ndarray, np.ndarray] | None":
         """Per-entry (min_area, max_area) vectors, or ``None`` when any
@@ -208,11 +235,21 @@ class Node:
         self.invalidate()
 
     def invalidate(self) -> None:
-        """Drop the cached matrix/stats after entry mutation."""
+        """Drop the cached matrix/stats after entry mutation.
+
+        Any arena view sharing these arrays is dropped in the same
+        breath — a mutated node must never be served from a stale
+        decoded view.
+        """
         self._matrix = None
         self._areas = None
         self._refs = None
         self._area_ranges = None
+        hook = self._arena_hook
+        if hook is not None:
+            self._arena_hook = None
+            cache, key = hook
+            cache.discard(key)
 
     def find_ref(self, ref: int) -> int | None:
         """Index of the entry pointing at ``ref``, or ``None``."""
@@ -233,14 +270,19 @@ class StoreCounters:
     node_accesses: int = 0
     random_ios: int = 0
     node_writes: int = 0
+    node_decodes: int = 0
 
     def reset(self) -> None:
         self.node_accesses = 0
         self.random_ios = 0
         self.node_writes = 0
+        self.node_decodes = 0
 
     def snapshot(self) -> "StoreCounters":
-        return StoreCounters(self.node_accesses, self.random_ios, self.node_writes)
+        return StoreCounters(
+            self.node_accesses, self.random_ios, self.node_writes,
+            self.node_decodes,
+        )
 
     def register_metrics(self, registry, **labels: str) -> None:
         """Expose these counters through a metrics registry (pull model).
@@ -259,6 +301,9 @@ class StoreCounters:
              "random_ios"),
             ("sgtree_node_writes_total",
              "Nodes serialised back to their page", "node_writes"),
+            ("sgtree_node_decodes_total",
+             "Node faults that parsed page bytes (vs arena/object reuse)",
+             "node_decodes"),
         ):
             registry.counter(name, help_text, labelnames).labels(
                 **labels
@@ -300,6 +345,15 @@ class NodeStore:
         mode only), :meth:`commit` makes the state crash-recoverable: it
         forces dirty nodes to the pager and appends the touched page
         images plus a metadata blob to the log.
+    decode_cache_entries:
+        Budget of the decoded-node arena (see
+        :class:`~repro.storage.arena.DecodedNodeCache`), in summed
+        entries.  ``"auto"`` (default) mirrors the frame budget in entry
+        units in disk mode — ``frames × default_capacity()``, so the
+        arena holds roughly the nodes the buffer does — and is unbounded
+        in sim mode (where every node stays in memory regardless) or
+        when ``frames`` is ``None``; ``0`` disables the cache, ``None``
+        is unbounded.
     """
 
     def __init__(
@@ -313,6 +367,7 @@ class NodeStore:
         multipage: bool = False,
         pager: Pager | None = None,
         wal: WriteAheadLog | None = None,
+        decode_cache_entries: "int | None | str" = "auto",
     ):
         if wal is not None and mode != "disk":
             raise ValueError("a write-ahead log requires mode='disk'")
@@ -352,6 +407,24 @@ class NodeStore:
         self.quarantined: set[PageId] = set()
         # populated by repro.sgtree.persistence.recover_tree
         self.last_recovery: RecoveryReport | None = None
+        # decoded-node arena: zero-copy views keyed by (generation, page)
+        if decode_cache_entries == "auto":
+            if frames is None or mode == "sim":
+                # Sim mode counts I/O but never pays it: every node (and
+                # its lazy matrix caches) already lives in ``_all``, so a
+                # bounded arena would only add thrash on a working set
+                # the store keeps resident anyway.
+                budget: int | None = None
+            else:
+                try:
+                    per_node = capacity_for_page(page_size, n_bits, compress)
+                except ValueError:
+                    per_node = 2  # degenerate page/bit-width combination
+                budget = frames * per_node
+        else:
+            budget = decode_cache_entries
+        self._decoded = DecodedNodeCache(max_entries=budget)
+        self._generation = next_generation()
         # optional repro.telemetry.Telemetry; None is the fast path —
         # every hook below is a single `is not None` check when disabled
         self.telemetry = None
@@ -382,6 +455,7 @@ class NodeStore:
             "sgtree_buffer_resident_pages",
             "Nodes currently resident in the buffer", labelnames,
         ).labels(**labels).set_function(lambda: len(self._resident))
+        self._decoded.register_metrics(registry, store=name)
         stats = getattr(self._pager, "stats", None)
         if stats is not None and hasattr(stats, "register_metrics"):
             stats.register_metrics(registry, store=name)
@@ -433,6 +507,81 @@ class NodeStore:
         self._admit(node)
         return node
 
+    def read(self, page_id: PageId) -> DecodedNode:
+        """Fetch a node as a read-only decoded view — a slice, not a parse.
+
+        The read-side twin of :meth:`get`: search engines consume the
+        arena view (shared arrays, zero copy) instead of the mutable
+        ``Node``.  Accounting matches :meth:`get` exactly — one node
+        access per call, and a random I/O only when neither the arena
+        nor the buffer holds the node — so batched and sequential
+        traversals report identical hit ratios over the same visits.
+        """
+        counters = self.counters
+        counters.node_accesses += 1
+        view = self._decoded.get(self._generation, page_id)
+        if view is not None:
+            resident = self._resident
+            if page_id in resident:
+                self._policy.record_access(page_id)
+                return view
+            # The arena outlived the buffer frame.  A view may only skip
+            # the re-parse — never the buffer layer's accounting or I/O —
+            # so this is a buffer miss like any other.
+            counters.random_ios += 1
+            if self.mode == "sim":
+                # Simulated bytes cannot rot and mutations invalidate
+                # the view, so re-admit the page and serve it as-is.
+                # (Inline of _fault + _admit — the hot warm-batch path.)
+                node = self._all.get(page_id)
+                if node is None:
+                    raise KeyError(f"unknown page id {page_id}")
+                if self._frames is not None:
+                    while len(resident) >= self._frames:
+                        self._evict_one()
+                resident[page_id] = node
+                self._policy.admit(page_id)
+                return view
+            # Disk mode: once the frame is gone the page bytes are the
+            # authority.  Drop the stale view so the fault below re-reads
+            # (and checksum-verifies) the page, then decode fresh.
+            self._decoded.discard((self._generation, page_id))
+        node = self._resident.get(page_id)
+        if node is not None:
+            self._policy.record_access(page_id)
+        elif view is None:
+            self.counters.random_ios += 1
+            node = self._fault(page_id)
+            self._admit(node)
+        else:
+            node = self._fault(page_id)
+            self._admit(node)
+        view = DecodedNode.from_node(node, self.n_bits)
+        self._decoded.put(self._generation, page_id, view)
+        node._arena_hook = (self._decoded, (self._generation, page_id))
+        return view
+
+    @property
+    def generation(self) -> int:
+        """Identity of the store's current arena generation."""
+        return self._generation
+
+    @property
+    def decode_cache(self) -> DecodedNodeCache:
+        return self._decoded
+
+    def bump_generation(self) -> int:
+        """Retire the current arena generation (snapshot hot-swap hook).
+
+        Every cached view of the old generation is dropped wholesale and
+        later reads re-key under the new generation, so no query can be
+        served decoded state from before the bump.
+        """
+        old = self._generation
+        self._generation = next_generation()
+        self._decoded.drop_generation(old)
+        return self._generation
+
     def mark_dirty(self, node: Node) -> None:
         """Note that a node mutated and must be flushed before eviction.
 
@@ -441,6 +590,7 @@ class NodeStore:
         (and writes back) the mutated object.
         """
         self._dirty.add(node.page_id)
+        self._decoded.discard((self._generation, node.page_id))
         if self.wal is not None:
             self._uncommitted.add(node.page_id)
         if self.mode == "sim":
@@ -456,6 +606,7 @@ class NodeStore:
         self._resident.pop(page_id, None)
         self._policy.remove(page_id)
         self._dirty.discard(page_id)
+        self._decoded.discard((self._generation, page_id))
         self._all.pop(page_id, None)
         self._live.pop(page_id, None)
         if self.multipage and self.mode == "disk":
@@ -484,16 +635,18 @@ class NodeStore:
         self._dirty.clear()
 
     def clear_cache(self) -> None:
-        """Flush and evict everything — a cold buffer pool."""
+        """Flush and evict everything — a cold buffer pool.
+
+        The decoded-node arena is dropped too: a "cold cache"
+        measurement must pay the decode again, not be served views that
+        outlived the buffer.
+        """
         if self.mode == "disk":
             self.flush()
-            for page_id in list(self._resident):
-                self._policy.remove(page_id)
-            self._resident.clear()
-        else:
-            for page_id in list(self._resident):
-                self._policy.remove(page_id)
-            self._resident.clear()
+        for page_id in list(self._resident):
+            self._policy.remove(page_id)
+        self._resident.clear()
+        self._decoded.clear()
 
     def commit(self, meta: dict | None = None) -> None:
         """Force dirty nodes to the pager and seal a WAL commit batch.
@@ -590,20 +743,18 @@ class NodeStore:
             # The object is still referenced (and possibly mutated) by a
             # caller — reuse it rather than decoding stale page bytes.
             return alive
-        image = self._load_image(page_id)
-        if image.stats is not None:
-            entries = [
-                Entry(signature, ref, min_area=stat[0], max_area=stat[1], count=stat[2])
-                for (signature, ref), stat in zip(image.entries, image.stats)
-            ]
-        else:
-            entries = [Entry(signature, ref) for signature, ref in image.entries]
-        node = Node(page_id=page_id, level=image.level, entries=entries)
+        node = self._load_node(page_id)
         self._live[page_id] = node
         return node
 
-    def _load_image(self, page_id: PageId) -> NodeImage:
+    def _load_node(self, page_id: PageId) -> Node:
         """Read and decode a node's bytes, degrading gracefully.
+
+        Uncompressed pages take the vectorised
+        :func:`~repro.storage.serialization.decode_node_arrays` fast
+        path (one gather for all signature bitmaps, lazy caches primed);
+        compressed pages fall back to the per-entry object codec.
+        Either way counts one ``node_decodes``.
 
         A page that fails its checksum or does not decode is first
         **rescued**: if a write-ahead log is attached, the page's last
@@ -617,7 +768,13 @@ class NodeStore:
         while True:
             try:
                 data = self._read_chained(page_id)
-                return decode_node(data, self.n_bits)
+                self.counters.node_decodes += 1
+                arrays = decode_node_arrays(data, self.n_bits)
+                if arrays is not None:
+                    return self._node_from_arrays(page_id, arrays)
+                return self._node_from_image(
+                    page_id, decode_node(data, self.n_bits)
+                )
             except PageCorruptError as exc:
                 bad = exc.page_id if exc.page_id is not None else page_id
                 failure = exc
@@ -631,6 +788,43 @@ class NodeStore:
                 self._emit("page_quarantined", page_id=bad, reason=str(failure))
                 raise failure
             tried.add(bad)
+
+    def _node_from_arrays(self, page_id: PageId, arrays: NodeArrays) -> Node:
+        matrix = arrays.matrix
+        matrix.setflags(write=False)
+        has_stats = arrays.mins is not None
+        entries = []
+        for index in range(arrays.refs.shape[0]):
+            signature = Signature(matrix[index], self.n_bits)
+            if has_stats:
+                entries.append(Entry(
+                    signature, int(arrays.refs[index]),
+                    min_area=int(arrays.mins[index]),
+                    max_area=int(arrays.maxs[index]),
+                    count=int(arrays.counts[index]),
+                ))
+            else:
+                entries.append(Entry(signature, int(arrays.refs[index])))
+        node = Node(page_id=page_id, level=arrays.level, entries=entries)
+        if entries:
+            # Prime the lazy caches: the decoded arrays ARE the matrices
+            # search consumes, so the first visit pays no re-stack.
+            node._matrix = matrix
+            node._refs = arrays.refs
+            if has_stats:
+                node._area_ranges = (arrays.mins, arrays.maxs)
+        return node
+
+    @staticmethod
+    def _node_from_image(page_id: PageId, image: NodeImage) -> Node:
+        if image.stats is not None:
+            entries = [
+                Entry(signature, ref, min_area=stat[0], max_area=stat[1], count=stat[2])
+                for (signature, ref), stat in zip(image.entries, image.stats)
+            ]
+        else:
+            entries = [Entry(signature, ref) for signature, ref in image.entries]
+        return Node(page_id=page_id, level=image.level, entries=entries)
 
     def _rescue_page(self, page_id: PageId) -> bool:
         """Restore a page from its last committed WAL image, if any."""

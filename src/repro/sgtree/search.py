@@ -40,8 +40,8 @@ from typing import NamedTuple
 
 import numpy as np
 
-from ..core import bitops
-from ..core.distance import Metric
+from ..core import bitops, ckernel
+from ..core.distance import HammingMetric, Metric
 from ..core.signature import Signature
 from ..errors import QueryTimeout
 from ..storage.page import PageId
@@ -284,21 +284,144 @@ def _directory_bounds(metric: Metric, query: Signature, node) -> np.ndarray:
     return _robust_bounds(metric, strengthen_hamming_bounds(metric, query, node, bounds))
 
 
-def _batch_directory_bounds(
-    metric: Metric, queries: np.ndarray, query_areas: np.ndarray, node
-) -> np.ndarray:
-    """``(Q, E)`` stats-sharpened lower bounds for a directory node."""
-    bounds = metric.lower_bound_matrix(queries, query_areas, node.signature_matrix())
-    return _robust_bounds(
-        metric, strengthen_hamming_bounds_matrix(metric, query_areas, node, bounds)
-    )
-
-
 def _stack_queries(queries: "list[Signature]") -> tuple[np.ndarray, np.ndarray]:
     """Stack a query batch into a ``(Q, n_words)`` matrix plus its areas."""
     matrix = np.stack([query.words for query in queries])
     areas = np.asarray(bitops.popcount(matrix), dtype=np.int64)
     return matrix, areas
+
+
+class _BatchContext:
+    """Per-batch precomputation shared by every node visit.
+
+    Stacks the query signatures once; a leaf or directory visit is then
+    a single matrix×matrix kernel call over the node's arena-cached
+    signature matrix.  For the Hamming metric the leaf sweep goes
+    through the fused threshold filter in :mod:`~repro.core.ckernel`
+    when the compiled kernels are available: one native call computes
+    every (query, entry) distance *and* drops the pairs the caller's
+    thresholds already reject, so nothing per-pair ever surfaces to
+    Python.  Both paths emit identical pairs and identical float64
+    distances (Hamming distances are exact small integers either way).
+    """
+
+    __slots__ = ("qmatrix", "qareas", "_fused", "_tau", "_filter", "_multi")
+
+    def __init__(self, queries: "list[Signature]", metric: Metric):
+        self.qmatrix, self.qareas = _stack_queries(queries)
+        self.qmatrix = np.ascontiguousarray(self.qmatrix)
+        # The fused filter hard-codes the plain XOR-popcount distance, so
+        # it is only sound when the metric's leaf distance *is* that
+        # (true for HammingMetric and subclasses that don't override the
+        # matrix form — fixed_area only changes directory bounds).
+        self._fused = (
+            ckernel.available()
+            and isinstance(metric, HammingMetric)
+            and type(metric).distance_matrix is HammingMetric.distance_matrix
+        )
+        self._tau: np.ndarray | None = None
+        self._filter: "ckernel.HammingFilter | None" = None
+        self._multi: "ckernel.MultiHammingFilter | None" = None
+
+    def bind_thresholds(self, thresholds: np.ndarray) -> None:
+        """Attach the engine's per-query threshold vector.
+
+        The vector is read at every :meth:`leaf_candidates` /
+        :meth:`sweep_many` call — through its buffer on the fused path —
+        so the engine must tighten it strictly in place (never
+        reallocate it).
+        """
+        self._tau = thresholds
+        if self._fused:
+            self._filter = ckernel.HammingFilter(self.qmatrix, thresholds)
+            self._multi = ckernel.MultiHammingFilter(self.qmatrix, thresholds)
+
+    def distances(self, metric: Metric, node, qidx: np.ndarray) -> np.ndarray:
+        """Leaf distances for the still-active queries of a visit."""
+        return metric.distance_matrix(
+            self.qmatrix[qidx], self.qareas[qidx], node.signature_matrix()
+        )
+
+    def leaf_candidates(
+        self, metric: Metric, node, qidx: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Threshold-filtered leaf sweep: ``(rows, cols, distances)``.
+
+        ``rows`` indexes into ``qidx``, ``cols`` into the node's
+        entries; only pairs with ``distance <= thresholds[qidx[row]]``
+        survive.  On the fused path the returned arrays are views into
+        reusable scratch buffers — valid until the next call, so
+        callers that retain them must copy.
+        """
+        if self._filter is not None:
+            # Arena views carry their matrix base address; a mutable
+            # ``Node`` (or a non-native layout) falls through to numpy.
+            ptr = getattr(node, "matrix_ptr", None)
+            if ptr is not None:
+                return self._filter(qidx, ptr, len(node))
+        distances = self.distances(metric, node, qidx)
+        rows, cols = np.nonzero(distances <= self._tau[qidx][:, None])
+        return rows, cols, distances[rows, cols]
+
+    def sweep_many(
+        self, metric: Metric, leaves: "list[tuple[np.ndarray, object]]"
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Threshold-filtered sweep of a whole run of leaves at once.
+
+        ``leaves`` holds ``(qidx, node)`` pairs in pop order.  Returns
+        fully resolved parallel arrays ``(query index, entry ref,
+        distance)`` over every surviving pair of the run.  On the fused
+        path this is a single native call and the arrays are scratch
+        views valid until the next call; the numpy path concatenates
+        per-leaf results.  Both emit the same pairs and float64 values.
+        """
+        multi = self._multi
+        if multi is not None:
+            n_leaves = len(leaves)
+            qns = np.empty(n_leaves, dtype=np.int64)
+            mats = np.empty(n_leaves, dtype=np.uint64)
+            reftabs = np.empty(n_leaves, dtype=np.uint64)
+            brows = np.empty(n_leaves, dtype=np.int64)
+            need = 0
+            parts = []
+            for i, (qidx, node) in enumerate(leaves):
+                mp = getattr(node, "matrix_ptr", None)
+                rp = getattr(node, "refs_ptr", None)
+                if mp is None or rp is None:
+                    break  # a mutable Node or odd layout — numpy path
+                rows = node.refs.shape[0]
+                parts.append(qidx)
+                qns[i] = qidx.size
+                mats[i] = mp
+                reftabs[i] = rp
+                brows[i] = rows
+                need += qidx.size * rows
+            else:
+                qsel = parts[0] if n_leaves == 1 else np.concatenate(parts)
+                return multi(qsel, qns, mats, reftabs, brows, need)
+        qs: list[np.ndarray] = []
+        ts: list[np.ndarray] = []
+        ds: list[np.ndarray] = []
+        for qidx, node in leaves:
+            rows, cols, cand_d = self.leaf_candidates(metric, node, qidx)
+            if rows.size:
+                qs.append(qidx[rows])
+                ts.append(node.entry_refs()[cols])
+                ds.append(cand_d.copy())  # may be scratch-backed
+        if not qs:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty, np.empty(0, dtype=np.float64)
+        return np.concatenate(qs), np.concatenate(ts), np.concatenate(ds)
+
+    def directory_bounds(self, metric: Metric, node, qidx: np.ndarray) -> np.ndarray:
+        """``(|qidx|, E)`` stats-sharpened lower bounds for a directory."""
+        bounds = metric.lower_bound_matrix(
+            self.qmatrix[qidx], self.qareas[qidx], node.signature_matrix()
+        )
+        return _robust_bounds(
+            metric,
+            strengthen_hamming_bounds_matrix(metric, self.qareas[qidx], node, bounds),
+        )
 
 
 def _entry_order(metric: Metric, query: Signature, node) -> tuple[np.ndarray, np.ndarray]:
@@ -404,20 +527,22 @@ def knn_depth_first(
             if deadline is not None:
                 deadline.check()
             if tracer is None:
-                span, node = None, store.get(page_id)
+                span, node = None, store.read(page_id)
             else:
                 span, node = tracer.visit(store, page_id, parent, best.threshold)
-            matrix = node.signature_matrix() if node.entries else None
-            if matrix is None:
+            n_entries = len(node)
+            if not n_entries:
                 return
+            matrix = node.signature_matrix()
+            refs = node.entry_refs()
             if node.is_leaf:
-                active.leaf_entries += len(node.entries)
+                active.leaf_entries += n_entries
                 distances = metric.distance_many(query, matrix)
-                best.offer_many(distances, [e.ref for e in node.entries])
+                best.offer_many(distances, refs)
                 if span is not None:
                     threshold = best.threshold
                     tracer.leaf(
-                        span, len(node.entries),
+                        span, n_entries,
                         int((distances <= threshold).sum()),
                     )
                     tracer.finish(span, threshold)
@@ -427,20 +552,20 @@ def knn_depth_first(
                     for i in order:
                         if bounds[i] > best.threshold:
                             break  # no later entry in the order can do better
-                        visit(node.entries[i].ref)
+                        visit(int(refs[i]))
                 else:
                     pruning = False
                     for i in order:
                         threshold = best.threshold
                         if not pruning and bounds[i] > threshold:
                             pruning = True  # every later entry is worse
+                        ref = int(refs[i])
                         if pruning:
-                            tracer.decide(span, node.entries[i].ref,
-                                          bounds[i], "pruned", threshold)
+                            tracer.decide(span, ref, bounds[i], "pruned", threshold)
                         else:
-                            tracer.decide(span, node.entries[i].ref,
-                                          bounds[i], "descended", threshold)
-                            visit(node.entries[i].ref, span)
+                            tracer.decide(span, ref, bounds[i],
+                                          "descended", threshold)
+                            visit(ref, span)
                     tracer.finish(span, best.threshold)
 
         visit(root_id)
@@ -474,25 +599,28 @@ def knn_best_first(
                 continue
             if deadline is not None:
                 deadline.check()
-            node = store.get(ref)
-            if not node.entries:
+            node = store.read(ref)
+            n_entries = len(node)
+            if not n_entries:
                 continue
             matrix = node.signature_matrix()
+            refs = node.entry_refs()
             if node.is_leaf:
-                active.leaf_entries += len(node.entries)
+                active.leaf_entries += n_entries
                 distances = metric.distance_many(query, matrix)
-                for i, entry in enumerate(node.entries):
+                for i in range(n_entries):
                     heapq.heappush(
                         queue,
-                        (float(distances[i]), 0, next(counter), False, entry.ref),
+                        (float(distances[i]), 0, next(counter), False, int(refs[i])),
                     )
             else:
                 bounds = _directory_bounds(metric, query, node)
                 areas = node.entry_areas()
-                for i, entry in enumerate(node.entries):
+                for i in range(n_entries):
                     heapq.heappush(
                         queue,
-                        (float(bounds[i]), int(areas[i]), next(counter), True, entry.ref),
+                        (float(bounds[i]), int(areas[i]), next(counter), True,
+                         int(refs[i])),
                     )
         return results
 
@@ -528,88 +656,133 @@ def batch_knn(
     n_queries = len(queries)
     if n_queries == 0:
         return []
-    qmatrix, qareas = _stack_queries(queries)
+    ctx = _BatchContext(queries, metric)
     with _StatsScope(store, stats) as active:
-        heaps = [KnnHeap(k) for _ in range(n_queries)]
+        # Running top-k pool, shared by all queries: parallel arrays
+        # sorted by (query, distance, tid), at most k rows per query.
+        # ``thresholds[q]`` is the pool's k-th distance for q (inf while
+        # q has fewer than k candidates) — the same monotonically
+        # tightening bound KnnHeap.threshold exposes, just refreshed per
+        # *fold* instead of per candidate.  Deferring the refresh only
+        # loosens the candidate filter (a stale threshold is an upper
+        # bound on the final one), so the pool can only gain extra
+        # members that the final rank cut removes again: the surviving
+        # top-k per query is the canonical (distance, tid) total-order
+        # top-k — identical to the sequential engines', ties included.
         thresholds = np.full(n_queries, np.inf)
+        ctx.bind_thresholds(thresholds)
+        pool_q = np.empty(0, dtype=np.int64)
+        pool_d = np.empty(0, dtype=np.float64)
+        pool_t = np.empty(0, dtype=np.int64)
+
+        tver = 0  # bumped whenever fold() strictly tightens a threshold
+
+        def fold(q: np.ndarray, d: np.ndarray, t: np.ndarray) -> None:
+            """Fold fresh candidates into the pool; tighten thresholds.
+
+            No pre-filter is needed: candidates were swept against the
+            *current* thresholds moments ago (only fold itself moves
+            them), and a stray above a full query's threshold would be
+            removed by the rank cut anyway.
+            """
+            nonlocal pool_q, pool_d, pool_t, tver
+            q = np.concatenate((pool_q, q))
+            d = np.concatenate((pool_d, d))
+            t = np.concatenate((pool_t, t))
+            order = np.lexsort((t, d, q))
+            q, d, t = q[order], d[order], t[order]
+            # Rank within each query group, then cut to the k best.
+            fresh = np.empty(q.size, dtype=bool)
+            fresh[0] = True
+            np.not_equal(q[1:], q[:-1], out=fresh[1:])
+            starts = np.flatnonzero(fresh)
+            sizes = np.diff(starts, append=q.size)
+            ranks = np.arange(q.size) - np.repeat(starts, sizes)
+            keep = ranks < k
+            pool_q, pool_d, pool_t = q[keep], d[keep], t[keep]
+            full = sizes >= k
+            kth = d[starts[full] + k - 1]
+            kq = q[starts[full]]
+            if np.any(kth < thresholds[kq]):
+                tver += 1
+            thresholds[kq] = kth
+
+        # Consecutive leaf pops accumulate into a run swept by one fused
+        # kernel call; the run drains (sweep + fold) before any directory
+        # expansion, at a size cap, and at the end.  Deferring the sweep
+        # never changes results — only how stale the thresholds are.
+        run: "list[tuple[np.ndarray, object]]" = []
+        run_need = 0
+
+        def drain() -> None:
+            nonlocal run_need
+            if not run:
+                return
+            q, t, d = ctx.sweep_many(metric, run)
+            run.clear()
+            run_need = 0
+            if q.size:
+                fold(q, d, t)
+
         counter = itertools.count()  # tie-break to keep tuples comparable
-        # (min bound, entry area, seq, page id, query indexes, per-query bounds)
-        frontier: list[tuple[float, int, int, int, np.ndarray, np.ndarray]] = []
+        # (min bound, entry area, seq, page id, query indexes,
+        #  per-query bounds, threshold version at push time)
+        frontier: list[tuple[float, int, int, int, np.ndarray, np.ndarray, int]] = []
         heapq.heappush(
             frontier,
             (0.0, 0, next(counter), root_id,
-             np.arange(n_queries), np.zeros(n_queries)),
+             np.arange(n_queries), np.zeros(n_queries), tver),
         )
         while frontier:
-            _bound, _area, _seq, ref, qidx, qbounds = heapq.heappop(frontier)
+            _bound, _area, _seq, ref, qidx, qbounds, ver = heapq.heappop(frontier)
             # Re-check each query's threshold: it may have tightened past
-            # this subtree's bound since the push.
-            qidx = qidx[qbounds <= thresholds[qidx]]
-            if not qidx.size:
-                continue  # pruned for every query — not even fetched
+            # this subtree's bound since the push.  The push-time admit
+            # mask already enforced ``qbounds <= thresholds``, so if no
+            # threshold tightened since (same version) the re-check is a
+            # provable no-op and is skipped.
+            if ver != tver:
+                qidx = qidx[qbounds <= thresholds[qidx]]
+                if not qidx.size:
+                    continue  # pruned for every query — not even fetched
             if deadline is not None:
                 deadline.check()
-            node = store.get(ref)
-            if not node.entries:
+            node = store.read(ref)
+            n_entries = len(node)
+            if not n_entries:
                 continue
-            sub_queries = qmatrix[qidx]
-            sub_areas = qareas[qidx]
             if node.is_leaf:
-                active.leaf_entries += len(node.entries) * qidx.size
-                distances = metric.distance_matrix(
-                    sub_queries, sub_areas, node.signature_matrix()
-                )
-                refs = node.entry_refs()
-                # One sweep over the whole leaf: drop candidates the
-                # current thresholds already reject, then offer the rest
-                # row-grouped in ascending (distance, tid) order with the
-                # same early-out as :meth:`KnnHeap.offer_many`.  The
-                # heap's canonical total order makes the retained set
-                # identical either way.  ``KnnHeap.offer`` is inlined —
-                # it is called once per surviving candidate, and the
-                # method/property dispatch would dominate the sweep.
-                rows, cols = np.nonzero(distances <= thresholds[qidx][:, None])
-                if rows.size:
-                    cand_d = distances[rows, cols]
-                    cand_r = refs[cols]
-                    order = np.lexsort((cand_r, cand_d, rows))
-                    rows_l = rows.tolist()
-                    cand_d_l = cand_d.tolist()
-                    cand_r_l = cand_r.tolist()
-                    qidx_l = qidx.tolist()
-                    exhausted_row = -1
-                    for i in order.tolist():
-                        row = rows_l[i]
-                        if row == exhausted_row:
-                            continue
-                        entries = heaps[qidx_l[row]]._heap
-                        distance = cand_d_l[i]
-                        if len(entries) < k:
-                            heapq.heappush(entries, (-distance, -cand_r_l[i]))
-                            continue
-                        worst = entries[0]
-                        if distance > -worst[0]:
-                            exhausted_row = row  # later candidates are worse
-                            continue
-                        candidate = (-distance, -cand_r_l[i])
-                        if candidate > worst:  # i.e. (distance, tid) < worst
-                            heapq.heapreplace(entries, candidate)
-                    for row in set(rows_l):
-                        q = qidx_l[row]
-                        thresholds[q] = heaps[q].threshold
+                active.leaf_entries += n_entries * qidx.size
+                run.append((qidx, node))
+                run_need += n_entries * qidx.size
+                # Small runs while thresholds are still infinite (every
+                # swept pair is emitted and sorted); long runs once the
+                # first fold tightened them and sweeps emit few pairs.
+                if run_need >= (2048 if tver == 0 else 24576):
+                    drain()
             else:
-                bounds = _batch_directory_bounds(metric, sub_queries, sub_areas, node)
+                # Directory admit masks want reasonably tight thresholds,
+                # but folding a near-empty run costs more than the few
+                # extra (pop-time re-checked) children a slightly stale
+                # mask admits — only drain when the run is substantial.
+                if run_need >= 2048:
+                    drain()
+                bounds = ctx.directory_bounds(metric, node, qidx)
                 admit = bounds <= thresholds[qidx][:, None]
                 areas = node.entry_areas()
+                refs = node.entry_refs()
                 for j in np.flatnonzero(admit.any(axis=0)):
                     mask = admit[:, j]
                     child_bounds = bounds[mask, j]
                     heapq.heappush(
                         frontier,
                         (float(child_bounds.min()), int(areas[j]), next(counter),
-                         node.entries[j].ref, qidx[mask], child_bounds),
+                         int(refs[j]), qidx[mask], child_bounds, tver),
                     )
-        return [heap.results() for heap in heaps]
+        drain()
+        results: list[list[Neighbor]] = [[] for _ in range(n_queries)]
+        for q, d, t in zip(pool_q.tolist(), pool_d.tolist(), pool_t.tolist()):
+            results[q].append(Neighbor(d, t))
+        return results
 
 
 def batch_range(
@@ -638,11 +811,14 @@ def batch_range(
             f"epsilon must be a scalar or one value per query; "
             f"got shape {eps.shape} for {n_queries} queries"
         )
+    else:
+        eps = np.ascontiguousarray(eps)
     if np.any(eps < 0):
         raise ValueError("epsilon must be non-negative")
     if n_queries == 0:
         return []
-    qmatrix, qareas = _stack_queries(queries)
+    ctx = _BatchContext(queries, metric)
+    ctx.bind_thresholds(eps)
     with _StatsScope(store, stats) as active:
         results: list[list[Neighbor]] = [[] for _ in range(n_queries)]
         stack: list[tuple[int, np.ndarray]] = [(root_id, np.arange(n_queries))]
@@ -650,26 +826,27 @@ def batch_range(
             ref, qidx = stack.pop()
             if deadline is not None:
                 deadline.check()
-            node = store.get(ref)
-            if not node.entries:
+            node = store.read(ref)
+            n_entries = len(node)
+            if not n_entries:
                 continue
-            sub_queries = qmatrix[qidx]
-            sub_areas = qareas[qidx]
+            refs = node.entry_refs()
             if node.is_leaf:
-                active.leaf_entries += len(node.entries) * qidx.size
-                distances = metric.distance_matrix(
-                    sub_queries, sub_areas, node.signature_matrix()
-                )
-                rows, cols = np.nonzero(distances <= eps[qidx][:, None])
-                for row, col in zip(rows.tolist(), cols.tolist()):
-                    results[int(qidx[row])].append(
-                        Neighbor(float(distances[row, col]), node.entries[col].ref)
+                active.leaf_entries += n_entries * qidx.size
+                rows, cols, cand_d = ctx.leaf_candidates(metric, node, qidx)
+                qidx_l = qidx.tolist()
+                refs_l = refs.tolist()
+                for row, col, distance in zip(
+                    rows.tolist(), cols.tolist(), cand_d.tolist()
+                ):
+                    results[qidx_l[row]].append(
+                        Neighbor(distance, refs_l[col])
                     )
             else:
-                bounds = _batch_directory_bounds(metric, sub_queries, sub_areas, node)
+                bounds = ctx.directory_bounds(metric, node, qidx)
                 admit = bounds <= eps[qidx][:, None]
                 for j in np.flatnonzero(admit.any(axis=0)):
-                    stack.append((node.entries[j].ref, qidx[admit[:, j]]))
+                    stack.append((int(refs[j]), qidx[admit[:, j]]))
         return [sorted(result) for result in results]
 
 
@@ -709,24 +886,28 @@ def browse(
             flush_stats()
             yield Neighbor(bound, ref)
             continue
-        node = store.get(ref)
-        if not node.entries:
+        node = store.read(ref)
+        n_entries = len(node)
+        if not n_entries:
             continue
         matrix = node.signature_matrix()
+        refs = node.entry_refs()
         if node.is_leaf:
-            active.leaf_entries += len(node.entries)
+            active.leaf_entries += n_entries
             distances = metric.distance_many(query, matrix)
-            for i, entry in enumerate(node.entries):
+            for i in range(n_entries):
                 heapq.heappush(
-                    queue, (float(distances[i]), 0, next(counter), False, entry.ref)
+                    queue, (float(distances[i]), 0, next(counter), False,
+                            int(refs[i]))
                 )
         else:
             bounds = _directory_bounds(metric, query, node)
             areas = node.entry_areas()
-            for i, entry in enumerate(node.entries):
+            for i in range(n_entries):
                 heapq.heappush(
                     queue,
-                    (float(bounds[i]), int(areas[i]), next(counter), True, entry.ref),
+                    (float(bounds[i]), int(areas[i]), next(counter), True,
+                     int(refs[i])),
                 )
     flush_stats()
 
@@ -778,23 +959,26 @@ def range_count(
         stack = [root_id]
         use_shortcut = metric.name == "hamming" and getattr(metric, "fixed_area", None) is None
         while stack:
-            node = store.get(stack.pop())
-            if not node.entries:
+            node = store.read(stack.pop())
+            n_entries = len(node)
+            if not n_entries:
                 continue
             if node.is_leaf:
-                active.leaf_entries += len(node.entries)
+                active.leaf_entries += n_entries
                 distances = metric.distance_many(query, node.signature_matrix())
                 total += int((distances <= epsilon).sum())
                 continue
             lows = _directory_bounds(metric, query, node)
             ups = _hamming_upper_bounds(query, node) if use_shortcut else None
-            for i, entry in enumerate(node.entries):
+            refs = node.entry_refs()
+            counts = node.entry_counts()
+            for i in range(n_entries):
                 if lows[i] > epsilon:
                     continue
-                if ups is not None and entry.count is not None and ups[i] <= epsilon:
-                    total += entry.count  # whole subtree qualifies, unvisited
+                if ups is not None and counts is not None and ups[i] <= epsilon:
+                    total += int(counts[i])  # whole subtree qualifies, unvisited
                 else:
-                    stack.append(entry.ref)
+                    stack.append(int(refs[i]))
         return total
 
 
@@ -833,11 +1017,12 @@ def range_count_bounds(
                 high += pending_count if pending_count is not None else database_size
                 continue
             visited += 1
-            node = store.get(page_id)
-            if not node.entries:
+            node = store.read(page_id)
+            n_entries = len(node)
+            if not n_entries:
                 continue
             if node.is_leaf:
-                active.leaf_entries += len(node.entries)
+                active.leaf_entries += n_entries
                 distances = metric.distance_many(query, node.signature_matrix())
                 qualifying = int((distances <= epsilon).sum())
                 low += qualifying
@@ -845,14 +1030,19 @@ def range_count_bounds(
                 continue
             lows = _directory_bounds(metric, query, node)
             ups = _hamming_upper_bounds(query, node) if use_shortcut else None
-            for i, entry in enumerate(node.entries):
+            refs = node.entry_refs()
+            counts = node.entry_counts()
+            for i in range(n_entries):
                 if lows[i] > epsilon:
                     continue  # provably zero
-                if ups is not None and entry.count is not None and ups[i] <= epsilon:
-                    low += entry.count
-                    high += entry.count
+                if ups is not None and counts is not None and ups[i] <= epsilon:
+                    low += int(counts[i])
+                    high += int(counts[i])
                 else:
-                    stack.append((entry.ref, entry.count))
+                    stack.append(
+                        (int(refs[i]),
+                         int(counts[i]) if counts is not None else None)
+                    )
         return low, high
 
 
@@ -878,24 +1068,25 @@ def constrained_nearest(
         required_words = required.words
 
         def visit(page_id: PageId) -> None:
-            node = store.get(page_id)
-            if not node.entries:
+            node = store.read(page_id)
+            if not len(node):
                 return
             matrix = node.signature_matrix()
+            refs = node.entry_refs()
             covered = np.atleast_1d(bitops.contains(matrix, required_words))
             if node.is_leaf:
-                active.leaf_entries += len(node.entries)
+                active.leaf_entries += len(node)
                 hits = np.flatnonzero(covered)
                 if hits.size:
                     distances = metric.distance_many(query, matrix[hits])
-                    best.offer_many(distances, [node.entries[i].ref for i in hits])
+                    best.offer_many(distances, refs[hits])
             else:
                 bounds, order = _entry_order(metric, query, node)
                 for i in order:
                     if bounds[i] > best.threshold:
                         break
                     if covered[i]:
-                        visit(node.entries[i].ref)
+                        visit(int(refs[i]))
 
         visit(root_id)
         return best.results()
@@ -946,12 +1137,13 @@ def nearest_all(
 
         def visit(page_id: PageId) -> None:
             nonlocal best_distance, best
-            node = store.get(page_id)
-            if not node.entries:
+            node = store.read(page_id)
+            if not len(node):
                 return
             matrix = node.signature_matrix()
+            refs = node.entry_refs()
             if node.is_leaf:
-                active.leaf_entries += len(node.entries)
+                active.leaf_entries += len(node)
                 distances = metric.distance_many(query, matrix)
                 candidates = np.flatnonzero(distances <= best_distance)
                 order = candidates[np.argsort(distances[candidates], kind="stable")]
@@ -959,15 +1151,15 @@ def nearest_all(
                     distance = float(distances[i])
                     if distance < best_distance:
                         best_distance = distance
-                        best = [Neighbor(distance, node.entries[i].ref)]
+                        best = [Neighbor(distance, int(refs[i]))]
                     elif distance == best_distance:
-                        best.append(Neighbor(distance, node.entries[i].ref))
+                        best.append(Neighbor(distance, int(refs[i])))
             else:
                 bounds, order = _entry_order(metric, query, node)
                 for i in order:
                     if bounds[i] > best_distance:
                         break
-                    visit(node.entries[i].ref)
+                    visit(int(refs[i]))
 
         visit(root_id)
         return sorted(best)
@@ -999,34 +1191,37 @@ def range_search(
             if deadline is not None:
                 deadline.check()
             if tracer is None:
-                span, node = None, store.get(page_id)
+                span, node = None, store.read(page_id)
             else:
                 span, node = tracer.visit(store, page_id, parent, epsilon)
-            if not node.entries:
+            n_entries = len(node)
+            if not n_entries:
                 continue
             matrix = node.signature_matrix()
+            refs = node.entry_refs()
             if node.is_leaf:
-                active.leaf_entries += len(node.entries)
+                active.leaf_entries += n_entries
                 distances = metric.distance_many(query, matrix)
                 hits = np.flatnonzero(distances <= epsilon)
                 for i in hits:
-                    results.append(Neighbor(float(distances[i]), node.entries[i].ref))
+                    results.append(Neighbor(float(distances[i]), int(refs[i])))
                 if span is not None:
-                    tracer.leaf(span, len(node.entries), len(hits))
+                    tracer.leaf(span, n_entries, len(hits))
                     tracer.finish(span, epsilon)
             else:
                 bounds = _directory_bounds(metric, query, node)
                 if span is None:
                     for i in np.flatnonzero(bounds <= epsilon):
-                        stack.append((node.entries[i].ref, None))
+                        stack.append((int(refs[i]), None))
                 else:
-                    for i, entry in enumerate(node.entries):
+                    for i in range(n_entries):
+                        ref = int(refs[i])
                         if bounds[i] <= epsilon:
-                            tracer.decide(span, entry.ref, bounds[i],
+                            tracer.decide(span, ref, bounds[i],
                                           "descended", epsilon)
-                            stack.append((entry.ref, span))
+                            stack.append((ref, span))
                         else:
-                            tracer.decide(span, entry.ref, bounds[i],
+                            tracer.decide(span, ref, bounds[i],
                                           "pruned", epsilon)
                     tracer.finish(span, epsilon)
         return sorted(results)
@@ -1058,32 +1253,35 @@ def containment_search(
             if deadline is not None:
                 deadline.check()
             if tracer is None:
-                span, node = None, store.get(page_id)
+                span, node = None, store.read(page_id)
             else:
                 span, node = tracer.visit(store, page_id, parent, 0.0)
-            if not node.entries:
+            n_entries = len(node)
+            if not n_entries:
                 continue
             matrix = node.signature_matrix()
+            refs = node.entry_refs()
             covered = np.atleast_1d(bitops.contains(matrix, query_words))
             if node.is_leaf:
-                active.leaf_entries += len(node.entries)
+                active.leaf_entries += n_entries
                 hits = np.flatnonzero(covered)
-                results.extend(node.entries[i].ref for i in hits)
+                results.extend(refs[hits].tolist())
                 if span is not None:
-                    tracer.leaf(span, len(node.entries), len(hits))
+                    tracer.leaf(span, n_entries, len(hits))
                     tracer.finish(span, 0.0)
             else:
                 if span is None:
                     stack.extend(
-                        (node.entries[i].ref, None) for i in np.flatnonzero(covered)
+                        (int(refs[i]), None) for i in np.flatnonzero(covered)
                     )
                 else:
-                    for i, entry in enumerate(node.entries):
+                    for i in range(n_entries):
+                        ref = int(refs[i])
                         if covered[i]:
-                            tracer.decide(span, entry.ref, 0.0, "descended", 0.0)
-                            stack.append((entry.ref, span))
+                            tracer.decide(span, ref, 0.0, "descended", 0.0)
+                            stack.append((ref, span))
                         else:
-                            tracer.decide(span, entry.ref, 1.0, "pruned", 0.0)
+                            tracer.decide(span, ref, 1.0, "pruned", 0.0)
                     tracer.finish(span, 0.0)
         return sorted(results)
 
@@ -1107,18 +1305,17 @@ def subset_search(
         stack = [root_id]
         query_words = query.words
         while stack:
-            node = store.get(stack.pop())
-            if not node.entries:
+            node = store.read(stack.pop())
+            if not len(node):
                 continue
+            refs = node.entry_refs()
             if node.is_leaf:
-                active.leaf_entries += len(node.entries)
+                active.leaf_entries += len(node)
                 matrix = node.signature_matrix()
-                is_subset = bitops.contains(query_words, matrix)
-                for i, entry in enumerate(node.entries):
-                    if is_subset[i]:
-                        results.append(entry.ref)
+                is_subset = np.atleast_1d(bitops.contains(query_words, matrix))
+                results.extend(refs[is_subset].tolist())
             else:
-                stack.extend(entry.ref for entry in node.entries)
+                stack.extend(refs.tolist())
         return sorted(results)
 
 
@@ -1138,19 +1335,16 @@ def equality_search(
         stack = [root_id]
         query_words = query.words
         while stack:
-            node = store.get(stack.pop())
-            if not node.entries:
+            node = store.read(stack.pop())
+            if not len(node):
                 continue
             matrix = node.signature_matrix()
+            refs = node.entry_refs()
             if node.is_leaf:
-                active.leaf_entries += len(node.entries)
-                matches = bitops.equal(matrix, query_words)
-                for i, entry in enumerate(node.entries):
-                    if matches[i]:
-                        results.append(entry.ref)
+                active.leaf_entries += len(node)
+                matches = np.atleast_1d(bitops.equal(matrix, query_words))
+                results.extend(refs[matches].tolist())
             else:
-                covered = bitops.contains(matrix, query_words)
-                for i, entry in enumerate(node.entries):
-                    if covered[i]:
-                        stack.append(entry.ref)
+                covered = np.atleast_1d(bitops.contains(matrix, query_words))
+                stack.extend(refs[covered].tolist())
         return sorted(results)

@@ -1,0 +1,287 @@
+"""Zero-copy decoded-node views and the generation-keyed arena cache.
+
+Profiling the batched engine showed the hot path had become *decode*
+cost, not I/O: every node visit re-parsed page bytes (or re-walked
+``Entry`` objects) into the matrices the vectorised kernels consume.
+This module makes a node access a slice view instead of a parse:
+
+* :class:`DecodedNode` is an immutable, array-backed view of one node —
+  the ``(E, n_words)`` uint64 signature matrix plus parallel entry
+  areas/refs/statistics vectors, shared (not copied) with whatever
+  decoded them.  It mirrors the read-side API of
+  :class:`~repro.sgtree.node.Node`, so search engines consume either
+  interchangeably.
+* :class:`DecodedNodeCache` owns the views, keyed by
+  ``(generation, page_id)`` with an LRU budget sized in **entries** (the
+  natural unit: a view's footprint is proportional to its entry count).
+  The generation key makes snapshot hot-swap cheap: bumping the
+  generation orphans every old view at once — readers that drained
+  before the bump never observe a stale node, and the arrays are freed
+  as soon as the old generation is dropped.
+
+Coherence: a cached view must die with its node's byte image.  The
+store wires an invalidation hook into each viewed ``Node`` so that any
+mutation (``add``/``remove_at``/``replace_entries`` →
+``Node.invalidate()``), dirtying, or page free drops the view in the
+same breath.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import OrderedDict
+
+import numpy as np
+
+from .buffer import BufferStats
+from .page import PageId
+
+_generations = itertools.count(1)
+
+
+def next_generation() -> int:
+    """A process-unique, monotonically increasing generation id."""
+    return next(_generations)
+
+
+class DecodedNode:
+    """An immutable array view of one node, shared with its decoder.
+
+    All arrays are marked read-only: a view may be served to any number
+    of concurrent readers, and its signature rows may be wrapped into
+    :class:`~repro.core.signature.Signature` objects without copying
+    (the ``Signature`` constructor adopts non-writeable arrays as-is).
+
+    ``mins``/``maxs``/``counts`` are the Section-6 per-entry statistics
+    (``None`` when absent, e.g. leaves).
+    """
+
+    __slots__ = (
+        "page_id", "level", "n_bits",
+        "matrix", "areas", "refs", "mins", "maxs", "counts",
+        "matrix_ptr", "refs_ptr",
+    )
+
+    def __init__(
+        self,
+        page_id: PageId,
+        level: int,
+        n_bits: int,
+        matrix: np.ndarray,
+        areas: np.ndarray,
+        refs: np.ndarray,
+        mins: np.ndarray | None = None,
+        maxs: np.ndarray | None = None,
+        counts: np.ndarray | None = None,
+    ):
+        self.page_id = page_id
+        self.level = level
+        self.n_bits = n_bits
+        self.matrix = matrix
+        self.areas = areas
+        self.refs = refs
+        self.mins = mins
+        self.maxs = maxs
+        self.counts = counts
+        for array in (matrix, areas, refs, mins, maxs, counts):
+            if array is not None:
+                array.setflags(write=False)
+        # Raw base addresses of the signature matrix and entry-ref
+        # vector, cached because ndarray.ctypes is surprisingly
+        # expensive and the compiled leaf filters want them on every
+        # visit.  None for layouts the native kernels cannot consume.
+        self.matrix_ptr = (
+            matrix.ctypes.data if matrix.flags.c_contiguous else None
+        )
+        self.refs_ptr = (
+            refs.ctypes.data
+            if refs.flags.c_contiguous and refs.dtype == np.int64
+            else None
+        )
+
+    @classmethod
+    def from_node(cls, node, n_bits: int) -> "DecodedNode":
+        """View an in-memory ``Node`` (shares its lazy caches, no copy)."""
+        if len(node.entries) == 0:
+            width = 0
+            return cls(
+                node.page_id, node.level, n_bits,
+                np.zeros((0, width), dtype=np.uint64),
+                np.zeros(0, dtype=np.int64),
+                np.zeros(0, dtype=np.int64),
+            )
+        ranges = node.area_ranges()
+        mins, maxs = ranges if ranges is not None else (None, None)
+        counts = None
+        if not node.is_leaf:
+            raw = [entry.count for entry in node.entries]
+            if all(count is not None for count in raw):
+                counts = np.asarray(raw, dtype=np.int64)
+        return cls(
+            node.page_id, node.level, n_bits,
+            node.signature_matrix(), node.entry_areas(), node.entry_refs(),
+            mins=mins, maxs=maxs, counts=counts,
+        )
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.level == 0
+
+    def __len__(self) -> int:
+        return self.refs.shape[0]
+
+    # -- Node read-API mirror (engines are polymorphic over both) ----------
+
+    def signature_matrix(self) -> np.ndarray:
+        if self.matrix.shape[0] == 0:
+            raise ValueError(f"node {self.page_id} has no entries")
+        return self.matrix
+
+    def entry_areas(self) -> np.ndarray:
+        return self.areas
+
+    def entry_refs(self) -> np.ndarray:
+        return self.refs
+
+    def entry_counts(self) -> np.ndarray | None:
+        return self.counts
+
+    def area_ranges(self) -> "tuple[np.ndarray, np.ndarray] | None":
+        if self.mins is None or self.maxs is None:
+            return None
+        return self.mins, self.maxs
+
+    @property
+    def nbytes(self) -> int:
+        total = self.matrix.nbytes + self.areas.nbytes + self.refs.nbytes
+        for array in (self.mins, self.maxs, self.counts):
+            if array is not None:
+                total += array.nbytes
+        return total
+
+    def __repr__(self) -> str:
+        kind = "leaf" if self.is_leaf else f"dir(level={self.level})"
+        return f"DecodedNode(page={self.page_id}, {kind}, entries={len(self)})"
+
+
+class DecodedNodeCache:
+    """LRU cache of :class:`DecodedNode` views keyed by (generation, page).
+
+    ``max_entries`` bounds the summed entry counts of the cached views
+    (``None`` = unbounded, ``0`` = disabled).  Hits, misses, evictions
+    and the live entry/byte footprint feed the ``decode_cache_*``
+    telemetry series.
+    """
+
+    def __init__(self, max_entries: int | None = None):
+        if max_entries is not None and max_entries < 0:
+            raise ValueError(f"max_entries must be >= 0 or None, got {max_entries}")
+        self._views: "OrderedDict[tuple[int, PageId], DecodedNode]" = OrderedDict()
+        self._max_entries = max_entries
+        self._entries = 0
+        self.stats = BufferStats()
+
+    @property
+    def max_entries(self) -> int | None:
+        return self._max_entries
+
+    @property
+    def entries(self) -> int:
+        """Summed entry count of the cached views."""
+        return self._entries
+
+    def __len__(self) -> int:
+        return len(self._views)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(view.nbytes for view in self._views.values())
+
+    def get(self, generation: int, page_id: PageId) -> DecodedNode | None:
+        """Look a view up, counting the hit/miss and touching the LRU."""
+        view = self._views.get((generation, page_id))
+        if view is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        self._views.move_to_end((generation, page_id))
+        return view
+
+    def peek(self, generation: int, page_id: PageId) -> DecodedNode | None:
+        """Look a view up without touching counters or recency.
+
+        An introspection helper (tests, assertions): it never perturbs
+        the hit/miss statistics or the LRU order the way :meth:`get`
+        does.
+        """
+        return self._views.get((generation, page_id))
+
+    def put(self, generation: int, page_id: PageId, view: DecodedNode) -> None:
+        cost = max(1, len(view))
+        if self._max_entries is not None:
+            if self._max_entries == 0:
+                return
+            while self._entries + cost > self._max_entries and self._views:
+                self._evict_one()
+        key = (generation, page_id)
+        old = self._views.pop(key, None)
+        if old is not None:
+            self._entries -= max(1, len(old))
+        self._views[key] = view
+        self._entries += cost
+
+    def discard(self, key: "tuple[int, PageId]") -> None:
+        """Drop one view (mutation/free invalidation hook)."""
+        view = self._views.pop(key, None)
+        if view is not None:
+            self._entries -= max(1, len(view))
+
+    def drop_generation(self, generation: int) -> int:
+        """Drop every view of one generation; returns how many died.
+
+        This is the hot-swap path: the swapped-out tree's generation is
+        retired wholesale, releasing the old arena memory in one sweep.
+        """
+        doomed = [key for key in self._views if key[0] == generation]
+        for key in doomed:
+            self.discard(key)
+        return len(doomed)
+
+    def clear(self) -> None:
+        self._views.clear()
+        self._entries = 0
+
+    def resize(self, max_entries: int | None) -> None:
+        """Change the entry budget at runtime, evicting if shrinking."""
+        if max_entries is not None and max_entries < 0:
+            raise ValueError(f"max_entries must be >= 0 or None, got {max_entries}")
+        self._max_entries = max_entries
+        if max_entries is not None:
+            while self._entries > max_entries and self._views:
+                self._evict_one()
+
+    def register_metrics(self, registry, **labels: str) -> None:
+        """Publish ``decode_cache_*`` series through a metrics registry.
+
+        Pull model like every other stats object here: the hot path
+        keeps bumping plain ints, the registry reads them at scrape
+        time, so caching stays inside the telemetry-overhead budget.
+        """
+        self.stats.register_metrics(registry, prefix="decode_cache", **labels)
+        labelnames = tuple(sorted(labels))
+        registry.gauge(
+            "decode_cache_entries",
+            "Summed entry count of cached decoded-node views", labelnames,
+        ).labels(**labels).set_function(lambda: self._entries)
+        registry.gauge(
+            "decode_cache_bytes",
+            "Resident bytes of cached decoded-node views", labelnames,
+        ).labels(**labels).set_function(lambda: self.nbytes)
+
+    def _evict_one(self) -> None:
+        _, view = self._views.popitem(last=False)
+        self._entries -= max(1, len(view))
+        self.stats.evictions += 1
+
+
+__all__ = ["DecodedNode", "DecodedNodeCache", "next_generation"]

@@ -43,26 +43,31 @@ class BufferStats:
         self.evictions = 0
         self.writebacks = 0
 
-    def register_metrics(self, registry, **labels: str) -> None:
+    def register_metrics(
+        self, registry, prefix: str = "buffer", **labels: str
+    ) -> None:
         """Expose these counters through a metrics registry (pull model).
 
         The pool keeps incrementing plain ints on the hot path; the
         registry reads them via callbacks only at scrape time.  The
-        derived hit ratio is published as a gauge.
+        derived hit ratio is published as a gauge.  ``prefix`` names the
+        series family — the decoded-node arena reuses these counters as
+        ``decode_cache_*``.
         """
         labelnames = tuple(sorted(labels))
         for name, help_text, attr in (
-            ("buffer_hits_total", "Accesses served from a frame", "hits"),
-            ("buffer_misses_total", "Accesses that faulted a page", "misses"),
-            ("buffer_evictions_total", "Frames reclaimed", "evictions"),
-            ("buffer_writebacks_total", "Dirty frames written back",
+            (f"{prefix}_hits_total", "Accesses served from a frame", "hits"),
+            (f"{prefix}_misses_total", "Accesses that faulted a page",
+             "misses"),
+            (f"{prefix}_evictions_total", "Frames reclaimed", "evictions"),
+            (f"{prefix}_writebacks_total", "Dirty frames written back",
              "writebacks"),
         ):
             registry.counter(name, help_text, labelnames).labels(
                 **labels
             ).set_function(lambda attr=attr: getattr(self, attr))
         registry.gauge(
-            "buffer_hit_ratio", "Buffer hit ratio (0 while idle)", labelnames
+            f"{prefix}_hit_ratio", "Hit ratio (0 while idle)", labelnames
         ).labels(**labels).set_function(lambda: self.hit_ratio)
 
 

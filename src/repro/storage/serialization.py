@@ -22,6 +22,8 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..core import bitops
 from ..core.signature import Signature
 from ..errors import NodeDecodeError
@@ -156,6 +158,90 @@ def _decode_node(data: bytes, n_bits: int) -> NodeImage:
     return NodeImage(is_leaf=is_leaf, level=level, entries=entries, stats=stats)
 
 
+@dataclass(frozen=True)
+class NodeArrays:
+    """A node decoded straight to kernel-ready arrays (no objects).
+
+    The array twin of :class:`NodeImage`: ``matrix`` is the
+    ``(n_entries, n_words)`` uint64 signature matrix, ``refs`` the
+    parallel int64 ref vector, and ``mins``/``maxs``/``counts`` the
+    per-entry statistics vectors (``None`` when the page carries no
+    statistics flag).
+    """
+
+    is_leaf: bool
+    level: int
+    refs: np.ndarray
+    matrix: np.ndarray
+    mins: np.ndarray | None = None
+    maxs: np.ndarray | None = None
+    counts: np.ndarray | None = None
+
+
+def decode_node_arrays(data: bytes, n_bits: int) -> NodeArrays | None:
+    """Decode an uncompressed node page straight to arrays.
+
+    The fast path behind the decoded-node arena: it walks the entry
+    varints once, then gathers every raw signature bitmap in a single
+    vectorised slice — no per-entry ``Signature``/``Entry`` objects, no
+    per-entry byte copies.  Returns ``None`` for pages using the
+    Section-3.2 compressed encoding (callers fall back to
+    :func:`decode_node`).  Framing violations raise
+    :class:`~repro.errors.NodeDecodeError` exactly like
+    :func:`decode_node`, including non-zero bits past ``n_bits`` in the
+    tail word.
+    """
+    try:
+        if len(data) < 2:
+            raise ValueError(f"node page too short: {len(data)} bytes")
+        flags = data[0]
+        if flags & _FLAG_COMPRESSED:
+            return None
+        level = data[1]
+        is_leaf = bool(flags & _FLAG_LEAF)
+        has_stats = bool(flags & _FLAG_STATS)
+        count, offset = read_varint(data, 2)
+        raw_width = bitops.n_words(n_bits) * 8
+        refs = np.empty(count, dtype=np.int64)
+        if has_stats:
+            mins = np.empty(count, dtype=np.int64)
+            maxs = np.empty(count, dtype=np.int64)
+            counts = np.empty(count, dtype=np.int64)
+        else:
+            mins = maxs = counts = None
+        sig_offsets = np.empty(count, dtype=np.int64)
+        for index in range(count):
+            refs[index], offset = read_varint(data, offset)
+            if has_stats:
+                mins[index], offset = read_varint(data, offset)
+                maxs[index], offset = read_varint(data, offset)
+                counts[index], offset = read_varint(data, offset)
+            sig_offsets[index] = offset
+            offset += raw_width
+        if offset != len(data):
+            raise ValueError(
+                f"{len(data) - offset} trailing bytes after {count} entries"
+            )
+        raw = np.frombuffer(data, dtype=np.uint8)
+        gathered = raw[sig_offsets[:, None] + np.arange(raw_width)]
+        matrix = np.ascontiguousarray(gathered).view("<u8").astype(
+            np.uint64, copy=False
+        )
+        tail_bits = n_bits % bitops.WORD_BITS
+        if count and tail_bits:
+            mask = ~((np.uint64(1) << np.uint64(tail_bits)) - np.uint64(1))
+            if np.any(matrix[:, -1] & mask):
+                raise ValueError(f"bits set past n_bits={n_bits} in tail word")
+        return NodeArrays(
+            is_leaf=is_leaf, level=level, refs=refs, matrix=matrix,
+            mins=mins, maxs=maxs, counts=counts,
+        )
+    except NodeDecodeError:
+        raise
+    except (ValueError, struct.error, IndexError) as exc:
+        raise NodeDecodeError(str(exc)) from exc
+
+
 def max_entry_size(n_bits: int, compress: bool = False) -> int:
     """Worst-case serialised size of one entry.
 
@@ -186,9 +272,11 @@ def capacity_for_page(page_size: int, n_bits: int, compress: bool = False) -> in
 
 __all__ = [
     "NodeImage",
+    "NodeArrays",
     "NodeDecodeError",
     "encode_node",
     "decode_node",
+    "decode_node_arrays",
     "write_varint",
     "read_varint",
     "max_entry_size",

@@ -1,0 +1,184 @@
+"""Compiled popcount kernels vs their numpy reference implementations.
+
+The numpy kernels in :mod:`repro.core.bitops` remain the reference; the
+compiled C twins must be bit-identical on random inputs, including the
+fused threshold filters the batched engines call.  Everything here
+skips when the host has no working C toolchain — the library must stay
+fully functional without one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ckernel
+
+pytestmark = pytest.mark.skipif(
+    not ckernel.available(), reason="no compiled kernels on this host"
+)
+
+OPS = {
+    ckernel.OP_XOR: np.bitwise_xor,
+    ckernel.OP_AND: np.bitwise_and,
+    ckernel.OP_OR: np.bitwise_or,
+    ckernel.OP_ANDNOT: lambda a, b: np.bitwise_and(a, np.bitwise_not(b)),
+}
+
+
+def popcount(matrix: np.ndarray) -> np.ndarray:
+    bits = np.unpackbits(matrix.view(np.uint8), axis=-1)
+    return bits.reshape(*matrix.shape, 64).sum(axis=-1).sum(axis=-1)
+
+
+def random_words(rng, rows: int, width: int) -> np.ndarray:
+    return rng.integers(0, 2**64, size=(rows, width), dtype=np.uint64)
+
+
+class TestCrossCount:
+    @pytest.mark.parametrize("op", sorted(OPS))
+    @pytest.mark.parametrize("width", [1, 2, 3, 7])
+    def test_matches_numpy_reference(self, op, width):
+        rng = np.random.default_rng(op * 10 + width)
+        a = random_words(rng, 13, width)
+        b = random_words(rng, 9, width)
+        got = ckernel.cross_count(op, a, b)
+        expected = np.empty((13, 9), dtype=np.int64)
+        combine = OPS[op]
+        for i in range(13):
+            for j in range(9):
+                expected[i, j] = popcount(combine(a[i:i + 1], b[j:j + 1]))[0]
+        np.testing.assert_array_equal(got, expected)
+        assert got.dtype == np.int64
+
+    def test_extreme_words(self):
+        a = np.array([[0, 2**64 - 1], [2**63, 1]], dtype=np.uint64)
+        b = np.array([[2**64 - 1, 0]], dtype=np.uint64)
+        got = ckernel.cross_count(ckernel.OP_XOR, a, b)
+        assert got[0, 0] == 128  # all 128 bits differ
+        assert got[1, 0] == 64   # 63 flipped in word 0, 1 in word 1
+
+
+class TestHammingFilter:
+    def _reference(self, qmatrix, qsel, thresholds, node):
+        """The numpy path: emit (row, entry, distance) under threshold."""
+        rows, cols, dists = [], [], []
+        for row, gq in enumerate(qsel):
+            diff = np.bitwise_xor(node, qmatrix[gq][None, :])
+            d = popcount(diff).astype(np.float64)
+            keep = np.nonzero(d <= thresholds[gq])[0]
+            rows.extend([row] * len(keep))
+            cols.extend(keep.tolist())
+            dists.extend(d[keep].tolist())
+        return (
+            np.asarray(rows, dtype=np.int64),
+            np.asarray(cols, dtype=np.int64),
+            np.asarray(dists, dtype=np.float64),
+        )
+
+    def test_matches_numpy_reference(self):
+        rng = np.random.default_rng(7)
+        width = 3
+        qmatrix = random_words(rng, 8, width)
+        node = random_words(rng, 20, width)
+        thresholds = rng.uniform(60, 110, size=8)
+        qsel = np.array([0, 3, 5, 7], dtype=np.int64)
+        kernel = ckernel.HammingFilter(qmatrix, thresholds)
+        got_q, got_e, got_d = kernel(qsel, node.ctypes.data, node.shape[0])
+        exp_q, exp_e, exp_d = self._reference(qmatrix, qsel, thresholds, node)
+        np.testing.assert_array_equal(got_q, exp_q)
+        np.testing.assert_array_equal(got_e, exp_e)
+        np.testing.assert_array_equal(got_d, exp_d)
+
+    def test_observes_in_place_threshold_tightening(self):
+        rng = np.random.default_rng(11)
+        qmatrix = random_words(rng, 2, 2)
+        node = random_words(rng, 12, 2)
+        thresholds = np.full(2, np.inf)
+        qsel = np.arange(2, dtype=np.int64)
+        kernel = ckernel.HammingFilter(qmatrix, thresholds)
+        _, _, loose = kernel(qsel, node.ctypes.data, 12)
+        assert loose.size == 24  # inf keeps every pair
+        thresholds[:] = -1.0     # tighten through the bound buffer
+        got_q, _, _ = kernel(qsel, node.ctypes.data, 12)
+        assert got_q.size == 0
+
+    def test_output_buffers_grow_on_demand(self):
+        rng = np.random.default_rng(13)
+        qmatrix = random_words(rng, 64, 2)
+        node = random_words(rng, 200, 2)
+        thresholds = np.full(64, np.inf)
+        kernel = ckernel.HammingFilter(qmatrix, thresholds)
+        qsel = np.arange(64, dtype=np.int64)
+        got_q, got_e, got_d = kernel(qsel, node.ctypes.data, 200)
+        assert got_q.size == 64 * 200  # larger than the 4096 initial buffer
+
+
+class TestMultiHammingFilter:
+    def test_matches_leaf_by_leaf_single_filter(self):
+        rng = np.random.default_rng(17)
+        width = 3
+        qmatrix = random_words(rng, 10, width)
+        thresholds = rng.uniform(70, 110, size=10)
+        leaves, qsels, reft = [], [], []
+        for n_entries in (5, 17, 1, 30):
+            leaves.append(random_words(rng, n_entries, width))
+            qsels.append(
+                np.sort(rng.choice(10, size=rng.integers(1, 6), replace=False))
+                .astype(np.int64)
+            )
+            reft.append(rng.integers(0, 10_000, size=n_entries, dtype=np.int64))
+
+        single = ckernel.HammingFilter(qmatrix, thresholds)
+        exp_q, exp_t, exp_d = [], [], []
+        for node, qsel, refs in zip(leaves, qsels, reft):
+            rows, cols, dists = single(qsel, node.ctypes.data, node.shape[0])
+            exp_q.append(qsel[rows])
+            exp_t.append(refs[cols])
+            exp_d.append(dists.copy())
+
+        multi = ckernel.MultiHammingFilter(qmatrix, thresholds)
+        qsel_all = np.concatenate(qsels)
+        qns = np.array([q.shape[0] for q in qsels], dtype=np.int64)
+        mats = np.array([n.ctypes.data for n in leaves], dtype=np.uint64)
+        reftabs = np.array([r.ctypes.data for r in reft], dtype=np.uint64)
+        brows = np.array([n.shape[0] for n in leaves], dtype=np.int64)
+        need = int((qns * brows).sum())
+        got_q, got_t, got_d = multi(qsel_all, qns, mats, reftabs, brows, need)
+
+        np.testing.assert_array_equal(got_q, np.concatenate(exp_q))
+        np.testing.assert_array_equal(got_t, np.concatenate(exp_t))
+        np.testing.assert_array_equal(got_d, np.concatenate(exp_d))
+
+    def test_empty_run_emits_nothing(self):
+        rng = np.random.default_rng(19)
+        qmatrix = random_words(rng, 2, 1)
+        thresholds = np.full(2, -1.0)  # nothing can pass
+        node = random_words(rng, 6, 1)
+        refs = np.arange(6, dtype=np.int64)
+        multi = ckernel.MultiHammingFilter(qmatrix, thresholds)
+        got_q, got_t, got_d = multi(
+            np.arange(2, dtype=np.int64),
+            np.array([2], dtype=np.int64),
+            np.array([node.ctypes.data], dtype=np.uint64),
+            np.array([refs.ctypes.data], dtype=np.uint64),
+            np.array([6], dtype=np.int64),
+            12,
+        )
+        assert got_q.size == got_t.size == got_d.size == 0
+
+
+class TestFallback:
+    def test_disabled_by_environment(self, monkeypatch):
+        """REPRO_CKERNEL=0 must leave the library on the numpy path."""
+        import importlib
+        import sys
+
+        monkeypatch.setenv("REPRO_CKERNEL", "0")
+        saved = sys.modules.pop("repro.core.ckernel")
+        try:
+            fresh = importlib.import_module("repro.core.ckernel")
+            assert fresh is not saved
+            assert not fresh.available()
+        finally:
+            sys.modules["repro.core.ckernel"] = saved

@@ -309,3 +309,35 @@ class TestHotSwap:
         assert outcomes["ok"] > 0
         # post-swap queries answer from the new snapshot
         assert len(service.tree) == 150
+
+    def test_reload_retires_the_old_arena_generation(self, tree, tmp_path):
+        """Satellite: /admin/reload must leave zero old-generation decoded
+        views behind — the swap drops them wholesale, releasing the old
+        arena memory, and no post-reload query can see pre-swap state."""
+        replacement = build_tree(seed=17, count=100)
+        path = tmp_path / "replacement.sgt"
+        save_tree(replacement, path)
+        replacement.store.pager.close()
+        with QueryService(tree) as service:
+            rng = np.random.default_rng(4)
+            for _ in range(6):  # warm the old snapshot's arena
+                service.knn(random_signature(rng, N_BITS, max_items=10), k=3)
+            old_store = service.tree.tree.store
+            old_generation = old_store.generation
+            assert len(old_store.decode_cache) > 0
+
+            service.reload(index_path=str(path))
+
+            new_store = service.tree.tree.store
+            assert new_store is not old_store
+            # old generation fully retired: no surviving views, budget freed
+            assert old_store.generation != old_generation
+            assert old_store.decode_cache.drop_generation(old_generation) == 0
+            assert len(old_store.decode_cache) == 0
+            assert old_store.decode_cache.entries == 0
+            # post-reload queries answer from (and cache under) the new store
+            served = service.knn(random_signature(rng, N_BITS, max_items=10), k=3)
+            assert served.generation == 1
+            assert all(
+                key[0] != old_generation for key in new_store.decode_cache._views
+            )

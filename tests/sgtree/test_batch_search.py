@@ -248,3 +248,55 @@ class TestKnnHeapOfferMany:
         got = [(n.distance, n.tid) for n in heap.results()]
         assert got == sorted(set(got))
         assert got == expected
+
+class TestMidWorkloadMutation:
+    """Satellite regression: mutations between (and interleaved with)
+    queries must never be masked by the decoded-node arena.  Every
+    mutation path funnels through ``Node.invalidate()``, which drops the
+    cached view in the same breath — so a warm arena serves exactly the
+    post-mutation state."""
+
+    def _tree(self, seed=51, count=220):
+        tree = SGTree(N_BITS, max_entries=8)
+        transactions = random_transactions(seed=seed, count=count, n_bits=N_BITS)
+        for t in transactions:
+            tree.insert(t)
+        return tree, transactions
+
+    def test_insert_between_warm_batches_is_visible(self):
+        tree, _ = self._tree()
+        rng = np.random.default_rng(12)
+        queries = [random_signature(rng, N_BITS, max_items=10) for _ in range(10)]
+        tree.batch_nearest(queries, k=3)  # arena is now hot
+
+        probe = queries[0]
+        tree.insert(9001, probe)  # exact match: distance 0 under hamming
+        batched = tree.batch_nearest(queries, k=3)
+        sequential = [tree.nearest(q, k=3) for q in queries]
+        assert batched == sequential
+        assert batched[0][0].tid == 9001 and batched[0][0].distance == 0.0
+
+    def test_delete_between_warm_batches_is_visible(self):
+        tree, transactions = self._tree(seed=52)
+        rng = np.random.default_rng(13)
+        queries = [random_signature(rng, N_BITS, max_items=10) for _ in range(8)]
+        warm = tree.batch_nearest(queries, k=5)
+        victims = {n.tid for n in warm[0]}
+        for victim in sorted(victims):
+            assert tree.delete(transactions[victim])
+        cold = [tree.nearest(q, k=5) for q in queries]
+        hot = tree.batch_nearest(queries, k=5)
+        assert hot == cold
+        assert not victims & {n.tid for n in hot[0]}
+
+    def test_interleaved_mutations_and_batches_stay_exact(self):
+        tree, transactions = self._tree(seed=53, count=150)
+        rng = np.random.default_rng(14)
+        queries = [random_signature(rng, N_BITS, max_items=10) for _ in range(6)]
+        extra = random_transactions(seed=54, count=60, n_bits=N_BITS)
+        for round_no, t in enumerate(extra):
+            tree.insert(2000 + round_no, t.signature)
+            if round_no % 5 == 0:
+                batched = tree.batch_nearest(queries, k=4)
+                sequential = [tree.nearest(q, k=4) for q in queries]
+                assert batched == sequential

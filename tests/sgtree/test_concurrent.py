@@ -169,3 +169,77 @@ class TestConcurrentSGTree:
         assert index._serial_reads
         index.insert(1, Signature.from_items([3], N_BITS))
         assert index.nearest(Signature.from_items([3], N_BITS))[0].tid == 1
+
+class TestSwapRetiresArenaGeneration:
+    """Satellite: hot-swap must orphan the old tree's decoded views —
+    no later read is served pre-swap state, and the old generation's
+    arena memory is released wholesale, not leaked until eviction."""
+
+    def _built(self, seed: int, count: int) -> ConcurrentSGTree:
+        index = ConcurrentSGTree(n_bits=N_BITS, max_entries=8)
+        index.insert_many(random_transactions(seed=seed, count=count, n_bits=N_BITS))
+        return index
+
+    def test_swap_drops_every_old_generation_view(self):
+        from repro import SGTree
+
+        index = self._built(seed=61, count=200)
+        rng = np.random.default_rng(5)
+        queries = [random_signature(rng, N_BITS, max_items=10) for _ in range(8)]
+        index.batch_nearest(queries, k=3)  # warm the old arena
+        old_store = index.tree.store
+        old_generation = old_store.generation
+        assert len(old_store.decode_cache) > 0
+
+        replacement = SGTree(N_BITS, max_entries=8)
+        for t in random_transactions(seed=62, count=150, n_bits=N_BITS):
+            replacement.insert(t)
+        swapped_out = index.swap(replacement)
+
+        assert swapped_out.store is old_store
+        # the generation was retired: zero old-generation views survive,
+        # and the arena's entry budget is fully released
+        assert old_store.generation != old_generation
+        assert old_store.decode_cache.drop_generation(old_generation) == 0
+        assert len(old_store.decode_cache) == 0
+        assert old_store.decode_cache.entries == 0
+
+    def test_reads_after_swap_answer_from_the_new_tree(self):
+        from repro import SGTree
+
+        index = self._built(seed=63, count=120)
+        rng = np.random.default_rng(6)
+        queries = [random_signature(rng, N_BITS, max_items=10) for _ in range(6)]
+        index.batch_nearest(queries, k=2)
+
+        replacement = SGTree(N_BITS, max_entries=8)
+        replacement_transactions = random_transactions(
+            seed=64, count=90, n_bits=N_BITS
+        )
+        for t in replacement_transactions:
+            replacement.insert(t)
+        index.swap(replacement)
+
+        scan = LinearScan(replacement_transactions)
+        for query in queries:
+            got = index.nearest(query, k=2)
+            expected = scan.nearest(query, k=2)
+            assert [n.distance for n in got] == [n.distance for n in expected]
+        # batched reads repopulate the arena under the new store only
+        index.batch_nearest(queries, k=2)
+        assert len(index.tree.store.decode_cache) > 0
+
+    def test_old_store_rereads_rekey_under_the_new_generation(self):
+        from repro import SGTree
+
+        index = self._built(seed=65, count=100)
+        index.nearest(Signature.from_items([1, 2, 3], N_BITS), k=2)
+        old_store = index.tree.store
+        old_generation = old_store.generation
+        old_tree = index.swap(SGTree(N_BITS, max_entries=8))
+
+        # a straggler still holding the old tree can keep querying it;
+        # the views it creates key under the *new* generation — nothing
+        # can resurrect the retired one
+        old_tree.nearest(Signature.from_items([1, 2, 3], N_BITS), k=2)
+        assert old_store.decode_cache.drop_generation(old_generation) == 0

@@ -73,22 +73,91 @@ class TestAggregate:
         assert 0.0 <= stats.hit_ratio <= 1.0
 
 
+class TestBatchedAccountingParity:
+    """Satellite: batched and sequential traversals follow the same
+    accounting rules — one node access per visit, a random I/O exactly
+    when neither the arena nor the buffer holds the node.  The decoded
+    arena may skip re-parses but never hides buffer misses."""
+
+    def _queries(self, n=12):
+        rng = np.random.default_rng(99)
+        return [random_signature(rng, N_BITS, max_items=10) for _ in range(n)]
+
+    def test_warm_unbounded_buffer_reports_all_hits_on_both_paths(self, tree):
+        # frames=None: everything stays resident, so a warmed tree must
+        # report hit_ratio 1.0 from BOTH engines (the batched path once
+        # reported 0.0 because its visits never scored the buffer).
+        queries = self._queries()
+        tree.batch_nearest(queries, k=3)  # warm buffer and arena
+        seq = SearchStats()
+        for query in queries:
+            tree.nearest(query, k=3, stats=seq)
+        bat = SearchStats()
+        tree.batch_nearest(queries, k=3, stats=bat)
+        assert seq.node_accesses > 0 and bat.node_accesses > 0
+        assert seq.random_ios == 0
+        assert bat.random_ios == 0
+        assert seq.hit_ratio == 1.0
+        assert bat.hit_ratio == 1.0
+
+    def test_arena_hits_still_count_buffer_misses(self):
+        # A tiny buffer forces evictions; the (unbounded, sim-mode)
+        # arena keeps serving decoded views, but each view served for a
+        # non-resident page must still count as a random I/O.
+        tree = SGTree(N_BITS, max_entries=8, frames=4)
+        for t in random_transactions(seed=31, count=250, n_bits=N_BITS):
+            tree.insert(t)
+        queries = self._queries()
+        tree.batch_nearest(queries, k=3)  # arena now warm
+        stats = SearchStats()
+        tree.batch_nearest(queries, k=3, stats=stats)
+        assert stats.random_ios > 0
+        assert stats.random_ios <= stats.node_accesses
+        assert 0.0 <= stats.hit_ratio < 1.0
+
+    def test_identical_results_while_accounting_differs(self, tree):
+        # Accounting parity is about the *rules*, not the traffic: the
+        # two engines visit nodes in different patterns, but answers
+        # must be bit-identical regardless.
+        queries = self._queries()
+        seq = [tree.nearest(q, k=5) for q in queries]
+        bat = tree.batch_nearest(queries, k=5)
+        assert seq == bat
+
+    def test_aggregate_mixes_sequential_and_batched_stats(self, tree):
+        queries = self._queries()
+        seq = SearchStats()
+        for query in queries:
+            tree.nearest(query, k=3, stats=seq)
+        bat = SearchStats()
+        tree.batch_nearest(queries, k=3, stats=bat)
+        total = SearchStats.aggregate([seq, bat])
+        assert total.node_accesses == seq.node_accesses + bat.node_accesses
+        assert total.random_ios == seq.random_ios + bat.random_ios
+        assert total.leaf_entries == seq.leaf_entries + bat.leaf_entries
+        expected = (
+            1.0 - total.random_ios / total.node_accesses
+            if total.node_accesses else None
+        )
+        assert total.hit_ratio == expected
+
+
 class TestExceptionSafety:
     """Satellite: `_StatsScope` must flush counter deltas even when the
     traversal dies mid-flight, so stats never silently under-report."""
 
     def test_stats_flushed_when_search_raises(self, tree):
         store = tree.store
-        real_get = store.get
+        real_read = store.read
         calls = {"n": 0}
 
-        def failing_get(page_id):
+        def failing_read(page_id):
             calls["n"] += 1
             if calls["n"] > 3:
                 raise RuntimeError("injected mid-traversal failure")
-            return real_get(page_id)
+            return real_read(page_id)
 
-        store.get = failing_get
+        store.read = failing_read
         try:
             stats = SearchStats()
             before = store.counters.snapshot()
@@ -103,7 +172,7 @@ class TestExceptionSafety:
             )
             assert stats.random_ios == after.random_ios - before.random_ios
         finally:
-            store.get = real_get
+            store.read = real_read
 
     def test_stats_flushed_on_every_engine(self, tree):
         query = Signature.from_items([2, 7, 11], N_BITS)
@@ -114,34 +183,34 @@ class TestExceptionSafety:
         ]
         for run in engines:
             store = tree.store
-            real_get = store.get
+            real_read = store.read
             calls = {"n": 0}
 
-            def failing_get(page_id, _real=real_get, _calls=calls):
+            def failing_read(page_id, _real=real_read, _calls=calls):
                 _calls["n"] += 1
                 if _calls["n"] > 1:
                     raise RuntimeError("boom")
                 return _real(page_id)
 
-            store.get = failing_get
+            store.read = failing_read
             try:
                 stats = SearchStats()
                 with pytest.raises(RuntimeError):
                     run(stats)
                 assert stats.node_accesses == 1
             finally:
-                store.get = real_get
+                store.read = real_read
 
     def test_scope_never_swallows_the_exception(self, tree):
         # the scope must re-raise, not return True from __exit__
         store = tree.store
-        real_get = store.get
-        store.get = lambda page_id: (_ for _ in ()).throw(KeyError(page_id))
+        real_read = store.read
+        store.read = lambda page_id: (_ for _ in ()).throw(KeyError(page_id))
         try:
             with pytest.raises(KeyError):
                 tree.nearest(Signature.from_items([1], N_BITS), stats=SearchStats())
         finally:
-            store.get = real_get
+            store.read = real_read
 
     def test_leaf_entries_accumulate_inside_the_scope(self, tree):
         # leaf comparisons recorded before a crash must also survive
