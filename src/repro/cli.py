@@ -12,6 +12,7 @@ Subcommands::
     info       print an index's structural report
     stats      export telemetry metrics (Prometheus text or JSON)
     serve      run the HTTP query server over an index
+    trace      pretty-print distributed request traces (file or server)
 
 ``query --explain`` prints a per-node EXPLAIN trace of a single query —
 which directory entries were pruned versus descended and at what bound —
@@ -240,6 +241,38 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--drain-timeout", type=float, default=5.0,
                        help="seconds to drain in-flight requests on "
                             "SIGTERM/SIGINT before exiting (default 5)")
+    serve.add_argument("--trace-sample", type=float, default=0.01,
+                       metavar="RATE",
+                       help="head-sample this fraction of requests for "
+                            "per-node distributed tracing (default 0.01; "
+                            "0 disables sampling, slow/error/partial "
+                            "requests are still kept)")
+    serve.add_argument("--trace-capacity", type=int, default=256,
+                       help="retained traces behind /debug/traces "
+                            "(default 256)")
+    serve.add_argument("--traces-out", metavar="FILE", default=None,
+                       help="also append every retained trace to FILE as "
+                            "JSON lines (feed to `repro-sgtree trace`)")
+    serve.add_argument("--slow-query-ms", type=float, default=None,
+                       help="requests slower than this emit a slow_query "
+                            "event and are always kept in the trace ring")
+    serve.add_argument("--no-tracing", action="store_true",
+                       help="disable request tracing entirely (no trace "
+                            "ids, no /debug/traces)")
+
+    trace = commands.add_parser(
+        "trace", help="pretty-print distributed request traces"
+    )
+    trace.add_argument("source",
+                       help="a --traces-out JSONL file, or a running "
+                            "server's base URL (http://host:port)")
+    trace.add_argument("--id", dest="trace_id", default=None,
+                       help="print one trace in full (default: list "
+                            "summaries, or render everything in a file "
+                            "holding a single trace)")
+    trace.add_argument("--check", action="store_true",
+                       help="verify every printed trace stitches cleanly "
+                            "(exit 1 on the first inconsistency)")
 
     return parser
 
@@ -584,12 +617,30 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .server import QueryService, make_server, serve_forever
-    from .telemetry import EventLog, JsonlEventSink, MetricsRegistry, Telemetry
+    from .telemetry import (
+        EventLog,
+        JsonlEventSink,
+        JsonlTraceSink,
+        MetricsRegistry,
+        RequestTracing,
+        Telemetry,
+    )
 
     events = EventLog()
     if args.events_out:
         events.add_sink(JsonlEventSink(args.events_out))
     telemetry = Telemetry(registry=MetricsRegistry(), events=events)
+    tracing = None
+    if not args.no_tracing:
+        tracing = RequestTracing(
+            sample_rate=args.trace_sample,
+            capacity=args.trace_capacity,
+            slow_threshold=(
+                args.slow_query_ms / 1e3
+                if args.slow_query_ms is not None else None
+            ),
+            sink=JsonlTraceSink(args.traces_out) if args.traces_out else None,
+        )
     tree = load_tree(args.index, decode_cache_entries=args.decode_cache_entries)
     default_deadline = (
         args.deadline_ms / 1e3 if args.deadline_ms is not None else None
@@ -622,6 +673,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_queue=args.max_queue,
             default_deadline=default_deadline,
             quorum=args.quorum,
+            tracing=tracing,
         )
     else:
         tree.attach_telemetry(telemetry)
@@ -633,6 +685,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             default_deadline=default_deadline,
             workers=args.workers,
             batch_size=args.batch_size,
+            tracing=tracing,
         )
     try:
         server = make_server(service, host=args.host, port=args.port)
@@ -656,6 +709,72 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         events.close()
 
 
+def _load_trace_docs(source: str, trace_id: "str | None") -> list[dict]:
+    """Trace documents from a JSONL file or a running server.
+
+    A file yields every line (filtered to ``--id`` when given); a URL
+    hits ``/debug/traces`` for summaries or ``/debug/traces/<id>`` for
+    one full trace.
+    """
+    import json
+
+    if source.startswith(("http://", "https://")):
+        import urllib.request
+
+        base = source.rstrip("/")
+        path = f"/debug/traces/{trace_id}" if trace_id else "/debug/traces"
+        with urllib.request.urlopen(base + path, timeout=30) as resp:
+            doc = json.loads(resp.read())
+        return [doc] if trace_id else doc.get("traces", [])
+    docs = []
+    with open(source, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            doc = json.loads(line)
+            if trace_id is None or doc.get("trace_id") == trace_id:
+                docs.append(doc)
+    return docs
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .telemetry import RequestTrace
+
+    try:
+        docs = _load_trace_docs(args.source, args.trace_id)
+    except OSError as exc:
+        print(f"cannot read traces from {args.source}: {exc}", file=sys.stderr)
+        return 2
+    if not docs:
+        wanted = f" with id {args.trace_id!r}" if args.trace_id else ""
+        print(f"no traces{wanted} in {args.source}", file=sys.stderr)
+        return 2
+    failures = 0
+    for doc in docs:
+        if "spans" not in doc:
+            # A /debug/traces summary row, not a full document.
+            print(
+                f"{doc.get('trace_id')}  {doc.get('route')}  "
+                f"code={doc.get('code')}  "
+                f"{float(doc.get('duration') or 0.0) * 1e3:.2f}ms  "
+                f"spans={doc.get('spans')}  shards={doc.get('shards')}"
+            )
+            continue
+        trace = RequestTrace.from_dict(doc)
+        print(trace.render())
+        if args.check:
+            report = doc.get("stitch") or trace.stitch_report()
+            if not report.get("ok", False):
+                failures += 1
+                for problem in report.get("problems", []):
+                    print(f"  STITCH PROBLEM: {problem}", file=sys.stderr)
+    if args.check and failures:
+        print(f"{failures} trace(s) failed the stitch check", file=sys.stderr)
+        return 1
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "build": _cmd_build,
@@ -667,6 +786,7 @@ _COMMANDS = {
     "info": _cmd_info,
     "stats": _cmd_stats,
     "serve": _cmd_serve,
+    "trace": _cmd_trace,
 }
 
 

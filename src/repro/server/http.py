@@ -16,6 +16,9 @@ GET    ``/healthz/ready``     readiness probe: 200 when accepting
                               traffic, 503 mid-reload or below shard
                               quorum
 GET    ``/metrics``           Prometheus text exposition
+GET    ``/debug/traces``      summaries of retained request traces
+GET    ``/debug/traces/<id>`` one stitched trace in full (404 when
+                              unknown or tracing is detached)
 POST   ``/query/knn``         ``{"items": [...], "k": 5, ...}``
 POST   ``/query/range``       ``{"items": [...], "epsilon": 0.4, ...}``
 POST   ``/query/containment`` ``{"items": [...]}``
@@ -32,6 +35,12 @@ mid-traversal).  Every query route accepts an optional ``deadline_ms``.
 Sharded responses carry ``partial`` and ``coverage`` fields describing
 which shards contributed (see ``docs/resilience.md``).
 
+Request correlation: an inbound ``X-Request-Id`` header (sanitised) is
+honoured as the trace id when the service has tracing attached; a fresh
+id is generated otherwise.  The id is echoed back as ``X-Request-Id`` on
+the response and as ``request_id`` in query payloads, and it is the key
+into ``/debug/traces/<id>`` (see ``docs/observability.md``).
+
 On SIGTERM/SIGINT the CLI loop (:func:`serve_forever`) shuts down
 gracefully: the listener closes first, in-flight requests drain up to
 ``--drain-timeout`` seconds, then the process exits 0.
@@ -46,6 +55,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from ..errors import CircuitOpen, QueryTimeout, ReproError, ShardError
 from ..sgtree.search import Neighbor, SearchStats
+from ..telemetry.tracing import sanitize_request_id
 from .service import QueryService, ReloadInProgress, RequestShed, ServedQuery
 
 __all__ = ["ServingHTTPServer", "make_server", "serve_forever"]
@@ -83,6 +93,8 @@ def _response_payload(served: ServedQuery) -> dict:
     }
     if served.coverage is not None:
         payload["coverage"] = served.coverage
+    if served.trace_id is not None:
+        payload["request_id"] = served.trace_id
     return payload
 
 
@@ -102,11 +114,16 @@ class _Handler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
     server: "ServingHTTPServer"
 
+    #: The request's correlation id (inbound ``X-Request-Id``, sanitised,
+    #: or freshly generated); echoed on every JSON response.
+    _request_id: "str | None" = None
+
     # -- plumbing ----------------------------------------------------------
 
     def log_message(self, format: str, *args: object) -> None:
-        # Per-request access logging is the metrics registry's job; the
-        # default stderr line per request would swamp benchmark output.
+        # Per-request access logging is the structured ``http_access``
+        # event's job; the default stderr line per request would swamp
+        # benchmark output.
         pass
 
     def _send_json(self, code: int, payload: dict,
@@ -115,6 +132,8 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(code)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if self._request_id is not None:
+            self.send_header("X-Request-Id", self._request_id)
         for name, value in (headers or {}).items():
             self.send_header(name, value)
         self.end_headers()
@@ -143,6 +162,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         service = self.server.service
+        self._request_id = None  # keep-alive: don't leak a POST's id
         if self.path == "/healthz":
             self._send_json(200, service.health())
         elif self.path == "/healthz/live":
@@ -155,11 +175,34 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_text(
                 200, service.metrics_text(), "text/plain; version=0.0.4"
             )
+        elif self.path == "/debug/traces":
+            summaries = service.traces()
+            if summaries is None:
+                self._send_json(404, {"error": "tracing is not enabled"})
+            else:
+                self._send_json(200, {"traces": summaries})
+        elif self.path.startswith("/debug/traces/"):
+            trace_id = self.path[len("/debug/traces/"):]
+            doc = service.trace(trace_id) if service.tracing is not None \
+                else None
+            if doc is None:
+                self._send_json(
+                    404,
+                    {"error": f"no retained trace {trace_id!r}"}
+                    if service.tracing is not None
+                    else {"error": "tracing is not enabled"},
+                )
+            else:
+                self._send_json(200, doc)
         else:
             self._send_json(404, {"error": f"unknown route {self.path}"})
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         service = self.server.service
+        rid = None
+        if service.tracing is not None:
+            rid = sanitize_request_id(self.headers.get("X-Request-Id"))
+            self._request_id = rid
         try:
             body = self._read_body()
             if self.path == "/query/knn":
@@ -169,6 +212,7 @@ class _Handler(BaseHTTPRequestHandler):
                     metric=body.get("metric"),
                     algorithm=body.get("algorithm", "depth-first"),
                     deadline_seconds=_deadline_seconds(body),
+                    request_id=rid,
                 )
             elif self.path == "/query/range":
                 served = service.range(
@@ -176,11 +220,13 @@ class _Handler(BaseHTTPRequestHandler):
                     epsilon=float(body["epsilon"]),
                     metric=body.get("metric"),
                     deadline_seconds=_deadline_seconds(body),
+                    request_id=rid,
                 )
             elif self.path == "/query/containment":
                 served = service.containment(
                     body["items"],
                     deadline_seconds=_deadline_seconds(body),
+                    request_id=rid,
                 )
             elif self.path == "/query/batch":
                 served = service.batch(
@@ -190,6 +236,7 @@ class _Handler(BaseHTTPRequestHandler):
                     epsilon=body.get("epsilon"),
                     metric=body.get("metric"),
                     deadline_seconds=_deadline_seconds(body),
+                    request_id=rid,
                 )
             elif self.path == "/admin/reload":
                 info = service.reload(

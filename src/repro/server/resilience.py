@@ -111,12 +111,17 @@ class RetryPolicy:
         self.retriable = retriable
 
     def run(self, fn, deadline=None, shard_id: "int | None" = None,
-            on_retry=None):
+            on_retry=None, trace=None):
         """Call ``fn()`` with retries; see the class docstring.
 
         ``on_retry(attempt, exc)`` is invoked before each backoff sleep
-        (telemetry hook).  :class:`~repro.errors.QueryTimeout` from
-        ``fn`` is never retried — the request is already over budget.
+        (telemetry hook).  ``trace`` (duck-typed — anything with a
+        ``span`` context manager, in practice a
+        :class:`~repro.telemetry.tracing.RequestTrace`) times each
+        backoff sleep as a ``retry_backoff`` span, so a stitched trace
+        shows where a retried request's budget went.
+        :class:`~repro.errors.QueryTimeout` from ``fn`` is never
+        retried — the request is already over budget.
         """
         last: BaseException | None = None
         for attempt in range(self.max_attempts):
@@ -139,7 +144,14 @@ class RetryPolicy:
                         deadline.check()  # raises QueryTimeout
                     pause = min(pause, remaining)
                 if pause > 0.0:
-                    time.sleep(pause)
+                    if trace is not None:
+                        with trace.span(
+                            "retry_backoff", shard=shard_id,
+                            attempt=attempt, error=type(exc).__name__,
+                        ):
+                            time.sleep(pause)
+                    else:
+                        time.sleep(pause)
                 if deadline is not None:
                     # Expiry during the sleep aborts before attempting
                     # again — the caller's budget, not ours.

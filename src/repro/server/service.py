@@ -33,6 +33,7 @@ queue-depth and in-flight gauges, shed/timeout counters and a
 
 from __future__ import annotations
 
+import sys
 import threading
 import time
 from dataclasses import dataclass, field
@@ -44,6 +45,7 @@ from ..sgtree.concurrent import ConcurrentSGTree
 from ..sgtree.executor import DEFAULT_BATCH_SIZE, QueryExecutor
 from ..sgtree.search import Deadline, Neighbor, SearchStats
 from ..sgtree.tree import SGTree
+from ..telemetry.tracing import RequestTrace, Tracer
 
 __all__ = [
     "QueryService",
@@ -51,6 +53,41 @@ __all__ = [
     "RequestShed",
     "ReloadInProgress",
 ]
+
+
+def _stats_doc(stats: SearchStats) -> dict:
+    """The wire/trace form of one request's aggregated accounting.
+
+    ``buffer_hits`` travels explicitly because it is a *derived*
+    property (accesses minus random I/Os) and the trace↔stats
+    reconciliation needs it on the far side of a JSON boundary.
+    """
+    return {
+        "node_accesses": stats.node_accesses,
+        "random_ios": stats.random_ios,
+        "leaf_entries": stats.leaf_entries,
+        "buffer_hits": stats.buffer_hits,
+    }
+
+
+def _store_health(store) -> dict:
+    """Decode-cache generation + counters for a ``/healthz`` row.
+
+    Lets an operator spot a tree serving a stale arena generation after
+    ``/admin/reload`` (the swap bumps the generation; a shard whose
+    number did not move is still decoding old pages).
+    """
+    cache = store.decode_cache
+    return {
+        "generation": store.generation,
+        "decode_cache": {
+            "hits": cache.stats.hits,
+            "misses": cache.stats.misses,
+            "evictions": cache.stats.evictions,
+            "entries": cache.entries,
+            "max_entries": cache.max_entries,
+        },
+    }
 
 
 class RequestShed(ReproError):
@@ -91,6 +128,7 @@ class ServedQuery:
     seconds: float = 0.0
     coverage: "dict | None" = None
     partial: bool = False
+    trace_id: "str | None" = None
 
 
 class QueryService:
@@ -133,10 +171,12 @@ class QueryService:
         default_deadline: "float | None" = None,
         workers: int = 1,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        tracing=None,
     ):
         self._init_admission(
             telemetry=telemetry, max_inflight=max_inflight,
             max_queue=max_queue, default_deadline=default_deadline,
+            tracing=tracing,
         )
         if isinstance(tree, SGTree):
             tree = ConcurrentSGTree(tree)
@@ -149,12 +189,19 @@ class QueryService:
         max_inflight: int = 8,
         max_queue: int = 32,
         default_deadline: "float | None" = None,
+        tracing=None,
     ) -> None:
         """Admission-control state shared by every service flavour.
 
         Subclasses with a different execution backend (the sharded
         service) call this instead of ``QueryService.__init__`` and then
-        install their own backend.
+        install their own backend.  ``tracing`` is an optional
+        :class:`~repro.telemetry.tracing.RequestTracing` bundle; when
+        attached, every request records a coordinator-level
+        :class:`~repro.telemetry.tracing.RequestTrace` (admission wait,
+        execution, per-shard RPC, merge), head-sampled requests
+        additionally carry per-node visit spans, and finished traces
+        land in the bounded store behind ``/debug/traces``.
         """
         if max_inflight < 1:
             raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
@@ -165,6 +212,7 @@ class QueryService:
                 f"default_deadline must be positive, got {default_deadline}"
             )
         self.telemetry = telemetry
+        self.tracing = tracing
         self.max_inflight = max_inflight
         self.max_queue = max_queue
         self.default_deadline = default_deadline
@@ -176,6 +224,7 @@ class QueryService:
         self._reload_lock = threading.Lock()
         self._reloading = False
         self._closed = False
+        self._trace_ctx = threading.local()
 
     # -- introspection -----------------------------------------------------
 
@@ -199,9 +248,14 @@ class QueryService:
 
     def _health_extra(self) -> dict:
         """Backend-specific ``/healthz`` fields (overridden when sharded)."""
+        health = _store_health(self._tree.tree.store)
         return {
             "transactions": len(self._tree),
             "n_bits": self._tree.n_bits,
+            # "generation" is the snapshot generation above; the arena
+            # generation of the served store travels under its own key.
+            "tree_generation": health["generation"],
+            "decode_cache": health["decode_cache"],
         }
 
     def health(self) -> dict:
@@ -281,24 +335,48 @@ class QueryService:
                 telemetry.server_timeouts_total.labels(route=route).inc()
             raise QueryTimeout(deadline.budget, deadline.budget)
 
+    def current_trace(self) -> "RequestTrace | None":
+        """The trace of the request executing on *this* thread, if any.
+
+        The execution hooks (and the sharded scatter path) read this to
+        record spans without changing every hook signature.
+        """
+        return getattr(self._trace_ctx, "trace", None)
+
     def _serve(self, route: str, deadline: "Deadline | None",
-               fn: "Callable[[], ServedQuery]") -> ServedQuery:
-        """Admission + execution + telemetry for one request."""
+               fn: "Callable[[], ServedQuery]",
+               request_id: "str | None" = None) -> ServedQuery:
+        """Admission + execution + telemetry + tracing for one request."""
         if self._closed:
             raise ReproError("service is closed")
         telemetry = self.telemetry
+        tracing = self.tracing
+        trace = None
+        if tracing is not None:
+            trace = tracing.start(route, request_id=request_id)
         start = time.perf_counter()
         code = "200"
+        served: "ServedQuery | None" = None
         try:
-            self._admit(route, deadline)
+            if trace is not None:
+                with trace.span("admission_wait"):
+                    self._admit(route, deadline)
+            else:
+                self._admit(route, deadline)
             try:
                 with self._admission_lock:
                     self._inflight += 1
                     if telemetry is not None:
                         telemetry.server_inflight.set(self._inflight)
+                self._trace_ctx.trace = trace
                 try:
-                    response = fn()
+                    if trace is not None:
+                        with trace.span("execute"):
+                            response = fn()
+                    else:
+                        response = fn()
                 finally:
+                    self._trace_ctx.trace = None
                     with self._admission_lock:
                         self._inflight -= 1
                         if telemetry is not None:
@@ -307,6 +385,9 @@ class QueryService:
                 self._slots.release()
             response.seconds = time.perf_counter() - start
             response.generation = self._generation
+            if trace is not None:
+                response.trace_id = trace.trace_id
+            served = response
             return response
         except RequestShed:
             code = "429"
@@ -323,13 +404,86 @@ class QueryService:
             code = "500"
             raise
         finally:
+            elapsed = time.perf_counter() - start
             if telemetry is not None:
                 telemetry.server_requests_total.labels(
                     route=route, code=code
                 ).inc()
                 telemetry.server_request_seconds.labels(route=route).observe(
-                    time.perf_counter() - start
+                    elapsed,
+                    exemplar=trace.trace_id if trace is not None else None,
                 )
+            if trace is not None:
+                self._finish_trace(trace, code, served)
+
+    def _finish_trace(self, trace: RequestTrace, code: str,
+                      served: "ServedQuery | None") -> None:
+        """Close a request trace, apply retention, emit access events.
+
+        Runs inside ``_serve``'s ``finally`` — ``sys.exc_info`` still
+        sees the in-flight exception, which becomes the trace's
+        ``error`` (and forces retention via ``should_keep``).
+        """
+        exc = sys.exc_info()[1]
+        trace.finish(
+            code=code,
+            error=None if exc is None else f"{type(exc).__name__}: {exc}",
+            stats=_stats_doc(served.stats) if served is not None else None,
+            coverage=served.coverage if served is not None else None,
+            partial=served.partial if served is not None else False,
+        )
+        kept = self.tracing.finish(trace)
+        telemetry = self.telemetry
+        if telemetry is None:
+            return
+        coverage = trace.coverage or {}
+        shards_total = coverage.get("shards_total")
+        shards_answered = coverage.get("shards_answered")
+        telemetry.emit(
+            "http_access",
+            trace_id=trace.trace_id,
+            route=trace.route,
+            code=code,
+            seconds=round(trace.duration, 6),
+            partial=trace.partial,
+            shards_total=shards_total,
+            shards_answered=shards_answered,
+            sampled=trace.sampled,
+            kept=kept,
+        )
+        if self.tracing.is_slow(trace):
+            top = sorted(
+                trace.spans, key=lambda s: s.duration, reverse=True
+            )[:3]
+            telemetry.emit(
+                "slow_query",
+                trace_id=trace.trace_id,
+                route=trace.route,
+                seconds=round(trace.duration, 6),
+                threshold_seconds=self.tracing.slow_threshold,
+                shards_total=shards_total,
+                shards_answered=shards_answered,
+                top_spans=[
+                    {"name": s.name, "seconds": round(s.duration, 6),
+                     "shard": s.shard}
+                    for s in top
+                ],
+            )
+
+    # -- trace retrieval ---------------------------------------------------
+
+    def traces(self) -> "list[dict] | None":
+        """Summaries of retained traces (``/debug/traces``), newest
+        first; ``None`` when tracing is not attached."""
+        if self.tracing is None:
+            return None
+        return self.tracing.store.recent()
+
+    def trace(self, trace_id: str) -> "dict | None":
+        """One retained trace in full (``/debug/traces/<id>``)."""
+        if self.tracing is None:
+            return None
+        return self.tracing.store.get(trace_id)
 
     def _signature(self, items: "Sequence[int] | Signature") -> Signature:
         """Build a query signature against the *current* generation."""
@@ -354,42 +508,81 @@ class QueryService:
     # hooks do the actual work and are what the sharded service overrides
     # to scatter-gather instead of querying one tree.
 
+    def _local_tracer(self, algorithm: "str | None" = "depth-first",
+                      ) -> "Tracer | None":
+        """A per-node tracer for head-sampled single-tree requests.
+
+        Per-node tracing only understands the depth-first traversal (the
+        same restriction ``SGTree.explain`` has), so other algorithms
+        run untraced even when sampled.
+        """
+        trace = self.current_trace()
+        if trace is None or not trace.sampled:
+            return None
+        if algorithm != "depth-first":
+            return None
+        return Tracer()
+
+    def _attach_local(self, tracer: "Tracer | None",
+                      stats: SearchStats) -> None:
+        """File a single-tree visit-span trace as shard 0 of the trace."""
+        if tracer is None:
+            return
+        trace = self.current_trace()
+        if trace is None:
+            return
+        trace.attach_shard(
+            0,
+            [span.to_dict() for span in tracer.spans],
+            stats=_stats_doc(stats),
+            reconciled=tracer.reconciles(stats),
+        )
+
     def _run_knn(self, items, k, metric, algorithm, deadline) -> ServedQuery:
         stats = SearchStats()
+        tracer = self._local_tracer(algorithm)
         results = self._tree.nearest(
             self._signature(items), k=k, metric=metric,
             algorithm=algorithm, stats=stats, deadline=deadline,
+            tracer=tracer,
         )
+        self._attach_local(tracer, stats)
         return ServedQuery("knn", results, stats)
 
     def _run_range(self, items, epsilon, metric, deadline) -> ServedQuery:
         stats = SearchStats()
+        tracer = self._local_tracer()
         results = self._tree.range_query(
             self._signature(items), epsilon, metric=metric,
-            stats=stats, deadline=deadline,
+            stats=stats, deadline=deadline, tracer=tracer,
         )
+        self._attach_local(tracer, stats)
         return ServedQuery("range", results, stats)
 
     def _run_containment(self, items, deadline) -> ServedQuery:
         stats = SearchStats()
+        tracer = self._local_tracer()
         results = self._tree.containment_query(
-            self._signature(items), stats=stats, deadline=deadline
+            self._signature(items), stats=stats, deadline=deadline,
+            tracer=tracer,
         )
+        self._attach_local(tracer, stats)
         return ServedQuery("containment", results, stats)
 
     def _run_batch(self, queries, kind, k, epsilon, metric, deadline,
                    ) -> ServedQuery:
         stats = SearchStats()
         signatures = [self._signature(q) for q in queries]
+        trace = self.current_trace()
         if kind == "knn":
             results = self._executor.knn(
                 signatures, k=k, metric=metric, stats=stats,
-                deadline=deadline,
+                deadline=deadline, trace=trace,
             )
         else:
             results = self._executor.range_query(
                 signatures, epsilon, metric=metric, stats=stats,
-                deadline=deadline,
+                deadline=deadline, trace=trace,
             )
         return ServedQuery(f"batch_{kind}", results, stats)
 
@@ -402,6 +595,7 @@ class QueryService:
         metric: "str | None" = None,
         algorithm: str = "depth-first",
         deadline_seconds: "float | None" = None,
+        request_id: "str | None" = None,
     ) -> ServedQuery:
         """k-NN over the current snapshot; results are
         :class:`~repro.sgtree.search.Neighbor` tuples."""
@@ -411,6 +605,7 @@ class QueryService:
             lambda: self._retrying(
                 lambda: self._run_knn(items, k, metric, algorithm, deadline)
             ),
+            request_id=request_id,
         )
 
     def range(
@@ -419,6 +614,7 @@ class QueryService:
         epsilon: float,
         metric: "str | None" = None,
         deadline_seconds: "float | None" = None,
+        request_id: "str | None" = None,
     ) -> ServedQuery:
         """Similarity range query over the current snapshot."""
         deadline = self.resolve_deadline(deadline_seconds)
@@ -427,12 +623,14 @@ class QueryService:
             lambda: self._retrying(
                 lambda: self._run_range(items, epsilon, metric, deadline)
             ),
+            request_id=request_id,
         )
 
     def containment(
         self,
         items: "Sequence[int] | Signature",
         deadline_seconds: "float | None" = None,
+        request_id: "str | None" = None,
     ) -> ServedQuery:
         """Containment (superset) query over the current snapshot."""
         deadline = self.resolve_deadline(deadline_seconds)
@@ -441,6 +639,7 @@ class QueryService:
             lambda: self._retrying(
                 lambda: self._run_containment(items, deadline)
             ),
+            request_id=request_id,
         )
 
     def batch(
@@ -451,6 +650,7 @@ class QueryService:
         epsilon: "float | None" = None,
         metric: "str | None" = None,
         deadline_seconds: "float | None" = None,
+        request_id: "str | None" = None,
     ) -> ServedQuery:
         """A whole query batch through the thread-pooled executor.
 
@@ -473,6 +673,7 @@ class QueryService:
                     queries, kind, k, epsilon, metric, deadline
                 )
             ),
+            request_id=request_id,
         )
 
     # -- snapshot hot-swap -------------------------------------------------
@@ -578,6 +779,8 @@ class QueryService:
         """
         self._closed = True
         self._executor.close()
+        if self.tracing is not None:
+            self.tracing.close()
 
     def __enter__(self) -> "QueryService":
         return self

@@ -43,6 +43,7 @@ import queue
 import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -58,8 +59,9 @@ from ..errors import (
 from ..sgtree.bulkload import bulk_load, gray_sort_order, minhash_order
 from ..sgtree.search import Deadline, Neighbor, SearchStats
 from ..sgtree.tree import SGTree
+from ..telemetry.tracing import TraceContext, Tracer
 from .resilience import Backoff, CircuitBreaker, RetryPolicy
-from .service import QueryService, ServedQuery
+from .service import QueryService, ServedQuery, _stats_doc, _store_health
 
 __all__ = [
     "partition_transactions",
@@ -77,6 +79,13 @@ DEFAULT_CALL_TIMEOUT = 30.0
 
 #: How often a bounded wait re-checks liveness and expiry.
 POLL_INTERVAL = 0.02
+
+
+def _span(trace, name: str, **attrs: object):
+    """A trace span when a trace rides the request, a no-op otherwise."""
+    if trace is None:
+        return nullcontext()
+    return trace.span(name, **attrs)
 
 
 # ---------------------------------------------------------------------------
@@ -153,30 +162,45 @@ def _handle_request(tree: SGTree, request: dict) -> dict:
     op = request["op"]
     try:
         if op == "ping":
-            return {"ok": True, "transactions": len(tree), "n_bits": tree.n_bits}
+            health = _store_health(tree.store)
+            return {
+                "ok": True, "transactions": len(tree), "n_bits": tree.n_bits,
+                "tree_generation": health["generation"],
+                "decode_cache": health["decode_cache"],
+            }
         budget = request.get("budget")
         deadline = Deadline.after(max(0.0, budget)) if budget is not None else None
         stats = SearchStats()
         n_bits = tree.n_bits
+        # Per-node tracing runs inside the worker only for head-sampled
+        # requests (the trace context rides the wire) and only for the
+        # single-query depth-first traversals the Tracer understands.
+        ctx = TraceContext.from_wire(request.get("trace"))
+        tracer = None
+        if ctx is not None and ctx.sampled and op in (
+            "knn", "range", "containment"
+        ) and (op != "knn"
+               or request.get("algorithm", "depth-first") == "depth-first"):
+            tracer = Tracer()
         if op == "knn":
             results = tree.nearest(
                 Signature.from_items(request["items"], n_bits),
                 k=request["k"], metric=request.get("metric"),
                 algorithm=request.get("algorithm", "depth-first"),
-                stats=stats, deadline=deadline,
+                stats=stats, deadline=deadline, tracer=tracer,
             )
             payload = [(n.distance, n.tid) for n in results]
         elif op == "range":
             results = tree.range_query(
                 Signature.from_items(request["items"], n_bits),
                 request["epsilon"], metric=request.get("metric"),
-                stats=stats, deadline=deadline,
+                stats=stats, deadline=deadline, tracer=tracer,
             )
             payload = [(n.distance, n.tid) for n in results]
         elif op == "containment":
             payload = tree.containment_query(
                 Signature.from_items(request["items"], n_bits),
-                stats=stats, deadline=deadline,
+                stats=stats, deadline=deadline, tracer=tracer,
             )
         elif op == "batch_knn":
             signatures = [
@@ -198,15 +222,19 @@ def _handle_request(tree: SGTree, request: dict) -> dict:
             payload = [[(n.distance, n.tid) for n in row] for row in results]
         else:
             raise ValueError(f"unknown shard op {op!r}")
-        return {
+        response = {
             "ok": True,
             "results": payload,
-            "stats": {
-                "node_accesses": stats.node_accesses,
-                "random_ios": stats.random_ios,
-                "leaf_entries": stats.leaf_entries,
-            },
+            # buffer_hits travels explicitly: it is a derived property
+            # and the coordinator's stitch check needs it post-JSON.
+            "stats": _stats_doc(stats),
         }
+        if tracer is not None:
+            response["trace"] = {
+                "spans": [span.to_dict() for span in tracer.spans],
+                "reconciled": tracer.reconciles(stats),
+            }
+        return response
     except Exception as exc:  # noqa: BLE001 - every failure crosses the wire
         return {"ok": False, "error": type(exc).__name__, "message": str(exc)}
 
@@ -530,6 +558,8 @@ class ShardHandle:
         self.incarnation = 0
         self.state = "up"
         self.transactions: "int | None" = None
+        self.tree_generation: "int | None" = None
+        self.decode_cache: "dict | None" = None
         self._ids = itertools.count(1)
         self._lock = threading.RLock()
         if telemetry is not None:
@@ -547,13 +577,21 @@ class ShardHandle:
 
     # -- the request path --------------------------------------------------
 
-    def call(self, request: dict, deadline: "Deadline | None" = None) -> dict:
+    def call(self, request: dict, deadline: "Deadline | None" = None,
+             trace=None) -> dict:
         """One resilient request; returns the worker's ``ok`` response.
 
         Raises :class:`~repro.errors.CircuitOpen`,
         :class:`~repro.errors.RetryExhausted`,
         :class:`~repro.errors.QueryTimeout`, or ``ValueError`` (a
         non-retriable bad request).
+
+        When ``trace`` (a :class:`~repro.telemetry.tracing.RequestTrace`)
+        rides along, the trace context joins the wire request, every
+        attempt records an ``rpc`` span for this shard, a breaker
+        rejection records a zero-duration ``rpc`` span annotated
+        ``circuit_open``, and retry backoffs are timed by the retry
+        policy itself.
         """
         telemetry = self.telemetry
         label = str(self.shard_id)
@@ -562,39 +600,54 @@ class ShardHandle:
                 telemetry.shard_requests_total.labels(
                     shard=label, outcome="open"
                 ).inc()
+            if trace is not None:
+                trace.add_span(
+                    "rpc", shard=self.shard_id, outcome="circuit_open",
+                    retry_after=round(self.breaker.retry_after(), 6),
+                )
             raise CircuitOpen(
                 "circuit breaker is open",
                 shard_id=self.shard_id,
                 retry_after=self.breaker.retry_after(),
             )
+        if trace is not None and "trace" not in request:
+            request = dict(request)
+            request["trace"] = trace.context().to_wire()
 
         def attempt() -> dict:
-            started = time.perf_counter()
-            try:
-                response = self._attempt_once(request, deadline)
-            except QueryTimeout:
+            with _span(trace, "rpc", shard=self.shard_id) as span:
+                started = time.perf_counter()
+                try:
+                    response = self._attempt_once(request, deadline)
+                except BaseException as exc:
+                    if span is not None:
+                        span.attrs["outcome"] = type(exc).__name__
+                    if isinstance(exc, QueryTimeout):
+                        if telemetry is not None:
+                            telemetry.shard_requests_total.labels(
+                                shard=label, outcome="timeout"
+                            ).inc()
+                    elif isinstance(exc, ValueError):
+                        pass
+                    else:
+                        self.breaker.record_failure()
+                        if telemetry is not None:
+                            telemetry.shard_requests_total.labels(
+                                shard=label, outcome="error"
+                            ).inc()
+                    raise
+                latency = time.perf_counter() - started
+                self.breaker.record_success(latency)
+                if span is not None:
+                    span.attrs["outcome"] = "ok"
                 if telemetry is not None:
                     telemetry.shard_requests_total.labels(
-                        shard=label, outcome="timeout"
+                        shard=label, outcome="ok"
                     ).inc()
-                raise
-            except ValueError:
-                raise
-            except Exception:
-                self.breaker.record_failure()
-                if telemetry is not None:
-                    telemetry.shard_requests_total.labels(
-                        shard=label, outcome="error"
-                    ).inc()
-                raise
-            latency = time.perf_counter() - started
-            self.breaker.record_success(latency)
-            if telemetry is not None:
-                telemetry.shard_requests_total.labels(
-                    shard=label, outcome="ok"
-                ).inc()
-                telemetry.shard_call_seconds.labels(shard=label).observe(latency)
-            return response
+                    telemetry.shard_call_seconds.labels(shard=label).observe(
+                        latency
+                    )
+                return response
 
         def on_retry(attempt_number: int, exc: BaseException) -> None:
             if telemetry is not None:
@@ -602,7 +655,7 @@ class ShardHandle:
 
         return self.retry.run(
             attempt, deadline=deadline, shard_id=self.shard_id,
-            on_retry=on_retry,
+            on_retry=on_retry, trace=trace,
         )
 
     def _attempt_once(self, request: dict, deadline: "Deadline | None") -> dict:
@@ -677,6 +730,8 @@ class ShardHandle:
             if response is not None:
                 if response.get("ok"):
                     self.transactions = response.get("transactions")
+                    self.tree_generation = response.get("tree_generation")
+                    self.decode_cache = response.get("decode_cache")
                     return response
                 return None
             if not worker.is_alive():
@@ -723,6 +778,8 @@ class ShardHandle:
             "restarts": self.restarts,
             "generation": self.incarnation,
             "transactions": self.transactions,
+            "tree_generation": self.tree_generation,
+            "decode_cache": self.decode_cache,
         }
 
     def close(self) -> None:
@@ -865,50 +922,70 @@ class ShardedTree:
     # -- scatter/gather ----------------------------------------------------
 
     def scatter(self, request: dict, deadline: "Deadline | None" = None,
-                ) -> "tuple[dict[int, dict], Coverage]":
+                trace=None) -> "tuple[dict[int, dict], Coverage]":
         """Send ``request`` to every shard; gather within the deadline.
 
         Returns ``(responses by shard id, coverage)``; raises only when
-        zero shards answered (see the class docstring).
+        zero shards answered (see the class docstring).  When ``trace``
+        rides along it is handed to every :meth:`ShardHandle.call` (per-
+        attempt ``rpc`` spans), the whole fan-out is timed as one
+        ``scatter`` span, and each shard's shipped-back visit-span tree
+        is stitched into the trace as it arrives.
         """
-        futures = {
-            self._pool.submit(handle.call, request, deadline): handle
-            for handle in self.handles
-        }
-        answered: "dict[int, dict]" = {}
-        errors: "dict[int, str]" = {}
-        outstanding = set(futures)
-        while outstanding:
-            if deadline is not None:
-                remaining = deadline.remaining()
-                if remaining <= 0.0:
-                    break
-                done, outstanding = wait(
-                    outstanding, timeout=remaining,
-                    return_when=FIRST_COMPLETED,
-                )
-                if not done:
-                    break
-            else:
-                done, outstanding = wait(
-                    outstanding, return_when=FIRST_COMPLETED
-                )
-            for future in done:
+        with _span(trace, "scatter", shards=len(self.handles)) as span:
+            if trace is not None:
+                request = dict(request)
+                request["trace"] = trace.context().to_wire()
+            futures = {
+                self._pool.submit(handle.call, request, deadline, trace):
+                handle
+                for handle in self.handles
+            }
+            answered: "dict[int, dict]" = {}
+            errors: "dict[int, str]" = {}
+            outstanding = set(futures)
+            while outstanding:
+                if deadline is not None:
+                    remaining = deadline.remaining()
+                    if remaining <= 0.0:
+                        break
+                    done, outstanding = wait(
+                        outstanding, timeout=remaining,
+                        return_when=FIRST_COMPLETED,
+                    )
+                    if not done:
+                        break
+                else:
+                    done, outstanding = wait(
+                        outstanding, return_when=FIRST_COMPLETED
+                    )
+                for future in done:
+                    handle = futures[future]
+                    try:
+                        response = future.result()
+                    except Exception as exc:  # noqa: BLE001 - per-shard detail
+                        errors[handle.shard_id] = f"{type(exc).__name__}: {exc}"
+                        continue
+                    answered[handle.shard_id] = response
+                    if trace is not None and "trace" in response:
+                        trace.attach_shard(
+                            handle.shard_id,
+                            response["trace"].get("spans", []),
+                            stats=response.get("stats"),
+                            reconciled=response["trace"].get("reconciled"),
+                        )
+            for future in outstanding:
+                # Deadline ran out first; the handle's own bounded wait
+                # unblocks these scatter threads moments later.
                 handle = futures[future]
-                try:
-                    answered[handle.shard_id] = future.result()
-                except Exception as exc:  # noqa: BLE001 - per-shard detail
-                    errors[handle.shard_id] = f"{type(exc).__name__}: {exc}"
-        for future in outstanding:
-            # Deadline ran out first; the handle's own bounded wait
-            # unblocks these scatter threads moments later.
-            handle = futures[future]
-            errors[handle.shard_id] = "QueryTimeout: gather deadline expired"
-            future.cancel()
-        if not answered:
-            self._raise_total_failure(errors, deadline)
-        coverage = Coverage(len(self.handles), len(answered), errors)
-        return answered, coverage
+                errors[handle.shard_id] = "QueryTimeout: gather deadline expired"
+                future.cancel()
+            if not answered:
+                self._raise_total_failure(errors, deadline)
+            coverage = Coverage(len(self.handles), len(answered), errors)
+            if span is not None:
+                span.attrs["answered"] = coverage.answered
+            return answered, coverage
 
     def _raise_total_failure(self, errors: "dict[int, str]",
                              deadline: "Deadline | None") -> None:
@@ -943,51 +1020,57 @@ class ShardedTree:
                 metric: "str | None" = None, algorithm: str = "depth-first",
                 stats: "SearchStats | None" = None,
                 deadline: "Deadline | None" = None,
+                trace=None,
                 ) -> "tuple[list[Neighbor], Coverage]":
         responses, coverage = self.scatter(
             {"op": "knn", "items": list(query.items()), "k": k,
              "metric": metric, "algorithm": algorithm},
-            deadline,
+            deadline, trace=trace,
         )
         self._merge_stats(responses, stats)
-        merged = sorted(
-            (Neighbor(distance, tid)
-             for response in responses.values()
-             for distance, tid in response["results"]),
-        )
+        with _span(trace, "merge", op="knn"):
+            merged = sorted(
+                (Neighbor(distance, tid)
+                 for response in responses.values()
+                 for distance, tid in response["results"]),
+            )
         return merged[:k], coverage
 
     def range_query(self, query: Signature, epsilon: float,
                     metric: "str | None" = None,
                     stats: "SearchStats | None" = None,
                     deadline: "Deadline | None" = None,
+                    trace=None,
                     ) -> "tuple[list[Neighbor], Coverage]":
         responses, coverage = self.scatter(
             {"op": "range", "items": list(query.items()),
              "epsilon": epsilon, "metric": metric},
-            deadline,
+            deadline, trace=trace,
         )
         self._merge_stats(responses, stats)
-        merged = sorted(
-            Neighbor(distance, tid)
-            for response in responses.values()
-            for distance, tid in response["results"]
-        )
+        with _span(trace, "merge", op="range"):
+            merged = sorted(
+                Neighbor(distance, tid)
+                for response in responses.values()
+                for distance, tid in response["results"]
+            )
         return merged, coverage
 
     def containment_query(self, query: Signature,
                           stats: "SearchStats | None" = None,
                           deadline: "Deadline | None" = None,
+                          trace=None,
                           ) -> "tuple[list[int], Coverage]":
         responses, coverage = self.scatter(
             {"op": "containment", "items": list(query.items())},
-            deadline,
+            deadline, trace=trace,
         )
         self._merge_stats(responses, stats)
-        merged = sorted(
-            tid for response in responses.values()
-            for tid in response["results"]
-        )
+        with _span(trace, "merge", op="containment"):
+            merged = sorted(
+                tid for response in responses.values()
+                for tid in response["results"]
+            )
         return merged, coverage
 
     def batch(self, queries: "Sequence[Signature]", kind: str = "knn",
@@ -995,6 +1078,7 @@ class ShardedTree:
               metric: "str | None" = None,
               stats: "SearchStats | None" = None,
               deadline: "Deadline | None" = None,
+              trace=None,
               ) -> "tuple[list[list[Neighbor]], Coverage]":
         """A whole batch scattered once; per-query merged results."""
         items = [list(q.items()) for q in queries]
@@ -1004,16 +1088,17 @@ class ShardedTree:
         else:
             request = {"op": "batch_range", "queries": items,
                        "epsilon": epsilon, "metric": metric}
-        responses, coverage = self.scatter(request, deadline)
+        responses, coverage = self.scatter(request, deadline, trace=trace)
         self._merge_stats(responses, stats)
-        merged: "list[list[Neighbor]]" = []
-        for index in range(len(items)):
-            row = sorted(
-                Neighbor(distance, tid)
-                for response in responses.values()
-                for distance, tid in response["results"][index]
-            )
-            merged.append(row[:k] if kind == "knn" else row)
+        with _span(trace, "merge", op=f"batch_{kind}"):
+            merged: "list[list[Neighbor]]" = []
+            for index in range(len(items)):
+                row = sorted(
+                    Neighbor(distance, tid)
+                    for response in responses.values()
+                    for distance, tid in response["results"][index]
+                )
+                merged.append(row[:k] if kind == "knn" else row)
         return merged, coverage
 
     def close(self) -> None:
@@ -1052,10 +1137,12 @@ class ShardedQueryService(QueryService):
         max_queue: int = 32,
         default_deadline: "float | None" = None,
         quorum: "int | None" = None,
+        tracing=None,
     ):
         self._init_admission(
             telemetry=telemetry, max_inflight=max_inflight,
             max_queue=max_queue, default_deadline=default_deadline,
+            tracing=tracing,
         )
         if quorum is None:
             quorum = shards.shard_count // 2 + 1
@@ -1099,7 +1186,7 @@ class ShardedQueryService(QueryService):
         stats = SearchStats()
         results, coverage = self._shards.nearest(
             self._signature(items), k=k, metric=metric, algorithm=algorithm,
-            stats=stats, deadline=deadline,
+            stats=stats, deadline=deadline, trace=self.current_trace(),
         )
         self._observe_coverage("knn", coverage)
         return ServedQuery(
@@ -1111,7 +1198,7 @@ class ShardedQueryService(QueryService):
         stats = SearchStats()
         results, coverage = self._shards.range_query(
             self._signature(items), epsilon, metric=metric,
-            stats=stats, deadline=deadline,
+            stats=stats, deadline=deadline, trace=self.current_trace(),
         )
         self._observe_coverage("range", coverage)
         return ServedQuery(
@@ -1122,7 +1209,8 @@ class ShardedQueryService(QueryService):
     def _run_containment(self, items, deadline) -> ServedQuery:
         stats = SearchStats()
         results, coverage = self._shards.containment_query(
-            self._signature(items), stats=stats, deadline=deadline
+            self._signature(items), stats=stats, deadline=deadline,
+            trace=self.current_trace(),
         )
         self._observe_coverage("containment", coverage)
         return ServedQuery(
@@ -1136,7 +1224,7 @@ class ShardedQueryService(QueryService):
         signatures = [self._signature(q) for q in queries]
         results, coverage = self._shards.batch(
             signatures, kind=kind, k=k, epsilon=epsilon, metric=metric,
-            stats=stats, deadline=deadline,
+            stats=stats, deadline=deadline, trace=self.current_trace(),
         )
         self._observe_coverage("batch", coverage)
         return ServedQuery(

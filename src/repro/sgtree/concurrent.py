@@ -192,11 +192,12 @@ class ConcurrentSGTree:
         algorithm: str = "depth-first",
         stats: SearchStats | None = None,
         deadline: "Deadline | None" = None,
+        tracer=None,
     ) -> list[Neighbor]:
         with self._read_guard():
             return self._tree.nearest(
                 query, k=k, metric=metric, algorithm=algorithm, stats=stats,
-                deadline=deadline,
+                deadline=deadline, tracer=tracer,
             )
 
     def batch_nearest(
@@ -219,10 +220,12 @@ class ConcurrentSGTree:
         metric: Metric | str | None = None,
         stats: SearchStats | None = None,
         deadline: "Deadline | None" = None,
+        tracer=None,
     ) -> list[Neighbor]:
         with self._read_guard():
             return self._tree.range_query(
-                query, epsilon, metric=metric, stats=stats, deadline=deadline
+                query, epsilon, metric=metric, stats=stats,
+                deadline=deadline, tracer=tracer,
             )
 
     def batch_range_query(
@@ -241,10 +244,11 @@ class ConcurrentSGTree:
     def containment_query(
         self, query: Signature, stats: SearchStats | None = None,
         deadline: "Deadline | None" = None,
+        tracer=None,
     ) -> list[int]:
         with self._read_guard():
             return self._tree.containment_query(
-                query, stats=stats, deadline=deadline
+                query, stats=stats, deadline=deadline, tracer=tracer
             )
 
     def subset_query(self, query: Signature) -> list[int]:

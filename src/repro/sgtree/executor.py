@@ -92,6 +92,7 @@ class QueryExecutor:
         metric: "Metric | str | None" = None,
         stats: SearchStats | None = None,
         deadline: "Deadline | None" = None,
+        trace=None,
     ) -> list[list[Neighbor]]:
         """k-NN for every query; one result list per query, input order.
 
@@ -100,6 +101,8 @@ class QueryExecutor:
         node visit, and an expired deadline aborts the call with
         :class:`~repro.errors.QueryTimeout` (shards already finished are
         discarded; ``stats`` still receives the traffic generated).
+        ``trace`` (a :class:`~repro.telemetry.tracing.RequestTrace`)
+        records one ``executor_shard`` span per dispatched shard.
         """
         return self._run(
             list(queries),
@@ -109,6 +112,7 @@ class QueryExecutor:
             ),
             engine="knn",
             deadline=deadline,
+            trace=trace,
         )
 
     def range_query(
@@ -118,6 +122,7 @@ class QueryExecutor:
         metric: "Metric | str | None" = None,
         stats: SearchStats | None = None,
         deadline: "Deadline | None" = None,
+        trace=None,
     ) -> list[list[Neighbor]]:
         """Range search for every query (scalar or per-query ``epsilon``)."""
         queries = list(queries)
@@ -140,6 +145,7 @@ class QueryExecutor:
             ),
             engine="range",
             deadline=deadline,
+            trace=trace,
         )
 
     def close(self) -> None:
@@ -162,6 +168,7 @@ class QueryExecutor:
         fn: Callable[[list[Signature], int, SearchStats], list[list[Neighbor]]],
         engine: str = "knn",
         deadline: "Deadline | None" = None,
+        trace=None,
     ) -> list[list[Neighbor]]:
         if not queries:
             return []
@@ -196,6 +203,18 @@ class QueryExecutor:
                     engine=engine
                 ).observe(done - begun)
                 return output
+
+        if trace is not None:
+            # One span per dispatched shard, recorded by the worker
+            # thread that ran it (RequestTrace appends are thread-safe).
+            timed = fn
+
+            def fn(shard, start, shard_stat):
+                with trace.span(
+                    "executor_shard", engine=engine,
+                    queries=len(shard), offset=start,
+                ):
+                    return timed(shard, start, shard_stat)
 
         before = store.counters.snapshot()
         try:

@@ -345,15 +345,29 @@ class SGTree:
         algorithm: str = "depth-first",
         stats: "_search.SearchStats | None" = None,
         deadline: "_search.Deadline | None" = None,
+        tracer=None,
     ) -> list["_search.Neighbor"]:
         """The ``k`` nearest transactions to ``query`` (Section 4.1).
 
         ``deadline`` bounds the traversal: past it, the next per-node
         cancellation checkpoint raises
         :class:`~repro.errors.QueryTimeout` (see
-        :class:`~repro.sgtree.search.Deadline`).
+        :class:`~repro.sgtree.search.Deadline`).  A
+        :class:`~repro.telemetry.tracing.Tracer` records per-node visit
+        spans (depth-first only — the traced engine, as in
+        :meth:`explain`); sampled serving requests ride this path.
         """
         metric = self.metric if metric is None else resolve_metric(metric)
+        if tracer is not None:
+            if algorithm != "depth-first":
+                raise ValueError(
+                    f"tracing supports the depth-first engine only, "
+                    f"got algorithm={algorithm!r}"
+                )
+            return self._timed("knn", stats, lambda s: _search.knn_depth_first(
+                self._store, self._root_id, query, k, metric,
+                stats=s, tracer=tracer, deadline=deadline,
+            ))
         return self._timed("knn", stats, lambda s: _search.knn(
             self._store, self._root_id, query, k, metric,
             algorithm=algorithm, stats=s, deadline=deadline,
@@ -431,12 +445,13 @@ class SGTree:
         metric: Metric | str | None = None,
         stats: "_search.SearchStats | None" = None,
         deadline: "_search.Deadline | None" = None,
+        tracer=None,
     ) -> list["_search.Neighbor"]:
         """All transactions within distance ``epsilon`` of ``query``."""
         metric = self.metric if metric is None else resolve_metric(metric)
         return self._timed("range", stats, lambda s: _search.range_search(
             self._store, self._root_id, query, epsilon, metric, stats=s,
-            deadline=deadline,
+            deadline=deadline, tracer=tracer,
         ))
 
     def range_count(
@@ -495,12 +510,14 @@ class SGTree:
         query: Signature,
         stats: "_search.SearchStats | None" = None,
         deadline: "_search.Deadline | None" = None,
+        tracer=None,
     ) -> list[int]:
         """Tids of transactions that contain every item of ``query``."""
         return self._timed(
             "containment", stats,
             lambda s: _search.containment_search(
-                self._store, self._root_id, query, stats=s, deadline=deadline
+                self._store, self._root_id, query, stats=s,
+                deadline=deadline, tracer=tracer,
             ),
         )
 

@@ -48,7 +48,21 @@ from .registry import (
     log_buckets,
     set_default_registry,
 )
-from .tracing import EntryDecision, ExplainReport, Tracer, VisitSpan
+from .tracing import (
+    EntryDecision,
+    ExplainReport,
+    JsonlTraceSink,
+    RequestTrace,
+    RequestTracing,
+    TraceContext,
+    Tracer,
+    TraceSampler,
+    TraceSpan,
+    TraceStore,
+    VisitSpan,
+    new_trace_id,
+    sanitize_request_id,
+)
 
 __all__ = [
     "Counter",
@@ -71,6 +85,15 @@ __all__ = [
     "VisitSpan",
     "Tracer",
     "ExplainReport",
+    "TraceSpan",
+    "TraceContext",
+    "RequestTrace",
+    "TraceSampler",
+    "TraceStore",
+    "JsonlTraceSink",
+    "RequestTracing",
+    "new_trace_id",
+    "sanitize_request_id",
     "EventLog",
     "EventSink",
     "JsonlEventSink",

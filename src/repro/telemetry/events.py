@@ -28,6 +28,10 @@ server_drain        drained, timeout_seconds
 shard_restarted     shard, restarts, generation
 shard_failed        shard, restarts
 breaker_transition  shard, from_state, to_state
+http_access         trace_id, route, code, seconds, partial,
+                    shards_total, shards_answered, sampled, kept
+slow_query          trace_id, route, seconds, threshold_seconds,
+                    shards_total, shards_answered, top_spans
 ==================  =====================================================
 
 New event types may be added; existing fields are never renamed.
@@ -68,6 +72,14 @@ EVENT_SCHEMAS: dict[str, tuple[str, ...]] = {
     "shard_restarted": ("shard", "restarts", "generation"),
     "shard_failed": ("shard", "restarts"),
     "breaker_transition": ("shard", "from_state", "to_state"),
+    "http_access": (
+        "trace_id", "route", "code", "seconds", "partial",
+        "shards_total", "shards_answered", "sampled", "kept",
+    ),
+    "slow_query": (
+        "trace_id", "route", "seconds", "threshold_seconds",
+        "shards_total", "shards_answered", "top_spans",
+    ),
 }
 
 
@@ -95,22 +107,38 @@ class MemoryEventSink(EventSink):
 
 
 class JsonlEventSink(EventSink):
-    """Appends one JSON object per line to a file."""
+    """Appends one JSON object per line to a file.
+
+    Flush-safe against a concurrent :meth:`close` — the SIGTERM drain
+    path closes sinks while request threads may still be emitting
+    (:meth:`EventLog.emit` fans out to sinks outside the log's lock).
+    A write that loses that race is dropped *whole* under the sink lock
+    instead of racing the closed file handle and truncating the last
+    event line mid-JSON.
+    """
 
     def __init__(self, path):
         self.path = path
         self._fh = open(path, "a", encoding="utf-8")
         self._lock = threading.Lock()
+        self._closed = False
 
     def write(self, event: dict) -> None:
         line = json.dumps(event, sort_keys=True, default=str) + "\n"
         with self._lock:
+            if self._closed:
+                return
             self._fh.write(line)
             self._fh.flush()
 
     def close(self) -> None:
         with self._lock:
-            if not self._fh.closed:
+            if self._closed:
+                return
+            self._closed = True
+            try:
+                self._fh.flush()
+            finally:
                 self._fh.close()
 
 
@@ -148,7 +176,7 @@ class EventLog:
         event = {"event": event_type, "ts": time.time(), **fields}
         with self._lock:
             self.counts[event_type] = self.counts.get(event_type, 0) + 1
-            sinks = list(self._sinks)
+            sinks = tuple(self._sinks) if self._sinks else ()
         for sink in sinks:
             sink.write(event)
         if self._logger is not None:

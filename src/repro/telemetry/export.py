@@ -100,7 +100,7 @@ def snapshot(registry: MetricsRegistry) -> dict:
                     q: child.quantile(p)
                     for q, p in (("p50", 0.5), ("p95", 0.95), ("p99", 0.99))
                 }
-                entry["series"][key] = {
+                row = {
                     "count": child.count,
                     "sum": child.sum,
                     "buckets": [
@@ -112,6 +112,16 @@ def snapshot(registry: MetricsRegistry) -> dict:
                         for q, v in quantiles.items()
                     },
                 }
+                exemplars = child.exemplars()
+                if exemplars:
+                    # Trace-id exemplars (latest per bucket); the classic
+                    # text exposition has no exemplar grammar, so they
+                    # surface only here and on /debug/traces.
+                    row["exemplars"] = {
+                        ("+Inf" if math.isinf(bound) else str(bound)): doc
+                        for bound, doc in exemplars.items()
+                    }
+                entry["series"][key] = row
             else:
                 entry["series"][key] = child.value
         out[family.name] = entry

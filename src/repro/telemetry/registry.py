@@ -36,6 +36,7 @@ import bisect
 import math
 import re
 import threading
+import time
 from collections.abc import Callable, Iterable, Sequence
 
 __all__ = [
@@ -169,9 +170,16 @@ class Histogram(_Metric):
     ``buckets`` holds the finite upper bounds in increasing order; an
     observation lands in the first bucket whose bound is ``>= value``
     (Prometheus ``le`` semantics), or the implicit ``+Inf`` bucket.
+
+    ``observe`` optionally attaches an **exemplar** — a trace id tied to
+    one concrete observation — keeping the most recent exemplar per
+    bucket (OpenMetrics semantics).  Exemplars surface through
+    :meth:`exemplars` and the JSON snapshot; the classic Prometheus text
+    exposition this package renders has no exemplar syntax, so the text
+    format is unchanged (and stays valid under the strict validator).
     """
 
-    __slots__ = ("buckets", "_counts", "_sum", "_count")
+    __slots__ = ("buckets", "_counts", "_sum", "_count", "_exemplars")
 
     def __init__(self, lock: threading.Lock, buckets: Sequence[float]):
         super().__init__(lock)
@@ -179,13 +187,28 @@ class Histogram(_Metric):
         self._counts = [0] * (len(self.buckets) + 1)  # last = +Inf
         self._sum = 0.0
         self._count = 0
+        self._exemplars: dict[int, tuple[str, float, float]] = {}
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: "str | None" = None) -> None:
         index = bisect.bisect_left(self.buckets, value)
         with self._lock:
             self._counts[index] += 1
             self._sum += value
             self._count += 1
+            if exemplar is not None:
+                self._exemplars[index] = (str(exemplar), value, time.time())
+
+    def exemplars(self) -> dict:
+        """Latest exemplar per bucket: ``le`` -> trace id, value, ts."""
+        with self._lock:
+            items = list(self._exemplars.items())
+        out = {}
+        for index, (trace_id, value, ts) in items:
+            bound = (
+                self.buckets[index] if index < len(self.buckets) else math.inf
+            )
+            out[bound] = {"trace_id": trace_id, "value": value, "ts": ts}
+        return out
 
     @property
     def sum(self) -> float:
@@ -340,8 +363,8 @@ class MetricFamily:
     def dec(self, amount: float = 1.0) -> None:
         self._default_child().dec(amount)  # type: ignore[attr-defined]
 
-    def observe(self, value: float) -> None:
-        self._default_child().observe(value)  # type: ignore[attr-defined]
+    def observe(self, value: float, exemplar: "str | None" = None) -> None:
+        self._default_child().observe(value, exemplar=exemplar)  # type: ignore[attr-defined]
 
     def set_function(self, fn: Callable[[], float]) -> "MetricFamily":
         self._default_child().set_function(fn)

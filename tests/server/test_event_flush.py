@@ -1,0 +1,82 @@
+"""Flush-safety of the JSONL event sink under the shutdown drain.
+
+The SIGTERM drain path closes sinks while request threads may still be
+emitting — ``EventLog.emit`` fans out to sinks *outside* the log's
+lock, so a write can race ``close``.  The contract: a racing write is
+dropped whole, never torn mid-line, and every line that does land is
+valid JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+from repro.telemetry import EventLog, JsonlEventSink
+
+
+class TestJsonlEventSink:
+    def test_writes_after_close_are_dropped_whole(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlEventSink(path)
+        sink.write({"event": "kept"})
+        sink.close()
+        sink.write({"event": "lost"})  # silently dropped, no ValueError
+        sink.close()  # idempotent
+        docs = [json.loads(l) for l in path.read_text().splitlines()]
+        assert [d["event"] for d in docs] == ["kept"]
+
+    def test_concurrent_writes_and_close_leave_valid_jsonl(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlEventSink(path)
+        stop = threading.Event()
+
+        def writer(tag: int) -> None:
+            i = 0
+            while not stop.is_set():
+                sink.write({"event": "spam", "tag": tag, "i": i,
+                            "pad": "x" * 64})
+                i += 1
+
+        threads = [threading.Thread(target=writer, args=(t,))
+                   for t in range(4)]
+        for t in threads:
+            t.start()
+        time.sleep(0.05)
+        sink.close()
+        stop.set()
+        for t in threads:
+            t.join()
+        lines = path.read_text().splitlines()
+        assert lines
+        for line in lines:  # no line was torn in half by the close
+            json.loads(line)
+
+    def test_event_log_drain_closes_sinks_once(self, tmp_path):
+        # The serving shutdown path: emits race EventLog.close() and the
+        # file still ends as parseable JSONL with nothing after close.
+        path = tmp_path / "events.jsonl"
+        log = EventLog()
+        log.add_sink(JsonlEventSink(path))
+        stop = threading.Event()
+
+        def emitter() -> None:
+            while not stop.is_set():
+                log.emit("tick", detail="x" * 32)
+
+        threads = [threading.Thread(target=emitter) for _ in range(3)]
+        for t in threads:
+            t.start()
+        time.sleep(0.05)
+        log.close()
+        count_at_close = sum(1 for _ in open(path))
+        time.sleep(0.02)  # emitters may still be running against the log
+        stop.set()
+        for t in threads:
+            t.join()
+        lines = path.read_text().splitlines()
+        for line in lines:
+            json.loads(line)
+        # close() detached the sink, so nothing lands afterwards.
+        assert len(lines) == count_at_close

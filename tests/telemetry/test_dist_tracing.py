@@ -1,0 +1,311 @@
+"""Distributed request tracing: spans, stitching, sampling, retention."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.telemetry import (
+    JsonlTraceSink,
+    RequestTrace,
+    RequestTracing,
+    TraceContext,
+    new_trace_id,
+    sanitize_request_id,
+)
+from repro.telemetry.tracing import TraceSampler, TraceSpan, TraceStore
+
+# One shard's worth of wire-form visit spans (the `VisitSpan.to_dict`
+# shape shipped over the worker protocol) that reconciles with the
+# stats next to it: 2 spans, root descended once, both buffer hits.
+VISIT_SPANS = [
+    {"span": 0, "parent": None, "page_id": 7, "level": 1, "is_leaf": False,
+     "fanout": 2, "buffer_hit": True, "decode_seconds": 0.0,
+     "threshold_in": "inf", "threshold_out": 3.0,
+     "entries": [{"ref": 1, "bound": 1.0, "action": "descended",
+                  "threshold": "inf"},
+                 {"ref": 2, "bound": 9.0, "action": "pruned",
+                  "threshold": 3.0}],
+     "n_descended": 1, "n_pruned": 1, "n_compared": 0, "n_admitted": 0},
+    {"span": 1, "parent": 0, "page_id": 1, "level": 0, "is_leaf": True,
+     "fanout": 5, "buffer_hit": True, "decode_seconds": 0.0,
+     "threshold_in": "inf", "threshold_out": 3.0,
+     "entries": [], "n_descended": 0, "n_pruned": 0,
+     "n_compared": 5, "n_admitted": 3},
+]
+VISIT_STATS = {"node_accesses": 2, "random_ios": 0, "leaf_entries": 5,
+               "buffer_hits": 2}
+
+
+def finished_trace(trace_id: str = "t-1", shards: bool = True,
+                   **finish_kwargs) -> RequestTrace:
+    trace = RequestTrace(trace_id, "knn", sampled=True)
+    with trace.span("admission_wait"):
+        pass
+    with trace.span("execute"):
+        if shards:
+            trace.attach_shard(0, VISIT_SPANS, stats=VISIT_STATS,
+                               reconciled=True)
+    finish_kwargs.setdefault("stats", dict(VISIT_STATS))
+    trace.finish(**finish_kwargs)
+    return trace
+
+
+class TestTraceContext:
+    def test_round_trips_over_the_wire(self):
+        ctx = TraceContext("abc123", sampled=True)
+        wire = ctx.to_wire()
+        assert json.loads(json.dumps(wire)) == wire
+        back = TraceContext.from_wire(wire)
+        assert back.trace_id == "abc123"
+        assert back.sampled is True
+
+    def test_absent_wire_context_is_none(self):
+        assert TraceContext.from_wire(None) is None
+        assert TraceContext.from_wire({}) is None
+
+
+class TestRequestIds:
+    def test_new_ids_are_unique_32_hex(self):
+        ids = {new_trace_id() for _ in range(256)}
+        assert len(ids) == 256
+        assert all(len(i) == 32 and int(i, 16) >= 0 for i in ids)
+
+    def test_inbound_header_is_honoured(self):
+        assert sanitize_request_id("order-lookup.42") == "order-lookup.42"
+
+    def test_hostile_characters_are_stripped(self):
+        assert sanitize_request_id("a\r\nSet-Cookie: x=1") == "aSet-Cookiex1"
+
+    def test_overlong_ids_are_capped(self):
+        assert len(sanitize_request_id("x" * 500)) == 64
+
+    @pytest.mark.parametrize("value", [None, "", "   ", "\r\n"])
+    def test_useless_values_yield_a_fresh_id(self, value):
+        generated = sanitize_request_id(value)
+        assert len(generated) == 32
+
+
+class TestRequestTrace:
+    def test_spans_record_order_and_duration(self):
+        trace = RequestTrace("t", "knn")
+        with trace.span("outer", shards=3) as span:
+            time.sleep(0.002)
+        assert [s.name for s in trace.spans] == ["outer"]
+        assert span.duration >= 0.002
+        assert span.attrs == {"shards": 3}
+
+    def test_span_attrs_settable_inside_the_block(self):
+        trace = RequestTrace("t", "knn")
+        with trace.span("scatter") as span:
+            span.attrs["answered"] = 2
+        assert trace.spans[0].attrs["answered"] == 2
+
+    def test_add_span_records_zero_duration_annotations(self):
+        trace = RequestTrace("t", "knn")
+        span = trace.add_span("rpc", shard=1, outcome="circuit_open")
+        assert span.duration == 0.0
+        assert span.shard == 1
+
+    def test_concurrent_span_appends_are_safe(self):
+        trace = RequestTrace("t", "knn")
+
+        def hammer(shard: int) -> None:
+            for _ in range(200):
+                trace.add_span("rpc", shard=shard)
+
+        threads = [threading.Thread(target=hammer, args=(i,))
+                   for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(trace.spans) == 800
+
+    def test_to_dict_from_dict_round_trip(self):
+        trace = finished_trace(coverage={"shards_total": 1,
+                                         "shards_answered": 1})
+        doc = json.loads(json.dumps(trace.to_dict()))
+        back = RequestTrace.from_dict(doc)
+        assert back.trace_id == trace.trace_id
+        assert [s.name for s in back.spans] == [s.name for s in trace.spans]
+        assert back.shards[0]["stats"] == VISIT_STATS
+        assert back.stitch_report()["ok"]
+
+    def test_render_mentions_every_layer(self):
+        trace = finished_trace(coverage={"shards_total": 1,
+                                         "shards_answered": 1})
+        text = trace.render()
+        assert "TRACE t-1 route=knn" in text
+        assert "admission_wait" in text
+        assert "shard 0 visits: 2 spans" in text
+        assert "stitched: yes" in text
+
+
+class TestStitchReport:
+    def test_complete_trace_stitches(self):
+        report = finished_trace().stitch_report()
+        assert report["ok"], report["problems"]
+        assert report["shards"][0]["reconciled"] is True
+
+    def test_span_past_wall_time_is_a_problem(self):
+        trace = finished_trace()
+        trace.spans.append(TraceSpan("rogue", trace.duration + 5.0, 1.0))
+        report = trace.stitch_report()
+        assert not report["ok"]
+        assert any("rogue" in p for p in report["problems"])
+
+    def test_orphan_visit_span_is_a_problem(self):
+        spans = [dict(VISIT_SPANS[0]), dict(VISIT_SPANS[1])]
+        spans[1]["parent"] = 40  # parent never seen
+        trace = RequestTrace("t", "knn", sampled=True)
+        trace.attach_shard(0, spans, stats=VISIT_STATS, reconciled=True)
+        trace.finish(stats=dict(VISIT_STATS))
+        assert not trace.stitch_report()["ok"]
+
+    def test_shard_span_count_must_match_stats(self):
+        bad_stats = dict(VISIT_STATS, node_accesses=9)
+        trace = RequestTrace("t", "knn", sampled=True)
+        trace.attach_shard(0, VISIT_SPANS, stats=bad_stats, reconciled=True)
+        trace.finish(stats=dict(bad_stats))
+        report = trace.stitch_report()
+        assert not report["ok"]
+
+    def test_partial_trace_skips_the_aggregate_check(self):
+        # One shard answered, one did not: per-shard invariants still
+        # hold but summed spans cannot equal the full aggregate.
+        trace = RequestTrace("t", "knn", sampled=True)
+        trace.attach_shard(0, VISIT_SPANS, stats=VISIT_STATS,
+                           reconciled=True)
+        trace.finish(stats={"node_accesses": 99, "random_ios": 0,
+                            "leaf_entries": 5, "buffer_hits": 2},
+                     partial=True,
+                     coverage={"shards_total": 2, "shards_answered": 1})
+        assert trace.stitch_report()["ok"]
+
+
+class TestSampler:
+    def test_extremes_short_circuit(self):
+        assert all(TraceSampler(1.0).sample() for _ in range(32))
+        assert not any(TraceSampler(0.0).sample() for _ in range(32))
+
+    def test_seeded_rate_is_reproducible(self):
+        a = [TraceSampler(0.5, seed=7).sample() for _ in range(1)]
+        b = [TraceSampler(0.5, seed=7).sample() for _ in range(1)]
+        assert a == b
+
+    def test_rate_is_validated(self):
+        with pytest.raises(ValueError):
+            TraceSampler(1.5)
+
+
+class TestTraceStore:
+    def test_ring_evicts_oldest(self):
+        store = TraceStore(capacity=3)
+        for i in range(5):
+            store.put(finished_trace(trace_id=f"t-{i}"))
+        assert len(store) == 3
+        assert store.get("t-0") is None
+        assert store.get("t-4")["trace_id"] == "t-4"
+
+    def test_recent_is_newest_first_summaries(self):
+        store = TraceStore(capacity=8)
+        for i in range(4):
+            store.put(finished_trace(trace_id=f"t-{i}"))
+        rows = store.recent()
+        assert [r["trace_id"] for r in rows] == ["t-3", "t-2", "t-1", "t-0"]
+        assert all("spans" in r and "shards" in r for r in rows)
+        assert all("stitch" not in r for r in rows)
+
+
+class TestRetention:
+    def test_sampled_trace_is_kept(self):
+        tracing = RequestTracing(sample_rate=1.0)
+        trace = tracing.start("knn")
+        trace.finish()
+        assert tracing.finish(trace) is True
+        assert tracing.store.get(trace.trace_id) is not None
+
+    def test_unsampled_ok_trace_is_dropped(self):
+        tracing = RequestTracing(sample_rate=0.0)
+        trace = tracing.start("knn")
+        trace.finish()
+        assert tracing.finish(trace) is False
+        assert len(tracing.store) == 0
+
+    def test_error_forces_retention(self):
+        tracing = RequestTracing(sample_rate=0.0)
+        trace = tracing.start("knn")
+        trace.finish(code=500, error="ValueError: boom")
+        assert tracing.finish(trace) is True
+
+    def test_partial_forces_retention(self):
+        tracing = RequestTracing(sample_rate=0.0)
+        trace = tracing.start("knn")
+        trace.finish(partial=True,
+                     coverage={"shards_total": 2, "shards_answered": 1})
+        assert tracing.finish(trace) is True
+
+    def test_slow_forces_retention(self):
+        tracing = RequestTracing(sample_rate=0.0, slow_threshold=0.0)
+        trace = tracing.start("knn")
+        trace.finish()
+        assert tracing.is_slow(trace)
+        assert tracing.finish(trace) is True
+
+    def test_inbound_request_id_becomes_the_trace_id(self):
+        tracing = RequestTracing(sample_rate=1.0)
+        trace = tracing.start("knn", request_id="my-request")
+        assert trace.trace_id == "my-request"
+
+    def test_kept_traces_reach_the_sink(self, tmp_path):
+        sink = JsonlTraceSink(tmp_path / "traces.jsonl")
+        tracing = RequestTracing(sample_rate=1.0, sink=sink)
+        trace = tracing.start("knn")
+        trace.finish()
+        tracing.finish(trace)
+        tracing.close()
+        lines = (tmp_path / "traces.jsonl").read_text().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["trace_id"] == trace.trace_id
+
+
+class TestJsonlTraceSink:
+    def test_writes_after_close_are_dropped_whole(self, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        sink = JsonlTraceSink(path)
+        sink.write({"trace_id": "a"})
+        sink.close()
+        sink.write({"trace_id": "b"})  # silently dropped, no ValueError
+        sink.close()  # idempotent
+        docs = [json.loads(l) for l in path.read_text().splitlines()]
+        assert [d["trace_id"] for d in docs] == ["a"]
+
+    def test_concurrent_writes_and_close_leave_valid_jsonl(self, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        sink = JsonlTraceSink(path)
+        stop = threading.Event()
+
+        def writer(tag: int) -> None:
+            i = 0
+            while not stop.is_set():
+                sink.write({"trace_id": f"{tag}-{i}", "pad": "x" * 64})
+                i += 1
+
+        threads = [threading.Thread(target=writer, args=(t,))
+                   for t in range(4)]
+        for t in threads:
+            t.start()
+        time.sleep(0.05)
+        sink.close()
+        stop.set()
+        for t in threads:
+            t.join()
+        # Every line parses: the close never tore a write in half.
+        lines = path.read_text().splitlines()
+        assert lines
+        for line in lines:
+            json.loads(line)
