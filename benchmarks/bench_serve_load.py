@@ -24,10 +24,17 @@ root:
    hang past their deadline, affected responses degrade to ``partial``
    with coverage detail instead of failing, and the supervisor must
    restore full coverage before the run ends.
+5. **Concurrent writer, wait-free readers** — four clients query a
+   fresh tree while a background writer publishes >= 10 copy-on-write
+   snapshots (one per insert).  Zero requests may fail or stall, query
+   p99 with the writer active must stay within 2x the read-only p99,
+   and results must be bit-identical within each pinned
+   ``tree_generation``; once the readers drain the epoch reclaimer
+   must free every superseded page.
 
 Runnable standalone (``python benchmarks/bench_serve_load.py``) or via
 pytest; the CI serve-smoke job runs the pytest form and gates on the
-three acceptance assertions above.
+acceptance assertions above.
 """
 
 from __future__ import annotations
@@ -104,13 +111,13 @@ def bench_admission(tree, queries) -> dict:
         tree, max_inflight=max_inflight, max_queue=max_queue
     )
     gate = threading.Event()
-    original = service._tree.nearest
+    original = service._run_knn
 
-    def gated(query, **kwargs):
+    def gated(*args):
         gate.wait(timeout=60)
-        return original(query, **kwargs)
+        return original(*args)
 
-    service._tree.nearest = gated
+    service._run_knn = gated
     statuses: list[int] = []
     lock = threading.Lock()
 
@@ -335,6 +342,139 @@ def bench_kill_shard(tree, queries, seconds: float = 1.2) -> dict:
     }
 
 
+def _p99(latencies: list) -> float:
+    if not latencies:
+        return 0.0
+    ordered = sorted(latencies)
+    return ordered[min(len(ordered) - 1, int(0.99 * len(ordered)))]
+
+
+def bench_concurrent_writer(workload, queries, n_publishes: int = 12,
+                            seconds: float = 1.0) -> dict:
+    """Readers must keep flowing while a writer publishes COW snapshots.
+
+    A fresh tree serves four HTTP clients twice: once read-only (the
+    latency baseline) and once while a background writer performs
+    ``n_publishes`` single-transaction inserts, each of which is one
+    copy-on-write snapshot publish.  Gates (asserted by
+    :class:`TestServeLoad`): zero failed and zero stalled requests,
+    at least ``n_publishes`` publishes observed, p99 with the writer
+    active within 2x the read-only p99, and results bit-identical
+    within each ``(query, tree_generation)`` group.
+    """
+    fresh = build_tree(workload).index
+    server, service, base = _served(fresh, max_inflight=8, max_queue=64)
+    deadline_ms = 5_000
+    grace = 2.0  # scheduling slack; a stalled reader would blow past this
+    lock = threading.Lock()
+
+    def hammer(seconds: float, samples: list):
+        """Four clients for ``seconds``; append (qi, status, elapsed,
+        generation, canonical-results) tuples to ``samples``."""
+        stop = threading.Event()
+
+        def client(offset: int):
+            i = 0
+            while not stop.is_set():
+                qi = (offset + i) % len(queries)
+                started = time.monotonic()
+                status, body = _post(
+                    base, "/query/knn",
+                    {"items": queries[qi], "k": K, "deadline_ms": deadline_ms},
+                )
+                elapsed = time.monotonic() - started
+                row = (
+                    qi, status, elapsed,
+                    body.get("tree_generation"),
+                    json.dumps(body.get("results"), sort_keys=True),
+                )
+                with lock:
+                    samples.append(row)
+                i += 1
+
+        threads = [threading.Thread(target=client, args=(j,))
+                   for j in range(4)]
+        for t in threads:
+            t.start()
+        time.sleep(seconds)
+        stop.set()
+        for t in threads:
+            t.join(timeout=60)
+
+    read_only: list = []
+    with_writer: list = []
+    try:
+        hammer(seconds, read_only)
+
+        publishes_before = service.tree.publishes
+        writer_done = threading.Event()
+
+        def writer():
+            start_tid = 10_000_000
+            for i in range(n_publishes):
+                source = workload.transactions[i % len(workload.transactions)]
+                service.tree.insert(start_tid + i, source.signature)
+                time.sleep(seconds / (2 * n_publishes))
+            writer_done.set()
+
+        writer_thread = threading.Thread(target=writer)
+        writer_thread.start()
+        hammer(seconds, with_writer)
+        writer_thread.join(timeout=60)
+        publishes = service.tree.publishes - publishes_before
+
+        # Superseded pages must drain once the readers are gone.
+        reclaimed = service.tree.reclaim(timeout=10)
+        pending = service.tree.pending_reclaim
+        pages_reclaimed = service.tree.reclaimed_pages
+    finally:
+        server.close()
+
+    def gate_counts(samples: list) -> dict:
+        failed = sum(1 for _, s, _, _, _ in samples if s not in (200, 429))
+        stalled = sum(1 for _, _, e, _, _ in samples
+                      if e > deadline_ms / 1e3 + grace)
+        return {"failed": failed, "stalled": stalled}
+
+    # Bit-identical per pinned generation: every response in one
+    # (query, generation) group must carry byte-identical results.
+    groups: dict = {}
+    mismatches = 0
+    for qi, status, _e, generation, canonical in with_writer:
+        if status != 200:
+            continue
+        key = (qi, generation)
+        if key in groups:
+            if groups[key] != canonical:
+                mismatches += 1
+        else:
+            groups[key] = canonical
+    generations = sorted({g for _, s, _, g, _ in with_writer if s == 200})
+
+    p99_read_only = _p99([e for _, s, e, _, _ in read_only if s == 200])
+    p99_with_writer = _p99([e for _, s, e, _, _ in with_writer if s == 200])
+    return {
+        "clients": 4,
+        "deadline_ms": deadline_ms,
+        "writer_inserts": n_publishes,
+        "publishes": publishes,
+        "read_only_requests": len(read_only),
+        "with_writer_requests": len(with_writer),
+        **{f"read_only_{k}": v for k, v in gate_counts(read_only).items()},
+        **{f"with_writer_{k}": v for k, v in gate_counts(with_writer).items()},
+        "p99_read_only_seconds": p99_read_only,
+        "p99_with_writer_seconds": p99_with_writer,
+        "generations_observed": len(generations),
+        "generation_span": (generations[-1] - generations[0]
+                            if generations else 0),
+        "identity_groups": len(groups),
+        "identity_mismatches": mismatches,
+        "reclaim_drained": bool(reclaimed),
+        "pages_reclaimed": pages_reclaimed,
+        "reclaim_pending_after_drain": pending,
+    }
+
+
 def run_benchmark(tmp_dir: "pathlib.Path | None" = None) -> dict:
     workload = cached_quest(T_SIZE, I_SIZE, D, N_QUERIES)
     tree = build_tree(workload).index
@@ -370,6 +510,10 @@ def run_benchmark(tmp_dir: "pathlib.Path | None" = None) -> dict:
 
     kill_shard = bench_kill_shard(tree, query_items)
 
+    concurrent_writer = bench_concurrent_writer(
+        replacement_workload, query_items
+    )
+
     return {
         "benchmark": "serve_load",
         "workload": workload.name,
@@ -378,13 +522,14 @@ def run_benchmark(tmp_dir: "pathlib.Path | None" = None) -> dict:
         "deadline": deadline_doc,
         "hot_swap": hot_swap,
         "kill_shard": kill_shard,
+        "concurrent_writer": concurrent_writer,
     }
 
 
 def _summarise(doc: dict) -> str:
-    admission, deadline, swap, kill = (
+    admission, deadline, swap, kill, writer = (
         doc["admission"], doc["deadline"], doc["hot_swap"],
-        doc["kill_shard"],
+        doc["kill_shard"], doc["concurrent_writer"],
     )
     return "\n".join([
         f"Serving under load ({doc['workload']}, "
@@ -405,6 +550,14 @@ def _summarise(doc: dict) -> str:
         f"across {kill['restarts']} restart(s); coverage recovered: "
         f"{kill['coverage_recovered']} "
         f"({kill['final_shards_up']}/{kill['shards']} shards up)",
+        f"  concurrent-writer: {writer['publishes']} publishes, "
+        f"{writer['with_writer_requests']} reads "
+        f"({writer['with_writer_failed']} failed, "
+        f"{writer['with_writer_stalled']} stalled), p99 "
+        f"{writer['p99_with_writer_seconds'] * 1e3:.1f}ms vs "
+        f"{writer['p99_read_only_seconds'] * 1e3:.1f}ms read-only, "
+        f"{writer['identity_mismatches']} identity mismatches across "
+        f"{writer['identity_groups']} (query, generation) groups",
     ])
 
 
@@ -449,10 +602,25 @@ class TestServeLoad:
         assert kill["coverage_recovered"]
         assert kill["final_shards_up"] == kill["shards"]
 
+    def test_concurrent_writer_never_stalls_readers(self, results):
+        writer = results["concurrent_writer"]
+        assert writer["publishes"] >= 10
+        assert writer["with_writer_failed"] == 0
+        assert writer["with_writer_stalled"] == 0
+        assert writer["read_only_failed"] == 0
+        assert writer["p99_with_writer_seconds"] <= max(
+            2 * writer["p99_read_only_seconds"], 0.05
+        )
+        assert writer["identity_mismatches"] == 0
+        assert writer["generations_observed"] >= 2
+        assert writer["reclaim_drained"]
+        assert writer["reclaim_pending_after_drain"] == 0
+
     def test_json_well_formed(self, results):
         doc = json.loads(DEFAULT_OUT.read_text())
         assert doc["benchmark"] == "serve_load"
-        for key in ("admission", "deadline", "hot_swap", "kill_shard"):
+        for key in ("admission", "deadline", "hot_swap", "kill_shard",
+                    "concurrent_writer"):
             assert key in doc
 
 

@@ -87,6 +87,7 @@ def _response_payload(served: ServedQuery) -> dict:
         "kind": served.kind,
         "results": _results_payload(served.results),
         "generation": served.generation,
+        "tree_generation": served.tree_generation,
         "seconds": served.seconds,
         "partial": served.partial,
         "stats": _stats_payload(served.stats),

@@ -20,10 +20,18 @@ in-process API does not provide:
   a slow query stops burning node accesses the moment its caller has
   given up.
 * **Snapshot hot-swap.**  :meth:`reload` builds or reopens an index in
-  the calling thread (no latch held), then atomically swaps it in via
-  :meth:`~repro.sgtree.concurrent.ConcurrentSGTree.swap`.  In-flight
-  queries finish against the old generation; every query admitted after
-  the swap sees the new one; no request is dropped.
+  the calling thread (queries keep flowing), then atomically publishes
+  it via :meth:`~repro.sgtree.concurrent.ConcurrentSGTree.swap` — one
+  snapshot publish like any other write (``docs/concurrency.md``).
+  In-flight queries finish against the old snapshot, every query
+  admitted after the swap pins the new one, and the old tree's pager is
+  closed through epoch reclamation only after its last reader drains;
+  no request is dropped.
+
+Every single-tree response also reports the snapshot generation it was
+answered from (``tree_generation``): with concurrent writers publishing
+copy-on-write snapshots, results are bit-identical per pinned generation
+and clients can observe the generation advancing monotonically.
 
 All of it is observable: request counters/latency histograms by route,
 queue-depth and in-flight gauges, shed/timeout counters and a
@@ -129,6 +137,10 @@ class ServedQuery:
     coverage: "dict | None" = None
     partial: bool = False
     trace_id: "str | None" = None
+    #: Snapshot generation the query was answered from (single-tree
+    #: serving pins one snapshot per request; sharded responses leave
+    #: the default — each shard worker reports its own generation).
+    tree_generation: int = 0
 
 
 class QueryService:
@@ -180,6 +192,11 @@ class QueryService:
         )
         if isinstance(tree, SGTree):
             tree = ConcurrentSGTree(tree)
+        if telemetry is not None:
+            # The facade owns the snapshot/epoch gauges; attaching the
+            # inner tree beforehand (as the CLI does) registers only the
+            # tree-shape collectors, and re-attachment is idempotent.
+            tree.attach_telemetry(telemetry)
         self._tree = tree
         self._executor = QueryExecutor(tree, workers=workers, batch_size=batch_size)
 
@@ -252,10 +269,18 @@ class QueryService:
         return {
             "transactions": len(self._tree),
             "n_bits": self._tree.n_bits,
-            # "generation" is the snapshot generation above; the arena
-            # generation of the served store travels under its own key.
+            # "generation" above counts reloads; the arena generation of
+            # the served store travels under its own key, and the
+            # copy-on-write publish/reclamation state under "snapshot"
+            # (see docs/concurrency.md).
             "tree_generation": health["generation"],
             "decode_cache": health["decode_cache"],
+            "snapshot": {
+                "generation": self._tree.generation,
+                "publishes": self._tree.publishes,
+                "active_pins": self._tree.active_pins,
+                "reclaim_pending": self._tree.pending_reclaim,
+            },
         }
 
     def health(self) -> dict:
@@ -485,11 +510,18 @@ class QueryService:
             return None
         return self.tracing.store.get(trace_id)
 
-    def _signature(self, items: "Sequence[int] | Signature") -> Signature:
-        """Build a query signature against the *current* generation."""
+    def _signature(self, items: "Sequence[int] | Signature",
+                   n_bits: "int | None" = None) -> Signature:
+        """Build a query signature against the *current* generation.
+
+        Single-tree hooks pass the pinned snapshot's ``n_bits`` so the
+        signature matches the exact tree version the query will walk.
+        """
         if isinstance(items, Signature):
             return items
-        return Signature.from_items(list(items), self._tree.n_bits)
+        if n_bits is None:
+            n_bits = self._tree.n_bits
+        return Signature.from_items(list(items), n_bits)
 
     def _retrying(self, fn: "Callable[[], ServedQuery]") -> ServedQuery:
         """Absorb the signature/generation race around a hot-swap.
@@ -541,39 +573,51 @@ class QueryService:
     def _run_knn(self, items, k, metric, algorithm, deadline) -> ServedQuery:
         stats = SearchStats()
         tracer = self._local_tracer(algorithm)
-        results = self._tree.nearest(
-            self._signature(items), k=k, metric=metric,
-            algorithm=algorithm, stats=stats, deadline=deadline,
-            tracer=tracer,
-        )
+        with self._tree.snapshot() as snap:
+            results = snap.nearest(
+                self._signature(items, snap.n_bits), k=k, metric=metric,
+                algorithm=algorithm, stats=stats, deadline=deadline,
+                tracer=tracer,
+            )
+            generation = snap.generation
         self._attach_local(tracer, stats)
-        return ServedQuery("knn", results, stats)
+        return ServedQuery("knn", results, stats, tree_generation=generation)
 
     def _run_range(self, items, epsilon, metric, deadline) -> ServedQuery:
         stats = SearchStats()
         tracer = self._local_tracer()
-        results = self._tree.range_query(
-            self._signature(items), epsilon, metric=metric,
-            stats=stats, deadline=deadline, tracer=tracer,
-        )
+        with self._tree.snapshot() as snap:
+            results = snap.range_query(
+                self._signature(items, snap.n_bits), epsilon, metric=metric,
+                stats=stats, deadline=deadline, tracer=tracer,
+            )
+            generation = snap.generation
         self._attach_local(tracer, stats)
-        return ServedQuery("range", results, stats)
+        return ServedQuery("range", results, stats, tree_generation=generation)
 
     def _run_containment(self, items, deadline) -> ServedQuery:
         stats = SearchStats()
         tracer = self._local_tracer()
-        results = self._tree.containment_query(
-            self._signature(items), stats=stats, deadline=deadline,
-            tracer=tracer,
-        )
+        with self._tree.snapshot() as snap:
+            results = snap.containment_query(
+                self._signature(items, snap.n_bits), stats=stats,
+                deadline=deadline, tracer=tracer,
+            )
+            generation = snap.generation
         self._attach_local(tracer, stats)
-        return ServedQuery("containment", results, stats)
+        return ServedQuery(
+            "containment", results, stats, tree_generation=generation
+        )
 
     def _run_batch(self, queries, kind, k, epsilon, metric, deadline,
                    ) -> ServedQuery:
         stats = SearchStats()
         signatures = [self._signature(q) for q in queries]
         trace = self.current_trace()
+        # The executor pins its own snapshot for the whole batch; the
+        # generation reported here is the published one at dispatch,
+        # which the executor's pin can only match or exceed.
+        generation = self._tree.generation
         if kind == "knn":
             results = self._executor.knn(
                 signatures, k=k, metric=metric, stats=stats,
@@ -584,7 +628,9 @@ class QueryService:
                 signatures, epsilon, metric=metric, stats=stats,
                 deadline=deadline, trace=trace,
             )
-        return ServedQuery(f"batch_{kind}", results, stats)
+        return ServedQuery(
+            f"batch_{kind}", results, stats, tree_generation=generation
+        )
 
     # -- query routes ------------------------------------------------------
 
@@ -692,10 +738,11 @@ class QueryService:
         save_tree`) or ``dataset_path`` (a JSONL transaction file, bulk
         loaded with ``bulk`` or inserted one-by-one when ``bulk`` is
         ``None``) must be given.  The load/build runs in the calling
-        thread with **no latch held** — queries keep flowing against the
-        old generation — and only the pointer swap itself takes the
-        write latch.  In-flight queries finish on the old tree; the old
-        pager is closed after they drain; no request is dropped.
+        thread — queries keep flowing against the old snapshot — and the
+        replacement lands as one atomic snapshot publish.  In-flight
+        queries finish on the old tree; its pager is closed through
+        epoch reclamation once the last reader pinned to it drains; no
+        request is dropped.
 
         Raises :class:`ReloadInProgress` when another reload is running.
         """
@@ -729,13 +776,20 @@ class QueryService:
                     new_tree = SGTree(n_bits, **build_kwargs)
                     new_tree.insert_many(transactions)
                 source = dataset_path
-            old_tree = self._tree.swap(new_tree)
+            if telemetry is not None:
+                # Rebind the tree-shape/store collectors to the
+                # replacement; otherwise scrapes keep reading the
+                # retired tree and post-reload mutations emit nothing.
+                new_tree.attach_telemetry(telemetry)
+            # The old pager must not be closed while a straggling reader
+            # is still pinned to the old snapshot; the retirement hook
+            # runs through epoch reclamation after the last pin drains.
+            self._tree.swap(
+                new_tree,
+                on_retire=lambda old: old.store.pager.close(),
+            )
             self._generation += 1
             seconds = time.perf_counter() - start
-            # The swap returned with the write latch released and every
-            # reader of the old generation drained, so its pager can be
-            # closed without pulling pages out from under a traversal.
-            old_tree.store.pager.close()
             outcome = "ok"
             info = {
                 "generation": self._generation,

@@ -34,6 +34,15 @@ Partial-result semantics (argued in ``docs/resilience.md`` and DESIGN.md
 full-index answer, and every degraded kNN hit carries its true distance
 — it is exactly the full answer over the union of the shards that
 responded, never a fabricated or mis-scored result.
+
+Concurrency model: each worker owns a plain single-threaded
+:class:`~repro.sgtree.tree.SGTree` behind its mailbox — requests are
+serialised per shard, so no latching is needed inside a worker.  A
+supervisor restart rebuilds the shard's tree and is, from the
+coordinator's view, an atomic whole-tree publish: the same
+replace-then-retire shape as a copy-on-write snapshot publish on a
+single-tree service (see ``docs/concurrency.md``), surfaced to probes
+as a new worker ``generation``/``tree_generation``.
 """
 
 from __future__ import annotations

@@ -1,188 +1,94 @@
-"""A thread-safe facade over the SG-tree.
+"""Copy-on-write snapshot concurrency for the SG-tree.
 
 The core :class:`~repro.sgtree.tree.SGTree` is single-threaded, like the
-paper's implementation.  :class:`ConcurrentSGTree` adds a classical
-readers-writer protocol at the index level: any number of concurrent
-queries, exclusive updates.  Coarse-grained tree-level latching is the
-textbook baseline (per-node latch-crabbing would be the next step); it
-is correct for any interleaving and keeps the underlying buffer
-accounting consistent, which is what the library's users need first.
+paper's implementation.  :class:`ConcurrentSGTree` makes it safely
+shareable with a **copy-on-write, epoch-based snapshot protocol** (see
+``docs/concurrency.md`` for the full model):
+
+* Readers pin an immutable :class:`TreeSnapshot` — root page id,
+  generation, pager view — at entry and traverse it with **zero latch
+  acquisitions**.  The pin itself is wait-free on CPython (a single
+  GIL-atomic list append; see :mod:`repro.storage.epoch`).
+* Writers run each mutation inside a shadow session
+  (:class:`~repro.sgtree.node.ShadowSession`): the root-to-leaf path
+  being mutated is cloned into **fresh pages** the published tree never
+  references, then the new root is published with one atomic pointer
+  swap and a generation bump.  A reader that pinned before the publish
+  keeps its old snapshot; one that pins after it sees the new tree —
+  nobody ever sees a half-mutated node.
+* Superseded pages are reclaimed through epoch-based deferral
+  (:class:`~repro.storage.epoch.EpochManager`): a page a snapshot
+  references is freed only after the last reader pinned at or before
+  that snapshot's generation drains.
+
+Memory visibility needs no fences beyond CPython's: the publish is one
+reference assignment (``self._published = snapshot``), readers load that
+reference once, and every object reachable from a snapshot is frozen
+before the assignment happens-before any reader can observe it (the GIL
+serialises the bytecode either side of the swap).
+
+``disk``-mode stores keep one extra rule: page faults and write-back
+mutate shared buffer state that is not safe to interleave, so disk reads
+and writes serialise on an internal I/O lock (``serial_reads``).  The
+wait-free path is the default ``sim`` mode, where reads only perform
+GIL-atomic cache touches.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from collections.abc import Iterable
+from contextlib import nullcontext
 
 from ..core.distance import Metric
 from ..core.signature import Signature
 from ..core.transaction import Transaction
+from ..storage.epoch import Epoch, EpochManager
+from .node import ShadowOutcome
 from .search import Deadline, Neighbor, SearchStats
 from .tree import SGTree
 
-__all__ = ["ReadWriteLock", "ConcurrentSGTree"]
+__all__ = ["TreeSnapshot", "PinnedSnapshot", "ConcurrentSGTree"]
 
 
-class ReadWriteLock:
-    """A writer-preferring readers-writer lock.
+class TreeSnapshot:
+    """One published, immutable version of the index.
 
-    Readers proceed concurrently; a waiting writer blocks new readers so
-    a steady query stream cannot starve updates.
+    A snapshot is a read-only facade (:meth:`SGTree._attach`) over the
+    shared store, bound to the root page id and tree shape at publish
+    time.  Because writers only ever install *fresh* pages and never
+    mutate a published one, every page id reachable from this root keeps
+    resolving to exactly the bytes it had at publish — traversals here
+    need no lock and always return results bit-identical for this
+    generation.
+
+    Snapshots are handed out pinned (:class:`PinnedSnapshot`); the pin
+    is what delays reclamation of pages this snapshot references.
     """
 
-    def __init__(self) -> None:
-        self._mutex = threading.Lock()
-        self._readers_done = threading.Condition(self._mutex)
-        self._writers_done = threading.Condition(self._mutex)
-        self._active_readers = 0
-        self._active_writer = False
-        self._waiting_writers = 0
+    __slots__ = ("tree", "generation", "epoch", "root_id", "size",
+                 "height", "_lock")
 
-    def acquire_read(self) -> None:
-        with self._mutex:
-            while self._active_writer or self._waiting_writers:
-                self._writers_done.wait()
-            self._active_readers += 1
-
-    def release_read(self) -> None:
-        with self._mutex:
-            self._active_readers -= 1
-            if self._active_readers == 0:
-                self._readers_done.notify_all()
-
-    def acquire_write(self) -> None:
-        with self._mutex:
-            self._waiting_writers += 1
-            try:
-                while self._active_writer or self._active_readers:
-                    self._readers_done.wait()
-            finally:
-                self._waiting_writers -= 1
-            self._active_writer = True
-
-    def release_write(self) -> None:
-        with self._mutex:
-            self._active_writer = False
-            self._writers_done.notify_all()
-            self._readers_done.notify_all()
-
-    class _ReadGuard:
-        def __init__(self, lock: "ReadWriteLock"):
-            self._lock = lock
-
-        def __enter__(self) -> None:
-            self._lock.acquire_read()
-
-        def __exit__(self, *exc_info: object) -> None:
-            self._lock.release_read()
-
-    class _WriteGuard:
-        def __init__(self, lock: "ReadWriteLock"):
-            self._lock = lock
-
-        def __enter__(self) -> None:
-            self._lock.acquire_write()
-
-        def __exit__(self, *exc_info: object) -> None:
-            self._lock.release_write()
-
-    def reading(self) -> "_ReadGuard":
-        return self._ReadGuard(self)
-
-    def writing(self) -> "_WriteGuard":
-        return self._WriteGuard(self)
-
-
-class ConcurrentSGTree:
-    """Tree-level-latched SG-tree: shared queries, exclusive updates.
-
-    Wraps an existing :class:`SGTree` (or builds one from the given
-    constructor arguments) and exposes the same query/update surface.
-
-    Note: queries mutate buffer state (residency, counters), which is
-    protected by the same lock — readers share it safely because the
-    store's caches are only *appended to* during reads in ``sim`` mode;
-    for ``disk`` mode with eviction, pass ``serial_reads=True`` to run
-    queries exclusively as well.
-    """
-
-    def __init__(
-        self,
-        tree: SGTree | None = None,
-        serial_reads: bool = False,
-        **tree_kwargs: object,
-    ):
-        if tree is None:
-            tree = SGTree(**tree_kwargs)
-        self._tree = tree
-        self._lock = ReadWriteLock()
-        self._serial_reads = serial_reads or tree.store.mode == "disk"
-
-    @property
-    def tree(self) -> SGTree:
-        """The wrapped tree (not thread-safe to touch directly)."""
-        return self._tree
+    def __init__(self, tree: SGTree, generation: int, epoch: Epoch,
+                 lock: "threading.RLock | None" = None):
+        self.tree = tree
+        self.generation = generation
+        self.epoch = epoch
+        self.root_id = tree.root_id
+        self.size = len(tree)
+        self.height = tree.height
+        # disk mode only: page faults mutate shared buffer state
+        self._lock = lock
 
     @property
     def n_bits(self) -> int:
-        """Signature length of the current tree.
+        return self.tree.n_bits
 
-        Read without the latch: the attribute read is atomic, and a
-        concurrent :meth:`swap` at worst yields the other generation's
-        value — callers building query signatures must handle the
-        resulting bit-width mismatch (a ``ValueError``) by retrying.
-        """
-        return self._tree.n_bits
+    def _guard(self):
+        return self._lock if self._lock is not None else nullcontext()
 
-    def _read_guard(self):
-        if self._serial_reads:
-            return self._lock.writing()
-        return self._lock.reading()
-
-    # -- updates (exclusive) -------------------------------------------------
-
-    def insert(self, tid_or_transaction, signature: Signature | None = None) -> None:
-        with self._lock.writing():
-            self._tree.insert(tid_or_transaction, signature)
-
-    def insert_many(self, transactions: Iterable[Transaction]) -> None:
-        with self._lock.writing():
-            self._tree.insert_many(transactions)
-
-    def delete(self, tid_or_transaction, signature: Signature | None = None) -> bool:
-        with self._lock.writing():
-            return self._tree.delete(tid_or_transaction, signature)
-
-    def update(self, tid: int, old: Signature, new: Signature) -> bool:
-        with self._lock.writing():
-            return self._tree.update(tid, old, new)
-
-    def commit(self) -> None:
-        with self._lock.writing():
-            self._tree.commit()
-
-    def swap(self, tree: SGTree) -> SGTree:
-        """Atomically replace the wrapped tree; returns the old one.
-
-        Queries in flight finish against the old tree; every query that
-        starts after the swap sees the new one.  This is the recovery
-        idiom: after a writer crash, build a recovered tree off to the
-        side (:func:`~repro.sgtree.persistence.recover_tree`) and swap it
-        in under the write latch, so readers never observe a
-        half-recovered index.
-
-        The old store's arena generation is retired under the latch:
-        its decoded-node views are dropped wholesale (releasing the
-        arena memory), and no later read can be served a view decoded
-        from before the swap.
-        """
-        with self._lock.writing():
-            old, self._tree = self._tree, tree
-            self._serial_reads = self._serial_reads or tree.store.mode == "disk"
-            old.store.bump_generation()
-            return old
-
-    # -- queries (shared) -------------------------------------------------------
+    # -- queries (each traverses this frozen version) ----------------------
 
     def nearest(
         self,
@@ -194,8 +100,8 @@ class ConcurrentSGTree:
         deadline: "Deadline | None" = None,
         tracer=None,
     ) -> list[Neighbor]:
-        with self._read_guard():
-            return self._tree.nearest(
+        with self._guard():
+            return self.tree.nearest(
                 query, k=k, metric=metric, algorithm=algorithm, stats=stats,
                 deadline=deadline, tracer=tracer,
             )
@@ -208,8 +114,8 @@ class ConcurrentSGTree:
         stats: SearchStats | None = None,
         deadline: "Deadline | None" = None,
     ) -> list[list[Neighbor]]:
-        with self._read_guard():
-            return self._tree.batch_nearest(
+        with self._guard():
+            return self.tree.batch_nearest(
                 queries, k=k, metric=metric, stats=stats, deadline=deadline
             )
 
@@ -222,8 +128,8 @@ class ConcurrentSGTree:
         deadline: "Deadline | None" = None,
         tracer=None,
     ) -> list[Neighbor]:
-        with self._read_guard():
-            return self._tree.range_query(
+        with self._guard():
+            return self.tree.range_query(
                 query, epsilon, metric=metric, stats=stats,
                 deadline=deadline, tracer=tracer,
             )
@@ -236,8 +142,8 @@ class ConcurrentSGTree:
         stats: SearchStats | None = None,
         deadline: "Deadline | None" = None,
     ) -> list[list[Neighbor]]:
-        with self._read_guard():
-            return self._tree.batch_range_query(
+        with self._guard():
+            return self.tree.batch_range_query(
                 queries, epsilon, metric=metric, stats=stats, deadline=deadline
             )
 
@@ -246,22 +152,472 @@ class ConcurrentSGTree:
         deadline: "Deadline | None" = None,
         tracer=None,
     ) -> list[int]:
-        with self._read_guard():
-            return self._tree.containment_query(
+        with self._guard():
+            return self.tree.containment_query(
                 query, stats=stats, deadline=deadline, tracer=tracer
             )
 
     def subset_query(self, query: Signature) -> list[int]:
-        with self._read_guard():
-            return self._tree.subset_query(query)
+        with self._guard():
+            return self.tree.subset_query(query)
 
     def equality_query(self, query: Signature) -> list[int]:
-        with self._read_guard():
-            return self._tree.equality_query(query)
+        with self._guard():
+            return self.tree.equality_query(query)
 
     def __len__(self) -> int:
-        with self._read_guard():
-            return len(self._tree)
+        return self.size
 
     def __repr__(self) -> str:
-        return f"ConcurrentSGTree({self._tree!r})"
+        return (
+            f"TreeSnapshot(generation={self.generation}, "
+            f"root={self.root_id}, size={self.size})"
+        )
+
+
+class PinnedSnapshot:
+    """A :class:`TreeSnapshot` plus the reader's epoch pin.
+
+    Use as a context manager (``with index.snapshot() as snap:``) or
+    call :meth:`release` explicitly; releasing twice is a no-op.  All
+    snapshot attributes and query methods are available directly on the
+    pinned handle.
+    """
+
+    __slots__ = ("_owner", "_snapshot", "_token")
+
+    def __init__(self, owner: "ConcurrentSGTree", snapshot: TreeSnapshot,
+                 token: object):
+        self._owner = owner
+        self._snapshot = snapshot
+        self._token = token
+
+    @property
+    def snapshot(self) -> TreeSnapshot:
+        return self._snapshot
+
+    def release(self) -> None:
+        """Drop the pin (idempotent); may trigger an epoch collection."""
+        token, self._token = self._token, None
+        if token is not None:
+            self._owner._unpin(self._snapshot, token)
+
+    def __enter__(self) -> "PinnedSnapshot":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def __getattr__(self, name: str):
+        return getattr(self._snapshot, name)
+
+    def __len__(self) -> int:
+        return len(self._snapshot)
+
+    def __repr__(self) -> str:
+        state = "released" if self._token is None else "pinned"
+        return f"PinnedSnapshot({self._snapshot!r}, {state})"
+
+
+class ConcurrentSGTree:
+    """Copy-on-write snapshot-published SG-tree: wait-free readers,
+    serialized writers, epoch-deferred reclamation.
+
+    Wraps an existing :class:`SGTree` (or builds one from the given
+    constructor arguments) and exposes the same query/update surface.
+    Query methods pin the current snapshot per call; to run several
+    queries against one consistent version, hold a pin explicitly::
+
+        with index.snapshot() as snap:
+            a = snap.nearest(q1, k=5)
+            b = snap.range_query(q2, 3)   # same generation as ``a``
+
+    ``sim``-mode stores give the wait-free read path (reads only perform
+    GIL-atomic cache touches).  ``disk``-mode stores fault and write
+    back pages through shared buffer state, so their reads serialise on
+    an internal I/O lock — pass ``serial_reads=True`` to force that for
+    a sim store too.
+    """
+
+    def __init__(
+        self,
+        tree: SGTree | None = None,
+        serial_reads: bool = False,
+        **tree_kwargs: object,
+    ):
+        if tree is None:
+            tree = SGTree(**tree_kwargs)
+        self._tree = tree
+        # serialises writers (and epoch advancement / collection)
+        self._write_lock = threading.Lock()
+        # serialises disk-mode store access (page faults, write-back)
+        self._io_lock = threading.RLock()
+        self._serial_reads = serial_reads or tree.store.mode == "disk"
+        self._epochs = EpochManager(0)
+        self._publishes = 0
+        self._reclaimed_pages = 0
+        self._published = self._make_snapshot(tree, 0, self._epochs.current)
+
+    # -- snapshot plumbing -------------------------------------------------
+
+    def _make_snapshot(self, tree: SGTree, generation: int,
+                       epoch: Epoch) -> TreeSnapshot:
+        facade = SGTree._attach(
+            tree.store, tree.root_id, tree.height, len(tree),
+            tree.max_entries, tree.min_fill, tree.split_policy,
+            tree.choose_policy, tree.metric,
+        )
+        lock = self._io_lock if self._serial_reads else None
+        return TreeSnapshot(facade, generation, epoch, lock=lock)
+
+    def snapshot(self) -> PinnedSnapshot:
+        """Pin and return the currently published snapshot (wait-free)."""
+        snapshot, token = self._pin()
+        return PinnedSnapshot(self, snapshot, token)
+
+    def _pin(self) -> "tuple[TreeSnapshot, object]":
+        # Revalidation loop: pin the epoch, then re-check that the
+        # snapshot is still the published one.  A collector only frees
+        # pages after its publish made a newer snapshot visible, and it
+        # scans pins after that; so a pin that lands too late to be
+        # counted necessarily fails this recheck (generations never go
+        # backwards) and retries on the newer snapshot without ever
+        # having traversed the old one.
+        while True:
+            snapshot = self._published
+            token = snapshot.epoch.pin()
+            if snapshot is self._published:
+                return snapshot, token
+            snapshot.epoch.unpin(token)
+
+    def _unpin(self, snapshot: TreeSnapshot, token: object) -> None:
+        snapshot.epoch.unpin(token)
+        if self._epochs.pending:
+            self._try_collect()
+
+    def _try_collect(self) -> None:
+        # Readers never wait on writers: collect only if the writer
+        # mutex is free, otherwise leave the garbage to the next publish.
+        if not self._write_lock.acquire(blocking=False):
+            return
+        try:
+            self._epochs.collect()
+        finally:
+            self._write_lock.release()
+
+    def _maybe_io(self):
+        return self._io_lock if self._serial_reads else nullcontext()
+
+    # -- updates (serialized writers, published as snapshots) --------------
+
+    def _mutate(self, fn):
+        """Run one mutation inside a shadow session and publish it.
+
+        The live tree is never structurally changed in place: ``fn``
+        works against copy-on-write clones under fresh page ids, and on
+        success the clones are installed and a new snapshot published
+        atomically.  On failure the session is aborted and the tree's
+        catalogue (root/height/size) restored — readers never see the
+        partial mutation either way.
+        """
+        with self._write_lock:
+            tree = self._tree
+            store = tree.store
+            with self._maybe_io():
+                saved = (tree._root_id, tree._height, tree._size)
+                session = store.begin_shadow()
+                try:
+                    result = fn(tree)
+                except BaseException:
+                    store.abort_shadow(session)
+                    tree._root_id, tree._height, tree._size = saved
+                    raise
+                outcome = store.commit_shadow(session)
+                tree._root_id = outcome.resolve(tree._root_id)
+                if outcome.installed or outcome.superseded:
+                    self._publish_locked(tree, outcome)
+            return result
+
+    def _publish_locked(self, tree: SGTree,
+                        outcome: "ShadowOutcome | None") -> None:
+        """Publish the tree's current state as a new snapshot.
+
+        Caller holds ``_write_lock``.  The single ``self._published``
+        assignment is the linearization point; everything the snapshot
+        references is immutable before it runs.
+        """
+        started = time.perf_counter()
+        generation = self._published.generation + 1
+        epoch = self._epochs.advance(generation)
+        superseded = list(outcome.superseded) if outcome is not None else []
+        if superseded:
+            store = tree.store
+            self._epochs.defer(
+                lambda: self._reclaim(store, superseded, generation)
+            )
+        snapshot = self._make_snapshot(tree, generation, epoch)
+        self._published = snapshot
+        self._publishes += 1
+        self._epochs.collect()
+        telemetry = tree.store.telemetry
+        if telemetry is not None:
+            telemetry.emit(
+                "snapshot_publish",
+                generation=generation,
+                pages_cloned=outcome.installed if outcome is not None else 0,
+                pages_superseded=len(superseded),
+                reclaim_pending=self._epochs.pending,
+                seconds=time.perf_counter() - started,
+            )
+            counter = getattr(telemetry, "snapshot_publishes_total", None)
+            if counter is not None:
+                counter.inc()
+
+    def _reclaim(self, store, pages: "list[int]", generation: int) -> None:
+        """Free a retired generation's pages (runs when its epoch drains)."""
+        if store.mode == "disk":
+            with self._io_lock:
+                freed = store.reclaim_pages(pages)
+        else:
+            freed = store.reclaim_pages(pages)
+        self._reclaimed_pages += freed
+        telemetry = store.telemetry
+        if telemetry is not None:
+            telemetry.emit(
+                "epoch_reclaimed", generation=generation, pages_freed=freed
+            )
+
+    def insert(self, tid_or_transaction, signature: Signature | None = None) -> None:
+        self._mutate(lambda tree: tree.insert(tid_or_transaction, signature))
+
+    def insert_many(self, transactions: Iterable[Transaction]) -> None:
+        # One shadow session for the whole batch: a single publish,
+        # readers see all-or-none of it.
+        self._mutate(lambda tree: tree.insert_many(transactions))
+
+    def delete(self, tid_or_transaction, signature: Signature | None = None) -> bool:
+        return self._mutate(lambda tree: tree.delete(tid_or_transaction, signature))
+
+    def update(self, tid: int, old: Signature, new: Signature) -> bool:
+        return self._mutate(lambda tree: tree.update(tid, old, new))
+
+    def commit(self) -> None:
+        """Force a WAL commit batch for everything published so far."""
+        with self._write_lock, self._maybe_io():
+            self._tree.commit()
+
+    def swap(self, tree: SGTree, on_retire=None) -> SGTree:
+        """Atomically replace the wrapped tree; returns the old one.
+
+        A whole-tree snapshot publish: queries in flight finish against
+        the old tree's snapshot; every query that pins after the swap
+        sees the new one.  This is the recovery and hot-reload idiom —
+        build the replacement off to the side
+        (:func:`~repro.sgtree.persistence.recover_tree`) and swap it in,
+        so readers never observe a half-recovered index.
+
+        The old store's arena generation is retired immediately: its
+        decoded-node views are dropped wholesale (releasing the arena
+        memory), and no later read can be served a view decoded before
+        the swap — stragglers still pinned to the old snapshot re-decode
+        under the old store's *new* arena generation, which is correct
+        (pages themselves are immutable) just no longer pre-warmed.
+
+        ``on_retire``, when given, is called with the old tree only
+        after the last reader pinned to it drains — the hook for closing
+        its pager without yanking pages from under live traversals.
+        """
+        with self._write_lock:
+            old, self._tree = self._tree, tree
+            self._serial_reads = self._serial_reads or tree.store.mode == "disk"
+            generation = self._published.generation + 1
+            epoch = self._epochs.advance(generation)
+            old.store.bump_generation()
+            if on_retire is not None:
+                self._epochs.defer(lambda: on_retire(old))
+            self._published = self._make_snapshot(tree, generation, epoch)
+            self._publishes += 1
+            self._epochs.collect()
+            telemetry = tree.store.telemetry
+            if telemetry is not None:
+                counter = getattr(telemetry, "snapshot_publishes_total", None)
+                if counter is not None:
+                    counter.inc()
+            return old
+
+    # -- reclamation / introspection ---------------------------------------
+
+    @property
+    def tree(self) -> SGTree:
+        """The wrapped live tree (not thread-safe to touch directly)."""
+        return self._tree
+
+    @property
+    def generation(self) -> int:
+        """Generation of the currently published snapshot."""
+        return self._published.generation
+
+    @property
+    def publishes(self) -> int:
+        """Snapshot publishes since construction (mutations + swaps)."""
+        return self._publishes
+
+    @property
+    def pending_reclaim(self) -> int:
+        """Deferred reclamation actions waiting for readers to drain."""
+        return self._epochs.pending
+
+    @property
+    def active_pins(self) -> int:
+        """Readers currently pinned across all live epochs."""
+        return self._epochs.pins()
+
+    @property
+    def reclaimed_pages(self) -> int:
+        """Superseded pages actually freed so far."""
+        return self._reclaimed_pages
+
+    def reclaim(self, timeout: "float | None" = None) -> bool:
+        """Collect until the limbo list drains; ``False`` on timeout.
+
+        Blocks (politely — 1 ms polls) while straggling readers hold
+        pins on retired epochs.  With no timeout, waits indefinitely.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            with self._write_lock:
+                self._epochs.collect()
+                if not self._epochs.pending:
+                    return True
+            if deadline is not None and time.monotonic() >= deadline:
+                return False
+            time.sleep(0.001)
+
+    @property
+    def n_bits(self) -> int:
+        """Signature length of the published snapshot.
+
+        Read without pinning: the attribute read is atomic, and a
+        concurrent :meth:`swap` at worst yields the other generation's
+        value — callers building query signatures must handle the
+        resulting bit-width mismatch (a ``ValueError``) by retrying.
+        """
+        return self._published.tree.n_bits
+
+    def attach_telemetry(self, telemetry, name: str = "default") -> "ConcurrentSGTree":
+        """Wire the wrapped tree plus snapshot/epoch gauges into telemetry.
+
+        Beyond the tree's own collectors, registers pull-model gauges for
+        the published generation, active reader pins and pending
+        reclamation, and a counter of pages reclaimed — the signals
+        ``docs/observability.md`` documents for write-heavy serving.
+        """
+        self._tree.attach_telemetry(telemetry, name)
+        registry = telemetry.registry
+        labelnames = ("tree",)
+        labels = {"tree": name}
+        registry.gauge(
+            "sgtree_snapshot_generation",
+            "Generation of the currently published snapshot", labelnames,
+        ).labels(**labels).set_function(lambda: self._published.generation)
+        registry.gauge(
+            "sgtree_epoch_pins",
+            "Readers currently pinned across live epochs", labelnames,
+        ).labels(**labels).set_function(self._epochs.pins)
+        registry.gauge(
+            "sgtree_reclaim_pending",
+            "Deferred page reclamations waiting for readers to drain",
+            labelnames,
+        ).labels(**labels).set_function(lambda: self._epochs.pending)
+        registry.counter(
+            "sgtree_epoch_pages_reclaimed_total",
+            "Superseded pages freed after their epoch drained", labelnames,
+        ).labels(**labels).set_function(lambda: self._reclaimed_pages)
+        return self
+
+    # -- queries (wait-free snapshot pin per call) -------------------------
+
+    def nearest(
+        self,
+        query: Signature,
+        k: int = 1,
+        metric: Metric | str | None = None,
+        algorithm: str = "depth-first",
+        stats: SearchStats | None = None,
+        deadline: "Deadline | None" = None,
+        tracer=None,
+    ) -> list[Neighbor]:
+        with self.snapshot() as snap:
+            return snap.nearest(
+                query, k=k, metric=metric, algorithm=algorithm, stats=stats,
+                deadline=deadline, tracer=tracer,
+            )
+
+    def batch_nearest(
+        self,
+        queries: "list[Signature]",
+        k: int = 1,
+        metric: Metric | str | None = None,
+        stats: SearchStats | None = None,
+        deadline: "Deadline | None" = None,
+    ) -> list[list[Neighbor]]:
+        with self.snapshot() as snap:
+            return snap.batch_nearest(
+                queries, k=k, metric=metric, stats=stats, deadline=deadline
+            )
+
+    def range_query(
+        self,
+        query: Signature,
+        epsilon: float,
+        metric: Metric | str | None = None,
+        stats: SearchStats | None = None,
+        deadline: "Deadline | None" = None,
+        tracer=None,
+    ) -> list[Neighbor]:
+        with self.snapshot() as snap:
+            return snap.range_query(
+                query, epsilon, metric=metric, stats=stats,
+                deadline=deadline, tracer=tracer,
+            )
+
+    def batch_range_query(
+        self,
+        queries: "list[Signature]",
+        epsilon: "float | list[float]",
+        metric: Metric | str | None = None,
+        stats: SearchStats | None = None,
+        deadline: "Deadline | None" = None,
+    ) -> list[list[Neighbor]]:
+        with self.snapshot() as snap:
+            return snap.batch_range_query(
+                queries, epsilon, metric=metric, stats=stats, deadline=deadline
+            )
+
+    def containment_query(
+        self, query: Signature, stats: SearchStats | None = None,
+        deadline: "Deadline | None" = None,
+        tracer=None,
+    ) -> list[int]:
+        with self.snapshot() as snap:
+            return snap.containment_query(
+                query, stats=stats, deadline=deadline, tracer=tracer
+            )
+
+    def subset_query(self, query: Signature) -> list[int]:
+        with self.snapshot() as snap:
+            return snap.subset_query(query)
+
+    def equality_query(self, query: Signature) -> list[int]:
+        with self.snapshot() as snap:
+            return snap.equality_query(query)
+
+    def __len__(self) -> int:
+        # The published size is immutable; no pin needed for a scalar.
+        return self._published.size
+
+    def __repr__(self) -> str:
+        return (
+            f"ConcurrentSGTree({self._tree!r}, "
+            f"generation={self._published.generation})"
+        )

@@ -7,8 +7,10 @@ splits an arbitrarily large batch into shards of ``batch_size`` queries
 and runs the shards concurrently on a thread pool over a
 :class:`~repro.sgtree.concurrent.ConcurrentSGTree`.  The numpy popcount
 kernels that dominate a traversal release the GIL, so shards genuinely
-overlap, and the tree-level readers-writer latch keeps concurrent
-updates safe — queries never observe a half-applied insert.
+overlap.  Each batch pins **one snapshot** for all of its shards (see
+``docs/concurrency.md``): concurrent writers publish new snapshots
+beside the running batch without ever blocking it, every shard answers
+from the same generation, and no query observes a half-applied insert.
 
 Per-batch accounting: each call can fill a single
 :class:`~repro.sgtree.search.SearchStats` with the whole batch's node
@@ -42,7 +44,7 @@ class QueryExecutor:
     ----------
     tree:
         A :class:`ConcurrentSGTree`, or a plain :class:`SGTree` which is
-        wrapped in one (the executor then owns the latching).
+        wrapped in one (the executor then owns the snapshot pinning).
     workers:
         Thread-pool size; ``1`` runs shards inline with no pool.
     batch_size:
@@ -107,7 +109,7 @@ class QueryExecutor:
         return self._run(
             list(queries),
             stats,
-            lambda shard, _start, shard_stats: self._tree.batch_nearest(
+            lambda target, shard, _start, shard_stats: target.batch_nearest(
                 shard, k=k, metric=metric, stats=shard_stats, deadline=deadline
             ),
             engine="knn",
@@ -139,7 +141,7 @@ class QueryExecutor:
         return self._run(
             queries,
             stats,
-            lambda shard, start, shard_stats: self._tree.batch_range_query(
+            lambda target, shard, start, shard_stats: target.batch_range_query(
                 shard, per_shard(start, len(shard)), metric=metric,
                 stats=shard_stats, deadline=deadline,
             ),
@@ -165,7 +167,7 @@ class QueryExecutor:
         self,
         queries: list[Signature],
         stats: SearchStats | None,
-        fn: Callable[[list[Signature], int, SearchStats], list[list[Neighbor]]],
+        fn: Callable[..., list[list[Neighbor]]],
         engine: str = "knn",
         deadline: "Deadline | None" = None,
         trace=None,
@@ -182,83 +184,87 @@ class QueryExecutor:
             for start in range(0, len(queries), self._batch_size)
         ]
         shard_stats = [SearchStats() for _ in shards]
-        store = self._tree.tree.store
-        telemetry = store.telemetry
-        if telemetry is not None:
-            # Per-shard queue wait (submit -> a worker picks it up) and
-            # shard service time, labelled by engine; the histograms
-            # surface scheduling pressure a whole-batch latency hides.
-            inner = fn
-            submitted = time.perf_counter()
+        # One pin for the whole batch: every shard traverses the same
+        # published generation, so a batch is internally consistent even
+        # while writers publish new snapshots beside it.
+        with self._tree.snapshot() as snap:
+            store = snap.tree.store
+            telemetry = store.telemetry
+            if telemetry is not None:
+                # Per-shard queue wait (submit -> a worker picks it up) and
+                # shard service time, labelled by engine; the histograms
+                # surface scheduling pressure a whole-batch latency hides.
+                inner = fn
+                submitted = time.perf_counter()
 
-            def fn(shard, start, shard_stat):
-                begun = time.perf_counter()
-                output = inner(shard, start, shard_stat)
-                done = time.perf_counter()
-                telemetry.executor_shards_total.labels(engine=engine).inc()
-                telemetry.executor_queue_wait_seconds.labels(
-                    engine=engine
-                ).observe(begun - submitted)
-                telemetry.executor_shard_seconds.labels(
-                    engine=engine
-                ).observe(done - begun)
-                return output
+                def fn(target, shard, start, shard_stat):
+                    begun = time.perf_counter()
+                    output = inner(target, shard, start, shard_stat)
+                    done = time.perf_counter()
+                    telemetry.executor_shards_total.labels(engine=engine).inc()
+                    telemetry.executor_queue_wait_seconds.labels(
+                        engine=engine
+                    ).observe(begun - submitted)
+                    telemetry.executor_shard_seconds.labels(
+                        engine=engine
+                    ).observe(done - begun)
+                    return output
 
-        if trace is not None:
-            # One span per dispatched shard, recorded by the worker
-            # thread that ran it (RequestTrace appends are thread-safe).
-            timed = fn
+            if trace is not None:
+                # One span per dispatched shard, recorded by the worker
+                # thread that ran it (RequestTrace appends are thread-safe).
+                timed = fn
 
-            def fn(shard, start, shard_stat):
-                with trace.span(
-                    "executor_shard", engine=engine,
-                    queries=len(shard), offset=start,
-                ):
-                    return timed(shard, start, shard_stat)
+                def fn(target, shard, start, shard_stat):
+                    with trace.span(
+                        "executor_shard", engine=engine,
+                        queries=len(shard), offset=start,
+                    ):
+                        return timed(target, shard, start, shard_stat)
 
-        before = store.counters.snapshot()
-        try:
-            if self._pool is None or len(shards) == 1:
-                outputs = [
-                    fn(shard, start, shard_stats[i])
-                    for i, (start, shard) in enumerate(shards)
-                ]
-            else:
-                futures = [
-                    self._pool.submit(fn, shard, start, shard_stats[i])
-                    for i, (start, shard) in enumerate(shards)
-                ]
-                try:
-                    outputs = [future.result() for future in futures]
-                except BaseException:
-                    # A shard failed (worker exception, deadline expiry):
-                    # drain the rest before re-raising so no shard is
-                    # still traversing when the caller sees the error —
-                    # otherwise the stats flush below would race live
-                    # counters and a subsequent swap could pull the tree
-                    # out from under a running traversal.
-                    for future in futures:
-                        future.cancel()
-                    for future in futures:
-                        if not future.cancelled():
-                            future.exception()  # wait; ignore result
-                    raise
-        finally:
-            if stats is not None:
-                # Store counters are shared between shards, so per-shard
-                # access deltas overlap under concurrency; the whole-run
-                # delta is the exact batch total (leaf comparisons are
-                # counted locally per shard and summed instead).  Deriving
-                # ratios from these summed counters — never averaging
-                # per-shard ratios — is what keeps the aggregate hit ratio
-                # NaN-safe when some shards are idle (see
-                # :meth:`SearchStats.aggregate`).  Flushed on failure too,
-                # so a partially failed run still accounts the traffic its
-                # completed and aborted shards generated.
-                after = store.counters
-                stats.node_accesses += after.node_accesses - before.node_accesses
-                stats.random_ios += after.random_ios - before.random_ios
-                stats.leaf_entries += sum(s.leaf_entries for s in shard_stats)
+            before = store.counters.snapshot()
+            try:
+                if self._pool is None or len(shards) == 1:
+                    outputs = [
+                        fn(snap, shard, start, shard_stats[i])
+                        for i, (start, shard) in enumerate(shards)
+                    ]
+                else:
+                    futures = [
+                        self._pool.submit(fn, snap, shard, start, shard_stats[i])
+                        for i, (start, shard) in enumerate(shards)
+                    ]
+                    try:
+                        outputs = [future.result() for future in futures]
+                    except BaseException:
+                        # A shard failed (worker exception, deadline expiry):
+                        # drain the rest before re-raising so no shard is
+                        # still traversing when the caller sees the error —
+                        # otherwise the stats flush below would race live
+                        # counters and the pin would be dropped while a
+                        # shard is still walking the snapshot's pages.
+                        for future in futures:
+                            future.cancel()
+                        for future in futures:
+                            if not future.cancelled():
+                                future.exception()  # wait; ignore result
+                        raise
+            finally:
+                if stats is not None:
+                    # Store counters are shared between shards, so per-shard
+                    # access deltas overlap under concurrency; the whole-run
+                    # delta is the exact batch total (leaf comparisons are
+                    # counted locally per shard and summed instead).  Deriving
+                    # ratios from these summed counters — never averaging
+                    # per-shard ratios — is what keeps the aggregate hit ratio
+                    # NaN-safe when some shards are idle (see
+                    # :meth:`SearchStats.aggregate`).  Flushed on failure too,
+                    # so a partially failed run still accounts the traffic its
+                    # completed and aborted shards generated.
+                    after = store.counters
+                    stats.node_accesses += after.node_accesses - before.node_accesses
+                    stats.random_ios += after.random_ios - before.random_ios
+                    stats.leaf_entries += sum(s.leaf_entries for s in shard_stats)
         results: list[list[Neighbor]] = []
         for output in outputs:
             results.extend(output)

@@ -30,6 +30,7 @@ from __future__ import annotations
 import logging
 import os
 import struct
+import threading
 import weakref
 from dataclasses import dataclass, field
 
@@ -310,6 +311,136 @@ class StoreCounters:
             ).set_function(lambda attr=attr: getattr(self, attr))
 
 
+@dataclass
+class ShadowOutcome:
+    """What one committed shadow session changed in the store.
+
+    ``mapping`` is old page id → replacement page id for every node the
+    writer actually mutated (clean clones were reverted and do not
+    appear); ``superseded`` lists every old page the published tree no
+    longer references — the caller must defer-free them through its
+    epoch machinery, never immediately, because pinned readers may still
+    traverse them.
+    """
+
+    mapping: dict
+    superseded: list
+    installed: int
+    created: int
+
+    def resolve(self, page_id: PageId) -> PageId:
+        """Map a pre-publish page id to its published replacement."""
+        return self.mapping.get(page_id, page_id)
+
+
+class ShadowSession:
+    """A copy-on-write overlay for one writer epoch.
+
+    While a session is active, store calls from the **writer thread**
+    (and only that thread) are routed here: fetching a page yields a
+    private clone under a **fresh page id**, creations allocate fresh
+    ids, frees are recorded instead of executed.  Reader threads keep
+    hitting the base tables directly and can never observe a
+    half-mutated node, because the writer only ever mutates clones that
+    no published root reaches.
+
+    Fresh ids — rather than an in-place delta — are what make the reader
+    path trivial: a page id uniquely identifies one immutable version,
+    so a reader resolves it with a plain table lookup, no override-map
+    consultation and no torn read window.  The cost is a root-to-leaf
+    clone per update (R-tree updates touch ``O(height)`` pages), undone
+    for any page the writer fetched but never dirtied.
+
+    ``commit_shadow`` installs the surviving clones, rewrites directory
+    entry refs through the old→new alias map, and reports the superseded
+    old pages; ``abort_shadow`` returns every allocated id and leaves
+    the store untouched.
+    """
+
+    __slots__ = (
+        "store", "thread_id", "nodes", "alias", "reverse",
+        "created", "dirty", "freed_base", "freed_created",
+    )
+
+    def __init__(self, store: "NodeStore"):
+        self.store = store
+        self.thread_id = threading.get_ident()
+        # new page id -> clone / fresh node
+        self.nodes: dict[PageId, Node] = {}
+        # old page id -> its clone's new page id (and the reverse)
+        self.alias: dict[PageId, PageId] = {}
+        self.reverse: dict[PageId, PageId] = {}
+        # new ids created from nothing (splits, root growth)
+        self.created: set[PageId] = set()
+        # new ids that were actually mutated (clean clones get reverted)
+        self.dirty: set[PageId] = set()
+        # old pages the tree freed (deferred until the epoch drains) and
+        # session-allocated ids freed again before ever being published
+        self.freed_base: list[PageId] = []
+        self.freed_created: list[PageId] = []
+
+    def get(self, page_id: PageId) -> Node:
+        node = self.nodes.get(page_id)
+        if node is not None:
+            self.store.counters.node_accesses += 1
+            return node
+        clone_id = self.alias.get(page_id)
+        if clone_id is not None:
+            self.store.counters.node_accesses += 1
+            return self.nodes[clone_id]
+        base = self.store._base_get(page_id)
+        clone_id = self.store.pager.allocate()
+        clone = Node(
+            page_id=clone_id,
+            level=base.level,
+            entries=[
+                Entry(e.signature, e.ref, e.min_area, e.max_area, e.count)
+                for e in base.entries
+            ],
+        )
+        self.alias[page_id] = clone_id
+        self.reverse[clone_id] = page_id
+        self.nodes[clone_id] = clone
+        return clone
+
+    def create_node(self, level: int) -> Node:
+        page_id = self.store.pager.allocate()
+        node = Node(page_id=page_id, level=level)
+        self.nodes[page_id] = node
+        self.created.add(page_id)
+        self.dirty.add(page_id)
+        return node
+
+    def mark_dirty(self, node: Node) -> None:
+        if node.page_id not in self.nodes:
+            raise RuntimeError(
+                f"page {node.page_id} was mutated outside the shadow session"
+            )
+        self.dirty.add(node.page_id)
+
+    def free(self, page_id: PageId) -> None:
+        node = self.nodes.pop(page_id, None)
+        if node is not None:
+            # Freeing a session node: return the fresh id at publish and
+            # (for a clone) defer the original it shadowed.
+            self.dirty.discard(page_id)
+            self.freed_created.append(page_id)
+            if page_id in self.created:
+                self.created.discard(page_id)
+            else:
+                original = self.reverse.pop(page_id)
+                self.alias.pop(original, None)
+                self.freed_base.append(original)
+            return
+        clone_id = self.alias.get(page_id)
+        if clone_id is not None:
+            self.free(clone_id)
+            return
+        # A base page freed without ever being cloned (defensive; the
+        # tree always frees nodes it holds, which are clones).
+        self.freed_base.append(page_id)
+
+
 _POLICIES = {"lru": LRUPolicy, "fifo": FIFOPolicy, "clock": ClockPolicy}
 
 
@@ -425,6 +556,10 @@ class NodeStore:
             budget = decode_cache_entries
         self._decoded = DecodedNodeCache(max_entries=budget)
         self._generation = next_generation()
+        # active copy-on-write overlay; store calls from its writer
+        # thread are routed into the session, every other thread keeps
+        # reading the base tables (see ShadowSession)
+        self._shadow: "ShadowSession | None" = None
         # optional repro.telemetry.Telemetry; None is the fast path —
         # every hook below is a single `is not None` check when disabled
         self.telemetry = None
@@ -483,6 +618,9 @@ class NodeStore:
 
     def create_node(self, level: int) -> Node:
         """Allocate a page and return its fresh, resident node."""
+        shadow = self._shadow
+        if shadow is not None and shadow.thread_id == threading.get_ident():
+            return shadow.create_node(level)
         page_id = self._pager.allocate()
         node = Node(page_id=page_id, level=level)
         if self.mode == "sim":
@@ -491,12 +629,39 @@ class NodeStore:
             self._live[page_id] = node
         self._admit(node)
         self._dirty.add(page_id)
-        if self.wal is not None:
-            self._uncommitted.add(page_id)
+        self._register_uncommitted(page_id)
         return node
 
+    def _register_uncommitted(self, page_id: PageId) -> None:
+        """Track a live page for the next WAL commit batch.
+
+        Pagers recycle freed slots, so an id freed earlier in this batch
+        may come back to life here.  Its pending free record must be
+        cancelled: ``commit`` appends writes before frees, so a stale
+        free would replay *after* the recycled page's write and delete a
+        live page on recovery.
+        """
+        if self.wal is None:
+            return
+        self._uncommitted.add(page_id)
+        try:
+            self._freed_log.remove(page_id)
+        except ValueError:
+            pass
+
     def get(self, page_id: PageId) -> Node:
-        """Fetch a node, counting the access and any buffer miss."""
+        """Fetch a node, counting the access and any buffer miss.
+
+        While a shadow session is active, the writer thread is handed a
+        private clone under a fresh page id instead (readers keep
+        resolving published ids below).
+        """
+        shadow = self._shadow
+        if shadow is not None and shadow.thread_id == threading.get_ident():
+            return shadow.get(page_id)
+        return self._base_get(page_id)
+
+    def _base_get(self, page_id: PageId) -> Node:
         self.counters.node_accesses += 1
         node = self._resident.get(page_id)
         if node is not None:
@@ -517,6 +682,13 @@ class NodeStore:
         nor the buffer holds the node — so batched and sequential
         traversals report identical hit ratios over the same visits.
         """
+        shadow = self._shadow
+        if shadow is not None and shadow.thread_id == threading.get_ident():
+            # Writer-side read during an epoch: view the private clone,
+            # bypassing the shared arena (clones are never published to
+            # the decode cache until the epoch commits).
+            self.counters.node_accesses += 1
+            return DecodedNode.from_node(shadow.get(page_id), self.n_bits)
         counters = self.counters
         counters.node_accesses += 1
         view = self._decoded.get(self._generation, page_id)
@@ -589,10 +761,13 @@ class NodeStore:
         was evicted meanwhile, so the eviction/flush machinery always sees
         (and writes back) the mutated object.
         """
+        shadow = self._shadow
+        if shadow is not None and shadow.thread_id == threading.get_ident():
+            shadow.mark_dirty(node)
+            return
         self._dirty.add(node.page_id)
         self._decoded.discard((self._generation, node.page_id))
-        if self.wal is not None:
-            self._uncommitted.add(node.page_id)
+        self._register_uncommitted(node.page_id)
         if self.mode == "sim":
             if node.page_id not in self._all:
                 self._all[node.page_id] = node
@@ -602,7 +777,20 @@ class NodeStore:
                 self._admit(node)
 
     def free(self, page_id: PageId) -> None:
-        """Release a node's page (and any continuation pages)."""
+        """Release a node's page (and any continuation pages).
+
+        Under an active shadow session the free is only *recorded*: pages
+        a published snapshot references must outlive every reader pinned
+        to that snapshot, so the actual release happens at epoch
+        reclamation (:meth:`reclaim_pages`), not here.
+        """
+        shadow = self._shadow
+        if shadow is not None and shadow.thread_id == threading.get_ident():
+            shadow.free(page_id)
+            return
+        self._base_free(page_id)
+
+    def _base_free(self, page_id: PageId) -> None:
         self._resident.pop(page_id, None)
         self._policy.remove(page_id)
         self._dirty.discard(page_id)
@@ -620,6 +808,106 @@ class NodeStore:
         if self.wal is not None:
             self._freed_log.append(page_id)
             self._uncommitted.discard(page_id)
+
+    # -- copy-on-write shadow sessions --------------------------------------
+
+    def begin_shadow(self) -> ShadowSession:
+        """Open a copy-on-write overlay for the calling (writer) thread.
+
+        Until :meth:`commit_shadow` or :meth:`abort_shadow`, every store
+        call from this thread is routed into the session; other threads
+        keep reading the untouched base tables.
+        """
+        if self._shadow is not None:
+            raise RuntimeError("a shadow session is already active")
+        session = ShadowSession(self)
+        self._shadow = session
+        return session
+
+    def commit_shadow(self, session: ShadowSession) -> ShadowOutcome:
+        """Install a session's surviving clones and report what changed.
+
+        Clean clones — fetched during traversal but never dirtied, hence
+        never mutated (every tree mutation is followed by ``mark_dirty``)
+        — are reverted and their fresh ids returned to the pager.  The
+        survivors get their directory refs rewritten through the old→new
+        alias map so the published tree only references replacement
+        pages, then land in the base tables as dirty, uncommitted pages.
+        Superseded originals are **not** freed here: the caller defers
+        them through its epoch machinery (see
+        :meth:`reclaim_pages`), because pinned readers may still be
+        traversing them.
+        """
+        if self._shadow is not session:
+            raise RuntimeError("commit of a shadow session that is not active")
+        self._shadow = None
+        reverted: set[PageId] = set()
+        for clone_id in list(session.nodes):
+            if clone_id in session.dirty:
+                continue
+            original = session.reverse.pop(clone_id, None)
+            if original is None:
+                continue  # created nodes are always dirty
+            del session.nodes[clone_id]
+            del session.alias[original]
+            reverted.add(clone_id)
+            self._pager.free(clone_id)
+        mapping = dict(session.alias)
+        for node in session.nodes.values():
+            if node.level > 0:
+                changed = False
+                for entry in node.entries:
+                    replacement = mapping.get(entry.ref)
+                    if replacement is not None:
+                        entry.ref = replacement
+                        changed = True
+                    elif entry.ref in reverted:
+                        raise RuntimeError(
+                            f"directory page {node.page_id} references "
+                            f"reverted clone {entry.ref}"
+                        )
+                if changed:
+                    node.invalidate()
+        for page_id, node in session.nodes.items():
+            if self.mode == "sim":
+                self._all[page_id] = node
+            else:
+                self._live[page_id] = node
+            self._admit(node)
+            self._dirty.add(page_id)
+            self._register_uncommitted(page_id)
+        for page_id in session.freed_created:
+            self._pager.free(page_id)
+        return ShadowOutcome(
+            mapping=mapping,
+            superseded=list(mapping) + list(session.freed_base),
+            installed=len(session.nodes),
+            created=len(session.created),
+        )
+
+    def abort_shadow(self, session: ShadowSession) -> None:
+        """Throw a session away: base tables untouched, fresh ids returned."""
+        if self._shadow is not session:
+            raise RuntimeError("abort of a shadow session that is not active")
+        self._shadow = None
+        for page_id in session.nodes:
+            self._pager.free(page_id)
+        for page_id in session.freed_created:
+            self._pager.free(page_id)
+
+    def reclaim_pages(self, page_ids) -> int:
+        """Actually free superseded pages once their epoch drained.
+
+        The deferred half of a copy-on-write publish: runs the ordinary
+        free path (buffer, arena, WAL free-log, pager) for every page, so
+        crash recovery and space accounting see the frees exactly as if
+        they had happened eagerly.
+        """
+        count = 0
+        for page_id in page_ids:
+            self._base_free(page_id)
+            count += 1
+        return count
 
     def flush(self) -> None:
         """Write back every dirty resident node (disk mode)."""
@@ -726,7 +1014,11 @@ class NodeStore:
 
     def _evict_one(self) -> None:
         victim_id = self._policy.evict()
-        victim = self._resident.pop(victim_id)
+        # pop-with-default: a concurrent epoch reclaim may have freed the
+        # victim between the policy's choice and this pop
+        victim = self._resident.pop(victim_id, None)
+        if victim is None:
+            return
         if victim_id in self._dirty:
             if self.mode == "disk":
                 self._write_node(victim)
@@ -934,8 +1226,8 @@ class NodeStore:
                 self._freed_log.append(dropped)
                 self._uncommitted.discard(dropped)
         self._chains[page_id] = chain
-        if self.wal is not None:
-            self._uncommitted.update(chain)
+        for continuation in chain:
+            self._register_uncommitted(continuation)
         primary_room = self.page_size - header.size - n_cont * self._CHAIN_ID.size
         blob = bytearray(header.pack(len(data), n_cont))
         for continuation in chain:
@@ -974,4 +1266,7 @@ class NodeStore:
         return bytes(data[:total_len])
 
 
-__all__ = ["Entry", "Node", "NodeStore", "StoreCounters"]
+__all__ = [
+    "Entry", "Node", "NodeStore", "StoreCounters",
+    "ShadowOutcome", "ShadowSession",
+]

@@ -12,6 +12,7 @@ from ..errors import (
 )
 from . import compression, faults, serialization, wal
 from .buffer import BufferPool, BufferStats, ClockPolicy, FIFOPolicy, LRUPolicy
+from .epoch import Epoch, EpochManager
 from .faults import FaultInjectingLog, FaultInjectingPager, FaultPlan
 from .page import DEFAULT_PAGE_SIZE, INVALID_PAGE, Page, PageId
 from .pager import FilePager, IOStats, MemoryPager, Pager
@@ -34,6 +35,8 @@ __all__ = [
     "LRUPolicy",
     "FIFOPolicy",
     "ClockPolicy",
+    "Epoch",
+    "EpochManager",
     "Page",
     "PageId",
     "StorageError",

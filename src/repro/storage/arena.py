@@ -242,7 +242,16 @@ class DecodedNodeCache:
         This is the hot-swap path: the swapped-out tree's generation is
         retired wholesale, releasing the old arena memory in one sweep.
         """
-        doomed = [key for key in self._views if key[0] == generation]
+        while True:
+            try:
+                doomed = [key for key in self._views if key[0] == generation]
+                break
+            except RuntimeError:
+                # A reader raced a ``put`` into the dict mid-iteration
+                # (snapshot stragglers re-keying after a hot swap bumped
+                # the generation); re-scan — the retired generation only
+                # ever shrinks, so this converges.
+                continue
         for key in doomed:
             self.discard(key)
         return len(doomed)

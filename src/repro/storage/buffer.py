@@ -98,7 +98,13 @@ class LRUPolicy(ReplacementPolicy):
         self._order: OrderedDict[PageId, None] = OrderedDict()
 
     def record_access(self, page_id: PageId) -> None:
-        self._order.move_to_end(page_id)
+        try:
+            self._order.move_to_end(page_id)
+        except KeyError:
+            # Raced with a concurrent remove (epoch reclaim of a page
+            # another thread still had in hand) — losing the recency
+            # bump for a page that just died is harmless.
+            pass
 
     def admit(self, page_id: PageId) -> None:
         self._order[page_id] = None

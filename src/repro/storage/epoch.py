@@ -1,0 +1,196 @@
+"""Epoch-based reclamation for copy-on-write snapshots.
+
+The copy-on-write concurrency model (see ``docs/concurrency.md``) lets
+readers traverse an immutable snapshot with **zero latch acquisitions**
+while writers publish new snapshots beside them.  The price of never
+blocking a reader is that a superseded page cannot be freed the moment
+it is superseded — a reader pinned to an older snapshot may still be
+walking it.  This module supplies the deferred-free machinery:
+
+* :class:`Epoch` — one published generation's pin ledger.  Pinning and
+  unpinning are **wait-free on CPython**: each is a single C-implemented
+  list operation (``append`` / ``remove`` of a unique token object),
+  atomic under the GIL, so the reader hot path takes no lock and never
+  waits on a writer.
+* :class:`EpochManager` — the ordered ledger of epochs plus the *limbo
+  list* of deferred reclamation actions.  Each action is tagged with the
+  generation whose publish retired the resource ("the boundary"): every
+  reader pinned at a generation **below** the boundary may still reach
+  the resource, every reader at or above it cannot (the new snapshot no
+  longer references it).  :meth:`EpochManager.collect` runs exactly the
+  actions whose boundary has drained.
+
+Safety argument for the unlocked pin (the one subtle interleaving):
+readers pin with a *revalidation loop* — read the published snapshot,
+pin its epoch, then re-check that the snapshot is still the published
+one, retrying otherwise.  A collector only frees resources retired by a
+publish, and it scans pin counts strictly **after** that publish made a
+newer snapshot visible.  So a reader that appends its token after the
+scan necessarily fails its revalidation (the published pointer moved and
+generations never go backwards) and unpins without traversing; a reader
+that appended before the scan is counted and blocks the free.  Either
+way no reader ever dereferences a reclaimed page.
+
+Writer-side discipline (enforced by the caller, not this module):
+:meth:`advance`, :meth:`defer` and :meth:`collect` must run under the
+tree's writer mutex.  Readers only ever touch :meth:`Epoch.pin` /
+:meth:`Epoch.unpin`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+__all__ = ["Epoch", "EpochManager"]
+
+
+class Epoch:
+    """The pin ledger of one published snapshot generation.
+
+    Tokens are anonymous ``object()`` sentinels: ``list.remove`` finds a
+    plain object only by identity, so each reader removes exactly its
+    own token.  Both operations are single CPython bytecode-level C
+    calls — atomic under the GIL with no lock and no spinning, which is
+    what makes the reader path wait-free.
+    """
+
+    __slots__ = ("generation", "_pins")
+
+    def __init__(self, generation: int):
+        self.generation = generation
+        self._pins: list[object] = []
+
+    def pin(self) -> object:
+        """Register one reader; returns the token to unpin with."""
+        token = object()
+        self._pins.append(token)
+        return token
+
+    def unpin(self, token: object) -> None:
+        """Release one reader's pin (idempotent for a removed token)."""
+        try:
+            self._pins.remove(token)
+        except ValueError:
+            pass
+
+    @property
+    def pinned(self) -> int:
+        """Readers currently pinned to this generation."""
+        return len(self._pins)
+
+    def __repr__(self) -> str:
+        return f"Epoch(generation={self.generation}, pinned={self.pinned})"
+
+
+class EpochManager:
+    """Ordered epochs plus the limbo list of deferred reclamation.
+
+    The manager itself is not locked: every method except the read-only
+    gauges (:attr:`pending`, :meth:`pins`, :meth:`pinned_floor`) must be
+    called under the owning tree's writer mutex, which serialises
+    publishes and collections.  Reader threads that want to trigger a
+    collection after unpinning acquire that mutex non-blocking — a
+    reader never waits on a writer, it just leaves the garbage for the
+    next collector when the mutex is busy.
+    """
+
+    def __init__(self, generation: int = 0):
+        self._current = Epoch(generation)
+        self._epochs: list[Epoch] = [self._current]
+        self._limbo: list[tuple[int, Callable[[], None]]] = []
+
+    @property
+    def current(self) -> Epoch:
+        return self._current
+
+    @property
+    def generation(self) -> int:
+        return self._current.generation
+
+    @property
+    def pending(self) -> int:
+        """Deferred reclamation actions not yet run (the limbo depth)."""
+        return len(self._limbo)
+
+    def pins(self) -> int:
+        """Total readers pinned across every live epoch."""
+        return sum(epoch.pinned for epoch in list(self._epochs))
+
+    def advance(self, generation: int) -> Epoch:
+        """Open the epoch of a new generation (writer mutex held)."""
+        if generation <= self._current.generation:
+            raise ValueError(
+                f"generation must grow monotonically: "
+                f"{generation} <= {self._current.generation}"
+            )
+        epoch = Epoch(generation)
+        self._epochs.append(epoch)
+        self._current = epoch
+        return epoch
+
+    def defer(self, action: Callable[[], None]) -> None:
+        """Queue a reclamation action behind the current boundary.
+
+        Call **after** :meth:`advance`: the boundary recorded is the
+        current (new) generation, i.e. the publish that retired the
+        resource.  The action runs once no reader is pinned to any
+        generation below that boundary.
+        """
+        self._limbo.append((self._current.generation, action))
+
+    def pinned_floor(self) -> "int | None":
+        """The oldest pinned generation, or ``None`` when none is pinned."""
+        floor: "int | None" = None
+        for epoch in list(self._epochs):
+            if epoch.pinned and (floor is None or epoch.generation < floor):
+                floor = epoch.generation
+        return floor
+
+    def collect(self) -> int:
+        """Run every limbo action whose boundary drained (writer mutex held).
+
+        Returns how many actions ran.  Epochs that are superseded and
+        unpinned are pruned from the ledger in the same sweep.
+        """
+        ran = 0
+        if self._limbo:
+            floor = self.pinned_floor()
+            still_waiting: list[tuple[int, Callable[[], None]]] = []
+            ready: list[Callable[[], None]] = []
+            for boundary, action in self._limbo:
+                if floor is None or boundary <= floor:
+                    ready.append(action)
+                else:
+                    still_waiting.append((boundary, action))
+            self._limbo = still_waiting
+            for action in ready:
+                action()
+            ran = len(ready)
+        self._epochs = [
+            epoch for epoch in self._epochs
+            if epoch is self._current or epoch.pinned
+        ]
+        return ran
+
+    def __repr__(self) -> str:
+        return (
+            f"EpochManager(generation={self.generation}, "
+            f"epochs={len(self._epochs)}, pins={self.pins()}, "
+            f"pending={self.pending})"
+        )
+
+
+# A reader that unpins the last pin of a retired epoch wants reclamation
+# to happen *soon* without ever blocking: the idiom is a non-blocking
+# acquire of the writer mutex around ``collect`` (see
+# ``ConcurrentSGTree._try_collect``).  The helper lives here so tests can
+# exercise the pattern directly.
+def try_collect(manager: EpochManager, mutex: threading.Lock) -> "int | None":
+    """Collect under ``mutex`` if it is free; ``None`` when it is busy."""
+    if not mutex.acquire(blocking=False):
+        return None
+    try:
+        return manager.collect()
+    finally:
+        mutex.release()

@@ -192,6 +192,13 @@ class Telemetry:
             "sgtree_server_reloads_total",
             "Snapshot hot-swaps completed, by outcome", ("outcome",),
         )
+        # Copy-on-write publish instruments (pushed by ConcurrentSGTree;
+        # the generation/pin/reclaim gauges are pull-model and register
+        # in ConcurrentSGTree.attach_telemetry).
+        self.snapshot_publishes_total = reg.counter(
+            "sgtree_snapshot_publishes_total",
+            "Copy-on-write snapshot publishes (mutations and swaps)",
+        )
         # Sharded-serving instruments (pushed by repro.server.shard and
         # repro.server.supervisor).
         self.server_partial_total = reg.counter(

@@ -23,6 +23,9 @@ page_rescued        page_id
 page_quarantined    page_id, reason
 scrub_finding       page_id, severity, kind, detail
 snapshot_swap       generation, transactions, n_bits, source, seconds
+snapshot_publish    generation, pages_cloned, pages_superseded,
+                    reclaim_pending, seconds
+epoch_reclaimed     generation, pages_freed
 server_started      host, port, max_inflight, max_queue
 server_drain        drained, timeout_seconds
 shard_restarted     shard, restarts, generation
@@ -67,6 +70,11 @@ EVENT_SCHEMAS: dict[str, tuple[str, ...]] = {
     "snapshot_swap": (
         "generation", "transactions", "n_bits", "source", "seconds",
     ),
+    "snapshot_publish": (
+        "generation", "pages_cloned", "pages_superseded",
+        "reclaim_pending", "seconds",
+    ),
+    "epoch_reclaimed": ("generation", "pages_freed"),
     "server_started": ("host", "port", "max_inflight", "max_queue"),
     "server_drain": ("drained", "timeout_seconds"),
     "shard_restarted": ("shard", "restarts", "generation"),

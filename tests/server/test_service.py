@@ -107,14 +107,14 @@ class TestAdmissionControl:
         service = QueryService(
             tree, telemetry=telemetry, max_inflight=2, max_queue=0
         )
-        original = service._tree.nearest
+        original = service._run_knn
 
-        def slow_nearest(q, **kwargs):
+        def slow_run(*args):
             entered.wait(timeout=10)
             gate.wait(timeout=10)
-            return original(q, **kwargs)
+            return original(*args)
 
-        service._tree.nearest = slow_nearest
+        service._run_knn = slow_run
         q = Signature.from_items([1, 2], N_BITS)
         threads = [
             threading.Thread(target=service.knn, args=(q,)) for _ in range(2)
@@ -140,16 +140,16 @@ class TestAdmissionControl:
         gate = threading.Event()
         entered = threading.Event()
         service = QueryService(tree, max_inflight=1, max_queue=4)
-        original = service._tree.nearest
+        original = service._run_knn
         slow_once = {"pending": True}
 
-        def slow_nearest(q, **kwargs):
+        def slow_run(*args):
             if slow_once.pop("pending", False):
                 entered.set()
                 gate.wait(timeout=10)
-            return original(q, **kwargs)
+            return original(*args)
 
-        service._tree.nearest = slow_nearest
+        service._run_knn = slow_run
         q = Signature.from_items([1, 2], N_BITS)
         occupier = threading.Thread(target=service.knn, args=(q,))
         occupier.start()
@@ -173,16 +173,16 @@ class TestAdmissionControl:
         service = QueryService(
             tree, telemetry=telemetry, max_inflight=1, max_queue=4
         )
-        original = service._tree.nearest
+        original = service._run_knn
         slow_once = {"pending": True}
 
-        def slow_nearest(q, **kwargs):
+        def slow_run(*args):
             if slow_once.pop("pending", False):
                 entered.set()
                 gate.wait(timeout=10)
-            return original(q, **kwargs)
+            return original(*args)
 
-        service._tree.nearest = slow_nearest
+        service._run_knn = slow_run
         q = Signature.from_items([1, 2], N_BITS)
         occupier = threading.Thread(target=service.knn, args=(q,))
         occupier.start()

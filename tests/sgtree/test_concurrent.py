@@ -1,84 +1,17 @@
-"""Thread-safety of the ConcurrentSGTree facade and its RW lock."""
+"""Thread-safety of the copy-on-write snapshot-published ConcurrentSGTree."""
 
 from __future__ import annotations
 
 import threading
-import time
 
 import numpy as np
-import pytest
 
 from repro import LinearScan, Signature
 from repro.sgtree import validate_tree
-from repro.sgtree.concurrent import ConcurrentSGTree, ReadWriteLock
+from repro.sgtree.concurrent import ConcurrentSGTree, PinnedSnapshot
 from support import random_signature, random_transactions
 
 N_BITS = 120
-
-
-class TestReadWriteLock:
-    def test_readers_share(self):
-        lock = ReadWriteLock()
-        inside = []
-        barrier = threading.Barrier(3)
-
-        def reader():
-            with lock.reading():
-                barrier.wait(timeout=5)  # all three readers inside at once
-                inside.append(1)
-
-        threads = [threading.Thread(target=reader) for _ in range(3)]
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join(timeout=5)
-        assert len(inside) == 3
-
-    def test_writer_exclusive(self):
-        lock = ReadWriteLock()
-        log = []
-
-        def writer(tag):
-            with lock.writing():
-                log.append(f"{tag}-in")
-                time.sleep(0.02)
-                log.append(f"{tag}-out")
-
-        threads = [threading.Thread(target=writer, args=(i,)) for i in range(4)]
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join(timeout=5)
-        # entries and exits must be properly nested (no interleaving)
-        for i in range(0, len(log), 2):
-            assert log[i].endswith("-in")
-            assert log[i + 1] == log[i].replace("-in", "-out")
-
-    def test_writer_blocks_new_readers(self):
-        lock = ReadWriteLock()
-        order = []
-        lock.acquire_read()
-
-        def writer():
-            lock.acquire_write()
-            order.append("writer")
-            lock.release_write()
-
-        def late_reader():
-            time.sleep(0.05)  # let the writer start waiting first
-            lock.acquire_read()
-            order.append("late-reader")
-            lock.release_read()
-
-        w = threading.Thread(target=writer)
-        r = threading.Thread(target=late_reader)
-        w.start()
-        r.start()
-        time.sleep(0.1)
-        lock.release_read()  # unblock the writer
-        w.join(timeout=5)
-        r.join(timeout=5)
-        assert order == ["writer", "late-reader"]
 
 
 class TestConcurrentSGTree:
@@ -148,6 +81,9 @@ class TestConcurrentSGTree:
         # final state must be exactly the survivors
         survivors = {t.tid: t.signature for t in transactions[100:]}
         assert dict(index.tree.items()) == survivors
+        # every superseded page is reclaimable once readers drained
+        assert index.reclaim(timeout=10)
+        assert index.pending_reclaim == 0
 
     def test_wraps_existing_tree(self):
         from repro import SGTree
@@ -169,6 +105,67 @@ class TestConcurrentSGTree:
         assert index._serial_reads
         index.insert(1, Signature.from_items([3], N_BITS))
         assert index.nearest(Signature.from_items([3], N_BITS))[0].tid == 1
+
+
+class TestSnapshotSemantics:
+    """Readers pin one immutable version; writers publish beside them."""
+
+    def test_each_mutation_publishes_a_new_generation(self):
+        index = ConcurrentSGTree(n_bits=N_BITS, max_entries=8)
+        assert index.generation == 0
+        generations = []
+        for t in random_transactions(seed=90, count=20, n_bits=N_BITS):
+            index.insert(t)
+            generations.append(index.generation)
+        assert generations == sorted(generations)
+        assert generations[-1] == 20 == index.publishes
+
+    def test_pinned_snapshot_is_frozen_against_later_writes(self):
+        transactions = random_transactions(seed=91, count=150, n_bits=N_BITS)
+        index = ConcurrentSGTree(n_bits=N_BITS, max_entries=8)
+        index.insert_many(transactions[:100])
+        query = Signature.from_items([1, 2, 3], N_BITS)
+        with index.snapshot() as snap:
+            assert isinstance(snap, PinnedSnapshot)
+            before = [(n.tid, n.distance) for n in snap.nearest(query, k=5)]
+            pinned_generation = snap.generation
+            for t in transactions[100:]:
+                index.insert(t)
+            # the live index moved on ...
+            assert index.generation > pinned_generation
+            assert len(index) == 150
+            # ... but the pinned snapshot answers bit-identically
+            assert len(snap) == 100
+            after = [(n.tid, n.distance) for n in snap.nearest(query, k=5)]
+            assert after == before
+
+    def test_failed_mutation_leaves_published_tree_intact(self):
+        index = ConcurrentSGTree(n_bits=N_BITS, max_entries=8)
+        index.insert_many(random_transactions(seed=92, count=60, n_bits=N_BITS))
+        generation = index.generation
+        size = len(index)
+        try:
+            index.insert(10_000, Signature.from_items([1], N_BITS // 2))
+        except ValueError:
+            pass
+        else:  # pragma: no cover - the mismatch must raise
+            raise AssertionError("bit-width mismatch did not raise")
+        assert index.generation == generation
+        assert len(index) == size
+        validate_tree(index.tree)
+
+    def test_deletes_converge_and_reclaim(self):
+        transactions = random_transactions(seed=93, count=120, n_bits=N_BITS)
+        index = ConcurrentSGTree(n_bits=N_BITS, max_entries=8)
+        index.insert_many(transactions)
+        for t in transactions[:60]:
+            assert index.delete(t)
+        assert index.reclaim(timeout=10)
+        assert index.reclaimed_pages > 0
+        validate_tree(index.tree)
+        survivors = {t.tid: t.signature for t in transactions[60:]}
+        assert dict(index.tree.items()) == survivors
+
 
 class TestSwapRetiresArenaGeneration:
     """Satellite: hot-swap must orphan the old tree's decoded views —
@@ -243,3 +240,20 @@ class TestSwapRetiresArenaGeneration:
         # can resurrect the retired one
         old_tree.nearest(Signature.from_items([1, 2, 3], N_BITS), k=2)
         assert old_store.decode_cache.drop_generation(old_generation) == 0
+
+    def test_on_retire_fires_only_after_readers_drain(self):
+        from repro import SGTree
+
+        index = self._built(seed=66, count=80)
+        retired = []
+        pinned = index.snapshot()
+        old = index.swap(
+            SGTree(N_BITS, max_entries=8),
+            on_retire=lambda tree: retired.append(tree),
+        )
+        # the straggler's pin holds the retirement hook back
+        assert retired == []
+        assert not index.reclaim(timeout=0.05)
+        pinned.release()
+        assert index.reclaim(timeout=10)
+        assert retired == [old]
