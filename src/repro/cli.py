@@ -68,6 +68,36 @@ def _decode_cache_entries(value: str) -> "int | None | str":
         ) from None
 
 
+def _initial_threshold(value: str) -> float:
+    """argparse type for ``--initial-threshold``: finite-or-inf, >= 0."""
+    try:
+        threshold = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a number, got {value!r}"
+        ) from None
+    if threshold != threshold or threshold < 0:
+        raise argparse.ArgumentTypeError(
+            f"initial threshold must be a non-negative number, got {value!r}"
+        )
+    return threshold
+
+
+def _bound_interval(value: str) -> int:
+    """argparse type for ``--bound-report-interval``: integer >= 1."""
+    try:
+        interval = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {value!r}"
+        ) from None
+    if interval < 1:
+        raise argparse.ArgumentTypeError(
+            f"bound report interval must be >= 1, got {value!r}"
+        )
+    return interval
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-sgtree",
@@ -135,6 +165,12 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["hamming", "jaccard", "dice", "overlap", "cosine"])
     query.add_argument("--best-first", action="store_true",
                        help="use the best-first k-NN algorithm")
+    query.add_argument("--initial-threshold", type=_initial_threshold,
+                       default=None, metavar="DIST",
+                       help="seed the k-NN pruning bound with a known "
+                            "distance (e.g. another index's k-th distance); "
+                            "results are unchanged whenever DIST >= the true "
+                            "k-th distance, only less work is done")
     query.add_argument("--stats", action="store_true",
                        help="print node accesses / I/Os / data fraction")
     query.add_argument("--explain", action="store_true",
@@ -233,6 +269,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--quorum", type=int, default=None,
                        help="shards that must be up for readiness "
                             "(default: a majority)")
+    serve.add_argument("--no-bound-sharing", action="store_true",
+                       help="disable cooperative cross-shard kNN pruning "
+                            "(pilot-shard seeding and mid-flight bound "
+                            "broadcast); shards then prune on local "
+                            "k-th distances only")
+    serve.add_argument("--bound-report-interval", type=_bound_interval,
+                       default=None, metavar="M",
+                       help="node visits between a shard's mid-flight "
+                            "bound reports (default 16; smaller = tighter "
+                            "pruning, more coordination traffic)")
     serve.add_argument("--decode-cache-entries", type=_decode_cache_entries,
                        default="auto", metavar="N|auto|none",
                        help="decoded-node arena budget in entries: an "
@@ -370,7 +416,10 @@ def _run_batch_query(tree: SGTree, args: argparse.Namespace) -> int:
             )
         else:
             k = args.knn if args.knn is not None else 1
-            results = executor.knn(queries, k=k, metric=args.metric, stats=stats)
+            results = executor.knn(
+                queries, k=k, metric=args.metric, stats=stats,
+                initial_thresholds=args.initial_threshold,
+            )
     elapsed = time.perf_counter() - start
     for transaction, hits in zip(transactions[:10], results):
         head = ", ".join(f"{hit.tid}:{hit.distance:g}" for hit in hits[:5])
@@ -414,6 +463,7 @@ def _run_explain(tree: SGTree, query: Signature, args: argparse.Namespace) -> in
         epsilon=args.epsilon,
         kind=kind,
         metric=args.metric,
+        initial_threshold=args.initial_threshold if kind == "knn" else None,
     )
     print(report.render())
     if args.trace_out:
@@ -441,6 +491,11 @@ def _run_explain(tree: SGTree, query: Signature, args: argparse.Namespace) -> in
 def _cmd_query(args: argparse.Namespace) -> int:
     if (args.items is None) == (args.batch is None):
         raise SystemExit("query: exactly one of --items or --batch is required")
+    if args.initial_threshold is not None and (
+        args.contains or args.epsilon is not None
+        or args.count_epsilon is not None
+    ):
+        raise SystemExit("--initial-threshold applies to --knn queries only")
     tree = load_tree(args.index, decode_cache_entries=args.decode_cache_entries)
     try:
         if args.batch is not None:
@@ -466,7 +521,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
             k = args.knn if args.knn is not None else 1
             algorithm = "best-first" if args.best_first else "depth-first"
             hits = tree.nearest(
-                query, k=k, metric=args.metric, algorithm=algorithm, stats=stats
+                query, k=k, metric=args.metric, algorithm=algorithm,
+                stats=stats, initial_threshold=args.initial_threshold,
             )
             for hit in hits:
                 print(f"  tid {hit.tid}  distance {hit.distance:g}")
@@ -476,6 +532,12 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 f"{stats.random_ios} random I/Os, "
                 f"{stats.data_fraction(len(tree)):.2f}% of data compared"
             )
+            if stats.bound_provenance is not None or stats.bound_updates_applied:
+                print(
+                    f"pruning bound: "
+                    f"provenance={stats.bound_provenance or 'local'} "
+                    f"updates_applied={stats.bound_updates_applied}"
+                )
         return 0
     finally:
         tree.store.pager.close()
@@ -648,11 +710,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     pager = tree.store.pager
     if args.shards > 0:
         from .server import (
+            DEFAULT_BOUND_INTERVAL,
             ShardedQueryService,
             ShardedTree,
             ShardSupervisor,
             make_shard_handles,
-            partition_transactions,
+            partition_routed,
         )
         from .core.transaction import Transaction
 
@@ -660,13 +723,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         n_bits = tree.n_bits
         pager.close()  # shards rebuild from the rows; the source is done
         pager = None
-        partitions = partition_transactions(transactions, args.shards)
+        partitions, router = partition_routed(transactions, args.shards)
         handles = make_shard_handles(
             partitions, n_bits, mode=args.shard_mode, telemetry=telemetry
         )
         supervisor = ShardSupervisor(handles, telemetry=telemetry).start()
         service = ShardedQueryService(
-            ShardedTree(handles, n_bits, telemetry=telemetry),
+            ShardedTree(
+                handles, n_bits, telemetry=telemetry, router=router,
+                bound_sharing=not args.no_bound_sharing,
+                bound_interval=(
+                    args.bound_report_interval
+                    if args.bound_report_interval is not None
+                    else DEFAULT_BOUND_INTERVAL
+                ),
+            ),
             supervisor=supervisor,
             telemetry=telemetry,
             max_inflight=args.max_inflight,
@@ -691,8 +762,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         server = make_server(service, host=args.host, port=args.port)
         host, port = server.server_address[:2]
         sharding = (
-            f"shards={args.shards}({args.shard_mode})" if args.shards > 0
-            else "single-tree"
+            f"shards={args.shards}({args.shard_mode}, "
+            f"{'no-' if args.no_bound_sharing else ''}bound-sharing)"
+            if args.shards > 0 else "single-tree"
         )
         print(
             f"serving {args.index} on http://{host}:{port}  "

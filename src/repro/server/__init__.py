@@ -17,6 +17,7 @@ are re-exported here for callers handling serving errors.
 """
 
 from ..errors import CircuitOpen, RetryExhausted, ShardError, ShardUnavailable
+from .bounds import DEFAULT_BOUND_INTERVAL, CooperativeBound, GlobalBound
 from .http import ServingHTTPServer, make_server, serve_forever
 from .resilience import Backoff, CircuitBreaker, RetryPolicy
 from .service import QueryService, ReloadInProgress, RequestShed, ServedQuery
@@ -25,7 +26,9 @@ from .shard import (
     ShardedQueryService,
     ShardedTree,
     ShardHandle,
+    ShardRouter,
     make_shard_handles,
+    partition_routed,
     partition_transactions,
 )
 from .supervisor import ShardSupervisor
@@ -44,12 +47,18 @@ __all__ = [
     "CircuitBreaker",
     # sharded serving
     "partition_transactions",
+    "partition_routed",
+    "ShardRouter",
     "make_shard_handles",
     "ShardHandle",
     "ShardedTree",
     "ShardedQueryService",
     "ShardSupervisor",
     "Coverage",
+    # cooperative cross-shard pruning
+    "GlobalBound",
+    "CooperativeBound",
+    "DEFAULT_BOUND_INTERVAL",
     # typed shard failures (defined in repro.errors)
     "ShardError",
     "ShardUnavailable",

@@ -51,11 +51,16 @@ import itertools
 import queue
 import threading
 import time
+from bisect import bisect_left
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+import numpy as np
+
+from ..core import bitops
 from ..core.signature import Signature
 from ..core.transaction import Transaction
 from ..errors import (
@@ -69,11 +74,14 @@ from ..sgtree.bulkload import bulk_load, gray_sort_order, minhash_order
 from ..sgtree.search import Deadline, Neighbor, SearchStats
 from ..sgtree.tree import SGTree
 from ..telemetry.tracing import TraceContext, Tracer
+from .bounds import DEFAULT_BOUND_INTERVAL, CooperativeBound, GlobalBound
 from .resilience import Backoff, CircuitBreaker, RetryPolicy
 from .service import QueryService, ServedQuery, _stats_doc, _store_health
 
 __all__ = [
     "partition_transactions",
+    "partition_routed",
+    "ShardRouter",
     "Coverage",
     "ThreadShardWorker",
     "ProcessShardWorker",
@@ -101,13 +109,65 @@ def _span(trace, name: str, **attrs: object):
 # partitioning
 
 
-def partition_transactions(
+class ShardRouter:
+    """Routes a query signature to its *home shard* — the contiguous
+    run of the partition order the query's own sort key falls into.
+
+    :func:`partition_routed` cuts the minhash/gray-ordered collection
+    into runs; the router retains each run's upper boundary key (the key
+    of its last transaction) plus whatever is needed to recompute the
+    key function (the cached min-hash permutations, or nothing for gray
+    ranks).  Routing is then a :func:`bisect.bisect_left` over the
+    boundaries: the first shard whose upper key is ``>=`` the query's
+    key holds the query's nearest neighbourhood of the ordering.
+
+    The route is a *heuristic*, never a correctness input: the home
+    shard merely goes first so its k-th distance can seed everyone
+    else's pruning.  A query routed to the "wrong" shard just seeds a
+    looser bound.
+    """
+
+    def __init__(self, method: str, uppers: "list", n_bits: int,
+                 n_hashes: int = 4, seed: int = 0):
+        self.method = method
+        self.n_bits = n_bits
+        self.n_hashes = n_hashes
+        self.seed = seed
+        self._uppers = list(uppers)
+        if method == "minhash":
+            # The exact permutations minhash_order derives from `seed`,
+            # cached so routing costs one gather + min per hash.
+            rng = np.random.default_rng(seed)
+            self._permutations = [
+                rng.permutation(n_bits) for _ in range(n_hashes)
+            ]
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._uppers)
+
+    def key(self, signature: Signature):
+        """The partition-order sort key of one signature."""
+        if self.method == "gray":
+            return bitops.gray_rank(signature.words)
+        items = np.asarray(signature.items(), dtype=np.int64)
+        if items.size == 0:
+            return (self.n_bits,) * self.n_hashes
+        return tuple(int(perm[items].min()) for perm in self._permutations)
+
+    def route(self, signature: Signature) -> int:
+        """The home shard id for ``signature`` (always a valid id)."""
+        index = bisect_left(self._uppers, self.key(signature))
+        return min(index, len(self._uppers) - 1)
+
+
+def partition_routed(
     transactions: Sequence[Transaction],
     n_shards: int,
     method: str = "minhash",
     n_hashes: int = 4,
     seed: int = 0,
-) -> list[list[Transaction]]:
+) -> "tuple[list[list[Transaction]], ShardRouter]":
     """Split transactions into ``n_shards`` similarity-preserving runs.
 
     The collection is ordered by the bulk-load key (``"minhash"`` or
@@ -118,6 +178,11 @@ def partition_transactions(
     per-shard signatures stay tight and per-shard pruning effective.
     Every transaction lands in exactly one shard; shards may be empty
     only when there are fewer transactions than shards.
+
+    Returns the partitions together with a :class:`ShardRouter` built
+    from the run boundaries, so the coordinator can send a query to its
+    home shard first (pilot routing) and seed the global bound with
+    that shard's k-th distance.
     """
     if n_shards < 1:
         raise ValueError(f"n_shards must be >= 1, got {n_shards}")
@@ -131,6 +196,7 @@ def partition_transactions(
         raise ValueError(
             f"unknown partition method {method!r}; use 'gray' or 'minhash'"
         )
+    n_bits = transactions[0].signature.n_bits if transactions else 0
     ordered = [transactions[i] for i in order]
     partitions: list[list[Transaction]] = []
     base, extra = divmod(len(ordered), n_shards)
@@ -139,7 +205,32 @@ def partition_transactions(
         size = base + (1 if shard < extra else 0)
         partitions.append(ordered[start : start + size])
         start += size
-    return partitions
+    router = ShardRouter(method, [], n_bits, n_hashes=n_hashes, seed=seed)
+    # Upper boundary = the key of each run's last transaction; an empty
+    # run (fewer transactions than shards) inherits its left neighbour's
+    # boundary so bisect skips past it.
+    uppers: list = []
+    sentinel = -1 if method == "gray" else (-1,) * n_hashes
+    last_key = sentinel
+    for partition in partitions:
+        if partition:
+            last_key = router.key(partition[-1].signature)
+        uppers.append(last_key)
+    router._uppers = uppers
+    return partitions, router
+
+
+def partition_transactions(
+    transactions: Sequence[Transaction],
+    n_shards: int,
+    method: str = "minhash",
+    n_hashes: int = 4,
+    seed: int = 0,
+) -> list[list[Transaction]]:
+    """The partitions of :func:`partition_routed`, without the router."""
+    return partition_routed(
+        transactions, n_shards, method=method, n_hashes=n_hashes, seed=seed
+    )[0]
 
 
 # ---------------------------------------------------------------------------
@@ -158,7 +249,7 @@ def _build_shard_tree(n_bits: int, rows: "list[tuple[int, tuple[int, ...]]]",
     return bulk_load(transactions, n_bits, method="gray", **(tree_kwargs or {}))
 
 
-def _handle_request(tree: SGTree, request: dict) -> dict:
+def _handle_request(tree: SGTree, request: dict, bound=None) -> dict:
     """Execute one wire request against a shard tree.
 
     Returns a response dict: ``{"ok": True, "results": ..., "stats":
@@ -167,6 +258,14 @@ def _handle_request(tree: SGTree, request: dict) -> dict:
     :class:`Deadline`, so an over-budget traversal aborts *inside the
     worker* too — a shard never burns CPU for a caller that has already
     given up.
+
+    Cooperative pruning hooks: a kNN request may carry an
+    ``initial_threshold`` (the coordinator's k-th-distance seed, applied
+    before the first node is visited) and ``bound`` may be a per-request
+    exchange channel (:class:`~repro.server.bounds.CooperativeBound` for
+    thread workers, :class:`_PipeBound` for process workers) the engines
+    poll every ``bound.interval`` node visits.  ``batch_knn`` accepts
+    per-query ``initial_thresholds`` the same way.
     """
     op = request["op"]
     try:
@@ -197,6 +296,8 @@ def _handle_request(tree: SGTree, request: dict) -> dict:
                 k=request["k"], metric=request.get("metric"),
                 algorithm=request.get("algorithm", "depth-first"),
                 stats=stats, deadline=deadline, tracer=tracer,
+                initial_threshold=request.get("initial_threshold"),
+                bound=bound,
             )
             payload = [(n.distance, n.tid) for n in results]
         elif op == "range":
@@ -218,6 +319,7 @@ def _handle_request(tree: SGTree, request: dict) -> dict:
             results = tree.batch_nearest(
                 signatures, k=request["k"], metric=request.get("metric"),
                 stats=stats, deadline=deadline,
+                initial_thresholds=request.get("initial_thresholds"),
             )
             payload = [[(n.distance, n.tid) for n in row] for row in results]
         elif op == "batch_range":
@@ -312,11 +414,12 @@ class ThreadShardWorker:
     def is_alive(self) -> bool:
         return self._alive and self._thread.is_alive()
 
-    def submit(self, request: dict) -> _PendingCall:
+    def submit(self, request: dict, bound: "GlobalBound | None" = None,
+               ) -> _PendingCall:
         if not self.is_alive():
             raise ShardUnavailable("worker is down", shard_id=self.shard_id)
         pending = _PendingCall()
-        self._queue.put((request, pending))
+        self._queue.put((request, pending, bound))
         return pending
 
     def kill(self) -> None:
@@ -333,7 +436,7 @@ class ThreadShardWorker:
                 item = self._queue.get()
                 if item is None or not self._alive:
                     return
-                request, pending = item
+                request, pending, bound = item
                 if self.chaos is not None:
                     action = self.chaos.draw()
                     if action == "kill":
@@ -343,7 +446,15 @@ class ThreadShardWorker:
                         return
                     if action == "latency":
                         time.sleep(self.chaos.plan.latency_seconds)
-                response = _handle_request(self._tree, request)
+                channel = None
+                if bound is not None:
+                    # In-process shards exchange through the shared cell
+                    # directly — no wire messages, one lock per exchange.
+                    channel = CooperativeBound(
+                        bound,
+                        request.get("bound_interval", DEFAULT_BOUND_INTERVAL),
+                    )
+                response = _handle_request(self._tree, request, bound=channel)
                 response["id"] = request.get("id")
                 pending.resolve(response)
         finally:
@@ -359,11 +470,55 @@ class ThreadShardWorker:
                 return
             if item is None:
                 continue
-            request, pending = item
+            request, pending, _bound = item
             pending.resolve({
                 "id": request.get("id"), "ok": False,
                 "error": "ShardUnavailable", "message": "worker died",
             })
+
+
+class _PipeBound:
+    """Worker-process side of the ``bound_report``/``bound_update``
+    exchange: publish the heap's top-k up the pipe, drain whatever the
+    coordinator pushed back, adopt the tightest threshold seen.
+
+    ``exchange`` never blocks — it polls with a zero timeout, so a slow
+    or silent coordinator costs the traversal nothing.  Pipelined
+    requests that arrive mid-drain are stashed for the worker main loop
+    (the pipe carries one interleaved stream); a ``bound_update`` for a
+    *different* request id belongs to a query this worker already
+    answered and is dropped — stale by definition, and staleness is
+    safe (DESIGN.md §13).
+    """
+
+    __slots__ = ("interval", "_conn", "_request_id", "_stash", "_latest")
+
+    def __init__(self, conn, request_id, interval: int, stash: deque):
+        self.interval = max(1, int(interval))
+        self._conn = conn
+        self._request_id = request_id
+        self._stash = stash
+        self._latest = float("inf")
+
+    def exchange(self, heap) -> float:
+        try:
+            self._conn.send({
+                "op": "bound_report", "id": self._request_id,
+                "threshold": heap.threshold, "pairs": heap.pairs(),
+            })
+            while self._conn.poll(0):
+                message = self._conn.recv()
+                if message.get("op") != "bound_update":
+                    self._stash.append(message)
+                    continue
+                if message.get("id") != self._request_id:
+                    continue
+                threshold = message.get("threshold")
+                if threshold is not None and threshold < self._latest:
+                    self._latest = threshold
+        except (EOFError, BrokenPipeError, OSError):
+            pass  # parent gone; the traversal finishes on local bounds
+        return self._latest
 
 
 def _process_worker_main(conn, shard_id: int, n_bits: int, rows,
@@ -382,12 +537,21 @@ def _process_worker_main(conn, shard_id: int, n_bits: int, rows,
         )
         chaos = plan.for_shard(shard_id, incarnation=incarnation)
     tree = _build_shard_tree(n_bits, rows, tree_kwargs)
+    stash: deque = deque()  # requests a mid-flight drain pulled off the pipe
     while True:
-        try:
-            request = conn.recv()
-        except (EOFError, OSError):
-            return
-        if request.get("op") == "stop":
+        if stash:
+            request = stash.popleft()
+        else:
+            try:
+                request = conn.recv()
+            except (EOFError, OSError):
+                return
+        op = request.get("op")
+        if op == "bound_update":
+            # Raced a request that already answered; a stale bound is
+            # simply dropped.
+            continue
+        if op == "stop":
             conn.send({"id": request.get("id"), "ok": True})
             return
         if chaos is not None:
@@ -396,7 +560,11 @@ def _process_worker_main(conn, shard_id: int, n_bits: int, rows,
                 os._exit(1)  # abrupt death, in-flight request abandoned
             if action == "latency":
                 time.sleep(chaos.plan.latency_seconds)
-        response = _handle_request(tree, request)
+        bound = None
+        interval = request.get("bound_interval")
+        if interval:
+            bound = _PipeBound(conn, request.get("id"), interval, stash)
+        response = _handle_request(tree, request, bound=bound)
         response["id"] = request.get("id")
         try:
             conn.send(response)
@@ -413,6 +581,13 @@ class ProcessShardWorker:
     desynchronising the pipe.  Process death surfaces as ``EOFError`` on
     the receiver, which fails every pending call fast with
     :class:`~repro.errors.ShardUnavailable`.
+
+    The receiver also terminates the cooperative-bound exchange: a
+    ``bound_report`` riding up the pipe is folded into the request's
+    registered :class:`~repro.server.bounds.GlobalBound` and answered
+    with a ``bound_update`` carrying the (possibly tighter) global
+    threshold — the process-mode twin of the thread worker's shared
+    cell.
     """
 
     mode = "process"
@@ -443,6 +618,7 @@ class ProcessShardWorker:
         self._process.start()
         child_conn.close()
         self._pending: "dict[int, _PendingCall]" = {}
+        self._bounds: "dict[int, GlobalBound]" = {}
         self._lock = threading.Lock()
         self._closed = False
         self._receiver = threading.Thread(
@@ -455,7 +631,8 @@ class ProcessShardWorker:
     def is_alive(self) -> bool:
         return not self._closed and self._process.is_alive()
 
-    def submit(self, request: dict) -> _PendingCall:
+    def submit(self, request: dict, bound: "GlobalBound | None" = None,
+               ) -> _PendingCall:
         pending = _PendingCall()
         with self._lock:
             if not self.is_alive():
@@ -463,10 +640,13 @@ class ProcessShardWorker:
                     "worker process is down", shard_id=self.shard_id
                 )
             self._pending[request["id"]] = pending
+            if bound is not None:
+                self._bounds[request["id"]] = bound
             try:
                 self._conn.send(request)
             except (BrokenPipeError, OSError):
                 self._pending.pop(request["id"], None)
+                self._bounds.pop(request["id"], None)
                 raise ShardUnavailable(
                     "worker pipe is broken", shard_id=self.shard_id
                 ) from None
@@ -502,18 +682,48 @@ class ProcessShardWorker:
                 if self._closed:  # interpreter/service teardown race
                     break
                 raise
+            if response.get("op") == "bound_report":
+                self._fold_report(response)
+                continue
             with self._lock:
                 pending = self._pending.pop(response.get("id"), None)
+                self._bounds.pop(response.get("id"), None)
             if pending is not None:
                 pending.resolve(response)
         with self._lock:
             stranded = list(self._pending.values())
             self._pending.clear()
+            self._bounds.clear()
         for pending in stranded:
             pending.resolve({
                 "ok": False, "error": "ShardUnavailable",
                 "message": "worker process died",
             })
+
+    def _fold_report(self, report: dict) -> None:
+        """Fold one mid-flight report; push the global bound back down.
+
+        The worker's top-k *pairs* (not just its threshold) enter the
+        coordinator's candidate set, so whatever evidence backs the
+        pushed-down bound survives even if this process dies a moment
+        later.  A report for a request that already resolved (the
+        deadline expired, the caller gave up) finds no registered bound
+        and is dropped.
+        """
+        with self._lock:
+            bound = self._bounds.get(report.get("id"))
+        if bound is None:
+            return
+        threshold = bound.fold(report.get("pairs", ()), report=True)
+        update = {
+            "op": "bound_update", "id": report.get("id"),
+            "threshold": threshold,
+        }
+        try:
+            with self._lock:
+                self._conn.send(update)
+        except (BrokenPipeError, OSError):
+            pass  # worker gone; its pending call fails through _await
 
 
 # ---------------------------------------------------------------------------
@@ -587,7 +797,9 @@ class ShardHandle:
     # -- the request path --------------------------------------------------
 
     def call(self, request: dict, deadline: "Deadline | None" = None,
-             trace=None) -> dict:
+             trace=None, bound: "GlobalBound | None" = None,
+             bound_interval: int = DEFAULT_BOUND_INTERVAL,
+             role: "str | None" = None) -> dict:
         """One resilient request; returns the worker's ``ok`` response.
 
         Raises :class:`~repro.errors.CircuitOpen`,
@@ -601,9 +813,18 @@ class ShardHandle:
         rejection records a zero-duration ``rpc`` span annotated
         ``circuit_open``, and retry backoffs are timed by the retry
         policy itself.
+
+        ``bound`` arms cooperative pruning for a kNN call: the wire
+        request is seeded with the global threshold *at send time* (so a
+        retry after a worker crash re-seeds with whatever the bound has
+        tightened to since), ``bound_interval`` rides along as the
+        worker's exchange cadence, and the worker is wired up for
+        mid-flight reports.  ``role`` annotates this shard's ``rpc``
+        spans (``"pilot"`` for the home shard queried first).
         """
         telemetry = self.telemetry
         label = str(self.shard_id)
+        span_attrs = {"role": role} if role is not None else {}
         if not self.breaker.allow():
             if telemetry is not None:
                 telemetry.shard_requests_total.labels(
@@ -613,6 +834,7 @@ class ShardHandle:
                 trace.add_span(
                     "rpc", shard=self.shard_id, outcome="circuit_open",
                     retry_after=round(self.breaker.retry_after(), 6),
+                    **span_attrs,
                 )
             raise CircuitOpen(
                 "circuit breaker is open",
@@ -624,10 +846,13 @@ class ShardHandle:
             request["trace"] = trace.context().to_wire()
 
         def attempt() -> dict:
-            with _span(trace, "rpc", shard=self.shard_id) as span:
+            with _span(trace, "rpc", shard=self.shard_id, **span_attrs) as span:
                 started = time.perf_counter()
                 try:
-                    response = self._attempt_once(request, deadline)
+                    response = self._attempt_once(
+                        request, deadline, bound=bound,
+                        bound_interval=bound_interval, span=span,
+                    )
                 except BaseException as exc:
                     if span is not None:
                         span.attrs["outcome"] = type(exc).__name__
@@ -667,7 +892,10 @@ class ShardHandle:
             on_retry=on_retry, trace=trace,
         )
 
-    def _attempt_once(self, request: dict, deadline: "Deadline | None") -> dict:
+    def _attempt_once(self, request: dict, deadline: "Deadline | None",
+                      bound: "GlobalBound | None" = None,
+                      bound_interval: int = DEFAULT_BOUND_INTERVAL,
+                      span=None) -> dict:
         worker = self.worker
         if worker is None or not worker.is_alive():
             raise ShardUnavailable("worker is down", shard_id=self.shard_id)
@@ -675,7 +903,17 @@ class ShardHandle:
         wire["id"] = next(self._ids)
         if deadline is not None:
             wire["budget"] = deadline.remaining()
-        pending = worker.submit(wire)
+        if bound is not None:
+            wire["bound_interval"] = bound_interval
+            seed = bound.threshold
+            if seed != float("inf"):
+                # The freshest global k-th distance at send time; the
+                # shard starts pre-tightened instead of rediscovering it.
+                wire["initial_threshold"] = seed
+                if span is not None:
+                    span.attrs["bound_seed"] = round(seed, 6)
+        pending = worker.submit(wire, bound=bound) if bound is not None \
+            else worker.submit(wire)
         response = self._await(pending, worker, deadline)
         if not response.get("ok"):
             error = response.get("error", "unknown")
@@ -902,15 +1140,35 @@ class ShardedTree:
     (:class:`~repro.errors.QueryTimeout` when the budget ran out,
     :class:`~repro.errors.CircuitOpen` when every breaker is open,
     :class:`~repro.errors.ShardUnavailable` otherwise).
+
+    kNN queries prune **cooperatively** (``bound_sharing``, on by
+    default): one :class:`~repro.server.bounds.GlobalBound` per query
+    collects every shard's evidence; when a ``router`` (from
+    :func:`partition_routed`) is attached the query's home shard runs
+    first as the *pilot* and its k-th distance seeds everyone else's
+    traversal; shards exchange mid-flight reports every
+    ``bound_interval`` node visits.  Merged results stay bit-identical
+    to the single-tree engine — the bound only ever drops work the
+    final answer provably cannot contain (see ``docs/serving.md`` and
+    DESIGN.md §13).
     """
 
     def __init__(self, handles: "Sequence[ShardHandle]", n_bits: int,
-                 telemetry=None):
+                 telemetry=None, router: "ShardRouter | None" = None,
+                 bound_sharing: bool = True,
+                 bound_interval: int = DEFAULT_BOUND_INTERVAL):
         if not handles:
             raise ValueError("a sharded tree needs at least one shard")
+        if bound_interval < 1:
+            raise ValueError(
+                f"bound_interval must be >= 1, got {bound_interval}"
+            )
         self.handles = list(handles)
         self.n_bits = n_bits
         self.telemetry = telemetry
+        self.router = router
+        self.bound_sharing = bound_sharing
+        self.bound_interval = bound_interval
         self._pool = ThreadPoolExecutor(
             max_workers=len(self.handles), thread_name_prefix="sgtree-scatter"
         )
@@ -941,14 +1199,33 @@ class ShardedTree:
         ``scatter`` span, and each shard's shipped-back visit-span tree
         is stitched into the trace as it arrives.
         """
-        with _span(trace, "scatter", shards=len(self.handles)) as span:
+        answered, errors = self._scatter_to(
+            self.handles, request, deadline, trace
+        )
+        if not answered:
+            self._raise_total_failure(errors, deadline)
+        return answered, Coverage(len(self.handles), len(answered), errors)
+
+    def _scatter_to(self, handles: "Sequence[ShardHandle]", request: dict,
+                    deadline: "Deadline | None", trace=None,
+                    bound: "GlobalBound | None" = None,
+                    ) -> "tuple[dict[int, dict], dict[int, str]]":
+        """The raw fan-out: ``(responses, errors)`` over ``handles``.
+
+        When ``bound`` is armed each arriving kNN response is folded
+        into it immediately, so a fast shard's answer tightens the bound
+        the slow shards' next mid-flight exchange picks up.
+        """
+        with _span(trace, "scatter", shards=len(handles)) as span:
             if trace is not None:
                 request = dict(request)
                 request["trace"] = trace.context().to_wire()
             futures = {
-                self._pool.submit(handle.call, request, deadline, trace):
-                handle
-                for handle in self.handles
+                self._pool.submit(
+                    handle.call, request, deadline, trace,
+                    bound=bound, bound_interval=self.bound_interval,
+                ): handle
+                for handle in handles
             }
             answered: "dict[int, dict]" = {}
             errors: "dict[int, str]" = {}
@@ -976,6 +1253,8 @@ class ShardedTree:
                         errors[handle.shard_id] = f"{type(exc).__name__}: {exc}"
                         continue
                     answered[handle.shard_id] = response
+                    if bound is not None:
+                        bound.fold(response.get("results") or ())
                     if trace is not None and "trace" in response:
                         trace.attach_shard(
                             handle.shard_id,
@@ -989,12 +1268,9 @@ class ShardedTree:
                 handle = futures[future]
                 errors[handle.shard_id] = "QueryTimeout: gather deadline expired"
                 future.cancel()
-            if not answered:
-                self._raise_total_failure(errors, deadline)
-            coverage = Coverage(len(self.handles), len(answered), errors)
             if span is not None:
-                span.attrs["answered"] = coverage.answered
-            return answered, coverage
+                span.attrs["answered"] = len(answered)
+            return answered, errors
 
     def _raise_total_failure(self, errors: "dict[int, str]",
                              deadline: "Deadline | None") -> None:
@@ -1024,6 +1300,7 @@ class ShardedTree:
             stats.node_accesses += row.get("node_accesses", 0)
             stats.random_ios += row.get("random_ios", 0)
             stats.leaf_entries += row.get("leaf_entries", 0)
+            stats.bound_updates_applied += row.get("bound_updates_applied", 0)
 
     def nearest(self, query: Signature, k: int = 1,
                 metric: "str | None" = None, algorithm: str = "depth-first",
@@ -1031,19 +1308,119 @@ class ShardedTree:
                 deadline: "Deadline | None" = None,
                 trace=None,
                 ) -> "tuple[list[Neighbor], Coverage]":
-        responses, coverage = self.scatter(
-            {"op": "knn", "items": list(query.items()), "k": k,
-             "metric": metric, "algorithm": algorithm},
-            deadline, trace=trace,
+        request = {"op": "knn", "items": list(query.items()), "k": k,
+                   "metric": metric, "algorithm": algorithm}
+        if not self.bound_sharing:
+            responses, coverage = self.scatter(request, deadline, trace=trace)
+            self._merge_stats(responses, stats)
+            with _span(trace, "merge", op="knn"):
+                merged = sorted(
+                    (Neighbor(distance, tid)
+                     for response in responses.values()
+                     for distance, tid in response["results"]),
+                )
+            return merged[:k], coverage
+        return self._nearest_cooperative(
+            query, request, k, stats, deadline, trace
         )
+
+    def _nearest_cooperative(self, query: Signature, request: dict, k: int,
+                             stats: "SearchStats | None",
+                             deadline: "Deadline | None", trace,
+                             ) -> "tuple[list[Neighbor], Coverage]":
+        """Pilot-first, bound-sharing kNN.
+
+        With a router, the query's home shard answers alone first and
+        its k-th distance seeds the scatter to the rest; without one the
+        fan-out is simultaneous but still exchanges mid-flight bounds.
+        The final merge pools the responses *and* the bound's salvaged
+        candidates — evidence a shard reported before dying stays in the
+        answer, so a dead shard's bound can never over-tighten the
+        survivors' merged result.
+        """
+        bound = GlobalBound(k)
+        responses: "dict[int, dict]" = {}
+        errors: "dict[int, str]" = {}
+        pilot: "ShardHandle | None" = None
+        if self.router is not None and len(self.handles) > 1:
+            pilot_id = self.router.route(query)
+            pilot = next(
+                (h for h in self.handles if h.shard_id == pilot_id), None
+            )
+        if trace is not None and "trace" not in request:
+            request = dict(request)
+            request["trace"] = trace.context().to_wire()
+        if pilot is not None:
+            with _span(trace, "pilot", shard=pilot.shard_id):
+                try:
+                    response = pilot.call(
+                        request, deadline, trace, bound=bound,
+                        bound_interval=self.bound_interval, role="pilot",
+                    )
+                except Exception as exc:  # noqa: BLE001 - per-shard detail
+                    errors[pilot.shard_id] = f"{type(exc).__name__}: {exc}"
+                else:
+                    responses[pilot.shard_id] = response
+                    bound.fold(response.get("results") or (), source="pilot")
+                    if trace is not None and "trace" in response:
+                        trace.attach_shard(
+                            pilot.shard_id,
+                            response["trace"].get("spans", []),
+                            stats=response.get("stats"),
+                            reconciled=response["trace"].get("reconciled"),
+                        )
+        rest = [h for h in self.handles if h is not pilot]
+        if rest:
+            rest_answers, rest_errors = self._scatter_to(
+                rest, request, deadline, trace, bound=bound
+            )
+            responses.update(rest_answers)
+            errors.update(rest_errors)
+        if not responses:
+            self._raise_total_failure(errors, deadline)
+        coverage = Coverage(len(self.handles), len(responses), errors)
         self._merge_stats(responses, stats)
         with _span(trace, "merge", op="knn"):
-            merged = sorted(
-                (Neighbor(distance, tid)
-                 for response in responses.values()
-                 for distance, tid in response["results"]),
+            seen: set = set()
+            pool: "list[Neighbor]" = []
+            for response in responses.values():
+                for distance, tid in response["results"]:
+                    if (distance, tid) not in seen:
+                        seen.add((distance, tid))
+                        pool.append(Neighbor(distance, tid))
+            # Salvage: candidates the bound holds from shards that died
+            # after reporting — true distances, merged like any answer.
+            for distance, tid in bound.candidates():
+                if (distance, tid) not in seen:
+                    seen.add((distance, tid))
+                    pool.append(Neighbor(distance, tid))
+            merged = sorted(pool)[:k]
+        if stats is not None:
+            # Coordinator-level provenance: where the final threshold
+            # that pruned this query came from (per-shard provenance
+            # still travels in each response's stats doc).
+            stats.bound_provenance = bound.source
+        self._observe_bound(bound, stats)
+        return merged, coverage
+
+    def _observe_bound(self, bound: GlobalBound,
+                       stats: "SearchStats | None") -> None:
+        telemetry = self.telemetry
+        if telemetry is None:
+            return
+        if bound.reports:
+            telemetry.bound_reports_total.inc(bound.reports)
+        if bound.tightenings:
+            telemetry.bound_tightenings_total.labels(
+                source=bound.source or "local"
+            ).inc(bound.tightenings)
+        telemetry.bound_provenance_total.labels(
+            source=bound.source or "local"
+        ).inc()
+        if stats is not None:
+            telemetry.bound_updates_per_query.observe(
+                stats.bound_updates_applied
             )
-        return merged[:k], coverage
 
     def range_query(self, query: Signature, epsilon: float,
                     metric: "str | None" = None,

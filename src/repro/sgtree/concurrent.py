@@ -99,11 +99,14 @@ class TreeSnapshot:
         stats: SearchStats | None = None,
         deadline: "Deadline | None" = None,
         tracer=None,
+        initial_threshold: "float | None" = None,
+        bound=None,
     ) -> list[Neighbor]:
         with self._guard():
             return self.tree.nearest(
                 query, k=k, metric=metric, algorithm=algorithm, stats=stats,
                 deadline=deadline, tracer=tracer,
+                initial_threshold=initial_threshold, bound=bound,
             )
 
     def batch_nearest(
@@ -113,10 +116,12 @@ class TreeSnapshot:
         metric: Metric | str | None = None,
         stats: SearchStats | None = None,
         deadline: "Deadline | None" = None,
+        initial_thresholds: "float | list[float] | None" = None,
     ) -> list[list[Neighbor]]:
         with self._guard():
             return self.tree.batch_nearest(
-                queries, k=k, metric=metric, stats=stats, deadline=deadline
+                queries, k=k, metric=metric, stats=stats, deadline=deadline,
+                initial_thresholds=initial_thresholds,
             )
 
     def range_query(
@@ -546,11 +551,14 @@ class ConcurrentSGTree:
         stats: SearchStats | None = None,
         deadline: "Deadline | None" = None,
         tracer=None,
+        initial_threshold: "float | None" = None,
+        bound=None,
     ) -> list[Neighbor]:
         with self.snapshot() as snap:
             return snap.nearest(
                 query, k=k, metric=metric, algorithm=algorithm, stats=stats,
                 deadline=deadline, tracer=tracer,
+                initial_threshold=initial_threshold, bound=bound,
             )
 
     def batch_nearest(
@@ -560,10 +568,12 @@ class ConcurrentSGTree:
         metric: Metric | str | None = None,
         stats: SearchStats | None = None,
         deadline: "Deadline | None" = None,
+        initial_thresholds: "float | list[float] | None" = None,
     ) -> list[list[Neighbor]]:
         with self.snapshot() as snap:
             return snap.batch_nearest(
-                queries, k=k, metric=metric, stats=stats, deadline=deadline
+                queries, k=k, metric=metric, stats=stats, deadline=deadline,
+                initial_thresholds=initial_thresholds,
             )
 
     def range_query(

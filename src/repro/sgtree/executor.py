@@ -95,6 +95,7 @@ class QueryExecutor:
         stats: SearchStats | None = None,
         deadline: "Deadline | None" = None,
         trace=None,
+        initial_thresholds: "float | Sequence[float] | None" = None,
     ) -> list[list[Neighbor]]:
         """k-NN for every query; one result list per query, input order.
 
@@ -105,12 +106,34 @@ class QueryExecutor:
         discarded; ``stats`` still receives the traffic generated).
         ``trace`` (a :class:`~repro.telemetry.tracing.RequestTrace`)
         records one ``executor_shard`` span per dispatched shard.
+        ``initial_thresholds`` seeds every query's running k-th-distance
+        threshold (scalar or one value per query) — traversals start
+        pre-tightened with results unchanged whenever each seed is at
+        least the query's true k-th distance (see ``batch_knn``).
         """
+        queries = list(queries)
+        if initial_thresholds is None:
+            per_shard_seed = lambda start, count: None  # noqa: E731
+        else:
+            seeds = np.asarray(initial_thresholds, dtype=np.float64)
+            if seeds.ndim == 0:
+                per_shard_seed = lambda start, count: float(seeds)  # noqa: E731
+            else:
+                if seeds.shape != (len(queries),):
+                    raise ValueError(
+                        f"initial_thresholds must be a scalar or one value "
+                        f"per query; got shape {seeds.shape} for "
+                        f"{len(queries)} queries"
+                    )
+                per_shard_seed = (  # noqa: E731
+                    lambda start, count: seeds[start : start + count]
+                )
         return self._run(
-            list(queries),
+            queries,
             stats,
-            lambda target, shard, _start, shard_stats: target.batch_nearest(
-                shard, k=k, metric=metric, stats=shard_stats, deadline=deadline
+            lambda target, shard, start, shard_stats: target.batch_nearest(
+                shard, k=k, metric=metric, stats=shard_stats, deadline=deadline,
+                initial_thresholds=per_shard_seed(start, len(shard)),
             ),
             engine="knn",
             deadline=deadline,

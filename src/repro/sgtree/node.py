@@ -677,10 +677,15 @@ class NodeStore:
 
         The read-side twin of :meth:`get`: search engines consume the
         arena view (shared arrays, zero copy) instead of the mutable
-        ``Node``.  Accounting matches :meth:`get` exactly — one node
-        access per call, and a random I/O only when neither the arena
-        nor the buffer holds the node — so batched and sequential
-        traversals report identical hit ratios over the same visits.
+        ``Node``.  Accounting: one node access per call, and a random
+        I/O only when the fetch actually pays one — neither the arena
+        nor the buffer holds the node, or (disk mode) the buffer frame
+        is gone and the page bytes must be re-read and checksum-
+        verified.  A sim-mode arena hit is a cache hit wherever the
+        buffer frame went: nothing is re-read and nothing is re-parsed,
+        so it is credited as a buffer hit — this is what keeps the
+        shared-frontier batched engine's hit ratio honest when a batch
+        touches more pages than the buffer holds frames.
         """
         shadow = self._shadow
         if shadow is not None and shadow.thread_id == threading.get_ident():
@@ -697,13 +702,11 @@ class NodeStore:
             if page_id in resident:
                 self._policy.record_access(page_id)
                 return view
-            # The arena outlived the buffer frame.  A view may only skip
-            # the re-parse — never the buffer layer's accounting or I/O —
-            # so this is a buffer miss like any other.
-            counters.random_ios += 1
             if self.mode == "sim":
-                # Simulated bytes cannot rot and mutations invalidate
-                # the view, so re-admit the page and serve it as-is.
+                # The arena outlived the buffer frame, but simulated
+                # bytes cannot rot and mutations invalidate the view:
+                # serving it pays no I/O and no re-parse, so it counts
+                # as a buffer hit.  Re-admit the page for locality.
                 # (Inline of _fault + _admit — the hot warm-batch path.)
                 node = self._all.get(page_id)
                 if node is None:
@@ -715,8 +718,10 @@ class NodeStore:
                 self._policy.admit(page_id)
                 return view
             # Disk mode: once the frame is gone the page bytes are the
-            # authority.  Drop the stale view so the fault below re-reads
-            # (and checksum-verifies) the page, then decode fresh.
+            # authority — a real random I/O.  Drop the stale view so the
+            # fault below re-reads (and checksum-verifies) the page,
+            # then decode fresh.
+            counters.random_ios += 1
             self._decoded.discard((self._generation, page_id))
         node = self._resident.get(page_id)
         if node is not None:

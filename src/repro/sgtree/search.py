@@ -130,6 +130,12 @@ class SearchStats:
     node_accesses: int = 0
     random_ios: int = 0
     leaf_entries: int = 0
+    #: external (pilot-seed / broadcast) bound tightenings applied.
+    bound_updates_applied: int = 0
+    #: where the final pruning threshold came from when it was not the
+    #: query's own k-th distance: ``"pilot"`` or ``"broadcast"``.
+    #: ``None`` means local (or not a kNN traversal).
+    bound_provenance: "str | None" = None
 
     @property
     def buffer_hits(self) -> int:
@@ -155,6 +161,9 @@ class SearchStats:
         self.node_accesses += other.node_accesses
         self.random_ios += other.random_ios
         self.leaf_entries += other.leaf_entries
+        self.bound_updates_applied += other.bound_updates_applied
+        if self.bound_provenance is None:
+            self.bound_provenance = other.bound_provenance
 
     @classmethod
     def aggregate(cls, shards: "list[SearchStats | None]") -> "SearchStats":
@@ -447,25 +456,79 @@ class KnnHeap:
     the batched engine, which visits nodes in a different order than the
     single-query traversals, return bit-identical results (ids and
     distances, ties included).
+
+    The heap can start *pre-tightened*: ``initial_threshold`` caps the
+    pruning threshold before the first candidate arrives, and
+    :meth:`tighten` lowers the cap mid-traversal (a broadcast global
+    bound).  Candidates strictly above the cap are rejected — ties at
+    the cap are admitted, mirroring the strict pruning rule — so a
+    seeded search returns exactly the candidates of the unseeded top-k
+    whose distance is ``<= cap``: a prefix filter, never a reordering.
+    A cap that is at least the true global k-th distance therefore
+    never changes a merged multi-shard top-k.
     """
 
-    def __init__(self, k: int):
+    #: where the currently binding cap came from (``local`` = own k-th).
+    _SOURCES = ("local", "pilot", "broadcast")
+
+    def __init__(self, k: int, initial_threshold: "float | None" = None):
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         self.k = k
         self._heap: list[tuple[float, int]] = []  # (-distance, -tid); root = worst
+        if initial_threshold is None:
+            self._cap = float("inf")
+            self._cap_source = "local"
+        else:
+            cap = float(initial_threshold)
+            if cap != cap or cap < 0:  # NaN-safe: NaN != NaN
+                raise ValueError(
+                    f"initial_threshold must be a non-negative number, "
+                    f"got {initial_threshold!r}"
+                )
+            self._cap = cap
+            self._cap_source = "pilot" if cap != float("inf") else "local"
+        #: external tightenings applied via :meth:`tighten` (seed excluded).
+        self.updates_applied = 0
 
     @property
     def threshold(self) -> float:
-        """Distance of the current k-th neighbour (inf while not full).
+        """Distance of the current k-th neighbour, capped externally.
 
-        A subtree whose lower bound *exceeds* this cannot contribute; one
-        whose bound equals it may still hold an equal-distance,
-        smaller-tid neighbour, so pruning must stay strict.
+        ``inf`` while not full and uncapped.  A subtree whose lower
+        bound *exceeds* this cannot contribute; one whose bound equals
+        it may still hold an equal-distance, smaller-tid neighbour, so
+        pruning must stay strict.
         """
         if len(self._heap) < self.k:
-            return float("inf")
-        return -self._heap[0][0]
+            return self._cap
+        kth = -self._heap[0][0]
+        return kth if kth < self._cap else self._cap
+
+    @property
+    def provenance(self) -> str:
+        """Which bound is pruning right now: local k-th, pilot seed, or
+        a mid-flight broadcast update."""
+        if len(self._heap) >= self.k and -self._heap[0][0] <= self._cap:
+            return "local"
+        return self._cap_source
+
+    def tighten(self, threshold: float) -> None:
+        """Lower the external cap (monotone; looser values are ignored).
+
+        Safe whenever ``threshold`` is an upper bound on the final
+        global k-th distance — see the prefix-filter argument in the
+        class docstring.  NaN compares false everywhere and is ignored.
+        """
+        if threshold < self._cap:
+            self._cap = threshold
+            self._cap_source = "broadcast"
+            self.updates_applied += 1
+
+    def pairs(self) -> "list[tuple[float, int]]":
+        """Current contents as plain ``(distance, tid)`` pairs, unordered
+        (the picklable payload of a mid-flight bound report)."""
+        return [(-d, -t) for d, t in self._heap]
 
     def _worst(self) -> tuple[float, int]:
         """The current k-th ``(distance, tid)`` pair (heap must be full)."""
@@ -473,6 +536,8 @@ class KnnHeap:
         return (-neg_distance, -neg_tid)
 
     def offer(self, distance: float, tid: int) -> None:
+        if distance > self._cap:
+            return
         if len(self._heap) < self.k:
             heapq.heappush(self._heap, (-distance, -tid))
         elif (distance, tid) < self._worst():
@@ -503,6 +568,17 @@ class KnnHeap:
 _KnnHeap = KnnHeap  # historical internal name
 
 
+def _flush_bound_stats(stats: "SearchStats | None", best: KnnHeap) -> None:
+    """Record a finished heap's external-bound accounting on the stats."""
+    if stats is None:
+        return
+    stats.bound_updates_applied += best.updates_applied
+    if stats.bound_provenance is None:
+        provenance = best.provenance
+        if provenance != "local":
+            stats.bound_provenance = provenance
+
+
 def knn_depth_first(
     store: NodeStore,
     root_id: PageId,
@@ -512,6 +588,8 @@ def knn_depth_first(
     stats: SearchStats | None = None,
     tracer=None,
     deadline: "Deadline | None" = None,
+    initial_threshold: "float | None" = None,
+    bound=None,
 ) -> list[Neighbor]:
     """Figure 4: depth-first branch-and-bound k-NN.
 
@@ -519,13 +597,28 @@ def knn_depth_first(
     becomes a visit span recording each entry's lower bound and the
     pruned/descended decision at the threshold in force at that moment;
     results are identical either way (the tracer only observes).
+
+    ``initial_threshold`` pre-tightens the heap (see :class:`KnnHeap`):
+    the result is the unseeded top-k filtered to ``distance <= seed``.
+    ``bound`` is an optional mid-flight bound channel — any object with
+    an ``interval`` (node visits between exchanges) and an
+    ``exchange(heap) -> float`` method that publishes the heap's current
+    state and returns the latest global threshold; the traversal applies
+    it via :meth:`KnnHeap.tighten` at the per-visit deadline checkpoint.
     """
     with _StatsScope(store, stats) as active:
-        best = KnnHeap(k)
+        best = KnnHeap(k, initial_threshold=initial_threshold)
+        interval = bound.interval if bound is not None else 0
+        visits = 0
 
         def visit(page_id: PageId, parent=None) -> None:
+            nonlocal visits
             if deadline is not None:
                 deadline.check()
+            if bound is not None:
+                visits += 1
+                if visits % interval == 0:
+                    best.tighten(bound.exchange(best))
             if tracer is None:
                 span, node = None, store.read(page_id)
             else:
@@ -569,6 +662,7 @@ def knn_depth_first(
                     tracer.finish(span, best.threshold)
 
         visit(root_id)
+        _flush_bound_stats(stats, best)
         return best.results()
 
 
@@ -580,25 +674,43 @@ def knn_best_first(
     metric: Metric,
     stats: SearchStats | None = None,
     deadline: "Deadline | None" = None,
+    initial_threshold: "float | None" = None,
+    bound=None,
 ) -> list[Neighbor]:
     """Best-first k-NN with a global priority queue (I/O-optimal).
 
     The queue holds ``(bound, ·, ref)`` items for both subtrees and
     individual transactions; a transaction popped from the queue is final
     because its exact distance is its priority.
+
+    ``initial_threshold`` / ``bound`` behave as in
+    :func:`knn_depth_first`: the queue is popped in ascending-bound
+    order, so the traversal simply stops at the first item whose bound
+    strictly exceeds the (possibly externally tightened) threshold —
+    everything still queued is at least as far.
     """
     with _StatsScope(store, stats) as active:
+        best = KnnHeap(k, initial_threshold=initial_threshold)
+        interval = bound.interval if bound is not None else 0
+        visits = 0
         counter = itertools.count()  # tie-break to keep tuples comparable
         queue: list[tuple[float, int, int, bool, int]] = []
         heapq.heappush(queue, (0.0, 0, next(counter), True, root_id))
         results: list[Neighbor] = []
         while queue and len(results) < k:
-            bound, _area, _seq, is_node, ref = heapq.heappop(queue)
+            priority, _area, _seq, is_node, ref = heapq.heappop(queue)
+            if priority > best.threshold:
+                break  # every queued item is at least this far
             if not is_node:
-                results.append(Neighbor(bound, ref))
+                best.offer(priority, ref)
+                results.append(Neighbor(priority, ref))
                 continue
             if deadline is not None:
                 deadline.check()
+            if bound is not None:
+                visits += 1
+                if visits % interval == 0:
+                    best.tighten(bound.exchange(best))
             node = store.read(ref)
             n_entries = len(node)
             if not n_entries:
@@ -622,6 +734,7 @@ def knn_best_first(
                         (float(bounds[i]), int(areas[i]), next(counter), True,
                          int(refs[i])),
                     )
+        _flush_bound_stats(stats, best)
         return results
 
 
@@ -633,6 +746,7 @@ def batch_knn(
     metric: Metric,
     stats: SearchStats | None = None,
     deadline: "Deadline | None" = None,
+    initial_thresholds: "float | np.ndarray | list[float] | None" = None,
 ) -> list[list[Neighbor]]:
     """Shared-frontier k-NN for a whole query batch.
 
@@ -650,10 +764,29 @@ def batch_knn(
     by many queries' frontiers costs one node access instead of Q.
 
     ``stats``, when given, accumulates the whole batch's traffic.
+
+    ``initial_thresholds`` (a scalar or one value per query) seeds the
+    per-query pruning thresholds, with the same prefix-filter contract
+    as :class:`KnnHeap`: each query's result is its unseeded top-k
+    filtered to ``distance <= seed``.
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
     n_queries = len(queries)
+    seeds = None
+    if initial_thresholds is not None:
+        seeds = np.asarray(initial_thresholds, dtype=np.float64)
+        if seeds.ndim == 0:
+            seeds = np.full(n_queries, float(seeds))
+        elif seeds.shape != (n_queries,):
+            raise ValueError(
+                f"initial_thresholds must be a scalar or one value per "
+                f"query; got shape {seeds.shape} for {n_queries} queries"
+            )
+        if np.any(np.isnan(seeds)) or np.any(seeds < 0):
+            raise ValueError(
+                "initial_thresholds must be non-negative and not NaN"
+            )
     if n_queries == 0:
         return []
     ctx = _BatchContext(queries, metric)
@@ -670,6 +803,8 @@ def batch_knn(
         # top-k per query is the canonical (distance, tid) total-order
         # top-k — identical to the sequential engines', ties included.
         thresholds = np.full(n_queries, np.inf)
+        if seeds is not None:
+            np.minimum(thresholds, seeds, out=thresholds)
         ctx.bind_thresholds(thresholds)
         pool_q = np.empty(0, dtype=np.int64)
         pool_d = np.empty(0, dtype=np.float64)
@@ -705,7 +840,10 @@ def batch_knn(
             kq = q[starts[full]]
             if np.any(kth < thresholds[kq]):
                 tver += 1
-            thresholds[kq] = kth
+            # min() keeps the tightening monotone under external seeds;
+            # every pool candidate was admitted at or below the current
+            # threshold, so this equals plain assignment in practice.
+            thresholds[kq] = np.minimum(thresholds[kq], kth)
 
         # Consecutive leaf pops accumulate into a run swept by one fused
         # kernel call; the run drains (sweep + fold) before any directory
@@ -1107,6 +1245,8 @@ def knn(
     algorithm: str = "depth-first",
     stats: SearchStats | None = None,
     deadline: "Deadline | None" = None,
+    initial_threshold: "float | None" = None,
+    bound=None,
 ) -> list[Neighbor]:
     """Dispatch to a k-NN algorithm by name."""
     try:
@@ -1116,7 +1256,10 @@ def knn(
             f"unknown k-NN algorithm {algorithm!r}; "
             f"choose from {sorted(_KNN_ALGORITHMS)}"
         ) from None
-    return impl(store, root_id, query, k, metric, stats=stats, deadline=deadline)
+    return impl(
+        store, root_id, query, k, metric, stats=stats, deadline=deadline,
+        initial_threshold=initial_threshold, bound=bound,
+    )
 
 
 def nearest_all(

@@ -346,6 +346,8 @@ class SGTree:
         stats: "_search.SearchStats | None" = None,
         deadline: "_search.Deadline | None" = None,
         tracer=None,
+        initial_threshold: "float | None" = None,
+        bound=None,
     ) -> list["_search.Neighbor"]:
         """The ``k`` nearest transactions to ``query`` (Section 4.1).
 
@@ -356,6 +358,12 @@ class SGTree:
         :class:`~repro.telemetry.tracing.Tracer` records per-node visit
         spans (depth-first only — the traced engine, as in
         :meth:`explain`); sampled serving requests ride this path.
+
+        ``initial_threshold`` pre-tightens the k-NN pruning bound (the
+        result is the unseeded top-k filtered to ``distance <= seed``;
+        see :class:`~repro.sgtree.search.KnnHeap`); ``bound`` attaches
+        a mid-flight bound channel — both are how a sharded coordinator
+        shares its global k-th-distance bound with this traversal.
         """
         metric = self.metric if metric is None else resolve_metric(metric)
         if tracer is not None:
@@ -367,10 +375,12 @@ class SGTree:
             return self._timed("knn", stats, lambda s: _search.knn_depth_first(
                 self._store, self._root_id, query, k, metric,
                 stats=s, tracer=tracer, deadline=deadline,
+                initial_threshold=initial_threshold, bound=bound,
             ))
         return self._timed("knn", stats, lambda s: _search.knn(
             self._store, self._root_id, query, k, metric,
             algorithm=algorithm, stats=s, deadline=deadline,
+            initial_threshold=initial_threshold, bound=bound,
         ))
 
     def batch_nearest(
@@ -380,6 +390,7 @@ class SGTree:
         metric: Metric | str | None = None,
         stats: "_search.SearchStats | None" = None,
         deadline: "_search.Deadline | None" = None,
+        initial_thresholds: "float | list[float] | None" = None,
     ) -> list[list["_search.Neighbor"]]:
         """k-NN for a whole query batch in one shared-frontier traversal.
 
@@ -388,11 +399,14 @@ class SGTree:
         fetched and scored once (see :func:`repro.sgtree.search.batch_knn`).
         ``stats`` accumulates the batch's total traffic.  ``deadline``
         bounds the whole batch (one budget, not one per query).
+        ``initial_thresholds`` (scalar or per-query) pre-tightens the
+        per-query pruning bounds, with the prefix-filter contract of
+        :class:`~repro.sgtree.search.KnnHeap`.
         """
         metric = self.metric if metric is None else resolve_metric(metric)
         return self._timed("batch_knn", stats, lambda s: _search.batch_knn(
             self._store, self._root_id, queries, k, metric, stats=s,
-            deadline=deadline,
+            deadline=deadline, initial_thresholds=initial_thresholds,
         ))
 
     def batch_range_query(
@@ -550,6 +564,7 @@ class SGTree:
         epsilon: float | None = None,
         kind: str | None = None,
         metric: Metric | str | None = None,
+        initial_threshold: "float | None" = None,
     ):
         """Run one traced query and return its EXPLAIN report.
 
@@ -568,14 +583,21 @@ class SGTree:
         metric = self.metric if metric is None else resolve_metric(metric)
         if kind is None:
             kind = "range" if epsilon is not None else "knn"
+        if initial_threshold is not None and kind != "knn":
+            raise ValueError(
+                "initial_threshold applies to explain(kind='knn') only"
+            )
         tracer = Tracer()
         stats = _search.SearchStats()
         if kind == "knn":
             results = _search.knn_depth_first(
                 self._store, self._root_id, query, k, metric,
                 stats=stats, tracer=tracer,
+                initial_threshold=initial_threshold,
             )
             params = {"k": k, "metric": metric.name, "algorithm": "depth-first"}
+            if initial_threshold is not None:
+                params["initial_threshold"] = initial_threshold
         elif kind == "range":
             if epsilon is None:
                 raise ValueError("explain(kind='range') requires epsilon")

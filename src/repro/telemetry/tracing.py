@@ -335,8 +335,21 @@ class ExplainReport:
             f"stats: node_accesses={self.stats.node_accesses} "
             f"random_ios={self.stats.random_ios} "
             f"leaf_entries={self.stats.leaf_entries}",
-            f"trace reconciles with stats: {'yes' if reconciled else 'NO'}",
         ]
+        provenance = getattr(self.stats, "bound_provenance", None)
+        updates = getattr(self.stats, "bound_updates_applied", 0)
+        if provenance is not None or updates:
+            # Where the pruning threshold came from: "local" means the
+            # heap's own k-th distance did all the work; "pilot" means
+            # an initial seed bound the search; "broadcast" means a
+            # mid-flight bound update tightened it further.
+            lines.append(
+                f"pruning bound: provenance={provenance or 'local'} "
+                f"updates_applied={updates}"
+            )
+        lines.append(
+            f"trace reconciles with stats: {'yes' if reconciled else 'NO'}"
+        )
         return "\n".join(lines)
 
     def to_jsonl(self) -> str:

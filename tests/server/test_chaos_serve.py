@@ -13,6 +13,10 @@ driven against a sharded service; the campaign proves:
   shard whose pager rotted is healed by a rebuild-from-source restart.
 
 Deterministic per ``REPRO_CHAOS_SEED`` (default 0; CI sweeps 0-2).
+Bound sharing is on by default (the cooperative kNN path is what
+serves); ``REPRO_CHAOS_BOUND_SHARING=1`` additionally arms pilot-shard
+routing, so the campaign also exercises the pilot-first code path under
+kills and latency (CI sweeps one seed with it).
 """
 
 from __future__ import annotations
@@ -38,6 +42,7 @@ from repro.server import (
     ShardHandle,
     ShardSupervisor,
     make_shard_handles,
+    partition_routed,
     partition_transactions,
 )
 from repro.server.shard import ThreadShardWorker
@@ -47,6 +52,8 @@ from repro.storage.pager import FilePager
 from support import random_signature, random_transactions
 
 SEED = int(os.environ.get("REPRO_CHAOS_SEED", "0"))
+#: Arm pilot-shard routing on top of the default bound sharing.
+PILOT_ROUTING = os.environ.get("REPRO_CHAOS_BOUND_SHARING", "0") == "1"
 N_BITS = 120
 N_TX = 160
 N_SHARDS = 4
@@ -78,7 +85,7 @@ class TestChaosCampaign:
             seed=SEED, kill_rate=0.04, latency_rate=0.15,
             latency_seconds=0.02,
         )
-        partitions = partition_transactions(transactions, N_SHARDS)
+        partitions, router = partition_routed(transactions, N_SHARDS)
         handles = make_shard_handles(
             partitions, N_BITS, mode="thread", chaos_plan=plan
         )
@@ -86,7 +93,11 @@ class TestChaosCampaign:
             handles, backoff=FAST_BACKOFF, storm_budget=50, storm_window=60.0
         )
         service = ShardedQueryService(
-            ShardedTree(handles, N_BITS), supervisor=supervisor,
+            ShardedTree(
+                handles, N_BITS,
+                router=router if PILOT_ROUTING else None,
+            ),
+            supervisor=supervisor,
             max_inflight=4, max_queue=8,
         )
         rng = np.random.default_rng(SEED)

@@ -76,8 +76,10 @@ class TestAggregate:
 class TestBatchedAccountingParity:
     """Satellite: batched and sequential traversals follow the same
     accounting rules — one node access per visit, a random I/O exactly
-    when neither the arena nor the buffer holds the node.  The decoded
-    arena may skip re-parses but never hides buffer misses."""
+    when the fetch pays one.  In sim mode an arena-served view pays
+    nothing (no re-read, no re-parse), so it is credited as a buffer
+    hit even when the LRU frame was recycled; disk mode still charges
+    the miss because the page bytes are genuinely re-read."""
 
     def _queries(self, n=12):
         rng = np.random.default_rng(99)
@@ -100,20 +102,33 @@ class TestBatchedAccountingParity:
         assert seq.hit_ratio == 1.0
         assert bat.hit_ratio == 1.0
 
-    def test_arena_hits_still_count_buffer_misses(self):
+    def test_warm_arena_credits_hits_past_a_tiny_buffer(self):
         # A tiny buffer forces evictions; the (unbounded, sim-mode)
-        # arena keeps serving decoded views, but each view served for a
-        # non-resident page must still count as a random I/O.
+        # arena keeps serving decoded views.  Those views pay no I/O —
+        # the buffer-hit-ratio regression this guards is the batched
+        # path reporting hit_ratio 0.0 whenever a batch touched more
+        # pages than the buffer holds frames.
         tree = SGTree(N_BITS, max_entries=8, frames=4)
         for t in random_transactions(seed=31, count=250, n_bits=N_BITS):
             tree.insert(t)
         queries = self._queries()
-        tree.batch_nearest(queries, k=3)  # arena now warm
+        # Warm both access patterns (they visit slightly different node
+        # sets); after this every page either engine touches has a view.
+        tree.batch_nearest(queries, k=3)
+        for query in queries:
+            tree.nearest(query, k=3)
         stats = SearchStats()
         tree.batch_nearest(queries, k=3, stats=stats)
-        assert stats.random_ios > 0
-        assert stats.random_ios <= stats.node_accesses
-        assert 0.0 <= stats.hit_ratio < 1.0
+        assert stats.node_accesses > 0
+        assert stats.random_ios == 0
+        assert stats.hit_ratio == 1.0
+        # The sequential engine follows the same rule over the same
+        # (warm) data, so both paths agree the traffic is cached.
+        seq = SearchStats()
+        for query in queries:
+            tree.nearest(query, k=3, stats=seq)
+        assert seq.random_ios == 0
+        assert seq.hit_ratio == 1.0
 
     def test_identical_results_while_accounting_differs(self, tree):
         # Accounting parity is about the *rules*, not the traffic: the

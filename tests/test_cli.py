@@ -461,3 +461,93 @@ class TestServeCommand:
         assert args.max_inflight == 8
         assert args.max_queue == 32
         assert args.deadline_ms is None
+
+
+class TestInitialThresholdFlag:
+    """`query --initial-threshold` and the serve bound-sharing knobs."""
+
+    def test_seed_at_infinity_changes_nothing(self, index, capsys):
+        assert main([
+            "query", str(index), "--items", "1,2,3", "--knn", "3",
+        ]) == 0
+        unseeded = capsys.readouterr().out
+        assert main([
+            "query", str(index), "--items", "1,2,3", "--knn", "3",
+            "--initial-threshold", "inf",
+        ]) == 0
+        assert capsys.readouterr().out == unseeded
+
+    def test_binding_seed_prints_provenance_under_stats(self, index, capsys):
+        assert main([
+            "query", str(index), "--items", "1,2,3", "--knn", "3",
+            "--initial-threshold", "0", "--stats",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "pruning bound: provenance=pilot" in out
+
+    def test_unseeded_stats_omit_the_bound_line(self, index, capsys):
+        assert main([
+            "query", str(index), "--items", "1,2,3", "--knn", "3", "--stats",
+        ]) == 0
+        assert "pruning bound" not in capsys.readouterr().out
+
+    @pytest.mark.parametrize("bad", ["-1", "nan", "-0.5", "pretty-tight"])
+    def test_invalid_seed_is_rejected_by_the_parser(self, bad, capsys):
+        with pytest.raises(SystemExit):
+            main([
+                "query", "idx.sgt", "--items", "1,2", "--knn", "3",
+                "--initial-threshold", bad,
+            ])
+        err = capsys.readouterr().err
+        assert "initial threshold" in err or "expected a number" in err
+
+    def test_seed_requires_a_knn_query(self, index):
+        with pytest.raises(SystemExit, match="--knn queries only"):
+            main([
+                "query", str(index), "--items", "1,2", "--contains",
+                "--initial-threshold", "5",
+            ])
+        with pytest.raises(SystemExit, match="--knn queries only"):
+            main([
+                "query", str(index), "--items", "1,2", "--range", "10",
+                "--initial-threshold", "5",
+            ])
+
+    def test_explain_accepts_the_seed(self, index, capsys):
+        assert main([
+            "query", str(index), "--items", "1,2,3", "--knn", "3",
+            "--explain", "--initial-threshold", "40",
+        ]) == 0
+        assert "EXPLAIN knn" in capsys.readouterr().out
+
+    def test_batch_knn_accepts_a_scalar_seed(self, index, tmp_path, capsys):
+        queries = tmp_path / "queries.jsonl"
+        assert main([
+            "generate", "quest", "--t", "8", "--i", "4", "--d", "10",
+            "--n-items", "200", "--seed", "12", "-o", str(queries),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "query", str(index), "--batch", str(queries), "--knn", "2",
+            "--initial-threshold", "inf",
+        ]) == 0
+        assert "10 queries in" in capsys.readouterr().out
+
+    def test_serve_bound_flags_parse_and_validate(self, capsys):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve", "idx.sgt"])
+        assert args.no_bound_sharing is False
+        assert args.bound_report_interval is None
+        args = build_parser().parse_args([
+            "serve", "idx.sgt", "--no-bound-sharing",
+            "--bound-report-interval", "4",
+        ])
+        assert args.no_bound_sharing is True
+        assert args.bound_report_interval == 4
+        for bad in ("0", "-3", "soon"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args([
+                    "serve", "idx.sgt", "--bound-report-interval", bad,
+                ])
+            capsys.readouterr()
